@@ -1,0 +1,39 @@
+/**
+ * @file
+ * §2.2 ablation: the concurrency analysis pays for itself — nested
+ * atomic-section elimination, removal of atomics in interrupt-only
+ * code, and skipping the IRQ-bit save for non-nested sections. Also
+ * reports the racy-variable counts the detector feeds to the locking
+ * pass (the list the nesC compiler used to provide).
+ */
+#include "bench_util.h"
+
+using namespace stos;
+using namespace stos::core;
+using namespace stos::bench;
+
+int
+main()
+{
+    printHeader("§2.2 ablation: atomic-section optimization and races");
+    printf("%-28s %6s %8s %8s %9s %8s\n", "application", "racy",
+           "locks", "removed", "downgrade", "code-d");
+    for (const auto &app : tinyos::allApps()) {
+        PipelineConfig with =
+            configFor(ConfigId::SafeFlidInlineCxprop, app.platform);
+        PipelineConfig without = with;
+        without.cxprop.optimizeAtomics = false;
+        BuildResult rw = buildApp(app, with);
+        BuildResult ro = buildApp(app, without);
+        printf("%-28s %6u %8u %8u %9u %7.1f%%\n", appLabel(app).c_str(),
+               rw.safetyReport.racyGlobals,
+               rw.safetyReport.locksInserted,
+               rw.cxpropReport.atomicsRemoved,
+               rw.cxpropReport.atomicSavesDowngraded,
+               pctChange(rw.codeBytes, ro.codeBytes));
+    }
+    printf("\nShape to check: apps with interrupt-shared state report\n"
+           "racy variables; the optimizer removes nested/handler\n"
+           "atomics and downgrades saves, shrinking code slightly.\n");
+    return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * cXprop pluggable-domain ablation (the LCTES'06 companion design the
+ * paper builds on): how much check elimination each abstract-domain
+ * configuration achieves — constants only, constants+intervals, and
+ * the full product with known-bits.
+ */
+#include "bench_util.h"
+
+using namespace stos;
+using namespace stos::core;
+using namespace stos::bench;
+
+int
+main()
+{
+    printHeader("cXprop domain ablation: checks removed per domain");
+    printf("%-28s %9s | %10s %10s %10s\n", "application", "inserted",
+           "const", "+interval", "+bits");
+    for (const auto &app : tinyos::allApps()) {
+        BuildResult base = buildApp(
+            app, configForStrategy(CheckStrategy::GccOnly, app.platform));
+        uint32_t inserted = base.safetyReport.checksInserted;
+        printf("%-28s %9u |", appLabel(app).c_str(), inserted);
+        struct Cfg { bool intervals; bool bits; };
+        for (Cfg dc : {Cfg{false, false}, Cfg{true, false},
+                       Cfg{true, true}}) {
+            PipelineConfig cfg = configForStrategy(
+                CheckStrategy::CcuredOptInlineCxprop, app.platform);
+            cfg.cxprop.domains.intervals = dc.intervals;
+            cfg.cxprop.domains.knownBits = dc.bits;
+            BuildResult r = buildApp(app, cfg);
+            double removed = inserted
+                                 ? 100.0 * (inserted - r.survivingChecks) /
+                                       inserted
+                                 : 0.0;
+            printf("   %7.1f%%", removed);
+        }
+        printf("\n");
+    }
+    printf("\nShape to check: intervals dominate (bounds checks need\n"
+           "ranges); the constant-only domain removes mostly null\n"
+           "checks; known-bits adds a little on masked indices.\n");
+    return 0;
+}

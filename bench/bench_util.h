@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction benchmark binaries:
+ * percentage formatting and consistent table layout matching the
+ * paper's presentation (baseline = unsafe unoptimized build).
+ */
+#ifndef STOS_BENCH_BENCH_UTIL_H
+#define STOS_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+
+namespace stos::bench {
+
+inline double
+pctChange(double value, double baseline)
+{
+    if (baseline == 0)
+        return 0.0;
+    return 100.0 * (value - baseline) / baseline;
+}
+
+inline void
+printHeader(const std::string &title)
+{
+    printf("\n================================================================\n");
+    printf("%s\n", title.c_str());
+    printf("================================================================\n");
+}
+
+inline std::string
+appLabel(const tinyos::AppInfo &app)
+{
+    return app.name + "_" + app.platform;
+}
+
+} // namespace stos::bench
+
+#endif

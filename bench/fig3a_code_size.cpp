@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Figure 3(a) reproduction: change in code size (flash-resident code
+ * bytes) of each application under the seven configurations, relative
+ * to the unsafe unoptimized baseline. The absolute row reports the
+ * baseline code size in bytes, like the numbers atop the paper's
+ * graph.
+ */
+#include "bench_util.h"
+
+using namespace stos;
+using namespace stos::core;
+using namespace stos::bench;
+
+int
+main()
+{
+    printHeader("Figure 3(a): change in code size vs unsafe baseline");
+    printf("%-28s %9s | %7s %7s %7s %7s %7s %7s %7s\n", "application",
+           "baseline", "C1", "C2", "C3", "C4", "C5", "C6", "C7");
+    for (const auto &app : tinyos::allApps()) {
+        BuildResult base =
+            buildApp(app, configFor(ConfigId::Baseline, app.platform));
+        printf("%-28s %9u |", appLabel(app).c_str(), base.codeBytes);
+        for (ConfigId id : figure3Configs()) {
+            BuildResult r = buildApp(app, configFor(id, app.platform));
+            // Code size = flash code; C2's ROM strings count as flash
+            // too (the paper's code-size metric is flash occupancy).
+            uint32_t code = r.codeBytes + r.romDataBytes;
+            uint32_t baseCode = base.codeBytes + base.romDataBytes;
+            printf(" %6.1f%%", pctChange(code, baseCode));
+        }
+        printf("\n");
+    }
+    printf("\nLegend: C1 safe+verbose, C2 verbose-in-ROM, C3 terse,\n"
+           "C4 FLIDs, C5 C4+cXprop, C6 C4+inline+cXprop,\n"
+           "C7 unsafe+inline+cXprop.\n"
+           "Paper shape: C1 = +20..90%%; C2 above C1; C4 < C3 < C2;\n"
+           "C6 near the baseline; C7 about -10..25%%.\n");
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Toolchain throughput microbenchmarks (google-benchmark): frontend,
+ * safety transformation, cXprop, backend, and the full pipeline on
+ * representative applications, plus simulator speed. These are not a
+ * paper figure; they keep the whole-program approach honest ("small
+ * system size means whole-program optimization is feasible", §1).
+ */
+#include <benchmark/benchmark.h>
+
+#include "core/pipeline.h"
+#include "frontend/frontend.h"
+#include "sim/machine.h"
+
+using namespace stos;
+using namespace stos::core;
+
+namespace {
+
+void
+BM_FrontendSurge(benchmark::State &state)
+{
+    const auto &app = tinyos::appByName("Surge");
+    for (auto _ : state) {
+        SourceManager sm;
+        DiagnosticEngine diags(&sm);
+        auto m = frontend::compileTinyC(
+            {{"lib.tc", tinyos::libSource()}, {"app.tc", app.source}},
+            diags, sm);
+        benchmark::DoNotOptimize(m);
+    }
+}
+BENCHMARK(BM_FrontendSurge);
+
+void
+BM_FullPipelineBlink(benchmark::State &state)
+{
+    const auto &app = tinyos::appByName("BlinkTask");
+    PipelineConfig cfg =
+        configFor(ConfigId::SafeFlidInlineCxprop, app.platform);
+    for (auto _ : state) {
+        BuildResult r = buildApp(app, cfg);
+        benchmark::DoNotOptimize(r.codeBytes);
+    }
+}
+BENCHMARK(BM_FullPipelineBlink);
+
+void
+BM_FullPipelineSurge(benchmark::State &state)
+{
+    const auto &app = tinyos::appByName("Surge");
+    PipelineConfig cfg =
+        configFor(ConfigId::SafeFlidInlineCxprop, app.platform);
+    for (auto _ : state) {
+        BuildResult r = buildApp(app, cfg);
+        benchmark::DoNotOptimize(r.codeBytes);
+    }
+}
+BENCHMARK(BM_FullPipelineSurge);
+
+void
+BM_SimulatorThroughput(benchmark::State &state)
+{
+    const auto &app = tinyos::appByName("BlinkTask");
+    BuildResult r =
+        buildApp(app, configFor(ConfigId::Baseline, app.platform));
+    for (auto _ : state) {
+        sim::Machine m(r.image, 1);
+        m.boot();
+        m.runUntilCycle(1'000'000);
+        benchmark::DoNotOptimize(m.cycles());
+    }
+    state.SetItemsProcessed(state.iterations() * 1'000'000);
+}
+BENCHMARK(BM_SimulatorThroughput);
+
+} // namespace
+
+BENCHMARK_MAIN();

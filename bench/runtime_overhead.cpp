@@ -1,0 +1,76 @@
+/**
+ * @file
+ * §2.3 reproduction: the CCured runtime library footprint on a
+ * minimal TinyOS application. The straight port (OS dependencies, GC
+ * support, x86 alignment checks, verbose strings — all marked
+ * used-from-start because the original weaves them in too finely for
+ * DCE) costs kilobytes of RAM and tens of KB of ROM; the trimmed
+ * runtime with FLIDs collapses to a couple of RAM bytes (the last
+ * failure id) and a few hundred bytes of handler code.
+ */
+#include "bench_util.h"
+
+#include "support/util.h"
+#include <cstring>
+
+using namespace stos;
+using namespace stos::core;
+using namespace stos::bench;
+
+namespace {
+
+const char *kMinimalApp = R"TC(
+task void nothing() { }
+interrupt(TIMER0) void on_t() { post nothing; }
+void main() {
+    stos_timer0_start(4096);
+    stos_run_scheduler();
+}
+)TC";
+
+} // namespace
+
+int
+main()
+{
+    printHeader("§2.3: CCured runtime footprint on a minimal application");
+
+    PipelineConfig unsafeCfg = configFor(ConfigId::Baseline, "Mica2");
+    BuildResult plain = buildSource("minimal", kMinimalApp, unsafeCfg);
+
+    PipelineConfig naive = configFor(ConfigId::SafeVerboseRam, "Mica2");
+    naive.safety.naiveRuntime = true;
+    BuildResult big = buildSource("minimal", kMinimalApp, naive);
+
+    PipelineConfig trimmed =
+        configFor(ConfigId::SafeFlidInlineCxprop, "Mica2");
+    BuildResult small = buildSource("minimal", kMinimalApp, trimmed);
+
+    uint32_t naiveRam = big.ramBytes - plain.ramBytes;
+    uint32_t naiveRom = (big.codeBytes + big.romDataBytes) -
+                        (plain.codeBytes + plain.romDataBytes);
+    uint32_t trimRam = small.ramBytes > plain.ramBytes
+                           ? small.ramBytes - plain.ramBytes
+                           : 0;
+    uint32_t trimRom =
+        (small.codeBytes + small.romDataBytes) >
+                (plain.codeBytes + plain.romDataBytes)
+            ? (small.codeBytes + small.romDataBytes) -
+                  (plain.codeBytes + plain.romDataBytes)
+            : 0;
+
+    printf("%-34s %10s %10s\n", "runtime variant", "RAM (B)", "ROM (B)");
+    printf("%-34s %10u %10u\n", "naive port (OS+GC+x86+strings)",
+           naiveRam, naiveRom);
+    printf("%-34s %10u %10u\n", "trimmed + FLIDs + DCE", trimRam,
+           trimRom);
+    printf("\nPaper: naive = 1.6KB RAM (40%% of total) / 33KB ROM;\n"
+           "trimmed = 2 bytes RAM / 314 bytes ROM. Shape to check:\n"
+           "orders-of-magnitude collapse in both columns.\n");
+    printf("RAM collapse factor: %.0fx   ROM collapse factor: %.0fx\n",
+           trimRam ? static_cast<double>(naiveRam) / trimRam
+                   : static_cast<double>(naiveRam),
+           trimRom ? static_cast<double>(naiveRom) / trimRom
+                   : static_cast<double>(naiveRom));
+    return 0;
+}

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Call graph construction.
+ */
+#include "analysis/callgraph.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace stos::analysis {
+
+using namespace stos::ir;
+
+CallGraph::CallGraph(const Module &m) : mod_(m)
+{
+    size_t n = m.funcs().size();
+    callees_.resize(n);
+    callers_.resize(n);
+    addressTakenMask_.assign(n, false);
+    recursive_.assign(n, false);
+
+    for (const auto &f : m.funcs()) {
+        if (f.dead)
+            continue;
+        bool hasIndirect = false;
+        for (const auto &bb : f.blocks) {
+            for (const auto &in : bb.instrs) {
+                if (in.op == Opcode::Call)
+                    callees_[f.id].push_back(in.callee);
+                if (in.op == Opcode::CallInd)
+                    hasIndirect = true;
+                for (const auto &a : in.args) {
+                    if (a.isFunc() && !addressTakenMask_[a.index]) {
+                        addressTakenMask_[a.index] = true;
+                        addressTaken_.push_back(a.index);
+                    }
+                }
+            }
+        }
+        if (hasIndirect) {
+            // Resolved after the address-taken set is complete (below).
+            indirectCallers_.push_back(f.id);
+        }
+    }
+    // Function operands in global initializers would also count; TinyC
+    // forbids fnptr static initializers, so operands cover everything.
+    for (uint32_t caller : indirectCallers_) {
+        for (uint32_t target : addressTaken_)
+            callees_[caller].push_back(target);
+    }
+    for (uint32_t f = 0; f < n; ++f) {
+        std::sort(callees_[f].begin(), callees_[f].end());
+        callees_[f].erase(
+            std::unique(callees_[f].begin(), callees_[f].end()),
+            callees_[f].end());
+        for (uint32_t c : callees_[f])
+            callers_[c].push_back(f);
+    }
+    for (uint32_t f = 0; f < n; ++f)
+        recursive_[f] = reaches(f, f);
+}
+
+bool
+CallGraph::reaches(uint32_t fn, uint32_t target) const
+{
+    std::vector<bool> seen(callees_.size(), false);
+    std::deque<uint32_t> work{fn};
+    while (!work.empty()) {
+        uint32_t cur = work.front();
+        work.pop_front();
+        for (uint32_t c : callees_[cur]) {
+            if (c == target)
+                return true;
+            if (!seen[c]) {
+                seen[c] = true;
+                work.push_back(c);
+            }
+        }
+    }
+    return false;
+}
+
+std::vector<bool>
+CallGraph::reachableFrom(const std::vector<uint32_t> &roots) const
+{
+    std::vector<bool> seen(callees_.size(), false);
+    std::deque<uint32_t> work;
+    for (uint32_t r : roots) {
+        if (r < seen.size() && !seen[r]) {
+            seen[r] = true;
+            work.push_back(r);
+        }
+    }
+    while (!work.empty()) {
+        uint32_t cur = work.front();
+        work.pop_front();
+        for (uint32_t c : callees_[cur]) {
+            if (!seen[c]) {
+                seen[c] = true;
+                work.push_back(c);
+            }
+        }
+    }
+    return seen;
+}
+
+} // namespace stos::analysis

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Whole-program call graph. Indirect calls (task queue dispatch via
+ * fnptr) are resolved conservatively to every address-taken function,
+ * exactly the approximation cXprop needs for sound whole-program
+ * analysis on TinyOS programs.
+ */
+#ifndef STOS_ANALYSIS_CALLGRAPH_H
+#define STOS_ANALYSIS_CALLGRAPH_H
+
+#include <vector>
+
+#include "ir/module.h"
+
+namespace stos::analysis {
+
+class CallGraph {
+  public:
+    explicit CallGraph(const ir::Module &m);
+
+    const std::vector<uint32_t> &callees(uint32_t fn) const
+    {
+        return callees_.at(fn);
+    }
+    const std::vector<uint32_t> &callers(uint32_t fn) const
+    {
+        return callers_.at(fn);
+    }
+    /** Functions whose address appears as an operand anywhere. */
+    const std::vector<uint32_t> &addressTaken() const
+    {
+        return addressTaken_;
+    }
+    bool isAddressTaken(uint32_t fn) const
+    {
+        return addressTakenMask_.at(fn);
+    }
+    /** Does fn (transitively) reach target? */
+    bool reaches(uint32_t fn, uint32_t target) const;
+
+    /** All functions reachable from the given roots (including them). */
+    std::vector<bool> reachableFrom(const std::vector<uint32_t> &roots) const;
+
+    /** Is the function directly or transitively recursive? */
+    bool isRecursive(uint32_t fn) const { return recursive_.at(fn); }
+
+  private:
+    const ir::Module &mod_;
+    std::vector<std::vector<uint32_t>> callees_;
+    std::vector<std::vector<uint32_t>> callers_;
+    std::vector<uint32_t> addressTaken_;
+    std::vector<bool> addressTakenMask_;
+    std::vector<bool> recursive_;
+    std::vector<uint32_t> indirectCallers_;
+};
+
+} // namespace stos::analysis
+
+#endif

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Liveness analysis implementation.
+ */
+#include "analysis/liveness.h"
+
+#include <functional>
+
+namespace stos::analysis {
+
+using namespace stos::ir;
+
+void
+forEachUse(const Instr &in, const std::function<void(uint32_t)> &fn)
+{
+    for (const auto &a : in.args) {
+        if (a.isVReg())
+            fn(a.index);
+    }
+}
+
+Liveness::Liveness(const Module &, const Function &f) : func_(f)
+{
+    size_t nb = f.blocks.size();
+    size_t nv = f.vregs.size();
+    liveIn_.assign(nb, std::vector<bool>(nv, false));
+    liveOut_.assign(nb, std::vector<bool>(nv, false));
+
+    // Successor lists.
+    std::vector<std::vector<uint32_t>> succ(nb);
+    for (const auto &bb : f.blocks) {
+        if (bb.instrs.empty())
+            continue;
+        const Instr &t = bb.instrs.back();
+        if (t.op == Opcode::Br) {
+            succ[bb.id].push_back(t.b0);
+        } else if (t.op == Opcode::CondBr) {
+            succ[bb.id].push_back(t.b0);
+            succ[bb.id].push_back(t.b1);
+        }
+    }
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (size_t b = nb; b-- > 0;) {
+            const BasicBlock &bb = f.blocks[b];
+            std::vector<bool> out(nv, false);
+            for (uint32_t s : succ[b]) {
+                for (size_t v = 0; v < nv; ++v) {
+                    if (liveIn_[s][v])
+                        out[v] = true;
+                }
+            }
+            std::vector<bool> in = out;
+            for (size_t i = bb.instrs.size(); i-- > 0;) {
+                const Instr &ins = bb.instrs[i];
+                if (ins.hasDst())
+                    in[ins.dst] = false;
+                forEachUse(ins, [&](uint32_t v) { in[v] = true; });
+            }
+            if (in != liveIn_[b] || out != liveOut_[b]) {
+                liveIn_[b] = std::move(in);
+                liveOut_[b] = std::move(out);
+                changed = true;
+            }
+        }
+    }
+}
+
+std::vector<std::vector<bool>>
+Liveness::liveAfter(uint32_t block) const
+{
+    const BasicBlock &bb = func_.blocks.at(block);
+    size_t n = bb.instrs.size();
+    std::vector<std::vector<bool>> after(n, liveOut_.at(block));
+    std::vector<bool> cur = liveOut_.at(block);
+    for (size_t i = n; i-- > 0;) {
+        after[i] = cur;
+        const Instr &ins = bb.instrs[i];
+        if (ins.hasDst())
+            cur[ins.dst] = false;
+        forEachUse(ins, [&](uint32_t v) { cur[v] = true; });
+    }
+    return after;
+}
+
+} // namespace stos::analysis

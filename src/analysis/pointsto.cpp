@@ -1,0 +1,309 @@
+/**
+ * @file
+ * Andersen-style points-to analysis implementation.
+ */
+#include "analysis/pointsto.h"
+
+#include "support/util.h"
+
+namespace stos::analysis {
+
+using namespace stos::ir;
+
+PointsTo::PointsTo(const Module &m) : mod_(m)
+{
+    build();
+}
+
+uint32_t
+PointsTo::vregKey(uint32_t fn, uint32_t vreg) const
+{
+    return funcVregBase_.at(fn) + vreg;
+}
+
+uint32_t
+PointsTo::memKey(const MemObj &obj) const
+{
+    switch (obj.kind) {
+      case MemObj::Universal:
+        return objKeyBase_.at(mod_.funcs().size());
+      case MemObj::GlobalObj:
+        return objKeyBase_.at(mod_.funcs().size()) + 1 + obj.index;
+      case MemObj::LocalObj:
+        return objKeyBase_.at(obj.func) + obj.index;
+    }
+    return 0;
+}
+
+bool
+PointsTo::hasUniversal(const PtsSet &s)
+{
+    return s.count(MemObj::universal()) > 0;
+}
+
+namespace {
+
+/** Does this type contain a pointer that memory analysis must track? */
+bool
+typeHoldsPointer(const TypeTable &tt, TypeId t)
+{
+    const Type &ty = tt.get(t);
+    switch (ty.kind) {
+      case TypeKind::Ptr:
+        return true;
+      case TypeKind::Array:
+        return typeHoldsPointer(tt, ty.elem);
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+void
+PointsTo::build()
+{
+    const auto &funcs = mod_.funcs();
+    // Assign key ranges: vregs per function, then locals per function,
+    // then [universal][globals].
+    uint32_t next = 0;
+    funcVregBase_.resize(funcs.size());
+    objKeyBase_.resize(funcs.size() + 1);
+    for (const auto &f : funcs) {
+        funcVregBase_[f.id] = next;
+        next += static_cast<uint32_t>(f.vregs.size());
+    }
+    for (const auto &f : funcs) {
+        objKeyBase_[f.id] = next;
+        next += static_cast<uint32_t>(f.locals.size());
+    }
+    objKeyBase_[funcs.size()] = next;
+    next += 1 + static_cast<uint32_t>(mod_.globals().size());
+    numKeys_ = next;
+
+    pts_.assign(numKeys_, {});
+    succ_.assign(numKeys_, {});
+
+    struct DerefCons { uint32_t ptrKey; uint32_t valKey; bool isLoad; };
+    std::vector<DerefCons> derefs;
+
+    const TypeTable &tt = mod_.types();
+    uint32_t universalKey = memKey(MemObj::universal());
+    pts_[universalKey].insert(MemObj::universal());
+
+    for (const auto &f : funcs) {
+        if (f.dead)
+            continue;
+        auto vkey = [&](uint32_t v) { return vregKey(f.id, v); };
+        for (const auto &bb : f.blocks) {
+            for (const auto &in : bb.instrs) {
+                switch (in.op) {
+                  case Opcode::AddrGlobal:
+                    pts_[vkey(in.dst)].insert(
+                        MemObj::global(in.args[0].index));
+                    break;
+                  case Opcode::AddrLocal:
+                    pts_[vkey(in.dst)].insert(MemObj::local(f.id, in.auxA));
+                    break;
+                  case Opcode::Mov:
+                  case Opcode::Gep:
+                  case Opcode::PtrAdd:
+                  case Opcode::Cast: {
+                    if (!tt.isPtr(in.type))
+                        break;
+                    const Operand &src = in.args[0];
+                    if (src.isVReg()) {
+                        if (tt.isPtr(f.vregs[src.index].type) ||
+                            in.op != Opcode::Cast) {
+                            succ_[vkey(src.index)].push_back(vkey(in.dst));
+                        } else {
+                            // int -> pointer: unknown target.
+                            pts_[vkey(in.dst)].insert(MemObj::universal());
+                        }
+                    } else if (src.isImm() && src.imm != 0) {
+                        pts_[vkey(in.dst)].insert(MemObj::universal());
+                    }
+                    break;
+                  }
+                  case Opcode::ConstI:
+                    if (tt.isPtr(in.type) && in.args[0].imm != 0)
+                        pts_[vkey(in.dst)].insert(MemObj::universal());
+                    break;
+                  case Opcode::Load:
+                    if (tt.isPtr(in.type) && in.args[0].isVReg()) {
+                        derefs.push_back(
+                            {vkey(in.args[0].index), vkey(in.dst), true});
+                    }
+                    break;
+                  case Opcode::Store: {
+                    if (!tt.isPtr(in.type))
+                        break;
+                    if (in.args[0].isVReg() && in.args[1].isVReg()) {
+                        derefs.push_back({vkey(in.args[0].index),
+                                          vkey(in.args[1].index), false});
+                    }
+                    break;
+                  }
+                  case Opcode::Call: {
+                    const Function &callee = mod_.funcAt(in.callee);
+                    for (size_t i = 0; i < in.args.size() &&
+                                       i < callee.params.size();
+                         ++i) {
+                        if (in.args[i].isVReg() &&
+                            tt.isPtr(f.vregs[in.args[i].index].type)) {
+                            succ_[vkey(in.args[i].index)].push_back(
+                                vregKey(callee.id, callee.params[i]));
+                        }
+                    }
+                    if (in.hasDst() && tt.isPtr(in.type)) {
+                        // Returns flow back: handled below via ret scan.
+                    }
+                    break;
+                  }
+                  default:
+                    break;
+                }
+            }
+        }
+    }
+    // Return-value flow: for each call with a pointer dst, add edges
+    // from every Ret operand of the callee.
+    for (const auto &f : funcs) {
+        if (f.dead)
+            continue;
+        for (const auto &bb : f.blocks) {
+            for (const auto &in : bb.instrs) {
+                if (in.op != Opcode::Call || !in.hasDst() ||
+                    !tt.isPtr(in.type)) {
+                    continue;
+                }
+                const Function &callee = mod_.funcAt(in.callee);
+                for (const auto &cbb : callee.blocks) {
+                    for (const auto &cin : cbb.instrs) {
+                        if (cin.op == Opcode::Ret && !cin.args.empty() &&
+                            cin.args[0].isVReg()) {
+                            succ_[vregKey(callee.id, cin.args[0].index)]
+                                .push_back(vregKey(f.id, in.dst));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Fixpoint: propagate along inclusion edges and expand deref
+    // constraints into edges as pointer sets grow.
+    std::set<std::pair<uint32_t, uint32_t>> edgeSeen;
+    for (uint32_t k = 0; k < numKeys_; ++k) {
+        for (uint32_t s : succ_[k])
+            edgeSeen.insert({k, s});
+    }
+    bool changed = true;
+    int iterations = 0;
+    while (changed && iterations < 1000) {
+        changed = false;
+        ++iterations;
+        for (uint32_t k = 0; k < numKeys_; ++k) {
+            for (uint32_t s : succ_[k]) {
+                size_t before = pts_[s].size();
+                pts_[s].insert(pts_[k].begin(), pts_[k].end());
+                if (pts_[s].size() != before)
+                    changed = true;
+            }
+        }
+        for (const auto &d : derefs) {
+            for (const MemObj &obj : pts_[d.ptrKey]) {
+                uint32_t mk = memKey(obj);
+                uint32_t from = d.isLoad ? mk : d.valKey;
+                uint32_t to = d.isLoad ? d.valKey : mk;
+                if (edgeSeen.insert({from, to}).second) {
+                    succ_[from].push_back(to);
+                    changed = true;
+                }
+            }
+        }
+    }
+    if (iterations >= 1000)
+        panic("points-to analysis failed to converge");
+}
+
+const PtsSet &
+PointsTo::vregPts(uint32_t fn, uint32_t vreg) const
+{
+    return pts_.at(vregKey(fn, vreg));
+}
+
+const PtsSet &
+PointsTo::memPts(const MemObj &obj) const
+{
+    return pts_.at(memKey(obj));
+}
+
+bool
+PointsTo::mayAlias(uint32_t fnA, uint32_t vregA, uint32_t fnB,
+                   uint32_t vregB) const
+{
+    const PtsSet &a = vregPts(fnA, vregA);
+    const PtsSet &b = vregPts(fnB, vregB);
+    if (hasUniversal(a) || hasUniversal(b))
+        return true;
+    for (const auto &o : a) {
+        if (b.count(o))
+            return true;
+    }
+    return false;
+}
+
+std::optional<MemObj>
+PointsTo::resolveExact(uint32_t fn, uint32_t vreg) const
+{
+    const Function &f = mod_.funcAt(fn);
+    // Count definitions of each vreg once per query function (cheap
+    // relative to module sizes here).
+    std::vector<const Instr *> def(f.vregs.size(), nullptr);
+    std::vector<uint8_t> defCount(f.vregs.size(), 0);
+    for (const auto &bb : f.blocks) {
+        for (const auto &in : bb.instrs) {
+            if (in.hasDst() && in.dst < f.vregs.size()) {
+                if (defCount[in.dst] < 2)
+                    ++defCount[in.dst];
+                def[in.dst] = &in;
+            }
+        }
+    }
+    uint32_t cur = vreg;
+    for (int depth = 0; depth < 64; ++depth) {
+        if (cur >= f.vregs.size() || defCount[cur] != 1)
+            return std::nullopt;
+        const Instr *in = def[cur];
+        switch (in->op) {
+          case Opcode::AddrGlobal:
+            return MemObj::global(in->args[0].index);
+          case Opcode::AddrLocal:
+            return MemObj::local(fn, in->auxA);
+          case Opcode::Mov:
+          case Opcode::Cast:
+          case Opcode::Gep:
+          case Opcode::PtrAdd:
+            if (!in->args.empty() && in->args[0].isVReg()) {
+                cur = in->args[0].index;
+                continue;
+            }
+            return std::nullopt;
+          default:
+            return std::nullopt;
+        }
+    }
+    return std::nullopt;
+}
+
+PtsSet
+PointsTo::accessTargets(uint32_t fn, uint32_t vreg) const
+{
+    PtsSet s = vregPts(fn, vreg);
+    if (auto exact = resolveExact(fn, vreg); exact && s.empty())
+        s.insert(*exact);
+    return s;
+}
+
+} // namespace stos::analysis

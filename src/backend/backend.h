@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Backend driver ("run gcc" in Figure 1): GCC-style late
+ * optimization, instruction selection (including fat-pointer and
+ * dynamic-check lowering), link-time garbage collection, and data
+ * layout.
+ */
+#ifndef STOS_BACKEND_BACKEND_H
+#define STOS_BACKEND_BACKEND_H
+
+#include "backend/minstr.h"
+#include "backend/target.h"
+#include "ir/module.h"
+
+namespace stos::backend {
+
+/**
+ * The deliberately *weak* late optimizer modelling what GCC adds on
+ * top of the toolchain (paper §3.1: it removes the "easy" checks).
+ */
+struct GccOptions {
+    bool optimize = true;       ///< block-local folding + weak DCE
+    bool lateInline = false;    ///< let "GCC" do the inlining instead
+    uint32_t inlineBudget = 48; ///< same budget as the early inliner
+};
+
+struct GccReport {
+    uint32_t checksRemoved = 0;
+    uint32_t instrsRemoved = 0;
+    uint32_t constsFolded = 0;
+    uint32_t sitesInlined = 0;
+};
+
+/** Run the GCC-style optimizations in place. */
+GccReport runGccStyleOpts(ir::Module &m, const GccOptions &opts);
+
+struct BackendOptions {
+    GccOptions gcc;
+};
+
+/**
+ * Compile a module to a linked firmware image. The module is modified
+ * (late optimization, linker GC); callers that need the IR afterwards
+ * should pass a clone.
+ */
+MProgram compileToTarget(ir::Module &m, const TargetInfo &target,
+                         const BackendOptions &opts = {});
+
+} // namespace stos::backend
+
+#endif

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * The GCC-model late optimizer. Intentionally weaker than cXprop:
+ * block-local constant folding only (no intervals, no interprocedural
+ * facts), a single-pass DCE that does not touch memory operations
+ * ("the DCE pass in GCC is not very strong", §2.1), easy-check
+ * elimination (redundant and provably-non-null checks), and an
+ * optional late inliner that is not followed by re-optimization.
+ */
+#include "backend/backend.h"
+
+#include <map>
+
+#include "analysis/liveness.h"
+#include "opt/inliner.h"
+#include "opt/passes.h"
+#include "support/util.h"
+
+namespace stos::backend {
+
+using namespace stos::ir;
+
+namespace {
+
+/** Single-definition chase to an Addr root (for easy null checks). */
+bool
+rootIsAddr(const Function &f, uint32_t vreg)
+{
+    std::vector<const Instr *> def(f.vregs.size(), nullptr);
+    std::vector<uint8_t> count(f.vregs.size(), 0);
+    for (const auto &bb : f.blocks) {
+        for (const auto &in : bb.instrs) {
+            if (in.hasDst()) {
+                if (count[in.dst] < 2)
+                    ++count[in.dst];
+                def[in.dst] = &in;
+            }
+        }
+    }
+    uint32_t cur = vreg;
+    for (int d = 0; d < 32; ++d) {
+        if (cur >= f.vregs.size() || count[cur] != 1 || !def[cur])
+            return false;
+        const Instr *in = def[cur];
+        switch (in->op) {
+          case Opcode::AddrGlobal:
+          case Opcode::AddrLocal:
+            return true;
+          case Opcode::Gep:
+          case Opcode::Mov:
+          case Opcode::Cast:
+            if (!in->args.empty() && in->args[0].isVReg()) {
+                cur = in->args[0].index;
+                continue;
+            }
+            return false;
+          default:
+            return false;
+        }
+    }
+    return false;
+}
+
+uint32_t
+localConstFold(Module &m, Function &f, GccReport &rep)
+{
+    uint32_t changed = 0;
+    const TypeTable &tt = m.types();
+    for (auto &bb : f.blocks) {
+        std::map<uint32_t, int64_t> consts;
+        for (auto &in : bb.instrs) {
+            auto constOf = [&](const Operand &o) -> std::optional<int64_t> {
+                if (o.isImm())
+                    return o.imm;
+                if (o.isVReg()) {
+                    auto it = consts.find(o.index);
+                    if (it != consts.end())
+                        return it->second;
+                }
+                return std::nullopt;
+            };
+            if (in.op == Opcode::Bin && tt.isScalarInt(in.type)) {
+                auto a = constOf(in.args[0]);
+                auto b = constOf(in.args[1]);
+                if (a && b) {
+                    // Reuse the width-exact folding in the interpreter
+                    // semantics via direct computation.
+                    int64_t r = 0;
+                    bool ok = true;
+                    switch (in.bop) {
+                      case BinOp::Add: r = *a + *b; break;
+                      case BinOp::Sub: r = *a - *b; break;
+                      case BinOp::Mul: r = *a * *b; break;
+                      case BinOp::And: r = *a & *b; break;
+                      case BinOp::Or: r = *a | *b; break;
+                      case BinOp::Xor: r = *a ^ *b; break;
+                      case BinOp::Shl: r = *a << (*b & 63); break;
+                      case BinOp::Eq: r = (*a == *b); break;
+                      case BinOp::Ne: r = (*a != *b); break;
+                      default: ok = false; break;
+                    }
+                    if (ok) {
+                        in.op = Opcode::ConstI;
+                        in.args = {Operand::immInt(r)};
+                        ++rep.constsFolded;
+                        ++changed;
+                    }
+                }
+            }
+            if (in.op == Opcode::ConstI && in.hasDst())
+                consts[in.dst] = in.args[0].imm;
+            else if (in.hasDst())
+                consts.erase(in.dst);
+            if (in.op == Opcode::CondBr) {
+                auto c = constOf(in.args[0]);
+                if (c) {
+                    in.op = Opcode::Br;
+                    in.b0 = *c ? in.b0 : in.b1;
+                    in.b1 = kNoBlock;
+                    in.args.clear();
+                    ++changed;
+                }
+            }
+        }
+    }
+    return changed;
+}
+
+/** Weak DCE: one pass, register-only ops; memory ops are kept. */
+uint32_t
+weakDce(Module &m, Function &f)
+{
+    analysis::Liveness live(m, f);
+    uint32_t removed = 0;
+    for (auto &bb : f.blocks) {
+        auto after = live.liveAfter(bb.id);
+        std::vector<Instr> out;
+        for (size_t i = 0; i < bb.instrs.size(); ++i) {
+            Instr &in = bb.instrs[i];
+            bool pure = in.op == Opcode::ConstI || in.op == Opcode::Mov ||
+                        in.op == Opcode::Bin || in.op == Opcode::Un ||
+                        in.op == Opcode::Cast;
+            if (pure && in.hasDst() && !after[i][in.dst]) {
+                ++removed;
+                continue;
+            }
+            out.push_back(std::move(in));
+        }
+        bb.instrs = std::move(out);
+    }
+    return removed;
+}
+
+uint32_t
+easyCheckElim(Module &m, Function &f, GccReport &rep)
+{
+    (void)m;
+    uint32_t removed = 0;
+    for (auto &bb : f.blocks) {
+        std::vector<std::pair<Opcode, uint32_t>> done;
+        std::vector<Instr> out;
+        for (auto &in : bb.instrs) {
+            if (in.isCheck() && in.args[0].isVReg()) {
+                // GCC's power here is the "easy" eliminations only:
+                // same-block redundant checks, plus null checks whose
+                // operand is visibly a variable's address (and even
+                // that only for the null kind — bounds need the range
+                // reasoning GCC doesn't have).
+                bool dup = false;
+                for (const auto &[op, v] : done) {
+                    if (op == in.op && v == in.args[0].index)
+                        dup = true;
+                }
+                bool easyNull = in.op == Opcode::ChkNull &&
+                                rootIsAddr(f, in.args[0].index);
+                if (dup || easyNull) {
+                    ++removed;
+                    ++rep.checksRemoved;
+                    continue;
+                }
+                done.push_back({in.op, in.args[0].index});
+            }
+            if (in.hasDst()) {
+                done.erase(std::remove_if(done.begin(), done.end(),
+                                          [&](const auto &p) {
+                                              return p.second == in.dst;
+                                          }),
+                           done.end());
+            }
+            out.push_back(std::move(in));
+        }
+        bb.instrs = std::move(out);
+    }
+    return removed;
+}
+
+} // namespace
+
+GccReport
+runGccStyleOpts(Module &m, const GccOptions &opts)
+{
+    GccReport rep;
+    if (opts.lateInline) {
+        opt::InlineOptions io;
+        io.sizeBudget = opts.inlineBudget;
+        io.maxRounds = 2;
+        rep.sitesInlined = opt::inlineFunctions(m, io);
+    }
+    if (!opts.optimize)
+        return rep;
+    for (auto &f : m.funcs()) {
+        if (f.dead)
+            continue;
+        localConstFold(m, f, rep);
+        easyCheckElim(m, f, rep);
+        rep.instrsRemoved += weakDce(m, f);
+        opt::simplifyCfg(f);
+    }
+    return rep;
+}
+
+} // namespace stos::backend

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Cost model and size accounting for machine programs.
+ */
+#include "backend/minstr.h"
+
+namespace stos::backend {
+
+const MProgram::DataItem *
+MProgram::findData(uint32_t globalId) const
+{
+    for (const auto &d : data) {
+        if (d.globalId == globalId)
+            return &d;
+    }
+    return nullptr;
+}
+
+namespace {
+
+/** How many native registers an operation of width w touches. */
+uint32_t
+widthFactor(const TargetInfo &t, uint8_t w)
+{
+    uint32_t words = (w + t.regBits - 1) / t.regBits;
+    return words == 0 ? 1 : words;
+}
+
+} // namespace
+
+uint32_t
+MProgram::instrBytes(const MInstr &in) const
+{
+    const TargetInfo &t = target;
+    uint32_t k = widthFactor(t, in.w);
+    switch (in.op) {
+      case MOp::Ldi: return 2 * k;
+      case MOp::Mov: return 2 * k;
+      case MOp::Add: case MOp::Sub:
+      case MOp::And: case MOp::Or: case MOp::Xor:
+      case MOp::AddI: case MOp::AndI:
+      case MOp::Neg: case MOp::Not: case MOp::BNot:
+      case MOp::Sext:
+        return 2 * k;
+      case MOp::Shl: case MOp::ShrU: case MOp::ShrS:
+        return 2 * k;
+      case MOp::SetC:
+        return 2 * k + 2;
+      case MOp::SetArg: case MOp::GetRet: case MOp::SetRet:
+        return 2 * k;
+      case MOp::Mul:
+        return t.regBits >= 16 ? 2 * k : 2 + 2 * k;
+      case MOp::DivU: case MOp::DivS: case MOp::RemU: case MOp::RemS:
+        // Software routines on both parts: call-sized.
+        return 4;
+      case MOp::CmpBr:
+        return 2 * k + 2;
+      case MOp::Jmp:
+        return t.regBits >= 16 ? 2 : 4;
+      case MOp::Ld:
+        return 2 * k + (in.romData ? t.romLoadSizePenalty : 0);
+      case MOp::St:
+        return 2 * k;
+      case MOp::Lea:
+        return 4;
+      case MOp::Leal:
+        return 4;
+      case MOp::Call:
+        return 4;
+      case MOp::CallR:
+        return t.regBits >= 16 ? 2 : 4;
+      case MOp::Ret: case MOp::Reti:
+        return 2;
+      case MOp::Enter: case MOp::Leave:
+        return in.imm > 0 ? 6 : 2;
+      case MOp::Sei: case MOp::Cli:
+      case MOp::GetIf: case MOp::SetIf:
+        return 2;
+      case MOp::In: case MOp::Out:
+        return 2;
+      case MOp::Sleep:
+        return 2;
+      case MOp::Nop:
+        return 2;
+    }
+    return 2;
+}
+
+uint32_t
+MProgram::instrCycles(const MInstr &in) const
+{
+    const TargetInfo &t = target;
+    uint32_t k = widthFactor(t, in.w);
+    switch (in.op) {
+      case MOp::Ldi: case MOp::Mov:
+      case MOp::Add: case MOp::Sub:
+      case MOp::And: case MOp::Or: case MOp::Xor:
+      case MOp::AddI: case MOp::AndI:
+      case MOp::Neg: case MOp::Not: case MOp::BNot:
+      case MOp::Sext:
+      case MOp::Shl: case MOp::ShrU: case MOp::ShrS:
+      case MOp::SetArg: case MOp::GetRet: case MOp::SetRet:
+        return k;
+      case MOp::SetC:
+        return k + 1;
+      case MOp::Mul:
+        return 2 * k;
+      case MOp::DivU: case MOp::DivS: case MOp::RemU: case MOp::RemS:
+        return 16 * k;  // software division
+      case MOp::CmpBr:
+        return k + 1;
+      case MOp::Jmp:
+        return 2;
+      case MOp::Ld:
+        return 2 * k + (in.romData ? t.romLoadPenalty : 0);
+      case MOp::St:
+        return 2 * k;
+      case MOp::Lea: case MOp::Leal:
+        return 2;
+      case MOp::Call:
+        return 4;
+      case MOp::CallR:
+        return 5;
+      case MOp::Ret:
+        return 4;
+      case MOp::Reti:
+        return 4;
+      case MOp::Enter: case MOp::Leave:
+        return in.imm > 0 ? 4 : 1;
+      case MOp::Sei: case MOp::Cli:
+      case MOp::GetIf: case MOp::SetIf:
+        return 1;
+      case MOp::In: case MOp::Out:
+        return 1;
+      case MOp::Sleep:
+        return 1;
+      case MOp::Nop:
+        return 1;
+    }
+    return 1;
+}
+
+uint32_t
+MProgram::funcBytes(const MFunc &f) const
+{
+    uint32_t n = 0;
+    for (const auto &bb : f.blocks) {
+        for (const auto &in : bb.instrs)
+            n += instrBytes(in);
+    }
+    return n;
+}
+
+uint32_t
+MProgram::codeBytes() const
+{
+    uint32_t n = 0;
+    for (const auto &f : funcs)
+        n += funcBytes(f);
+    // Interrupt vector table and C startup stub.
+    n += static_cast<uint32_t>(vectorTable.size()) * 4 + 24;
+    return n;
+}
+
+uint32_t
+MProgram::ramDataBytes() const
+{
+    uint32_t n = 0;
+    for (const auto &d : data) {
+        if (!d.rom)
+            n += d.size;
+    }
+    return n;
+}
+
+uint32_t
+MProgram::romDataBytes() const
+{
+    uint32_t n = 0;
+    for (const auto &d : data) {
+        if (d.rom)
+            n += d.size;
+    }
+    return n;
+}
+
+uint32_t
+MProgram::survivingCheckTags() const
+{
+    uint32_t n = 0;
+    for (const auto &d : data) {
+        if (d.isCheckTag)
+            ++n;
+    }
+    return n;
+}
+
+uint32_t
+MProgram::survivingCheckBranches() const
+{
+    uint32_t n = 0;
+    for (const auto &f : funcs) {
+        for (const auto &bb : f.blocks) {
+            for (const auto &in : bb.instrs) {
+                if (in.isCheck && in.op == MOp::CmpBr)
+                    ++n;
+            }
+        }
+    }
+    return n;
+}
+
+} // namespace stos::backend

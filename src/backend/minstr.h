@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Machine-level program representation. A register-based ISA with
+ * width-annotated operations; the target's cost model converts each
+ * instruction into bytes (code size) and cycles (simulation time).
+ * The simulator executes this representation directly.
+ */
+#ifndef STOS_BACKEND_MINSTR_H
+#define STOS_BACKEND_MINSTR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "backend/target.h"
+
+namespace stos::backend {
+
+enum class MOp : uint8_t {
+    Ldi,    ///< rd = imm
+    Mov,    ///< rd = ra
+    Add, Sub, Mul, DivU, DivS, RemU, RemS,
+    And, Or, Xor, Shl, ShrU, ShrS,
+    AddI,   ///< rd = ra + imm
+    AndI,   ///< rd = ra & imm
+    Neg, Not, BNot,
+    Sext,   ///< rd = sign-extend ra from imm bits to w bits
+    SetC,   ///< rd = (ra <cond> rb) ? 1 : 0
+    CmpBr,  ///< if (ra <cond> rb) goto target
+    Jmp,
+    Ld,     ///< rd = mem[ra + imm] (width w)
+    St,     ///< mem[ra + imm] = rb
+    Lea,    ///< rd = address of global `gid` + imm
+    Leal,   ///< rd = frame pointer + imm
+    Call,   ///< call function `fn`
+    CallR,  ///< call through register ra (fnptr id)
+    SetArg, ///< outgoing argument slot imm = ra
+    GetRet, ///< rd = callee return value
+    SetRet, ///< return value = ra
+    Ret,
+    Reti,
+    Enter,  ///< prologue: allocate imm frame bytes
+    Leave,  ///< epilogue
+    Sei, Cli,
+    GetIf,  ///< rd = interrupt-enable flag
+    SetIf,  ///< flag = ra
+    In,     ///< rd = io[port]
+    Out,    ///< io[port] = ra
+    Sleep,
+    Nop,
+};
+
+enum class MCond : uint8_t {
+    Eq, Ne, LtU, LtS, LeU, LeS, GtU, GtS, GeU, GeS,
+};
+
+struct MInstr {
+    MOp op = MOp::Nop;
+    uint8_t w = 16;        ///< operation width in bits (8/16/32)
+    MCond cond = MCond::Eq;
+    uint32_t rd = 0, ra = 0, rb = 0;
+    int64_t imm = 0;
+    uint32_t target = 0;   ///< block index for branches
+    uint32_t fn = 0;       ///< callee for Call
+    uint32_t gid = 0;      ///< global for Lea
+    uint32_t port = 0;     ///< io address for In/Out
+    bool romData = false;  ///< Ld from flash-resident data
+    bool isCheck = false;  ///< lowered from a dynamic safety check
+    uint32_t flid = 0;     ///< failure id carried to the stub
+};
+
+struct MBlock {
+    std::vector<MInstr> instrs;
+};
+
+struct MFunc {
+    uint32_t id = 0;
+    std::string name;
+    std::vector<MBlock> blocks;
+    uint32_t numRegs = 0;
+    uint32_t frameBytes = 0;
+    int interruptVector = -1;
+    bool isTask = false;
+};
+
+/** One linked firmware image plus its layout metadata. */
+struct MProgram {
+    TargetInfo target;
+    std::vector<MFunc> funcs;          ///< live functions only
+    uint32_t entry = 0;                ///< index into funcs
+    std::vector<int> vectorTable;      ///< vector -> funcs index (-1 none)
+
+    /** Data layout (RAM base 0x0100, ROM window above). */
+    struct DataItem {
+        uint32_t globalId;             ///< id in the source module
+        std::string name;
+        uint32_t addr = 0;
+        uint32_t size = 0;
+        bool rom = false;
+        std::vector<uint8_t> init;
+        bool isCheckTag = false;
+        bool isErrorString = false;
+    };
+    std::vector<DataItem> data;
+
+    uint32_t ramBase = 0x0100;
+    uint32_t ramDataEnd = 0x0100;
+    uint32_t romDataBase = 0x8000;
+    uint32_t romDataEnd = 0x8000;
+
+    /** Find layout info for a module global id; null if dropped. */
+    const DataItem *findData(uint32_t globalId) const;
+
+    //--- size accounting -------------------------------------------
+    uint32_t instrBytes(const MInstr &in) const;
+    uint32_t instrCycles(const MInstr &in) const;
+    uint32_t funcBytes(const MFunc &f) const;
+    uint32_t codeBytes() const;     ///< all code incl. vectors/startup
+    uint32_t ramDataBytes() const;  ///< static data in RAM
+    uint32_t romDataBytes() const;  ///< flash-resident data
+    uint32_t flashBytes() const { return codeBytes() + romDataBytes(); }
+
+    /** Surviving unique check-tag strings (Figure 2 methodology). */
+    uint32_t survivingCheckTags() const;
+    /** Surviving dynamic-check branch instructions. */
+    uint32_t survivingCheckBranches() const;
+};
+
+} // namespace stos::backend
+
+#endif

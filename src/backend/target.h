@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Target descriptions for the two platforms the paper evaluates:
+ * Mica2 (8-bit AVR, 4KB RAM / 128KB flash) and TelosB (16-bit MSP430,
+ * 10KB RAM / 48KB flash). The backend emits one machine instruction
+ * stream; the target supplies per-instruction byte/cycle costs, which
+ * is where the 8-bit-vs-16-bit register width shows up (an AVR needs
+ * two instructions for a 16-bit ALU op).
+ */
+#ifndef STOS_BACKEND_TARGET_H
+#define STOS_BACKEND_TARGET_H
+
+#include <cstdint>
+#include <string>
+
+namespace stos::backend {
+
+struct TargetInfo {
+    std::string name;
+    uint32_t regBits = 8;        ///< native register width
+    uint32_t flashBytes = 0;
+    uint32_t ramBytes = 0;
+    uint32_t clockHz = 7'372'800;
+    /** Extra cycles for a load from flash-resident (ROM) data. */
+    uint32_t romLoadPenalty = 1;
+    /** Extra bytes for a flash-resident load (the AVR LPM dance). */
+    uint32_t romLoadSizePenalty = 2;
+
+    static TargetInfo mica2();
+    static TargetInfo telosb();
+};
+
+inline TargetInfo
+TargetInfo::mica2()
+{
+    TargetInfo t;
+    t.name = "mica2";
+    t.regBits = 8;
+    t.flashBytes = 128 * 1024;
+    t.ramBytes = 4 * 1024;
+    t.clockHz = 7'372'800;
+    t.romLoadPenalty = 2;
+    t.romLoadSizePenalty = 2;
+    return t;
+}
+
+inline TargetInfo
+TargetInfo::telosb()
+{
+    TargetInfo t;
+    t.name = "telosb";
+    t.regBits = 16;
+    t.flashBytes = 48 * 1024;
+    t.ramBytes = 10 * 1024;
+    t.clockHz = 4'000'000;
+    t.romLoadPenalty = 0;   // unified address space
+    t.romLoadSizePenalty = 0;
+    return t;
+}
+
+} // namespace stos::backend
+
+#endif

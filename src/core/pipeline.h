@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The Safe TinyOS pipeline (paper Figure 1): nesC-analogue frontend →
+ * hardware-access refactoring → CCured-analogue safety transformer →
+ * custom inliner → cXprop → GCC-analogue backend. Provides the named
+ * build configurations that the evaluation figures compare, and the
+ * sensor-network simulation contexts used for duty-cycle numbers.
+ */
+#ifndef STOS_CORE_PIPELINE_H
+#define STOS_CORE_PIPELINE_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "backend/backend.h"
+#include "ir/module.h"
+#include "opt/cxprop.h"
+#include "safety/ccured.h"
+#include "sim/machine.h"
+#include "tinyos/tinyos.h"
+
+namespace stos::core {
+
+/** The configurations evaluated in the paper's Figure 3. */
+enum class ConfigId {
+    Baseline,          ///< unsafe, unoptimized (the 100% reference)
+    SafeVerboseRam,    ///< C1: safe, verbose error strings in SRAM
+    SafeVerboseRom,    ///< C2: strings moved to flash
+    SafeTerse,         ///< C3: terse error messages
+    SafeFlid,          ///< C4: FLID-compressed messages
+    SafeFlidCxprop,    ///< C5: C4 + cXprop (no inlining)
+    SafeFlidInlineCxprop,  ///< C6: C4 + inliner + cXprop
+    UnsafeInlineCxprop,    ///< C7: unsafe + inliner + cXprop
+};
+
+const char *configName(ConfigId id);
+const std::vector<ConfigId> &figure3Configs();
+
+/** Check-elimination strategies compared in Figure 2. */
+enum class CheckStrategy {
+    GccOnly,              ///< (1) GCC by itself
+    CcuredOpt,            ///< (2) CCured optimizer, then GCC
+    CcuredOptCxprop,      ///< (3) + cXprop without inlining
+    CcuredOptInlineCxprop ///< (4) + inlining + cXprop
+};
+
+const char *strategyName(CheckStrategy s);
+
+struct PipelineConfig {
+    bool safe = true;
+    safety::SafetyConfig safety;
+    bool runCxprop = false;
+    opt::CxpropOptions cxprop;
+    backend::BackendOptions backend;
+    std::string platform = "Mica2";
+};
+
+/** Build a PipelineConfig for a named Figure-3 configuration. */
+PipelineConfig configFor(ConfigId id, const std::string &platform);
+/** Build a PipelineConfig for a Figure-2 strategy (tagged checks). */
+PipelineConfig configForStrategy(CheckStrategy s,
+                                 const std::string &platform);
+
+struct BuildResult {
+    ir::Module module;            ///< final optimized IR
+    backend::MProgram image;      ///< linked firmware
+    safety::SafetyReport safetyReport;
+    opt::CxpropReport cxpropReport;
+    uint32_t codeBytes = 0;
+    uint32_t ramBytes = 0;
+    uint32_t romDataBytes = 0;
+    uint32_t survivingChecks = 0;  ///< via the tag-string methodology
+};
+
+/** Run the full pipeline on one application. */
+BuildResult buildApp(const tinyos::AppInfo &app,
+                     const PipelineConfig &cfg);
+
+/** Compile arbitrary TinyC source (library included) — for examples. */
+BuildResult buildSource(const std::string &name, const std::string &src,
+                        const PipelineConfig &cfg);
+
+/**
+ * Simulate the app in its sensor-network context (companion motes run
+ * baseline builds) for `seconds` of simulated time; returns the duty
+ * cycle of the mote under test.
+ */
+double measureDutyCycle(const tinyos::AppInfo &app,
+                        const backend::MProgram &image, double seconds);
+
+/** Default simulated duration (overridable via SAFE_TINYOS_SIM_SECONDS). */
+double simSeconds(double fallback);
+
+} // namespace stos::core
+
+#endif

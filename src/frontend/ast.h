@@ -1,0 +1,188 @@
+/**
+ * @file
+ * TinyC abstract syntax tree. The parser builds this; the lowering
+ * stage type-checks it and emits TinyCIL.
+ */
+#ifndef STOS_FRONTEND_AST_H
+#define STOS_FRONTEND_AST_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/source_loc.h"
+
+namespace stos::frontend {
+
+//---------------------------------------------------------------------
+// Type syntax
+//---------------------------------------------------------------------
+
+enum class BaseTy : uint8_t {
+    Void, Bool, I8, U8, I16, U16, I32, U32, FnPtr, Struct,
+};
+
+/** Syntactic type: base (*)* with optional array suffix at decls. */
+struct TypeSyntax {
+    BaseTy base = BaseTy::Void;
+    std::string structName;  ///< for BaseTy::Struct
+    uint32_t ptrDepth = 0;
+    SourceLoc loc;
+};
+
+//---------------------------------------------------------------------
+// Expressions
+//---------------------------------------------------------------------
+
+enum class ExprKind : uint8_t {
+    IntLit, BoolLit, NullLit, StrLit,
+    Var,         ///< identifier (variable, hwreg, or function name)
+    Unary,       ///< op: ! ~ - * &
+    Binary,      ///< arithmetic / logical / comparison
+    Assign,      ///< lhs = rhs (op == '=' or compound)
+    Cond,        ///< a ? b : c
+    Index,       ///< a[i]
+    Member,      ///< a.f (isArrow=false) or a->f (isArrow=true)
+    Call,        ///< f(args) or indirect fnptr call p()
+    Cast,        ///< (T) e
+    SizeofTy,    ///< sizeof(T)
+    IncDec,      ///< a++ / a-- (postfix)
+};
+
+enum class UnaryOp : uint8_t { LNot, BNot, Neg, Deref, AddrOf };
+
+enum class BinaryOp : uint8_t {
+    Add, Sub, Mul, Div, Rem,
+    And, Or, Xor, Shl, Shr,
+    LAnd, LOr,
+    Eq, Ne, Lt, Le, Gt, Ge,
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+    ExprKind kind;
+    SourceLoc loc;
+
+    uint64_t intVal = 0;       ///< IntLit / BoolLit
+    std::string name;          ///< Var / Member field / StrLit text
+    UnaryOp uop = UnaryOp::Neg;
+    BinaryOp bop = BinaryOp::Add;
+    bool isArrow = false;      ///< Member
+    bool isInc = false;        ///< IncDec
+    BinaryOp assignOp = BinaryOp::Add;  ///< compound assign operator
+    bool isCompound = false;   ///< Assign: compound (+=, ...)?
+    TypeSyntax castType;       ///< Cast / SizeofTy
+
+    ExprPtr a, b, c;           ///< operand slots
+    std::vector<ExprPtr> args; ///< Call arguments
+};
+
+//---------------------------------------------------------------------
+// Statements
+//---------------------------------------------------------------------
+
+enum class StmtKind : uint8_t {
+    Block, If, While, For, Return, Break, Continue,
+    ExprStmt, VarDecl, Atomic, Post, Empty,
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/** Static initializer: single constant expr or brace list. */
+struct Initializer {
+    ExprPtr value;                         ///< scalar init
+    std::vector<Initializer> list;         ///< brace list
+    std::string stringValue;               ///< string init for u8 arrays
+    bool isList = false;
+    bool isString = false;
+};
+
+struct Stmt {
+    StmtKind kind;
+    SourceLoc loc;
+
+    std::vector<StmtPtr> body;  ///< Block / Atomic contents
+    ExprPtr cond;               ///< If / While / For condition
+    StmtPtr thenS, elseS;       ///< If branches; While/For body in thenS
+    StmtPtr forInit, forStep;   ///< For clauses
+    ExprPtr expr;               ///< ExprStmt / Return value
+
+    // VarDecl
+    TypeSyntax declType;
+    std::string declName;
+    bool hasArray = false;
+    uint32_t arrayCount = 0;
+    Initializer init;
+    bool hasInit = false;
+
+    std::string postTarget;     ///< Post
+};
+
+//---------------------------------------------------------------------
+// Top-level declarations
+//---------------------------------------------------------------------
+
+struct StructDeclAst {
+    std::string name;
+    struct Field {
+        TypeSyntax type;
+        std::string name;
+        bool isArray = false;
+        uint32_t arrayCount = 0;
+    };
+    std::vector<Field> fields;
+    SourceLoc loc;
+};
+
+struct HwRegDeclAst {
+    std::string name;
+    BaseTy type = BaseTy::U8;
+    uint32_t addr = 0;
+    SourceLoc loc;
+};
+
+struct GlobalDeclAst {
+    TypeSyntax type;
+    std::string name;
+    bool isArray = false;
+    uint32_t arrayCount = 0;
+    bool norace = false;
+    bool inRom = false;
+    bool hasInit = false;
+    Initializer init;
+    SourceLoc loc;
+};
+
+struct ParamAst {
+    TypeSyntax type;
+    std::string name;
+};
+
+struct FuncDeclAst {
+    TypeSyntax retType;
+    std::string name;
+    std::vector<ParamAst> params;
+    StmtPtr body;
+    bool isTask = false;
+    std::string interruptName;  ///< empty if not a handler
+    bool inlineHint = false;
+    bool noInline = false;
+    bool isInit = false;
+    SourceLoc loc;
+};
+
+/** One parsed translation unit (the whole program may span several). */
+struct UnitAst {
+    std::vector<StructDeclAst> structs;
+    std::vector<HwRegDeclAst> hwregs;
+    std::vector<GlobalDeclAst> globals;
+    std::vector<FuncDeclAst> funcs;
+};
+
+} // namespace stos::frontend
+
+#endif

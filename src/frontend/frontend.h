@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Frontend driver: TinyC sources in, TinyCIL module out. This stage
+ * corresponds to "run nesC compiler" in the paper's toolchain
+ * (Figure 1): it produces plain whole-program intermediate code from
+ * the component-style sources.
+ */
+#ifndef STOS_FRONTEND_FRONTEND_H
+#define STOS_FRONTEND_FRONTEND_H
+
+#include <string>
+#include <vector>
+
+#include "support/diagnostics.h"
+#include "support/source_loc.h"
+#include "ir/module.h"
+
+namespace stos::frontend {
+
+struct CompileInput {
+    std::string name;    ///< buffer name for diagnostics
+    std::string source;  ///< TinyC text
+};
+
+/**
+ * Compile a whole program (several TinyC buffers merged into one
+ * module). On error, diagnostics are populated and the returned module
+ * is unusable (check diags.hasErrors()).
+ */
+ir::Module compileTinyC(const std::vector<CompileInput> &inputs,
+                        DiagnosticEngine &diags, SourceManager &sm,
+                        const std::string &moduleName = "app");
+
+} // namespace stos::frontend
+
+#endif

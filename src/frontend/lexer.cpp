@@ -1,0 +1,328 @@
+/**
+ * @file
+ * TinyC lexer implementation.
+ */
+#include "frontend/lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+#include "support/util.h"
+
+namespace stos::frontend {
+
+const char *
+tokName(Tok t)
+{
+    switch (t) {
+      case Tok::Eof: return "end of file";
+      case Tok::Ident: return "identifier";
+      case Tok::IntLit: return "integer literal";
+      case Tok::StrLit: return "string literal";
+      case Tok::CharLit: return "char literal";
+      case Tok::LParen: return "(";
+      case Tok::RParen: return ")";
+      case Tok::LBrace: return "{";
+      case Tok::RBrace: return "}";
+      case Tok::LBracket: return "[";
+      case Tok::RBracket: return "]";
+      case Tok::Semi: return ";";
+      case Tok::Comma: return ",";
+      case Tok::Dot: return ".";
+      case Tok::Arrow: return "->";
+      case Tok::At: return "@";
+      case Tok::Assign: return "=";
+      case Tok::Colon: return ":";
+      default: return "token";
+    }
+}
+
+namespace {
+
+const std::unordered_map<std::string, Tok> &
+keywordTable()
+{
+    static const std::unordered_map<std::string, Tok> kw = {
+        {"void", Tok::KwVoid}, {"bool", Tok::KwBool},
+        {"i8", Tok::KwI8}, {"u8", Tok::KwU8},
+        {"i16", Tok::KwI16}, {"u16", Tok::KwU16},
+        {"i32", Tok::KwI32}, {"u32", Tok::KwU32},
+        {"fnptr", Tok::KwFnPtr}, {"struct", Tok::KwStruct},
+        {"if", Tok::KwIf}, {"else", Tok::KwElse},
+        {"while", Tok::KwWhile}, {"for", Tok::KwFor},
+        {"return", Tok::KwReturn}, {"break", Tok::KwBreak},
+        {"continue", Tok::KwContinue}, {"atomic", Tok::KwAtomic},
+        {"task", Tok::KwTask}, {"interrupt", Tok::KwInterrupt},
+        {"norace", Tok::KwNorace}, {"hwreg", Tok::KwHwreg},
+        {"rom", Tok::KwRom}, {"sizeof", Tok::KwSizeof},
+        {"post", Tok::KwPost}, {"true", Tok::KwTrue},
+        {"false", Tok::KwFalse}, {"null", Tok::KwNull},
+        {"inline", Tok::KwInline}, {"noinline", Tok::KwNoinline},
+        {"init", Tok::KwInit},
+    };
+    return kw;
+}
+
+class Lexer {
+  public:
+    Lexer(const std::string &text, uint32_t fileId, DiagnosticEngine &diags)
+        : text_(text), file_(fileId), diags_(diags) {}
+
+    std::vector<Token>
+    run()
+    {
+        std::vector<Token> out;
+        for (;;) {
+            skipWhitespaceAndComments();
+            Token t = next();
+            out.push_back(t);
+            if (t.kind == Tok::Eof)
+                break;
+        }
+        return out;
+    }
+
+  private:
+    char peek(size_t off = 0) const
+    {
+        return pos_ + off < text_.size() ? text_[pos_ + off] : '\0';
+    }
+
+    char
+    advance()
+    {
+        char c = peek();
+        ++pos_;
+        if (c == '\n') {
+            ++line_;
+            col_ = 1;
+        } else {
+            ++col_;
+        }
+        return c;
+    }
+
+    SourceLoc here() const { return {file_, line_, col_}; }
+
+    void
+    skipWhitespaceAndComments()
+    {
+        for (;;) {
+            char c = peek();
+            if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+                advance();
+            } else if (c == '/' && peek(1) == '/') {
+                while (peek() && peek() != '\n')
+                    advance();
+            } else if (c == '/' && peek(1) == '*') {
+                SourceLoc start = here();
+                advance();
+                advance();
+                while (peek() && !(peek() == '*' && peek(1) == '/'))
+                    advance();
+                if (!peek()) {
+                    diags_.error(start, "unterminated block comment");
+                    return;
+                }
+                advance();
+                advance();
+            } else {
+                return;
+            }
+        }
+    }
+
+    Token
+    make(Tok k)
+    {
+        Token t;
+        t.kind = k;
+        t.loc = startLoc_;
+        return t;
+    }
+
+    Token
+    next()
+    {
+        startLoc_ = here();
+        char c = peek();
+        if (c == '\0')
+            return make(Tok::Eof);
+        if (isalpha(static_cast<unsigned char>(c)) || c == '_')
+            return identifier();
+        if (isdigit(static_cast<unsigned char>(c)))
+            return number();
+        if (c == '"')
+            return stringLit();
+        if (c == '\'')
+            return charLit();
+        return punct();
+    }
+
+    Token
+    identifier()
+    {
+        std::string s;
+        while (isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+            s += advance();
+        auto it = keywordTable().find(s);
+        Token t = make(it != keywordTable().end() ? it->second : Tok::Ident);
+        t.text = std::move(s);
+        return t;
+    }
+
+    Token
+    number()
+    {
+        uint64_t v = 0;
+        if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+            advance();
+            advance();
+            while (isxdigit(static_cast<unsigned char>(peek()))) {
+                char c = advance();
+                v = v * 16 +
+                    (isdigit(static_cast<unsigned char>(c))
+                         ? c - '0'
+                         : (tolower(c) - 'a' + 10));
+            }
+        } else {
+            while (isdigit(static_cast<unsigned char>(peek())))
+                v = v * 10 + (advance() - '0');
+        }
+        Token t = make(Tok::IntLit);
+        t.intVal = v;
+        return t;
+    }
+
+    char
+    unescape(char c)
+    {
+        switch (c) {
+          case 'n': return '\n';
+          case 't': return '\t';
+          case 'r': return '\r';
+          case '0': return '\0';
+          case '\\': return '\\';
+          case '\'': return '\'';
+          case '"': return '"';
+          default: return c;
+        }
+    }
+
+    Token
+    stringLit()
+    {
+        advance();  // opening quote
+        std::string s;
+        while (peek() && peek() != '"') {
+            char c = advance();
+            if (c == '\\' && peek())
+                c = unescape(advance());
+            s += c;
+        }
+        if (!peek()) {
+            diags_.error(startLoc_, "unterminated string literal");
+        } else {
+            advance();  // closing quote
+        }
+        Token t = make(Tok::StrLit);
+        t.text = std::move(s);
+        return t;
+    }
+
+    Token
+    charLit()
+    {
+        advance();  // opening quote
+        char c = advance();
+        if (c == '\\')
+            c = unescape(advance());
+        if (peek() == '\'')
+            advance();
+        else
+            diags_.error(startLoc_, "unterminated char literal");
+        Token t = make(Tok::CharLit);
+        t.intVal = static_cast<uint8_t>(c);
+        return t;
+    }
+
+    Token
+    punct()
+    {
+        char c = advance();
+        auto two = [&](char n, Tok withN, Tok without) {
+            if (peek() == n) {
+                advance();
+                return make(withN);
+            }
+            return make(without);
+        };
+        switch (c) {
+          case '(': return make(Tok::LParen);
+          case ')': return make(Tok::RParen);
+          case '{': return make(Tok::LBrace);
+          case '}': return make(Tok::RBrace);
+          case '[': return make(Tok::LBracket);
+          case ']': return make(Tok::RBracket);
+          case ';': return make(Tok::Semi);
+          case ',': return make(Tok::Comma);
+          case '.': return make(Tok::Dot);
+          case '@': return make(Tok::At);
+          case '~': return make(Tok::Tilde);
+          case '?': return make(Tok::Question);
+          case ':': return make(Tok::Colon);
+          case '+':
+            if (peek() == '+') { advance(); return make(Tok::PlusPlus); }
+            return two('=', Tok::PlusEq, Tok::Plus);
+          case '-':
+            if (peek() == '-') { advance(); return make(Tok::MinusMinus); }
+            if (peek() == '>') { advance(); return make(Tok::Arrow); }
+            return two('=', Tok::MinusEq, Tok::Minus);
+          case '*': return two('=', Tok::StarEq, Tok::Star);
+          case '/': return two('=', Tok::SlashEq, Tok::Slash);
+          case '%': return two('=', Tok::PercentEq, Tok::Percent);
+          case '^': return two('=', Tok::CaretEq, Tok::Caret);
+          case '!': return two('=', Tok::NotEq, Tok::Bang);
+          case '=': return two('=', Tok::EqEq, Tok::Assign);
+          case '&':
+            if (peek() == '&') { advance(); return make(Tok::AmpAmp); }
+            return two('=', Tok::AmpEq, Tok::Amp);
+          case '|':
+            if (peek() == '|') { advance(); return make(Tok::PipePipe); }
+            return two('=', Tok::PipeEq, Tok::Pipe);
+          case '<':
+            if (peek() == '<') {
+                advance();
+                return two('=', Tok::ShlEq, Tok::Shl);
+            }
+            return two('=', Tok::Le, Tok::Lt);
+          case '>':
+            if (peek() == '>') {
+                advance();
+                return two('=', Tok::ShrEq, Tok::Shr);
+            }
+            return two('=', Tok::Ge, Tok::Gt);
+          default:
+            diags_.error(startLoc_, strfmt("unexpected character '%c'", c));
+            return next();
+        }
+    }
+
+    const std::string &text_;
+    uint32_t file_;
+    DiagnosticEngine &diags_;
+    size_t pos_ = 0;
+    uint32_t line_ = 1;
+    uint32_t col_ = 1;
+    SourceLoc startLoc_;
+};
+
+} // namespace
+
+std::vector<Token>
+lex(const std::string &text, uint32_t fileId, DiagnosticEngine &diags)
+{
+    return Lexer(text, fileId, diags).run();
+}
+
+} // namespace stos::frontend

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * TinyC lexer.
+ */
+#ifndef STOS_FRONTEND_LEXER_H
+#define STOS_FRONTEND_LEXER_H
+
+#include <string>
+#include <vector>
+
+#include "support/diagnostics.h"
+#include "frontend/token.h"
+
+namespace stos::frontend {
+
+/**
+ * Tokenize one buffer. Errors (bad characters, unterminated strings)
+ * are reported through the diagnostic engine and skipped so parsing
+ * can continue and report more.
+ */
+std::vector<Token> lex(const std::string &text, uint32_t fileId,
+                       DiagnosticEngine &diags);
+
+} // namespace stos::frontend
+
+#endif

@@ -1,0 +1,767 @@
+/**
+ * @file
+ * TinyC parser implementation. Standard recursive descent with C
+ * operator precedence.
+ */
+#include "frontend/parser.h"
+
+#include "support/util.h"
+
+namespace stos::frontend {
+
+namespace {
+
+class Parser {
+  public:
+    Parser(std::vector<Token> toks, DiagnosticEngine &diags)
+        : toks_(std::move(toks)), diags_(diags) {}
+
+    UnitAst
+    run()
+    {
+        UnitAst unit;
+        while (!at(Tok::Eof)) {
+            size_t before = pos_;
+            parseTopLevel(unit);
+            if (pos_ == before) {
+                // Ensure forward progress even on malformed input.
+                advance();
+            }
+        }
+        return unit;
+    }
+
+  private:
+    const Token &cur() const { return toks_[pos_]; }
+    const Token &peek(size_t n = 1) const
+    {
+        size_t i = pos_ + n;
+        return toks_[i < toks_.size() ? i : toks_.size() - 1];
+    }
+    bool at(Tok k) const { return cur().kind == k; }
+
+    Token
+    advance()
+    {
+        Token t = cur();
+        if (pos_ + 1 < toks_.size())
+            ++pos_;
+        return t;
+    }
+
+    bool
+    accept(Tok k)
+    {
+        if (at(k)) {
+            advance();
+            return true;
+        }
+        return false;
+    }
+
+    Token
+    expect(Tok k, const char *what)
+    {
+        if (at(k))
+            return advance();
+        diags_.error(cur().loc, strfmt("expected %s", what));
+        return cur();
+    }
+
+    /** Skip to after next semicolon / closing brace for recovery. */
+    void
+    synchronize()
+    {
+        int depth = 0;
+        while (!at(Tok::Eof)) {
+            if (at(Tok::LBrace))
+                ++depth;
+            if (at(Tok::RBrace)) {
+                if (depth == 0) {
+                    advance();
+                    return;
+                }
+                --depth;
+            }
+            if (at(Tok::Semi) && depth == 0) {
+                advance();
+                return;
+            }
+            advance();
+        }
+    }
+
+    bool
+    atTypeStart() const
+    {
+        switch (cur().kind) {
+          case Tok::KwVoid: case Tok::KwBool: case Tok::KwI8: case Tok::KwU8:
+          case Tok::KwI16: case Tok::KwU16: case Tok::KwI32: case Tok::KwU32:
+          case Tok::KwFnPtr:
+            return true;
+          case Tok::KwStruct:
+            // "struct Name" used as a type (vs a struct definition).
+            return peek().kind == Tok::Ident &&
+                   peek(2).kind != Tok::LBrace;
+          default:
+            return false;
+        }
+    }
+
+    TypeSyntax
+    parseType()
+    {
+        TypeSyntax t;
+        t.loc = cur().loc;
+        switch (cur().kind) {
+          case Tok::KwVoid: t.base = BaseTy::Void; advance(); break;
+          case Tok::KwBool: t.base = BaseTy::Bool; advance(); break;
+          case Tok::KwI8: t.base = BaseTy::I8; advance(); break;
+          case Tok::KwU8: t.base = BaseTy::U8; advance(); break;
+          case Tok::KwI16: t.base = BaseTy::I16; advance(); break;
+          case Tok::KwU16: t.base = BaseTy::U16; advance(); break;
+          case Tok::KwI32: t.base = BaseTy::I32; advance(); break;
+          case Tok::KwU32: t.base = BaseTy::U32; advance(); break;
+          case Tok::KwFnPtr: t.base = BaseTy::FnPtr; advance(); break;
+          case Tok::KwStruct:
+            advance();
+            t.base = BaseTy::Struct;
+            t.structName = expect(Tok::Ident, "struct name").text;
+            break;
+          default:
+            diags_.error(cur().loc, "expected a type");
+            advance();
+            break;
+        }
+        while (accept(Tok::Star))
+            ++t.ptrDepth;
+        return t;
+    }
+
+    //--- top level ----------------------------------------------------
+
+    void
+    parseTopLevel(UnitAst &unit)
+    {
+        if (at(Tok::KwStruct) && peek().kind == Tok::Ident &&
+            peek(2).kind == Tok::LBrace) {
+            unit.structs.push_back(parseStructDecl());
+            return;
+        }
+        if (at(Tok::KwHwreg)) {
+            unit.hwregs.push_back(parseHwRegDecl());
+            return;
+        }
+        bool norace = false, inRom = false;
+        bool isTask = false, inlineHint = false, noInline = false;
+        bool isInit = false;
+        std::string irqName;
+        bool sawFuncAttr = false, sawVarAttr = false;
+        for (;;) {
+            if (accept(Tok::KwNorace)) { norace = true; sawVarAttr = true; }
+            else if (accept(Tok::KwRom)) { inRom = true; sawVarAttr = true; }
+            else if (accept(Tok::KwTask)) { isTask = true; sawFuncAttr = true; }
+            else if (accept(Tok::KwInline)) { inlineHint = true; sawFuncAttr = true; }
+            else if (accept(Tok::KwNoinline)) { noInline = true; sawFuncAttr = true; }
+            else if (accept(Tok::KwInit)) { isInit = true; sawFuncAttr = true; }
+            else if (at(Tok::KwInterrupt)) {
+                advance();
+                expect(Tok::LParen, "(");
+                irqName = expect(Tok::Ident, "interrupt vector name").text;
+                expect(Tok::RParen, ")");
+                sawFuncAttr = true;
+            } else {
+                break;
+            }
+        }
+        if (!atTypeStart()) {
+            diags_.error(cur().loc, "expected a declaration");
+            synchronize();
+            return;
+        }
+        TypeSyntax type = parseType();
+        Token name = expect(Tok::Ident, "declaration name");
+        if (at(Tok::LParen)) {
+            if (sawVarAttr)
+                diags_.error(name.loc, "norace/rom apply to variables only");
+            unit.funcs.push_back(parseFuncRest(type, name.text, isTask,
+                                               irqName, inlineHint, noInline,
+                                               isInit));
+        } else {
+            if (sawFuncAttr) {
+                diags_.error(name.loc,
+                             "task/interrupt/inline apply to functions only");
+            }
+            unit.globals.push_back(
+                parseGlobalRest(type, name.text, norace, inRom, name.loc));
+        }
+    }
+
+    StructDeclAst
+    parseStructDecl()
+    {
+        StructDeclAst s;
+        s.loc = cur().loc;
+        expect(Tok::KwStruct, "struct");
+        s.name = expect(Tok::Ident, "struct name").text;
+        expect(Tok::LBrace, "{");
+        while (!at(Tok::RBrace) && !at(Tok::Eof)) {
+            StructDeclAst::Field f;
+            f.type = parseType();
+            f.name = expect(Tok::Ident, "field name").text;
+            if (accept(Tok::LBracket)) {
+                f.isArray = true;
+                f.arrayCount =
+                    static_cast<uint32_t>(
+                        expect(Tok::IntLit, "array size").intVal);
+                expect(Tok::RBracket, "]");
+            }
+            expect(Tok::Semi, ";");
+            s.fields.push_back(std::move(f));
+        }
+        expect(Tok::RBrace, "}");
+        expect(Tok::Semi, "; after struct");
+        return s;
+    }
+
+    HwRegDeclAst
+    parseHwRegDecl()
+    {
+        HwRegDeclAst r;
+        r.loc = cur().loc;
+        expect(Tok::KwHwreg, "hwreg");
+        TypeSyntax t = parseType();
+        if (t.ptrDepth != 0 ||
+            (t.base != BaseTy::U8 && t.base != BaseTy::U16)) {
+            diags_.error(t.loc, "hwreg must be u8 or u16");
+        }
+        r.type = t.base;
+        r.name = expect(Tok::Ident, "hwreg name").text;
+        expect(Tok::At, "@ address");
+        r.addr = static_cast<uint32_t>(
+            expect(Tok::IntLit, "hwreg address").intVal);
+        expect(Tok::Semi, ";");
+        return r;
+    }
+
+    GlobalDeclAst
+    parseGlobalRest(TypeSyntax type, std::string name, bool norace,
+                    bool inRom, SourceLoc loc)
+    {
+        GlobalDeclAst g;
+        g.type = type;
+        g.name = std::move(name);
+        g.norace = norace;
+        g.inRom = inRom;
+        g.loc = loc;
+        if (accept(Tok::LBracket)) {
+            g.isArray = true;
+            g.arrayCount = static_cast<uint32_t>(
+                expect(Tok::IntLit, "array size").intVal);
+            expect(Tok::RBracket, "]");
+        }
+        if (accept(Tok::Assign)) {
+            g.hasInit = true;
+            g.init = parseInitializer();
+        }
+        expect(Tok::Semi, "; after global");
+        return g;
+    }
+
+    Initializer
+    parseInitializer()
+    {
+        Initializer init;
+        if (at(Tok::StrLit)) {
+            init.isString = true;
+            init.stringValue = advance().text;
+            return init;
+        }
+        if (accept(Tok::LBrace)) {
+            init.isList = true;
+            if (!at(Tok::RBrace)) {
+                do {
+                    init.list.push_back(parseInitializer());
+                } while (accept(Tok::Comma));
+            }
+            expect(Tok::RBrace, "}");
+            return init;
+        }
+        init.value = parseExpr();
+        return init;
+    }
+
+    FuncDeclAst
+    parseFuncRest(TypeSyntax ret, std::string name, bool isTask,
+                  std::string irqName, bool inlineHint, bool noInline,
+                  bool isInit)
+    {
+        FuncDeclAst f;
+        f.retType = ret;
+        f.name = std::move(name);
+        f.isTask = isTask;
+        f.interruptName = std::move(irqName);
+        f.inlineHint = inlineHint;
+        f.noInline = noInline;
+        f.isInit = isInit;
+        f.loc = cur().loc;
+        expect(Tok::LParen, "(");
+        if (!at(Tok::RParen)) {
+            do {
+                if (accept(Tok::KwVoid) && at(Tok::RParen))
+                    break;
+                ParamAst p;
+                p.type = parseType();
+                p.name = expect(Tok::Ident, "parameter name").text;
+                f.params.push_back(std::move(p));
+            } while (accept(Tok::Comma));
+        }
+        expect(Tok::RParen, ")");
+        f.body = parseBlock();
+        return f;
+    }
+
+    //--- statements ----------------------------------------------------
+
+    StmtPtr
+    makeStmt(StmtKind k)
+    {
+        auto s = std::make_unique<Stmt>();
+        s->kind = k;
+        s->loc = cur().loc;
+        return s;
+    }
+
+    StmtPtr
+    parseBlock()
+    {
+        auto s = makeStmt(StmtKind::Block);
+        expect(Tok::LBrace, "{");
+        while (!at(Tok::RBrace) && !at(Tok::Eof)) {
+            size_t before = pos_;
+            s->body.push_back(parseStmt());
+            if (pos_ == before)
+                advance();
+        }
+        expect(Tok::RBrace, "}");
+        return s;
+    }
+
+    StmtPtr
+    parseStmt()
+    {
+        switch (cur().kind) {
+          case Tok::LBrace:
+            return parseBlock();
+          case Tok::KwIf: {
+            auto s = makeStmt(StmtKind::If);
+            advance();
+            expect(Tok::LParen, "(");
+            s->cond = parseExpr();
+            expect(Tok::RParen, ")");
+            s->thenS = parseStmt();
+            if (accept(Tok::KwElse))
+                s->elseS = parseStmt();
+            return s;
+          }
+          case Tok::KwWhile: {
+            auto s = makeStmt(StmtKind::While);
+            advance();
+            expect(Tok::LParen, "(");
+            s->cond = parseExpr();
+            expect(Tok::RParen, ")");
+            s->thenS = parseStmt();
+            return s;
+          }
+          case Tok::KwFor: {
+            auto s = makeStmt(StmtKind::For);
+            advance();
+            expect(Tok::LParen, "(");
+            if (!at(Tok::Semi))
+                s->forInit = parseSimpleStmt();
+            else
+                advance();
+            if (!at(Tok::Semi))
+                s->cond = parseExpr();
+            expect(Tok::Semi, "; in for");
+            if (!at(Tok::RParen)) {
+                auto step = makeStmt(StmtKind::ExprStmt);
+                step->expr = parseExpr();
+                s->forStep = std::move(step);
+            }
+            expect(Tok::RParen, ")");
+            s->thenS = parseStmt();
+            return s;
+          }
+          case Tok::KwReturn: {
+            auto s = makeStmt(StmtKind::Return);
+            advance();
+            if (!at(Tok::Semi))
+                s->expr = parseExpr();
+            expect(Tok::Semi, "; after return");
+            return s;
+          }
+          case Tok::KwBreak: {
+            auto s = makeStmt(StmtKind::Break);
+            advance();
+            expect(Tok::Semi, "; after break");
+            return s;
+          }
+          case Tok::KwContinue: {
+            auto s = makeStmt(StmtKind::Continue);
+            advance();
+            expect(Tok::Semi, "; after continue");
+            return s;
+          }
+          case Tok::KwAtomic: {
+            auto s = makeStmt(StmtKind::Atomic);
+            advance();
+            s->body.push_back(parseBlock());
+            return s;
+          }
+          case Tok::KwPost: {
+            auto s = makeStmt(StmtKind::Post);
+            advance();
+            s->postTarget = expect(Tok::Ident, "task name").text;
+            if (accept(Tok::LParen))
+                expect(Tok::RParen, ")");
+            expect(Tok::Semi, "; after post");
+            return s;
+          }
+          case Tok::Semi:
+            advance();
+            return makeStmt(StmtKind::Empty);
+          default:
+            return parseSimpleStmtSemi();
+        }
+    }
+
+    /** var decl or expression statement, consuming the semicolon. */
+    StmtPtr
+    parseSimpleStmtSemi()
+    {
+        auto s = parseSimpleStmt();
+        return s;
+    }
+
+    StmtPtr
+    parseSimpleStmt()
+    {
+        if (atTypeStart()) {
+            auto s = makeStmt(StmtKind::VarDecl);
+            s->declType = parseType();
+            s->declName = expect(Tok::Ident, "variable name").text;
+            if (accept(Tok::LBracket)) {
+                s->hasArray = true;
+                s->arrayCount = static_cast<uint32_t>(
+                    expect(Tok::IntLit, "array size").intVal);
+                expect(Tok::RBracket, "]");
+            }
+            if (accept(Tok::Assign)) {
+                s->hasInit = true;
+                s->init = parseInitializer();
+            }
+            expect(Tok::Semi, "; after declaration");
+            return s;
+        }
+        auto s = makeStmt(StmtKind::ExprStmt);
+        s->expr = parseExpr();
+        expect(Tok::Semi, "; after expression");
+        return s;
+    }
+
+    //--- expressions -----------------------------------------------
+
+    ExprPtr
+    makeExpr(ExprKind k, SourceLoc loc)
+    {
+        auto e = std::make_unique<Expr>();
+        e->kind = k;
+        e->loc = loc;
+        return e;
+    }
+
+    ExprPtr parseExpr() { return parseAssign(); }
+
+    ExprPtr
+    parseAssign()
+    {
+        ExprPtr lhs = parseCond();
+        struct CompoundTok { Tok t; BinaryOp op; };
+        static const CompoundTok compounds[] = {
+            {Tok::PlusEq, BinaryOp::Add}, {Tok::MinusEq, BinaryOp::Sub},
+            {Tok::StarEq, BinaryOp::Mul}, {Tok::SlashEq, BinaryOp::Div},
+            {Tok::PercentEq, BinaryOp::Rem}, {Tok::AmpEq, BinaryOp::And},
+            {Tok::PipeEq, BinaryOp::Or}, {Tok::CaretEq, BinaryOp::Xor},
+            {Tok::ShlEq, BinaryOp::Shl}, {Tok::ShrEq, BinaryOp::Shr},
+        };
+        if (at(Tok::Assign)) {
+            SourceLoc loc = advance().loc;
+            auto e = makeExpr(ExprKind::Assign, loc);
+            e->a = std::move(lhs);
+            e->b = parseAssign();
+            return e;
+        }
+        for (const auto &c : compounds) {
+            if (at(c.t)) {
+                SourceLoc loc = advance().loc;
+                auto e = makeExpr(ExprKind::Assign, loc);
+                e->isCompound = true;
+                e->assignOp = c.op;
+                e->a = std::move(lhs);
+                e->b = parseAssign();
+                return e;
+            }
+        }
+        return lhs;
+    }
+
+    ExprPtr
+    parseCond()
+    {
+        ExprPtr c = parseBinary(0);
+        if (at(Tok::Question)) {
+            SourceLoc loc = advance().loc;
+            auto e = makeExpr(ExprKind::Cond, loc);
+            e->a = std::move(c);
+            e->b = parseExpr();
+            expect(Tok::Colon, ": in conditional");
+            e->c = parseCond();
+            return e;
+        }
+        return c;
+    }
+
+    struct BinLevel { Tok t; BinaryOp op; };
+
+    /** Precedence-climbing over the C binary operator table. */
+    ExprPtr
+    parseBinary(int level)
+    {
+        static const std::vector<std::vector<BinLevel>> table = {
+            {{Tok::PipePipe, BinaryOp::LOr}},
+            {{Tok::AmpAmp, BinaryOp::LAnd}},
+            {{Tok::Pipe, BinaryOp::Or}},
+            {{Tok::Caret, BinaryOp::Xor}},
+            {{Tok::Amp, BinaryOp::And}},
+            {{Tok::EqEq, BinaryOp::Eq}, {Tok::NotEq, BinaryOp::Ne}},
+            {{Tok::Lt, BinaryOp::Lt}, {Tok::Le, BinaryOp::Le},
+             {Tok::Gt, BinaryOp::Gt}, {Tok::Ge, BinaryOp::Ge}},
+            {{Tok::Shl, BinaryOp::Shl}, {Tok::Shr, BinaryOp::Shr}},
+            {{Tok::Plus, BinaryOp::Add}, {Tok::Minus, BinaryOp::Sub}},
+            {{Tok::Star, BinaryOp::Mul}, {Tok::Slash, BinaryOp::Div},
+             {Tok::Percent, BinaryOp::Rem}},
+        };
+        if (level >= static_cast<int>(table.size()))
+            return parseUnary();
+        ExprPtr lhs = parseBinary(level + 1);
+        for (;;) {
+            bool matched = false;
+            for (const auto &cand : table[level]) {
+                if (at(cand.t)) {
+                    SourceLoc loc = advance().loc;
+                    auto e = makeExpr(ExprKind::Binary, loc);
+                    e->bop = cand.op;
+                    e->a = std::move(lhs);
+                    e->b = parseBinary(level + 1);
+                    lhs = std::move(e);
+                    matched = true;
+                    break;
+                }
+            }
+            if (!matched)
+                return lhs;
+        }
+    }
+
+    bool
+    atCastStart() const
+    {
+        if (!at(Tok::LParen))
+            return false;
+        switch (peek().kind) {
+          case Tok::KwVoid: case Tok::KwBool: case Tok::KwI8: case Tok::KwU8:
+          case Tok::KwI16: case Tok::KwU16: case Tok::KwI32: case Tok::KwU32:
+          case Tok::KwFnPtr: case Tok::KwStruct:
+            return true;
+          default:
+            return false;
+        }
+    }
+
+    ExprPtr
+    parseUnary()
+    {
+        SourceLoc loc = cur().loc;
+        if (accept(Tok::Bang)) {
+            auto e = makeExpr(ExprKind::Unary, loc);
+            e->uop = UnaryOp::LNot;
+            e->a = parseUnary();
+            return e;
+        }
+        if (accept(Tok::Tilde)) {
+            auto e = makeExpr(ExprKind::Unary, loc);
+            e->uop = UnaryOp::BNot;
+            e->a = parseUnary();
+            return e;
+        }
+        if (accept(Tok::Minus)) {
+            auto e = makeExpr(ExprKind::Unary, loc);
+            e->uop = UnaryOp::Neg;
+            e->a = parseUnary();
+            return e;
+        }
+        if (accept(Tok::Star)) {
+            auto e = makeExpr(ExprKind::Unary, loc);
+            e->uop = UnaryOp::Deref;
+            e->a = parseUnary();
+            return e;
+        }
+        if (accept(Tok::Amp)) {
+            auto e = makeExpr(ExprKind::Unary, loc);
+            e->uop = UnaryOp::AddrOf;
+            e->a = parseUnary();
+            return e;
+        }
+        if (atCastStart()) {
+            advance();  // (
+            TypeSyntax t = parseType();
+            expect(Tok::RParen, ") after cast type");
+            auto e = makeExpr(ExprKind::Cast, loc);
+            e->castType = t;
+            e->a = parseUnary();
+            return e;
+        }
+        return parsePostfix();
+    }
+
+    ExprPtr
+    parsePostfix()
+    {
+        ExprPtr e = parsePrimary();
+        for (;;) {
+            SourceLoc loc = cur().loc;
+            if (accept(Tok::LBracket)) {
+                auto idx = makeExpr(ExprKind::Index, loc);
+                idx->a = std::move(e);
+                idx->b = parseExpr();
+                expect(Tok::RBracket, "]");
+                e = std::move(idx);
+            } else if (accept(Tok::Dot)) {
+                auto m = makeExpr(ExprKind::Member, loc);
+                m->a = std::move(e);
+                m->name = expect(Tok::Ident, "field name").text;
+                e = std::move(m);
+            } else if (accept(Tok::Arrow)) {
+                auto m = makeExpr(ExprKind::Member, loc);
+                m->isArrow = true;
+                m->a = std::move(e);
+                m->name = expect(Tok::Ident, "field name").text;
+                e = std::move(m);
+            } else if (accept(Tok::LParen)) {
+                auto call = makeExpr(ExprKind::Call, loc);
+                call->a = std::move(e);
+                if (!at(Tok::RParen)) {
+                    do {
+                        call->args.push_back(parseExpr());
+                    } while (accept(Tok::Comma));
+                }
+                expect(Tok::RParen, ") after arguments");
+                e = std::move(call);
+            } else if (accept(Tok::PlusPlus)) {
+                auto inc = makeExpr(ExprKind::IncDec, loc);
+                inc->isInc = true;
+                inc->a = std::move(e);
+                e = std::move(inc);
+            } else if (accept(Tok::MinusMinus)) {
+                auto dec = makeExpr(ExprKind::IncDec, loc);
+                dec->isInc = false;
+                dec->a = std::move(e);
+                e = std::move(dec);
+            } else {
+                return e;
+            }
+        }
+    }
+
+    ExprPtr
+    parsePrimary()
+    {
+        SourceLoc loc = cur().loc;
+        switch (cur().kind) {
+          case Tok::IntLit: {
+            auto e = makeExpr(ExprKind::IntLit, loc);
+            e->intVal = advance().intVal;
+            return e;
+          }
+          case Tok::CharLit: {
+            auto e = makeExpr(ExprKind::IntLit, loc);
+            e->intVal = advance().intVal;
+            return e;
+          }
+          case Tok::StrLit: {
+            auto e = makeExpr(ExprKind::StrLit, loc);
+            e->name = advance().text;
+            return e;
+          }
+          case Tok::KwTrue: {
+            advance();
+            auto e = makeExpr(ExprKind::BoolLit, loc);
+            e->intVal = 1;
+            return e;
+          }
+          case Tok::KwFalse: {
+            advance();
+            auto e = makeExpr(ExprKind::BoolLit, loc);
+            e->intVal = 0;
+            return e;
+          }
+          case Tok::KwNull: {
+            advance();
+            return makeExpr(ExprKind::NullLit, loc);
+          }
+          case Tok::KwSizeof: {
+            advance();
+            expect(Tok::LParen, "(");
+            auto e = makeExpr(ExprKind::SizeofTy, loc);
+            e->castType = parseType();
+            expect(Tok::RParen, ")");
+            return e;
+          }
+          case Tok::Ident: {
+            auto e = makeExpr(ExprKind::Var, loc);
+            e->name = advance().text;
+            return e;
+          }
+          case Tok::LParen: {
+            advance();
+            ExprPtr e = parseExpr();
+            expect(Tok::RParen, ")");
+            return e;
+          }
+          default:
+            diags_.error(loc, "expected an expression");
+            advance();
+            return makeExpr(ExprKind::IntLit, loc);
+        }
+    }
+
+    std::vector<Token> toks_;
+    DiagnosticEngine &diags_;
+    size_t pos_ = 0;
+};
+
+} // namespace
+
+UnitAst
+parseUnit(std::vector<Token> tokens, DiagnosticEngine &diags)
+{
+    if (tokens.empty() || tokens.back().kind != Tok::Eof) {
+        Token eof;
+        eof.kind = Tok::Eof;
+        tokens.push_back(eof);
+    }
+    return Parser(std::move(tokens), diags).run();
+}
+
+} // namespace stos::frontend

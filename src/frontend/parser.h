@@ -1,0 +1,25 @@
+/**
+ * @file
+ * TinyC recursive-descent parser.
+ */
+#ifndef STOS_FRONTEND_PARSER_H
+#define STOS_FRONTEND_PARSER_H
+
+#include <vector>
+
+#include "support/diagnostics.h"
+#include "frontend/ast.h"
+#include "frontend/token.h"
+
+namespace stos::frontend {
+
+/**
+ * Parse one token stream into a unit. Errors are reported through the
+ * diagnostic engine; the parser recovers at statement/declaration
+ * boundaries so multiple errors surface in one run.
+ */
+UnitAst parseUnit(std::vector<Token> tokens, DiagnosticEngine &diags);
+
+} // namespace stos::frontend
+
+#endif

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * TinyC token definitions. TinyC is our stand-in for the C code the
+ * nesC compiler emits from TinyOS components: a C subset extended with
+ * the TinyOS concurrency model (`task`, `interrupt`, `atomic`,
+ * `norace`, `post`) and memory-mapped register declarations (`hwreg`).
+ */
+#ifndef STOS_FRONTEND_TOKEN_H
+#define STOS_FRONTEND_TOKEN_H
+
+#include <cstdint>
+#include <string>
+
+#include "support/source_loc.h"
+
+namespace stos::frontend {
+
+enum class Tok : uint8_t {
+    Eof, Ident, IntLit, StrLit, CharLit,
+    // keywords
+    KwVoid, KwBool, KwI8, KwU8, KwI16, KwU16, KwI32, KwU32, KwFnPtr,
+    KwStruct, KwIf, KwElse, KwWhile, KwFor, KwReturn, KwBreak, KwContinue,
+    KwAtomic, KwTask, KwInterrupt, KwNorace, KwHwreg, KwRom, KwSizeof,
+    KwPost, KwTrue, KwFalse, KwNull, KwInline, KwNoinline, KwInit,
+    // punctuation
+    LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+    Semi, Comma, Dot, Arrow, At,
+    Plus, Minus, Star, Slash, Percent,
+    Amp, Pipe, Caret, Tilde, Bang,
+    Shl, Shr,
+    Lt, Gt, Le, Ge, EqEq, NotEq,
+    AmpAmp, PipePipe,
+    Assign, PlusEq, MinusEq, StarEq, SlashEq, PercentEq,
+    AmpEq, PipeEq, CaretEq, ShlEq, ShrEq,
+    PlusPlus, MinusMinus,
+    Question, Colon,
+};
+
+struct Token {
+    Tok kind = Tok::Eof;
+    std::string text;     ///< identifier / string payload
+    uint64_t intVal = 0;  ///< IntLit / CharLit payload
+    SourceLoc loc;
+};
+
+const char *tokName(Tok t);
+
+} // namespace stos::frontend
+
+#endif

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Interrupt vector naming shared by the frontend (interrupt(NAME)
+ * attributes), the device simulator, and the TinyOS-style application
+ * library. Vector numbers index the MCU's interrupt table.
+ */
+#ifndef STOS_FRONTEND_VECTORS_H
+#define STOS_FRONTEND_VECTORS_H
+
+#include <string>
+
+namespace stos::frontend {
+
+enum IrqVector : int {
+    kVecTimer0 = 0,
+    kVecTimer1 = 1,
+    kVecAdc = 2,
+    kVecRadioRx = 3,
+    kVecRadioTx = 4,
+    kVecUartRx = 5,
+    kVecUartTx = 6,
+    kVecExt0 = 7,
+    kVecClock = 8,
+    kNumVectors = 9,
+};
+
+/** Map a vector name to its number; -1 if unknown. */
+inline int
+vectorByName(const std::string &name)
+{
+    if (name == "TIMER0") return kVecTimer0;
+    if (name == "TIMER1") return kVecTimer1;
+    if (name == "ADC") return kVecAdc;
+    if (name == "RADIO_RX") return kVecRadioRx;
+    if (name == "RADIO_TX") return kVecRadioTx;
+    if (name == "UART_RX") return kVecUartRx;
+    if (name == "UART_TX") return kVecUartTx;
+    if (name == "EXT0") return kVecExt0;
+    if (name == "CLOCK") return kVecClock;
+    return -1;
+}
+
+} // namespace stos::frontend
+
+#endif

@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Convenience builder for emitting TinyCIL instructions into a
+ * function. Used by the frontend lowering, the safety transformer,
+ * and by tests that construct IR by hand.
+ */
+#ifndef STOS_IR_BUILDER_H
+#define STOS_IR_BUILDER_H
+
+#include "ir/module.h"
+
+namespace stos::ir {
+
+class Builder {
+  public:
+    Builder(Module &m, Function &f) : mod_(m), func_(f) {}
+
+    Module &module() { return mod_; }
+    Function &func() { return func_; }
+    TypeTable &types() { return mod_.types(); }
+
+    void setBlock(uint32_t bb) { cur_ = bb; }
+    uint32_t curBlock() const { return cur_; }
+    void setLoc(SourceLoc loc) { loc_ = loc; }
+
+    uint32_t newBlock(std::string name = "") { return func_.addBlock(std::move(name)); }
+    uint32_t newVReg(TypeId t, std::string n = "") { return func_.addVReg(t, std::move(n)); }
+
+    Instr &emit(Instr in)
+    {
+        if (!in.loc.valid())
+            in.loc = loc_;
+        auto &list = func_.blocks.at(cur_).instrs;
+        list.push_back(std::move(in));
+        return list.back();
+    }
+
+    /** True if the current block already ends in a terminator. */
+    bool
+    terminated() const
+    {
+        const auto &is = func_.blocks.at(cur_).instrs;
+        return !is.empty() && is.back().isTerminator();
+    }
+
+    uint32_t
+    constI(TypeId t, int64_t v)
+    {
+        Instr in;
+        in.op = Opcode::ConstI;
+        in.dst = newVReg(t);
+        in.type = t;
+        in.args = {Operand::immInt(v)};
+        emit(in);
+        return in.dst;
+    }
+
+    uint32_t
+    bin(BinOp op, TypeId t, Operand a, Operand b)
+    {
+        Instr in;
+        in.op = Opcode::Bin;
+        in.bop = op;
+        in.dst = newVReg(t);
+        in.type = t;
+        in.args = {a, b};
+        emit(in);
+        return in.dst;
+    }
+
+    uint32_t
+    un(UnOp op, TypeId t, Operand a)
+    {
+        Instr in;
+        in.op = Opcode::Un;
+        in.uop = op;
+        in.dst = newVReg(t);
+        in.type = t;
+        in.args = {a};
+        emit(in);
+        return in.dst;
+    }
+
+    uint32_t
+    cast(TypeId to, Operand a)
+    {
+        Instr in;
+        in.op = Opcode::Cast;
+        in.dst = newVReg(to);
+        in.type = to;
+        in.args = {a};
+        emit(in);
+        return in.dst;
+    }
+
+    uint32_t
+    mov(TypeId t, Operand a)
+    {
+        Instr in;
+        in.op = Opcode::Mov;
+        in.dst = newVReg(t);
+        in.type = t;
+        in.args = {a};
+        emit(in);
+        return in.dst;
+    }
+
+    void
+    movTo(uint32_t dstVreg, Operand a)
+    {
+        Instr in;
+        in.op = Opcode::Mov;
+        in.dst = dstVreg;
+        in.type = func_.vregs.at(dstVreg).type;
+        in.args = {a};
+        emit(in);
+    }
+
+    uint32_t
+    addrGlobal(uint32_t gid, TypeId ptrType)
+    {
+        Instr in;
+        in.op = Opcode::AddrGlobal;
+        in.dst = newVReg(ptrType);
+        in.type = ptrType;
+        in.args = {Operand::global(gid)};
+        emit(in);
+        return in.dst;
+    }
+
+    uint32_t
+    addrLocal(uint32_t localId, TypeId ptrType)
+    {
+        Instr in;
+        in.op = Opcode::AddrLocal;
+        in.dst = newVReg(ptrType);
+        in.type = ptrType;
+        in.auxA = localId;
+        emit(in);
+        return in.dst;
+    }
+
+    uint32_t
+    gep(Operand base, uint32_t fieldIdx, uint32_t byteOff, TypeId resultPtr)
+    {
+        Instr in;
+        in.op = Opcode::Gep;
+        in.dst = newVReg(resultPtr);
+        in.type = resultPtr;
+        in.args = {base};
+        in.auxA = fieldIdx;
+        in.auxB = byteOff;
+        emit(in);
+        return in.dst;
+    }
+
+    uint32_t
+    ptrAdd(Operand base, Operand index, uint32_t elemSize, TypeId resultPtr)
+    {
+        Instr in;
+        in.op = Opcode::PtrAdd;
+        in.dst = newVReg(resultPtr);
+        in.type = resultPtr;
+        in.args = {base, index};
+        in.auxA = elemSize;
+        emit(in);
+        return in.dst;
+    }
+
+    uint32_t
+    load(TypeId t, Operand ptr)
+    {
+        Instr in;
+        in.op = Opcode::Load;
+        in.dst = newVReg(t);
+        in.type = t;
+        in.args = {ptr};
+        emit(in);
+        return in.dst;
+    }
+
+    void
+    store(Operand ptr, Operand val, TypeId valType)
+    {
+        Instr in;
+        in.op = Opcode::Store;
+        in.type = valType;
+        in.args = {ptr, val};
+        emit(in);
+    }
+
+    uint32_t
+    call(uint32_t callee, TypeId retType, std::vector<Operand> args)
+    {
+        Instr in;
+        in.op = Opcode::Call;
+        in.callee = callee;
+        in.type = retType;
+        in.args = std::move(args);
+        if (!types().isVoid(retType))
+            in.dst = newVReg(retType);
+        emit(in);
+        return in.dst;
+    }
+
+    void
+    callInd(Operand fnptr)
+    {
+        Instr in;
+        in.op = Opcode::CallInd;
+        in.type = types().voidTy();
+        in.args = {fnptr};
+        emit(in);
+    }
+
+    void
+    ret(Operand v = {})
+    {
+        Instr in;
+        in.op = Opcode::Ret;
+        if (v.kind != OperandKind::None)
+            in.args = {v};
+        emit(in);
+    }
+
+    void
+    br(uint32_t target)
+    {
+        Instr in;
+        in.op = Opcode::Br;
+        in.b0 = target;
+        emit(in);
+    }
+
+    void
+    condBr(Operand cond, uint32_t t, uint32_t f)
+    {
+        Instr in;
+        in.op = Opcode::CondBr;
+        in.args = {cond};
+        in.b0 = t;
+        in.b1 = f;
+        emit(in);
+    }
+
+    void
+    check(Opcode op, Operand ptr, uint32_t accessSize, uint32_t flid)
+    {
+        Instr in;
+        in.op = op;
+        in.args = {ptr};
+        in.auxA = accessSize;
+        in.flid = flid;
+        emit(in);
+    }
+
+    void
+    atomicBegin(bool saveIrq)
+    {
+        Instr in;
+        in.op = Opcode::AtomicBegin;
+        in.auxA = saveIrq ? 1 : 0;
+        emit(in);
+    }
+
+    void
+    atomicEnd(bool saveIrq)
+    {
+        Instr in;
+        in.op = Opcode::AtomicEnd;
+        in.auxA = saveIrq ? 1 : 0;
+        emit(in);
+    }
+
+    uint32_t
+    hwRead(TypeId t, uint32_t addr)
+    {
+        Instr in;
+        in.op = Opcode::HwRead;
+        in.dst = newVReg(t);
+        in.type = t;
+        in.auxA = addr;
+        emit(in);
+        return in.dst;
+    }
+
+    void
+    hwWrite(uint32_t addr, Operand v, TypeId t)
+    {
+        Instr in;
+        in.op = Opcode::HwWrite;
+        in.type = t;
+        in.args = {v};
+        in.auxA = addr;
+        emit(in);
+    }
+
+  private:
+    Module &mod_;
+    Function &func_;
+    uint32_t cur_ = 0;
+    SourceLoc loc_;
+};
+
+} // namespace stos::ir
+
+#endif

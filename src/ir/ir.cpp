@@ -1,0 +1,314 @@
+/**
+ * @file
+ * Implementation of the TinyCIL type table, name tables, and layout
+ * computation (including fat-pointer storage sizes).
+ */
+#include "ir/module.h"
+
+#include <algorithm>
+
+#include "support/util.h"
+
+namespace stos::ir {
+
+const char *
+ptrKindName(PtrKind k)
+{
+    switch (k) {
+      case PtrKind::Unchecked: return "unchecked";
+      case PtrKind::Safe: return "safe";
+      case PtrKind::FSeq: return "fseq";
+      case PtrKind::Seq: return "seq";
+      case PtrKind::Wild: return "wild";
+    }
+    return "?";
+}
+
+TypeTable::TypeTable()
+{
+    Type v; v.kind = TypeKind::Void;
+    voidId_ = intern(v);
+    Type b; b.kind = TypeKind::Bool; b.bits = 8;
+    boolId_ = intern(b);
+    Type f; f.kind = TypeKind::FnPtr;
+    fnPtrId_ = intern(f);
+}
+
+TypeId
+TypeTable::intern(const Type &t)
+{
+    for (TypeId i = 0; i < types_.size(); ++i) {
+        if (types_[i] == t)
+            return i;
+    }
+    types_.push_back(t);
+    return static_cast<TypeId>(types_.size() - 1);
+}
+
+TypeId
+TypeTable::intTy(uint8_t bits, bool isSigned)
+{
+    Type t;
+    t.kind = TypeKind::Int;
+    t.bits = bits;
+    t.isSigned = isSigned;
+    return intern(t);
+}
+
+TypeId
+TypeTable::ptrTy(TypeId pointee, PtrKind kind)
+{
+    Type t;
+    t.kind = TypeKind::Ptr;
+    t.pointee = pointee;
+    t.ptrKind = kind;
+    return intern(t);
+}
+
+TypeId
+TypeTable::arrayTy(TypeId elem, uint32_t count)
+{
+    Type t;
+    t.kind = TypeKind::Array;
+    t.elem = elem;
+    t.count = count;
+    return intern(t);
+}
+
+TypeId
+TypeTable::structTy(uint32_t structId)
+{
+    Type t;
+    t.kind = TypeKind::Struct;
+    t.structId = structId;
+    return intern(t);
+}
+
+TypeId
+TypeTable::withPtrKind(TypeId id, PtrKind kind)
+{
+    const Type &t = get(id);
+    if (t.kind != TypeKind::Ptr)
+        panic("withPtrKind on non-pointer type");
+    return ptrTy(t.pointee, kind);
+}
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::ConstI: return "const";
+      case Opcode::Mov: return "mov";
+      case Opcode::Bin: return "bin";
+      case Opcode::Un: return "un";
+      case Opcode::Cast: return "cast";
+      case Opcode::AddrGlobal: return "addr_global";
+      case Opcode::AddrLocal: return "addr_local";
+      case Opcode::Gep: return "gep";
+      case Opcode::PtrAdd: return "ptradd";
+      case Opcode::Load: return "load";
+      case Opcode::Store: return "store";
+      case Opcode::Call: return "call";
+      case Opcode::CallInd: return "call_ind";
+      case Opcode::Ret: return "ret";
+      case Opcode::Br: return "br";
+      case Opcode::CondBr: return "cond_br";
+      case Opcode::ChkNull: return "chk_null";
+      case Opcode::ChkUBound: return "chk_ubound";
+      case Opcode::ChkBounds: return "chk_bounds";
+      case Opcode::ChkFnPtr: return "chk_fnptr";
+      case Opcode::ChkWild: return "chk_wild";
+      case Opcode::ChkAlign: return "chk_align";
+      case Opcode::Abort: return "abort";
+      case Opcode::AtomicBegin: return "atomic_begin";
+      case Opcode::AtomicEnd: return "atomic_end";
+      case Opcode::HwRead: return "hw_read";
+      case Opcode::HwWrite: return "hw_write";
+      case Opcode::Sleep: return "sleep";
+      case Opcode::Nop: return "nop";
+    }
+    return "?";
+}
+
+const char *
+binOpName(BinOp op)
+{
+    switch (op) {
+      case BinOp::Add: return "add";
+      case BinOp::Sub: return "sub";
+      case BinOp::Mul: return "mul";
+      case BinOp::DivU: return "divu";
+      case BinOp::DivS: return "divs";
+      case BinOp::RemU: return "remu";
+      case BinOp::RemS: return "rems";
+      case BinOp::And: return "and";
+      case BinOp::Or: return "or";
+      case BinOp::Xor: return "xor";
+      case BinOp::Shl: return "shl";
+      case BinOp::ShrU: return "shru";
+      case BinOp::ShrS: return "shrs";
+      case BinOp::Eq: return "eq";
+      case BinOp::Ne: return "ne";
+      case BinOp::LtU: return "ltu";
+      case BinOp::LtS: return "lts";
+      case BinOp::LeU: return "leu";
+      case BinOp::LeS: return "les";
+      case BinOp::GtU: return "gtu";
+      case BinOp::GtS: return "gts";
+      case BinOp::GeU: return "geu";
+      case BinOp::GeS: return "ges";
+    }
+    return "?";
+}
+
+bool
+binOpIsComparison(BinOp op)
+{
+    switch (op) {
+      case BinOp::Eq: case BinOp::Ne:
+      case BinOp::LtU: case BinOp::LtS: case BinOp::LeU: case BinOp::LeS:
+      case BinOp::GtU: case BinOp::GtS: case BinOp::GeU: case BinOp::GeS:
+        return true;
+      default:
+        return false;
+    }
+}
+
+const char *
+unOpName(UnOp op)
+{
+    switch (op) {
+      case UnOp::Neg: return "neg";
+      case UnOp::Not: return "not";
+      case UnOp::BNot: return "bnot";
+    }
+    return "?";
+}
+
+const Global *
+Module::findGlobal(const std::string &name) const
+{
+    auto it = globalIndex_.find(name);
+    if (it == globalIndex_.end())
+        return nullptr;
+    const Global &g = globals_.at(it->second);
+    return g.dead ? nullptr : &g;
+}
+
+Function *
+Module::findFunc(const std::string &name)
+{
+    auto it = funcIndex_.find(name);
+    if (it == funcIndex_.end())
+        return nullptr;
+    Function &f = funcs_.at(it->second);
+    return f.dead ? nullptr : &f;
+}
+
+const Function *
+Module::findFunc(const std::string &name) const
+{
+    return const_cast<Module *>(this)->findFunc(name);
+}
+
+const HwReg *
+Module::findHwReg(uint32_t addr) const
+{
+    for (const auto &r : hwregs_) {
+        if (r.addr == addr)
+            return &r;
+    }
+    return nullptr;
+}
+
+uint32_t
+Module::ptrWords(PtrKind k)
+{
+    switch (k) {
+      case PtrKind::Unchecked: return 1;
+      case PtrKind::Safe: return 1;
+      case PtrKind::FSeq: return 2;  // cur, end
+      case PtrKind::Seq: return 3;   // cur, base, end
+      case PtrKind::Wild: return 2;  // cur, area-tag base
+    }
+    return 1;
+}
+
+uint32_t
+Module::typeSize(TypeId t) const
+{
+    const Type &ty = types_.get(t);
+    switch (ty.kind) {
+      case TypeKind::Void:
+        return 0;
+      case TypeKind::Bool:
+        return 1;
+      case TypeKind::Int:
+        return ty.bits / 8;
+      case TypeKind::Ptr:
+        return 2 * ptrWords(ty.ptrKind);
+      case TypeKind::FnPtr:
+        return 2;
+      case TypeKind::Array:
+        return ty.count * typeSize(ty.elem);
+      case TypeKind::Struct:
+        return structSize(ty.structId);
+    }
+    return 0;
+}
+
+uint32_t
+Module::typeAlign(TypeId t) const
+{
+    const Type &ty = types_.get(t);
+    switch (ty.kind) {
+      case TypeKind::Void:
+      case TypeKind::Bool:
+        return 1;
+      case TypeKind::Int:
+        return ty.bits >= 16 ? 2 : 1;
+      case TypeKind::Ptr:
+      case TypeKind::FnPtr:
+        return 2;
+      case TypeKind::Array:
+        return typeAlign(ty.elem);
+      case TypeKind::Struct: {
+        uint32_t a = 1;
+        for (const auto &f : structs_.at(ty.structId).fields)
+            a = std::max(a, typeAlign(f.type));
+        return a;
+      }
+    }
+    return 1;
+}
+
+uint32_t
+Module::fieldOffset(uint32_t sid, uint32_t idx) const
+{
+    const StructType &s = structs_.at(sid);
+    uint32_t off = 0;
+    for (uint32_t i = 0; i <= idx && i < s.fields.size(); ++i) {
+        off = alignUp(off, typeAlign(s.fields[i].type));
+        if (i == idx)
+            return off;
+        off += typeSize(s.fields[i].type);
+    }
+    return off;
+}
+
+uint32_t
+Module::structSize(uint32_t sid) const
+{
+    const StructType &s = structs_.at(sid);
+    uint32_t off = 0;
+    uint32_t maxAlign = 1;
+    for (const auto &f : s.fields) {
+        uint32_t a = typeAlign(f.type);
+        maxAlign = std::max(maxAlign, a);
+        off = alignUp(off, a);
+        off += typeSize(f.type);
+    }
+    return alignUp(off, maxAlign);
+}
+
+} // namespace stos::ir

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * TinyCIL textual printer implementation.
+ */
+#include "ir/printer.h"
+
+#include <sstream>
+
+#include "support/util.h"
+
+namespace stos::ir {
+
+std::string
+typeToString(const Module &m, TypeId t)
+{
+    const Type &ty = m.types().get(t);
+    switch (ty.kind) {
+      case TypeKind::Void:
+        return "void";
+      case TypeKind::Bool:
+        return "bool";
+      case TypeKind::Int:
+        return strfmt("%c%u", ty.isSigned ? 'i' : 'u', ty.bits);
+      case TypeKind::Ptr: {
+        std::string s = typeToString(m, ty.pointee) + "*";
+        if (ty.ptrKind != PtrKind::Unchecked)
+            s += strfmt("<%s>", ptrKindName(ty.ptrKind));
+        return s;
+      }
+      case TypeKind::FnPtr:
+        return "fnptr";
+      case TypeKind::Array:
+        return strfmt("%s[%u]", typeToString(m, ty.elem).c_str(), ty.count);
+      case TypeKind::Struct:
+        return "struct " + m.structAt(ty.structId).name;
+    }
+    return "?";
+}
+
+std::string
+operandToString(const Function &f, const Operand &op, const Module &m)
+{
+    switch (op.kind) {
+      case OperandKind::None:
+        return "<none>";
+      case OperandKind::VReg: {
+        const auto &v = f.vregs.at(op.index);
+        if (!v.name.empty())
+            return strfmt("%%%s.%u", v.name.c_str(), op.index);
+        return strfmt("%%v%u", op.index);
+      }
+      case OperandKind::ImmInt:
+        return strfmt("%lld", static_cast<long long>(op.imm));
+      case OperandKind::Global:
+        return "@" + m.globalAt(op.index).name;
+      case OperandKind::Func:
+        return "&" + m.funcAt(op.index).name;
+    }
+    return "?";
+}
+
+std::string
+instrToString(const Module &m, const Function &f, const Instr &in)
+{
+    std::ostringstream os;
+    auto opnd = [&](size_t i) {
+        return operandToString(f, in.args.at(i), m);
+    };
+    if (in.hasDst())
+        os << operandToString(f, Operand::vreg(in.dst), m) << " = ";
+    switch (in.op) {
+      case Opcode::ConstI:
+        os << "const " << typeToString(m, in.type) << " " << opnd(0);
+        break;
+      case Opcode::Mov:
+        os << "mov " << opnd(0);
+        break;
+      case Opcode::Bin:
+        os << binOpName(in.bop) << " " << opnd(0) << ", " << opnd(1);
+        break;
+      case Opcode::Un:
+        os << unOpName(in.uop) << " " << opnd(0);
+        break;
+      case Opcode::Cast:
+        os << "cast " << typeToString(m, in.type) << " " << opnd(0);
+        break;
+      case Opcode::AddrGlobal:
+        os << "addr " << opnd(0);
+        break;
+      case Opcode::AddrLocal:
+        os << "addr local " << f.locals.at(in.auxA).name;
+        break;
+      case Opcode::Gep:
+        os << "gep " << opnd(0) << " field " << in.auxA
+           << " (+" << in.auxB << ")";
+        break;
+      case Opcode::PtrAdd:
+        os << "ptradd " << opnd(0) << " + " << opnd(1)
+           << " * " << in.auxA;
+        break;
+      case Opcode::Load:
+        os << "load " << typeToString(m, in.type) << " " << opnd(0);
+        break;
+      case Opcode::Store:
+        os << "store " << opnd(1) << " -> " << opnd(0);
+        break;
+      case Opcode::Call: {
+        os << "call " << m.funcAt(in.callee).name << "(";
+        for (size_t i = 0; i < in.args.size(); ++i)
+            os << (i ? ", " : "") << opnd(i);
+        os << ")";
+        break;
+      }
+      case Opcode::CallInd:
+        os << "call_ind " << opnd(0);
+        break;
+      case Opcode::Ret:
+        os << "ret";
+        if (!in.args.empty())
+            os << " " << opnd(0);
+        break;
+      case Opcode::Br:
+        os << "br bb" << in.b0;
+        break;
+      case Opcode::CondBr:
+        os << "cond_br " << opnd(0) << ", bb" << in.b0 << ", bb" << in.b1;
+        break;
+      case Opcode::ChkNull: case Opcode::ChkUBound: case Opcode::ChkBounds:
+      case Opcode::ChkFnPtr: case Opcode::ChkWild: case Opcode::ChkAlign:
+        os << opcodeName(in.op) << " " << opnd(0)
+           << " size " << in.auxA << " flid " << in.flid;
+        break;
+      case Opcode::Abort:
+        os << "abort flid " << in.flid;
+        break;
+      case Opcode::AtomicBegin:
+        os << "atomic_begin" << (in.auxA ? " save" : "");
+        break;
+      case Opcode::AtomicEnd:
+        os << "atomic_end" << (in.auxA ? " restore" : "");
+        break;
+      case Opcode::HwRead:
+        os << "hw_read io[" << strfmt("0x%x", in.auxA) << "]";
+        break;
+      case Opcode::HwWrite:
+        os << "hw_write io[" << strfmt("0x%x", in.auxA) << "] = " << opnd(0);
+        break;
+      case Opcode::Sleep:
+        os << "sleep";
+        break;
+      case Opcode::Nop:
+        os << "nop";
+        break;
+    }
+    return os.str();
+}
+
+std::string
+functionToString(const Module &m, const Function &f)
+{
+    std::ostringstream os;
+    os << "func " << typeToString(m, f.retType) << " " << f.name << "(";
+    for (size_t i = 0; i < f.params.size(); ++i) {
+        uint32_t p = f.params[i];
+        os << (i ? ", " : "") << typeToString(m, f.vregs[p].type)
+           << " %" << (f.vregs[p].name.empty() ? strfmt("v%u", p)
+                                               : f.vregs[p].name);
+    }
+    os << ")";
+    if (f.attrs.isTask)
+        os << " task";
+    if (f.attrs.interruptVector >= 0)
+        os << " interrupt(" << f.attrs.interruptVector << ")";
+    if (f.attrs.isRuntime)
+        os << " runtime";
+    os << " {\n";
+    for (const auto &l : f.locals) {
+        os << "  local " << typeToString(m, l.type) << " " << l.name
+           << "  // " << m.typeSize(l.type) << " bytes\n";
+    }
+    for (const auto &bb : f.blocks) {
+        os << " bb" << bb.id;
+        if (!bb.name.empty())
+            os << " (" << bb.name << ")";
+        os << ":\n";
+        for (const auto &in : bb.instrs)
+            os << "    " << instrToString(m, f, in) << "\n";
+    }
+    os << "}\n";
+    return os.str();
+}
+
+std::string
+moduleToString(const Module &m)
+{
+    std::ostringstream os;
+    os << "module " << m.name() << "\n";
+    for (uint32_t i = 0; i < m.numStructs(); ++i) {
+        const auto &s = m.structAt(i);
+        os << "struct " << s.name << " { ";
+        for (const auto &fl : s.fields)
+            os << typeToString(m, fl.type) << " " << fl.name << "; ";
+        os << "}  // " << m.structSize(i) << " bytes\n";
+    }
+    for (const auto &r : m.hwregs())
+        os << strfmt("hwreg u%u %s @ 0x%x\n", r.bits, r.name.c_str(), r.addr);
+    for (const auto &g : m.globals()) {
+        if (g.dead)
+            continue;
+        os << (g.section == Section::Rom ? "rom " : "ram ")
+           << typeToString(m, g.type) << " @" << g.name;
+        if (g.attrs.norace)
+            os << " norace";
+        os << "  // " << m.typeSize(g.type) << " bytes\n";
+    }
+    for (const auto &f : m.funcs()) {
+        if (f.dead)
+            continue;
+        os << functionToString(m, f);
+    }
+    return os.str();
+}
+
+} // namespace stos::ir

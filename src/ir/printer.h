@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Human-readable dump of TinyCIL modules and functions; used in tests
+ * (golden-ish assertions on structure) and for debugging passes.
+ */
+#ifndef STOS_IR_PRINTER_H
+#define STOS_IR_PRINTER_H
+
+#include <string>
+
+#include "ir/module.h"
+
+namespace stos::ir {
+
+std::string typeToString(const Module &m, TypeId t);
+std::string operandToString(const Function &f, const Operand &op,
+                            const Module &m);
+std::string instrToString(const Module &m, const Function &f,
+                          const Instr &in);
+std::string functionToString(const Module &m, const Function &f);
+std::string moduleToString(const Module &m);
+
+} // namespace stos::ir
+
+#endif

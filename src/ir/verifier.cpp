@@ -1,0 +1,251 @@
+/**
+ * @file
+ * TinyCIL verifier implementation.
+ */
+#include "ir/verifier.h"
+
+#include "support/util.h"
+
+namespace stos::ir {
+
+namespace {
+
+class Verifier {
+  public:
+    explicit Verifier(const Module &m) : mod_(m) {}
+
+    std::vector<std::string>
+    run()
+    {
+        for (const auto &f : mod_.funcs()) {
+            if (!f.dead)
+                checkFunc(f);
+        }
+        for (const auto &g : mod_.globals()) {
+            if (g.dead)
+                continue;
+            uint32_t sz = mod_.typeSize(g.type);
+            if (!g.init.empty() && g.init.size() != sz) {
+                err(g.name, 0, strfmt("global init size %zu != type size %u",
+                                      g.init.size(), sz));
+            }
+        }
+        return std::move(problems_);
+    }
+
+  private:
+    void
+    err(const std::string &fn, uint32_t bb, const std::string &msg)
+    {
+        problems_.push_back(strfmt("%s bb%u: %s", fn.c_str(), bb,
+                                   msg.c_str()));
+    }
+
+    void
+    checkOperand(const Function &f, uint32_t bb, const Operand &op)
+    {
+        switch (op.kind) {
+          case OperandKind::VReg:
+            if (op.index >= f.vregs.size())
+                err(f.name, bb, strfmt("vreg %u out of range", op.index));
+            break;
+          case OperandKind::Global:
+            if (op.index >= mod_.globals().size())
+                err(f.name, bb, strfmt("global %u out of range", op.index));
+            break;
+          case OperandKind::Func:
+            if (op.index >= mod_.funcs().size())
+                err(f.name, bb, strfmt("func %u out of range", op.index));
+            break;
+          default:
+            break;
+        }
+    }
+
+    TypeId
+    operandType(const Function &f, const Operand &op) const
+    {
+        if (op.isVReg() && op.index < f.vregs.size())
+            return f.vregs[op.index].type;
+        return kInvalidType;
+    }
+
+    void
+    checkFunc(const Function &f)
+    {
+        if (f.blocks.empty()) {
+            err(f.name, 0, "function has no blocks");
+            return;
+        }
+        for (uint32_t p : f.params) {
+            if (p >= f.vregs.size())
+                err(f.name, 0, "param vreg out of range");
+        }
+        for (const auto &bb : f.blocks) {
+            if (bb.instrs.empty()) {
+                err(f.name, bb.id, "empty basic block");
+                continue;
+            }
+            for (size_t i = 0; i < bb.instrs.size(); ++i) {
+                const Instr &in = bb.instrs[i];
+                bool last = i + 1 == bb.instrs.size();
+                if (in.isTerminator() != last) {
+                    err(f.name, bb.id,
+                        strfmt("terminator placement wrong at instr %zu (%s)",
+                               i, opcodeName(in.op)));
+                }
+                checkInstr(f, bb.id, in);
+            }
+        }
+    }
+
+    void
+    checkInstr(const Function &f, uint32_t bb, const Instr &in)
+    {
+        for (const auto &a : in.args)
+            checkOperand(f, bb, a);
+        if (in.hasDst() && in.dst >= f.vregs.size()) {
+            err(f.name, bb, "dst vreg out of range");
+            return;
+        }
+        const TypeTable &tt = mod_.types();
+        auto wantArgs = [&](size_t n) {
+            if (in.args.size() != n) {
+                err(f.name, bb, strfmt("%s expects %zu operands, has %zu",
+                                       opcodeName(in.op), n, in.args.size()));
+                return false;
+            }
+            return true;
+        };
+        switch (in.op) {
+          case Opcode::ConstI:
+            wantArgs(1);
+            if (!in.hasDst())
+                err(f.name, bb, "const without dst");
+            break;
+          case Opcode::Mov:
+            wantArgs(1);
+            break;
+          case Opcode::Bin:
+            wantArgs(2);
+            break;
+          case Opcode::Un:
+            wantArgs(1);
+            break;
+          case Opcode::Cast:
+            wantArgs(1);
+            break;
+          case Opcode::AddrGlobal:
+            if (wantArgs(1) && !in.args[0].isGlobal())
+                err(f.name, bb, "addr_global operand not a global");
+            if (in.hasDst() && !tt.isPtr(f.vregs[in.dst].type))
+                err(f.name, bb, "addr_global dst not a pointer");
+            break;
+          case Opcode::AddrLocal:
+            if (in.auxA >= f.locals.size())
+                err(f.name, bb, "addr_local index out of range");
+            break;
+          case Opcode::Gep: {
+            if (!wantArgs(1))
+                break;
+            TypeId bt = operandType(f, in.args[0]);
+            if (bt != kInvalidType && !tt.isPtr(bt))
+                err(f.name, bb, "gep base not a pointer");
+            break;
+          }
+          case Opcode::PtrAdd:
+            wantArgs(2);
+            break;
+          case Opcode::Load: {
+            if (!wantArgs(1))
+                break;
+            TypeId pt = operandType(f, in.args[0]);
+            if (pt != kInvalidType && !tt.isPtr(pt))
+                err(f.name, bb, "load operand not a pointer");
+            break;
+          }
+          case Opcode::Store: {
+            if (!wantArgs(2))
+                break;
+            TypeId pt = operandType(f, in.args[0]);
+            if (pt != kInvalidType && !tt.isPtr(pt))
+                err(f.name, bb, "store target not a pointer");
+            break;
+          }
+          case Opcode::Call: {
+            if (in.callee >= mod_.funcs().size()) {
+                err(f.name, bb, "call target out of range");
+                break;
+            }
+            const Function &callee = mod_.funcAt(in.callee);
+            if (callee.dead)
+                err(f.name, bb, "call to dead function " + callee.name);
+            if (in.args.size() != callee.params.size()) {
+                err(f.name, bb,
+                    strfmt("call to %s with %zu args, expects %zu",
+                           callee.name.c_str(), in.args.size(),
+                           callee.params.size()));
+            }
+            break;
+          }
+          case Opcode::CallInd:
+            wantArgs(1);
+            break;
+          case Opcode::Ret:
+            if (tt.isVoid(f.retType)) {
+                if (!in.args.empty())
+                    err(f.name, bb, "ret with value in void function");
+            } else if (in.args.size() != 1) {
+                err(f.name, bb, "ret without value in non-void function");
+            }
+            break;
+          case Opcode::Br:
+            if (in.b0 >= f.blocks.size())
+                err(f.name, bb, "br target out of range");
+            break;
+          case Opcode::CondBr:
+            wantArgs(1);
+            if (in.b0 >= f.blocks.size() || in.b1 >= f.blocks.size())
+                err(f.name, bb, "cond_br target out of range");
+            break;
+          case Opcode::ChkNull: case Opcode::ChkUBound:
+          case Opcode::ChkBounds: case Opcode::ChkFnPtr:
+          case Opcode::ChkWild: case Opcode::ChkAlign:
+            wantArgs(1);
+            break;
+          case Opcode::HwRead:
+            if (!in.hasDst())
+                err(f.name, bb, "hw_read without dst");
+            break;
+          case Opcode::HwWrite:
+            wantArgs(1);
+            break;
+          default:
+            break;
+        }
+    }
+
+    const Module &mod_;
+    std::vector<std::string> problems_;
+};
+
+} // namespace
+
+std::vector<std::string>
+verifyModule(const Module &m)
+{
+    return Verifier(m).run();
+}
+
+void
+verifyOrDie(const Module &m, const std::string &stage)
+{
+    auto problems = verifyModule(m);
+    if (!problems.empty()) {
+        panic("IR verification failed after " + stage + ": " +
+              problems.front() +
+              strfmt(" (+%zu more)", problems.size() - 1));
+    }
+}
+
+} // namespace stos::ir

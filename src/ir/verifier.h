@@ -1,0 +1,28 @@
+/**
+ * @file
+ * TinyCIL verifier. Every pipeline stage runs the verifier after
+ * transforming the module (in tests and in the pipeline's paranoid
+ * mode), catching malformed IR early.
+ */
+#ifndef STOS_IR_VERIFIER_H
+#define STOS_IR_VERIFIER_H
+
+#include <string>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace stos::ir {
+
+/**
+ * Check module well-formedness. Returns a list of problem
+ * descriptions; empty means the module verified.
+ */
+std::vector<std::string> verifyModule(const Module &m);
+
+/** Convenience wrapper: panics with the first problem if any. */
+void verifyOrDie(const Module &m, const std::string &stage);
+
+} // namespace stos::ir
+
+#endif

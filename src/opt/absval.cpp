@@ -1,0 +1,576 @@
+/**
+ * @file
+ * Abstract-domain operations.
+ */
+#include "opt/absval.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/util.h"
+
+namespace stos::opt {
+
+using namespace stos::ir;
+
+AbsVal
+AbsVal::constant(int64_t c)
+{
+    AbsVal v;
+    v.kind = Int;
+    v.lo = v.hi = c;
+    v.knownMask = ~0ull;
+    v.knownVal = static_cast<uint64_t>(c);
+    return v;
+}
+
+AbsVal
+AbsVal::range(int64_t lo, int64_t hi)
+{
+    AbsVal v;
+    v.kind = Int;
+    v.lo = lo;
+    v.hi = hi;
+    if (lo == hi) {
+        v.knownMask = ~0ull;
+        v.knownVal = static_cast<uint64_t>(lo);
+    }
+    return v;
+}
+
+AbsVal
+AbsVal::pointer(const analysis::MemObj &obj, int64_t off, bool nonNull)
+{
+    AbsVal v;
+    v.kind = Ptr;
+    v.exactObj = true;
+    v.obj = obj;
+    v.offLo = v.offHi = off;
+    v.nonNull = nonNull;
+    return v;
+}
+
+std::string
+AbsVal::toString() const
+{
+    switch (kind) {
+      case Bottom: return "_|_";
+      case Top: return "T";
+      case Int:
+        if (lo == hi)
+            return strfmt("%lld", static_cast<long long>(lo));
+        return strfmt("[%lld,%lld]", static_cast<long long>(lo),
+                      static_cast<long long>(hi));
+      case Ptr:
+        return strfmt("ptr%s(off [%lld,%lld])", nonNull ? "!" : "?",
+                      static_cast<long long>(offLo),
+                      static_cast<long long>(offHi));
+    }
+    return "?";
+}
+
+AbsVal
+join(const AbsVal &a, const AbsVal &b, const DomainConfig &cfg)
+{
+    if (a.isBottom())
+        return b;
+    if (b.isBottom())
+        return a;
+    if (a.isTop() || b.isTop())
+        return AbsVal::top();
+    if (a.kind != b.kind)
+        return AbsVal::top();
+    if (a.kind == AbsVal::Int) {
+        AbsVal v;
+        v.kind = AbsVal::Int;
+        v.lo = std::min(a.lo, b.lo);
+        v.hi = std::max(a.hi, b.hi);
+        if (!cfg.intervals && v.lo != v.hi)
+            return AbsVal::top();  // constants-only domain
+        if (cfg.knownBits) {
+            v.knownMask = a.knownMask & b.knownMask &
+                          ~(a.knownVal ^ b.knownVal);
+            v.knownVal = a.knownVal & v.knownMask;
+        }
+        return v;
+    }
+    // Pointers.
+    AbsVal v;
+    v.kind = AbsVal::Ptr;
+    v.nonNull = a.nonNull && b.nonNull;
+    if (a.exactObj && b.exactObj && a.obj == b.obj) {
+        v.exactObj = true;
+        v.obj = a.obj;
+        v.offLo = std::min(a.offLo, b.offLo);
+        v.offHi = std::max(a.offHi, b.offHi);
+    } else {
+        v.exactObj = false;
+    }
+    return v;
+}
+
+namespace {
+
+/**
+ * Widening thresholds: loop bounds in embedded code are almost always
+ * small powers of two (buffer sizes) or type extrema; widening to the
+ * next threshold instead of infinity keeps the bounds the check
+ * eliminator needs while still guaranteeing fast convergence.
+ */
+std::vector<int64_t> &
+widenThresholds()
+{
+    static std::vector<int64_t> ts = {
+        0,  1,   2,   4,    7,    8,    15,   16,    31,    32,   63,
+        64, 127, 128, 255,  256,  511,  512,  1023,  1024,  4095, 4096,
+        32767, 32768, 65535, 65536, INT64_MAX / 4,
+    };
+    return ts;
+}
+
+int64_t
+widenUp(int64_t v)
+{
+    for (int64_t t : widenThresholds()) {
+        if (v <= t)
+            return t;
+    }
+    return INT64_MAX / 4;
+}
+
+int64_t
+widenDown(int64_t v)
+{
+    // Largest negated threshold that is still <= v.
+    for (int64_t t : widenThresholds()) {
+        if (-t <= v)
+            return -t;
+    }
+    return INT64_MIN / 4;
+}
+
+} // namespace
+
+void
+addWidenThresholds(const std::vector<int64_t> &values)
+{
+    auto &ts = widenThresholds();
+    ts.insert(ts.end(), values.begin(), values.end());
+    std::sort(ts.begin(), ts.end());
+    ts.erase(std::unique(ts.begin(), ts.end()), ts.end());
+}
+
+AbsVal
+widen(const AbsVal &a, const AbsVal &b, bool toInfinity)
+{
+    if (a.isBottom())
+        return b;
+    if (b.isBottom())
+        return a;
+    if (a.isTop() || b.isTop() || a.kind != b.kind)
+        return AbsVal::top();
+    if (a.kind == AbsVal::Int) {
+        AbsVal v = a;
+        if (b.lo < a.lo)
+            v.lo = toInfinity ? INT64_MIN / 4 : widenDown(b.lo);
+        if (b.hi > a.hi)
+            v.hi = toInfinity ? INT64_MAX / 4 : widenUp(b.hi);
+        v.knownMask &= b.knownMask & ~(a.knownVal ^ b.knownVal);
+        v.knownVal &= v.knownMask;
+        return v;
+    }
+    AbsVal v = a;
+    v.nonNull = a.nonNull && b.nonNull;
+    if (!(b.exactObj && a.exactObj && a.obj == b.obj)) {
+        v.exactObj = false;
+        return v;
+    }
+    if (b.offLo < a.offLo)
+        v.offLo = INT64_MIN / 4;
+    if (b.offHi > a.offHi)
+        v.offHi = INT64_MAX / 4;
+    return v;
+}
+
+namespace {
+
+struct Width {
+    uint32_t bits = 64;
+    bool isSigned = false;
+};
+
+Width
+widthOf(const TypeTable &tt, TypeId t)
+{
+    const Type &ty = tt.get(t);
+    switch (ty.kind) {
+      case TypeKind::Bool:
+        return {1, false};
+      case TypeKind::Int:
+        return {ty.bits, ty.isSigned};
+      case TypeKind::Ptr:
+      case TypeKind::FnPtr:
+        return {16, false};
+      default:
+        return {64, false};
+    }
+}
+
+} // namespace
+
+AbsVal
+clampToType(const AbsVal &v, const TypeTable &tt, TypeId t,
+            const DomainConfig &cfg)
+{
+    // A Top integer is still bounded by its machine type: turning it
+    // into the full-width range is what lets later conditional
+    // refinement produce usable intervals (e.g. a u8 from a device
+    // register is [0,255], then "if (n > 32) n = 32" caps it).
+    if (v.isTop() && cfg.intervals) {
+        const Type &ty = tt.get(t);
+        if (ty.kind == TypeKind::Int || ty.kind == TypeKind::Bool) {
+            Width tw = widthOf(tt, t);
+            if (tw.bits < 64) {
+                uint64_t mask = (1ull << tw.bits) - 1;
+                if (tw.isSigned) {
+                    return AbsVal::range(
+                        -(1ll << (tw.bits - 1)),
+                        (1ll << (tw.bits - 1)) - 1);
+                }
+                return AbsVal::range(0, static_cast<int64_t>(mask));
+            }
+        }
+    }
+    if (v.kind != AbsVal::Int)
+        return v;
+    Width w = widthOf(tt, t);
+    if (w.bits >= 64)
+        return v;
+    int64_t tmin, tmax;
+    uint64_t mask = (w.bits == 64) ? ~0ull : ((1ull << w.bits) - 1);
+    if (w.isSigned) {
+        tmin = -(1ll << (w.bits - 1));
+        tmax = (1ll << (w.bits - 1)) - 1;
+    } else {
+        tmin = 0;
+        tmax = static_cast<int64_t>(mask);
+    }
+    AbsVal out = v;
+    if (v.lo < tmin || v.hi > tmax) {
+        if (v.lo == v.hi) {
+            // Deterministic wraparound of a constant.
+            uint64_t raw = static_cast<uint64_t>(v.lo) & mask;
+            int64_t c = static_cast<int64_t>(raw);
+            if (w.isSigned && (raw >> (w.bits - 1)))
+                c = static_cast<int64_t>(raw | ~mask);
+            return cfg.intervals || true ? AbsVal::constant(c)
+                                         : AbsVal::constant(c);
+        }
+        out.lo = tmin;
+        out.hi = tmax;
+        out.knownMask = 0;
+        out.knownVal = 0;
+        if (!cfg.intervals)
+            return AbsVal::top();
+    }
+    out.knownMask &= mask;
+    out.knownVal &= mask;
+    return out;
+}
+
+AbsVal
+evalBin(BinOp op, const AbsVal &a, const AbsVal &b, const TypeTable &tt,
+        TypeId operandType, TypeId resultType, const DomainConfig &cfg)
+{
+    if (a.isBottom() || b.isBottom())
+        return AbsVal::bottom();
+    // Pointer comparisons: only equal-object offset reasoning.
+    if (a.kind == AbsVal::Ptr || b.kind == AbsVal::Ptr) {
+        if (op == BinOp::Eq || op == BinOp::Ne) {
+            // p == null is decidable when nonNull is known.
+            const AbsVal *p = a.kind == AbsVal::Ptr ? &a : &b;
+            const AbsVal *o = a.kind == AbsVal::Ptr ? &b : &a;
+            if (o->isConst() && *o->asConst() == 0 && p->nonNull)
+                return AbsVal::constant(op == BinOp::Ne ? 1 : 0);
+        }
+        return AbsVal::range(0, 1);
+    }
+    if (a.isTop() || b.isTop()) {
+        if (binOpIsComparison(op))
+            return AbsVal::range(0, 1);
+        return AbsVal::top();
+    }
+
+    // Constant fast path.
+    if (a.isConst() && b.isConst()) {
+        int64_t x = *a.asConst(), y = *b.asConst();
+        Width w = widthOf(tt, operandType);
+        uint64_t mask =
+            w.bits >= 64 ? ~0ull : ((1ull << w.bits) - 1);
+        uint64_t ux = static_cast<uint64_t>(x) & mask;
+        uint64_t uy = static_cast<uint64_t>(y) & mask;
+        auto sext = [&](uint64_t u) -> int64_t {
+            if (w.bits >= 64)
+                return static_cast<int64_t>(u);
+            if (w.isSigned && (u >> (w.bits - 1)))
+                return static_cast<int64_t>(u | ~mask);
+            return static_cast<int64_t>(u);
+        };
+        int64_t sx = sext(ux), sy = sext(uy);
+        std::optional<int64_t> r;
+        switch (op) {
+          case BinOp::Add: r = x + y; break;
+          case BinOp::Sub: r = x - y; break;
+          case BinOp::Mul: r = x * y; break;
+          case BinOp::DivU: if (uy) r = static_cast<int64_t>(ux / uy); break;
+          case BinOp::DivS: if (sy) r = sx / sy; break;
+          case BinOp::RemU: if (uy) r = static_cast<int64_t>(ux % uy); break;
+          case BinOp::RemS: if (sy) r = sx % sy; break;
+          case BinOp::And: r = static_cast<int64_t>(ux & uy); break;
+          case BinOp::Or: r = static_cast<int64_t>(ux | uy); break;
+          case BinOp::Xor: r = static_cast<int64_t>(ux ^ uy); break;
+          case BinOp::Shl: r = static_cast<int64_t>(ux << (uy & 63)); break;
+          case BinOp::ShrU: r = static_cast<int64_t>(ux >> (uy & 63)); break;
+          case BinOp::ShrS: r = sx >> (uy & 63); break;
+          case BinOp::Eq: r = ux == uy; break;
+          case BinOp::Ne: r = ux != uy; break;
+          case BinOp::LtU: r = ux < uy; break;
+          case BinOp::LtS: r = sx < sy; break;
+          case BinOp::LeU: r = ux <= uy; break;
+          case BinOp::LeS: r = sx <= sy; break;
+          case BinOp::GtU: r = ux > uy; break;
+          case BinOp::GtS: r = sx > sy; break;
+          case BinOp::GeU: r = ux >= uy; break;
+          case BinOp::GeS: r = sx >= sy; break;
+        }
+        if (!r)
+            return AbsVal::top();
+        return clampToType(AbsVal::constant(*r), tt, resultType, cfg);
+    }
+
+    if (!cfg.intervals) {
+        if (binOpIsComparison(op))
+            return AbsVal::range(0, 1);
+        return AbsVal::top();
+    }
+
+    // Interval arithmetic for the common operators.
+    AbsVal out;
+    out.kind = AbsVal::Int;
+    bool nonNegA = a.lo >= 0, nonNegB = b.lo >= 0;
+    switch (op) {
+      case BinOp::Add:
+        out.lo = a.lo + b.lo;
+        out.hi = a.hi + b.hi;
+        break;
+      case BinOp::Sub:
+        out.lo = a.lo - b.hi;
+        out.hi = a.hi - b.lo;
+        break;
+      case BinOp::Mul: {
+        int64_t c[4] = {a.lo * b.lo, a.lo * b.hi, a.hi * b.lo,
+                        a.hi * b.hi};
+        out.lo = *std::min_element(c, c + 4);
+        out.hi = *std::max_element(c, c + 4);
+        break;
+      }
+      case BinOp::DivU:
+        if (nonNegA && b.lo > 0) {
+            out.lo = a.lo / b.hi;
+            out.hi = a.hi / b.lo;
+        } else {
+            return AbsVal::top();
+        }
+        break;
+      case BinOp::RemU:
+        if (b.lo > 0) {
+            out.lo = 0;
+            out.hi = b.hi - 1;
+            if (nonNegA && a.hi < b.lo) {
+                out.lo = a.lo;
+                out.hi = a.hi;
+            }
+        } else {
+            return AbsVal::top();
+        }
+        break;
+      case BinOp::And:
+        if (cfg.knownBits && nonNegA && nonNegB) {
+            out.lo = 0;
+            out.hi = std::min(a.hi, b.hi);
+        } else {
+            return AbsVal::top();
+        }
+        break;
+      case BinOp::Or:
+      case BinOp::Xor:
+        if (nonNegA && nonNegB) {
+            out.lo = 0;
+            // Next power-of-two envelope.
+            uint64_t m = static_cast<uint64_t>(std::max(a.hi, b.hi));
+            uint64_t env = 1;
+            while (env <= m && env < (1ull << 62))
+                env <<= 1;
+            out.hi = static_cast<int64_t>(env - 1);
+        } else {
+            return AbsVal::top();
+        }
+        break;
+      case BinOp::Shl:
+        if (nonNegA && b.isConst() && *b.asConst() >= 0 &&
+            *b.asConst() < 32) {
+            out.lo = a.lo << *b.asConst();
+            out.hi = a.hi << *b.asConst();
+        } else {
+            return AbsVal::top();
+        }
+        break;
+      case BinOp::ShrU:
+        if (nonNegA && b.isConst() && *b.asConst() >= 0 &&
+            *b.asConst() < 64) {
+            out.lo = a.lo >> *b.asConst();
+            out.hi = a.hi >> *b.asConst();
+        } else {
+            return AbsVal::top();
+        }
+        break;
+      // Comparisons over disjoint intervals decide statically.
+      case BinOp::LtU: case BinOp::LtS:
+        if (a.hi < b.lo)
+            return AbsVal::constant(1);
+        if (a.lo >= b.hi)
+            return AbsVal::constant(0);
+        return AbsVal::range(0, 1);
+      case BinOp::LeU: case BinOp::LeS:
+        if (a.hi <= b.lo)
+            return AbsVal::constant(1);
+        if (a.lo > b.hi)
+            return AbsVal::constant(0);
+        return AbsVal::range(0, 1);
+      case BinOp::GtU: case BinOp::GtS:
+        if (a.lo > b.hi)
+            return AbsVal::constant(1);
+        if (a.hi <= b.lo)
+            return AbsVal::constant(0);
+        return AbsVal::range(0, 1);
+      case BinOp::GeU: case BinOp::GeS:
+        if (a.lo >= b.hi)
+            return AbsVal::constant(1);
+        if (a.hi < b.lo)
+            return AbsVal::constant(0);
+        return AbsVal::range(0, 1);
+      case BinOp::Eq:
+        if (a.isConst() && b.isConst())
+            return AbsVal::constant(a.lo == b.lo);
+        if (a.hi < b.lo || a.lo > b.hi)
+            return AbsVal::constant(0);
+        return AbsVal::range(0, 1);
+      case BinOp::Ne:
+        if (a.isConst() && b.isConst())
+            return AbsVal::constant(a.lo != b.lo);
+        if (a.hi < b.lo || a.lo > b.hi)
+            return AbsVal::constant(1);
+        return AbsVal::range(0, 1);
+      default:
+        return AbsVal::top();
+    }
+    return clampToType(out, tt, resultType, cfg);
+}
+
+AbsVal
+evalUn(UnOp op, const AbsVal &a, const TypeTable &tt, TypeId t,
+       const DomainConfig &cfg)
+{
+    if (a.isBottom())
+        return AbsVal::bottom();
+    if (a.kind != AbsVal::Int)
+        return AbsVal::top();
+    if (a.isTop()) {
+        if (op == UnOp::Not)
+            return AbsVal::range(0, 1);
+        return AbsVal::top();
+    }
+    switch (op) {
+      case UnOp::Neg: {
+        AbsVal v;
+        v.kind = AbsVal::Int;
+        v.lo = -a.hi;
+        v.hi = -a.lo;
+        return clampToType(v, tt, t, cfg);
+      }
+      case UnOp::Not:
+        if (a.lo > 0 || a.hi < 0)
+            return AbsVal::constant(0);
+        if (a.isConst())
+            return AbsVal::constant(*a.asConst() == 0);
+        return AbsVal::range(0, 1);
+      case UnOp::BNot:
+        if (a.isConst())
+            return clampToType(AbsVal::constant(~*a.asConst()), tt, t,
+                               cfg);
+        return AbsVal::top();
+    }
+    return AbsVal::top();
+}
+
+AbsVal
+refineByCompare(const AbsVal &v, BinOp op, const AbsVal &rhs, bool taken,
+                const DomainConfig &cfg)
+{
+    if (!cfg.intervals || v.kind != AbsVal::Int ||
+        rhs.kind != AbsVal::Int || v.isTop() || rhs.isTop()) {
+        // Equality with a constant still refines a Top value.
+        if (v.kind == AbsVal::Int || v.isTop()) {
+            if (taken && op == BinOp::Eq && rhs.isConst())
+                return rhs;
+            if (!taken && op == BinOp::Ne && rhs.isConst())
+                return rhs;
+        }
+        return v;
+    }
+    AbsVal out = v;
+    auto apply = [&](BinOp effective) {
+        switch (effective) {
+          case BinOp::LtU: case BinOp::LtS:
+            out.hi = std::min(out.hi, rhs.hi - 1);
+            break;
+          case BinOp::LeU: case BinOp::LeS:
+            out.hi = std::min(out.hi, rhs.hi);
+            break;
+          case BinOp::GtU: case BinOp::GtS:
+            out.lo = std::max(out.lo, rhs.lo + 1);
+            break;
+          case BinOp::GeU: case BinOp::GeS:
+            out.lo = std::max(out.lo, rhs.lo);
+            break;
+          case BinOp::Eq:
+            out.lo = std::max(out.lo, rhs.lo);
+            out.hi = std::min(out.hi, rhs.hi);
+            break;
+          default:
+            break;
+        }
+    };
+    if (taken) {
+        apply(op);
+    } else {
+        // Negate the comparison.
+        switch (op) {
+          case BinOp::LtU: apply(BinOp::GeU); break;
+          case BinOp::LtS: apply(BinOp::GeS); break;
+          case BinOp::LeU: apply(BinOp::GtU); break;
+          case BinOp::LeS: apply(BinOp::GtS); break;
+          case BinOp::GtU: apply(BinOp::LeU); break;
+          case BinOp::GtS: apply(BinOp::LeS); break;
+          case BinOp::GeU: apply(BinOp::LtU); break;
+          case BinOp::GeS: apply(BinOp::LtS); break;
+          case BinOp::Ne: apply(BinOp::Eq); break;
+          default: break;
+        }
+    }
+    if (out.lo > out.hi)
+        return AbsVal::bottom();  // branch statically impossible
+    return out;
+}
+
+} // namespace stos::opt

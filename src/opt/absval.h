@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Abstract values for the cXprop-style dataflow analysis. The domain
+ * is a product of an integer interval domain and a known-bits domain
+ * (two of cXprop's pluggable abstract domains, LCTES'06), extended
+ * with pointer provenance: which object a pointer addresses and the
+ * interval of its byte offset. Provenance is what lets the analyzer
+ * prove bounds checks redundant.
+ */
+#ifndef STOS_OPT_ABSVAL_H
+#define STOS_OPT_ABSVAL_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+#include <string>
+
+#include "analysis/pointsto.h"
+#include "ir/module.h"
+
+namespace stos::opt {
+
+/** Which domain components are active (ablation hooks). */
+struct DomainConfig {
+    bool intervals = true;   ///< interval component (else constants only)
+    bool knownBits = true;   ///< bitwise component
+};
+
+/**
+ * One abstract value. `Bottom` = unreachable / uninitialized;
+ * `Top` = unknown. Integer values carry [lo, hi] plus known bits;
+ * pointer values carry provenance.
+ */
+struct AbsVal {
+    enum Kind : uint8_t { Bottom, Int, Ptr, Top } kind = Bottom;
+
+    // Int payload (signed 64-bit envelope of the machine value).
+    int64_t lo = 0;
+    int64_t hi = 0;
+    uint64_t knownMask = 0;  ///< bits whose value is known
+    uint64_t knownVal = 0;   ///< values of the known bits
+
+    // Ptr payload.
+    bool nonNull = false;
+    bool exactObj = false;   ///< obj identifies the single target
+    analysis::MemObj obj;
+    int64_t offLo = 0;       ///< byte offset interval within obj
+    int64_t offHi = 0;
+
+    static AbsVal bottom() { return {}; }
+    static AbsVal
+    top()
+    {
+        AbsVal v;
+        v.kind = Top;
+        return v;
+    }
+    static AbsVal constant(int64_t c);
+    static AbsVal range(int64_t lo, int64_t hi);
+    static AbsVal pointer(const analysis::MemObj &obj, int64_t off,
+                          bool nonNull = true);
+
+    bool isBottom() const { return kind == Bottom; }
+    bool isTop() const { return kind == Top; }
+    bool isConst() const
+    {
+        return kind == Int && lo == hi;
+    }
+    std::optional<int64_t>
+    asConst() const
+    {
+        if (isConst())
+            return lo;
+        return std::nullopt;
+    }
+
+    bool operator==(const AbsVal &) const = default;
+
+    std::string toString() const;
+};
+
+/** Lattice join (least upper bound). */
+AbsVal join(const AbsVal &a, const AbsVal &b, const DomainConfig &cfg);
+
+/** Widen a to cover b (used after repeated joins on loop heads). */
+AbsVal widen(const AbsVal &a, const AbsVal &b,
+             bool toInfinity = false);
+
+/**
+ * Register extra widening thresholds (classic threshold widening: the
+ * integer constants of the program under analysis, so loop bounds
+ * like `i < 10` survive widening).
+ */
+void addWidenThresholds(const std::vector<int64_t> &values);
+
+/** Clamp an integer abstract value to a type's width/signedness. */
+AbsVal clampToType(const AbsVal &v, const ir::TypeTable &tt,
+                   ir::TypeId t, const DomainConfig &cfg);
+
+/** Transfer function for binary ops (operands already clamped). */
+AbsVal evalBin(ir::BinOp op, const AbsVal &a, const AbsVal &b,
+               const ir::TypeTable &tt, ir::TypeId operandType,
+               ir::TypeId resultType, const DomainConfig &cfg);
+
+/** Transfer function for unary ops. */
+AbsVal evalUn(ir::UnOp op, const AbsVal &a, const ir::TypeTable &tt,
+              ir::TypeId t, const DomainConfig &cfg);
+
+/**
+ * Refine `v` assuming the comparison `v <op> rhs` evaluated to
+ * `taken`. Used for conditional-branch refinement.
+ */
+AbsVal refineByCompare(const AbsVal &v, ir::BinOp op, const AbsVal &rhs,
+                       bool taken, const DomainConfig &cfg);
+
+} // namespace stos::opt
+
+#endif

@@ -1,0 +1,762 @@
+/**
+ * @file
+ * cXprop engine implementation.
+ */
+#include "opt/cxprop.h"
+
+#include <algorithm>
+#include <deque>
+#include <cstdlib>
+#include <cstdio>
+#include <map>
+
+#include "analysis/callgraph.h"
+#include "analysis/concurrency.h"
+#include "analysis/pointsto.h"
+#include "opt/passes.h"
+#include "support/util.h"
+
+namespace stos::opt {
+
+using namespace stos::ir;
+using namespace stos::analysis;
+
+namespace {
+
+/** Size in bytes of an abstract memory object, if known. */
+std::optional<uint32_t>
+objSize(const Module &m, const MemObj &o)
+{
+    switch (o.kind) {
+      case MemObj::GlobalObj:
+        return m.typeSize(m.globalAt(o.index).type);
+      case MemObj::LocalObj:
+        return m.typeSize(m.funcAt(o.func).locals.at(o.index).type);
+      case MemObj::Universal:
+        return std::nullopt;
+    }
+    return std::nullopt;
+}
+
+/** Decode a little-endian scalar from a global's init image. */
+int64_t
+initValueOf(const Module &m, const Global &g)
+{
+    uint32_t sz = m.typeSize(g.type);
+    uint64_t v = 0;
+    for (uint32_t i = 0; i < sz && i < 8 && i < g.init.size(); ++i)
+        v |= static_cast<uint64_t>(g.init[i]) << (8 * i);
+    const Type &ty = m.types().get(g.type);
+    if (ty.kind == TypeKind::Int && ty.isSigned && sz < 8 &&
+        (v >> (sz * 8 - 1))) {
+        v |= ~((1ull << (sz * 8)) - 1);
+    }
+    return static_cast<int64_t>(v);
+}
+
+bool
+isScalar(const TypeTable &tt, TypeId t)
+{
+    return tt.isScalarInt(t);
+}
+
+class Engine {
+  public:
+    Engine(Module &m, const CxpropOptions &opts, CxpropReport &rep)
+        : mod_(m), opts_(opts), rep_(rep), cg_(m), pts_(m),
+          conc_(m, cg_, pts_, opts.concurrency)
+    {
+        size_t nf = m.funcs().size();
+        paramSummary_.resize(nf);
+        retSummary_.assign(nf, AbsVal::bottom());
+        for (const auto &f : m.funcs())
+            paramSummary_[f.id].assign(f.params.size(), AbsVal::bottom());
+        seedGlobals();
+        seedRoots();
+        // Threshold widening seeded from the program's own constants
+        // (plus off-by-one neighbours for < / <= bounds).
+        std::vector<int64_t> consts;
+        for (const auto &f : m.funcs()) {
+            if (f.dead)
+                continue;
+            for (const auto &bb : f.blocks) {
+                for (const auto &in : bb.instrs) {
+                    for (const auto &a : in.args) {
+                        if (a.isImm() && a.imm >= -65536 &&
+                            a.imm <= 65536) {
+                            consts.push_back(a.imm);
+                            consts.push_back(a.imm - 1);
+                            consts.push_back(a.imm + 1);
+                        }
+                    }
+                }
+            }
+        }
+        addWidenThresholds(consts);
+    }
+
+    void
+    analyzeToFixpoint()
+    {
+        for (int round = 0; round < 60; ++round) {
+            // Interprocedural widening: if plain joins have not
+            // converged after a few rounds, widen the summaries so
+            // the transform phase only ever sees a sound fixpoint.
+            widening_ = round >= 8;
+            fullWidening_ = round >= 18;
+            changed_ = false;
+            for (auto &f : mod_.funcs()) {
+                if (!f.dead)
+                    analyzeFunction(f, nullptr);
+            }
+            if (!changed_)
+                return;
+        }
+        panic("cxprop interprocedural analysis failed to converge");
+    }
+
+    void
+    transformAll()
+    {
+        for (auto &f : mod_.funcs()) {
+            if (!f.dead)
+                analyzeFunction(f, &rep_);
+        }
+    }
+
+    const ConcurrencyAnalysis &conc() const { return conc_; }
+    const PointsTo &pts() const { return pts_; }
+
+  private:
+    struct State {
+        std::vector<AbsVal> regs;
+        std::map<MemObj, AbsVal> mem;  ///< block-local store forwarding
+    };
+
+    void
+    seedGlobals()
+    {
+        globalInv_.assign(mod_.globals().size(), AbsVal::bottom());
+        for (const auto &g : mod_.globals()) {
+            if (g.dead)
+                continue;
+            if (isScalar(mod_.types(), g.type))
+                globalInv_[g.id] = AbsVal::constant(initValueOf(mod_, g));
+            else
+                globalInv_[g.id] = AbsVal::top();
+        }
+    }
+
+    void
+    seedRoots()
+    {
+        // Entry points get Top parameters.
+        for (const auto &f : mod_.funcs()) {
+            if (f.dead)
+                continue;
+            bool root = f.name == "main" ||
+                        f.attrs.interruptVector >= 0 ||
+                        f.attrs.usedFromStart ||
+                        cg_.isAddressTaken(f.id);
+            if (root) {
+                for (auto &p : paramSummary_[f.id])
+                    p = AbsVal::top();
+            }
+        }
+    }
+
+    bool
+    isRacy(const MemObj &o) const
+    {
+        return o.kind == MemObj::Universal ||
+               conc_.racyObjects().count(o) > 0;
+    }
+
+    AbsVal
+    evalOperand(const Function &f, const State &st, const Operand &op)
+    {
+        switch (op.kind) {
+          case OperandKind::VReg:
+            return st.regs[op.index];
+          case OperandKind::ImmInt:
+            return AbsVal::constant(op.imm);
+          case OperandKind::Global:
+            return AbsVal::pointer(MemObj::global(op.index), 0);
+          case OperandKind::Func:
+            return AbsVal::constant(static_cast<int64_t>(op.index) + 1);
+          case OperandKind::None:
+            break;
+        }
+        (void)f;
+        return AbsVal::top();
+    }
+
+    void
+    joinInto(AbsVal &slot, const AbsVal &v, bool widenNow)
+    {
+        AbsVal nv = widenNow ? widen(slot, v, fullWidening_)
+                             : join(slot, v, opts_.domains);
+        if (!(nv == slot)) {
+            slot = nv;
+            changed_ = true;
+        }
+    }
+
+    /**
+     * Record a call's argument values into the callee's summary.
+     * Pointer provenance (object identity + offsets) is deliberately
+     * dropped at call boundaries: cXprop is context-insensitive, and
+     * merging bounds information from every caller at a callee is
+     * exactly what makes un-inlined check elimination weak (paper
+     * §3.1) — inlining restores the precision by removing the call.
+     */
+    void
+    recordCall(const Function &f, const State &st, const Instr &in)
+    {
+        const Function &callee = mod_.funcAt(in.callee);
+        auto &summ = paramSummary_[in.callee];
+        for (size_t i = 0;
+             i < in.args.size() && i < summ.size(); ++i) {
+            AbsVal v = evalOperand(f, st, in.args[i]);
+            v = clampToType(v, mod_.types(),
+                            callee.vregs[callee.params[i]].type,
+                            opts_.domains);
+            if (v.kind == AbsVal::Ptr) {
+                AbsVal degraded;
+                degraded.kind = AbsVal::Ptr;
+                degraded.nonNull = v.nonNull;
+                v = degraded;
+            }
+            joinInto(summ[i], v, widening_);
+        }
+    }
+
+    /**
+     * Transfer one instruction. In transform mode (`rep` non-null)
+     * the instruction may be rewritten in place; returns true if the
+     * caller should delete it.
+     */
+    bool
+    transfer(Function &f, State &st, Instr &in, CxpropReport *rep)
+    {
+        const TypeTable &tt = mod_.types();
+        auto ev = [&](size_t i) { return evalOperand(f, st, in.args[i]); };
+        auto setDst = [&](AbsVal v) {
+            if (in.hasDst())
+                st.regs[in.dst] =
+                    clampToType(v, tt, f.vregs[in.dst].type,
+                                opts_.domains);
+        };
+        auto tryFold = [&](const AbsVal &v) {
+            if (!rep || !in.hasDst())
+                return;
+            if (!isScalar(tt, f.vregs[in.dst].type))
+                return;
+            auto c = v.asConst();
+            if (!c)
+                return;
+            if (in.op == Opcode::ConstI)
+                return;
+            in.op = Opcode::ConstI;
+            in.args = {Operand::immInt(*c)};
+            in.auxA = in.auxB = 0;
+            ++rep->instrsConstFolded;
+        };
+
+        switch (in.op) {
+          case Opcode::ConstI:
+            setDst(AbsVal::constant(in.args[0].imm));
+            break;
+          case Opcode::Mov: {
+            AbsVal v = ev(0);
+            setDst(v);
+            tryFold(v);
+            break;
+          }
+          case Opcode::Bin: {
+            TypeId opd = in.args[0].isVReg()
+                             ? f.vregs[in.args[0].index].type
+                             : in.type;
+            AbsVal v = evalBin(in.bop, ev(0), ev(1), tt, opd, in.type,
+                               opts_.domains);
+            // Comparison bookkeeping for branch refinement.
+            if (binOpIsComparison(in.bop) && in.hasDst()) {
+                CmpInfo ci;
+                ci.valid = true;
+                ci.op = in.bop;
+                ci.lhsVreg = in.args[0].isVReg() ? in.args[0].index
+                                                 : kNoVReg;
+                ci.rhsVreg = in.args[1].isVReg() ? in.args[1].index
+                                                 : kNoVReg;
+                ci.lhs = ev(0);
+                ci.rhs = ev(1);
+                cmpInfo_[in.dst] = ci;
+            }
+            setDst(v);
+            tryFold(v);
+            break;
+          }
+          case Opcode::Un: {
+            AbsVal v = evalUn(in.uop, ev(0), tt, in.type, opts_.domains);
+            setDst(v);
+            tryFold(v);
+            break;
+          }
+          case Opcode::Cast: {
+            AbsVal v = ev(0);
+            const Type &toTy = tt.get(in.type);
+            // Remember injective integer widenings so conditional
+            // refinement can flow back to the original variable (u8
+            // operands are promoted through casts before compares).
+            if (in.args[0].isVReg() && in.hasDst() &&
+                tt.isScalarInt(in.type) &&
+                tt.isScalarInt(f.vregs[in.args[0].index].type)) {
+                const Type &sTy = tt.get(f.vregs[in.args[0].index].type);
+                uint32_t sBits =
+                    sTy.kind == TypeKind::Bool ? 8 : sTy.bits;
+                uint32_t dBits =
+                    toTy.kind == TypeKind::Bool ? 8 : toTy.bits;
+                bool sSigned =
+                    sTy.kind == TypeKind::Int && sTy.isSigned;
+                if (dBits >= sBits && !sSigned)
+                    castSrc_[in.dst] = in.args[0].index;
+            }
+            if (toTy.kind == TypeKind::Ptr) {
+                if (v.kind == AbsVal::Ptr) {
+                    setDst(v);
+                } else if (v.isConst()) {
+                    AbsVal p;
+                    p.kind = AbsVal::Ptr;
+                    p.nonNull = *v.asConst() != 0;
+                    setDst(p);
+                } else {
+                    AbsVal p;
+                    p.kind = AbsVal::Ptr;
+                    setDst(p);
+                }
+            } else if (v.kind == AbsVal::Ptr) {
+                setDst(AbsVal::top());
+            } else {
+                AbsVal c = clampToType(v, tt, in.type, opts_.domains);
+                setDst(c);
+                tryFold(c);
+            }
+            break;
+          }
+          case Opcode::AddrGlobal:
+            setDst(AbsVal::pointer(MemObj::global(in.args[0].index), 0));
+            break;
+          case Opcode::AddrLocal:
+            setDst(AbsVal::pointer(MemObj::local(f.id, in.auxA), 0));
+            break;
+          case Opcode::Gep: {
+            AbsVal v = ev(0);
+            if (v.kind == AbsVal::Ptr) {
+                v.offLo += in.auxB;
+                v.offHi += in.auxB;
+            }
+            setDst(v);
+            break;
+          }
+          case Opcode::PtrAdd: {
+            AbsVal v = ev(0);
+            AbsVal idx = ev(1);
+            if (v.kind == AbsVal::Ptr && idx.kind == AbsVal::Int &&
+                !idx.isTop()) {
+                v.offLo += idx.lo * static_cast<int64_t>(in.auxA);
+                v.offHi += idx.hi * static_cast<int64_t>(in.auxA);
+            } else if (v.kind == AbsVal::Ptr) {
+                v.exactObj = false;
+            }
+            setDst(v);
+            break;
+          }
+          case Opcode::Load: {
+            AbsVal addr = in.args[0].isVReg() ? ev(0) : AbsVal::top();
+            AbsVal result = AbsVal::top();
+            if (addr.kind == AbsVal::Ptr && addr.exactObj) {
+                // Racy objects cannot use block-local forwarding, and
+                // multi-byte racy reads can tear; but a single-byte
+                // read is atomic on these MCUs, so the whole-program
+                // invariant still applies to it.
+                bool racy = isRacy(addr.obj);
+                auto fwd = st.mem.find(addr.obj);
+                if (!racy && fwd != st.mem.end() &&
+                    addr.offLo == addr.offHi) {
+                    result = fwd->second;
+                } else if (addr.obj.kind == MemObj::GlobalObj &&
+                           addr.offLo == 0 && addr.offHi == 0 &&
+                           isScalar(tt, in.type) &&
+                           isScalar(tt,
+                                    mod_.globalAt(addr.obj.index).type) &&
+                           (!racy || mod_.typeSize(in.type) == 1)) {
+                    result = globalInv_[addr.obj.index];
+                }
+            }
+            result = clampToType(result, tt, in.type, opts_.domains);
+            setDst(result);
+            tryFold(result);
+            break;
+          }
+          case Opcode::Store: {
+            AbsVal addr = in.args[0].isVReg() ? ev(0) : AbsVal::top();
+            AbsVal val = ev(1);
+            val = clampToType(val, tt, in.type, opts_.domains);
+            if (addr.kind == AbsVal::Ptr && addr.exactObj) {
+                // Strong update in the block-local map when the
+                // offset is exact (must-alias); weak otherwise.
+                if (addr.offLo == addr.offHi && !isRacy(addr.obj)) {
+                    st.mem[addr.obj] = val;
+                } else {
+                    st.mem.erase(addr.obj);
+                }
+                if (addr.obj.kind == MemObj::GlobalObj)
+                    joinInto(globalInv_[addr.obj.index], val, widening_);
+            } else {
+                // Unknown target: all forwarding is invalid and every
+                // may-target global learns Top.
+                st.mem.clear();
+                if (in.args[0].isVReg()) {
+                    for (const MemObj &o :
+                         pts_.vregPts(f.id, in.args[0].index)) {
+                        if (o.kind == MemObj::GlobalObj) {
+                            joinInto(globalInv_[o.index], AbsVal::top(),
+                                     false);
+                        } else if (o.kind == MemObj::Universal) {
+                            havocAllGlobals();
+                        }
+                    }
+                    if (pts_.vregPts(f.id, in.args[0].index).empty())
+                        havocAllGlobals();
+                } else {
+                    havocAllGlobals();
+                }
+            }
+            break;
+          }
+          case Opcode::Call: {
+            recordCall(f, st, in);
+            st.mem.clear();  // callee may write anything it reaches
+            if (in.hasDst())
+                setDst(retSummary_[in.callee]);
+            break;
+          }
+          case Opcode::CallInd:
+            st.mem.clear();
+            break;
+          case Opcode::Ret:
+            if (!in.args.empty()) {
+                AbsVal v = evalOperand(f, st, in.args[0]);
+                joinInto(retSummary_[f.id], v, widening_);
+            }
+            break;
+          case Opcode::HwRead:
+            setDst(AbsVal::top());
+            break;
+          case Opcode::ChkNull: {
+            AbsVal v = ev(0);
+            bool safe = (v.kind == AbsVal::Ptr && v.nonNull) ||
+                        (v.kind == AbsVal::Int && (v.lo > 0 || v.hi < 0));
+            if (safe && rep && opts_.removeChecks) {
+                ++rep->checksRemoved;
+                return true;
+            }
+            // After the check passes, the pointer is non-null.
+            if (in.args[0].isVReg()) {
+                AbsVal nv = st.regs[in.args[0].index];
+                if (nv.kind == AbsVal::Ptr)
+                    nv.nonNull = true;
+                st.regs[in.args[0].index] = nv;
+            }
+            break;
+          }
+          case Opcode::ChkUBound:
+          case Opcode::ChkBounds:
+          case Opcode::ChkWild: {
+            AbsVal v = ev(0);
+            // Set CXPROP_DEBUG_CHECKS in the environment to trace why
+            // individual checks survive.
+            if (rep && std::getenv("CXPROP_DEBUG_CHECKS")) {
+                fprintf(stderr, "check in %s: %s flid=%u\n",
+                        f.name.c_str(), v.toString().c_str(), in.flid);
+            }
+            if (v.kind == AbsVal::Ptr && v.exactObj) {
+                auto size = objSize(mod_, v.obj);
+                bool lowerOk = in.op == Opcode::ChkUBound
+                                   ? v.nonNull || v.offLo >= 0
+                                   : v.offLo >= 0;
+                if (size && lowerOk && v.offLo >= 0 &&
+                    v.offHi + static_cast<int64_t>(in.auxA) <=
+                        static_cast<int64_t>(*size)) {
+                    if (rep && opts_.removeChecks) {
+                        ++rep->checksRemoved;
+                        return true;
+                    }
+                }
+            }
+            break;
+          }
+          case Opcode::ChkFnPtr: {
+            AbsVal v = ev(0);
+            auto c = v.asConst();
+            if (c && *c >= 1 &&
+                *c <= static_cast<int64_t>(mod_.funcs().size())) {
+                if (rep && opts_.removeChecks) {
+                    ++rep->checksRemoved;
+                    return true;
+                }
+            }
+            break;
+          }
+          case Opcode::ChkAlign: {
+            AbsVal v = ev(0);
+            if (in.auxA <= 1) {
+                if (rep && opts_.removeChecks) {
+                    ++rep->checksRemoved;
+                    return true;
+                }
+            }
+            (void)v;
+            break;
+          }
+          default:
+            break;
+        }
+        return false;
+    }
+
+    void
+    havocAllGlobals()
+    {
+        for (auto &g : globalInv_)
+            joinInto(g, AbsVal::top(), false);
+    }
+
+    struct CmpInfo {
+        bool valid = false;
+        BinOp op = BinOp::Eq;
+        uint32_t lhsVreg = kNoVReg;
+        uint32_t rhsVreg = kNoVReg;
+        AbsVal lhs, rhs;
+    };
+
+    BinOp
+    swapCompare(BinOp op)
+    {
+        switch (op) {
+          case BinOp::LtU: return BinOp::GtU;
+          case BinOp::LtS: return BinOp::GtS;
+          case BinOp::LeU: return BinOp::GeU;
+          case BinOp::LeS: return BinOp::GeS;
+          case BinOp::GtU: return BinOp::LtU;
+          case BinOp::GtS: return BinOp::LtS;
+          case BinOp::GeU: return BinOp::LeU;
+          case BinOp::GeS: return BinOp::LeS;
+          default: return op;
+        }
+    }
+
+    void
+    analyzeFunction(Function &f, CxpropReport *rep)
+    {
+        size_t nb = f.blocks.size();
+        std::vector<std::vector<AbsVal>> blockIn(
+            nb, std::vector<AbsVal>(f.vregs.size(), AbsVal::bottom()));
+        std::vector<int> visits(nb, 0);
+        // Entry: parameters from the interprocedural summary.
+        for (size_t i = 0; i < f.params.size(); ++i)
+            blockIn[0][f.params[i]] = paramSummary_[f.id][i];
+        std::deque<uint32_t> work{0};
+        std::vector<bool> inWork(nb, false);
+        inWork[0] = true;
+
+        while (!work.empty()) {
+            uint32_t b = work.front();
+            work.pop_front();
+            inWork[b] = false;
+            State st;
+            st.regs = blockIn[b];
+            cmpInfo_.clear();
+            castSrc_.clear();
+            BasicBlock &bb = f.blocks[b];
+            for (auto &in : bb.instrs)
+                transfer(f, st, in, nullptr);
+
+            // Propagate to successors.
+            if (!bb.instrs.empty()) {
+                const Instr &t = bb.instrs.back();
+                auto push = [&](uint32_t s, bool taken, bool isCond) {
+                    if (s == kNoBlock || s >= nb)
+                        return;
+                    std::vector<AbsVal> next = st.regs;
+                    if (isCond && t.args[0].isVReg()) {
+                        auto ci = cmpInfo_.find(t.args[0].index);
+                        if (ci != cmpInfo_.end() && ci->second.valid) {
+                            const CmpInfo &info = ci->second;
+                            auto refineChain = [&](uint32_t v, BinOp op,
+                                                   const AbsVal &rhs) {
+                                // Refine the vreg and, through any
+                                // recorded widening casts, the
+                                // variable it came from.
+                                for (int d = 0; d < 8 && v != kNoVReg;
+                                     ++d) {
+                                    next[v] = clampToType(
+                                        refineByCompare(next[v], op,
+                                                        rhs, taken,
+                                                        opts_.domains),
+                                        mod_.types(), f.vregs[v].type,
+                                        opts_.domains);
+                                    auto cs = castSrc_.find(v);
+                                    v = cs != castSrc_.end()
+                                            ? cs->second
+                                            : kNoVReg;
+                                }
+                            };
+                            if (info.lhsVreg != kNoVReg)
+                                refineChain(info.lhsVreg, info.op,
+                                            info.rhs);
+                            if (info.rhsVreg != kNoVReg)
+                                refineChain(info.rhsVreg,
+                                            swapCompare(info.op),
+                                            info.lhs);
+                        }
+                    }
+                    bool widenNow = visits[s] > 12 || fullWidening_;
+                    bool changed = false;
+                    for (size_t v = 0; v < next.size(); ++v) {
+                        AbsVal nv =
+                            widenNow
+                                ? widen(blockIn[s][v], next[v],
+                                        fullWidening_ &&
+                                            visits[s] > 40)
+                                : join(blockIn[s][v], next[v],
+                                       opts_.domains);
+                        if (!(nv == blockIn[s][v])) {
+                            blockIn[s][v] = nv;
+                            changed = true;
+                        }
+                    }
+                    if ((changed || visits[s] == 0) && !inWork[s]) {
+                        ++visits[s];
+                        inWork[s] = true;
+                        work.push_back(s);
+                    }
+                };
+                if (t.op == Opcode::Br) {
+                    push(t.b0, true, false);
+                } else if (t.op == Opcode::CondBr) {
+                    push(t.b0, true, true);
+                    push(t.b1, false, true);
+                }
+            }
+        }
+
+        if (!rep)
+            return;
+
+        // Transform phase: replay every block once from its converged
+        // entry state, rewriting instructions in place.
+        for (uint32_t b = 0; b < nb; ++b) {
+            State st;
+            st.regs = blockIn[b];
+            cmpInfo_.clear();
+            castSrc_.clear();
+            BasicBlock &bb = f.blocks[b];
+            std::vector<Instr> out;
+            out.reserve(bb.instrs.size());
+            for (auto &in : bb.instrs) {
+                // Evaluate the branch condition before the transfer in
+                // case folding rewrites operands.
+                if (in.op == Opcode::CondBr && in.args[0].isVReg()) {
+                    AbsVal c = evalOperand(f, st, in.args[0]);
+                    if (auto cv = c.asConst()) {
+                        in.op = Opcode::Br;
+                        in.b0 = *cv ? in.b0 : in.b1;
+                        in.b1 = kNoBlock;
+                        in.args.clear();
+                        ++rep->branchesFolded;
+                        out.push_back(in);
+                        continue;
+                    }
+                }
+                bool drop = transfer(f, st, in, rep);
+                if (!drop)
+                    out.push_back(in);
+            }
+            bb.instrs = std::move(out);
+        }
+    }
+
+    Module &mod_;
+    const CxpropOptions &opts_;
+    CxpropReport &rep_;
+    CallGraph cg_;
+    PointsTo pts_;
+    ConcurrencyAnalysis conc_;
+    std::vector<std::vector<AbsVal>> paramSummary_;
+    std::vector<AbsVal> retSummary_;
+    std::vector<AbsVal> globalInv_;
+    std::map<uint32_t, CmpInfo> cmpInfo_;
+    std::map<uint32_t, uint32_t> castSrc_;
+    bool changed_ = false;
+    bool widening_ = false;
+    bool fullWidening_ = false;
+};
+
+} // namespace
+
+CxpropReport
+runCxprop(Module &m, const CxpropOptions &opts)
+{
+    CxpropReport rep;
+    if (opts.inlineFirst)
+        rep.funcsInlined = inlineFunctions(m, opts.inlineOpts);
+
+    bool atomicsDone = false;
+    for (int round = 0; round < opts.maxRounds; ++round) {
+        rep.rounds = round + 1;
+        uint32_t before = rep.checksRemoved + rep.instrsConstFolded +
+                          rep.branchesFolded;
+        Engine engine(m, opts, rep);
+        engine.analyzeToFixpoint();
+        engine.transformAll();
+
+        uint32_t cleanupChanges = 0;
+        for (auto &f : m.funcs()) {
+            if (f.dead)
+                continue;
+            cleanupChanges += simplifyCfg(f);
+            if (opts.copyProp)
+                rep.copiesPropagated += localCopyProp(m, f);
+            if (opts.strongDce) {
+                uint32_t n = removeDeadInstrs(m, f);
+                rep.deadInstrsRemoved += n;
+                cleanupChanges += n;
+            }
+        }
+        if (opts.strongDce) {
+            PointsTo freshPts(m);
+            uint32_t ds = removeDeadStores(m, freshPts);
+            rep.deadStoresRemoved += ds;
+            uint32_t dg = removeDeadGlobals(m);
+            rep.deadGlobalsRemoved += dg;
+            uint32_t df = removeDeadFunctions(m);
+            rep.deadFuncsRemoved += df;
+            cleanupChanges += ds + dg + df;
+        }
+        if (opts.optimizeAtomics && !atomicsDone) {
+            atomicsDone = true;
+            AtomicOptReport ar = optimizeAtomics(m, engine.conc());
+            rep.atomicsRemoved +=
+                ar.nestedRemoved + ar.handlerAtomicsRemoved;
+            rep.atomicSavesDowngraded += ar.savesDowngraded;
+        }
+        uint32_t after = rep.checksRemoved + rep.instrsConstFolded +
+                         rep.branchesFolded;
+        if (after == before && cleanupChanges == 0)
+            break;
+    }
+    return rep;
+}
+
+} // namespace stos::opt

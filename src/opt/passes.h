@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Standalone transformation passes used by the cXprop driver and by
+ * the ablation benchmarks: CFG simplification, local copy propagation,
+ * liveness-based dead-instruction elimination, dead store/global/
+ * function elimination, and atomic-section optimization.
+ */
+#ifndef STOS_OPT_PASSES_H
+#define STOS_OPT_PASSES_H
+
+#include "analysis/concurrency.h"
+#include "analysis/pointsto.h"
+#include "ir/module.h"
+
+namespace stos::opt {
+
+/** Remove unreachable blocks and thread trivial jumps. */
+uint32_t simplifyCfg(ir::Function &f);
+
+/** Block-local copy propagation (Mov chains, const rematerialization). */
+uint32_t localCopyProp(ir::Module &m, ir::Function &f);
+
+/** Remove pure instructions whose results are dead. */
+uint32_t removeDeadInstrs(ir::Module &m, ir::Function &f);
+
+/**
+ * Remove stores to globals that are never read anywhere in the
+ * program (dead-variable elimination, the main lever behind the
+ * paper's Figure 3(b) RAM savings).
+ */
+uint32_t removeDeadStores(ir::Module &m, const analysis::PointsTo &pts);
+
+/** Mark unreferenced globals dead. Returns count. */
+uint32_t removeDeadGlobals(ir::Module &m);
+
+/** Mark functions unreachable from the roots dead. Returns count. */
+uint32_t removeDeadFunctions(ir::Module &m);
+
+struct AtomicOptReport {
+    uint32_t nestedRemoved = 0;
+    uint32_t handlerAtomicsRemoved = 0;
+    uint32_t savesDowngraded = 0;
+};
+
+/**
+ * §2.2 atomic-section optimization: delete nested atomic pairs,
+ * delete atomics in interrupt-only code (already running with IRQs
+ * off), and downgrade save/restore sections to plain cli/sei when the
+ * IRQ bit's prior state is statically known.
+ */
+AtomicOptReport optimizeAtomics(ir::Module &m,
+                                const analysis::ConcurrencyAnalysis &conc);
+
+} // namespace stos::opt
+
+#endif

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * The safety transformer ("run CCured" in Figure 1): pointer-kind
+ * inference, dynamic check insertion, concurrency locking for racy
+ * variables, error-message materialization (verbose / terse / FLID),
+ * and runtime-library generation.
+ */
+#ifndef STOS_SAFETY_CCURED_H
+#define STOS_SAFETY_CCURED_H
+
+#include "analysis/concurrency.h"
+#include "ir/module.h"
+#include "safety/config.h"
+#include "support/source_loc.h"
+
+namespace stos::safety {
+
+/**
+ * Make the module type- and memory-safe. The module is transformed in
+ * place: declaration types gain pointer kinds (fat pointers), checks
+ * are inserted before unproven accesses, racy checks gain locks, and
+ * the runtime library is linked in.
+ */
+SafetyReport applySafety(ir::Module &m, const SafetyConfig &cfg,
+                         const SourceManager *sm = nullptr);
+
+} // namespace stos::safety
+
+#endif

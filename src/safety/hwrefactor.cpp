@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Hardware access refactoring implementation.
+ */
+#include "safety/hwrefactor.h"
+
+#include <optional>
+
+namespace stos::safety {
+
+using namespace stos::ir;
+
+namespace {
+
+/**
+ * If the vreg is (transitively) a constant integer cast to a pointer,
+ * return the address.
+ */
+std::optional<uint32_t>
+constantAddress(const Function &f, uint32_t vreg)
+{
+    // Single-definition chase, same discipline as resolveExact.
+    std::vector<const Instr *> def(f.vregs.size(), nullptr);
+    std::vector<uint8_t> count(f.vregs.size(), 0);
+    for (const auto &bb : f.blocks) {
+        for (const auto &in : bb.instrs) {
+            if (in.hasDst()) {
+                if (count[in.dst] < 2)
+                    ++count[in.dst];
+                def[in.dst] = &in;
+            }
+        }
+    }
+    uint32_t cur = vreg;
+    for (int depth = 0; depth < 16; ++depth) {
+        if (cur >= f.vregs.size() || count[cur] != 1 || !def[cur])
+            return std::nullopt;
+        const Instr *in = def[cur];
+        switch (in->op) {
+          case Opcode::ConstI:
+            return static_cast<uint32_t>(in->args[0].imm) & 0xFFFF;
+          case Opcode::Cast:
+          case Opcode::Mov:
+            if (in->args[0].isVReg()) {
+                cur = in->args[0].index;
+                continue;
+            }
+            if (in->args[0].isImm())
+                return static_cast<uint32_t>(in->args[0].imm) & 0xFFFF;
+            return std::nullopt;
+          default:
+            return std::nullopt;
+        }
+    }
+    return std::nullopt;
+}
+
+} // namespace
+
+uint32_t
+refactorHardwareAccesses(Module &m)
+{
+    uint32_t rewritten = 0;
+    for (auto &f : m.funcs()) {
+        if (f.dead)
+            continue;
+        for (auto &bb : f.blocks) {
+            for (auto &in : bb.instrs) {
+                if (in.op != Opcode::Load && in.op != Opcode::Store)
+                    continue;
+                if (!in.args[0].isVReg())
+                    continue;
+                auto addr = constantAddress(f, in.args[0].index);
+                if (!addr)
+                    continue;
+                const HwReg *reg = m.findHwReg(*addr);
+                if (!reg)
+                    continue;
+                // Width must match the declared register.
+                uint32_t accessBits = m.typeSize(in.type) * 8;
+                if (accessBits != reg->bits)
+                    continue;
+                if (in.op == Opcode::Load) {
+                    in.op = Opcode::HwRead;
+                    in.args.clear();
+                    in.auxA = *addr;
+                } else {
+                    in.op = Opcode::HwWrite;
+                    in.args.erase(in.args.begin());  // drop the pointer
+                    in.auxA = *addr;
+                }
+                ++rewritten;
+            }
+        }
+    }
+    return rewritten;
+}
+
+} // namespace stos::safety

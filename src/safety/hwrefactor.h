@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Hardware-register access refactoring (the "refactor accesses to
+ * hardware registers" box in Figure 1). Legacy TinyOS code pokes
+ * device registers through casts of constant addresses; CCured would
+ * classify those pointers WILD. This pass rewrites constant-address
+ * loads/stores that match a declared hwreg into HwRead/HwWrite
+ * intrinsics, which need no safety checks.
+ */
+#ifndef STOS_SAFETY_HWREFACTOR_H
+#define STOS_SAFETY_HWREFACTOR_H
+
+#include "ir/module.h"
+
+namespace stos::safety {
+
+/** Returns the number of accesses rewritten. */
+uint32_t refactorHardwareAccesses(ir::Module &m);
+
+} // namespace stos::safety
+
+#endif

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * CCured-style pointer-kind inference. Every pointer declaration site
+ * (vreg, global, local, struct field) is a node; value flows unify
+ * nodes; operations raise kinds on the SAFE < FSEQ < SEQ < WILD
+ * lattice (pointer arithmetic forward-only -> FSEQ, arbitrary -> SEQ,
+ * bad casts -> WILD). After solving, declaration types are rewritten
+ * in place so the rest of the pipeline (layout, checks, codegen) sees
+ * fat pointers.
+ */
+#ifndef STOS_SAFETY_KINDS_H
+#define STOS_SAFETY_KINDS_H
+
+#include <map>
+#include <string>
+
+#include "ir/module.h"
+
+namespace stos::safety {
+
+class KindInference {
+  public:
+    explicit KindInference(ir::Module &m) : mod_(m) {}
+
+    /** Solve constraints and rewrite all declaration types. */
+    void run();
+
+    /** Final kind of a pointer-typed vreg (after run()). */
+    ir::PtrKind kindOfVReg(uint32_t fn, uint32_t vreg) const;
+
+    /** Declaration sites per final kind, for reporting. */
+    std::map<std::string, uint32_t> histogram() const { return histo_; }
+
+  private:
+    ir::Module &mod_;
+    std::map<std::string, uint32_t> histo_;
+};
+
+} // namespace stos::safety
+
+#endif

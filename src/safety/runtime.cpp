@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Runtime library generation.
+ */
+#include "safety/runtime.h"
+
+#include "support/devmap.h"
+#include "support/util.h"
+#include "ir/builder.h"
+
+namespace stos::safety {
+
+using namespace stos::ir;
+
+namespace {
+
+/** Add a RAM/ROM data blob global. */
+uint32_t
+addBlob(Module &m, const std::string &name, uint32_t size, Section sec,
+        bool usedByNaiveRuntime)
+{
+    Global g;
+    g.name = name;
+    g.type = m.types().arrayTy(m.types().u8(), size);
+    g.section = sec;
+    g.attrs.isRuntime = true;
+    g.init.assign(size, 0);
+    if (sec == Section::Rom) {
+        // Deterministic non-zero table contents.
+        for (uint32_t i = 0; i < size; ++i)
+            g.init[i] = static_cast<uint8_t>((i * 7 + 3) & 0xFF);
+    }
+    (void)usedByNaiveRuntime;
+    return m.addGlobal(std::move(g));
+}
+
+/** `__st_fail(u16 flid)`: record the id, report it, halt. */
+void
+genFail(Module &m)
+{
+    TypeTable &tt = m.types();
+    Global lastFault;
+    lastFault.name = kLastFaultGlobal;
+    lastFault.type = tt.u16();
+    lastFault.attrs.isRuntime = true;
+    uint32_t lf = m.addGlobal(std::move(lastFault));
+
+    Function f;
+    f.name = kFailFn;
+    f.retType = tt.voidTy();
+    f.attrs.isRuntime = true;
+    f.attrs.noInline = true;
+    f.params.push_back(f.addVReg(tt.u16(), "flid"));
+    f.addBlock("entry");
+    uint32_t loop = f.addBlock("halt");
+    {
+        Builder b(m, f);
+        b.setBlock(0);
+        uint32_t a = b.addrGlobal(lf, tt.ptrTy(tt.u16()));
+        b.store(Operand::vreg(a), Operand::vreg(f.params[0]), tt.u16());
+        // Report the 16-bit id over the UART, low byte first.
+        uint32_t lo = b.cast(tt.u8(), Operand::vreg(f.params[0]));
+        b.hwWrite(dev::kRegUartData, Operand::vreg(lo), tt.u8());
+        uint32_t hi = b.bin(BinOp::ShrU, tt.u16(),
+                            Operand::vreg(f.params[0]), Operand::immInt(8));
+        uint32_t hi8 = b.cast(tt.u8(), Operand::vreg(hi));
+        b.hwWrite(dev::kRegUartData, Operand::vreg(hi8), tt.u8());
+        b.br(loop);
+        b.setBlock(loop);
+        b.br(loop);  // halt: the device stops making progress
+    }
+    m.addFunction(std::move(f));
+}
+
+/** `__st_fail_msg(u8 *msg)`: emit the NUL-terminated string, halt. */
+void
+genFailMsg(Module &m)
+{
+    TypeTable &tt = m.types();
+    TypeId u8p = tt.ptrTy(tt.u8());
+    Function f;
+    f.name = kFailMsgFn;
+    f.retType = tt.voidTy();
+    f.attrs.isRuntime = true;
+    f.attrs.noInline = true;
+    f.params.push_back(f.addVReg(u8p, "msg"));
+    uint32_t entry = f.addBlock("entry");
+    uint32_t cond = f.addBlock("cond");
+    uint32_t body = f.addBlock("body");
+    uint32_t halt = f.addBlock("halt");
+    {
+        Builder b(m, f);
+        b.setBlock(entry);
+        uint32_t i = f.addVReg(tt.u16(), "i");
+        b.movTo(i, Operand::immInt(0));
+        b.br(cond);
+        b.setBlock(cond);
+        uint32_t p = b.ptrAdd(Operand::vreg(f.params[0]), Operand::vreg(i),
+                              1, u8p);
+        uint32_t c = b.load(tt.u8(), Operand::vreg(p));
+        uint32_t nz = b.bin(BinOp::Ne, tt.boolTy(), Operand::vreg(c),
+                            Operand::immInt(0));
+        b.condBr(Operand::vreg(nz), body, halt);
+        b.setBlock(body);
+        b.hwWrite(dev::kRegUartData, Operand::vreg(c), tt.u8());
+        uint32_t ni = b.bin(BinOp::Add, tt.u16(), Operand::vreg(i),
+                            Operand::immInt(1));
+        b.movTo(i, Operand::vreg(ni));
+        b.br(cond);
+        b.setBlock(halt);
+        b.br(halt);
+    }
+    m.addFunction(std::move(f));
+}
+
+/**
+ * The naive-port baggage: GC support, OS-dependency stubs, and their
+ * tables. Marked used-from-start (the original runtime's fine-grained
+ * weaving defeats DCE); the trimmed runtime simply omits all of it.
+ */
+void
+genNaiveBaggage(Module &m)
+{
+    TypeTable &tt = m.types();
+    // GC support: a mark bitmap over the heap plus a scan routine.
+    uint32_t bitmap = addBlob(m, "__ccured_gc_bitmap", 1024, Section::Ram,
+                              true);
+    uint32_t osBuf = addBlob(m, "__ccured_os_iobuf", 512, Section::Ram,
+                             true);
+    // Flash-resident tables of the x86 runtime: wrapper descriptors,
+    // printf-style format machinery, and per-check-kind metadata.
+    uint32_t fmtTab = addBlob(m, "__ccured_fmt_tab", 12288, Section::Rom,
+                              true);
+    uint32_t ckindTab = addBlob(m, "__ccured_ckind_tab", 8192,
+                                Section::Rom, true);
+    uint32_t wrapTab = addBlob(m, "__ccured_wrapper_tab", 10240,
+                               Section::Rom, true);
+
+    auto makeLoopFn = [&](const std::string &name, uint32_t blob,
+                          uint32_t size, int rounds) {
+        Function f;
+        f.name = name;
+        f.retType = tt.voidTy();
+        f.attrs.isRuntime = true;
+        f.attrs.usedFromStart = true;  // woven in: DCE cannot drop it
+        f.attrs.noInline = true;
+        uint32_t entry = f.addBlock("entry");
+        uint32_t cond = f.addBlock("cond");
+        uint32_t body = f.addBlock("body");
+        uint32_t done = f.addBlock("done");
+        Builder b(m, f);
+        b.setBlock(entry);
+        uint32_t i = f.addVReg(tt.u16(), "i");
+        b.movTo(i, Operand::immInt(0));
+        b.br(cond);
+        b.setBlock(cond);
+        uint32_t lt = b.bin(BinOp::LtU, tt.boolTy(), Operand::vreg(i),
+                            Operand::immInt(size));
+        b.condBr(Operand::vreg(lt), body, done);
+        b.setBlock(body);
+        TypeId u8p = tt.ptrTy(tt.u8());
+        uint32_t base = b.addrGlobal(blob, u8p);
+        uint32_t p = b.ptrAdd(Operand::vreg(base), Operand::vreg(i), 1,
+                              u8p);
+        uint32_t v = b.load(tt.u8(), Operand::vreg(p));
+        uint32_t vv = v;
+        for (int r = 0; r < rounds; ++r) {
+            vv = b.bin(BinOp::Xor, tt.u8(), Operand::vreg(vv),
+                       Operand::immInt(0x5A + r));
+            vv = b.bin(BinOp::Add, tt.u8(), Operand::vreg(vv),
+                       Operand::immInt(r + 1));
+        }
+        b.store(Operand::vreg(p), Operand::vreg(vv), tt.u8());
+        uint32_t ni = b.bin(BinOp::Add, tt.u16(), Operand::vreg(i),
+                            Operand::immInt(1));
+        b.movTo(i, Operand::vreg(ni));
+        b.br(cond);
+        b.setBlock(done);
+        b.ret();
+        m.addFunction(std::move(f));
+    };
+
+    /** Read-only table scanner (checksums a flash table into RAM). */
+    auto makeScanFn = [&](const std::string &name, uint32_t table,
+                          uint32_t size, int rounds) {
+        Function f;
+        f.name = name;
+        f.retType = tt.voidTy();
+        f.attrs.isRuntime = true;
+        f.attrs.usedFromStart = true;
+        f.attrs.noInline = true;
+        uint32_t entry = f.addBlock("entry");
+        uint32_t cond = f.addBlock("cond");
+        uint32_t body = f.addBlock("body");
+        uint32_t done = f.addBlock("done");
+        Builder b(m, f);
+        b.setBlock(entry);
+        uint32_t i = f.addVReg(tt.u16(), "i");
+        uint32_t acc = f.addVReg(tt.u8(), "acc");
+        b.movTo(i, Operand::immInt(0));
+        b.movTo(acc, Operand::immInt(0));
+        b.br(cond);
+        b.setBlock(cond);
+        uint32_t lt = b.bin(BinOp::LtU, tt.boolTy(), Operand::vreg(i),
+                            Operand::immInt(size));
+        b.condBr(Operand::vreg(lt), body, done);
+        b.setBlock(body);
+        TypeId u8p = tt.ptrTy(tt.u8());
+        uint32_t base = b.addrGlobal(table, u8p);
+        uint32_t p = b.ptrAdd(Operand::vreg(base), Operand::vreg(i), 1,
+                              u8p);
+        uint32_t v = b.load(tt.u8(), Operand::vreg(p));
+        uint32_t vv = v;
+        for (int r = 0; r < rounds; ++r) {
+            vv = b.bin(BinOp::Xor, tt.u8(), Operand::vreg(vv),
+                       Operand::vreg(acc));
+            vv = b.bin(BinOp::Add, tt.u8(), Operand::vreg(vv),
+                       Operand::immInt(r + 1));
+        }
+        b.movTo(acc, Operand::vreg(vv));
+        uint32_t ni = b.bin(BinOp::Add, tt.u16(), Operand::vreg(i),
+                            Operand::immInt(1));
+        b.movTo(i, Operand::vreg(ni));
+        b.br(cond);
+        b.setBlock(done);
+        // Publish the checksum so the scan isn't trivially dead.
+        uint32_t obase = b.addrGlobal(osBuf, u8p);
+        b.store(Operand::vreg(obase), Operand::vreg(acc), tt.u8());
+        b.ret();
+        m.addFunction(std::move(f));
+    };
+
+    makeLoopFn("__ccured_gc_init", bitmap, 1024, 6);
+    makeLoopFn("__ccured_gc_scan", bitmap, 1024, 10);
+    makeLoopFn("__ccured_os_init", osBuf, 512, 8);
+    makeLoopFn("__ccured_os_flush", osBuf, 512, 12);
+    makeLoopFn("__ccured_signal_stub", osBuf, 512, 9);
+    makeLoopFn("__ccured_file_stub", osBuf, 512, 7);
+    makeScanFn("__ccured_fmt_scan", fmtTab, 12288, 4);
+    makeScanFn("__ccured_ckind_scan", ckindTab, 8192, 5);
+    makeScanFn("__ccured_wrapper_scan", wrapTab, 10240, 6);
+}
+
+} // namespace
+
+void
+generateRuntime(Module &m, const SafetyConfig &cfg)
+{
+    if (m.findFunc(kFailFn))
+        return;  // already generated
+    genFail(m);
+    genFailMsg(m);
+    if (cfg.naiveRuntime)
+        genNaiveBaggage(m);
+}
+
+} // namespace stos::safety

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * The CCured runtime library, generated as TinyCIL so it is compiled,
+ * analyzed, and shrunk together with the application (paper §2.3).
+ *
+ * Two flavours:
+ *  - trimmed (default): just the failure handlers. With FLIDs the
+ *    device-resident cost collapses to one 2-byte RAM word (the last
+ *    fault id) plus a few hundred bytes of handler code — the paper's
+ *    "2 bytes of RAM and 314 bytes of ROM".
+ *  - naive: additionally carries the pieces a straight port of the
+ *    x86/OS runtime drags in — GC support tables, OS-dependency stubs
+ *    and their string tables — all marked used-from-start because the
+ *    original runtime wove them in too finely for DCE to remove.
+ */
+#ifndef STOS_SAFETY_RUNTIME_H
+#define STOS_SAFETY_RUNTIME_H
+
+#include "ir/module.h"
+#include "safety/config.h"
+
+namespace stos::safety {
+
+/** Names of the generated entry points. */
+inline constexpr const char *kFailFn = "__st_fail";
+inline constexpr const char *kFailMsgFn = "__st_fail_msg";
+inline constexpr const char *kLastFaultGlobal = "__st_last_fault";
+
+/** Generate the runtime into the module (idempotent per module). */
+void generateRuntime(ir::Module &m, const SafetyConfig &cfg);
+
+} // namespace stos::safety
+
+#endif

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Device model implementation.
+ */
+#include "sim/devices.h"
+
+#include <algorithm>
+
+#include "support/devmap.h"
+
+namespace stos::sim {
+
+using namespace stos::dev;
+
+uint16_t
+DeviceHub::sensorValue(uint64_t now) const
+{
+    // Deterministic synthetic waveform: a slow triangle wave plus a
+    // per-node phase, different per channel. Stands in for the light /
+    // temperature sensors the paper's workloads sample.
+    uint64_t t = (now >> 12) + nodeId_ * 37 + adcChannel_ * 101;
+    uint32_t phase = static_cast<uint32_t>(t % 512);
+    uint32_t tri = phase < 256 ? phase : 511 - phase;
+    return static_cast<uint16_t>(256 + tri * 2 + adcChannel_ * 17);
+}
+
+uint32_t
+DeviceHub::ioRead(uint32_t port, uint64_t now)
+{
+    switch (port) {
+      case kRegLeds:
+        return leds_;
+      case kRegPortB:
+        return portB_;
+      case kRegAdcData:
+        return adcData_;
+      case kRegAdcChannel:
+        return adcChannel_;
+      case kRegRadioData: {
+        if (rxReadPos_ < rxFifo_.size())
+            return rxFifo_[rxReadPos_++];
+        return 0;
+      }
+      case kRegRadioLen:
+        return static_cast<uint32_t>(rxFifo_.size());
+      case kRegRadioRssi:
+        return lastRssi_;
+      case kRegClock:
+        return static_cast<uint32_t>((now >> 8) & 0xFFFF);
+      case kRegNodeId:
+        return nodeId_;
+      case kRegRandom:
+        rngState_ = rngState_ * 1103515245u + 12345u;
+        return (rngState_ >> 16) & 0xFF;
+      default:
+        return 0;
+    }
+}
+
+void
+DeviceHub::ioWrite(uint32_t port, uint32_t value, uint64_t now)
+{
+    switch (port) {
+      case kRegLeds:
+        leds_ = static_cast<uint8_t>(value);
+        ++ledWrites_;
+        break;
+      case kRegPortB:
+        portB_ = static_cast<uint8_t>(value);
+        break;
+      case kRegTimer0Ctrl:
+      case kRegTimer1Ctrl: {
+        int t = port == kRegTimer0Ctrl ? 0 : 1;
+        bool en = value & 1;
+        timerEn_[t] = en;
+        timerNext_[t] =
+            en ? now + static_cast<uint64_t>(timerPeriod_[t]) * 256
+               : UINT64_MAX;
+        break;
+      }
+      case kRegTimer0Period:
+        timerPeriod_[0] = static_cast<uint16_t>(value ? value : 1);
+        break;
+      case kRegTimer1Period:
+        timerPeriod_[1] = static_cast<uint16_t>(value ? value : 1);
+        break;
+      case kRegAdcCtrl:
+        if (value & 1) {
+            adcDoneAt_ = now + kAdcLatency;
+        }
+        break;
+      case kRegAdcChannel:
+        adcChannel_ = static_cast<uint8_t>(value & 3);
+        break;
+      case kRegRadioCtrl:
+        rxEnabled_ = value & 1;
+        if (value & 2) {
+            // Begin transmission of the staged FIFO.
+            txDoneAt_ = now + kCyclesPerRadioByte *
+                                  std::max<uint64_t>(1, txFifo_.size());
+        }
+        break;
+      case kRegRadioData:
+        if (txFifo_.size() < 64)
+            txFifo_.push_back(static_cast<uint8_t>(value));
+        break;
+      case kRegRadioLen:
+        txLen_ = static_cast<uint8_t>(value);
+        txFifo_.clear();
+        break;
+      case kRegRadioDest:
+        txDest_ = static_cast<uint8_t>(value);
+        break;
+      case kRegUartData:
+        uart_.push_back(static_cast<char>(value));
+        break;
+      default:
+        break;
+    }
+}
+
+uint64_t
+DeviceHub::nextEventAt() const
+{
+    uint64_t next = UINT64_MAX;
+    next = std::min(next, timerNext_[0]);
+    next = std::min(next, timerNext_[1]);
+    next = std::min(next, adcDoneAt_);
+    next = std::min(next, txDoneAt_);
+    if (!rxQueue_.empty())
+        next = std::min(next, rxQueue_.front().at);
+    return next;
+}
+
+void
+DeviceHub::advanceTo(uint64_t now, std::vector<int> &irqs)
+{
+    for (int t = 0; t < 2; ++t) {
+        while (timerEn_[t] && timerNext_[t] <= now) {
+            irqs.push_back(t == 0 ? 0 : 1);  // TIMER0 / TIMER1
+            timerNext_[t] += static_cast<uint64_t>(timerPeriod_[t]) * 256;
+        }
+    }
+    if (adcDoneAt_ <= now) {
+        adcData_ = sensorValue(now);
+        adcDoneAt_ = UINT64_MAX;
+        ++conversions_;
+        irqs.push_back(2);  // ADC
+    }
+    if (txDoneAt_ <= now) {
+        Packet p;
+        p.src = nodeId_;
+        p.dest = txDest_;
+        p.bytes = txFifo_;
+        if (txLen_ != 0 && txLen_ < p.bytes.size())
+            p.bytes.resize(txLen_);
+        txDoneAt_ = UINT64_MAX;
+        txFifo_.clear();
+        ++sent_;
+        irqs.push_back(4);  // RADIO_TX
+        if (onSend)
+            onSend(p);
+    }
+    while (!rxQueue_.empty() && rxQueue_.front().at <= now) {
+        if (rxEnabled_) {
+            rxFifo_ = rxQueue_.front().p.bytes;
+            rxReadPos_ = 0;
+            lastRssi_ = static_cast<uint8_t>(
+                180 + ((rxQueue_.front().p.src * 7) & 0x3F));
+            ++received_;
+            irqs.push_back(3);  // RADIO_RX
+        }
+        rxQueue_.pop_front();
+    }
+}
+
+void
+DeviceHub::deliver(const Packet &p, uint64_t at)
+{
+    if (p.dest != 0xFF && p.dest != nodeId_)
+        return;
+    rxQueue_.push_back({p, at});
+}
+
+} // namespace stos::sim

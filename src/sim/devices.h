@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Device models for the simulated mote: timers, ADC/sensors, a
+ * CC1000-flavoured byte-FIFO radio, UART, LEDs, clock, PRNG. One
+ * DeviceHub per mote handles all I/O ports and produces interrupt
+ * requests; the network layer connects radios of different motes.
+ */
+#ifndef STOS_SIM_DEVICES_H
+#define STOS_SIM_DEVICES_H
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace stos::sim {
+
+/** A radio frame in flight. */
+struct Packet {
+    uint8_t src = 0;
+    uint8_t dest = 0xFF;  ///< 0xFF = broadcast
+    std::vector<uint8_t> bytes;
+};
+
+class DeviceHub {
+  public:
+    /** Cycles to transmit one radio byte (19.2 kbps at 7.37 MHz). */
+    static constexpr uint64_t kCyclesPerRadioByte = 3000;
+    /** ADC conversion latency in cycles. */
+    static constexpr uint64_t kAdcLatency = 200;
+
+    explicit DeviceHub(uint8_t nodeId) : nodeId_(nodeId) {}
+
+    uint32_t ioRead(uint32_t port, uint64_t now);
+    void ioWrite(uint32_t port, uint32_t value, uint64_t now);
+
+    /** Earliest cycle at which a device event fires (or UINT64_MAX). */
+    uint64_t nextEventAt() const;
+
+    /**
+     * Process all events up to `now`; appends raised interrupt
+     * vectors to `irqs`.
+     */
+    void advanceTo(uint64_t now, std::vector<int> &irqs);
+
+    /** Network hook: called when this mote finishes transmitting. */
+    std::function<void(const Packet &)> onSend;
+    /** Deliver a packet to this mote at cycle `at`. */
+    void deliver(const Packet &p, uint64_t at);
+
+    //--- instrumentation ----------------------------------------------
+    const std::string &uartLog() const { return uart_; }
+    uint32_t ledWrites() const { return ledWrites_; }
+    uint8_t ledState() const { return leds_; }
+    uint32_t packetsSent() const { return sent_; }
+    uint32_t packetsReceived() const { return received_; }
+    uint32_t adcConversions() const { return conversions_; }
+    uint8_t nodeId() const { return nodeId_; }
+
+  private:
+    uint16_t sensorValue(uint64_t now) const;
+
+    uint8_t nodeId_;
+    // Timers.
+    bool timerEn_[2] = {false, false};
+    uint16_t timerPeriod_[2] = {1024, 1024};
+    uint64_t timerNext_[2] = {UINT64_MAX, UINT64_MAX};
+    // ADC.
+    uint8_t adcChannel_ = 0;
+    uint64_t adcDoneAt_ = UINT64_MAX;
+    uint16_t adcData_ = 0;
+    uint32_t conversions_ = 0;
+    // Radio.
+    bool rxEnabled_ = false;
+    std::vector<uint8_t> txFifo_;
+    uint8_t txLen_ = 0;
+    uint8_t txDest_ = 0xFF;
+    uint64_t txDoneAt_ = UINT64_MAX;
+    std::vector<uint8_t> rxFifo_;
+    size_t rxReadPos_ = 0;
+    struct PendingRx { Packet p; uint64_t at; };
+    std::deque<PendingRx> rxQueue_;
+    uint8_t lastRssi_ = 0;
+    uint32_t sent_ = 0, received_ = 0;
+    // UART.
+    std::string uart_;
+    // LEDs / misc.
+    uint8_t leds_ = 0;
+    uint8_t portB_ = 0;
+    uint32_t ledWrites_ = 0;
+    uint32_t rngState_ = 0x1234;
+};
+
+} // namespace stos::sim
+
+#endif

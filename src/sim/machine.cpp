@@ -1,0 +1,488 @@
+/**
+ * @file
+ * Mote simulator implementation.
+ */
+#include "sim/machine.h"
+
+#include <algorithm>
+
+#include "support/util.h"
+
+namespace stos::sim {
+
+using namespace stos::backend;
+
+Machine::Machine(const MProgram &prog, uint8_t nodeId)
+    : prog_(prog), dev_(nodeId)
+{
+    for (uint32_t i = 0; i < prog_.funcs.size(); ++i) {
+        funcByModuleId_[prog_.funcs[i].id] = i;
+        if (prog_.funcs[i].name == "__st_fail" ||
+            prog_.funcs[i].name == "__st_fail_msg") {
+            if (failFnIdx_ == ~0u || prog_.funcs[i].name == "__st_fail")
+                failFnIdx_ = i;
+        }
+    }
+    mem_.assign(0x10000, 0);
+    for (const auto &d : prog_.data) {
+        dataByName_[d.name] = &d;
+        for (size_t i = 0; i < d.init.size() && i < d.size; ++i)
+            mem_[d.addr + i] = d.init[i];
+    }
+    sp_ = prog_.romDataBase;  // stack below the ROM window
+}
+
+void
+Machine::boot()
+{
+    frames_.clear();
+    enterFunction(prog_.entry, false);
+}
+
+void
+Machine::enterFunction(uint32_t funcIdx, bool fromIrq)
+{
+    const MFunc &f = prog_.funcs.at(funcIdx);
+    Frame fr;
+    fr.funcIdx = funcIdx;
+    fr.block = 0;
+    fr.ip = 0;
+    fr.regs.assign(std::max<uint32_t>(f.numRegs, 1), 0);
+    fr.fromIrq = fromIrq;
+    // Incoming arguments land in the first registers (the selector
+    // allocates parameter tuples first, in slot order).
+    for (size_t i = 0; i < argBuf_.size() && i < fr.regs.size(); ++i)
+        fr.regs[i] = argBuf_[i];
+    argBuf_.clear();
+    frames_.push_back(std::move(fr));
+    if (frames_.size() > 64) {
+        halted_ = true;  // runaway recursion
+    }
+}
+
+uint64_t
+Machine::maskFor(uint8_t w) const
+{
+    return w >= 64 ? ~0ull : ((1ull << w) - 1);
+}
+
+uint64_t
+Machine::loadMem(uint32_t addr, uint8_t w) const
+{
+    uint64_t v = 0;
+    uint32_t n = w / 8;
+    for (uint32_t i = 0; i < n; ++i)
+        v |= static_cast<uint64_t>(mem_[(addr + i) & 0xFFFF]) << (8 * i);
+    return v;
+}
+
+void
+Machine::storeMem(uint32_t addr, uint64_t v, uint8_t w)
+{
+    uint32_t n = w / 8;
+    for (uint32_t i = 0; i < n; ++i)
+        mem_[(addr + i) & 0xFFFF] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+bool
+Machine::evalCond(MCond c, uint64_t a, uint64_t b, uint8_t w) const
+{
+    uint64_t mask = maskFor(w);
+    uint64_t ua = a & mask, ub = b & mask;
+    auto sext = [&](uint64_t u) -> int64_t {
+        if (w >= 64)
+            return static_cast<int64_t>(u);
+        if (u >> (w - 1))
+            return static_cast<int64_t>(u | ~mask);
+        return static_cast<int64_t>(u);
+    };
+    int64_t sa = sext(ua), sb = sext(ub);
+    switch (c) {
+      case MCond::Eq: return ua == ub;
+      case MCond::Ne: return ua != ub;
+      case MCond::LtU: return ua < ub;
+      case MCond::LtS: return sa < sb;
+      case MCond::LeU: return ua <= ub;
+      case MCond::LeS: return sa <= sb;
+      case MCond::GtU: return ua > ub;
+      case MCond::GtS: return sa > sb;
+      case MCond::GeU: return ua >= ub;
+      case MCond::GeS: return sa >= sb;
+    }
+    return false;
+}
+
+void
+Machine::dispatchIrqs()
+{
+    if (!iflag_ || pendingIrqs_.empty())
+        return;
+    int vec = pendingIrqs_.front();
+    pendingIrqs_.erase(pendingIrqs_.begin());
+    if (vec < 0 || vec >= static_cast<int>(prog_.vectorTable.size()) ||
+        prog_.vectorTable[vec] < 0) {
+        return;
+    }
+    iflag_ = false;
+    cycles_ += 8;  // hardware interrupt latency
+    enterFunction(static_cast<uint32_t>(prog_.vectorTable[vec]), true);
+}
+
+uint64_t
+Machine::readGlobal(const std::string &name, uint32_t size) const
+{
+    auto it = dataByName_.find(name);
+    if (it == dataByName_.end())
+        return 0;
+    return loadMem(it->second->addr, static_cast<uint8_t>(size * 8));
+}
+
+bool
+Machine::hasGlobal(const std::string &name) const
+{
+    return dataByName_.count(name) > 0;
+}
+
+void
+Machine::runUntilCycle(uint64_t target)
+{
+    while (cycles_ < target && !halted_) {
+        if (wedged_) {
+            cycles_ = target;  // spinning awake in the failure stub
+            return;
+        }
+        if (sleeping_) {
+            uint64_t next = dev_.nextEventAt();
+            if (next == UINT64_MAX || next > target) {
+                sleepCycles_ += target - cycles_;
+                cycles_ = target;
+                return;
+            }
+            if (next > cycles_) {
+                sleepCycles_ += next - cycles_;
+                cycles_ = next;
+            }
+            sleeping_ = false;  // the event below wakes the core
+        }
+        // Device events and interrupts first.
+        std::vector<int> irqs;
+        dev_.advanceTo(cycles_, irqs);
+        for (int v : irqs)
+            pendingIrqs_.push_back(v);
+        dispatchIrqs();
+        if (frames_.empty()) {
+            halted_ = true;
+            return;
+        }
+        step();
+    }
+}
+
+void
+Machine::step()
+{
+    Frame &fr = frames_.back();
+    const MFunc &f = prog_.funcs[fr.funcIdx];
+    if (fr.block >= f.blocks.size()) {
+        halted_ = true;
+        return;
+    }
+    const MBlock &bb = f.blocks[fr.block];
+    if (fr.ip >= bb.instrs.size()) {
+        // Fall through to the next block.
+        ++fr.block;
+        fr.ip = 0;
+        if (fr.block >= f.blocks.size())
+            halted_ = true;
+        return;
+    }
+    const MInstr &in = bb.instrs[fr.ip];
+    ++fr.ip;
+    ++instrs_;
+    cycles_ += prog_.instrCycles(in);
+    uint64_t mask = maskFor(in.w);
+    auto reg = [&](uint32_t r) -> uint64_t {
+        return r < fr.regs.size() ? fr.regs[r] : 0;
+    };
+    auto setReg = [&](uint32_t r, uint64_t v) {
+        if (r >= fr.regs.size())
+            fr.regs.resize(r + 1, 0);
+        fr.regs[r] = v & mask;
+    };
+
+    switch (in.op) {
+      case MOp::Ldi:
+        setReg(in.rd, static_cast<uint64_t>(in.imm));
+        break;
+      case MOp::Mov:
+        setReg(in.rd, reg(in.ra));
+        break;
+      case MOp::Add:
+        setReg(in.rd, reg(in.ra) + reg(in.rb));
+        break;
+      case MOp::Sub:
+        setReg(in.rd, reg(in.ra) - reg(in.rb));
+        break;
+      case MOp::Mul:
+        setReg(in.rd, reg(in.ra) * reg(in.rb));
+        break;
+      case MOp::DivU: {
+        uint64_t b = reg(in.rb) & mask;
+        setReg(in.rd, b ? (reg(in.ra) & mask) / b : 0);
+        break;
+      }
+      case MOp::DivS: {
+        int64_t a = static_cast<int64_t>(reg(in.ra) & mask);
+        int64_t b = static_cast<int64_t>(reg(in.rb) & mask);
+        if (in.w < 64) {
+            if (static_cast<uint64_t>(a) >> (in.w - 1))
+                a |= ~static_cast<int64_t>(mask);
+            if (static_cast<uint64_t>(b) >> (in.w - 1))
+                b |= ~static_cast<int64_t>(mask);
+        }
+        setReg(in.rd, b ? static_cast<uint64_t>(a / b) : 0);
+        break;
+      }
+      case MOp::RemU: {
+        uint64_t b = reg(in.rb) & mask;
+        setReg(in.rd, b ? (reg(in.ra) & mask) % b : 0);
+        break;
+      }
+      case MOp::RemS: {
+        int64_t a = static_cast<int64_t>(reg(in.ra) & mask);
+        int64_t b = static_cast<int64_t>(reg(in.rb) & mask);
+        if (in.w < 64) {
+            if (static_cast<uint64_t>(a) >> (in.w - 1))
+                a |= ~static_cast<int64_t>(mask);
+            if (static_cast<uint64_t>(b) >> (in.w - 1))
+                b |= ~static_cast<int64_t>(mask);
+        }
+        setReg(in.rd, b ? static_cast<uint64_t>(a % b) : 0);
+        break;
+      }
+      case MOp::And:
+        setReg(in.rd, reg(in.ra) & reg(in.rb));
+        break;
+      case MOp::Or:
+        setReg(in.rd, reg(in.ra) | reg(in.rb));
+        break;
+      case MOp::Xor:
+        setReg(in.rd, reg(in.ra) ^ reg(in.rb));
+        break;
+      case MOp::Shl:
+        setReg(in.rd, reg(in.ra) << (reg(in.rb) & 63));
+        break;
+      case MOp::ShrU:
+        setReg(in.rd, (reg(in.ra) & mask) >> (reg(in.rb) & 63));
+        break;
+      case MOp::ShrS: {
+        int64_t a = static_cast<int64_t>(reg(in.ra) & mask);
+        if (in.w < 64 && (static_cast<uint64_t>(a) >> (in.w - 1)))
+            a |= ~static_cast<int64_t>(mask);
+        setReg(in.rd, static_cast<uint64_t>(a >> (reg(in.rb) & 63)));
+        break;
+      }
+      case MOp::AddI:
+        setReg(in.rd, reg(in.ra) + static_cast<uint64_t>(in.imm));
+        break;
+      case MOp::AndI:
+        setReg(in.rd, reg(in.ra) & static_cast<uint64_t>(in.imm));
+        break;
+      case MOp::Neg:
+        setReg(in.rd, 0 - reg(in.ra));
+        break;
+      case MOp::Not:
+        setReg(in.rd, (reg(in.ra) & mask) == 0 ? 1 : 0);
+        break;
+      case MOp::BNot:
+        setReg(in.rd, ~reg(in.ra));
+        break;
+      case MOp::Sext: {
+        uint64_t v = reg(in.ra);
+        uint8_t from = static_cast<uint8_t>(in.imm);
+        uint64_t fmask = maskFor(from);
+        v &= fmask;
+        if (from < 64 && (v >> (from - 1)))
+            v |= ~fmask;
+        setReg(in.rd, v);
+        break;
+      }
+      case MOp::SetC:
+        setReg(in.rd,
+               evalCond(in.cond, reg(in.ra), reg(in.rb), in.w) ? 1 : 0);
+        break;
+      case MOp::CmpBr:
+        if (evalCond(in.cond, reg(in.ra), reg(in.rb), in.w)) {
+            fr.block = in.target;
+            fr.ip = 0;
+        }
+        break;
+      case MOp::Jmp: {
+        // A single-instruction block jumping to itself is a halt loop
+        // (the failure handler's final state): spin awake forever.
+        if (in.target == fr.block && bb.instrs.size() == 1) {
+            wedged_ = true;
+            return;
+        }
+        fr.block = in.target;
+        fr.ip = 0;
+        break;
+      }
+      case MOp::Ld:
+        setReg(in.rd, loadMem(static_cast<uint32_t>(
+                                  (reg(in.ra) + in.imm) & 0xFFFF),
+                              in.w));
+        break;
+      case MOp::St:
+        storeMem(
+            static_cast<uint32_t>((reg(in.ra) + in.imm) & 0xFFFF),
+            reg(in.rb), in.w);
+        break;
+      case MOp::Lea: {
+        const MProgram::DataItem *d = prog_.findData(in.gid);
+        setReg(in.rd, d ? (d->addr + in.imm) & 0xFFFF : 0);
+        break;
+      }
+      case MOp::Leal:
+        setReg(in.rd, (fr.fp + in.imm) & 0xFFFF);
+        break;
+      case MOp::Enter: {
+        uint32_t size = static_cast<uint32_t>(in.imm);
+        if (sp_ < size + 0x200) {
+            halted_ = true;  // stack overflow
+            return;
+        }
+        sp_ -= size;
+        fr.fp = sp_;
+        for (uint32_t i = 0; i < size; ++i)
+            mem_[fr.fp + i] = 0;
+        break;
+      }
+      case MOp::Leave:
+        sp_ += static_cast<uint32_t>(in.imm);
+        break;
+      case MOp::SetArg: {
+        size_t slot = static_cast<size_t>(in.imm);
+        if (argBuf_.size() <= slot)
+            argBuf_.resize(slot + 1, 0);
+        argBuf_[slot] = reg(in.ra) & mask;
+        break;
+      }
+      case MOp::GetRet: {
+        size_t slot = static_cast<size_t>(in.imm);
+        setReg(in.rd, slot < retBuf_.size() ? retBuf_[slot] : 0);
+        break;
+      }
+      case MOp::SetRet: {
+        size_t slot = static_cast<size_t>(in.imm);
+        if (retBuf_.size() <= slot)
+            retBuf_.resize(slot + 1, 0);
+        retBuf_[slot] = reg(in.ra) & mask;
+        break;
+      }
+      case MOp::Call: {
+        auto it = funcByModuleId_.find(in.fn);
+        if (it == funcByModuleId_.end()) {
+            halted_ = true;
+            return;
+        }
+        if (it->second == failFnIdx_ && !argBuf_.empty() &&
+            failedFlid_ == 0) {
+            failedFlid_ = static_cast<uint32_t>(argBuf_[0]);
+        }
+        retBuf_.clear();
+        enterFunction(it->second, false);
+        break;
+      }
+      case MOp::CallR: {
+        uint64_t id = reg(in.ra);
+        if (id == 0) {
+            wedged_ = true;  // wild jump; model as a crash
+            return;
+        }
+        auto it = funcByModuleId_.find(static_cast<uint32_t>(id - 1));
+        if (it == funcByModuleId_.end()) {
+            wedged_ = true;
+            return;
+        }
+        retBuf_.clear();
+        enterFunction(it->second, false);
+        break;
+      }
+      case MOp::Ret:
+      case MOp::Reti: {
+        bool fromIrq = fr.fromIrq;
+        frames_.pop_back();
+        if (in.op == MOp::Reti || fromIrq)
+            iflag_ = true;
+        if (frames_.empty())
+            halted_ = true;
+        break;
+      }
+      case MOp::Sei:
+        iflag_ = true;
+        break;
+      case MOp::Cli:
+        iflag_ = false;
+        break;
+      case MOp::GetIf:
+        setReg(in.rd, iflag_ ? 1 : 0);
+        break;
+      case MOp::SetIf:
+        iflag_ = (reg(in.ra) & 1) != 0;
+        break;
+      case MOp::In:
+        setReg(in.rd, dev_.ioRead(in.port, cycles_));
+        break;
+      case MOp::Out:
+        dev_.ioWrite(in.port, static_cast<uint32_t>(reg(in.ra) & mask),
+                     cycles_);
+        break;
+      case MOp::Sleep:
+        // Low-power mode: time passes in runUntilCycle until the next
+        // device event (or an incoming radio packet) wakes us.
+        sleeping_ = true;
+        break;
+      case MOp::Nop:
+        break;
+    }
+}
+
+//---------------------------------------------------------------------
+// Network
+//---------------------------------------------------------------------
+
+Machine &
+Network::addMote(const MProgram &prog, uint8_t nodeId)
+{
+    motes_.push_back(std::make_unique<Machine>(prog, nodeId));
+    Machine *self = motes_.back().get();
+    size_t selfIdx = motes_.size() - 1;
+    self->devices().onSend = [this, selfIdx](const Packet &p) {
+        for (size_t i = 0; i < motes_.size(); ++i) {
+            if (i == selfIdx)
+                continue;
+            motes_[i]->devices().deliver(
+                p, motes_[selfIdx]->cycles() + kAirLatency);
+        }
+    };
+    return *self;
+}
+
+void
+Network::run(uint64_t cycles)
+{
+    if (!booted_) {
+        for (auto &m : motes_)
+            m->boot();
+        booted_ = true;
+    }
+    constexpr uint64_t kQuantum = 256;
+    uint64_t start = motes_.empty() ? 0 : motes_[0]->cycles();
+    for (uint64_t t = start; t < start + cycles; t += kQuantum) {
+        for (auto &m : motes_)
+            m->runUntilCycle(t + kQuantum);
+    }
+}
+
+} // namespace stos::sim

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Cycle-accurate mote simulator (the Avrora analogue). Executes a
+ * linked MProgram with the target's per-instruction cycle costs,
+ * dispatches device interrupts between instructions, fast-forwards
+ * time across SLEEP, and accounts the duty cycle (awake / total
+ * cycles) that the paper's Figure 3(c) reports.
+ */
+#ifndef STOS_SIM_MACHINE_H
+#define STOS_SIM_MACHINE_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "backend/minstr.h"
+#include "sim/devices.h"
+
+namespace stos::sim {
+
+class Machine {
+  public:
+    Machine(const backend::MProgram &prog, uint8_t nodeId = 1);
+
+    /** Start executing at the entry point (call before runUntil). */
+    void boot();
+
+    /** Run until the local cycle counter reaches `cycle`. */
+    void runUntilCycle(uint64_t cycle);
+
+    bool halted() const { return halted_; }
+    /** Stuck in a failure-handler self loop. */
+    bool wedged() const { return wedged_; }
+    uint32_t failedFlid() const { return failedFlid_; }
+
+    uint64_t cycles() const { return cycles_; }
+    uint64_t awakeCycles() const { return cycles_ - sleepCycles_; }
+    double
+    dutyCycle() const
+    {
+        return cycles_ ? static_cast<double>(awakeCycles()) /
+                             static_cast<double>(cycles_)
+                       : 0.0;
+    }
+
+    DeviceHub &devices() { return dev_; }
+    const DeviceHub &devices() const { return dev_; }
+
+    /** Read a global's current RAM/ROM bytes (little-endian). */
+    uint64_t readGlobal(const std::string &name, uint32_t size) const;
+    bool hasGlobal(const std::string &name) const;
+
+    uint64_t instructionsExecuted() const { return instrs_; }
+
+  private:
+    struct Frame {
+        uint32_t funcIdx = 0;
+        uint32_t block = 0;
+        size_t ip = 0;
+        uint32_t fp = 0;
+        std::vector<uint64_t> regs;
+        bool fromIrq = false;
+    };
+
+    void step();
+    void dispatchIrqs();
+    void enterFunction(uint32_t funcIdx, bool fromIrq);
+    uint64_t maskFor(uint8_t w) const;
+    uint64_t loadMem(uint32_t addr, uint8_t w) const;
+    void storeMem(uint32_t addr, uint64_t v, uint8_t w);
+    bool evalCond(backend::MCond c, uint64_t a, uint64_t b,
+                  uint8_t w) const;
+
+    const backend::MProgram &prog_;
+    DeviceHub dev_;
+    std::map<uint32_t, uint32_t> funcByModuleId_;
+    std::map<std::string, const backend::MProgram::DataItem *> dataByName_;
+
+    std::vector<uint8_t> mem_;
+    uint32_t sp_;
+    std::vector<Frame> frames_;
+    std::vector<uint64_t> argBuf_;
+    std::vector<uint64_t> retBuf_;
+    bool iflag_ = true;
+    std::vector<int> pendingIrqs_;
+    uint64_t cycles_ = 0;
+    uint64_t sleepCycles_ = 0;
+    uint64_t instrs_ = 0;
+    bool halted_ = false;
+    bool wedged_ = false;
+    bool sleeping_ = false;
+    uint32_t failedFlid_ = 0;
+    uint32_t failFnIdx_ = ~0u;
+};
+
+/** A network of motes sharing a radio medium, stepped in lockstep. */
+class Network {
+  public:
+    static constexpr uint64_t kAirLatency = 500;  ///< propagation cycles
+
+    /** Add a mote running `prog` with the given node id. */
+    Machine &addMote(const backend::MProgram &prog, uint8_t nodeId);
+
+    /** Boot every mote and run the whole network for `cycles`. */
+    void run(uint64_t cycles);
+
+    Machine &mote(size_t i) { return *motes_[i]; }
+    size_t size() const { return motes_.size(); }
+
+  private:
+    std::vector<std::unique_ptr<Machine>> motes_;
+    bool booted_ = false;
+};
+
+} // namespace stos::sim
+
+#endif

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Memory-mapped device register addresses shared by the TinyOS-style
+ * application library (TinyC `hwreg` declarations), the safety
+ * runtime generator, and the device simulator. Mirrors the flavour of
+ * the Mica2's AVR I/O space.
+ */
+#ifndef STOS_SUPPORT_DEVMAP_H
+#define STOS_SUPPORT_DEVMAP_H
+
+#include <cstdint>
+
+namespace stos::dev {
+
+// LEDs / GPIO
+constexpr uint32_t kRegLeds = 0x20;       ///< u8: bits 0..2 = red/green/yellow
+constexpr uint32_t kRegPortB = 0x25;      ///< u8: generic port
+
+// Timers (periodic; period in ticks of 256 cycles)
+constexpr uint32_t kRegTimer0Ctrl = 0x30; ///< u8: bit0 = enable
+constexpr uint32_t kRegTimer0Period = 0x31; ///< u16
+constexpr uint32_t kRegTimer1Ctrl = 0x34; ///< u8: bit0 = enable
+constexpr uint32_t kRegTimer1Period = 0x35; ///< u16
+
+// ADC / sensors
+constexpr uint32_t kRegAdcCtrl = 0x40;    ///< u8: write 1 = start conversion
+constexpr uint32_t kRegAdcData = 0x41;    ///< u16: conversion result
+constexpr uint32_t kRegAdcChannel = 0x43; ///< u8: 0=light 1=temp 2=mic
+
+// Radio (CC1000-flavoured byte FIFO)
+constexpr uint32_t kRegRadioCtrl = 0x50;  ///< u8: bit0 rx-enable, bit1 send
+constexpr uint32_t kRegRadioData = 0x51;  ///< u8: FIFO data window
+constexpr uint32_t kRegRadioLen = 0x52;   ///< u8: length of frame in FIFO
+constexpr uint32_t kRegRadioRssi = 0x53;  ///< u8: signal strength
+constexpr uint32_t kRegRadioDest = 0x54;  ///< u8: destination node id
+
+// UART (host-visible log)
+constexpr uint32_t kRegUartData = 0x60;   ///< u8: write = emit byte
+constexpr uint32_t kRegUartCtrl = 0x61;   ///< u8
+
+// Misc
+constexpr uint32_t kRegClock = 0x70;      ///< u16: cycles / 256
+constexpr uint32_t kRegNodeId = 0x7A;     ///< u8: this mote's address
+constexpr uint32_t kRegRandom = 0x7B;     ///< u8: PRNG byte
+
+} // namespace stos::dev
+
+#endif

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Diagnostic engine shared by all toolchain stages. Collects errors,
+ * warnings and notes with source locations; stages abort politely by
+ * checking hasErrors() rather than throwing through the pipeline.
+ */
+#ifndef STOS_SUPPORT_DIAGNOSTICS_H
+#define STOS_SUPPORT_DIAGNOSTICS_H
+
+#include <string>
+#include <vector>
+
+#include "support/source_loc.h"
+
+namespace stos {
+
+enum class DiagLevel { Note, Warning, Error };
+
+/** One reported diagnostic. */
+struct Diagnostic {
+    DiagLevel level;
+    SourceLoc loc;
+    std::string message;
+};
+
+/**
+ * Accumulates diagnostics for one toolchain run. Not thread-safe;
+ * each pipeline owns one.
+ */
+class DiagnosticEngine {
+  public:
+    explicit DiagnosticEngine(const SourceManager *sm = nullptr) : sm_(sm) {}
+
+    void error(SourceLoc loc, std::string msg)
+    {
+        diags_.push_back({DiagLevel::Error, loc, std::move(msg)});
+        ++numErrors_;
+    }
+    void warning(SourceLoc loc, std::string msg)
+    {
+        diags_.push_back({DiagLevel::Warning, loc, std::move(msg)});
+    }
+    void note(SourceLoc loc, std::string msg)
+    {
+        diags_.push_back({DiagLevel::Note, loc, std::move(msg)});
+    }
+
+    bool hasErrors() const { return numErrors_ > 0; }
+    size_t numErrors() const { return numErrors_; }
+    const std::vector<Diagnostic> &all() const { return diags_; }
+
+    /** Render every diagnostic, one per line, for tests and CLIs. */
+    std::string dump() const;
+
+  private:
+    const SourceManager *sm_;
+    std::vector<Diagnostic> diags_;
+    size_t numErrors_ = 0;
+};
+
+} // namespace stos
+
+#endif

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Source locations and the source manager used by the TinyC frontend
+ * and carried through the toolchain for error-message generation
+ * (verbose messages, terse messages, and FLID compression all derive
+ * from these locations).
+ */
+#ifndef STOS_SUPPORT_SOURCE_LOC_H
+#define STOS_SUPPORT_SOURCE_LOC_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stos {
+
+/**
+ * A position in some TinyC source buffer. `file` indexes into the
+ * SourceManager's file table; line/col are 1-based. A default
+ * constructed location is "unknown".
+ */
+struct SourceLoc {
+    uint32_t file = 0;
+    uint32_t line = 0;
+    uint32_t col = 0;
+
+    bool valid() const { return line != 0; }
+
+    bool operator==(const SourceLoc &) const = default;
+};
+
+/**
+ * Owns the names and contents of all source buffers fed to the
+ * frontend. Buffer 0 is reserved for "unknown".
+ */
+class SourceManager {
+  public:
+    SourceManager() { names_.push_back("<unknown>"); texts_.push_back(""); }
+
+    /** Register a buffer; returns its file id. */
+    uint32_t addBuffer(std::string name, std::string text)
+    {
+        names_.push_back(std::move(name));
+        texts_.push_back(std::move(text));
+        return static_cast<uint32_t>(names_.size() - 1);
+    }
+
+    const std::string &fileName(uint32_t id) const { return names_.at(id); }
+    const std::string &fileText(uint32_t id) const { return texts_.at(id); }
+    size_t numFiles() const { return names_.size(); }
+
+    /** Render a location as "file:line:col" for diagnostics. */
+    std::string describe(SourceLoc loc) const;
+
+  private:
+    std::vector<std::string> names_;
+    std::vector<std::string> texts_;
+};
+
+} // namespace stos
+
+#endif

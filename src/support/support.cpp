@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Implementation of the support library.
+ */
+#include <cstdio>
+#include <sstream>
+
+#include "support/diagnostics.h"
+#include "support/source_loc.h"
+#include "support/util.h"
+
+namespace stos {
+
+std::string
+SourceManager::describe(SourceLoc loc) const
+{
+    if (!loc.valid())
+        return "<unknown>";
+    return strfmt("%s:%u:%u", fileName(loc.file).c_str(), loc.line, loc.col);
+}
+
+std::string
+DiagnosticEngine::dump() const
+{
+    std::ostringstream os;
+    for (const auto &d : diags_) {
+        const char *lvl = d.level == DiagLevel::Error ? "error"
+                        : d.level == DiagLevel::Warning ? "warning" : "note";
+        if (sm_)
+            os << sm_->describe(d.loc) << ": ";
+        else if (d.loc.valid())
+            os << "line " << d.loc.line << ": ";
+        os << lvl << ": " << d.message << "\n";
+    }
+    return os.str();
+}
+
+std::string
+strfmt(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    va_list ap2;
+    va_copy(ap2, ap);
+    int n = vsnprintf(nullptr, 0, fmt, ap);
+    va_end(ap);
+    std::string out(n > 0 ? static_cast<size_t>(n) : 0, '\0');
+    if (n > 0)
+        vsnprintf(out.data(), out.size() + 1, fmt, ap2);
+    va_end(ap2);
+    return out;
+}
+
+void
+panic(const std::string &msg)
+{
+    throw InternalError("internal error: " + msg);
+}
+
+void
+fatal(const std::string &msg)
+{
+    throw FatalError(msg);
+}
+
+} // namespace stos

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Small shared utilities: fatal-error helpers and string formatting.
+ * panic() signals a toolchain bug (assert-like); fatal() signals a
+ * user-input problem that a stage could not express as a Diagnostic.
+ */
+#ifndef STOS_SUPPORT_UTIL_H
+#define STOS_SUPPORT_UTIL_H
+
+#include <cstdarg>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace stos {
+
+/** Thrown on internal toolchain bugs (never on bad user input). */
+struct InternalError : std::logic_error {
+    using std::logic_error::logic_error;
+};
+
+/** Thrown on unrecoverable user-input problems. */
+struct FatalError : std::runtime_error {
+    using std::runtime_error::runtime_error;
+};
+
+/** printf-style formatting into a std::string. */
+std::string strfmt(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+[[noreturn]] void panic(const std::string &msg);
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Round v up to the next multiple of align (align is a power of two). */
+inline uint32_t
+alignUp(uint32_t v, uint32_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+} // namespace stos
+
+#endif

@@ -1,0 +1,576 @@
+/**
+ * @file
+ * The twelve benchmark applications (paper §3), rewritten in TinyC on
+ * top of the library in lib.cpp. Each mirrors the corresponding
+ * TinyOS 1.x demo application's structure: interrupt handlers post
+ * tasks, tasks do the buffer/packet work, and everything uses the
+ * static-allocation style that makes whole-program optimization
+ * effective.
+ */
+#include "tinyos/tinyos.h"
+
+#include "support/util.h"
+
+namespace stos::tinyos {
+
+namespace {
+
+// BlinkTask: timer interrupt posts a task that toggles the red LED.
+const char *kBlinkTask = R"TC(
+u8 blink_state;
+
+task void do_blink() {
+    blink_state = (u8)(blink_state ^ 1);
+    stos_leds_set(blink_state);
+}
+
+interrupt(TIMER0) void on_timer() {
+    post do_blink;
+}
+
+void main() {
+    stos_timer0_start(1024);
+    stos_run_scheduler();
+}
+)TC";
+
+// Oscilloscope: periodic ADC sampling into a buffer; a task flushes
+// full buffers over the UART.
+const char *kOscilloscope = R"TC(
+u16 samples[10];
+u8 sample_idx;
+u16 out_copy[10];
+
+task void flush_buffer() {
+    u8 i = 0;
+    while (i < 10) {
+        stos_uart_put_u16(out_copy[i]);
+        stos_uart_put(32);
+        i = (u8)(i + 1);
+    }
+    stos_uart_put(10);
+}
+
+interrupt(ADC) void on_sample() {
+    u16* slot = &samples[0];
+    slot[sample_idx] = stos_adc_data();
+    sample_idx = (u8)(sample_idx + 1);
+    if (sample_idx >= 10) {
+        u8 i = 0;
+        while (i < 10) {
+            out_copy[i] = samples[i];
+            i = (u8)(i + 1);
+        }
+        sample_idx = 0;
+        post flush_buffer;
+    }
+}
+
+interrupt(TIMER0) void on_timer() {
+    stos_adc_start(0);
+}
+
+void main() {
+    stos_timer0_start(256);
+    stos_run_scheduler();
+}
+)TC";
+
+// GenericBase: radio-to-UART bridge (the classic base station).
+const char *kGenericBase = R"TC(
+u8 rxbuf[32];
+u8 rxlen;
+u8 fwd[32];
+u8 fwdlen;
+
+task void forward_packet() {
+    u8 i = 0;
+    stos_uart_put(fwdlen);
+    while (i < fwdlen) {
+        stos_uart_put(fwd[i]);
+        i = (u8)(i + 1);
+    }
+}
+
+interrupt(RADIO_RX) void on_rx() {
+    rxlen = stos_radio_recv(rxbuf, 32);
+    u8 i = 0;
+    u8* src = rxbuf;
+    u8* dst = fwd;
+    while (i < rxlen) {
+        dst[i] = src[i];
+        i = (u8)(i + 1);
+    }
+    fwdlen = rxlen;
+    post forward_packet;
+}
+
+void main() {
+    stos_radio_enable_rx();
+    stos_run_scheduler();
+}
+)TC";
+
+// RfmToLeds: display the first byte of every received packet.
+const char *kRfmToLeds = R"TC(
+u8 buf[8];
+
+task void show() {
+    stos_leds_set((u8)(buf[0] & 7));
+}
+
+interrupt(RADIO_RX) void on_rx() {
+    u8 n = stos_radio_recv(buf, 8);
+    if (n > 0) {
+        post show;
+    }
+}
+
+void main() {
+    stos_radio_enable_rx();
+    stos_run_scheduler();
+}
+)TC";
+
+// CntToLedsAndRfm: a counter shown on the LEDs and broadcast.
+const char *kCntToLedsAndRfm = R"TC(
+u16 counter;
+u8 msg[4];
+
+task void tick() {
+    counter = counter + 1;
+    stos_leds_set((u8)(counter & 7));
+    u8* p = msg;
+    p[0] = (u8)(counter & 255);
+    p[1] = (u8)(counter >> 8);
+    p[2] = NODE_ID;
+    p[3] = 0;
+    stos_radio_send(255, msg, 4);
+}
+
+interrupt(TIMER0) void on_timer() {
+    post tick;
+}
+
+void main() {
+    stos_radio_enable_rx();
+    stos_timer0_start(2048);
+    stos_run_scheduler();
+}
+)TC";
+
+// MicaHWVerify: board self-test. Pokes the port through a raw
+// constant-address pointer (the hardware-access idiom the refactoring
+// pass must rewrite, Figure 1).
+const char *kMicaHWVerify = R"TC(
+u8 phase;
+u8 patterns[4] = {0x55, 0xAA, 0x0F, 0xF0};
+
+task void probe() {
+    u8* port = (u8*) 0x25;      // raw PORTB access, legacy style
+    *port = patterns[phase & 3];
+    u8 echo = *port;
+    stos_uart_put(echo);
+    phase = (u8)(phase + 1);
+    if (phase == 8) {
+        stos_uart_puts("hw ok");
+    }
+}
+
+interrupt(TIMER0) void on_timer() {
+    post probe;
+}
+
+void main() {
+    stos_uart_puts("hw test");
+    stos_timer0_start(512);
+    stos_run_scheduler();
+}
+)TC";
+
+// SenseToRfm: periodic sensor reading broadcast over the radio.
+const char *kSenseToRfm = R"TC(
+struct Reading {
+    u16 value;
+    u16 seq;
+    u8  src;
+};
+
+struct Reading current;
+u8 packet[8];
+
+task void send_reading() {
+    u8* p = packet;
+    p[0] = (u8)(current.value & 255);
+    p[1] = (u8)(current.value >> 8);
+    p[2] = (u8)(current.seq & 255);
+    p[3] = (u8)(current.seq >> 8);
+    p[4] = current.src;
+    stos_radio_send(255, packet, 5);
+}
+
+interrupt(ADC) void on_adc() {
+    current.value = stos_adc_data();
+    current.seq = current.seq + 1;
+    current.src = NODE_ID;
+    post send_reading;
+}
+
+interrupt(TIMER0) void on_timer() {
+    stos_adc_start(1);
+}
+
+void main() {
+    stos_radio_enable_rx();
+    stos_timer0_start(1536);
+    stos_run_scheduler();
+}
+)TC";
+
+// TestTimeStamping: record arrival timestamps of packets.
+const char *kTestTimeStamping = R"TC(
+u16 stamps[16];
+u8 stamp_idx;
+u8 scratch[8];
+
+task void report() {
+    u8 i = 0;
+    while (i < stamp_idx) {
+        stos_uart_put_u16(stamps[i]);
+        stos_uart_put(44);
+        i = (u8)(i + 1);
+    }
+    stos_uart_put(10);
+    stamp_idx = 0;
+}
+
+interrupt(RADIO_RX) void on_rx() {
+    u8 n = stos_radio_recv(scratch, 8);
+    if (n == 0) { return; }
+    u16* tab = stamps;
+    if (stamp_idx < 16) {
+        tab[stamp_idx] = CLOCK;
+        stamp_idx = (u8)(stamp_idx + 1);
+    }
+    if (stamp_idx == 16) {
+        post report;
+    }
+}
+
+void main() {
+    stos_radio_enable_rx();
+    stos_run_scheduler();
+}
+)TC";
+
+// Surge: the multihop demo. Senses periodically, forwards readings
+// toward the base through a parent chosen from overheard traffic, and
+// relays other nodes' packets. The biggest app: routing table, message
+// queue, struct copies.
+const char *kSurge = R"TC(
+struct SurgeMsg {
+    u8  kind;       // 1 = data
+    u8  origin;
+    u8  hops;
+    u16 seq;
+    u16 reading;
+};
+
+struct Neighbor {
+    u8  id;
+    u8  rssi;
+    u8  fresh;
+};
+
+struct Neighbor table[4];
+u8 parent;
+u16 my_seq;
+struct SurgeMsg queue[4];
+u8 q_head;
+u8 q_tail;
+u8 q_count;
+u8 wire[8];
+u16 sent_count;
+
+void enqueue(struct SurgeMsg* m) {
+    atomic {
+        if (q_count < 4) {
+            queue[q_tail] = *m;
+            q_tail = (u8)((q_tail + 1) & 3);
+            q_count = (u8)(q_count + 1);
+        }
+    }
+}
+
+void note_neighbor(u8 id, u8 rssi) {
+    u8 i = 0;
+    u8 slot = 0;
+    u8 weakest = 255;
+    while (i < 4) {
+        if (table[i].id == id) { slot = i; i = 4; }
+        else {
+            if (table[i].rssi < weakest) {
+                weakest = table[i].rssi;
+                slot = i;
+            }
+            i = (u8)(i + 1);
+        }
+    }
+    table[slot].id = id;
+    table[slot].rssi = rssi;
+    table[slot].fresh = 8;
+    // Pick the strongest fresh neighbor with a lower id as parent.
+    u8 best = 0;
+    u8 best_rssi = 0;
+    i = 0;
+    while (i < 4) {
+        if (table[i].fresh > 0 && table[i].id < NODE_ID &&
+            table[i].rssi > best_rssi) {
+            best = table[i].id;
+            best_rssi = table[i].rssi;
+        }
+        i = (u8)(i + 1);
+    }
+    parent = best;
+}
+
+task void drain_queue() {
+    struct SurgeMsg m;
+    bool have = false;
+    atomic {
+        if (q_count > 0) {
+            m = queue[q_head];
+            q_head = (u8)((q_head + 1) & 3);
+            q_count = (u8)(q_count - 1);
+            have = true;
+        }
+    }
+    if (!have) { return; }
+    u8* w = wire;
+    w[0] = m.kind;
+    w[1] = m.origin;
+    w[2] = (u8)(m.hops + 1);
+    w[3] = (u8)(m.seq & 255);
+    w[4] = (u8)(m.seq >> 8);
+    w[5] = (u8)(m.reading & 255);
+    w[6] = (u8)(m.reading >> 8);
+    stos_radio_send(parent, wire, 7);
+    sent_count = sent_count + 1;
+    if (q_count > 0) {
+        post drain_queue;
+    }
+}
+
+interrupt(ADC) void on_sense() {
+    struct SurgeMsg m;
+    m.kind = 1;
+    m.origin = NODE_ID;
+    m.hops = 0;
+    my_seq = my_seq + 1;
+    m.seq = my_seq;
+    m.reading = stos_adc_data();
+    enqueue(&m);
+    post drain_queue;
+}
+
+interrupt(RADIO_RX) void on_rx() {
+    u8 n = stos_radio_recv(wire, 8);
+    if (n < 7) { return; }
+    note_neighbor(wire[1], RADIO_RSSI);
+    if (wire[0] == 1 && wire[2] < 5 && wire[1] != NODE_ID) {
+        struct SurgeMsg m;
+        m.kind = wire[0];
+        m.origin = wire[1];
+        m.hops = wire[2];
+        m.seq = (u16)(wire[3]) | ((u16)(wire[4]) << 8);
+        m.reading = (u16)(wire[5]) | ((u16)(wire[6]) << 8);
+        enqueue(&m);
+        post drain_queue;
+    }
+}
+
+interrupt(TIMER0) void on_timer() {
+    stos_adc_start(0);
+    // Age the neighbor table.
+    u8 i = 0;
+    while (i < 4) {
+        if (table[i].fresh > 0) {
+            table[i].fresh = (u8)(table[i].fresh - 1);
+        }
+        i = (u8)(i + 1);
+    }
+}
+
+void main() {
+    stos_radio_enable_rx();
+    stos_timer0_start(3072);
+    stos_run_scheduler();
+}
+)TC";
+
+// Ident: answers radio queries with this node's identity string.
+const char *kIdent = R"TC(
+u8 name[12] = "mote";
+u8 req[8];
+u8 reply[16];
+
+task void send_ident() {
+    u8 i = 0;
+    u8* r = reply;
+    r[0] = 73;   // 'I'
+    r[1] = NODE_ID;
+    while (name[i] != 0 && i < 12) {
+        r[(u8)(i + 2)] = name[i];
+        i = (u8)(i + 1);
+    }
+    stos_uart_puts("ident sent");
+    stos_radio_send(255, reply, (u8)(i + 2));
+}
+
+interrupt(RADIO_RX) void on_rx() {
+    u8 n = stos_radio_recv(req, 8);
+    if (n > 0) {
+        post send_ident;
+    }
+}
+
+void main() {
+    stos_radio_enable_rx();
+    stos_run_scheduler();
+}
+)TC";
+
+// HighFrequencySampling: fast timer-driven ADC into double buffers; a
+// task compresses each full buffer (sum + max) and logs it.
+const char *kHighFrequencySampling = R"TC(
+u16 bufA[32];
+u16 bufB[32];
+u8 fill_idx;
+u8 active;      // 0 = filling A, 1 = filling B
+u8 ready;       // which buffer a task should process
+
+task void process_buffer() {
+    u16* buf = bufA;
+    if (ready == 1) { buf = bufB; }
+    u32 sum = 0;
+    u16 peak = 0;
+    u8 i = 0;
+    while (i < 32) {
+        u16 v = buf[i];
+        sum = sum + v;
+        if (v > peak) { peak = v; }
+        i = (u8)(i + 1);
+    }
+    stos_uart_put_u16((u16)(sum >> 5));
+    stos_uart_put(47);
+    stos_uart_put_u16(peak);
+    stos_uart_put(10);
+}
+
+interrupt(ADC) void on_adc() {
+    u16* buf = bufA;
+    if (active == 1) { buf = bufB; }
+    buf[fill_idx] = stos_adc_data();
+    fill_idx = (u8)(fill_idx + 1);
+    if (fill_idx >= 32) {
+        fill_idx = 0;
+        ready = active;
+        active = (u8)(active ^ 1);
+        post process_buffer;
+    }
+}
+
+interrupt(TIMER1) void on_fast_timer() {
+    stos_adc_start(2);
+}
+
+void main() {
+    stos_timer1_start(64);
+    stos_run_scheduler();
+}
+)TC";
+
+// RadioCountToLeds: every node counts and broadcasts; every node
+// displays the last count it heard. (The TelosB datapoint.)
+const char *kRadioCountToLeds = R"TC(
+u16 count;
+u8 txbuf[4];
+u8 rxbuf[4];
+
+task void broadcast() {
+    count = count + 1;
+    u8* p = txbuf;
+    p[0] = (u8)(count & 255);
+    p[1] = (u8)(count >> 8);
+    stos_radio_send(255, txbuf, 2);
+}
+
+task void display() {
+    u16 heard = (u16)(rxbuf[0]) | ((u16)(rxbuf[1]) << 8);
+    stos_leds_set((u8)(heard & 7));
+}
+
+interrupt(TIMER0) void on_timer() {
+    post broadcast;
+}
+
+interrupt(RADIO_RX) void on_rx() {
+    u8 n = stos_radio_recv(rxbuf, 4);
+    if (n >= 2) {
+        post display;
+    }
+}
+
+void main() {
+    stos_radio_enable_rx();
+    stos_timer0_start(4096);
+    stos_run_scheduler();
+}
+)TC";
+
+std::vector<AppInfo>
+makeApps()
+{
+    std::vector<AppInfo> apps;
+    apps.push_back({"BlinkTask", "Mica2", kBlinkTask, {}});
+    apps.push_back({"Oscilloscope", "Mica2", kOscilloscope, {}});
+    apps.push_back(
+        {"GenericBase", "Mica2", kGenericBase, {"CntToLedsAndRfm"}});
+    apps.push_back(
+        {"RfmToLeds", "Mica2", kRfmToLeds, {"CntToLedsAndRfm"}});
+    apps.push_back({"CntToLedsAndRfm", "Mica2", kCntToLedsAndRfm, {}});
+    apps.push_back({"MicaHWVerify", "Mica2", kMicaHWVerify, {}});
+    apps.push_back({"SenseToRfm", "Mica2", kSenseToRfm, {}});
+    apps.push_back({"TestTimeStamping", "Mica2", kTestTimeStamping,
+                    {"CntToLedsAndRfm"}});
+    apps.push_back(
+        {"Surge", "Mica2", kSurge, {"Surge", "GenericBase"}});
+    apps.push_back({"Ident", "Mica2", kIdent, {"CntToLedsAndRfm"}});
+    apps.push_back({"HighFrequencySampling", "Mica2",
+                    kHighFrequencySampling, {}});
+    apps.push_back(
+        {"RadioCountToLeds", "TelosB", kRadioCountToLeds,
+         {"RadioCountToLeds"}});
+    return apps;
+}
+
+} // namespace
+
+const std::vector<AppInfo> &
+allApps()
+{
+    static const std::vector<AppInfo> apps = makeApps();
+    return apps;
+}
+
+const AppInfo &
+appByName(const std::string &name)
+{
+    for (const auto &a : allApps()) {
+        if (a.name == name)
+            return a;
+    }
+    panic("unknown application: " + name);
+}
+
+} // namespace stos::tinyos

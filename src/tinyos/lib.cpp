@@ -1,0 +1,148 @@
+/**
+ * @file
+ * The TinyOS-style library, in TinyC. This plays the role of the
+ * TinyOS component tree that the nesC compiler flattens into the
+ * application: hardware presentation (hwregs), the task queue and
+ * scheduler, and thin device wrappers.
+ */
+#include "tinyos/tinyos.h"
+
+namespace stos::tinyos {
+
+const std::string &
+libSource()
+{
+    static const std::string src = R"TC(
+// ---- hardware presentation layer -------------------------------
+hwreg u8  LEDS          @ 0x20;
+hwreg u8  PORTB         @ 0x25;
+hwreg u8  TIMER0_CTRL   @ 0x30;
+hwreg u16 TIMER0_PERIOD @ 0x31;
+hwreg u8  TIMER1_CTRL   @ 0x34;
+hwreg u16 TIMER1_PERIOD @ 0x35;
+hwreg u8  ADC_CTRL      @ 0x40;
+hwreg u16 ADC_DATA      @ 0x41;
+hwreg u8  ADC_CHANNEL   @ 0x43;
+hwreg u8  RADIO_CTRL    @ 0x50;
+hwreg u8  RADIO_DATA    @ 0x51;
+hwreg u8  RADIO_LEN     @ 0x52;
+hwreg u8  RADIO_RSSI    @ 0x53;
+hwreg u8  RADIO_DEST    @ 0x54;
+hwreg u8  UART_DATA     @ 0x60;
+hwreg u8  UART_CTRL     @ 0x61;
+hwreg u16 CLOCK         @ 0x70;
+hwreg u8  NODE_ID       @ 0x7A;
+hwreg u8  RANDOM        @ 0x7B;
+
+// ---- task queue and scheduler ------------------------------------
+// The nesC two-level model: run-to-completion tasks posted from any
+// context, drained by the main scheduler loop, which sleeps when the
+// queue is empty.
+fnptr __st_queue[8];
+u8 __st_qhead;
+u8 __st_qtail;
+u8 __st_qcount;
+
+void __st_post(fnptr f) {
+    atomic {
+        if (__st_qcount < 8) {
+            __st_queue[__st_qtail] = f;
+            __st_qtail = (u8)((__st_qtail + 1) & 7);
+            __st_qcount = (u8)(__st_qcount + 1);
+        }
+    }
+}
+
+void stos_run_scheduler() {
+    while (true) {
+        fnptr next = null;
+        atomic {
+            if (__st_qcount > 0) {
+                next = __st_queue[__st_qhead];
+                __st_qhead = (u8)((__st_qhead + 1) & 7);
+                __st_qcount = (u8)(__st_qcount - 1);
+            }
+        }
+        if (next != null) {
+            next();
+        } else {
+            __builtin_sleep();
+        }
+    }
+}
+
+// ---- device wrappers -----------------------------------------------
+inline void stos_leds_set(u8 v) { LEDS = v; }
+inline void stos_led_toggle(u8 mask) { LEDS = (u8)(LEDS ^ mask); }
+
+inline void stos_timer0_start(u16 period) {
+    TIMER0_PERIOD = period;
+    TIMER0_CTRL = 1;
+}
+inline void stos_timer1_start(u16 period) {
+    TIMER1_PERIOD = period;
+    TIMER1_CTRL = 1;
+}
+
+inline void stos_adc_start(u8 channel) {
+    ADC_CHANNEL = channel;
+    ADC_CTRL = 1;
+}
+inline u16 stos_adc_data() { return ADC_DATA; }
+
+inline void stos_radio_enable_rx() { RADIO_CTRL = 1; }
+
+void stos_radio_send(u8 dest, u8* buf, u8 len) {
+    RADIO_LEN = len;          // stages a new outgoing frame
+    u8 i = 0;
+    while (i < len) {
+        RADIO_DATA = buf[i];
+        i = (u8)(i + 1);
+    }
+    RADIO_DEST = dest;
+    RADIO_CTRL = 3;           // keep rx enabled, start tx
+}
+
+u8 stos_radio_recv(u8* buf, u8 maxlen) {
+    u8 n = RADIO_LEN;
+    if (n > maxlen) { n = maxlen; }
+    u8 i = 0;
+    while (i < n) {
+        buf[i] = RADIO_DATA;
+        i = (u8)(i + 1);
+    }
+    return n;
+}
+
+void stos_uart_puts(u8* s) {
+    u16 i = 0;
+    while (s[i] != 0) {
+        UART_DATA = s[i];
+        i = i + 1;
+    }
+}
+inline void stos_uart_put(u8 b) { UART_DATA = b; }
+
+void stos_uart_put_u16(u16 v) {
+    // Little decimal printer; exercises division in the runtime path.
+    u8 digits[5];
+    u8 n = 0;
+    if (v == 0) {
+        UART_DATA = 48;
+        return;
+    }
+    while (v > 0 && n < 5) {
+        digits[n] = (u8)(48 + v % 10);
+        v = v / 10;
+        n = (u8)(n + 1);
+    }
+    while (n > 0) {
+        n = (u8)(n - 1);
+        UART_DATA = digits[n];
+    }
+}
+)TC";
+    return src;
+}
+
+} // namespace stos::tinyos

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * The TinyOS-style application library and the twelve benchmark
+ * applications from the paper's evaluation, rewritten in TinyC. The
+ * library provides the two-level execution model (task queue +
+ * scheduler + sleep), LED/timer/ADC/radio/UART wrappers, and the
+ * hardware register declarations for the simulated mote.
+ */
+#ifndef STOS_TINYOS_TINYOS_H
+#define STOS_TINYOS_TINYOS_H
+
+#include <string>
+#include <vector>
+
+namespace stos::tinyos {
+
+struct AppInfo {
+    std::string name;        ///< e.g. "BlinkTask"
+    std::string platform;    ///< "Mica2" or "TelosB"
+    std::string source;      ///< TinyC text (application part)
+    /**
+     * Companion applications forming the "reasonable sensor network
+     * context" (§3.4) the app runs in, by name; empty = runs alone.
+     */
+    std::vector<std::string> companions;
+};
+
+/** TinyC source of the shared TinyOS-style library. */
+const std::string &libSource();
+
+/** All twelve benchmark applications (paper Figures 2 and 3). */
+const std::vector<AppInfo> &allApps();
+
+/** Look up an app by name; throws if unknown. */
+const AppInfo &appByName(const std::string &name);
+
+} // namespace stos::tinyos
+
+#endif

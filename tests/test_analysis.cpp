@@ -1,0 +1,318 @@
+/**
+ * @file
+ * Unit tests for the analysis library: call graph, points-to,
+ * liveness, and the concurrency/race detector.
+ */
+#include <gtest/gtest.h>
+
+#include "analysis/callgraph.h"
+#include "analysis/concurrency.h"
+#include "analysis/liveness.h"
+#include "analysis/pointsto.h"
+#include "frontend/frontend.h"
+
+namespace stos {
+namespace {
+
+using namespace stos::analysis;
+using namespace stos::ir;
+
+Module
+compile(const std::string &src)
+{
+    SourceManager sm;
+    DiagnosticEngine diags(&sm);
+    Module m = frontend::compileTinyC({{"t.tc", src}}, diags, sm);
+    EXPECT_FALSE(diags.hasErrors()) << diags.dump();
+    return m;
+}
+
+uint32_t
+fid(const Module &m, const std::string &name)
+{
+    const Function *f = m.findFunc(name);
+    EXPECT_NE(f, nullptr) << name;
+    return f->id;
+}
+
+TEST(CallGraph, DirectEdges)
+{
+    Module m = compile(
+        "void leaf() { }"
+        "void mid() { leaf(); }"
+        "void main() { mid(); }");
+    CallGraph cg(m);
+    EXPECT_TRUE(cg.reaches(fid(m, "main"), fid(m, "leaf")));
+    EXPECT_FALSE(cg.reaches(fid(m, "leaf"), fid(m, "main")));
+    EXPECT_EQ(cg.callees(fid(m, "mid")).size(), 1u);
+}
+
+TEST(CallGraph, IndirectCallsResolveToAddressTaken)
+{
+    Module m = compile(
+        "u8 x;"
+        "void t1() { x = 1; }"
+        "void t2() { x = 2; }"
+        "void notTaken() { x = 3; }"
+        "void main() { fnptr f = t1; f = t2; f(); }");
+    CallGraph cg(m);
+    EXPECT_TRUE(cg.isAddressTaken(fid(m, "t1")));
+    EXPECT_TRUE(cg.isAddressTaken(fid(m, "t2")));
+    EXPECT_FALSE(cg.isAddressTaken(fid(m, "notTaken")));
+    EXPECT_TRUE(cg.reaches(fid(m, "main"), fid(m, "t1")));
+    EXPECT_TRUE(cg.reaches(fid(m, "main"), fid(m, "t2")));
+    EXPECT_FALSE(cg.reaches(fid(m, "main"), fid(m, "notTaken")));
+}
+
+TEST(CallGraph, DetectsRecursion)
+{
+    Module m = compile(
+        "u16 fact(u16 n) { if (n < 2) { return 1; } "
+        "return n * fact(n - 1); }"
+        "void helper() { }"
+        "void main() { fact(5); helper(); }");
+    CallGraph cg(m);
+    EXPECT_TRUE(cg.isRecursive(fid(m, "fact")));
+    EXPECT_FALSE(cg.isRecursive(fid(m, "helper")));
+    EXPECT_FALSE(cg.isRecursive(fid(m, "main")));
+}
+
+TEST(PointsTo, AddressOfGlobalResolvesExactly)
+{
+    Module m = compile(
+        "u8 buf[4];"
+        "void main() { u8* p = buf; p[1] = 2; }");
+    PointsTo pts(m);
+    const Function *f = m.findFunc("main");
+    // Find the Store's address vreg.
+    for (const auto &bb : f->blocks) {
+        for (const auto &in : bb.instrs) {
+            if (in.op == Opcode::Store) {
+                auto obj = pts.resolveExact(f->id, in.args[0].index);
+                ASSERT_TRUE(obj.has_value());
+                EXPECT_EQ(obj->kind, MemObj::GlobalObj);
+                EXPECT_EQ(m.globalAt(obj->index).name, "buf");
+            }
+        }
+    }
+}
+
+TEST(PointsTo, MayAliasThroughControlFlow)
+{
+    Module m = compile(
+        "u8 a[4]; u8 b[4]; u8 pick;"
+        "void main() {"
+        "  u8* p = a;"
+        "  if (pick) { p = b; }"
+        "  p[0] = 1;"
+        "}");
+    PointsTo pts(m);
+    const Function *f = m.findFunc("main");
+    for (const auto &bb : f->blocks) {
+        for (const auto &in : bb.instrs) {
+            if (in.op == Opcode::Store) {
+                PtsSet t = pts.accessTargets(f->id, in.args[0].index);
+                // Both arrays are possible targets; nothing is exact.
+                EXPECT_GE(t.size(), 2u);
+                EXPECT_FALSE(
+                    pts.resolveExact(f->id, in.args[0].index)
+                        .has_value());
+            }
+        }
+    }
+}
+
+TEST(PointsTo, FlowsThroughCalls)
+{
+    Module m = compile(
+        "u8 buf[8];"
+        "void write(u8* p) { p[0] = 1; }"
+        "void main() { write(buf); }");
+    PointsTo pts(m);
+    const Function *w = m.findFunc("write");
+    const Function *f = m.findFunc("main");
+    // The parameter must point to buf.
+    const PtsSet &pp = pts.vregPts(w->id, w->params[0]);
+    ASSERT_EQ(pp.size(), 1u);
+    EXPECT_EQ(pp.begin()->kind, MemObj::GlobalObj);
+    EXPECT_TRUE(pts.mayAlias(w->id, w->params[0], f->id,
+                             /* some vreg pointing at buf */ 0) ||
+                true);  // smoke: mayAlias does not crash on vreg 0
+}
+
+TEST(PointsTo, IntToPointerIsUniversal)
+{
+    Module m = compile(
+        "u8 g;"
+        "void main() { u8* p = (u8*) 0x1234; p[0] = 1; g = 0; }");
+    PointsTo pts(m);
+    const Function *f = m.findFunc("main");
+    bool sawUniversal = false;
+    for (const auto &bb : f->blocks) {
+        for (const auto &in : bb.instrs) {
+            if (in.op == Opcode::Store && in.args[0].isVReg()) {
+                PtsSet t = pts.accessTargets(f->id, in.args[0].index);
+                if (PointsTo::hasUniversal(t))
+                    sawUniversal = true;
+            }
+        }
+    }
+    EXPECT_TRUE(sawUniversal);
+}
+
+TEST(Liveness, DeadDefIsNotLive)
+{
+    Module m = compile(
+        "u16 main() {"
+        "  u16 dead = 42;"   // never used afterwards
+        "  u16 live = 7;"
+        "  return live;"
+        "}");
+    const Function *f = m.findFunc("main");
+    Liveness live(m, *f);
+    // Find the vregs by their names.
+    uint32_t deadV = ~0u, liveV = ~0u;
+    for (uint32_t v = 0; v < f->vregs.size(); ++v) {
+        if (f->vregs[v].name == "dead")
+            deadV = v;
+        if (f->vregs[v].name == "live")
+            liveV = v;
+    }
+    ASSERT_NE(deadV, ~0u);
+    ASSERT_NE(liveV, ~0u);
+    auto after = live.liveAfter(0);
+    // After its own assignment, `dead` must not be live anywhere.
+    bool deadEverLive = false;
+    for (const auto &set : after) {
+        if (set[deadV])
+            deadEverLive = true;
+    }
+    EXPECT_FALSE(deadEverLive);
+}
+
+//---------------------------------------------------------------------
+// Concurrency / race detection
+//---------------------------------------------------------------------
+
+ConcurrencyAnalysis
+analyze(Module &m, ConcurrencyOptions opts = {})
+{
+    static std::vector<std::unique_ptr<CallGraph>> cgs;
+    static std::vector<std::unique_ptr<PointsTo>> ptss;
+    cgs.push_back(std::make_unique<CallGraph>(m));
+    ptss.push_back(std::make_unique<PointsTo>(m));
+    return ConcurrencyAnalysis(m, *cgs.back(), *ptss.back(), opts);
+}
+
+TEST(Concurrency, SharedCounterIsRacy)
+{
+    Module m = compile(
+        "u16 shared;"
+        "interrupt(TIMER0) void tick() { shared = shared + 1; }"
+        "u16 main() { return shared; }");
+    auto conc = analyze(m);
+    EXPECT_EQ(conc.racyGlobals().size(), 1u);
+    EXPECT_TRUE(conc.isRacyGlobal(m.findGlobal("shared")->id));
+}
+
+TEST(Concurrency, TaskOnlyVariableIsNotRacy)
+{
+    Module m = compile(
+        "u16 taskOnly;"
+        "interrupt(TIMER0) void tick() { }"
+        "void main() { taskOnly = 5; }");
+    auto conc = analyze(m);
+    EXPECT_FALSE(conc.isRacyGlobal(m.findGlobal("taskOnly")->id));
+}
+
+TEST(Concurrency, FullyAtomicAccessIsNotRacy)
+{
+    Module m = compile(
+        "u16 shared;"
+        "interrupt(TIMER0) void tick() { atomic { shared++; } }"
+        "u16 main() { u16 v; atomic { v = shared; } return v; }");
+    auto conc = analyze(m);
+    EXPECT_FALSE(conc.isRacyGlobal(m.findGlobal("shared")->id));
+}
+
+TEST(Concurrency, ReadOnlySharedDataIsNotRacy)
+{
+    Module m = compile(
+        "u16 config = 7;"
+        "u16 sink;"
+        "interrupt(TIMER0) void tick() { sink = config; }"
+        "u16 main() { return config; }");
+    auto conc = analyze(m);
+    EXPECT_FALSE(conc.isRacyGlobal(m.findGlobal("config")->id));
+}
+
+TEST(Concurrency, DetectorFollowsPointers)
+{
+    // The interrupt writes through a pointer: nesC's syntactic
+    // analysis misses this; ours must not (paper §2.1).
+    Module m = compile(
+        "u16 target;"
+        "u16* alias;"
+        "interrupt(TIMER0) void tick() { if (alias != null) { *alias = 1; } }"
+        "u16 main() { alias = &target; return target; }");
+    ConcurrencyOptions follow;
+    follow.followPointers = true;
+    auto conc = analyze(m, follow);
+    EXPECT_TRUE(conc.isRacyGlobal(m.findGlobal("target")->id));
+
+    ConcurrencyOptions nescStyle;
+    nescStyle.followPointers = false;
+    auto weak = analyze(m, nescStyle);
+    EXPECT_FALSE(weak.isRacyGlobal(m.findGlobal("target")->id))
+        << "the nesC-style detector should miss the aliased write";
+}
+
+TEST(Concurrency, NoraceIsSuppressedForSafety)
+{
+    Module m = compile(
+        "norace u16 shared;"
+        "interrupt(TIMER0) void tick() { shared++; }"
+        "u16 main() { return shared; }");
+    ConcurrencyOptions suppress;  // default: suppress norace (§2.2)
+    auto conc = analyze(m, suppress);
+    EXPECT_TRUE(conc.isRacyGlobal(m.findGlobal("shared")->id));
+
+    ConcurrencyOptions honor;
+    honor.suppressNorace = false;
+    auto weak = analyze(m, honor);
+    EXPECT_FALSE(weak.isRacyGlobal(m.findGlobal("shared")->id));
+}
+
+TEST(Concurrency, HandlerOnlyCodeNeedsNoIrqSave)
+{
+    Module m = compile(
+        "u16 x;"
+        "void handlerHelper() { atomic { x++; } }"
+        "interrupt(TIMER0) void tick() { handlerHelper(); }"
+        "void taskSide() { atomic { x++; } }"
+        "void main() { taskSide(); }");
+    auto conc = analyze(m);
+    // Handler context => IRQs already off => save needed (it IS
+    // entered with interrupts disabled, so restoring matters).
+    EXPECT_TRUE(conc.atomicNeedsIrqSave(fid(m, "handlerHelper")));
+    // Pure task-side atomic never nests: plain cli/sei suffices.
+    EXPECT_FALSE(conc.atomicNeedsIrqSave(fid(m, "taskSide")));
+}
+
+TEST(Concurrency, ContextClassification)
+{
+    Module m = compile(
+        "u16 x;"
+        "void both() { x++; }"
+        "interrupt(TIMER0) void tick() { both(); }"
+        "void main() { both(); }");
+    auto conc = analyze(m);
+    const auto &ctx = conc.contextsOf(fid(m, "both"));
+    EXPECT_TRUE(ctx.task);
+    EXPECT_NE(ctx.vectors, 0u);
+    EXPECT_TRUE(ctx.multi());
+    EXPECT_TRUE(conc.isRacyGlobal(m.findGlobal("x")->id));
+}
+
+} // namespace
+} // namespace stos

@@ -1,0 +1,431 @@
+/**
+ * @file
+ * Frontend tests: lexer, parser error recovery, and lowering checked
+ * by compiling TinyC snippets and inspecting / executing the IR.
+ */
+#include <gtest/gtest.h>
+
+#include "frontend/frontend.h"
+#include "frontend/lexer.h"
+#include "ir/interp.h"
+#include "ir/printer.h"
+#include "ir/verifier.h"
+
+namespace stos {
+namespace {
+
+using namespace stos::frontend;
+using namespace stos::ir;
+
+Module
+compile(const std::string &src, bool expectOk = true)
+{
+    SourceManager sm;
+    DiagnosticEngine diags(&sm);
+    Module m = compileTinyC({{"test.tc", src}}, diags, sm);
+    if (expectOk) {
+        EXPECT_FALSE(diags.hasErrors()) << diags.dump();
+        auto problems = verifyModule(m);
+        EXPECT_TRUE(problems.empty())
+            << (problems.empty() ? "" : problems[0]) << "\n"
+            << moduleToString(m);
+    }
+    return m;
+}
+
+bool
+compileFails(const std::string &src)
+{
+    SourceManager sm;
+    DiagnosticEngine diags(&sm);
+    compileTinyC({{"test.tc", src}}, diags, sm);
+    return diags.hasErrors();
+}
+
+uint64_t
+runFn(Module &m, const std::string &fn)
+{
+    Interp in(m);
+    auto r = in.run(fn);
+    EXPECT_EQ(r.reason, StopReason::Returned) << r.detail;
+    return r.retVal.i;
+}
+
+//---------------------------------------------------------------------
+// Lexer
+//---------------------------------------------------------------------
+
+TEST(Lexer, TokenizesOperators)
+{
+    SourceManager sm;
+    DiagnosticEngine d(&sm);
+    auto toks = lex("a += b << 2; x->y", 1, d);
+    ASSERT_FALSE(d.hasErrors());
+    EXPECT_EQ(toks[0].kind, Tok::Ident);
+    EXPECT_EQ(toks[1].kind, Tok::PlusEq);
+    EXPECT_EQ(toks[3].kind, Tok::Shl);
+    EXPECT_EQ(toks[4].kind, Tok::IntLit);
+    EXPECT_EQ(toks[7].kind, Tok::Arrow);
+}
+
+TEST(Lexer, HexAndChar)
+{
+    SourceManager sm;
+    DiagnosticEngine d(&sm);
+    auto toks = lex("0x1F 'A' '\\n'", 1, d);
+    EXPECT_EQ(toks[0].intVal, 0x1Fu);
+    EXPECT_EQ(toks[1].intVal, 'A');
+    EXPECT_EQ(toks[2].intVal, static_cast<uint64_t>('\n'));
+}
+
+TEST(Lexer, CommentsAndStrings)
+{
+    SourceManager sm;
+    DiagnosticEngine d(&sm);
+    auto toks = lex("// line\n/* block */ \"hi\\t\"", 1, d);
+    ASSERT_FALSE(d.hasErrors());
+    EXPECT_EQ(toks[0].kind, Tok::StrLit);
+    EXPECT_EQ(toks[0].text, "hi\t");
+}
+
+TEST(Lexer, ReportsBadCharacter)
+{
+    SourceManager sm;
+    DiagnosticEngine d(&sm);
+    lex("a $ b", 1, d);
+    EXPECT_TRUE(d.hasErrors());
+}
+
+//---------------------------------------------------------------------
+// Lowering + execution
+//---------------------------------------------------------------------
+
+TEST(Frontend, ReturnsConstant)
+{
+    Module m = compile("u16 main() { return 42; }");
+    EXPECT_EQ(runFn(m, "main"), 42u);
+}
+
+TEST(Frontend, ArithmeticAndPrecedence)
+{
+    Module m = compile("u16 main() { return 2 + 3 * 4 - 6 / 2; }");
+    EXPECT_EQ(runFn(m, "main"), 11u);
+}
+
+TEST(Frontend, U8WraparoundOnAssignment)
+{
+    Module m = compile(
+        "u8 g;"
+        "u16 main() { g = 200; g = g + 100; return g; }");
+    EXPECT_EQ(runFn(m, "main"), (200 + 100) & 0xFF);
+}
+
+TEST(Frontend, SignedArithmetic)
+{
+    Module m = compile(
+        "i16 main() { i16 a = -5; i16 b = 3; return a / b; }");
+    EXPECT_EQ(static_cast<int16_t>(runFn(m, "main")), -1);
+}
+
+TEST(Frontend, GlobalInitializers)
+{
+    Module m = compile(
+        "u16 a = 0x1234;"
+        "u8 arr[4] = {1, 2, 3};"
+        "u16 main() { return a + arr[0] + arr[1] + arr[2] + arr[3]; }");
+    EXPECT_EQ(runFn(m, "main"), 0x1234u + 6);
+}
+
+TEST(Frontend, StringGlobalInitializer)
+{
+    Module m = compile(
+        "u8 msg[6] = \"hello\";"
+        "u16 main() { return msg[0] + msg[4]; }");
+    EXPECT_EQ(runFn(m, "main"), static_cast<uint64_t>('h' + 'o'));
+}
+
+TEST(Frontend, WhileLoopSum)
+{
+    Module m = compile(
+        "u16 main() {"
+        "  u16 s = 0; u16 i = 1;"
+        "  while (i <= 10) { s += i; i++; }"
+        "  return s;"
+        "}");
+    EXPECT_EQ(runFn(m, "main"), 55u);
+}
+
+TEST(Frontend, ForLoopWithBreakContinue)
+{
+    Module m = compile(
+        "u16 main() {"
+        "  u16 s = 0;"
+        "  for (u16 i = 0; i < 100; i++) {"
+        "    if (i % 2 == 0) { continue; }"
+        "    if (i > 9) { break; }"
+        "    s += i;"
+        "  }"
+        "  return s;"  // 1+3+5+7+9
+        "}");
+    EXPECT_EQ(runFn(m, "main"), 25u);
+}
+
+TEST(Frontend, ShortCircuitEvaluation)
+{
+    Module m = compile(
+        "u16 calls;"
+        "bool touch() { calls++; return true; }"
+        "u16 main() {"
+        "  if (false && touch()) { return 1; }"
+        "  if (true || touch()) { return calls; }"
+        "  return 99;"
+        "}");
+    EXPECT_EQ(runFn(m, "main"), 0u);
+}
+
+TEST(Frontend, TernaryConditional)
+{
+    Module m = compile(
+        "u16 pick(u16 x) { return x > 5 ? 100 : 200; }"
+        "u16 main() { return pick(6) + pick(2); }");
+    EXPECT_EQ(runFn(m, "main"), 300u);
+}
+
+TEST(Frontend, PointersAndAddressOf)
+{
+    Module m = compile(
+        "u16 main() {"
+        "  u16 x = 7;"
+        "  u16* p = &x;"
+        "  *p = *p + 1;"
+        "  return x;"
+        "}");
+    EXPECT_EQ(runFn(m, "main"), 8u);
+}
+
+TEST(Frontend, PointerArithmeticOverArray)
+{
+    Module m = compile(
+        "u8 buf[5] = {10, 20, 30, 40, 50};"
+        "u16 main() {"
+        "  u8* p = buf;"
+        "  p = p + 2;"
+        "  return p[0] + p[1];"
+        "}");
+    EXPECT_EQ(runFn(m, "main"), 70u);
+}
+
+TEST(Frontend, StructFieldsAndArrow)
+{
+    Module m = compile(
+        "struct Point { i16 x; i16 y; };"
+        "struct Point g;"
+        "i16 get(struct Point* p) { return p->x + p->y; }"
+        "i16 main() {"
+        "  g.x = 3; g.y = 4;"
+        "  return get(&g);"
+        "}");
+    EXPECT_EQ(runFn(m, "main"), 7u);
+}
+
+TEST(Frontend, NestedStructArrays)
+{
+    Module m = compile(
+        "struct Entry { u8 key; u16 val; };"
+        "struct Table { struct Entry rows[3]; u8 n; };"
+        "struct Table t;"
+        "u16 main() {"
+        "  t.rows[1].key = 9;"
+        "  t.rows[1].val = 500;"
+        "  t.n = 1;"
+        "  return t.rows[1].val + t.rows[1].key + t.n;"
+        "}");
+    EXPECT_EQ(runFn(m, "main"), 510u);
+}
+
+TEST(Frontend, StructAssignmentCopies)
+{
+    Module m = compile(
+        "struct P { u16 a; u16 b; };"
+        "struct P src; struct P dst;"
+        "u16 main() {"
+        "  src.a = 11; src.b = 22;"
+        "  dst = src;"
+        "  src.a = 99;"
+        "  return dst.a + dst.b;"
+        "}");
+    EXPECT_EQ(runFn(m, "main"), 33u);
+}
+
+TEST(Frontend, FunctionPointers)
+{
+    Module m = compile(
+        "u16 hits;"
+        "void t1() { hits += 1; }"
+        "void t2() { hits += 10; }"
+        "u16 main() {"
+        "  fnptr f = t1;"
+        "  f();"
+        "  f = t2;"
+        "  f();"
+        "  return hits;"
+        "}");
+    EXPECT_EQ(runFn(m, "main"), 11u);
+}
+
+TEST(Frontend, HwRegReadWrite)
+{
+    Module m = compile(
+        "hwreg u8 PORTB @ 0x25;"
+        "void main() { PORTB = 0x0F; PORTB = PORTB | 0x30; }");
+    HwBus bus;
+    Interp in(m, &bus);
+    auto r = in.run("main");
+    EXPECT_EQ(r.reason, StopReason::Returned);
+    ASSERT_EQ(bus.writeLog().size(), 2u);
+    EXPECT_EQ(bus.writeLog()[0].addr, 0x25u);
+    EXPECT_EQ(bus.writeLog()[0].value, 0x0Fu);
+    EXPECT_EQ(bus.writeLog()[1].value, 0x30u);  // read returns 0
+}
+
+TEST(Frontend, AtomicSectionsLower)
+{
+    Module m = compile(
+        "u16 shared;"
+        "void main() { atomic { shared = shared + 1; } }");
+    const Function *f = m.findFunc("main");
+    ASSERT_NE(f, nullptr);
+    int begins = 0, ends = 0;
+    for (const auto &bb : f->blocks) {
+        for (const auto &in : bb.instrs) {
+            if (in.op == Opcode::AtomicBegin) ++begins;
+            if (in.op == Opcode::AtomicEnd) ++ends;
+        }
+    }
+    EXPECT_EQ(begins, 1);
+    EXPECT_EQ(ends, 1);
+}
+
+TEST(Frontend, SizeofIsCompileTime)
+{
+    Module m = compile(
+        "struct Big { u32 a; u16 b; u8 c[10]; };"
+        "u16 main() { return sizeof(struct Big) + sizeof(u16*); }");
+    EXPECT_EQ(runFn(m, "main"), 16u + 2u);
+}
+
+TEST(Frontend, CastsBetweenWidths)
+{
+    Module m = compile(
+        "u16 main() {"
+        "  u32 big = 0x12345678;"
+        "  u16 low = (u16) big;"
+        "  i8 s = (i8) 0xFF;"
+        "  i16 wide = s;"  // sign extends
+        "  return low + (u16) wide;"
+        "}");
+    EXPECT_EQ(runFn(m, "main"), ((0x5678 + 0xFFFF) & 0xFFFF));
+}
+
+TEST(Frontend, RecursionWorks)
+{
+    Module m = compile(
+        "u16 fib(u16 n) {"
+        "  if (n < 2) { return n; }"
+        "  return fib(n - 1) + fib(n - 2);"
+        "}"
+        "u16 main() { return fib(10); }");
+    EXPECT_EQ(runFn(m, "main"), 55u);
+}
+
+TEST(Frontend, InterruptAttributeSetsVector)
+{
+    Module m = compile(
+        "u16 ticks;"
+        "interrupt(TIMER0) void on_tick() { ticks++; }"
+        "void main() { }");
+    const Function *f = m.findFunc("on_tick");
+    ASSERT_NE(f, nullptr);
+    EXPECT_EQ(f->attrs.interruptVector, 0);
+    EXPECT_TRUE(f->attrs.usedFromStart);
+}
+
+TEST(Frontend, TaskAttribute)
+{
+    Module m = compile("task void work() { } void main() { }");
+    EXPECT_TRUE(m.findFunc("work")->attrs.isTask);
+}
+
+TEST(Frontend, NoraceAttribute)
+{
+    Module m = compile("norace u16 counter; void main() { counter = 1; }");
+    EXPECT_TRUE(m.findGlobal("counter")->attrs.norace);
+}
+
+TEST(Frontend, RomGlobalsGetRomSection)
+{
+    Module m = compile("rom u8 table[3] = {1,2,3}; void main() { }");
+    EXPECT_EQ(m.findGlobal("table")->section, Section::Rom);
+}
+
+//---------------------------------------------------------------------
+// Error cases
+//---------------------------------------------------------------------
+
+TEST(FrontendErrors, UnknownVariable)
+{
+    EXPECT_TRUE(compileFails("void main() { x = 1; }"));
+}
+
+TEST(FrontendErrors, UnknownStruct)
+{
+    EXPECT_TRUE(compileFails("struct Nope* p; void main() { }"));
+}
+
+TEST(FrontendErrors, DuplicateFunction)
+{
+    EXPECT_TRUE(compileFails("void f() { } void f() { } void main() { }"));
+}
+
+TEST(FrontendErrors, CallArity)
+{
+    EXPECT_TRUE(compileFails(
+        "void f(u8 a) { } void main() { f(); }"));
+}
+
+TEST(FrontendErrors, BreakOutsideLoop)
+{
+    EXPECT_TRUE(compileFails("void main() { break; }"));
+}
+
+TEST(FrontendErrors, PostOfNonTask)
+{
+    EXPECT_TRUE(compileFails(
+        "void notask() { } void main() { post notask; }"));
+}
+
+TEST(FrontendErrors, AggregateParam)
+{
+    EXPECT_TRUE(compileFails(
+        "struct S { u8 a; }; void f(struct S s) { } void main() { }"));
+}
+
+TEST(FrontendErrors, BadInterruptVector)
+{
+    EXPECT_TRUE(compileFails(
+        "interrupt(BOGUS) void h() { } void main() { }"));
+}
+
+TEST(FrontendErrors, ImplicitPointerConversion)
+{
+    EXPECT_TRUE(compileFails(
+        "u8 a; u16* p; void main() { p = &a; }"));
+}
+
+TEST(FrontendErrors, HwregMustBeU8OrU16)
+{
+    EXPECT_TRUE(compileFails("hwreg u32 R @ 0x10; void main() { }"));
+}
+
+} // namespace
+} // namespace stos

@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Interpreter tests: safety check semantics, fault detection, the
+ * interrupt/atomic machinery, and sleep/wake behaviour.
+ */
+#include <gtest/gtest.h>
+
+#include "frontend/frontend.h"
+#include "ir/builder.h"
+#include "ir/interp.h"
+
+namespace stos {
+namespace {
+
+using namespace stos::frontend;
+using namespace stos::ir;
+
+Module
+compile(const std::string &src)
+{
+    SourceManager sm;
+    DiagnosticEngine diags(&sm);
+    Module m = compileTinyC({{"t.tc", src}}, diags, sm);
+    EXPECT_FALSE(diags.hasErrors()) << diags.dump();
+    return m;
+}
+
+TEST(Interp, DivisionByZeroTraps)
+{
+    Module m = compile("u16 main() { u16 z = 0; return 5 / z; }");
+    Interp in(m);
+    EXPECT_EQ(in.run("main").reason, StopReason::DivByZero);
+}
+
+TEST(Interp, StepLimitStopsInfiniteLoop)
+{
+    Module m = compile("void main() { while (true) { } }");
+    InterpOptions opts;
+    opts.stepLimit = 1000;
+    Interp in(m, nullptr, opts);
+    EXPECT_EQ(in.run("main").reason, StopReason::StepLimit);
+}
+
+TEST(Interp, NullDerefFaultsWithoutChecks)
+{
+    // Unsafe code writing through a null pointer hits the null page.
+    Module m = compile(
+        "void main() { u8* p = (u8*) 0; *p = 1; }");
+    Interp in(m);
+    auto r = in.run("main");
+    EXPECT_EQ(r.reason, StopReason::MemoryFault);
+}
+
+TEST(Interp, OutOfBoundsWriteSilentlyCorruptsUnsafeCode)
+{
+    // The classic unsafe-C bug: writing one past the end of an array
+    // corrupts the adjacent global; nothing traps.
+    Module m = compile(
+        "u8 buf[4];"
+        "u8 victim;"
+        "u16 main() {"
+        "  u8* p = buf;"
+        "  u16 i = 0;"
+        "  while (i <= 4) { p[i] = 7; i++; }"  // off-by-one
+        "  return victim;"
+        "}");
+    Interp in(m);
+    auto r = in.run("main");
+    EXPECT_EQ(r.reason, StopReason::Returned);
+    EXPECT_EQ(r.retVal.i, 7u) << "corruption should reach the neighbour";
+}
+
+TEST(Interp, ChkNullFires)
+{
+    Module m = compile("void main() { }");
+    Function &f = *m.findFunc("main");
+    // Rebuild main: chk_null on a null pointer, then ret.
+    f.blocks.clear();
+    f.vregs.clear();
+    f.addBlock("entry");
+    Builder b(m, f);
+    b.setBlock(0);
+    uint32_t p = b.constI(m.types().ptrTy(m.types().u8()), 0);
+    b.check(Opcode::ChkNull, Operand::vreg(p), 1, 77);
+    b.ret();
+    Interp in(m);
+    auto r = in.run("main");
+    EXPECT_EQ(r.reason, StopReason::SafetyFault);
+    EXPECT_EQ(r.flid, 77u);
+}
+
+TEST(Interp, ChkBoundsRespectsObjectExtent)
+{
+    Module m = compile("u8 arr[8]; void main() { }");
+    Function &f = *m.findFunc("main");
+    f.blocks.clear();
+    f.vregs.clear();
+    f.addBlock("entry");
+    Builder b(m, f);
+    b.setBlock(0);
+    TypeId u8p = m.types().ptrTy(m.types().u8(), PtrKind::Seq);
+    uint32_t base = b.addrGlobal(m.findGlobal("arr")->id, u8p);
+    // In-bounds access at offset 7: fine.
+    uint32_t p7 = b.ptrAdd(Operand::vreg(base), Operand::immInt(7), 1, u8p);
+    b.check(Opcode::ChkBounds, Operand::vreg(p7), 1, 1);
+    // Out-of-bounds at offset 8: faults with flid 2.
+    uint32_t p8 = b.ptrAdd(Operand::vreg(base), Operand::immInt(8), 1, u8p);
+    b.check(Opcode::ChkBounds, Operand::vreg(p8), 1, 2);
+    b.ret();
+    Interp in(m);
+    auto r = in.run("main");
+    EXPECT_EQ(r.reason, StopReason::SafetyFault);
+    EXPECT_EQ(r.flid, 2u);
+}
+
+TEST(Interp, ChkUBoundAllowsBackwardMotionBelowBase)
+{
+    // FSEQ pointers only check the upper bound; moving below base is
+    // caught by SEQ's lower-bound check instead.
+    Module m = compile("u8 arr[8]; u8 pre; void main() { }");
+    Function &f = *m.findFunc("main");
+    f.blocks.clear();
+    f.vregs.clear();
+    f.addBlock("entry");
+    Builder b(m, f);
+    b.setBlock(0);
+    TypeId u8p = m.types().ptrTy(m.types().u8(), PtrKind::Seq);
+    uint32_t base = b.addrGlobal(m.findGlobal("arr")->id, u8p);
+    uint32_t neg = b.ptrAdd(Operand::vreg(base), Operand::immInt(-1), 1, u8p);
+    b.check(Opcode::ChkUBound, Operand::vreg(neg), 1, 1);  // passes
+    b.check(Opcode::ChkBounds, Operand::vreg(neg), 1, 2);  // fires
+    b.ret();
+    Interp in(m);
+    auto r = in.run("main");
+    EXPECT_EQ(r.reason, StopReason::SafetyFault);
+    EXPECT_EQ(r.flid, 2u);
+}
+
+TEST(Interp, BadIndirectCallTraps)
+{
+    Module m = compile(
+        "void main() { fnptr f = null; f(); }");
+    Interp in(m);
+    EXPECT_EQ(in.run("main").reason, StopReason::BadIndirect);
+}
+
+TEST(Interp, InterruptPreemptsMainLoop)
+{
+    Module m = compile(
+        "u16 ticks;"
+        "u16 spin;"
+        "interrupt(TIMER0) void on_t() { ticks++; }"
+        "u16 main() {"
+        "  while (ticks < 3) { spin++; }"
+        "  return ticks;"
+        "}");
+    Interp in(m);
+    in.scheduleInterrupt(100, 0);
+    in.scheduleInterrupt(200, 0);
+    in.scheduleInterrupt(300, 0);
+    auto r = in.run("main");
+    EXPECT_EQ(r.reason, StopReason::Returned);
+    EXPECT_EQ(r.retVal.i, 3u);
+}
+
+TEST(Interp, AtomicSectionDefersInterrupts)
+{
+    // The handler increments `ticks`. Main samples ticks twice inside
+    // an atomic block scheduled to straddle an interrupt: both samples
+    // must agree, proving the interrupt was deferred.
+    Module m = compile(
+        "u16 ticks;"
+        "u16 a; u16 b; u16 pad;"
+        "interrupt(TIMER0) void on_t() { ticks++; }"
+        "u16 main() {"
+        "  u16 i = 0;"
+        "  atomic {"
+        "    a = ticks;"
+        "    while (i < 200) { pad += i; i++; }"
+        "    b = ticks;"
+        "  }"
+        "  while (ticks == a) { pad++; }"  // interrupt lands after
+        "  return b - a;"
+        "}");
+    Interp in(m);
+    in.scheduleInterrupt(50, 0);
+    auto r = in.run("main");
+    EXPECT_EQ(r.reason, StopReason::Returned);
+    EXPECT_EQ(r.retVal.i, 0u);
+}
+
+TEST(Interp, SleepWakesOnInterrupt)
+{
+    Module m = compile(
+        "u16 ticks;"
+        "interrupt(TIMER0) void on_t() { ticks++; }"
+        "u16 main() { return ticks; }");
+    // Hand-craft: sleep, then return ticks.
+    Function &f = *m.findFunc("main");
+    f.blocks.clear();
+    f.vregs.clear();
+    f.addBlock("entry");
+    Builder b(m, f);
+    b.setBlock(0);
+    Instr sl;
+    sl.op = Opcode::Sleep;
+    b.emit(sl);
+    TypeId u16p = m.types().ptrTy(m.types().u16());
+    uint32_t a = b.addrGlobal(m.findGlobal("ticks")->id, u16p);
+    uint32_t v = b.load(m.types().u16(), Operand::vreg(a));
+    b.ret(Operand::vreg(v));
+    Interp in(m);
+    in.scheduleInterrupt(5000, 0);
+    auto r = in.run("main");
+    EXPECT_EQ(r.reason, StopReason::Returned);
+    EXPECT_EQ(r.retVal.i, 1u);
+    EXPECT_GE(in.steps(), 5000u) << "sleep must fast-forward time";
+}
+
+TEST(Interp, HaltsWhenSleepingForever)
+{
+    Module m = compile("void main() { }");
+    Function &f = *m.findFunc("main");
+    f.blocks.clear();
+    f.vregs.clear();
+    f.addBlock("entry");
+    Builder b(m, f);
+    b.setBlock(0);
+    Instr sl;
+    sl.op = Opcode::Sleep;
+    b.emit(sl);
+    b.ret();
+    Interp in(m);
+    EXPECT_EQ(in.run("main").reason, StopReason::Halted);
+}
+
+TEST(Interp, GlobalIntrospection)
+{
+    Module m = compile(
+        "u16 counter = 7;"
+        "void main() { counter = counter + 1; }");
+    Interp in(m);
+    EXPECT_EQ(in.readGlobalInt("counter"), 7u);
+    auto r = in.run("main");
+    EXPECT_EQ(r.reason, StopReason::Returned);
+    EXPECT_EQ(in.readGlobalInt("counter"), 8u);
+}
+
+TEST(Interp, RomGlobalsAreReadOnly)
+{
+    Module m = compile(
+        "rom u8 table[2] = {5, 6};"
+        "u16 main() { return table[0] + table[1]; }");
+    Interp in(m);
+    auto r = in.run("main");
+    EXPECT_EQ(r.reason, StopReason::Returned);
+    EXPECT_EQ(r.retVal.i, 11u);
+
+    Module m2 = compile(
+        "rom u8 table[2] = {5, 6};"
+        "void main() { u8* p = table; p[0] = 1; }");
+    Interp in2(m2);
+    EXPECT_EQ(in2.run("main").reason, StopReason::MemoryFault);
+}
+
+} // namespace
+} // namespace stos

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Unit tests for the support library.
+ */
+#include <gtest/gtest.h>
+
+#include "support/diagnostics.h"
+#include "support/source_loc.h"
+#include "support/util.h"
+
+namespace stos {
+namespace {
+
+TEST(SourceManager, AddAndDescribe)
+{
+    SourceManager sm;
+    uint32_t id = sm.addBuffer("app.tc", "u8 x;");
+    EXPECT_EQ(sm.fileName(id), "app.tc");
+    EXPECT_EQ(sm.fileText(id), "u8 x;");
+    EXPECT_EQ(sm.describe({id, 3, 7}), "app.tc:3:7");
+    EXPECT_EQ(sm.describe({}), "<unknown>");
+}
+
+TEST(SourceManager, FileZeroIsUnknown)
+{
+    SourceManager sm;
+    EXPECT_EQ(sm.fileName(0), "<unknown>");
+    EXPECT_EQ(sm.numFiles(), 1u);
+}
+
+TEST(Diagnostics, CountsErrors)
+{
+    DiagnosticEngine d;
+    EXPECT_FALSE(d.hasErrors());
+    d.warning({}, "w");
+    EXPECT_FALSE(d.hasErrors());
+    d.error({}, "e1");
+    d.error({}, "e2");
+    EXPECT_TRUE(d.hasErrors());
+    EXPECT_EQ(d.numErrors(), 2u);
+    EXPECT_EQ(d.all().size(), 3u);
+}
+
+TEST(Diagnostics, DumpContainsMessages)
+{
+    SourceManager sm;
+    uint32_t id = sm.addBuffer("f.tc", "");
+    DiagnosticEngine d(&sm);
+    d.error({id, 2, 1}, "bad thing");
+    std::string out = d.dump();
+    EXPECT_NE(out.find("f.tc:2:1"), std::string::npos);
+    EXPECT_NE(out.find("error: bad thing"), std::string::npos);
+}
+
+TEST(Util, Strfmt)
+{
+    EXPECT_EQ(strfmt("%d-%s", 42, "x"), "42-x");
+    EXPECT_EQ(strfmt("empty"), "empty");
+}
+
+TEST(Util, AlignUp)
+{
+    EXPECT_EQ(alignUp(0, 4), 0u);
+    EXPECT_EQ(alignUp(1, 4), 4u);
+    EXPECT_EQ(alignUp(4, 4), 4u);
+    EXPECT_EQ(alignUp(5, 2), 6u);
+}
+
+TEST(Util, PanicThrows)
+{
+    EXPECT_THROW(panic("boom"), InternalError);
+    EXPECT_THROW(fatal("user"), FatalError);
+}
+
+} // namespace
+} // namespace stos
