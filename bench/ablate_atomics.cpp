@@ -4,7 +4,8 @@
  * atomic-section elimination, removal of atomics in interrupt-only
  * code, and skipping the IRQ-bit save for non-nested sections. Also
  * reports the racy-variable counts the detector feeds to the locking
- * pass (the list the nesC compiler used to provide).
+ * pass (the list the nesC compiler used to provide). Both columns of
+ * the ablation are compiled in one BuildDriver batch.
  */
 #include "bench_util.h"
 
@@ -15,17 +16,28 @@ using namespace stos::bench;
 int
 main()
 {
+    BuildDriver d;
+    d.addAllApps();
+    d.addConfig(ConfigId::SafeFlidInlineCxprop);
+    d.addCustom("no-atomic-opt", [](const std::string &platform) {
+        PipelineConfig cfg =
+            configFor(ConfigId::SafeFlidInlineCxprop, platform);
+        cfg.cxprop.optimizeAtomics = false;
+        return cfg;
+    });
+    BuildReport rep = d.run();
+    if (!rep.allOk())
+        return reportFailures(rep);
+
     printHeader("§2.2 ablation: atomic-section optimization and races");
+    printf("[%s]\n", rep.summary().c_str());
     printf("%-28s %6s %8s %8s %9s %8s\n", "application", "racy",
            "locks", "removed", "downgrade", "code-d");
-    for (const auto &app : tinyos::allApps()) {
-        PipelineConfig with =
-            configFor(ConfigId::SafeFlidInlineCxprop, app.platform);
-        PipelineConfig without = with;
-        without.cxprop.optimizeAtomics = false;
-        BuildResult rw = buildApp(app, with);
-        BuildResult ro = buildApp(app, without);
-        printf("%-28s %6u %8u %8u %9u %7.1f%%\n", appLabel(app).c_str(),
+    for (size_t a = 0; a < rep.numApps; ++a) {
+        const BuildResult &rw = rep.at(a, 0).result;
+        const BuildResult &ro = rep.at(a, 1).result;
+        printf("%-28s %6u %8u %8u %9u %7.1f%%\n",
+               appLabel(rep.at(a, 0)).c_str(),
                rw.safetyReport.racyGlobals,
                rw.safetyReport.locksInserted,
                rw.cxpropReport.atomicsRemoved,

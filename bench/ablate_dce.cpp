@@ -3,7 +3,7 @@
  * §2.1 DCE ablation: the strong whole-program DCE (+ copy
  * propagation) in cXprop versus relying on the backend's weak DCE
  * only. The paper credits the stronger pass with a 3-5% code-size
- * improvement.
+ * improvement. Both columns are compiled in one BuildDriver batch.
  */
 #include "bench_util.h"
 
@@ -14,23 +14,33 @@ using namespace stos::bench;
 int
 main()
 {
+    BuildDriver d;
+    d.addAllApps();
+    d.addConfig(ConfigId::SafeFlidInlineCxprop);
+    d.addCustom("weak-dce", [](const std::string &platform) {
+        PipelineConfig cfg =
+            configFor(ConfigId::SafeFlidInlineCxprop, platform);
+        cfg.cxprop.strongDce = false;
+        cfg.cxprop.copyProp = false;
+        return cfg;
+    });
+    BuildReport rep = d.run();
+    if (!rep.allOk())
+        return reportFailures(rep);
+
     printHeader("§2.1 ablation: strong (cXprop) vs weak (GCC) DCE");
+    printf("[%s]\n", rep.summary().c_str());
     printf("%-28s %10s %10s %8s\n", "application", "strong(B)",
            "weak(B)", "delta");
     double totalStrong = 0, totalWeak = 0;
-    for (const auto &app : tinyos::allApps()) {
-        PipelineConfig strong =
-            configFor(ConfigId::SafeFlidInlineCxprop, app.platform);
-        PipelineConfig weak = strong;
-        weak.cxprop.strongDce = false;
-        weak.cxprop.copyProp = false;
-        BuildResult rs = buildApp(app, strong);
-        BuildResult rw = buildApp(app, weak);
+    for (size_t a = 0; a < rep.numApps; ++a) {
+        const BuildResult &rs = rep.at(a, 0).result;
+        const BuildResult &rw = rep.at(a, 1).result;
         totalStrong += rs.codeBytes;
         totalWeak += rw.codeBytes;
-        printf("%-28s %10u %10u %7.1f%%\n", appLabel(app).c_str(),
-               rs.codeBytes, rw.codeBytes,
-               pctChange(rs.codeBytes, rw.codeBytes));
+        printf("%-28s %10u %10u %7.1f%%\n",
+               appLabel(rep.at(a, 0)).c_str(), rs.codeBytes,
+               rw.codeBytes, pctChange(rs.codeBytes, rw.codeBytes));
     }
     printf("\nAggregate: strong DCE is %.1f%% smaller (paper: 3-5%%).\n",
            -pctChange(totalStrong, totalWeak));

@@ -3,7 +3,8 @@
  * cXprop pluggable-domain ablation (the LCTES'06 companion design the
  * paper builds on): how much check elimination each abstract-domain
  * configuration achieves — constants only, constants+intervals, and
- * the full product with known-bits.
+ * the full product with known-bits. The four columns (insertion
+ * reference + three domain configs) build as one BuildDriver batch.
  */
 #include "bench_util.h"
 
@@ -14,26 +15,43 @@ using namespace stos::bench;
 int
 main()
 {
-    printHeader("cXprop domain ablation: checks removed per domain");
-    printf("%-28s %9s | %10s %10s %10s\n", "application", "inserted",
-           "const", "+interval", "+bits");
-    for (const auto &app : tinyos::allApps()) {
-        BuildResult base = buildApp(
-            app, configForStrategy(CheckStrategy::GccOnly, app.platform));
-        uint32_t inserted = base.safetyReport.checksInserted;
-        printf("%-28s %9u |", appLabel(app).c_str(), inserted);
-        struct Cfg { bool intervals; bool bits; };
-        for (Cfg dc : {Cfg{false, false}, Cfg{true, false},
-                       Cfg{true, true}}) {
+    BuildDriver d;
+    d.addAllApps();
+    // Column 0: unoptimized CCured — its safety report carries the
+    // inserted-check reference count.
+    d.addStrategy(CheckStrategy::GccOnly);
+    struct Dc {
+        const char *label;
+        bool intervals;
+        bool bits;
+    };
+    for (Dc dc : {Dc{"const-only", false, false},
+                  Dc{"+interval", true, false},
+                  Dc{"+bits", true, true}}) {
+        d.addCustom(dc.label, [dc](const std::string &platform) {
             PipelineConfig cfg = configForStrategy(
-                CheckStrategy::CcuredOptInlineCxprop, app.platform);
+                CheckStrategy::CcuredOptInlineCxprop, platform);
             cfg.cxprop.domains.intervals = dc.intervals;
             cfg.cxprop.domains.knownBits = dc.bits;
-            BuildResult r = buildApp(app, cfg);
-            double removed = inserted
-                                 ? 100.0 * (inserted - r.survivingChecks) /
-                                       inserted
-                                 : 0.0;
+            return cfg;
+        });
+    }
+    BuildReport rep = d.run();
+    if (!rep.allOk())
+        return reportFailures(rep);
+
+    printHeader("cXprop domain ablation: checks removed per domain");
+    printf("[%s]\n", rep.summary().c_str());
+    printf("%-28s %9s | %10s %10s %10s\n", "application", "inserted",
+           "const", "+interval", "+bits");
+    for (size_t a = 0; a < rep.numApps; ++a) {
+        uint32_t inserted =
+            rep.at(a, 0).result.safetyReport.checksInserted;
+        printf("%-28s %9u |", appLabel(rep.at(a, 0)).c_str(), inserted);
+        for (size_t c = 1; c < rep.numConfigs; ++c) {
+            uint32_t survive = rep.at(a, c).result.survivingChecks;
+            double removed =
+                inserted ? 100.0 * (inserted - survive) / inserted : 0.0;
             printf("   %7.1f%%", removed);
         }
         printf("\n");

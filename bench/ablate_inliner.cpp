@@ -4,7 +4,7 @@
  * ("source-to-source inliner in CIL") versus letting the backend
  * ("GCC") inline exactly the same functions too late for cXprop to
  * exploit. The paper reports roughly 5% smaller executables for
- * early inlining.
+ * early inlining. Both columns build as one BuildDriver batch.
  */
 #include "bench_util.h"
 
@@ -15,23 +15,32 @@ using namespace stos::bench;
 int
 main()
 {
+    BuildDriver d;
+    d.addAllApps();
+    d.addConfig(ConfigId::SafeFlidInlineCxprop);
+    d.addCustom("late-inline", [](const std::string &platform) {
+        PipelineConfig cfg =
+            configFor(ConfigId::SafeFlidCxprop, platform);
+        cfg.backend.gcc.lateInline = true;
+        return cfg;
+    });
+    BuildReport rep = d.run();
+    if (!rep.allOk())
+        return reportFailures(rep);
+
     printHeader("§2.1 ablation: early (CIL) vs late (GCC) inlining");
+    printf("[%s]\n", rep.summary().c_str());
     printf("%-28s %10s %10s %8s\n", "application", "early(B)", "late(B)",
            "delta");
     double totalEarly = 0, totalLate = 0;
-    for (const auto &app : tinyos::allApps()) {
-        PipelineConfig early =
-            configFor(ConfigId::SafeFlidInlineCxprop, app.platform);
-        PipelineConfig late =
-            configFor(ConfigId::SafeFlidCxprop, app.platform);
-        late.backend.gcc.lateInline = true;
-        BuildResult re = buildApp(app, early);
-        BuildResult rl = buildApp(app, late);
+    for (size_t a = 0; a < rep.numApps; ++a) {
+        const BuildResult &re = rep.at(a, 0).result;
+        const BuildResult &rl = rep.at(a, 1).result;
         totalEarly += re.codeBytes;
         totalLate += rl.codeBytes;
-        printf("%-28s %10u %10u %7.1f%%\n", appLabel(app).c_str(),
-               re.codeBytes, rl.codeBytes,
-               pctChange(re.codeBytes, rl.codeBytes));
+        printf("%-28s %10u %10u %7.1f%%\n",
+               appLabel(rep.at(a, 0)).c_str(), re.codeBytes,
+               rl.codeBytes, pctChange(re.codeBytes, rl.codeBytes));
     }
     printf("\nAggregate: early inlining is %.1f%% smaller than late\n"
            "inlining (paper: roughly 5%% smaller).\n",

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "core/driver.h"
 #include "core/pipeline.h"
 
 namespace stos::bench {
@@ -35,6 +36,24 @@ inline std::string
 appLabel(const tinyos::AppInfo &app)
 {
     return app.name + "_" + app.platform;
+}
+
+inline std::string
+appLabel(const core::BuildRecord &rec)
+{
+    return rec.app + "_" + rec.platform;
+}
+
+/** Print every failed cell of a driver report; returns exit status. */
+inline int
+reportFailures(const core::BuildReport &rep)
+{
+    for (const auto &r : rep.records) {
+        if (!r.ok)
+            fprintf(stderr, "FAILED %s / %s: %s\n", r.app.c_str(),
+                    r.config.c_str(), r.error.c_str());
+    }
+    return rep.allOk() ? 0 : 1;
 }
 
 } // namespace stos::bench

@@ -6,6 +6,9 @@
  * failure handler; a check survives iff its string survives link-time
  * dead-data elimination. The row of absolute numbers is the count of
  * checks originally inserted (paper: 22..330 across apps).
+ *
+ * The whole 12-app x 4-strategy matrix is compiled concurrently by
+ * the BuildDriver; printing happens from the collected report.
  */
 #include "bench_util.h"
 
@@ -16,31 +19,27 @@ using namespace stos::bench;
 int
 main()
 {
+    BuildReport rep = BuildDriver::figure2Matrix();
+    if (!rep.allOk())
+        return reportFailures(rep);
+
     printHeader(
         "Figure 2: checks inserted by CCured that each strategy removes");
+    printf("[%s]\n", rep.summary().c_str());
     printf("%-28s %9s | %8s %8s %8s %8s\n", "application", "inserted",
            "gcc", "ccured", "cxprop", "inl+cx");
     printf("%-28s %9s | %8s %8s %8s %8s\n", "", "", "(%)", "(%)", "(%)",
            "(%)");
-    const std::vector<CheckStrategy> strategies = {
-        CheckStrategy::GccOnly,
-        CheckStrategy::CcuredOpt,
-        CheckStrategy::CcuredOptCxprop,
-        CheckStrategy::CcuredOptInlineCxprop,
-    };
     bool orderingHolds = true;
-    for (const auto &app : tinyos::allApps()) {
+    for (size_t a = 0; a < rep.numApps; ++a) {
         // Inserted = checks the unoptimized CCured emits (strategy 1's
         // safety pass with the CCured optimizer disabled).
-        BuildResult base = buildApp(
-            app, configForStrategy(CheckStrategy::GccOnly, app.platform));
-        uint32_t inserted = base.safetyReport.checksInserted;
-        printf("%-28s %9u |", appLabel(app).c_str(), inserted);
+        uint32_t inserted =
+            rep.at(a, 0).result.safetyReport.checksInserted;
+        printf("%-28s %9u |", appLabel(rep.at(a, 0)).c_str(), inserted);
         uint32_t prevSurvivors = ~0u;
-        for (CheckStrategy s : strategies) {
-            BuildResult r =
-                buildApp(app, configForStrategy(s, app.platform));
-            uint32_t survive = r.survivingChecks;
+        for (size_t c = 0; c < rep.numConfigs; ++c) {
+            uint32_t survive = rep.at(a, c).result.survivingChecks;
             double removed =
                 inserted ? 100.0 * (inserted - survive) / inserted : 0.0;
             printf(" %7.1f%%", removed);

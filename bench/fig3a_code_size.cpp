@@ -4,7 +4,7 @@
  * bytes) of each application under the seven configurations, relative
  * to the unsafe unoptimized baseline. The absolute row reports the
  * baseline code size in bytes, like the numbers atop the paper's
- * graph.
+ * graph. The full matrix is batch-compiled by the BuildDriver.
  */
 #include "bench_util.h"
 
@@ -15,19 +15,24 @@ using namespace stos::bench;
 int
 main()
 {
+    BuildReport rep = BuildDriver::figure3Matrix();
+    if (!rep.allOk())
+        return reportFailures(rep);
+
     printHeader("Figure 3(a): change in code size vs unsafe baseline");
+    printf("[%s]\n", rep.summary().c_str());
     printf("%-28s %9s | %7s %7s %7s %7s %7s %7s %7s\n", "application",
            "baseline", "C1", "C2", "C3", "C4", "C5", "C6", "C7");
-    for (const auto &app : tinyos::allApps()) {
-        BuildResult base =
-            buildApp(app, configFor(ConfigId::Baseline, app.platform));
-        printf("%-28s %9u |", appLabel(app).c_str(), base.codeBytes);
-        for (ConfigId id : figure3Configs()) {
-            BuildResult r = buildApp(app, configFor(id, app.platform));
-            // Code size = flash code; C2's ROM strings count as flash
-            // too (the paper's code-size metric is flash occupancy).
+    for (size_t a = 0; a < rep.numApps; ++a) {
+        const BuildResult &base = rep.at(a, 0).result;
+        printf("%-28s %9u |", appLabel(rep.at(a, 0)).c_str(),
+               base.codeBytes);
+        // Code size = flash code; C2's ROM strings count as flash
+        // too (the paper's code-size metric is flash occupancy).
+        uint32_t baseCode = base.codeBytes + base.romDataBytes;
+        for (size_t c = 1; c < rep.numConfigs; ++c) {
+            const BuildResult &r = rep.at(a, c).result;
             uint32_t code = r.codeBytes + r.romDataBytes;
-            uint32_t baseCode = base.codeBytes + base.romDataBytes;
             printf(" %6.1f%%", pctChange(code, baseCode));
         }
         printf("\n");

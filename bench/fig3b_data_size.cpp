@@ -4,7 +4,7 @@
  * the seven configurations, relative to the unsafe baseline. The
  * paper clips this graph at +100% because naive safe builds blow RAM
  * up by thousands of percent; we print the raw number and mark
- * clipped entries.
+ * clipped entries. The matrix is batch-compiled by the BuildDriver.
  */
 #include "bench_util.h"
 
@@ -15,15 +15,20 @@ using namespace stos::bench;
 int
 main()
 {
+    BuildReport rep = BuildDriver::figure3Matrix();
+    if (!rep.allOk())
+        return reportFailures(rep);
+
     printHeader("Figure 3(b): change in static data size vs baseline");
+    printf("[%s]\n", rep.summary().c_str());
     printf("%-28s %9s | %8s %8s %8s %8s %8s %8s %8s\n", "application",
            "baseline", "C1", "C2", "C3", "C4", "C5", "C6", "C7");
-    for (const auto &app : tinyos::allApps()) {
-        BuildResult base =
-            buildApp(app, configFor(ConfigId::Baseline, app.platform));
-        printf("%-28s %9u |", appLabel(app).c_str(), base.ramBytes);
-        for (ConfigId id : figure3Configs()) {
-            BuildResult r = buildApp(app, configFor(id, app.platform));
+    for (size_t a = 0; a < rep.numApps; ++a) {
+        const BuildResult &base = rep.at(a, 0).result;
+        printf("%-28s %9u |", appLabel(rep.at(a, 0)).c_str(),
+               base.ramBytes);
+        for (size_t c = 1; c < rep.numConfigs; ++c) {
+            const BuildResult &r = rep.at(a, c).result;
             double pct = pctChange(r.ramBytes, base.ramBytes);
             if (pct > 100.0)
                 printf(" %6.0f%%*", pct);  // paper clips these at 100%

@@ -6,6 +6,9 @@
  * three simulated minutes; the default here is three simulated
  * seconds so the whole harness stays fast — set
  * SAFE_TINYOS_SIM_SECONDS=180 to match the paper exactly.
+ *
+ * All firmware images are batch-compiled by the BuildDriver up
+ * front; only the (stateful) network simulations run serially.
  */
 #include "bench_util.h"
 
@@ -19,22 +22,35 @@ int
 main()
 {
     double seconds = simSeconds(3.0);
+    // The paper's duty graph covers Mica2 apps only; don't waste
+    // builds on the TelosB rows.
+    BuildDriver d;
+    for (const auto &app : tinyos::allApps()) {
+        if (app.platform == "Mica2")
+            d.addApp(app);
+    }
+    d.addConfig(ConfigId::Baseline);
+    d.addConfigs(figure3Configs());
+    BuildReport rep = d.run();
+    if (!rep.allOk())
+        return reportFailures(rep);
+
     printHeader(strfmt(
         "Figure 3(c): change in duty cycle vs baseline (%g simulated s)",
         seconds));
+    printf("[%s]\n", rep.summary().c_str());
     printf("%-28s %9s | %7s %7s %7s %7s %7s %7s %7s\n", "application",
            "base(%)", "C1", "C2", "C3", "C4", "C5", "C6", "C7");
-    for (const auto &app : tinyos::allApps()) {
-        if (app.platform != "Mica2")
-            continue;  // the paper's duty graph covers Mica2 apps only
-        BuildResult base =
-            buildApp(app, configFor(ConfigId::Baseline, app.platform));
-        double baseDuty = measureDutyCycle(app, base.image, seconds);
-        printf("%-28s %8.2f%% |", appLabel(app).c_str(),
+    for (size_t a = 0; a < rep.numApps; ++a) {
+        const BuildRecord &baseRec = rep.at(a, 0);
+        const auto &app = tinyos::appByName(baseRec.app);
+        double baseDuty =
+            measureDutyCycle(app, baseRec.result.image, seconds);
+        printf("%-28s %8.2f%% |", appLabel(baseRec).c_str(),
                100.0 * baseDuty);
-        for (ConfigId id : figure3Configs()) {
-            BuildResult r = buildApp(app, configFor(id, app.platform));
-            double duty = measureDutyCycle(app, r.image, seconds);
+        for (size_t c = 1; c < rep.numConfigs; ++c) {
+            double duty = measureDutyCycle(
+                app, rep.at(a, c).result.image, seconds);
             printf(" %6.1f%%", pctChange(duty, baseDuty));
         }
         printf("\n");

@@ -1,13 +1,31 @@
 /**
  * @file
- * Toolchain throughput microbenchmarks (google-benchmark): frontend,
- * safety transformation, cXprop, backend, and the full pipeline on
- * representative applications, plus simulator speed. These are not a
- * paper figure; they keep the whole-program approach honest ("small
- * system size means whole-program optimization is feasible", §1).
+ * Toolchain throughput benchmarks. Two modes:
+ *
+ *   pipeline_speed              google-benchmark microbenchmarks of
+ *                               the frontend, full pipeline, driver
+ *                               matrix, and simulator.
+ *   pipeline_speed --matrix [J] compile the full Figure-3 matrix
+ *                               serially (per-config re-parse, one
+ *                               thread) and through the parallel
+ *                               BuildDriver (J jobs, frontend
+ *                               memoized), verify the two reports are
+ *                               cell-for-cell equivalent, and report
+ *                               the speedup. Exits non-zero if any
+ *                               build fails or the results diverge.
+ *
+ * These are not a paper figure; they keep the whole-program approach
+ * honest ("small system size means whole-program optimization is
+ * feasible", §1) and gate the BuildDriver's parallel speedup.
  */
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "core/driver.h"
 #include "core/pipeline.h"
 #include "frontend/frontend.h"
 #include "sim/machine.h"
@@ -59,6 +77,34 @@ BM_FullPipelineSurge(benchmark::State &state)
 BENCHMARK(BM_FullPipelineSurge);
 
 void
+BM_Figure3MatrixSerial(benchmark::State &state)
+{
+    DriverOptions opts;
+    opts.jobs = 1;
+    opts.memoizeFrontend = false;
+    for (auto _ : state) {
+        BuildReport rep = BuildDriver::figure3Matrix(opts);
+        benchmark::DoNotOptimize(rep.records.size());
+    }
+}
+BENCHMARK(BM_Figure3MatrixSerial)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void
+BM_Figure3MatrixParallel(benchmark::State &state)
+{
+    DriverOptions opts;  // jobs = hardware concurrency, memoized
+    for (auto _ : state) {
+        BuildReport rep = BuildDriver::figure3Matrix(opts);
+        benchmark::DoNotOptimize(rep.records.size());
+    }
+}
+BENCHMARK(BM_Figure3MatrixParallel)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void
 BM_SimulatorThroughput(benchmark::State &state)
 {
     const auto &app = tinyos::appByName("BlinkTask");
@@ -74,6 +120,74 @@ BM_SimulatorThroughput(benchmark::State &state)
 }
 BENCHMARK(BM_SimulatorThroughput);
 
+/** --matrix mode: serial-vs-parallel equivalence + speedup gate. */
+int
+runMatrixComparison(unsigned jobs)
+{
+    printf("Figure-3 matrix, serial per-config compilation "
+           "(1 job, no frontend memoization)...\n");
+    DriverOptions serialOpts;
+    serialOpts.jobs = 1;
+    serialOpts.memoizeFrontend = false;
+    BuildReport serial = BuildDriver::figure3Matrix(serialOpts);
+    printf("  %s\n", serial.summary().c_str());
+
+    printf("Figure-3 matrix, parallel BuildDriver "
+           "(frontend memoized)...\n");
+    DriverOptions parOpts;
+    parOpts.jobs = jobs;  // 0 = let the driver pick
+    BuildReport parallel = BuildDriver::figure3Matrix(parOpts);
+    printf("  %s\n", parallel.summary().c_str());
+
+    int failures = 0;
+    for (const auto &r : serial.records)
+        failures += r.ok ? 0 : 1;
+    for (const auto &r : parallel.records)
+        failures += r.ok ? 0 : 1;
+    if (failures) {
+        fprintf(stderr, "%d builds failed\n", failures);
+        return 1;
+    }
+    if (serial.records.size() != parallel.records.size()) {
+        fprintf(stderr, "report sizes differ\n");
+        return 1;
+    }
+    size_t mismatches = 0;
+    for (size_t i = 0; i < serial.records.size(); ++i) {
+        std::string why;
+        if (!BuildDriver::recordsEquivalent(serial.records[i],
+                                            parallel.records[i], &why)) {
+            fprintf(stderr, "MISMATCH: %s\n", why.c_str());
+            ++mismatches;
+        }
+    }
+    double speedup = parallel.wallMillis > 0
+                         ? serial.wallMillis / parallel.wallMillis
+                         : 0.0;
+    printf("\nresults identical: %s   speedup: %.2fx "
+           "(%u hardware threads)\n",
+           mismatches ? "NO" : "YES", speedup,
+           std::thread::hardware_concurrency());
+    return mismatches ? 1 : 0;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--matrix") == 0) {
+            unsigned jobs = 0;
+            if (i + 1 < argc)
+                jobs = static_cast<unsigned>(std::atoi(argv[i + 1]));
+            return runMatrixComparison(jobs);
+        }
+    }
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -7,6 +7,9 @@
  * DCE) costs kilobytes of RAM and tens of KB of ROM; the trimmed
  * runtime with FLIDs collapses to a couple of RAM bytes (the last
  * failure id) and a few hundred bytes of handler code.
+ *
+ * The three runtime variants are built as one BuildDriver matrix
+ * over a custom single-app row.
  */
 #include "bench_util.h"
 
@@ -33,18 +36,24 @@ void main() {
 int
 main()
 {
+    BuildDriver d;
+    d.addApp({"minimal", "Mica2", kMinimalApp, {}});
+    d.addConfig(ConfigId::Baseline);
+    d.addCustom("naive runtime", [](const std::string &platform) {
+        PipelineConfig cfg = configFor(ConfigId::SafeVerboseRam, platform);
+        cfg.safety.naiveRuntime = true;
+        return cfg;
+    });
+    d.addConfig(ConfigId::SafeFlidInlineCxprop);
+    BuildReport rep = d.run();
+    if (!rep.allOk())
+        return reportFailures(rep);
+
     printHeader("§2.3: CCured runtime footprint on a minimal application");
 
-    PipelineConfig unsafeCfg = configFor(ConfigId::Baseline, "Mica2");
-    BuildResult plain = buildSource("minimal", kMinimalApp, unsafeCfg);
-
-    PipelineConfig naive = configFor(ConfigId::SafeVerboseRam, "Mica2");
-    naive.safety.naiveRuntime = true;
-    BuildResult big = buildSource("minimal", kMinimalApp, naive);
-
-    PipelineConfig trimmed =
-        configFor(ConfigId::SafeFlidInlineCxprop, "Mica2");
-    BuildResult small = buildSource("minimal", kMinimalApp, trimmed);
+    const BuildResult &plain = rep.at(0, 0).result;
+    const BuildResult &big = rep.at(0, 1).result;
+    const BuildResult &small = rep.at(0, 2).result;
 
     uint32_t naiveRam = big.ramBytes - plain.ramBytes;
     uint32_t naiveRom = (big.codeBytes + big.romDataBytes) -

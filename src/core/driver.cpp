@@ -1,0 +1,368 @@
+/**
+ * @file
+ * BuildDriver implementation. Work distribution is a single atomic
+ * job counter over the flattened matrix; jobs are executed in
+ * config-major order (cell k -> app k % A) so the first wave of
+ * workers hits distinct apps and the per-app frontend memo fills
+ * without contention, while results land in app-major record slots so
+ * the report order is deterministic under any thread count.
+ */
+#include "core/driver.h"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "ir/printer.h"
+#include "support/util.h"
+
+namespace stos::core {
+
+using Clock = std::chrono::steady_clock;
+
+static double
+millisSince(Clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() -
+                                                     start)
+        .count();
+}
+
+//---------------------------------------------------------------------
+// BuildReport
+//---------------------------------------------------------------------
+
+BuildRecord &
+BuildReport::at(size_t app, size_t cfg)
+{
+    return records.at(app * numConfigs + cfg);
+}
+
+const BuildRecord &
+BuildReport::at(size_t app, size_t cfg) const
+{
+    return records.at(app * numConfigs + cfg);
+}
+
+const BuildRecord *
+BuildReport::find(const std::string &app, const std::string &config) const
+{
+    for (const auto &r : records) {
+        if (r.app == app && r.config == config)
+            return &r;
+    }
+    return nullptr;
+}
+
+bool
+BuildReport::allOk() const
+{
+    for (const auto &r : records) {
+        if (!r.ok)
+            return false;
+    }
+    return true;
+}
+
+std::string
+BuildReport::summary() const
+{
+    return strfmt("%zu apps x %zu configs = %zu builds in %.0f ms "
+                  "(%u jobs, %zu parses, %zu frontend reuses)",
+                  numApps, numConfigs, records.size(), wallMillis,
+                  jobsUsed, frontendParses, frontendReuses);
+}
+
+//---------------------------------------------------------------------
+// Matrix configuration
+//---------------------------------------------------------------------
+
+BuildDriver &
+BuildDriver::addApp(const tinyos::AppInfo &app)
+{
+    apps_.push_back(app);
+    return *this;
+}
+
+BuildDriver &
+BuildDriver::addApps(const std::vector<tinyos::AppInfo> &apps)
+{
+    for (const auto &a : apps)
+        apps_.push_back(a);
+    return *this;
+}
+
+BuildDriver &
+BuildDriver::addAllApps()
+{
+    return addApps(tinyos::allApps());
+}
+
+BuildDriver &
+BuildDriver::addConfig(ConfigId id)
+{
+    configs_.push_back(
+        {configName(id), [id](const std::string &platform) {
+             return configFor(id, platform);
+         }});
+    return *this;
+}
+
+BuildDriver &
+BuildDriver::addConfigs(const std::vector<ConfigId> &ids)
+{
+    for (ConfigId id : ids)
+        addConfig(id);
+    return *this;
+}
+
+BuildDriver &
+BuildDriver::addStrategy(CheckStrategy s)
+{
+    configs_.push_back(
+        {strategyName(s), [s](const std::string &platform) {
+             return configForStrategy(s, platform);
+         }});
+    return *this;
+}
+
+BuildDriver &
+BuildDriver::addStrategies(const std::vector<CheckStrategy> &ss)
+{
+    for (CheckStrategy s : ss)
+        addStrategy(s);
+    return *this;
+}
+
+BuildDriver &
+BuildDriver::addCustom(std::string label,
+                       std::function<PipelineConfig(const std::string &)>
+                           make)
+{
+    configs_.push_back({std::move(label), std::move(make)});
+    return *this;
+}
+
+//---------------------------------------------------------------------
+// Execution
+//---------------------------------------------------------------------
+
+namespace {
+
+/** Per-app frontend memo cell: first thread to need the app parses. */
+struct FrontendMemo {
+    std::once_flag once;
+    std::shared_ptr<const FrontendProduct> product;
+    std::exception_ptr error;
+};
+
+} // namespace
+
+BuildReport
+BuildDriver::run() const
+{
+    const size_t nApps = apps_.size();
+    const size_t nConfigs = configs_.size();
+    const size_t nJobs = nApps * nConfigs;
+
+    BuildReport report;
+    report.numApps = nApps;
+    report.numConfigs = nConfigs;
+    report.records.resize(nJobs);
+
+    unsigned jobs = opts_.jobs;
+    if (jobs == 0) {
+        jobs = std::thread::hardware_concurrency();
+        if (jobs == 0)
+            jobs = 1;
+    }
+    if (jobs > nJobs)
+        jobs = static_cast<unsigned>(nJobs ? nJobs : 1);
+    report.jobsUsed = jobs;
+    if (nJobs == 0)
+        return report;
+
+    std::vector<std::unique_ptr<FrontendMemo>> memos(nApps);
+    for (auto &m : memos)
+        m = std::make_unique<FrontendMemo>();
+
+    std::atomic<size_t> nextJob{0};
+    std::atomic<size_t> parses{0};
+    std::atomic<size_t> reuses{0};
+
+    auto buildCell = [&](size_t appIdx, size_t cfgIdx) {
+        const tinyos::AppInfo &app = apps_[appIdx];
+        const ConfigSpec &spec = configs_[cfgIdx];
+        BuildRecord &rec =
+            report.records[appIdx * nConfigs + cfgIdx];
+        rec.app = app.name;
+        rec.platform = app.platform;
+        rec.config = spec.label;
+        rec.appIndex = static_cast<uint32_t>(appIdx);
+        rec.configIndex = static_cast<uint32_t>(cfgIdx);
+
+        auto cellStart = Clock::now();
+        try {
+            PipelineConfig cfg = spec.make(app.platform);
+            if (opts_.memoizeFrontend) {
+                FrontendMemo &memo = *memos[appIdx];
+                bool parsedHere = false;
+                std::call_once(memo.once, [&] {
+                    try {
+                        memo.product =
+                            std::make_shared<const FrontendProduct>(
+                                runFrontend(app.name, app.source));
+                    } catch (...) {
+                        memo.error = std::current_exception();
+                    }
+                    parsedHere = true;
+                    parses.fetch_add(1, std::memory_order_relaxed);
+                });
+                if (memo.error)
+                    std::rethrow_exception(memo.error);
+                if (!parsedHere) {
+                    rec.frontendReused = true;
+                    reuses.fetch_add(1, std::memory_order_relaxed);
+                }
+                rec.result = buildFromFrontend(*memo.product, cfg);
+            } else {
+                parses.fetch_add(1, std::memory_order_relaxed);
+                rec.result = buildSource(app.name, app.source, cfg);
+            }
+            rec.ok = true;
+        } catch (const std::exception &e) {
+            rec.ok = false;
+            rec.error = e.what();
+        }
+        rec.millis = millisSince(cellStart);
+    };
+
+    auto worker = [&] {
+        for (size_t k = nextJob.fetch_add(1); k < nJobs;
+             k = nextJob.fetch_add(1)) {
+            // Config-major execution order: spread early jobs across
+            // distinct apps so frontend memos fill in parallel.
+            buildCell(k % nApps, k / nApps);
+        }
+    };
+
+    auto start = Clock::now();
+    if (jobs <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(jobs);
+        for (unsigned t = 0; t < jobs; ++t)
+            pool.emplace_back(worker);
+        for (auto &t : pool)
+            t.join();
+    }
+    report.wallMillis = millisSince(start);
+    report.frontendParses = parses.load();
+    report.frontendReuses = reuses.load();
+    return report;
+}
+
+//---------------------------------------------------------------------
+// Canned matrices
+//---------------------------------------------------------------------
+
+BuildReport
+BuildDriver::figure3Matrix(DriverOptions opts)
+{
+    BuildDriver d(opts);
+    d.addAllApps();
+    d.addConfig(ConfigId::Baseline);
+    d.addConfigs(figure3Configs());
+    return d.run();
+}
+
+BuildReport
+BuildDriver::figure2Matrix(DriverOptions opts)
+{
+    BuildDriver d(opts);
+    d.addAllApps();
+    d.addStrategies({CheckStrategy::GccOnly, CheckStrategy::CcuredOpt,
+                     CheckStrategy::CcuredOptCxprop,
+                     CheckStrategy::CcuredOptInlineCxprop});
+    return d.run();
+}
+
+//---------------------------------------------------------------------
+// Equivalence
+//---------------------------------------------------------------------
+
+bool
+BuildDriver::resultsEquivalent(const BuildResult &a, const BuildResult &b,
+                               std::string *why)
+{
+    auto fail = [&](const std::string &msg) {
+        if (why)
+            *why = msg;
+        return false;
+    };
+    if (a.codeBytes != b.codeBytes)
+        return fail(strfmt("codeBytes %u != %u", a.codeBytes,
+                           b.codeBytes));
+    if (a.ramBytes != b.ramBytes)
+        return fail(strfmt("ramBytes %u != %u", a.ramBytes, b.ramBytes));
+    if (a.romDataBytes != b.romDataBytes)
+        return fail(strfmt("romDataBytes %u != %u", a.romDataBytes,
+                           b.romDataBytes));
+    if (a.survivingChecks != b.survivingChecks)
+        return fail(strfmt("survivingChecks %u != %u", a.survivingChecks,
+                           b.survivingChecks));
+    if (a.safetyReport.checksInserted != b.safetyReport.checksInserted)
+        return fail("safetyReport.checksInserted differs");
+    if (a.safetyReport.checksByKind != b.safetyReport.checksByKind)
+        return fail("safetyReport.checksByKind differs");
+    if (a.safetyReport.redundantChecksDropped !=
+        b.safetyReport.redundantChecksDropped)
+        return fail("safetyReport.redundantChecksDropped differs");
+    if (a.safetyReport.locksInserted != b.safetyReport.locksInserted)
+        return fail("safetyReport.locksInserted differs");
+    if (a.safetyReport.racyGlobals != b.safetyReport.racyGlobals)
+        return fail("safetyReport.racyGlobals differs");
+    if (a.cxpropReport.checksRemoved != b.cxpropReport.checksRemoved)
+        return fail("cxpropReport.checksRemoved differs");
+    if (a.cxpropReport.funcsInlined != b.cxpropReport.funcsInlined)
+        return fail("cxpropReport.funcsInlined differs");
+    if (a.cxpropReport.atomicsRemoved != b.cxpropReport.atomicsRemoved)
+        return fail("cxpropReport.atomicsRemoved differs");
+    if (a.cxpropReport.atomicSavesDowngraded !=
+        b.cxpropReport.atomicSavesDowngraded)
+        return fail("cxpropReport.atomicSavesDowngraded differs");
+    if (a.cxpropReport.rounds != b.cxpropReport.rounds)
+        return fail("cxpropReport.rounds differs");
+    if (ir::moduleToString(a.module) != ir::moduleToString(b.module))
+        return fail("final IR text differs");
+    return true;
+}
+
+bool
+BuildDriver::recordsEquivalent(const BuildRecord &a, const BuildRecord &b,
+                               std::string *why)
+{
+    auto fail = [&](const std::string &msg) {
+        if (why)
+            *why = msg;
+        return false;
+    };
+    if (a.app != b.app || a.config != b.config)
+        return fail("record identity differs: " + a.app + "/" +
+                    a.config + " vs " + b.app + "/" + b.config);
+    if (a.appIndex != b.appIndex || a.configIndex != b.configIndex)
+        return fail("record matrix position differs");
+    if (a.ok != b.ok)
+        return fail("one record failed: " + a.error + b.error);
+    if (!a.ok)
+        return a.error == b.error ? true : fail("error text differs");
+    std::string innerWhy;
+    if (!resultsEquivalent(a.result, b.result, &innerWhy))
+        return fail(a.app + "/" + a.config + ": " + innerWhy);
+    return true;
+}
+
+} // namespace stos::core

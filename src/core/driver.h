@@ -1,0 +1,129 @@
+/**
+ * @file
+ * BuildDriver: a thread-pooled batch compiler for the evaluation
+ * matrices the paper's figures are built from. Given a set of
+ * applications (rows) and a set of configurations (columns), it
+ * compiles every cell concurrently, memoizing the config-independent
+ * frontend stage per app (parse once, clone the IR module per
+ * configuration) and collecting the results into a single report with
+ * deterministic app-major ordering regardless of scheduling.
+ */
+#ifndef STOS_CORE_DRIVER_H
+#define STOS_CORE_DRIVER_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+
+namespace stos::core {
+
+struct DriverOptions {
+    /** Worker threads; 0 = std::thread::hardware_concurrency(). */
+    unsigned jobs = 0;
+    /**
+     * Parse each app once and clone the module per configuration.
+     * Off = re-run the frontend for every cell (the serial-equivalent
+     * behaviour the speed benchmark compares against).
+     */
+    bool memoizeFrontend = true;
+};
+
+/** One column of the evaluation matrix. */
+struct ConfigSpec {
+    std::string label;
+    /** Build the PipelineConfig for an app's platform. */
+    std::function<PipelineConfig(const std::string &platform)> make;
+};
+
+/** One cell of the built matrix. */
+struct BuildRecord {
+    std::string app;
+    std::string platform;
+    std::string config;       ///< column label
+    uint32_t appIndex = 0;    ///< row in the requested matrix
+    uint32_t configIndex = 0; ///< column in the requested matrix
+    bool frontendReused = false; ///< built from a memoized frontend clone
+    bool ok = false;
+    std::string error;        ///< populated when the build failed
+    BuildResult result;       ///< valid only when ok
+    double millis = 0.0;      ///< wall time of this cell's build
+};
+
+/** The whole matrix, app-major then config-minor (request order). */
+struct BuildReport {
+    size_t numApps = 0;
+    size_t numConfigs = 0;
+    std::vector<BuildRecord> records;
+    size_t frontendParses = 0;  ///< frontend runs actually executed
+    size_t frontendReuses = 0;  ///< cells served from the memo
+    double wallMillis = 0.0;
+    unsigned jobsUsed = 1;
+
+    BuildRecord &at(size_t app, size_t cfg);
+    const BuildRecord &at(size_t app, size_t cfg) const;
+    /** Lookup by app name + column label; null if absent. */
+    const BuildRecord *find(const std::string &app,
+                            const std::string &config) const;
+    bool allOk() const;
+    /** One-line stats string for benchmark headers. */
+    std::string summary() const;
+};
+
+/**
+ * Batch compiler. Configure rows (apps) and columns (configs), then
+ * run() the matrix. run() is const: one driver can be run repeatedly
+ * (e.g. serial vs parallel) over the same matrix.
+ */
+class BuildDriver {
+  public:
+    explicit BuildDriver(DriverOptions opts = {}) : opts_(opts) {}
+
+    BuildDriver &addApp(const tinyos::AppInfo &app);
+    BuildDriver &addApps(const std::vector<tinyos::AppInfo> &apps);
+    /** All twelve benchmark applications. */
+    BuildDriver &addAllApps();
+
+    BuildDriver &addConfig(ConfigId id);
+    BuildDriver &addConfigs(const std::vector<ConfigId> &ids);
+    BuildDriver &addStrategy(CheckStrategy s);
+    BuildDriver &addStrategies(const std::vector<CheckStrategy> &ss);
+    /** Arbitrary column, e.g. an ablation tweak of a named config. */
+    BuildDriver &
+    addCustom(std::string label,
+              std::function<PipelineConfig(const std::string &)> make);
+
+    size_t numApps() const { return apps_.size(); }
+    size_t numConfigs() const { return configs_.size(); }
+    DriverOptions &options() { return opts_; }
+
+    BuildReport run() const;
+
+    /** All apps × (baseline + the seven Figure-3 configurations). */
+    static BuildReport figure3Matrix(DriverOptions opts = {});
+    /** All apps × the four Figure-2 check-elimination strategies. */
+    static BuildReport figure2Matrix(DriverOptions opts = {});
+
+    /**
+     * Deep equivalence of two build results (sizes, reports,
+     * surviving checks, final IR text). `why` gets the first
+     * difference when non-null.
+     */
+    static bool resultsEquivalent(const BuildResult &a,
+                                  const BuildResult &b,
+                                  std::string *why = nullptr);
+    /** Record-level equivalence: identity fields + resultsEquivalent. */
+    static bool recordsEquivalent(const BuildRecord &a,
+                                  const BuildRecord &b,
+                                  std::string *why = nullptr);
+
+  private:
+    DriverOptions opts_;
+    std::vector<tinyos::AppInfo> apps_;
+    std::vector<ConfigSpec> configs_;
+};
+
+} // namespace stos::core
+
+#endif

@@ -131,24 +131,33 @@ configForStrategy(CheckStrategy s, const std::string &platform)
     return cfg;
 }
 
-BuildResult
-buildSource(const std::string &name, const std::string &src,
-            const PipelineConfig &cfg)
+FrontendProduct
+runFrontend(const std::string &name, const std::string &src)
 {
-    SourceManager sm;
-    DiagnosticEngine diags(&sm);
+    FrontendProduct fe;
+    fe.sourceManager = std::make_shared<SourceManager>();
+    DiagnosticEngine diags(fe.sourceManager.get());
     std::vector<frontend::CompileInput> inputs;
     inputs.push_back({"tinyos_lib.tc", tinyos::libSource()});
     inputs.push_back({name + ".tc", src});
-    Module m = frontend::compileTinyC(inputs, diags, sm, name);
+    fe.module =
+        frontend::compileTinyC(inputs, diags, *fe.sourceManager, name);
     if (diags.hasErrors())
         fatal("TinyC compilation of " + name + " failed:\n" +
               diags.dump());
-    verifyOrDie(m, "frontend");
+    verifyOrDie(fe.module, "frontend");
+    return fe;
+}
 
+namespace {
+
+/** Config-dependent stages; consumes the module it is given. */
+BuildResult
+finishBuild(Module m, const SourceManager *sm, const PipelineConfig &cfg)
+{
     BuildResult result;
     if (cfg.safe) {
-        result.safetyReport = safety::applySafety(m, cfg.safety, &sm);
+        result.safetyReport = safety::applySafety(m, cfg.safety, sm);
         verifyOrDie(m, "safety");
     }
     if (cfg.runCxprop) {
@@ -166,6 +175,22 @@ buildSource(const std::string &name, const std::string &src,
     result.romDataBytes = result.image.romDataBytes();
     result.survivingChecks = result.image.survivingCheckTags();
     return result;
+}
+
+} // namespace
+
+BuildResult
+buildFromFrontend(const FrontendProduct &fe, const PipelineConfig &cfg)
+{
+    return finishBuild(fe.module.clone(), fe.sourceManager.get(), cfg);
+}
+
+BuildResult
+buildSource(const std::string &name, const std::string &src,
+            const PipelineConfig &cfg)
+{
+    FrontendProduct fe = runFrontend(name, src);
+    return finishBuild(std::move(fe.module), fe.sourceManager.get(), cfg);
 }
 
 BuildResult

@@ -9,6 +9,7 @@
 #ifndef STOS_CORE_PIPELINE_H
 #define STOS_CORE_PIPELINE_H
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -72,6 +73,30 @@ struct BuildResult {
     uint32_t romDataBytes = 0;
     uint32_t survivingChecks = 0;  ///< via the tag-string methodology
 };
+
+/**
+ * Output of the config-independent frontend stage (library + app
+ * parsed, lowered, verified). The pipeline splits here so a batch
+ * driver can parse each app once and clone the module per
+ * configuration. The SourceManager is shared read-only by every
+ * downstream build (the safety stage reads file names for FLIDs).
+ */
+struct FrontendProduct {
+    ir::Module module;
+    std::shared_ptr<SourceManager> sourceManager;
+};
+
+/** Run the frontend on one source (library included); throws on error. */
+FrontendProduct runFrontend(const std::string &name,
+                            const std::string &src);
+
+/**
+ * Run the config-dependent stages (safety, cXprop, backend) on a
+ * clone of the memoized frontend output. Safe to call concurrently on
+ * the same FrontendProduct from multiple threads.
+ */
+BuildResult buildFromFrontend(const FrontendProduct &fe,
+                              const PipelineConfig &cfg);
 
 /** Run the full pipeline on one application. */
 BuildResult buildApp(const tinyos::AppInfo &app,

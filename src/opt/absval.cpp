@@ -109,29 +109,25 @@ join(const AbsVal &a, const AbsVal &b, const DomainConfig &cfg)
     return v;
 }
 
-namespace {
-
-/**
- * Widening thresholds: loop bounds in embedded code are almost always
- * small powers of two (buffer sizes) or type extrema; widening to the
- * next threshold instead of infinity keeps the bounds the check
- * eliminator needs while still guaranteeing fast convergence.
- */
-std::vector<int64_t> &
-widenThresholds()
+WidenThresholds::WidenThresholds()
+    : ts_{0,  1,   2,   4,    7,    8,    15,   16,    31,    32,   63,
+          64, 127, 128, 255,  256,  511,  512,  1023,  1024,  4095, 4096,
+          32767, 32768, 65535, 65536, INT64_MAX / 4}
 {
-    static std::vector<int64_t> ts = {
-        0,  1,   2,   4,    7,    8,    15,   16,    31,    32,   63,
-        64, 127, 128, 255,  256,  511,  512,  1023,  1024,  4095, 4096,
-        32767, 32768, 65535, 65536, INT64_MAX / 4,
-    };
-    return ts;
+}
+
+void
+WidenThresholds::add(const std::vector<int64_t> &values)
+{
+    ts_.insert(ts_.end(), values.begin(), values.end());
+    std::sort(ts_.begin(), ts_.end());
+    ts_.erase(std::unique(ts_.begin(), ts_.end()), ts_.end());
 }
 
 int64_t
-widenUp(int64_t v)
+WidenThresholds::up(int64_t v) const
 {
-    for (int64_t t : widenThresholds()) {
+    for (int64_t t : ts_) {
         if (v <= t)
             return t;
     }
@@ -139,29 +135,19 @@ widenUp(int64_t v)
 }
 
 int64_t
-widenDown(int64_t v)
+WidenThresholds::down(int64_t v) const
 {
     // Largest negated threshold that is still <= v.
-    for (int64_t t : widenThresholds()) {
+    for (int64_t t : ts_) {
         if (-t <= v)
             return -t;
     }
     return INT64_MIN / 4;
 }
 
-} // namespace
-
-void
-addWidenThresholds(const std::vector<int64_t> &values)
-{
-    auto &ts = widenThresholds();
-    ts.insert(ts.end(), values.begin(), values.end());
-    std::sort(ts.begin(), ts.end());
-    ts.erase(std::unique(ts.begin(), ts.end()), ts.end());
-}
-
 AbsVal
-widen(const AbsVal &a, const AbsVal &b, bool toInfinity)
+widen(const AbsVal &a, const AbsVal &b, const WidenThresholds &thresholds,
+      bool toInfinity)
 {
     if (a.isBottom())
         return b;
@@ -172,9 +158,9 @@ widen(const AbsVal &a, const AbsVal &b, bool toInfinity)
     if (a.kind == AbsVal::Int) {
         AbsVal v = a;
         if (b.lo < a.lo)
-            v.lo = toInfinity ? INT64_MIN / 4 : widenDown(b.lo);
+            v.lo = toInfinity ? INT64_MIN / 4 : thresholds.down(b.lo);
         if (b.hi > a.hi)
-            v.hi = toInfinity ? INT64_MAX / 4 : widenUp(b.hi);
+            v.hi = toInfinity ? INT64_MAX / 4 : thresholds.up(b.hi);
         v.knownMask &= b.knownMask & ~(a.knownVal ^ b.knownVal);
         v.knownVal &= v.knownMask;
         return v;

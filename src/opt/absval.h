@@ -82,16 +82,34 @@ struct AbsVal {
 /** Lattice join (least upper bound). */
 AbsVal join(const AbsVal &a, const AbsVal &b, const DomainConfig &cfg);
 
+/**
+ * Widening thresholds: loop bounds in embedded code are almost always
+ * small powers of two (buffer sizes) or type extrema; widening to the
+ * next threshold instead of infinity keeps the bounds the check
+ * eliminator needs while still guaranteeing fast convergence. Each
+ * analysis engine owns an instance seeded with the defaults plus the
+ * analyzed program's own constants (classic threshold widening, so
+ * loop bounds like `i < 10` survive) — per-instance state, so
+ * concurrent builds neither race nor leak thresholds across programs.
+ */
+class WidenThresholds {
+  public:
+    WidenThresholds();  ///< seeded with the power-of-two defaults
+    /** Register extra thresholds (kept sorted and unique). */
+    void add(const std::vector<int64_t> &values);
+    /** Smallest threshold >= v (INT64_MAX/4 if none). */
+    int64_t up(int64_t v) const;
+    /** Largest negated threshold <= v (INT64_MIN/4 if none). */
+    int64_t down(int64_t v) const;
+
+  private:
+    std::vector<int64_t> ts_;
+};
+
 /** Widen a to cover b (used after repeated joins on loop heads). */
 AbsVal widen(const AbsVal &a, const AbsVal &b,
+             const WidenThresholds &thresholds,
              bool toInfinity = false);
-
-/**
- * Register extra widening thresholds (classic threshold widening: the
- * integer constants of the program under analysis, so loop bounds
- * like `i < 10` survive widening).
- */
-void addWidenThresholds(const std::vector<int64_t> &values);
 
 /** Clamp an integer abstract value to a type's width/signedness. */
 AbsVal clampToType(const AbsVal &v, const ir::TypeTable &tt,

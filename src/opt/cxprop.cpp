@@ -92,7 +92,7 @@ class Engine {
                 }
             }
         }
-        addWidenThresholds(consts);
+        widenTs_.add(consts);
     }
 
     void
@@ -194,7 +194,7 @@ class Engine {
     void
     joinInto(AbsVal &slot, const AbsVal &v, bool widenNow)
     {
-        AbsVal nv = widenNow ? widen(slot, v, fullWidening_)
+        AbsVal nv = widenNow ? widen(slot, v, widenTs_, fullWidening_)
                              : join(slot, v, opts_.domains);
         if (!(nv == slot)) {
             slot = nv;
@@ -627,6 +627,7 @@ class Engine {
                         AbsVal nv =
                             widenNow
                                 ? widen(blockIn[s][v], next[v],
+                                        widenTs_,
                                         fullWidening_ &&
                                             visits[s] > 40)
                                 : join(blockIn[s][v], next[v],
@@ -698,6 +699,7 @@ class Engine {
     std::vector<AbsVal> globalInv_;
     std::map<uint32_t, CmpInfo> cmpInfo_;
     std::map<uint32_t, uint32_t> castSrc_;
+    WidenThresholds widenTs_;
     bool changed_ = false;
     bool widening_ = false;
     bool fullWidening_ = false;

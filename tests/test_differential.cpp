@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include "backend/backend.h"
+#include "core/driver.h"
 #include "frontend/frontend.h"
 #include "ir/interp.h"
 #include "opt/cxprop.h"
@@ -193,12 +194,10 @@ runInterp(Module &m)
     return o;
 }
 
-/** Run the compiled image on the machine simulator. */
+/** Run a pre-compiled firmware image on the machine simulator. */
 Outcome
-runMachine(Module &m)
+runImage(const backend::MProgram &img)
 {
-    backend::MProgram img =
-        backend::compileToTarget(m, backend::TargetInfo::mica2());
     sim::Machine mote(img, 1);
     mote.boot();
     mote.runUntilCycle(50'000'000);
@@ -207,6 +206,14 @@ runMachine(Module &m)
     Outcome o;
     o.uart = mote.devices().uartLog();
     return o;
+}
+
+/** Compile the module for Mica2 and run it on the simulator. */
+Outcome
+runMachine(Module &m)
+{
+    return runImage(
+        backend::compileToTarget(m, backend::TargetInfo::mica2()));
 }
 
 class Differential
@@ -260,6 +267,54 @@ INSTANTIATE_TEST_SUITE_P(
                "_" +
                modeName(static_cast<BuildMode>(std::get<1>(info.param)));
     });
+
+/**
+ * Every kernel under every Figure-3 configuration, batch-compiled by
+ * the BuildDriver: the interpreter run of the final IR and the
+ * machine run of the linked image must emit identical UART streams,
+ * and every configuration must match the unsafe baseline's output.
+ * This widens the three hand-picked modes above to the full
+ * evaluation matrix.
+ */
+TEST(DifferentialMatrix, AllFigure3ConfigsAgree)
+{
+    using namespace stos::core;
+
+    BuildDriver d;
+    for (const Kernel &k : kKernels)
+        d.addApp({k.name, "Mica2", k.src, {}});
+    d.addConfig(ConfigId::Baseline);
+    d.addConfigs(figure3Configs());
+    BuildReport rep = d.run();
+    ASSERT_TRUE(rep.allOk());
+    ASSERT_EQ(rep.records.size(),
+              std::size(kKernels) * (1 + figure3Configs().size()));
+
+    for (size_t a = 0; a < rep.numApps; ++a) {
+        // Column 0 (the unsafe baseline) doubles as the cross-config
+        // reference output.
+        Outcome ref;
+        for (size_t c = 0; c < rep.numConfigs; ++c) {
+            const BuildRecord &rec = rep.at(a, c);
+            Module m = rec.result.module.clone();
+            Outcome iOut = runInterp(m);
+            Outcome mOut = runImage(rec.result.image);
+            EXPECT_EQ(iOut.uart, mOut.uart)
+                << rec.app << " under " << rec.config
+                << ": interpreter vs machine";
+            if (c == 0) {
+                ref = iOut;
+                continue;
+            }
+            EXPECT_EQ(iOut.uart, ref.uart)
+                << rec.app << " under " << rec.config
+                << ": output changed vs unsafe baseline";
+            EXPECT_EQ(iOut.ret, ref.ret)
+                << rec.app << " under " << rec.config
+                << ": result changed vs unsafe baseline";
+        }
+    }
+}
 
 } // namespace
 } // namespace stos

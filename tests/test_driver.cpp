@@ -1,0 +1,198 @@
+/**
+ * @file
+ * BuildDriver tests: matrix shape and deterministic ordering under
+ * any thread count, parallel-vs-serial result equivalence, frontend
+ * memoization accounting, failure isolation, and the canned
+ * Figure-2/3 matrices.
+ */
+#include <gtest/gtest.h>
+
+#include "core/driver.h"
+
+namespace stos {
+namespace {
+
+using namespace stos::core;
+using namespace stos::tinyos;
+
+/** A small matrix that still exercises safety + cXprop + backend. */
+BuildDriver
+smallDriver(DriverOptions opts)
+{
+    BuildDriver d(opts);
+    d.addApp(appByName("BlinkTask"));
+    d.addApp(appByName("SenseToRfm"));
+    d.addApp(appByName("CntToLedsAndRfm"));
+    d.addConfig(ConfigId::Baseline);
+    d.addConfig(ConfigId::SafeFlid);
+    d.addConfig(ConfigId::SafeFlidInlineCxprop);
+    return d;
+}
+
+TEST(BuildDriver, MatrixShapeAndOrdering)
+{
+    DriverOptions opts;
+    opts.jobs = 4;
+    BuildReport rep = smallDriver(opts).run();
+    ASSERT_EQ(rep.numApps, 3u);
+    ASSERT_EQ(rep.numConfigs, 3u);
+    ASSERT_EQ(rep.records.size(), 9u);
+    EXPECT_TRUE(rep.allOk());
+    // App-major, config-minor, independent of scheduling.
+    const char *apps[] = {"BlinkTask", "SenseToRfm", "CntToLedsAndRfm"};
+    for (size_t a = 0; a < 3; ++a) {
+        for (size_t c = 0; c < 3; ++c) {
+            const BuildRecord &r = rep.at(a, c);
+            EXPECT_EQ(r.app, apps[a]);
+            EXPECT_EQ(r.appIndex, a);
+            EXPECT_EQ(r.configIndex, c);
+            EXPECT_EQ(&r, &rep.records[a * 3 + c]);
+        }
+    }
+    EXPECT_EQ(rep.at(0, 0).config, configName(ConfigId::Baseline));
+    EXPECT_EQ(rep.at(0, 2).config,
+              configName(ConfigId::SafeFlidInlineCxprop));
+    EXPECT_NE(rep.find("SenseToRfm", configName(ConfigId::SafeFlid)),
+              nullptr);
+    EXPECT_EQ(rep.find("SenseToRfm", "nonsense"), nullptr);
+}
+
+TEST(BuildDriver, ParallelMatchesSerial)
+{
+    DriverOptions serialOpts;
+    serialOpts.jobs = 1;
+    serialOpts.memoizeFrontend = false;  // true serial re-parse
+    BuildReport serial = smallDriver(serialOpts).run();
+
+    DriverOptions parOpts;
+    parOpts.jobs = 4;
+    parOpts.memoizeFrontend = true;
+    BuildReport parallel = smallDriver(parOpts).run();
+
+    ASSERT_EQ(serial.records.size(), parallel.records.size());
+    for (size_t i = 0; i < serial.records.size(); ++i) {
+        std::string why;
+        EXPECT_TRUE(BuildDriver::recordsEquivalent(
+            serial.records[i], parallel.records[i], &why))
+            << why;
+    }
+}
+
+TEST(BuildDriver, FrontendMemoizationCounts)
+{
+    DriverOptions opts;
+    opts.jobs = 4;
+    opts.memoizeFrontend = true;
+    BuildReport rep = smallDriver(opts).run();
+    EXPECT_EQ(rep.frontendParses, rep.numApps);
+    EXPECT_EQ(rep.frontendReuses,
+              rep.records.size() - rep.numApps);
+    size_t reusedRecords = 0;
+    for (const auto &r : rep.records)
+        reusedRecords += r.frontendReused ? 1 : 0;
+    EXPECT_EQ(reusedRecords, rep.frontendReuses);
+
+    opts.memoizeFrontend = false;
+    BuildReport cold = smallDriver(opts).run();
+    EXPECT_EQ(cold.frontendParses, cold.records.size());
+    EXPECT_EQ(cold.frontendReuses, 0u);
+}
+
+TEST(BuildDriver, DeterministicUnderAnyJobCount)
+{
+    DriverOptions ref;
+    ref.jobs = 1;
+    BuildReport baseline = smallDriver(ref).run();
+    for (unsigned jobs : {2u, 3u, 8u}) {
+        DriverOptions opts;
+        opts.jobs = jobs;
+        BuildReport rep = smallDriver(opts).run();
+        ASSERT_EQ(rep.records.size(), baseline.records.size());
+        for (size_t i = 0; i < rep.records.size(); ++i) {
+            std::string why;
+            EXPECT_TRUE(BuildDriver::recordsEquivalent(
+                baseline.records[i], rep.records[i], &why))
+                << "jobs=" << jobs << ": " << why;
+        }
+    }
+}
+
+TEST(BuildDriver, FailuresAreIsolated)
+{
+    DriverOptions opts;
+    opts.jobs = 4;
+    BuildDriver d(opts);
+    d.addApp(appByName("BlinkTask"));
+    d.addApp({"Broken", "Mica2", "void main( {", {}});
+    d.addConfig(ConfigId::Baseline);
+    d.addConfig(ConfigId::SafeFlid);
+    BuildReport rep = d.run();
+    ASSERT_EQ(rep.records.size(), 4u);
+    EXPECT_TRUE(rep.at(0, 0).ok);
+    EXPECT_TRUE(rep.at(0, 1).ok);
+    EXPECT_FALSE(rep.at(1, 0).ok);
+    EXPECT_FALSE(rep.at(1, 1).ok);
+    EXPECT_FALSE(rep.at(1, 0).error.empty());
+    EXPECT_FALSE(rep.allOk());
+}
+
+TEST(BuildDriver, EmptyMatrixIsEmptyReport)
+{
+    BuildDriver d;
+    BuildReport rep = d.run();
+    EXPECT_EQ(rep.records.size(), 0u);
+    EXPECT_TRUE(rep.allOk());
+}
+
+TEST(BuildDriver, CustomColumnsDriveAblation)
+{
+    DriverOptions opts;
+    opts.jobs = 2;
+    BuildDriver d(opts);
+    d.addApp(appByName("BlinkTask"));
+    d.addCustom("no-atomic-opt", [](const std::string &platform) {
+        PipelineConfig cfg =
+            configFor(ConfigId::SafeFlidInlineCxprop, platform);
+        cfg.cxprop.optimizeAtomics = false;
+        return cfg;
+    });
+    d.addConfig(ConfigId::SafeFlidInlineCxprop);
+    BuildReport rep = d.run();
+    ASSERT_TRUE(rep.allOk());
+    EXPECT_EQ(rep.at(0, 0).config, "no-atomic-opt");
+    EXPECT_EQ(rep.at(0, 0).result.cxpropReport.atomicsRemoved, 0u);
+}
+
+TEST(BuildDriver, Figure3MatrixCoversEveryCell)
+{
+    BuildReport rep = BuildDriver::figure3Matrix();
+    EXPECT_EQ(rep.numApps, tinyos::allApps().size());
+    EXPECT_EQ(rep.numConfigs, 1 + figure3Configs().size());
+    ASSERT_TRUE(rep.allOk());
+    EXPECT_EQ(rep.frontendParses, rep.numApps);
+    // Column 0 is the unsafe baseline every figure normalizes to.
+    for (size_t a = 0; a < rep.numApps; ++a) {
+        EXPECT_EQ(rep.at(a, 0).config, configName(ConfigId::Baseline));
+        EXPECT_GT(rep.at(a, 0).result.codeBytes, 0u);
+    }
+}
+
+TEST(BuildDriver, Figure2MatrixChecksMonotone)
+{
+    BuildReport rep = BuildDriver::figure2Matrix();
+    EXPECT_EQ(rep.numConfigs, 4u);
+    ASSERT_TRUE(rep.allOk());
+    // Surviving checks must not increase as strategies strengthen.
+    for (size_t a = 0; a < rep.numApps; ++a) {
+        uint32_t prev = ~0u;
+        for (size_t c = 0; c < rep.numConfigs; ++c) {
+            uint32_t survive = rep.at(a, c).result.survivingChecks;
+            EXPECT_LE(survive, prev)
+                << rep.at(a, c).app << " strategy " << c;
+            prev = survive;
+        }
+    }
+}
+
+} // namespace
+} // namespace stos

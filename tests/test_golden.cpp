@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Golden-file tests for the IR printer: two small example apps are
+ * compiled by the frontend and their printed module text must match
+ * the checked-in fixtures under tests/golden/. Any intentional change
+ * to the frontend lowering or the printer format is re-blessed by
+ * rerunning with STOS_UPDATE_GOLDEN=1 and reviewing the fixture diff.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "frontend/frontend.h"
+#include "ir/printer.h"
+
+#ifndef STOS_GOLDEN_DIR
+#define STOS_GOLDEN_DIR "tests/golden"
+#endif
+
+namespace stos {
+namespace {
+
+using namespace stos::ir;
+
+/**
+ * Example app 1: an interrupt-driven counter — interrupt handlers,
+ * atomic sections, globals, and arithmetic lowering.
+ */
+const char *kCounterApp = R"TC(
+u16 count;
+u8 overflowed;
+
+void bump() {
+    atomic {
+        count = (u16)(count + 1);
+        if (count == 0) { overflowed = 1; }
+    }
+}
+
+interrupt(TIMER0) void on_tick() {
+    bump();
+}
+
+u16 main() {
+    count = 0;
+    overflowed = 0;
+    u8 i = 0;
+    while (i < 10) {
+        bump();
+        i = (u8)(i + 1);
+    }
+    return count;
+}
+)TC";
+
+/**
+ * Example app 2: pointers, arrays, structs and function pointers —
+ * the lowering paths the safety stage instruments.
+ */
+const char *kFilterApp = R"TC(
+struct Sample { u16 value; u8 flags; };
+struct Sample window[4];
+u8 head;
+fnptr handler;
+
+void record(u16 v) {
+    struct Sample s;
+    s.value = v;
+    s.flags = 1;
+    window[(u8)(head & 3)] = s;
+    head = (u8)(head + 1);
+}
+
+u16 smooth() {
+    u16 acc = 0;
+    u8 i = 0;
+    while (i < 4) {
+        acc = (u16)(acc + window[i].value);
+        i = (u8)(i + 1);
+    }
+    return (u16)(acc >> 2);
+}
+
+void on_ready() { record(smooth()); }
+
+u16 main() {
+    handler = on_ready;
+    record(100);
+    record(300);
+    if (handler != null) { handler(); }
+    return smooth();
+}
+)TC";
+
+std::string
+printApp(const std::string &name, const char *src)
+{
+    SourceManager sm;
+    DiagnosticEngine diags(&sm);
+    Module m = frontend::compileTinyC({{name + ".tc", src}}, diags, sm,
+                                      name);
+    EXPECT_FALSE(diags.hasErrors()) << diags.dump();
+    return moduleToString(m);
+}
+
+std::string
+goldenPath(const std::string &name)
+{
+    return std::string(STOS_GOLDEN_DIR) + "/" + name + ".golden";
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+void
+checkGolden(const std::string &name, const char *src)
+{
+    std::string printed = printApp(name, src);
+    ASSERT_FALSE(printed.empty());
+    std::string path = goldenPath(name);
+
+    if (std::getenv("STOS_UPDATE_GOLDEN")) {
+        std::ofstream out(path, std::ios::binary);
+        ASSERT_TRUE(out.good()) << "cannot write " << path;
+        out << printed;
+        GTEST_SKIP() << "fixture " << path << " regenerated";
+    }
+
+    std::string expected = readFile(path);
+    ASSERT_FALSE(expected.empty())
+        << "missing fixture " << path
+        << " (regenerate with STOS_UPDATE_GOLDEN=1)";
+    if (printed != expected) {
+        // Locate the first differing line for a readable failure.
+        std::istringstream got(printed), want(expected);
+        std::string gline, wline;
+        size_t lineNo = 0;
+        while (true) {
+            ++lineNo;
+            bool g = static_cast<bool>(std::getline(got, gline));
+            bool w = static_cast<bool>(std::getline(want, wline));
+            if (!g && !w)
+                break;
+            if (gline != wline || g != w) {
+                FAIL() << name << ".golden line " << lineNo
+                       << ":\n  expected: "
+                       << (w ? wline : std::string("<eof>"))
+                       << "\n  got:      "
+                       << (g ? gline : std::string("<eof>"))
+                       << "\n(bless with STOS_UPDATE_GOLDEN=1 after "
+                          "review)";
+            }
+        }
+        FAIL() << "printed text differs from " << path;
+    }
+}
+
+TEST(GoldenPrinter, CounterApp)
+{
+    checkGolden("counter", kCounterApp);
+}
+
+TEST(GoldenPrinter, FilterApp)
+{
+    checkGolden("sample_filter", kFilterApp);
+}
+
+/** The printer must be a pure function of the module. */
+TEST(GoldenPrinter, PrintingIsDeterministic)
+{
+    EXPECT_EQ(printApp("counter", kCounterApp),
+              printApp("counter", kCounterApp));
+    EXPECT_EQ(printApp("sample_filter", kFilterApp),
+              printApp("sample_filter", kFilterApp));
+}
+
+} // namespace
+} // namespace stos
