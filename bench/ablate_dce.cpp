@@ -3,7 +3,11 @@
  * §2.1 DCE ablation: the strong whole-program DCE (+ copy
  * propagation) in cXprop versus relying on the backend's weak DCE
  * only. The paper credits the stronger pass with a 3-5% code-size
- * improvement. Both columns are compiled in one BuildDriver batch.
+ * improvement. Both columns are compiled in one BuildDriver batch and
+ * executed on the cycle simulator through the SimDriver so the
+ * runtime effect of the dead code (duty-cycle delta) is measured too.
+ * `--serial` gates sim equivalence; `--csv`/`--json` emit the
+ * SimReport.
  */
 #include "bench_util.h"
 
@@ -12,9 +16,13 @@ using namespace stos::core;
 using namespace stos::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    BuildDriver d;
+    BenchFlags flags = BenchFlags::parse(argc, argv);
+    double seconds = simSeconds(0.5);
+    DriverOptions buildOpts;
+    buildOpts.jobs = flags.jobs;
+    BuildDriver d(buildOpts);
     d.addAllApps();
     d.addConfig(ConfigId::SafeFlidInlineCxprop);
     d.addCustom("weak-dce", [](const std::string &platform) {
@@ -30,19 +38,26 @@ main()
 
     printHeader("§2.1 ablation: strong (cXprop) vs weak (GCC) DCE");
     printf("[%s]\n", rep.summary().c_str());
-    printf("%-28s %10s %10s %8s\n", "application", "strong(B)",
-           "weak(B)", "delta");
+
+    SimReport sims;
+    if (int rc = runSims(rep, seconds, flags, sims))
+        return rc;
+
+    printf("%-28s %10s %10s %8s %8s\n", "application", "strong(B)",
+           "weak(B)", "delta", "duty-d");
     double totalStrong = 0, totalWeak = 0;
     for (size_t a = 0; a < rep.numApps; ++a) {
         const BuildResult &rs = rep.at(a, 0).result;
         const BuildResult &rw = rep.at(a, 1).result;
         totalStrong += rs.codeBytes;
         totalWeak += rw.codeBytes;
-        printf("%-28s %10u %10u %7.1f%%\n",
+        printf("%-28s %10u %10u %7.1f%% %7.1f%%\n",
                appLabel(rep.at(a, 0)).c_str(), rs.codeBytes,
-               rw.codeBytes, pctChange(rs.codeBytes, rw.codeBytes));
+               rw.codeBytes, pctChange(rs.codeBytes, rw.codeBytes),
+               pctChange(sims.at(a, 0).outcome.dutyCycle,
+                         sims.at(a, 1).outcome.dutyCycle));
     }
     printf("\nAggregate: strong DCE is %.1f%% smaller (paper: 3-5%%).\n",
            -pctChange(totalStrong, totalWeak));
-    return 0;
+    return writeReports(sims, flags);
 }

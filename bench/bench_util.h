@@ -8,11 +8,15 @@
 #define STOS_BENCH_BENCH_UTIL_H
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "core/driver.h"
 #include "core/pipeline.h"
+#include "core/simdriver.h"
 
 namespace stos::bench {
 
@@ -44,6 +48,12 @@ appLabel(const core::BuildRecord &rec)
     return rec.app + "_" + rec.platform;
 }
 
+inline std::string
+appLabel(const core::SimRecord &rec)
+{
+    return rec.app + "_" + rec.platform;
+}
+
 /** Print every failed cell of a driver report; returns exit status. */
 inline int
 reportFailures(const core::BuildReport &rep)
@@ -54,6 +64,129 @@ reportFailures(const core::BuildReport &rep)
                     r.config.c_str(), r.error.c_str());
     }
     return rep.allOk() ? 0 : 1;
+}
+
+/** As above, for a simulated matrix. */
+inline int
+reportFailures(const core::SimReport &rep)
+{
+    for (const auto &r : rep.records) {
+        if (!r.ok)
+            fprintf(stderr, "SIM FAILED %s / %s: %s\n", r.app.c_str(),
+                    r.config.c_str(), r.error.c_str());
+    }
+    return rep.allOk() ? 0 : 1;
+}
+
+/**
+ * Command-line flags shared by the figure benchmarks:
+ *
+ *   --serial      also run the serial (1 job, no memoization)
+ *                 equivalent and gate cell-for-cell equivalence
+ *   --jobs N      worker threads (0 = hardware concurrency)
+ *   --csv PATH    write the report as CSV
+ *   --json PATH   write the report as JSON
+ */
+struct BenchFlags {
+    bool serial = false;
+    unsigned jobs = 0;
+    std::string csvPath;
+    std::string jsonPath;
+
+    static BenchFlags
+    parse(int argc, char **argv)
+    {
+        BenchFlags f;
+        for (int i = 1; i < argc; ++i) {
+            if (!std::strcmp(argv[i], "--serial")) {
+                f.serial = true;
+            } else if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc) {
+                f.jobs = static_cast<unsigned>(std::atoi(argv[++i]));
+            } else if (!std::strcmp(argv[i], "--csv") && i + 1 < argc) {
+                f.csvPath = argv[++i];
+            } else if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
+                f.jsonPath = argv[++i];
+            } else {
+                fprintf(stderr,
+                        "usage: %s [--serial] [--jobs N] [--csv PATH] "
+                        "[--json PATH]\n",
+                        argv[0]);
+                std::exit(2);
+            }
+        }
+        return f;
+    }
+};
+
+/** Write a Build/SimReport to the paths requested by the flags. */
+template <typename Report>
+inline int
+writeReports(const Report &rep, const BenchFlags &flags)
+{
+    if (!flags.csvPath.empty()) {
+        std::ofstream os(flags.csvPath);
+        if (os)
+            rep.emitCsv(os);
+        os.flush();
+        if (!os) {
+            fprintf(stderr, "cannot write %s\n", flags.csvPath.c_str());
+            return 1;
+        }
+        printf("wrote %s\n", flags.csvPath.c_str());
+    }
+    if (!flags.jsonPath.empty()) {
+        std::ofstream os(flags.jsonPath);
+        if (os)
+            rep.emitJson(os);
+        os.flush();
+        if (!os) {
+            fprintf(stderr, "cannot write %s\n", flags.jsonPath.c_str());
+            return 1;
+        }
+        printf("wrote %s\n", flags.jsonPath.c_str());
+    }
+    return 0;
+}
+
+/**
+ * Run the per-cell simulations of `builds` through the parallel
+ * SimDriver. With --serial, follow up with the serial (1 job,
+ * companions rebuilt per cell) equivalent and return non-zero if any
+ * cell diverges — the same gate pipeline_speed --matrix applies to
+ * builds. Returns 0 and fills `out` on success.
+ */
+inline int
+runSims(const core::BuildReport &builds, double seconds,
+        const BenchFlags &flags, core::SimReport &out)
+{
+    core::SimOptions opts;
+    opts.jobs = flags.jobs;
+    opts.seconds = seconds;
+    core::SimDriver driver(opts);
+    out = driver.run(builds);
+    printf("[sim: %s]\n", out.summary().c_str());
+    if (int rc = reportFailures(out))
+        return rc;
+    if (flags.serial) {
+        core::SimOptions serialOpts;
+        serialOpts.jobs = 1;
+        serialOpts.memoizeCompanions = false;
+        serialOpts.seconds = seconds;
+        core::SimReport serial = core::SimDriver(serialOpts).run(builds);
+        printf("[serial sim: %s]\n", serial.summary().c_str());
+        std::string why;
+        if (!core::SimDriver::reportsEquivalent(serial, out, &why)) {
+            fprintf(stderr, "SIM MISMATCH: %s\n", why.c_str());
+            return 1;
+        }
+        double speedup = out.wallMillis > 0
+                             ? serial.wallMillis / out.wallMillis
+                             : 0.0;
+        printf("serial and parallel simulations identical; "
+               "speedup %.2fx\n",
+               speedup);
+    }
+    return 0;
 }
 
 } // namespace stos::bench

@@ -7,8 +7,11 @@
  * seconds so the whole harness stays fast — set
  * SAFE_TINYOS_SIM_SECONDS=180 to match the paper exactly.
  *
- * All firmware images are batch-compiled by the BuildDriver up
- * front; only the (stateful) network simulations run serially.
+ * Firmware images are batch-compiled by the BuildDriver and the
+ * network simulations batch-run by the SimDriver (companion images
+ * compiled once per platform, cells fanned out across the thread
+ * pool). `--serial` gates cell-for-cell equivalence against a serial
+ * un-memoized run; `--csv`/`--json` emit the SimReport for plotting.
  */
 #include "bench_util.h"
 
@@ -19,45 +22,48 @@ using namespace stos::core;
 using namespace stos::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchFlags flags = BenchFlags::parse(argc, argv);
     double seconds = simSeconds(3.0);
     // The paper's duty graph covers Mica2 apps only; don't waste
     // builds on the TelosB rows.
-    BuildDriver d;
+    DriverOptions buildOpts;
+    buildOpts.jobs = flags.jobs;
+    BuildDriver d(buildOpts);
     for (const auto &app : tinyos::allApps()) {
         if (app.platform == "Mica2")
             d.addApp(app);
     }
     d.addConfig(ConfigId::Baseline);
     d.addConfigs(figure3Configs());
-    BuildReport rep = d.run();
-    if (!rep.allOk())
-        return reportFailures(rep);
+    BuildReport builds = d.run();
+    if (!builds.allOk())
+        return reportFailures(builds);
 
     printHeader(strfmt(
         "Figure 3(c): change in duty cycle vs baseline (%g simulated s)",
         seconds));
-    printf("[%s]\n", rep.summary().c_str());
+    printf("[build: %s]\n", builds.summary().c_str());
+
+    SimReport rep;
+    if (int rc = runSims(builds, seconds, flags, rep))
+        return rc;
+
     printf("%-28s %9s | %7s %7s %7s %7s %7s %7s %7s\n", "application",
            "base(%)", "C1", "C2", "C3", "C4", "C5", "C6", "C7");
     for (size_t a = 0; a < rep.numApps; ++a) {
-        const BuildRecord &baseRec = rep.at(a, 0);
-        const auto &app = tinyos::appByName(baseRec.app);
-        double baseDuty =
-            measureDutyCycle(app, baseRec.result.image, seconds);
+        const SimRecord &baseRec = rep.at(a, 0);
+        double baseDuty = baseRec.outcome.dutyCycle;
         printf("%-28s %8.2f%% |", appLabel(baseRec).c_str(),
                100.0 * baseDuty);
-        for (size_t c = 1; c < rep.numConfigs; ++c) {
-            double duty = measureDutyCycle(
-                app, rep.at(a, c).result.image, seconds);
-            printf(" %6.1f%%", pctChange(duty, baseDuty));
-        }
+        for (size_t c = 1; c < rep.numConfigs; ++c)
+            printf(" %6.1f%%",
+                   pctChange(rep.at(a, c).outcome.dutyCycle, baseDuty));
         printf("\n");
-        fflush(stdout);
     }
     printf("\nPaper shape: safety alone slows apps by a few percent;\n"
            "cXprop alone speeds them up 3-10%%; safe+optimized (C6) is\n"
            "about as fast as the unsafe original; C7 is fastest.\n");
-    return 0;
+    return writeReports(rep, flags);
 }

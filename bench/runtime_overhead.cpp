@@ -9,7 +9,11 @@
  * failure id) and a few hundred bytes of handler code.
  *
  * The three runtime variants are built as one BuildDriver matrix
- * over a custom single-app row.
+ * over a custom single-app row, then executed on the cycle simulator
+ * through the SimDriver so the runtime's dynamic cost (duty cycle,
+ * instructions retired) rides along with the static footprint.
+ * `--serial` gates sim equivalence; `--csv`/`--json` emit the
+ * SimReport.
  */
 #include "bench_util.h"
 
@@ -34,9 +38,13 @@ void main() {
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    BuildDriver d;
+    BenchFlags flags = BenchFlags::parse(argc, argv);
+    double seconds = simSeconds(1.0);
+    DriverOptions buildOpts;
+    buildOpts.jobs = flags.jobs;
+    BuildDriver d(buildOpts);
     d.addApp({"minimal", "Mica2", kMinimalApp, {}});
     d.addConfig(ConfigId::Baseline);
     d.addCustom("naive runtime", [](const std::string &platform) {
@@ -81,5 +89,18 @@ main()
                    : static_cast<double>(naiveRam),
            trimRom ? static_cast<double>(naiveRom) / trimRom
                    : static_cast<double>(naiveRom));
-    return 0;
+
+    SimReport sims;
+    if (int rc = runSims(rep, seconds, flags, sims))
+        return rc;
+    printf("\nSimulated execution (%g s):\n", seconds);
+    printf("%-34s %10s %14s\n", "runtime variant", "duty (%)",
+           "instructions");
+    for (size_t c = 0; c < sims.numConfigs; ++c) {
+        const SimRecord &r = sims.at(0, c);
+        printf("%-34s %9.3f%% %14llu\n", r.config.c_str(),
+               100.0 * r.outcome.dutyCycle,
+               static_cast<unsigned long long>(r.outcome.instructions));
+    }
+    return writeReports(sims, flags);
 }

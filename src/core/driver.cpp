@@ -13,6 +13,7 @@
 #include <chrono>
 #include <memory>
 #include <mutex>
+#include <ostream>
 #include <thread>
 
 #include "ir/printer.h"
@@ -73,6 +74,70 @@ BuildReport::summary() const
                   "(%u jobs, %zu parses, %zu frontend reuses)",
                   numApps, numConfigs, records.size(), wallMillis,
                   jobsUsed, frontendParses, frontendReuses);
+}
+
+void
+BuildReport::emitCsv(std::ostream &os) const
+{
+    os << "app,platform,config,app_index,config_index,ok,error,"
+          "frontend_reused,code_bytes,ram_bytes,rom_data_bytes,"
+          "surviving_checks,checks_inserted,cxprop_checks_removed,"
+          "millis\n";
+    for (const auto &r : records) {
+        os << csvField(r.app) << ',' << csvField(r.platform) << ','
+           << csvField(r.config) << ',' << r.appIndex << ','
+           << r.configIndex << ',' << (r.ok ? 1 : 0) << ','
+           << csvField(r.error) << ',' << (r.frontendReused ? 1 : 0);
+        if (r.ok) {
+            os << ',' << r.result.codeBytes << ',' << r.result.ramBytes
+               << ',' << r.result.romDataBytes << ','
+               << r.result.survivingChecks << ','
+               << r.result.safetyReport.checksInserted << ','
+               << r.result.cxpropReport.checksRemoved;
+        } else {
+            os << ",,,,,,";
+        }
+        os << ',' << strfmt("%.3f", r.millis) << '\n';
+    }
+}
+
+void
+BuildReport::emitJson(std::ostream &os) const
+{
+    os << "{\n"
+       << "  \"kind\": \"build_report\",\n"
+       << "  \"num_apps\": " << numApps << ",\n"
+       << "  \"num_configs\": " << numConfigs << ",\n"
+       << "  \"jobs_used\": " << jobsUsed << ",\n"
+       << "  \"frontend_parses\": " << frontendParses << ",\n"
+       << "  \"frontend_reuses\": " << frontendReuses << ",\n"
+       << "  \"wall_millis\": " << strfmt("%.3f", wallMillis) << ",\n"
+       << "  \"records\": [\n";
+    for (size_t i = 0; i < records.size(); ++i) {
+        const BuildRecord &r = records[i];
+        os << "    {\"app\": \"" << jsonEscape(r.app)
+           << "\", \"platform\": \"" << jsonEscape(r.platform)
+           << "\", \"config\": \"" << jsonEscape(r.config)
+           << "\", \"app_index\": " << r.appIndex
+           << ", \"config_index\": " << r.configIndex
+           << ", \"ok\": " << (r.ok ? "true" : "false")
+           << ", \"error\": \"" << jsonEscape(r.error)
+           << "\", \"frontend_reused\": "
+           << (r.frontendReused ? "true" : "false");
+        if (r.ok) {
+            os << ", \"code_bytes\": " << r.result.codeBytes
+               << ", \"ram_bytes\": " << r.result.ramBytes
+               << ", \"rom_data_bytes\": " << r.result.romDataBytes
+               << ", \"surviving_checks\": " << r.result.survivingChecks
+               << ", \"checks_inserted\": "
+               << r.result.safetyReport.checksInserted
+               << ", \"cxprop_checks_removed\": "
+               << r.result.cxpropReport.checksRemoved;
+        }
+        os << ", \"millis\": " << strfmt("%.3f", r.millis) << "}"
+           << (i + 1 < records.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
 }
 
 //---------------------------------------------------------------------
@@ -200,6 +265,7 @@ BuildDriver::run() const
         rec.app = app.name;
         rec.platform = app.platform;
         rec.config = spec.label;
+        rec.companions = app.companions;
         rec.appIndex = static_cast<uint32_t>(appIdx);
         rec.configIndex = static_cast<uint32_t>(cfgIdx);
 

@@ -12,6 +12,7 @@
 #define STOS_CORE_DRIVER_H
 
 #include <functional>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -42,6 +43,9 @@ struct BuildRecord {
     std::string app;
     std::string platform;
     std::string config;       ///< column label
+    /** The app's sensor-network companions (from its AppInfo), so
+     *  downstream consumers (SimDriver) need no registry lookup. */
+    std::vector<std::string> companions;
     uint32_t appIndex = 0;    ///< row in the requested matrix
     uint32_t configIndex = 0; ///< column in the requested matrix
     bool frontendReused = false; ///< built from a memoized frontend clone
@@ -69,6 +73,11 @@ struct BuildReport {
     bool allOk() const;
     /** One-line stats string for benchmark headers. */
     std::string summary() const;
+
+    /** One row per cell (RFC-4180 quoting), header line included. */
+    void emitCsv(std::ostream &os) const;
+    /** Matrix metadata + one object per cell. */
+    void emitJson(std::ostream &os) const;
 };
 
 /**

@@ -210,25 +210,45 @@ simSeconds(double fallback)
     return fallback;
 }
 
-double
-measureDutyCycle(const tinyos::AppInfo &app,
-                 const backend::MProgram &image, double seconds)
+SimOutcome
+simulateInContext(const backend::MProgram &image,
+                  const std::vector<const backend::MProgram *> &companions,
+                  double seconds)
 {
     sim::Network net;
     net.addMote(image, 1);
     uint8_t nextId = 2;
+    for (const backend::MProgram *cimg : companions)
+        net.addMote(*cimg, nextId++);
+    uint64_t cycles = static_cast<uint64_t>(
+        seconds * static_cast<double>(image.target.clockHz));
+    net.run(cycles);
+    const sim::Machine &m = net.mote(0);
+    SimOutcome out;
+    out.dutyCycle = m.dutyCycle();
+    out.awakeCycles = m.awakeCycles();
+    out.totalCycles = m.cycles();
+    out.instructions = m.instructionsExecuted();
+    out.halted = m.halted();
+    out.wedged = m.wedged();
+    out.failedFlid = m.failedFlid();
+    return out;
+}
+
+double
+measureDutyCycle(const tinyos::AppInfo &app,
+                 const backend::MProgram &image, double seconds)
+{
     PipelineConfig base = configFor(ConfigId::Baseline, app.platform);
     std::vector<backend::MProgram> companions;
     for (const auto &cname : app.companions) {
         const auto &capp = tinyos::appByName(cname);
         companions.push_back(buildApp(capp, base).image);
     }
-    for (auto &cimg : companions)
-        net.addMote(cimg, nextId++);
-    uint64_t cycles = static_cast<uint64_t>(
-        seconds * static_cast<double>(image.target.clockHz));
-    net.run(cycles);
-    return net.mote(0).dutyCycle();
+    std::vector<const backend::MProgram *> ptrs;
+    for (const auto &cimg : companions)
+        ptrs.push_back(&cimg);
+    return simulateInContext(image, ptrs, seconds).dutyCycle;
 }
 
 } // namespace stos::core

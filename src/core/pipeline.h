@@ -106,10 +106,33 @@ BuildResult buildApp(const tinyos::AppInfo &app,
 BuildResult buildSource(const std::string &name, const std::string &src,
                         const PipelineConfig &cfg);
 
+/** Execution statistics of one simulated network run (mote 0). */
+struct SimOutcome {
+    double dutyCycle = 0.0;
+    uint64_t awakeCycles = 0;
+    uint64_t totalCycles = 0;
+    uint64_t instructions = 0;
+    bool halted = false;   ///< main returned / stack fault
+    bool wedged = false;   ///< stuck in a failure-handler self loop
+    uint32_t failedFlid = 0;
+};
+
+/**
+ * Simulate `image` as mote 1 of a network whose remaining motes run
+ * the given companion images, for `seconds` of simulated time. The
+ * images are only read; concurrent runs may share them.
+ */
+SimOutcome
+simulateInContext(const backend::MProgram &image,
+                  const std::vector<const backend::MProgram *> &companions,
+                  double seconds);
+
 /**
  * Simulate the app in its sensor-network context (companion motes run
  * baseline builds) for `seconds` of simulated time; returns the duty
- * cycle of the mote under test.
+ * cycle of the mote under test. Convenience wrapper that rebuilds the
+ * companions on every call — batch workloads should go through
+ * SimDriver, which memoizes companion images per (app, platform).
  */
 double measureDutyCycle(const tinyos::AppInfo &app,
                         const backend::MProgram &image, double seconds);

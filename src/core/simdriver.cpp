@@ -1,0 +1,360 @@
+/**
+ * @file
+ * SimDriver implementation. Like BuildDriver, work distribution is a
+ * single atomic job counter over the flattened matrix, executed in
+ * config-major order (cell k -> app k % A) so the first wave of
+ * workers hits distinct apps and the companion memo fills for
+ * distinct companion sets without contention; results land in
+ * app-major record slots so the report order is deterministic under
+ * any thread count.
+ */
+#include "core/simdriver.h"
+
+#include <chrono>
+#include <ostream>
+#include <thread>
+
+#include "support/util.h"
+
+namespace stos::core {
+
+using Clock = std::chrono::steady_clock;
+
+static double
+millisSince(Clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() -
+                                                     start)
+        .count();
+}
+
+//---------------------------------------------------------------------
+// CompanionCache
+//---------------------------------------------------------------------
+
+std::shared_ptr<const backend::MProgram>
+CompanionCache::get(const std::string &name, const std::string &platform,
+                    bool *builtHere)
+{
+    std::shared_ptr<Entry> entry;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto &slot = entries_[{name, platform}];
+        if (!slot)
+            slot = std::make_shared<Entry>();
+        entry = slot;
+    }
+    bool built = false;
+    std::call_once(entry->once, [&] {
+        try {
+            const auto &app = tinyos::appByName(name);
+            PipelineConfig base = configFor(ConfigId::Baseline, platform);
+            entry->image = std::make_shared<const backend::MProgram>(
+                buildApp(app, base).image);
+        } catch (...) {
+            entry->error = std::current_exception();
+        }
+        built = true;
+        builds_.fetch_add(1, std::memory_order_relaxed);
+    });
+    if (!built)
+        hits_.fetch_add(1, std::memory_order_relaxed);
+    if (builtHere)
+        *builtHere = built;
+    if (entry->error)
+        std::rethrow_exception(entry->error);
+    return entry->image;
+}
+
+//---------------------------------------------------------------------
+// SimReport
+//---------------------------------------------------------------------
+
+SimRecord &
+SimReport::at(size_t app, size_t cfg)
+{
+    return records.at(app * numConfigs + cfg);
+}
+
+const SimRecord &
+SimReport::at(size_t app, size_t cfg) const
+{
+    return records.at(app * numConfigs + cfg);
+}
+
+const SimRecord *
+SimReport::find(const std::string &app, const std::string &config) const
+{
+    for (const auto &r : records) {
+        if (r.app == app && r.config == config)
+            return &r;
+    }
+    return nullptr;
+}
+
+bool
+SimReport::allOk() const
+{
+    for (const auto &r : records) {
+        if (!r.ok)
+            return false;
+    }
+    return true;
+}
+
+std::string
+SimReport::summary() const
+{
+    return strfmt("%zu apps x %zu configs = %zu simulations of %gs "
+                  "in %.0f ms (%u jobs, %zu companion builds, "
+                  "%zu companion reuses)",
+                  numApps, numConfigs, records.size(), seconds,
+                  wallMillis, jobsUsed, companionBuilds,
+                  companionReuses);
+}
+
+void
+SimReport::emitCsv(std::ostream &os) const
+{
+    os << "app,platform,config,app_index,config_index,ok,error,"
+          "duty_cycle,awake_cycles,total_cycles,instructions,halted,"
+          "wedged,failed_flid,companions_reused,millis\n";
+    for (const auto &r : records) {
+        os << csvField(r.app) << ',' << csvField(r.platform) << ','
+           << csvField(r.config) << ',' << r.appIndex << ','
+           << r.configIndex << ',' << (r.ok ? 1 : 0) << ','
+           << csvField(r.error);
+        if (r.ok) {
+            os << ',' << strfmt("%.9f", r.outcome.dutyCycle) << ','
+               << r.outcome.awakeCycles << ',' << r.outcome.totalCycles
+               << ',' << r.outcome.instructions << ','
+               << (r.outcome.halted ? 1 : 0) << ','
+               << (r.outcome.wedged ? 1 : 0) << ','
+               << r.outcome.failedFlid;
+        } else {
+            os << ",,,,,,,";
+        }
+        os << ',' << (r.companionsReused ? 1 : 0) << ','
+           << strfmt("%.3f", r.millis) << '\n';
+    }
+}
+
+void
+SimReport::emitJson(std::ostream &os) const
+{
+    os << "{\n"
+       << "  \"kind\": \"sim_report\",\n"
+       << "  \"num_apps\": " << numApps << ",\n"
+       << "  \"num_configs\": " << numConfigs << ",\n"
+       << "  \"seconds\": " << strfmt("%g", seconds) << ",\n"
+       << "  \"jobs_used\": " << jobsUsed << ",\n"
+       << "  \"companion_builds\": " << companionBuilds << ",\n"
+       << "  \"companion_reuses\": " << companionReuses << ",\n"
+       << "  \"wall_millis\": " << strfmt("%.3f", wallMillis) << ",\n"
+       << "  \"records\": [\n";
+    for (size_t i = 0; i < records.size(); ++i) {
+        const SimRecord &r = records[i];
+        os << "    {\"app\": \"" << jsonEscape(r.app)
+           << "\", \"platform\": \"" << jsonEscape(r.platform)
+           << "\", \"config\": \"" << jsonEscape(r.config)
+           << "\", \"app_index\": " << r.appIndex
+           << ", \"config_index\": " << r.configIndex
+           << ", \"ok\": " << (r.ok ? "true" : "false")
+           << ", \"error\": \"" << jsonEscape(r.error) << "\"";
+        if (r.ok) {
+            os << ", \"duty_cycle\": "
+               << strfmt("%.9f", r.outcome.dutyCycle)
+               << ", \"awake_cycles\": " << r.outcome.awakeCycles
+               << ", \"total_cycles\": " << r.outcome.totalCycles
+               << ", \"instructions\": " << r.outcome.instructions
+               << ", \"halted\": " << (r.outcome.halted ? "true" : "false")
+               << ", \"wedged\": " << (r.outcome.wedged ? "true" : "false")
+               << ", \"failed_flid\": " << r.outcome.failedFlid;
+        }
+        os << ", \"companions_reused\": "
+           << (r.companionsReused ? "true" : "false")
+           << ", \"millis\": " << strfmt("%.3f", r.millis) << "}"
+           << (i + 1 < records.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+}
+
+//---------------------------------------------------------------------
+// SimDriver
+//---------------------------------------------------------------------
+
+SimReport
+SimDriver::run(const BuildReport &builds) const
+{
+    const size_t nApps = builds.numApps;
+    const size_t nConfigs = builds.numConfigs;
+    const size_t nJobs = nApps * nConfigs;
+
+    SimReport report;
+    report.numApps = nApps;
+    report.numConfigs = nConfigs;
+    report.seconds = opts_.seconds;
+    report.records.resize(nJobs);
+
+    unsigned jobs = opts_.jobs;
+    if (jobs == 0) {
+        jobs = std::thread::hardware_concurrency();
+        if (jobs == 0)
+            jobs = 1;
+    }
+    if (jobs > nJobs)
+        jobs = static_cast<unsigned>(nJobs ? nJobs : 1);
+    report.jobsUsed = jobs;
+    if (nJobs == 0)
+        return report;
+
+    CompanionCache cache;
+    std::atomic<size_t> nextJob{0};
+
+    auto simCell = [&](size_t appIdx, size_t cfgIdx) {
+        const BuildRecord &build = builds.records[appIdx * nConfigs +
+                                                  cfgIdx];
+        SimRecord &rec = report.records[appIdx * nConfigs + cfgIdx];
+        rec.app = build.app;
+        rec.platform = build.platform;
+        rec.config = build.config;
+        rec.appIndex = build.appIndex;
+        rec.configIndex = build.configIndex;
+
+        auto cellStart = Clock::now();
+        try {
+            if (!build.ok)
+                throw FatalError("build failed: " + build.error);
+            // Companion images: from the shared memo, or rebuilt per
+            // cell when memoization is off (the serial-equivalent
+            // behaviour the equivalence gate compares against). The
+            // companion names ride on the BuildRecord, so custom rows
+            // outside the app registry simulate fine (companion-less
+            // or with registry companions).
+            std::vector<std::shared_ptr<const backend::MProgram>> owned;
+            std::vector<const backend::MProgram *> companions;
+            bool allReused = !build.companions.empty();
+            for (const auto &cname : build.companions) {
+                if (opts_.memoizeCompanions) {
+                    bool builtHere = false;
+                    owned.push_back(
+                        cache.get(cname, build.platform, &builtHere));
+                    if (builtHere)
+                        allReused = false;
+                } else {
+                    const auto &capp = tinyos::appByName(cname);
+                    PipelineConfig base =
+                        configFor(ConfigId::Baseline, build.platform);
+                    owned.push_back(
+                        std::make_shared<const backend::MProgram>(
+                            buildApp(capp, base).image));
+                    allReused = false;
+                }
+                companions.push_back(owned.back().get());
+            }
+            rec.companionsReused = allReused;
+            rec.outcome = simulateInContext(build.result.image,
+                                            companions, opts_.seconds);
+            rec.ok = true;
+        } catch (const std::exception &e) {
+            rec.ok = false;
+            rec.error = e.what();
+        }
+        rec.millis = millisSince(cellStart);
+    };
+
+    auto worker = [&] {
+        for (size_t k = nextJob.fetch_add(1); k < nJobs;
+             k = nextJob.fetch_add(1)) {
+            // Config-major execution order: spread early jobs across
+            // distinct apps so the companion memo fills in parallel.
+            simCell(k % nApps, k / nApps);
+        }
+    };
+
+    auto start = Clock::now();
+    if (jobs <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(jobs);
+        for (unsigned t = 0; t < jobs; ++t)
+            pool.emplace_back(worker);
+        for (auto &t : pool)
+            t.join();
+    }
+    report.wallMillis = millisSince(start);
+    report.companionBuilds = cache.builds();
+    report.companionReuses = cache.hits();
+    return report;
+}
+
+//---------------------------------------------------------------------
+// Equivalence
+//---------------------------------------------------------------------
+
+bool
+SimDriver::recordsEquivalent(const SimRecord &a, const SimRecord &b,
+                             std::string *why)
+{
+    auto fail = [&](const std::string &msg) {
+        if (why)
+            *why = msg;
+        return false;
+    };
+    if (a.app != b.app || a.config != b.config)
+        return fail("record identity differs: " + a.app + "/" +
+                    a.config + " vs " + b.app + "/" + b.config);
+    if (a.appIndex != b.appIndex || a.configIndex != b.configIndex)
+        return fail("record matrix position differs");
+    if (a.ok != b.ok)
+        return fail(a.app + "/" + a.config + ": one record failed (" +
+                    (a.ok ? "second" : "first") + "): " +
+                    (a.ok ? b.error : a.error));
+    if (!a.ok)
+        return a.error == b.error ? true : fail("error text differs");
+    auto cell = [&](const char *field, auto va, auto vb) {
+        return fail(strfmt("%s/%s: %s %llu != %llu", a.app.c_str(),
+                           a.config.c_str(), field,
+                           static_cast<unsigned long long>(va),
+                           static_cast<unsigned long long>(vb)));
+    };
+    if (a.outcome.awakeCycles != b.outcome.awakeCycles)
+        return cell("awakeCycles", a.outcome.awakeCycles,
+                    b.outcome.awakeCycles);
+    if (a.outcome.totalCycles != b.outcome.totalCycles)
+        return cell("totalCycles", a.outcome.totalCycles,
+                    b.outcome.totalCycles);
+    if (a.outcome.instructions != b.outcome.instructions)
+        return cell("instructions", a.outcome.instructions,
+                    b.outcome.instructions);
+    if (a.outcome.dutyCycle != b.outcome.dutyCycle)
+        return fail(a.app + "/" + a.config + ": dutyCycle differs");
+    if (a.outcome.halted != b.outcome.halted)
+        return fail(a.app + "/" + a.config + ": halted differs");
+    if (a.outcome.wedged != b.outcome.wedged)
+        return fail(a.app + "/" + a.config + ": wedged differs");
+    if (a.outcome.failedFlid != b.outcome.failedFlid)
+        return cell("failedFlid", a.outcome.failedFlid,
+                    b.outcome.failedFlid);
+    return true;
+}
+
+bool
+SimDriver::reportsEquivalent(const SimReport &a, const SimReport &b,
+                             std::string *why)
+{
+    if (a.records.size() != b.records.size() ||
+        a.numApps != b.numApps || a.numConfigs != b.numConfigs) {
+        if (why)
+            *why = "report shapes differ";
+        return false;
+    }
+    for (size_t i = 0; i < a.records.size(); ++i) {
+        if (!recordsEquivalent(a.records[i], b.records[i], why))
+            return false;
+    }
+    return true;
+}
+
+} // namespace stos::core

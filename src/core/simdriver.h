@@ -1,0 +1,152 @@
+/**
+ * @file
+ * SimDriver: a thread-pooled batch runner for the cycle-accurate
+ * network simulations behind Figure 3(c) and the runtime-overhead
+ * measurements. It mirrors BuildDriver: given a BuildReport (the
+ * compiled app × config matrix), it simulates every cell's firmware
+ * in its sensor-network context concurrently and collects duty
+ * cycles, cycle/instruction counts, and wedged/failed status into a
+ * SimReport with deterministic app-major ordering. Companion mote
+ * firmware (always the Baseline build of the companion app) is
+ * compiled once per (companion, platform) in a thread-safe memo
+ * shared by all cells, instead of once per simulation.
+ */
+#ifndef STOS_CORE_SIMDRIVER_H
+#define STOS_CORE_SIMDRIVER_H
+
+#include <atomic>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/driver.h"
+
+namespace stos::core {
+
+/**
+ * Thread-safe memo of Baseline companion firmware images, keyed by
+ * (app name, platform). The first caller to request a key builds it;
+ * concurrent callers for the same key block on that build and then
+ * share the immutable image. Build failures are cached too, and
+ * rethrown to every requester.
+ */
+class CompanionCache {
+  public:
+    /**
+     * Baseline image for `name` on `platform`; builds at most once.
+     * `builtHere`, when non-null, is set to whether this call did the
+     * build (vs being served from the memo).
+     */
+    std::shared_ptr<const backend::MProgram>
+    get(const std::string &name, const std::string &platform,
+        bool *builtHere = nullptr);
+
+    /** Companion compiles actually executed. */
+    size_t builds() const { return builds_.load(); }
+    /** Requests served from the memo without building. */
+    size_t hits() const { return hits_.load(); }
+
+  private:
+    struct Entry {
+        std::once_flag once;
+        std::shared_ptr<const backend::MProgram> image;
+        std::exception_ptr error;
+    };
+
+    std::mutex mu_;
+    std::map<std::pair<std::string, std::string>,
+             std::shared_ptr<Entry>>
+        entries_;
+    std::atomic<size_t> builds_{0};
+    std::atomic<size_t> hits_{0};
+};
+
+struct SimOptions {
+    /** Worker threads; 0 = std::thread::hardware_concurrency(). */
+    unsigned jobs = 0;
+    /**
+     * Build each companion image once per (companion, platform). Off =
+     * rebuild the companions for every cell (the serial-equivalent
+     * behaviour the equivalence gate compares against).
+     */
+    bool memoizeCompanions = true;
+    /** Simulated duration per cell, in seconds of mote time. */
+    double seconds = 3.0;
+};
+
+/** One simulated cell of the matrix. */
+struct SimRecord {
+    std::string app;
+    std::string platform;
+    std::string config;       ///< column label
+    uint32_t appIndex = 0;
+    uint32_t configIndex = 0;
+    bool ok = false;
+    std::string error;        ///< build or simulation failure
+    SimOutcome outcome;       ///< valid only when ok
+    bool companionsReused = false; ///< all companions came from the memo
+    double millis = 0.0;      ///< wall time of this cell's simulation
+};
+
+/** The simulated matrix, app-major then config-minor. */
+struct SimReport {
+    size_t numApps = 0;
+    size_t numConfigs = 0;
+    std::vector<SimRecord> records;
+    double seconds = 0.0;        ///< simulated duration per cell
+    size_t companionBuilds = 0;  ///< companion compiles executed
+    size_t companionReuses = 0;  ///< companion requests served by memo
+    double wallMillis = 0.0;
+    unsigned jobsUsed = 1;
+
+    SimRecord &at(size_t app, size_t cfg);
+    const SimRecord &at(size_t app, size_t cfg) const;
+    const SimRecord *find(const std::string &app,
+                          const std::string &config) const;
+    bool allOk() const;
+    /** One-line stats string for benchmark headers. */
+    std::string summary() const;
+
+    /** One row per cell (RFC-4180 quoting), header line included. */
+    void emitCsv(std::ostream &os) const;
+    /** Matrix metadata + one object per cell. */
+    void emitJson(std::ostream &os) const;
+};
+
+/**
+ * Batch network simulator. run() fans the per-cell simulations of a
+ * BuildReport out across a thread pool; independent sim::Network
+ * instances share nothing but the immutable firmware images, so the
+ * cells are embarrassingly parallel. run() is const: one driver can
+ * be run repeatedly (e.g. serial vs parallel) over the same builds.
+ */
+class SimDriver {
+  public:
+    explicit SimDriver(SimOptions opts = {}) : opts_(opts) {}
+
+    SimOptions &options() { return opts_; }
+
+    /**
+     * Simulate every successfully built cell of `builds` (failed
+     * builds become failed sim records). The report must outlive the
+     * call only; the returned SimReport owns no firmware.
+     */
+    SimReport run(const BuildReport &builds) const;
+
+    /** Field-for-field equivalence of two sim records (not timing). */
+    static bool recordsEquivalent(const SimRecord &a, const SimRecord &b,
+                                  std::string *why = nullptr);
+    /** Cell-for-cell equivalence of two reports. */
+    static bool reportsEquivalent(const SimReport &a, const SimReport &b,
+                                  std::string *why = nullptr);
+
+  private:
+    SimOptions opts_;
+};
+
+} // namespace stos::core
+
+#endif

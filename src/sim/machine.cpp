@@ -477,11 +477,15 @@ Network::run(uint64_t cycles)
             m->boot();
         booted_ = true;
     }
-    constexpr uint64_t kQuantum = 256;
     uint64_t start = motes_.empty() ? 0 : motes_[0]->cycles();
-    for (uint64_t t = start; t < start + cycles; t += kQuantum) {
+    uint64_t end = start + cycles;
+    for (uint64_t t = start; t < end; t += kQuantum) {
+        // Clamp the final quantum so a request that is not a multiple
+        // of kQuantum never runs past `end` (it would inflate every
+        // duty-cycle measurement).
+        uint64_t stepEnd = std::min(t + kQuantum, end);
         for (auto &m : motes_)
-            m->runUntilCycle(t + kQuantum);
+            m->runUntilCycle(stepEnd);
     }
 }
 

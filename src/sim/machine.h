@@ -99,6 +99,8 @@ class Machine {
 class Network {
   public:
     static constexpr uint64_t kAirLatency = 500;  ///< propagation cycles
+    /** Lockstep scheduling quantum in cycles. */
+    static constexpr uint64_t kQuantum = 256;
 
     /** Add a mote running `prog` with the given node id. */
     Machine &addMote(const backend::MProgram &prog, uint8_t nodeId);

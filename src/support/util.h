@@ -27,6 +27,16 @@ struct FatalError : std::runtime_error {
 /** printf-style formatting into a std::string. */
 std::string strfmt(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
+/**
+ * Quote a CSV field per RFC 4180 when it contains a comma, quote, or
+ * newline (the config labels do: "safe, FLIDs"); otherwise return it
+ * unchanged.
+ */
+std::string csvField(const std::string &s);
+
+/** Escape a string for embedding inside a JSON string literal. */
+std::string jsonEscape(const std::string &s);
+
 [[noreturn]] void panic(const std::string &msg);
 [[noreturn]] void fatal(const std::string &msg);
 

@@ -7,6 +7,8 @@
  */
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "core/driver.h"
 
 namespace stos {
@@ -175,6 +177,79 @@ TEST(BuildDriver, Figure3MatrixCoversEveryCell)
         EXPECT_EQ(rep.at(a, 0).config, configName(ConfigId::Baseline));
         EXPECT_GT(rep.at(a, 0).result.codeBytes, 0u);
     }
+}
+
+TEST(BuildReport, CsvHasHeaderOneRowPerCellAndQuotedLabels)
+{
+    DriverOptions opts;
+    opts.jobs = 2;
+    BuildReport rep = smallDriver(opts).run();
+    std::ostringstream os;
+    rep.emitCsv(os);
+    std::istringstream in(os.str());
+    std::string line;
+    ASSERT_TRUE(std::getline(in, line));
+    EXPECT_EQ(line.substr(0, 4), "app,");
+    EXPECT_NE(line.find("code_bytes"), std::string::npos);
+    size_t rows = 0;
+    while (std::getline(in, line))
+        ++rows;
+    EXPECT_EQ(rows, rep.records.size());
+    // Config labels contain commas and must be RFC-4180 quoted.
+    EXPECT_NE(os.str().find("\"safe, FLIDs\""), std::string::npos);
+}
+
+TEST(BuildReport, JsonEmissionIsBalancedAndComplete)
+{
+    DriverOptions opts;
+    opts.jobs = 2;
+    BuildReport rep = smallDriver(opts).run();
+    std::ostringstream os;
+    rep.emitJson(os);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"kind\": \"build_report\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"code_bytes\":"), std::string::npos);
+    size_t open = 0, close = 0, records = 0;
+    for (char c : json) {
+        open += c == '{';
+        close += c == '}';
+    }
+    EXPECT_EQ(open, close);
+    size_t pos = 0;
+    while ((pos = json.find("\"app\":", pos)) != std::string::npos) {
+        ++records;
+        pos += 6;
+    }
+    EXPECT_EQ(records, rep.records.size());
+}
+
+TEST(BuildReport, FailedCellsEmitWithEscapedErrors)
+{
+    DriverOptions opts;
+    BuildDriver d(opts);
+    d.addApp({"Broken", "Mica2", "void main( {\n\"quote\"", {}});
+    d.addConfig(ConfigId::Baseline);
+    BuildReport rep = d.run();
+    ASSERT_FALSE(rep.allOk());
+    ASSERT_NE(rep.at(0, 0).error.find('\n'), std::string::npos)
+        << "fixture must produce a multi-line error";
+    std::ostringstream csv, json;
+    rep.emitCsv(csv);
+    rep.emitJson(json);
+    // The raw newline must be escaped in JSON ("\n" as two chars) and
+    // quoted in CSV, so neither format gains stray physical lines.
+    EXPECT_NE(json.str().find("\\n"), std::string::npos);
+    EXPECT_NE(csv.str().find('"'), std::string::npos);
+    size_t rows = 0;
+    bool inQuotes = false;
+    for (char c : csv.str()) {
+        if (c == '"')
+            inQuotes = !inQuotes;
+        else if (c == '\n' && !inQuotes)
+            ++rows;
+    }
+    EXPECT_EQ(rows, rep.records.size() + 1) << "header + one row/cell";
 }
 
 TEST(BuildDriver, Figure2MatrixChecksMonotone)

@@ -206,6 +206,27 @@ TEST(Machine, InterruptsRespectAtomicSections)
         << "interrupts must still fire outside atomics";
 }
 
+TEST(Network, RunClampsFinalQuantumToRequestedCycles)
+{
+    // An idle app sleeps between timer ticks, so after run(n) the
+    // mote's clock must sit exactly at n — not rounded up to the next
+    // scheduling quantum (the pre-fix behaviour inflated every
+    // duty-cycle measurement whose duration was not a multiple of
+    // Network::kQuantum).
+    MProgram p = buildProgram(
+        "interrupt(TIMER0) void t() { }"
+        "void main() { stos_timer0_start(4096); stos_run_scheduler(); }");
+    Network net;
+    net.addMote(p, 1);
+    uint64_t n = 100'000;  // 100000 % 256 = 160
+    ASSERT_NE(n % Network::kQuantum, 0u);
+    net.run(n);
+    EXPECT_EQ(net.mote(0).cycles(), n);
+    // Consecutive runs continue from the current clock and clamp too.
+    net.run(100);
+    EXPECT_EQ(net.mote(0).cycles(), n + 100);
+}
+
 TEST(Pipeline2, DutyCycleOrderingAcrossConfigs)
 {
     // Safe-unoptimized must not be faster than safe-optimized.

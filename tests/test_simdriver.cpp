@@ -1,0 +1,295 @@
+/**
+ * @file
+ * SimDriver tests: companion-image memoization (each companion built
+ * exactly once per platform, concurrent lookups race-free),
+ * parallel-vs-serial SimReport equivalence across every Figure-3
+ * configuration, matrix shape/ordering, failure isolation, and the
+ * CSV/JSON report emitters.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+
+#include "core/simdriver.h"
+
+namespace stos {
+namespace {
+
+using namespace stos::core;
+using namespace stos::tinyos;
+
+constexpr double kSimSeconds = 0.1;
+
+/** Rows with and without companions, columns that change the image. */
+BuildReport
+smallBuilds(unsigned jobs = 0)
+{
+    DriverOptions opts;
+    opts.jobs = jobs;
+    BuildDriver d(opts);
+    d.addApp(appByName("BlinkTask"));     // no companions
+    d.addApp(appByName("Ident"));         // companion: CntToLedsAndRfm
+    d.addApp(appByName("Surge"));         // companions: Surge, GenericBase
+    d.addConfig(ConfigId::Baseline);
+    d.addConfig(ConfigId::SafeFlid);
+    return d.run();
+}
+
+TEST(CompanionCache, BuildsEachKeyExactlyOnceUnderContention)
+{
+    CompanionCache cache;
+    constexpr unsigned kThreads = 8;
+    std::vector<std::shared_ptr<const backend::MProgram>> images(
+        kThreads);
+    std::vector<std::thread> pool;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        pool.emplace_back([&cache, &images, t] {
+            images[t] = cache.get("CntToLedsAndRfm", "Mica2");
+        });
+    }
+    for (auto &t : pool)
+        t.join();
+    EXPECT_EQ(cache.builds(), 1u);
+    EXPECT_EQ(cache.hits(), kThreads - 1);
+    for (unsigned t = 1; t < kThreads; ++t)
+        EXPECT_EQ(images[t].get(), images[0].get())
+            << "all callers must share one immutable image";
+}
+
+TEST(CompanionCache, DistinctPlatformsAreDistinctEntries)
+{
+    CompanionCache cache;
+    auto mica = cache.get("BlinkTask", "Mica2");
+    auto telos = cache.get("BlinkTask", "TelosB");
+    EXPECT_EQ(cache.builds(), 2u);
+    EXPECT_NE(mica.get(), telos.get());
+    // Second lookups hit the memo.
+    cache.get("BlinkTask", "Mica2");
+    cache.get("BlinkTask", "TelosB");
+    EXPECT_EQ(cache.builds(), 2u);
+    EXPECT_EQ(cache.hits(), 2u);
+}
+
+TEST(CompanionCache, FailuresAreCachedAndRethrown)
+{
+    CompanionCache cache;
+    EXPECT_THROW(cache.get("NoSuchApp", "Mica2"), std::exception);
+    EXPECT_THROW(cache.get("NoSuchApp", "Mica2"), std::exception);
+    EXPECT_EQ(cache.builds(), 1u) << "the failed build must be memoized";
+}
+
+TEST(SimDriver, MatrixShapeOrderingAndCompanionAccounting)
+{
+    BuildReport builds = smallBuilds();
+    SimOptions opts;
+    opts.jobs = 4;
+    opts.seconds = kSimSeconds;
+    SimReport rep = SimDriver(opts).run(builds);
+
+    ASSERT_EQ(rep.numApps, 3u);
+    ASSERT_EQ(rep.numConfigs, 2u);
+    ASSERT_EQ(rep.records.size(), 6u);
+    EXPECT_TRUE(rep.allOk());
+    const char *apps[] = {"BlinkTask", "Ident", "Surge"};
+    for (size_t a = 0; a < 3; ++a) {
+        for (size_t c = 0; c < 2; ++c) {
+            const SimRecord &r = rep.at(a, c);
+            EXPECT_EQ(r.app, apps[a]);
+            EXPECT_EQ(r.appIndex, a);
+            EXPECT_EQ(r.configIndex, c);
+            EXPECT_GT(r.outcome.totalCycles, 0u);
+        }
+    }
+    // Three distinct companion images (CntToLedsAndRfm, Surge,
+    // GenericBase — all Mica2), each compiled exactly once even
+    // though Ident and Surge each simulate in two configurations.
+    EXPECT_EQ(rep.companionBuilds, 3u);
+    // Ident contributes 2 companion requests, Surge 4; 6 total minus
+    // the 3 builds leaves 3 memo hits.
+    EXPECT_EQ(rep.companionReuses, 3u);
+    EXPECT_NE(rep.find("Surge", configName(ConfigId::SafeFlid)), nullptr);
+    EXPECT_EQ(rep.find("Surge", "nonsense"), nullptr);
+}
+
+TEST(SimDriver, ParallelMatchesSerialAcrossEveryFigure3Config)
+{
+    // One companion-free and one companion-heavy app across the full
+    // Figure-3 column set (baseline + C1..C7).
+    DriverOptions bopts;
+    BuildDriver d(bopts);
+    d.addApp(appByName("Oscilloscope"));
+    d.addApp(appByName("Surge"));
+    d.addConfig(ConfigId::Baseline);
+    d.addConfigs(figure3Configs());
+    BuildReport builds = d.run();
+    ASSERT_TRUE(builds.allOk());
+
+    SimOptions serialOpts;
+    serialOpts.jobs = 1;
+    serialOpts.memoizeCompanions = false;  // true per-cell rebuild
+    serialOpts.seconds = kSimSeconds;
+    SimReport serial = SimDriver(serialOpts).run(builds);
+    EXPECT_EQ(serial.companionBuilds, 0u);
+    EXPECT_EQ(serial.companionReuses, 0u);
+
+    SimOptions parOpts;
+    parOpts.jobs = 4;
+    parOpts.seconds = kSimSeconds;
+    SimReport parallel = SimDriver(parOpts).run(builds);
+    EXPECT_EQ(parallel.companionBuilds, 2u);  // Surge + GenericBase
+
+    ASSERT_EQ(serial.records.size(), parallel.records.size());
+    for (size_t i = 0; i < serial.records.size(); ++i) {
+        std::string why;
+        EXPECT_TRUE(SimDriver::recordsEquivalent(
+            serial.records[i], parallel.records[i], &why))
+            << why;
+    }
+    std::string why;
+    EXPECT_TRUE(SimDriver::reportsEquivalent(serial, parallel, &why))
+        << why;
+}
+
+TEST(SimDriver, DeterministicUnderAnyJobCount)
+{
+    BuildReport builds = smallBuilds();
+    SimOptions ref;
+    ref.jobs = 1;
+    ref.seconds = kSimSeconds;
+    SimReport baseline = SimDriver(ref).run(builds);
+    for (unsigned jobs : {2u, 3u, 8u}) {
+        SimOptions opts;
+        opts.jobs = jobs;
+        opts.seconds = kSimSeconds;
+        SimReport rep = SimDriver(opts).run(builds);
+        std::string why;
+        EXPECT_TRUE(SimDriver::reportsEquivalent(baseline, rep, &why))
+            << "jobs=" << jobs << ": " << why;
+    }
+}
+
+TEST(SimDriver, CustomRowsOutsideTheRegistrySimulate)
+{
+    // Benches add rows not present in tinyos::allApps() (e.g.
+    // runtime_overhead's "minimal" app). The companion list rides on
+    // the BuildRecord, so such rows must simulate — alone or with
+    // registry companions.
+    const char *kIdle =
+        "interrupt(TIMER0) void t() { }"
+        "void main() { stos_timer0_start(4096); stos_run_scheduler(); }";
+    BuildDriver d;
+    d.addApp({"custom_alone", "Mica2", kIdle, {}});
+    d.addApp({"custom_ctx", "Mica2", kIdle, {"CntToLedsAndRfm"}});
+    d.addConfig(ConfigId::Baseline);
+    BuildReport builds = d.run();
+    ASSERT_TRUE(builds.allOk());
+
+    SimOptions opts;
+    opts.seconds = kSimSeconds;
+    SimReport rep = SimDriver(opts).run(builds);
+    ASSERT_TRUE(rep.allOk())
+        << rep.at(0, 0).error << rep.at(1, 0).error;
+    EXPECT_EQ(rep.companionBuilds, 1u);
+    EXPECT_LT(rep.at(0, 0).outcome.dutyCycle, 0.05);
+}
+
+TEST(SimDriver, FailedBuildCellsBecomeFailedSimRecords)
+{
+    DriverOptions bopts;
+    bopts.jobs = 2;
+    BuildDriver d(bopts);
+    d.addApp(appByName("BlinkTask"));
+    d.addApp({"Broken", "Mica2", "void main( {", {}});
+    d.addConfig(ConfigId::Baseline);
+    BuildReport builds = d.run();
+    ASSERT_FALSE(builds.allOk());
+
+    SimOptions opts;
+    opts.seconds = kSimSeconds;
+    SimReport rep = SimDriver(opts).run(builds);
+    ASSERT_EQ(rep.records.size(), 2u);
+    EXPECT_TRUE(rep.at(0, 0).ok);
+    EXPECT_FALSE(rep.at(1, 0).ok);
+    EXPECT_NE(rep.at(1, 0).error.find("build failed"),
+              std::string::npos);
+    EXPECT_FALSE(rep.allOk());
+}
+
+TEST(SimDriver, EmptyBuildReportIsEmptySimReport)
+{
+    BuildReport builds;
+    SimReport rep = SimDriver().run(builds);
+    EXPECT_EQ(rep.records.size(), 0u);
+    EXPECT_TRUE(rep.allOk());
+}
+
+TEST(SimDriver, OutcomeFieldsAreConsistent)
+{
+    BuildReport builds = smallBuilds();
+    SimOptions opts;
+    opts.seconds = kSimSeconds;
+    SimReport rep = SimDriver(opts).run(builds);
+    for (const auto &r : rep.records) {
+        ASSERT_TRUE(r.ok) << r.error;
+        EXPECT_LE(r.outcome.awakeCycles, r.outcome.totalCycles);
+        EXPECT_GT(r.outcome.instructions, 0u);
+        EXPECT_NEAR(r.outcome.dutyCycle,
+                    static_cast<double>(r.outcome.awakeCycles) /
+                        static_cast<double>(r.outcome.totalCycles),
+                    1e-12);
+        EXPECT_FALSE(r.outcome.wedged) << r.app << "/" << r.config;
+    }
+}
+
+TEST(SimReport, CsvHasHeaderOneRowPerCellAndQuotedLabels)
+{
+    BuildReport builds = smallBuilds();
+    SimOptions opts;
+    opts.seconds = kSimSeconds;
+    SimReport rep = SimDriver(opts).run(builds);
+
+    std::ostringstream os;
+    rep.emitCsv(os);
+    std::istringstream in(os.str());
+    std::string line;
+    ASSERT_TRUE(std::getline(in, line));
+    EXPECT_EQ(line.substr(0, 4), "app,");
+    EXPECT_NE(line.find("duty_cycle"), std::string::npos);
+    size_t rows = 0;
+    while (std::getline(in, line))
+        ++rows;
+    EXPECT_EQ(rows, rep.records.size());
+    // Config labels contain commas and must be quoted.
+    EXPECT_NE(os.str().find("\"safe, FLIDs\""), std::string::npos);
+}
+
+TEST(SimReport, JsonRoundTripsStructure)
+{
+    BuildReport builds = smallBuilds();
+    SimOptions opts;
+    opts.seconds = kSimSeconds;
+    SimReport rep = SimDriver(opts).run(builds);
+
+    std::ostringstream os;
+    rep.emitJson(os);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"kind\": \"sim_report\""), std::string::npos);
+    EXPECT_NE(json.find("\"num_apps\": 3"), std::string::npos);
+    EXPECT_NE(json.find("\"duty_cycle\":"), std::string::npos);
+    size_t open = 0, close = 0, records = 0;
+    for (char c : json) {
+        open += c == '{';
+        close += c == '}';
+    }
+    EXPECT_EQ(open, close);
+    size_t pos = 0;
+    while ((pos = json.find("\"app\":", pos)) != std::string::npos) {
+        ++records;
+        pos += 6;
+    }
+    EXPECT_EQ(records, rep.records.size());
+}
+
+} // namespace
+} // namespace stos
