@@ -63,5 +63,7 @@ main(int argc, char **argv)
            "racy variables; the optimizer removes nested/handler\n"
            "atomics and downgrades saves, shrinking code slightly and\n"
            "never increasing the duty cycle.\n");
-    return writeReports(sims, flags);
+    if (int rc = writeReports(sims, flags))
+        return rc;
+    return writeJoined(rep, sims, flags);
 }

@@ -59,5 +59,7 @@ main(int argc, char **argv)
     }
     printf("\nAggregate: strong DCE is %.1f%% smaller (paper: 3-5%%).\n",
            -pctChange(totalStrong, totalWeak));
-    return writeReports(sims, flags);
+    if (int rc = writeReports(sims, flags))
+        return rc;
+    return writeJoined(rep, sims, flags);
 }

@@ -81,17 +81,23 @@ reportFailures(const core::SimReport &rep)
 /**
  * Command-line flags shared by the figure benchmarks:
  *
- *   --serial      also run the serial (1 job, no memoization)
- *                 equivalent and gate cell-for-cell equivalence
+ *   --serial      also run the serial legacy-interpreter equivalent
+ *                 (1 job, fixed-quantum lockstep networks) and gate
+ *                 cell-for-cell equivalence against it
  *   --jobs N      worker threads (0 = hardware concurrency)
  *   --csv PATH    write the report as CSV
  *   --json PATH   write the report as JSON
+ *   --joined-csv PATH   write the sim report joined with its build
+ *                       report (static + dynamic columns) as CSV
+ *   --joined-json PATH  ditto as JSON
  */
 struct BenchFlags {
     bool serial = false;
     unsigned jobs = 0;
     std::string csvPath;
     std::string jsonPath;
+    std::string joinedCsvPath;
+    std::string joinedJsonPath;
 
     static BenchFlags
     parse(int argc, char **argv)
@@ -106,10 +112,17 @@ struct BenchFlags {
                 f.csvPath = argv[++i];
             } else if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
                 f.jsonPath = argv[++i];
+            } else if (!std::strcmp(argv[i], "--joined-csv") &&
+                       i + 1 < argc) {
+                f.joinedCsvPath = argv[++i];
+            } else if (!std::strcmp(argv[i], "--joined-json") &&
+                       i + 1 < argc) {
+                f.joinedJsonPath = argv[++i];
             } else {
                 fprintf(stderr,
                         "usage: %s [--serial] [--jobs N] [--csv PATH] "
-                        "[--json PATH]\n",
+                        "[--json PATH] [--joined-csv PATH] "
+                        "[--joined-json PATH]\n",
                         argv[0]);
                 std::exit(2);
             }
@@ -118,62 +131,78 @@ struct BenchFlags {
     }
 };
 
+/**
+ * Open `path` (empty = skip), run `emit(ostream)`, flush, and report
+ * the outcome. The single emission path every report writer shares.
+ */
+template <typename Emit>
+inline int
+emitTo(const std::string &path, Emit emit)
+{
+    if (path.empty())
+        return 0;
+    std::ofstream os(path);
+    if (os)
+        emit(os);
+    os.flush();
+    if (!os) {
+        fprintf(stderr, "cannot write %s\n", path.c_str());
+        return 1;
+    }
+    printf("wrote %s\n", path.c_str());
+    return 0;
+}
+
 /** Write a Build/SimReport to the paths requested by the flags. */
 template <typename Report>
 inline int
 writeReports(const Report &rep, const BenchFlags &flags)
 {
-    if (!flags.csvPath.empty()) {
-        std::ofstream os(flags.csvPath);
-        if (os)
-            rep.emitCsv(os);
-        os.flush();
-        if (!os) {
-            fprintf(stderr, "cannot write %s\n", flags.csvPath.c_str());
-            return 1;
-        }
-        printf("wrote %s\n", flags.csvPath.c_str());
-    }
-    if (!flags.jsonPath.empty()) {
-        std::ofstream os(flags.jsonPath);
-        if (os)
-            rep.emitJson(os);
-        os.flush();
-        if (!os) {
-            fprintf(stderr, "cannot write %s\n", flags.jsonPath.c_str());
-            return 1;
-        }
-        printf("wrote %s\n", flags.jsonPath.c_str());
-    }
-    return 0;
+    if (int rc = emitTo(flags.csvPath,
+                        [&](std::ostream &os) { rep.emitCsv(os); }))
+        return rc;
+    return emitTo(flags.jsonPath,
+                  [&](std::ostream &os) { rep.emitJson(os); });
 }
 
 /**
  * Run the per-cell simulations of `builds` through the parallel
- * SimDriver. With --serial, follow up with the serial (1 job,
- * companions rebuilt per cell) equivalent and return non-zero if any
+ * SimDriver (predecoded cores). With --serial, follow up with the
+ * serial legacy-interpreter equivalent and return non-zero if any
  * cell diverges — the same gate pipeline_speed --matrix applies to
- * builds. Returns 0 and fills `out` on success.
+ * builds, now also certifying the predecoded core against the
+ * reference interpreter. Both runs share one persistent
+ * CompanionCache, so the gate never rebuilds companion firmware.
+ * Returns 0 and fills `out` on success.
  */
 inline int
 runSims(const core::BuildReport &builds, double seconds,
         const BenchFlags &flags, core::SimReport &out)
 {
+    core::CompanionCache cache;
     core::SimOptions opts;
     opts.jobs = flags.jobs;
     opts.seconds = seconds;
     core::SimDriver driver(opts);
-    out = driver.run(builds);
+    out = driver.run(builds, cache);
     printf("[sim: %s]\n", out.summary().c_str());
     if (int rc = reportFailures(out))
         return rc;
     if (flags.serial) {
         core::SimOptions serialOpts;
         serialOpts.jobs = 1;
-        serialOpts.memoizeCompanions = false;
         serialOpts.seconds = seconds;
-        core::SimReport serial = core::SimDriver(serialOpts).run(builds);
+        serialOpts.mode = sim::ExecMode::Legacy;
+        core::SimReport serial =
+            core::SimDriver(serialOpts).run(builds, cache);
         printf("[serial sim: %s]\n", serial.summary().c_str());
+        if (serial.companionBuilds != 0) {
+            fprintf(stderr,
+                    "serial gate rebuilt %zu companions despite the "
+                    "persistent cache\n",
+                    serial.companionBuilds);
+            return 1;
+        }
         std::string why;
         if (!core::SimDriver::reportsEquivalent(serial, out, &why)) {
             fprintf(stderr, "SIM MISMATCH: %s\n", why.c_str());
@@ -182,11 +211,25 @@ runSims(const core::BuildReport &builds, double seconds,
         double speedup = out.wallMillis > 0
                              ? serial.wallMillis / out.wallMillis
                              : 0.0;
-        printf("serial and parallel simulations identical; "
-               "speedup %.2fx\n",
+        printf("serial legacy and parallel predecoded simulations "
+               "identical; speedup %.2fx\n",
                speedup);
     }
     return 0;
+}
+
+/** Write the joined static+dynamic report to the requested paths. */
+inline int
+writeJoined(const core::BuildReport &builds, const core::SimReport &sims,
+            const BenchFlags &flags)
+{
+    if (int rc = emitTo(flags.joinedCsvPath, [&](std::ostream &os) {
+            sims.joinCsv(builds, os);
+        }))
+        return rc;
+    return emitTo(flags.joinedJsonPath, [&](std::ostream &os) {
+        sims.joinJson(builds, os);
+    });
 }
 
 } // namespace stos::bench

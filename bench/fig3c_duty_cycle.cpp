@@ -65,5 +65,7 @@ main(int argc, char **argv)
     printf("\nPaper shape: safety alone slows apps by a few percent;\n"
            "cXprop alone speeds them up 3-10%%; safe+optimized (C6) is\n"
            "about as fast as the unsafe original; C7 is fastest.\n");
-    return writeReports(rep, flags);
+    if (int rc = writeReports(rep, flags))
+        return rc;
+    return writeJoined(builds, rep, flags);
 }

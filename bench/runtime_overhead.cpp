@@ -102,5 +102,7 @@ main(int argc, char **argv)
                100.0 * r.outcome.dutyCycle,
                static_cast<unsigned long long>(r.outcome.instructions));
     }
-    return writeReports(sims, flags);
+    if (int rc = writeReports(sims, flags))
+        return rc;
+    return writeJoined(rep, sims, flags);
 }

@@ -1,0 +1,294 @@
+/**
+ * @file
+ * Simulator throughput benchmark: single-thread simulated-instruction
+ * throughput of the legacy reference interpreter vs the predecoded
+ * event-horizon core, measured over the Figure-3(c) duty-cycle matrix
+ * (every Mica2 app × baseline + C1..C7, each in its sensor-network
+ * context). Every cell is executed by both cores and gated
+ * cell-for-cell — cycles, awake cycles, instructions, flid, uart log
+ * and radio counters of every mote must be identical — so the
+ * speedup number is only ever reported for a bit-equivalent
+ * simulation. Multi-mote cells additionally run the
+ * lookahead-parallel network scheduler and are gated the same way.
+ *
+ *   --jobs N      build-phase worker threads (0 = hw concurrency)
+ *   --csv/--json  emit per-cell timings + the summary
+ */
+#include "bench_util.h"
+
+#include <chrono>
+#include <thread>
+
+#include "sim/decoded.h"
+#include "sim/machine.h"
+#include "sim/stats.h"
+#include "support/util.h"
+
+using namespace stos;
+using namespace stos::core;
+using namespace stos::bench;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// The full observable-state snapshot the equivalence suite uses —
+// one contract, every gate in lockstep.
+using MoteStats = sim::MoteSnapshot;
+
+std::vector<MoteStats>
+collect(sim::Network &net, uint64_t cycles, double &millis,
+        Clock::time_point t0)
+{
+    net.run(cycles);
+    millis += millisSince(t0);
+    std::vector<MoteStats> out;
+    for (size_t i = 0; i < net.size(); ++i)
+        out.push_back(sim::snapshotOf(net.mote(i)));
+    return out;
+}
+
+/** One legacy-interpreter run (fixed-quantum lockstep network). */
+std::vector<MoteStats>
+runLegacyCell(const backend::MProgram &image,
+              const std::vector<const backend::MProgram *> &companions,
+              uint64_t cycles, double &millis)
+{
+    auto t0 = Clock::now();
+    sim::Network net({sim::ExecMode::Legacy, /*lookahead=*/false, 1});
+    net.addMote(image, 1);
+    uint8_t id = 2;
+    for (const backend::MProgram *c : companions)
+        net.addMote(*c, id++);
+    return collect(net, cycles, millis, t0);
+}
+
+/** One predecoded run. The cell image's decode is charged to the
+ *  first predecoded run of the cell (paid once per program); the
+ *  companion decodes come from the process-wide memo, exactly as the
+ *  SimDriver shares them. */
+std::vector<MoteStats>
+runDecodedCell(
+    const std::shared_ptr<const sim::DecodedProgram> &image,
+    const std::vector<std::shared_ptr<const sim::DecodedProgram>>
+        &companions,
+    uint64_t cycles, unsigned threads, double &millis)
+{
+    auto t0 = Clock::now();
+    sim::Network net(
+        {sim::ExecMode::Predecoded, /*lookahead=*/true, threads});
+    net.addMote(image, 1);
+    uint8_t id = 2;
+    for (const auto &c : companions)
+        net.addMote(c, id++);
+    return collect(net, cycles, millis, t0);
+}
+
+struct CellTiming {
+    std::string app, config;
+    size_t motes = 0;
+    uint64_t instrs = 0;  ///< all motes, one full run
+    double legacyMs = 0, preMs = 0;
+    double parMs = -1;  ///< lookahead-parallel (multi-mote cells only)
+};
+
+double
+perSec(uint64_t instrs, double ms)
+{
+    return ms > 0 ? 1000.0 * static_cast<double>(instrs) / ms : 0.0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchFlags flags = BenchFlags::parse(argc, argv);
+    if (flags.serial || !flags.joinedCsvPath.empty() ||
+        !flags.joinedJsonPath.empty()) {
+        fprintf(stderr,
+                "sim_speed: --serial is implicit (every cell is "
+                "equivalence-gated) and --joined-csv/--joined-json "
+                "are not supported here; use fig3c_duty_cycle for "
+                "joined reports\n");
+        return 2;
+    }
+    // Match fig3c_duty_cycle's nominal matrix: 3 simulated seconds
+    // per cell (the 5x speedup target is defined on this workload;
+    // shorter durations under-report it because the once-per-program
+    // decode amortizes over fewer executed instructions).
+    double seconds = simSeconds(3.0);
+
+    DriverOptions buildOpts;
+    buildOpts.jobs = flags.jobs;
+    BuildDriver d(buildOpts);
+    for (const auto &app : tinyos::allApps()) {
+        if (app.platform == "Mica2")
+            d.addApp(app);
+    }
+    d.addConfig(ConfigId::Baseline);
+    d.addConfigs(figure3Configs());
+    BuildReport builds = d.run();
+    if (!builds.allOk())
+        return reportFailures(builds);
+
+    printHeader(strfmt("sim_speed: interpreter throughput on the "
+                       "Figure-3(c) matrix (%g simulated s/cell)",
+                       seconds));
+    printf("[build: %s]\n", builds.summary().c_str());
+
+    CompanionCache cache;
+    std::vector<CellTiming> cells;
+    double legacyMs = 0, preMs = 0;
+    double parLegacyMs = 0, parParMs = 0;
+    uint64_t totalInstrs = 0;
+    size_t parCells = 0;
+    const unsigned hw = std::thread::hardware_concurrency();
+    const unsigned parThreads = hw >= 4 ? 4 : (hw > 1 ? hw : 2);
+
+    for (const BuildRecord &r : builds.records) {
+        std::vector<std::shared_ptr<const backend::MProgram>> owned;
+        std::vector<const backend::MProgram *> companions;
+        std::vector<std::shared_ptr<const sim::DecodedProgram>> dcomps;
+        for (const auto &cname : r.companions) {
+            owned.push_back(cache.get(cname, r.platform));
+            companions.push_back(owned.back().get());
+            dcomps.push_back(cache.getDecoded(cname, r.platform));
+        }
+        uint64_t cycles = static_cast<uint64_t>(
+            seconds *
+            static_cast<double>(r.result.image.target.clockHz));
+
+        CellTiming cell;
+        cell.app = r.app;
+        cell.config = r.config;
+        cell.motes = companions.size() + 1;
+
+        auto legacy = runLegacyCell(r.result.image, companions, cycles,
+                                    cell.legacyMs);
+        // The cell image decodes once, charged to the serial
+        // predecoded timing (decode is paid once per program).
+        auto tDecode = Clock::now();
+        auto dimage =
+            std::make_shared<const sim::DecodedProgram>(r.result.image);
+        cell.preMs += millisSince(tDecode);
+        auto pre =
+            runDecodedCell(dimage, dcomps, cycles, 1, cell.preMs);
+        if (legacy != pre) {
+            fprintf(stderr,
+                    "MISMATCH (predecoded vs legacy): %s / %s\n",
+                    r.app.c_str(), r.config.c_str());
+            return 1;
+        }
+        if (cell.motes > 1) {
+            cell.parMs = 0;
+            auto par = runDecodedCell(dimage, dcomps, cycles,
+                                      parThreads, cell.parMs);
+            if (legacy != par) {
+                fprintf(stderr,
+                        "MISMATCH (lookahead-parallel vs legacy): "
+                        "%s / %s\n",
+                        r.app.c_str(), r.config.c_str());
+                return 1;
+            }
+            ++parCells;
+            parLegacyMs += cell.legacyMs;
+            parParMs += cell.parMs;
+        }
+        for (const MoteStats &m : legacy)
+            cell.instrs += m.instructions;
+        totalInstrs += cell.instrs;
+        legacyMs += cell.legacyMs;
+        preMs += cell.preMs;
+        cells.push_back(cell);
+    }
+
+    double speedup = preMs > 0 ? legacyMs / preMs : 0.0;
+    printf("\n%zu cells, %llu simulated instructions per full pass\n",
+           cells.size(),
+           static_cast<unsigned long long>(totalInstrs));
+    printf("%-34s %12s %14s\n", "core", "wall (ms)", "Minstr/s");
+    printf("%-34s %12.1f %14.2f\n", "legacy interpreter", legacyMs,
+           perSec(totalInstrs, legacyMs) / 1e6);
+    printf("%-34s %12.1f %14.2f\n", "predecoded event-horizon", preMs,
+           perSec(totalInstrs, preMs) / 1e6);
+    printf("single-thread speedup: %.2fx\n", speedup);
+    printf("\n%zu multi-mote cells also ran lookahead-parallel "
+           "(%u threads): %.1f ms (legacy: %.1f ms), identical "
+           "results\n",
+           parCells, parThreads, parParMs, parLegacyMs);
+    if (speedup < 5.0)
+        fprintf(stderr,
+                "WARNING: predecoded speedup %.2fx below the 5x "
+                "target\n",
+                speedup);
+    // SIM_SPEED_MIN_SPEEDUP turns the warning into a hard gate (CI
+    // sets a floor below the nominal target to absorb noisy shared
+    // runners while still catching real throughput regressions).
+    if (const char *env = std::getenv("SIM_SPEED_MIN_SPEEDUP")) {
+        double minSpeedup = std::atof(env);
+        if (minSpeedup > 0 && speedup < minSpeedup) {
+            fprintf(stderr,
+                    "FAIL: speedup %.2fx below the required %.2fx "
+                    "(SIM_SPEED_MIN_SPEEDUP)\n",
+                    speedup, minSpeedup);
+            return 1;
+        }
+    }
+
+    if (!flags.csvPath.empty()) {
+        std::ofstream os(flags.csvPath);
+        os << "app,config,motes,instructions,legacy_millis,"
+              "predecoded_millis,parallel_millis,speedup\n";
+        for (const CellTiming &c : cells) {
+            os << csvField(c.app) << ',' << csvField(c.config) << ','
+               << c.motes << ',' << c.instrs << ','
+               << strfmt("%.3f", c.legacyMs) << ','
+               << strfmt("%.3f", c.preMs) << ',';
+            if (c.parMs >= 0)
+                os << strfmt("%.3f", c.parMs);
+            os << ','
+               << strfmt("%.3f",
+                         c.preMs > 0 ? c.legacyMs / c.preMs : 0.0)
+               << '\n';
+        }
+        os.flush();
+        if (!os) {
+            fprintf(stderr, "cannot write %s\n", flags.csvPath.c_str());
+            return 1;
+        }
+        printf("wrote %s\n", flags.csvPath.c_str());
+    }
+    if (!flags.jsonPath.empty()) {
+        std::ofstream os(flags.jsonPath);
+        os << "{\n"
+           << "  \"kind\": \"sim_speed\",\n"
+           << "  \"seconds_per_cell\": " << strfmt("%g", seconds)
+           << ",\n"
+           << "  \"cells\": " << cells.size() << ",\n"
+           << "  \"instructions\": " << totalInstrs << ",\n"
+           << "  \"legacy_millis\": " << strfmt("%.3f", legacyMs)
+           << ",\n"
+           << "  \"predecoded_millis\": " << strfmt("%.3f", preMs)
+           << ",\n"
+           << "  \"legacy_instr_per_sec\": "
+           << strfmt("%.0f", perSec(totalInstrs, legacyMs)) << ",\n"
+           << "  \"predecoded_instr_per_sec\": "
+           << strfmt("%.0f", perSec(totalInstrs, preMs)) << ",\n"
+           << "  \"speedup\": " << strfmt("%.3f", speedup) << ",\n"
+           << "  \"parallel_cells\": " << parCells << ",\n"
+           << "  \"parallel_threads\": " << parThreads << ",\n"
+           << "  \"parallel_millis\": " << strfmt("%.3f", parParMs)
+           << ",\n"
+           << "  \"equivalent\": true\n"
+           << "}\n";
+        os.flush();
+        if (!os) {
+            fprintf(stderr, "cannot write %s\n",
+                    flags.jsonPath.c_str());
+            return 1;
+        }
+        printf("wrote %s\n", flags.jsonPath.c_str());
+    }
+    return 0;
+}

@@ -33,10 +33,20 @@ main()
            surgeBuild.safetyReport.checksInserted,
            surgeBuild.safetyReport.racyGlobals);
 
-    sim::Network net;
-    net.addMote(baseBuild.image, 0);    // base station
-    net.addMote(surgeBuild.image, 1);
-    net.addMote(surgeBuild.image, 2);
+    // Predecode each firmware once and share the decode across the
+    // motes that run it; step the motes in parallel inside the
+    // radio-lookahead windows (identical results to serial stepping —
+    // the equivalence suite holds the schedulers to that).
+    sim::NetworkOptions netOpts;
+    netOpts.threads = 3;
+    sim::Network net(netOpts);
+    auto surgeDecode =
+        std::make_shared<const sim::DecodedProgram>(surgeBuild.image);
+    net.addMote(
+        std::make_shared<const sim::DecodedProgram>(baseBuild.image),
+        0);  // base station
+    net.addMote(surgeDecode, 1);
+    net.addMote(surgeDecode, 2);
 
     const uint64_t second = 7'372'800;
     for (int s = 1; s <= 4; ++s) {

@@ -82,6 +82,8 @@ MProgram::instrBytes(const MInstr &in) const
         return 2;
       case MOp::Nop:
         return 2;
+      case MOp::Halt:
+        return 0;  // simulator sentinel, not a real instruction
     }
     return 2;
 }
@@ -136,6 +138,8 @@ MProgram::instrCycles(const MInstr &in) const
         return 1;
       case MOp::Nop:
         return 1;
+      case MOp::Halt:
+        return 0;  // simulator sentinel, not a real instruction
     }
     return 1;
 }

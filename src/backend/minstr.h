@@ -48,6 +48,14 @@ enum class MOp : uint8_t {
     Out,    ///< io[port] = ra
     Sleep,
     Nop,
+    /**
+     * Simulator-internal sentinel: falling off the end of a function
+     * halts the machine. Never emitted by the backend; appended by
+     * sim::DecodedProgram when it flattens a function's blocks so the
+     * predecoded core needs no per-instruction bounds check. Costs
+     * zero bytes and zero cycles.
+     */
+    Halt,
 };
 
 enum class MCond : uint8_t {

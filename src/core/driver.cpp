@@ -23,14 +23,6 @@ namespace stos::core {
 
 using Clock = std::chrono::steady_clock;
 
-static double
-millisSince(Clock::time_point start)
-{
-    return std::chrono::duration<double, std::milli>(Clock::now() -
-                                                     start)
-        .count();
-}
-
 //---------------------------------------------------------------------
 // BuildReport
 //---------------------------------------------------------------------

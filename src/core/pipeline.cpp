@@ -5,6 +5,7 @@
 #include "core/pipeline.h"
 
 #include <cstdlib>
+#include <map>
 
 #include "frontend/frontend.h"
 #include "ir/verifier.h"
@@ -210,18 +211,11 @@ simSeconds(double fallback)
     return fallback;
 }
 
+namespace {
+
 SimOutcome
-simulateInContext(const backend::MProgram &image,
-                  const std::vector<const backend::MProgram *> &companions,
-                  double seconds)
+collectOutcome(sim::Network &net, uint64_t cycles)
 {
-    sim::Network net;
-    net.addMote(image, 1);
-    uint8_t nextId = 2;
-    for (const backend::MProgram *cimg : companions)
-        net.addMote(*cimg, nextId++);
-    uint64_t cycles = static_cast<uint64_t>(
-        seconds * static_cast<double>(image.target.clockHz));
     net.run(cycles);
     const sim::Machine &m = net.mote(0);
     SimOutcome out;
@@ -232,7 +226,61 @@ simulateInContext(const backend::MProgram &image,
     out.halted = m.halted();
     out.wedged = m.wedged();
     out.failedFlid = m.failedFlid();
+    out.uartLog = m.devices().uartLog();
     return out;
+}
+
+} // namespace
+
+SimOutcome
+simulateInContext(const backend::MProgram &image,
+                  const std::vector<const backend::MProgram *> &companions,
+                  double seconds, const sim::NetworkOptions &netOpts)
+{
+    if (netOpts.mode == sim::ExecMode::Predecoded) {
+        // Decode each distinct image once, shared by every mote that
+        // runs it (Surge's context runs the same firmware twice).
+        std::map<const backend::MProgram *,
+                 std::shared_ptr<const sim::DecodedProgram>>
+            decodes;
+        auto decodeOf = [&](const backend::MProgram &img) {
+            auto &slot = decodes[&img];
+            if (!slot)
+                slot = std::make_shared<const sim::DecodedProgram>(img);
+            return slot;
+        };
+        auto dimage = decodeOf(image);
+        std::vector<std::shared_ptr<const sim::DecodedProgram>> dcomps;
+        for (const backend::MProgram *cimg : companions)
+            dcomps.push_back(decodeOf(*cimg));
+        return simulateDecoded(dimage, dcomps, seconds, netOpts);
+    }
+    uint64_t cycles = static_cast<uint64_t>(
+        seconds * static_cast<double>(image.target.clockHz));
+    sim::Network net(netOpts);
+    net.addMote(image, 1);
+    uint8_t nextId = 2;
+    for (const backend::MProgram *cimg : companions)
+        net.addMote(*cimg, nextId++);
+    return collectOutcome(net, cycles);
+}
+
+SimOutcome
+simulateDecoded(
+    const std::shared_ptr<const sim::DecodedProgram> &image,
+    const std::vector<std::shared_ptr<const sim::DecodedProgram>>
+        &companions,
+    double seconds, const sim::NetworkOptions &netOpts)
+{
+    uint64_t cycles = static_cast<uint64_t>(
+        seconds *
+        static_cast<double>(image->program().target.clockHz));
+    sim::Network net(netOpts);
+    net.addMote(image, 1);
+    uint8_t nextId = 2;
+    for (const auto &cimg : companions)
+        net.addMote(cimg, nextId++);
+    return collectOutcome(net, cycles);
 }
 
 double

@@ -115,17 +115,30 @@ struct SimOutcome {
     bool halted = false;   ///< main returned / stack fault
     bool wedged = false;   ///< stuck in a failure-handler self loop
     uint32_t failedFlid = 0;
+    std::string uartLog;   ///< mote-under-test UART output
 };
 
 /**
  * Simulate `image` as mote 1 of a network whose remaining motes run
  * the given companion images, for `seconds` of simulated time. The
- * images are only read; concurrent runs may share them.
+ * images are only read; concurrent runs may share them. `net` selects
+ * the interpreter core and the network scheduling strategy.
  */
 SimOutcome
 simulateInContext(const backend::MProgram &image,
                   const std::vector<const backend::MProgram *> &companions,
-                  double seconds);
+                  double seconds, const sim::NetworkOptions &net = {});
+
+/**
+ * As above, but on predecoded images: each mote executes the shared
+ * immutable decode instead of re-decoding its firmware — this is what
+ * SimDriver feeds with memoized companion decodes.
+ */
+SimOutcome simulateDecoded(
+    const std::shared_ptr<const sim::DecodedProgram> &image,
+    const std::vector<std::shared_ptr<const sim::DecodedProgram>>
+        &companions,
+    double seconds, const sim::NetworkOptions &net = {});
 
 /**
  * Simulate the app in its sensor-network context (companion motes run

@@ -20,21 +20,13 @@ namespace stos::core {
 
 using Clock = std::chrono::steady_clock;
 
-static double
-millisSince(Clock::time_point start)
-{
-    return std::chrono::duration<double, std::milli>(Clock::now() -
-                                                     start)
-        .count();
-}
-
 //---------------------------------------------------------------------
 // CompanionCache
 //---------------------------------------------------------------------
 
-std::shared_ptr<const backend::MProgram>
-CompanionCache::get(const std::string &name, const std::string &platform,
-                    bool *builtHere)
+std::shared_ptr<CompanionCache::Entry>
+CompanionCache::entryFor(const std::string &name,
+                         const std::string &platform, bool *builtHere)
 {
     std::shared_ptr<Entry> entry;
     {
@@ -51,6 +43,11 @@ CompanionCache::get(const std::string &name, const std::string &platform,
             PipelineConfig base = configFor(ConfigId::Baseline, platform);
             entry->image = std::make_shared<const backend::MProgram>(
                 buildApp(app, base).image);
+            // One decode per companion image, shared by every mote of
+            // every cell (and every run) that simulates it.
+            entry->decoded =
+                std::make_shared<const sim::DecodedProgram>(
+                    entry->image);
         } catch (...) {
             entry->error = std::current_exception();
         }
@@ -63,7 +60,21 @@ CompanionCache::get(const std::string &name, const std::string &platform,
         *builtHere = built;
     if (entry->error)
         std::rethrow_exception(entry->error);
-    return entry->image;
+    return entry;
+}
+
+std::shared_ptr<const backend::MProgram>
+CompanionCache::get(const std::string &name, const std::string &platform,
+                    bool *builtHere)
+{
+    return entryFor(name, platform, builtHere)->image;
+}
+
+std::shared_ptr<const sim::DecodedProgram>
+CompanionCache::getDecoded(const std::string &name,
+                           const std::string &platform, bool *builtHere)
+{
+    return entryFor(name, platform, builtHere)->decoded;
 }
 
 //---------------------------------------------------------------------
@@ -118,7 +129,7 @@ SimReport::emitCsv(std::ostream &os) const
 {
     os << "app,platform,config,app_index,config_index,ok,error,"
           "duty_cycle,awake_cycles,total_cycles,instructions,halted,"
-          "wedged,failed_flid,companions_reused,millis\n";
+          "wedged,failed_flid,uart_bytes,companions_reused,millis\n";
     for (const auto &r : records) {
         os << csvField(r.app) << ',' << csvField(r.platform) << ','
            << csvField(r.config) << ',' << r.appIndex << ','
@@ -130,9 +141,10 @@ SimReport::emitCsv(std::ostream &os) const
                << ',' << r.outcome.instructions << ','
                << (r.outcome.halted ? 1 : 0) << ','
                << (r.outcome.wedged ? 1 : 0) << ','
-               << r.outcome.failedFlid;
+               << r.outcome.failedFlid << ','
+               << r.outcome.uartLog.size();
         } else {
-            os << ",,,,,,,";
+            os << ",,,,,,,,";
         }
         os << ',' << (r.companionsReused ? 1 : 0) << ','
            << strfmt("%.3f", r.millis) << '\n';
@@ -169,11 +181,124 @@ SimReport::emitJson(std::ostream &os) const
                << ", \"instructions\": " << r.outcome.instructions
                << ", \"halted\": " << (r.outcome.halted ? "true" : "false")
                << ", \"wedged\": " << (r.outcome.wedged ? "true" : "false")
-               << ", \"failed_flid\": " << r.outcome.failedFlid;
+               << ", \"failed_flid\": " << r.outcome.failedFlid
+               << ", \"uart_bytes\": " << r.outcome.uartLog.size();
         }
         os << ", \"companions_reused\": "
            << (r.companionsReused ? "true" : "false")
            << ", \"millis\": " << strfmt("%.3f", r.millis) << "}"
+           << (i + 1 < records.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+}
+
+namespace {
+
+/** Verify `builds` and `sims` describe the same matrix cells. */
+void
+checkJoinable(const BuildReport &builds, const SimReport &sims)
+{
+    if (builds.numApps != sims.numApps ||
+        builds.numConfigs != sims.numConfigs ||
+        builds.records.size() != sims.records.size())
+        throw FatalError("joined reports have different shapes");
+    for (size_t i = 0; i < sims.records.size(); ++i) {
+        const BuildRecord &b = builds.records[i];
+        const SimRecord &s = sims.records[i];
+        if (b.app != s.app || b.platform != s.platform ||
+            b.config != s.config)
+            throw FatalError("joined reports describe different cells: " +
+                             b.app + "/" + b.config + " vs " + s.app +
+                             "/" + s.config);
+    }
+}
+
+} // namespace
+
+void
+SimReport::joinCsv(const BuildReport &builds, std::ostream &os) const
+{
+    checkJoinable(builds, *this);
+    os << "app,platform,config,app_index,config_index,"
+          "build_ok,sim_ok,error,"
+          "code_bytes,ram_bytes,rom_data_bytes,surviving_checks,"
+          "duty_cycle,awake_cycles,total_cycles,instructions,halted,"
+          "wedged,failed_flid,uart_bytes,build_millis,sim_millis\n";
+    for (size_t i = 0; i < records.size(); ++i) {
+        const BuildRecord &b = builds.records[i];
+        const SimRecord &s = records[i];
+        os << csvField(s.app) << ',' << csvField(s.platform) << ','
+           << csvField(s.config) << ',' << s.appIndex << ','
+           << s.configIndex << ',' << (b.ok ? 1 : 0) << ','
+           << (s.ok ? 1 : 0) << ','
+           << csvField(s.ok ? std::string() : s.error);
+        if (b.ok) {
+            os << ',' << b.result.codeBytes << ',' << b.result.ramBytes
+               << ',' << b.result.romDataBytes << ','
+               << b.result.survivingChecks;
+        } else {
+            os << ",,,,";
+        }
+        if (s.ok) {
+            os << ',' << strfmt("%.9f", s.outcome.dutyCycle) << ','
+               << s.outcome.awakeCycles << ',' << s.outcome.totalCycles
+               << ',' << s.outcome.instructions << ','
+               << (s.outcome.halted ? 1 : 0) << ','
+               << (s.outcome.wedged ? 1 : 0) << ','
+               << s.outcome.failedFlid << ','
+               << s.outcome.uartLog.size();
+        } else {
+            os << ",,,,,,,,";
+        }
+        os << ',' << strfmt("%.3f", b.millis) << ','
+           << strfmt("%.3f", s.millis) << '\n';
+    }
+}
+
+void
+SimReport::joinJson(const BuildReport &builds, std::ostream &os) const
+{
+    checkJoinable(builds, *this);
+    os << "{\n"
+       << "  \"kind\": \"joined_report\",\n"
+       << "  \"num_apps\": " << numApps << ",\n"
+       << "  \"num_configs\": " << numConfigs << ",\n"
+       << "  \"seconds\": " << strfmt("%g", seconds) << ",\n"
+       << "  \"records\": [\n";
+    for (size_t i = 0; i < records.size(); ++i) {
+        const BuildRecord &b = builds.records[i];
+        const SimRecord &s = records[i];
+        os << "    {\"app\": \"" << jsonEscape(s.app)
+           << "\", \"platform\": \"" << jsonEscape(s.platform)
+           << "\", \"config\": \"" << jsonEscape(s.config)
+           << "\", \"app_index\": " << s.appIndex
+           << ", \"config_index\": " << s.configIndex
+           << ", \"build_ok\": " << (b.ok ? "true" : "false")
+           << ", \"sim_ok\": " << (s.ok ? "true" : "false");
+        if (b.ok) {
+            os << ", \"code_bytes\": " << b.result.codeBytes
+               << ", \"ram_bytes\": " << b.result.ramBytes
+               << ", \"rom_data_bytes\": " << b.result.romDataBytes
+               << ", \"surviving_checks\": "
+               << b.result.survivingChecks;
+        }
+        if (s.ok) {
+            os << ", \"duty_cycle\": "
+               << strfmt("%.9f", s.outcome.dutyCycle)
+               << ", \"awake_cycles\": " << s.outcome.awakeCycles
+               << ", \"total_cycles\": " << s.outcome.totalCycles
+               << ", \"instructions\": " << s.outcome.instructions
+               << ", \"halted\": "
+               << (s.outcome.halted ? "true" : "false")
+               << ", \"wedged\": "
+               << (s.outcome.wedged ? "true" : "false")
+               << ", \"failed_flid\": " << s.outcome.failedFlid
+               << ", \"uart_bytes\": " << s.outcome.uartLog.size();
+        } else {
+            os << ", \"error\": \"" << jsonEscape(s.error) << "\"";
+        }
+        os << ", \"build_millis\": " << strfmt("%.3f", b.millis)
+           << ", \"sim_millis\": " << strfmt("%.3f", s.millis) << "}"
            << (i + 1 < records.size() ? "," : "") << "\n";
     }
     os << "  ]\n}\n";
@@ -185,6 +310,13 @@ SimReport::emitJson(std::ostream &os) const
 
 SimReport
 SimDriver::run(const BuildReport &builds) const
+{
+    CompanionCache cache;
+    return run(builds, cache);
+}
+
+SimReport
+SimDriver::run(const BuildReport &builds, CompanionCache &cache) const
 {
     const size_t nApps = builds.numApps;
     const size_t nConfigs = builds.numConfigs;
@@ -208,8 +340,17 @@ SimDriver::run(const BuildReport &builds) const
     if (nJobs == 0)
         return report;
 
-    CompanionCache cache;
+    const size_t builds0 = cache.builds();
+    const size_t hits0 = cache.hits();
     std::atomic<size_t> nextJob{0};
+
+    sim::NetworkOptions netOpts;
+    netOpts.mode = opts_.mode;
+    // Lookahead windows belong to the predecoded path; Legacy keeps
+    // the fixed-quantum lockstep it always had (it is the reference
+    // the equivalence gates compare against).
+    netOpts.lookahead = opts_.mode == sim::ExecMode::Predecoded;
+    netOpts.threads = opts_.netThreads;
 
     auto simCell = [&](size_t appIdx, size_t cfgIdx) {
         const BuildRecord &build = builds.records[appIdx * nConfigs +
@@ -231,30 +372,64 @@ SimDriver::run(const BuildReport &builds) const
             // companion names ride on the BuildRecord, so custom rows
             // outside the app registry simulate fine (companion-less
             // or with registry companions).
-            std::vector<std::shared_ptr<const backend::MProgram>> owned;
-            std::vector<const backend::MProgram *> companions;
             bool allReused = !build.companions.empty();
-            for (const auto &cname : build.companions) {
-                if (opts_.memoizeCompanions) {
-                    bool builtHere = false;
-                    owned.push_back(
-                        cache.get(cname, build.platform, &builtHere));
-                    if (builtHere)
+            auto freshImage = [&](const std::string &cname) {
+                const auto &capp = tinyos::appByName(cname);
+                PipelineConfig base =
+                    configFor(ConfigId::Baseline, build.platform);
+                return std::make_shared<const backend::MProgram>(
+                    buildApp(capp, base).image);
+            };
+            if (opts_.mode == sim::ExecMode::Predecoded) {
+                // The cell's own firmware decodes once per cell; the
+                // companions' decodes come from (and persist in) the
+                // cache, shared across every cell and run.
+                auto dimage =
+                    std::make_shared<const sim::DecodedProgram>(
+                        build.result.image);
+                std::vector<
+                    std::shared_ptr<const sim::DecodedProgram>>
+                    dcomps;
+                for (const auto &cname : build.companions) {
+                    if (opts_.memoizeCompanions) {
+                        bool builtHere = false;
+                        dcomps.push_back(cache.getDecoded(
+                            cname, build.platform, &builtHere));
+                        if (builtHere)
+                            allReused = false;
+                    } else {
+                        dcomps.push_back(
+                            std::make_shared<
+                                const sim::DecodedProgram>(
+                                freshImage(cname)));
                         allReused = false;
-                } else {
-                    const auto &capp = tinyos::appByName(cname);
-                    PipelineConfig base =
-                        configFor(ConfigId::Baseline, build.platform);
-                    owned.push_back(
-                        std::make_shared<const backend::MProgram>(
-                            buildApp(capp, base).image));
-                    allReused = false;
+                    }
                 }
-                companions.push_back(owned.back().get());
+                rec.companionsReused = allReused;
+                rec.outcome = simulateDecoded(dimage, dcomps,
+                                              opts_.seconds, netOpts);
+            } else {
+                std::vector<std::shared_ptr<const backend::MProgram>>
+                    owned;
+                std::vector<const backend::MProgram *> companions;
+                for (const auto &cname : build.companions) {
+                    if (opts_.memoizeCompanions) {
+                        bool builtHere = false;
+                        owned.push_back(cache.get(cname, build.platform,
+                                                  &builtHere));
+                        if (builtHere)
+                            allReused = false;
+                    } else {
+                        owned.push_back(freshImage(cname));
+                        allReused = false;
+                    }
+                    companions.push_back(owned.back().get());
+                }
+                rec.companionsReused = allReused;
+                rec.outcome =
+                    simulateInContext(build.result.image, companions,
+                                      opts_.seconds, netOpts);
             }
-            rec.companionsReused = allReused;
-            rec.outcome = simulateInContext(build.result.image,
-                                            companions, opts_.seconds);
             rec.ok = true;
         } catch (const std::exception &e) {
             rec.ok = false;
@@ -284,8 +459,8 @@ SimDriver::run(const BuildReport &builds) const
             t.join();
     }
     report.wallMillis = millisSince(start);
-    report.companionBuilds = cache.builds();
-    report.companionReuses = cache.hits();
+    report.companionBuilds = cache.builds() - builds0;
+    report.companionReuses = cache.hits() - hits0;
     return report;
 }
 
@@ -337,6 +512,8 @@ SimDriver::recordsEquivalent(const SimRecord &a, const SimRecord &b,
     if (a.outcome.failedFlid != b.outcome.failedFlid)
         return cell("failedFlid", a.outcome.failedFlid,
                     b.outcome.failedFlid);
+    if (a.outcome.uartLog != b.outcome.uartLog)
+        return fail(a.app + "/" + a.config + ": uartLog differs");
     return true;
 }
 

@@ -23,15 +23,19 @@
 #include <vector>
 
 #include "core/driver.h"
+#include "sim/decoded.h"
 
 namespace stos::core {
 
 /**
- * Thread-safe memo of Baseline companion firmware images, keyed by
- * (app name, platform). The first caller to request a key builds it;
- * concurrent callers for the same key block on that build and then
- * share the immutable image. Build failures are cached too, and
- * rethrown to every requester.
+ * Thread-safe memo of Baseline companion firmware, keyed by
+ * (app name, platform). The first caller to request a key builds it —
+ * compile AND predecode; concurrent callers for the same key block on
+ * that build and then share the immutable image/decode. Build
+ * failures are cached too, and rethrown to every requester. The cache
+ * outlives any single SimDriver::run: pass one instance to several
+ * runs (e.g. the parallel run and its serial equivalence gate) and
+ * the companions are built exactly once per process.
  */
 class CompanionCache {
   public:
@@ -44,6 +48,11 @@ class CompanionCache {
     get(const std::string &name, const std::string &platform,
         bool *builtHere = nullptr);
 
+    /** The shared predecode of the same image (built alongside it). */
+    std::shared_ptr<const sim::DecodedProgram>
+    getDecoded(const std::string &name, const std::string &platform,
+               bool *builtHere = nullptr);
+
     /** Companion compiles actually executed. */
     size_t builds() const { return builds_.load(); }
     /** Requests served from the memo without building. */
@@ -53,8 +62,13 @@ class CompanionCache {
     struct Entry {
         std::once_flag once;
         std::shared_ptr<const backend::MProgram> image;
+        std::shared_ptr<const sim::DecodedProgram> decoded;
         std::exception_ptr error;
     };
+
+    std::shared_ptr<Entry> entryFor(const std::string &name,
+                                    const std::string &platform,
+                                    bool *builtHere);
 
     std::mutex mu_;
     std::map<std::pair<std::string, std::string>,
@@ -75,6 +89,19 @@ struct SimOptions {
     bool memoizeCompanions = true;
     /** Simulated duration per cell, in seconds of mote time. */
     double seconds = 3.0;
+    /**
+     * Interpreter core. Predecoded shares one immutable decode per
+     * firmware image (memoized companions decode once per process);
+     * Legacy is the reference interpreter the equivalence gates
+     * compare against.
+     */
+    sim::ExecMode mode = sim::ExecMode::Predecoded;
+    /**
+     * Threads stepping the motes of each multi-mote network inside
+     * its lookahead windows (1 = serial). Leave at 1 when the driver
+     * already saturates the machine with per-cell parallelism.
+     */
+    unsigned netThreads = 1;
 };
 
 /** One simulated cell of the matrix. */
@@ -114,6 +141,18 @@ struct SimReport {
     void emitCsv(std::ostream &os) const;
     /** Matrix metadata + one object per cell. */
     void emitJson(std::ostream &os) const;
+
+    /**
+     * Join this simulated matrix against the BuildReport it was run
+     * from and emit one combined static+dynamic row per cell (code /
+     * RAM / ROM sizes and surviving checks next to duty cycle and
+     * execution counters), so Figure-3 style tables plot from a
+     * single file. Throws FatalError if the matrices don't describe
+     * the same cells.
+     */
+    void joinCsv(const BuildReport &builds, std::ostream &os) const;
+    /** JSON flavour of the same join. */
+    void joinJson(const BuildReport &builds, std::ostream &os) const;
 };
 
 /**
@@ -135,6 +174,16 @@ class SimDriver {
      * call only; the returned SimReport owns no firmware.
      */
     SimReport run(const BuildReport &builds) const;
+
+    /**
+     * As above, but companion firmware comes from (and is added to)
+     * the caller's persistent cache, so repeated runs — serial
+     * equivalence gates in particular — never rebuild a companion.
+     * The report's companionBuilds/companionReuses count this run
+     * only.
+     */
+    SimReport run(const BuildReport &builds,
+                  CompanionCache &cache) const;
 
     /** Field-for-field equivalence of two sim records (not timing). */
     static bool recordsEquivalent(const SimRecord &a, const SimRecord &b,

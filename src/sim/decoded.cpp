@@ -1,0 +1,143 @@
+/**
+ * @file
+ * DecodedProgram construction. The decode mirrors, instruction for
+ * instruction, what Machine's legacy interpreter derives dynamically;
+ * the equivalence suite (tests/test_sim_equivalence.cpp) holds the
+ * two paths identical on every counter the evaluation reports.
+ */
+#include "sim/decoded.h"
+
+#include <algorithm>
+
+namespace stos::sim {
+
+using namespace stos::backend;
+
+DecodedProgram::DecodedProgram(const MProgram &prog) : prog_(&prog)
+{
+    decode();
+}
+
+DecodedProgram::DecodedProgram(std::shared_ptr<const MProgram> prog)
+    : prog_(prog.get()), owner_(std::move(prog))
+{
+    decode();
+}
+
+const MProgram::DataItem *
+DecodedProgram::findDataByName(const std::string &name) const
+{
+    auto it = dataByName_.find(name);
+    return it == dataByName_.end() ? nullptr : it->second;
+}
+
+void
+DecodedProgram::decode()
+{
+    const MProgram &p = *prog_;
+
+    // Function id -> index, dense (module ids are small integers).
+    uint32_t maxId = 0;
+    for (const auto &f : p.funcs)
+        maxId = std::max(maxId, f.id);
+    funcIdxById_.assign(static_cast<size_t>(maxId) + 1, -1);
+    for (uint32_t i = 0; i < p.funcs.size(); ++i) {
+        funcIdxById_[p.funcs[i].id] = static_cast<int32_t>(i);
+        if (p.funcs[i].name == "__st_fail" ||
+            p.funcs[i].name == "__st_fail_msg") {
+            if (failFnIdx_ == ~0u || p.funcs[i].name == "__st_fail")
+                failFnIdx_ = i;
+        }
+    }
+
+    vectors_.assign(p.vectorTable.begin(), p.vectorTable.end());
+
+    // Static data: name lookup table + the initialized memory image a
+    // Machine starts from (one memcpy per mote instead of a rebuild).
+    memInit_.assign(0x10000, 0);
+    for (const auto &d : p.data) {
+        dataByName_[d.name] = &d;
+        for (size_t i = 0; i < d.init.size() && i < d.size; ++i)
+            memInit_[d.addr + i] = d.init[i];
+    }
+
+    funcs_.resize(p.funcs.size());
+    for (size_t fi = 0; fi < p.funcs.size(); ++fi) {
+        const MFunc &f = p.funcs[fi];
+        DFunc &df = funcs_[fi];
+        df.argRegs = std::max<uint32_t>(f.numRegs, 1);
+        df.numRegs = df.argRegs;
+
+        // Block offsets first (branches may target forward blocks).
+        df.blockStart.reserve(f.blocks.size());
+        uint32_t off = 0;
+        for (const auto &bb : f.blocks) {
+            df.blockStart.push_back(off);
+            off += static_cast<uint32_t>(bb.instrs.size());
+        }
+
+        df.instrs.reserve(off + 1);
+        for (size_t bi = 0; bi < f.blocks.size(); ++bi) {
+            const MBlock &bb = f.blocks[bi];
+            for (const MInstr &in : bb.instrs) {
+                DInstr d;
+                d.op = in.op;
+                d.w = in.w;
+                d.cond = in.cond;
+                d.rd = in.rd;
+                d.ra = in.ra;
+                d.rb = in.rb;
+                d.imm = in.imm;
+                d.port = in.port;
+                d.mask = widthMask(in.w);
+                d.cycles = p.instrCycles(in);
+                switch (in.op) {
+                  case MOp::CmpBr:
+                    d.target = df.blockStart[in.target];
+                    break;
+                  case MOp::Jmp:
+                    d.target = df.blockStart[in.target];
+                    // A single-instruction block jumping to itself is
+                    // the failure handler's final state: wedged.
+                    d.wedge = in.target == bi && bb.instrs.size() == 1;
+                    break;
+                  case MOp::Call: {
+                    d.callIdx = funcIndexForId(in.fn);
+                    d.callsFail =
+                        d.callIdx >= 0 &&
+                        static_cast<uint32_t>(d.callIdx) == failFnIdx_;
+                    break;
+                  }
+                  case MOp::Lea: {
+                    const MProgram::DataItem *di = p.findData(in.gid);
+                    d.aux = di ? (di->addr + in.imm) & 0xFFFF : 0;
+                    break;
+                  }
+                  case MOp::Sext:
+                    d.aux = widthMask(static_cast<uint8_t>(in.imm));
+                    break;
+                  default:
+                    break;
+                }
+                df.instrs.push_back(d);
+            }
+        }
+
+        // Falling off the end of a function halts the machine (the
+        // legacy core detects this when the block index runs out).
+        DInstr halt;
+        halt.op = MOp::Halt;
+        halt.cycles = 0;
+        df.instrs.push_back(halt);
+
+        // Cover every named operand so execution needs no per-access
+        // register-file bounds check (reads of never-written registers
+        // still yield 0, as the legacy core synthesizes).
+        for (const DInstr &d : df.instrs) {
+            uint32_t hi = std::max(d.rd, std::max(d.ra, d.rb)) + 1;
+            df.numRegs = std::max(df.numRegs, hi);
+        }
+    }
+}
+
+} // namespace stos::sim

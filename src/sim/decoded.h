@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Predecoded firmware images for the simulator. A DecodedProgram is
+ * built once per MProgram and flattens every function's basic blocks
+ * into a single instruction array, resolving at decode time every
+ * static fact the interpreter would otherwise re-derive per executed
+ * instruction: cycle cost, width mask, branch targets as instruction
+ * offsets, Call targets as function indices (killing the per-call map
+ * lookup), Lea operands as absolute addresses (killing the linear
+ * data-layout scan), and the self-loop Jmp that marks a wedged
+ * failure stub. The decode is immutable and therefore shared — all
+ * motes of a network, and all SimDriver cells running the same
+ * firmware (memoized companions in particular), execute one decode.
+ */
+#ifndef STOS_SIM_DECODED_H
+#define STOS_SIM_DECODED_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "backend/minstr.h"
+
+namespace stos::sim {
+
+/** maskFor(w) without the Machine: low-w-bits mask (w >= 64 = all). */
+inline uint64_t
+widthMask(uint8_t w)
+{
+    return w >= 64 ? ~0ull : ((1ull << w) - 1);
+}
+
+/** One flattened instruction with its static facts precomputed. */
+struct DInstr {
+    backend::MOp op = backend::MOp::Nop;
+    uint8_t w = 16;
+    backend::MCond cond = backend::MCond::Eq;
+    /** Jmp forming a single-instruction self loop (the wedge state). */
+    bool wedge = false;
+    /** Call whose resolved target is the failure stub. */
+    bool callsFail = false;
+    uint32_t rd = 0, ra = 0, rb = 0;
+    int64_t imm = 0;
+    uint64_t mask = 0xFFFF;  ///< widthMask(w)
+    uint64_t aux = 0;        ///< Sext: from-mask; Lea: resolved address
+    uint32_t target = 0;     ///< branch target as an instruction offset
+    uint32_t cycles = 1;     ///< MProgram::instrCycles(in)
+    int32_t callIdx = -1;    ///< Call: resolved funcs index (-1 = unlinked)
+    uint32_t port = 0;       ///< In/Out io address
+};
+
+/** One flattened function: blocks laid out in order + Halt sentinel. */
+struct DFunc {
+    std::vector<DInstr> instrs;
+    std::vector<uint32_t> blockStart;  ///< block index -> instr offset
+    /**
+     * Register-file size covering every operand index any instruction
+     * of the function names, so the execution loop never bounds-checks
+     * or grows the file (out-of-range reads still see the 0 the legacy
+     * core would synthesize).
+     */
+    uint32_t numRegs = 1;
+    /**
+     * The declared max(MFunc::numRegs, 1) — the legacy core's
+     * register-file size, which also bounds how many incoming
+     * arguments land in registers. Kept separately so the padded
+     * numRegs above never lets an argument through that the legacy
+     * core would drop.
+     */
+    uint32_t argRegs = 1;
+};
+
+/**
+ * The immutable predecode of one linked firmware image. Construction
+ * is the only mutation; afterwards any number of Machines (on any
+ * number of threads) may execute it concurrently.
+ */
+class DecodedProgram {
+  public:
+    /** Decode `prog`; the caller keeps `prog` alive for the decode. */
+    explicit DecodedProgram(const backend::MProgram &prog);
+    /** Decode an owned image (kept alive by the decode itself). */
+    explicit DecodedProgram(std::shared_ptr<const backend::MProgram> prog);
+
+    const backend::MProgram &program() const { return *prog_; }
+    const std::vector<DFunc> &funcs() const { return funcs_; }
+    uint32_t entry() const { return prog_->entry; }
+
+    /** Interrupt vector -> funcs index (-1 = unhandled). */
+    const int32_t *vectors() const { return vectors_.data(); }
+    size_t numVectors() const { return vectors_.size(); }
+
+    /** Module function id -> funcs index (-1 = not linked). */
+    int32_t
+    funcIndexForId(uint64_t moduleId) const
+    {
+        return moduleId < funcIdxById_.size()
+                   ? funcIdxById_[static_cast<size_t>(moduleId)]
+                   : -1;
+    }
+
+    /** funcs index of the failure stub (~0u = none). */
+    uint32_t failFnIdx() const { return failFnIdx_; }
+
+    /** 64 KiB memory image with static-data initializers applied. */
+    const std::vector<uint8_t> &memInit() const { return memInit_; }
+
+    /** Layout info for a named global; null if absent. */
+    const backend::MProgram::DataItem *
+    findDataByName(const std::string &name) const;
+
+  private:
+    void decode();
+
+    const backend::MProgram *prog_;
+    std::shared_ptr<const backend::MProgram> owner_;
+    std::vector<DFunc> funcs_;
+    std::vector<int32_t> vectors_;
+    std::vector<int32_t> funcIdxById_;
+    std::map<std::string, const backend::MProgram::DataItem *>
+        dataByName_;
+    std::vector<uint8_t> memInit_;
+    uint32_t failFnIdx_ = ~0u;
+};
+
+} // namespace stos::sim
+
+#endif

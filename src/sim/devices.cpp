@@ -179,7 +179,12 @@ DeviceHub::deliver(const Packet &p, uint64_t at)
 {
     if (p.dest != 0xFF && p.dest != nodeId_)
         return;
-    rxQueue_.push_back({p, at});
+    // Sorted insertion by delivery time, stable for ties. Packets
+    // almost always arrive in time order, so this is an append.
+    auto it = rxQueue_.end();
+    while (it != rxQueue_.begin() && std::prev(it)->at > at)
+        --it;
+    rxQueue_.insert(it, {p, at});
 }
 
 } // namespace stos::sim

@@ -46,8 +46,22 @@ class DeviceHub {
 
     /** Network hook: called when this mote finishes transmitting. */
     std::function<void(const Packet &)> onSend;
-    /** Deliver a packet to this mote at cycle `at`. */
+    /**
+     * Deliver a packet to this mote at cycle `at`. The queue is kept
+     * sorted by delivery time (stable for ties), so the order packets
+     * reach the radio never depends on how the network's scheduling
+     * windows happened to group the senders.
+     */
     void deliver(const Packet &p, uint64_t at);
+    /** Earliest queued radio delivery (UINT64_MAX = none pending). */
+    uint64_t
+    nextRxDeliveryAt() const
+    {
+        return rxQueue_.empty() ? UINT64_MAX : rxQueue_.front().at;
+    }
+    /** Completion time of the in-flight transmission (UINT64_MAX =
+     *  radio idle). Used by the network's lookahead window. */
+    uint64_t txDoneAt() const { return txDoneAt_; }
 
     //--- instrumentation ----------------------------------------------
     const std::string &uartLog() const { return uart_; }

@@ -1,10 +1,14 @@
 /**
  * @file
- * Mote simulator implementation.
+ * Mote simulator implementation: the legacy reference interpreter
+ * (kept verbatim as the equivalence baseline) and the predecoded
+ * event-horizon core, plus the windowed multi-mote network.
  */
 #include "sim/machine.h"
 
 #include <algorithm>
+#include <barrier>
+#include <thread>
 
 #include "support/util.h"
 
@@ -12,24 +16,48 @@ namespace stos::sim {
 
 using namespace stos::backend;
 
-Machine::Machine(const MProgram &prog, uint8_t nodeId)
-    : prog_(prog), dev_(nodeId)
+Machine::Machine(const MProgram &prog, uint8_t nodeId, ExecMode mode)
+    : mode_(mode), prog_(prog), dev_(nodeId)
 {
-    for (uint32_t i = 0; i < prog_.funcs.size(); ++i) {
-        funcByModuleId_[prog_.funcs[i].id] = i;
-        if (prog_.funcs[i].name == "__st_fail" ||
-            prog_.funcs[i].name == "__st_fail_msg") {
-            if (failFnIdx_ == ~0u || prog_.funcs[i].name == "__st_fail")
-                failFnIdx_ = i;
+    if (mode_ == ExecMode::Predecoded)
+        decoded_ = std::make_shared<const DecodedProgram>(prog_);
+    if (decoded_) {
+        failFnIdx_ = decoded_->failFnIdx();
+        vectors_ = decoded_->vectors();
+        numVectors_ = decoded_->numVectors();
+        mem_ = decoded_->memInit();
+    } else {
+        for (uint32_t i = 0; i < prog_.funcs.size(); ++i) {
+            funcByModuleId_[prog_.funcs[i].id] = i;
+            if (prog_.funcs[i].name == "__st_fail" ||
+                prog_.funcs[i].name == "__st_fail_msg") {
+                if (failFnIdx_ == ~0u ||
+                    prog_.funcs[i].name == "__st_fail")
+                    failFnIdx_ = i;
+            }
+        }
+        vectors_ = prog_.vectorTable.data();
+        numVectors_ = prog_.vectorTable.size();
+        mem_.assign(0x10000, 0);
+        for (const auto &d : prog_.data) {
+            dataByName_[d.name] = &d;
+            for (size_t i = 0; i < d.init.size() && i < d.size; ++i)
+                mem_[d.addr + i] = d.init[i];
         }
     }
-    mem_.assign(0x10000, 0);
-    for (const auto &d : prog_.data) {
-        dataByName_[d.name] = &d;
-        for (size_t i = 0; i < d.init.size() && i < d.size; ++i)
-            mem_[d.addr + i] = d.init[i];
-    }
     sp_ = prog_.romDataBase;  // stack below the ROM window
+}
+
+Machine::Machine(std::shared_ptr<const DecodedProgram> prog,
+                 uint8_t nodeId)
+    : mode_(ExecMode::Predecoded), decoded_(std::move(prog)),
+      prog_(decoded_->program()), dev_(nodeId)
+{
+    failFnIdx_ = decoded_->failFnIdx();
+    vectors_ = decoded_->vectors();
+    numVectors_ = decoded_->numVectors();
+    mem_ = decoded_->memInit();
+    sp_ = prog_.romDataBase;
 }
 
 void
@@ -42,16 +70,27 @@ Machine::boot()
 void
 Machine::enterFunction(uint32_t funcIdx, bool fromIrq)
 {
-    const MFunc &f = prog_.funcs.at(funcIdx);
     Frame fr;
     fr.funcIdx = funcIdx;
     fr.block = 0;
     fr.ip = 0;
-    fr.regs.assign(std::max<uint32_t>(f.numRegs, 1), 0);
+    // How many incoming arguments may land in registers: the legacy
+    // core bounds this by its register-file size, so the decoded core
+    // must use the *declared* size, not the operand-padded one.
+    size_t argBound;
+    if (decoded_) {
+        fr.df = &decoded_->funcs().at(funcIdx);
+        fr.regs.assign(fr.df->numRegs, 0);
+        argBound = fr.df->argRegs;
+    } else {
+        const MFunc &f = prog_.funcs.at(funcIdx);
+        fr.regs.assign(std::max<uint32_t>(f.numRegs, 1), 0);
+        argBound = fr.regs.size();
+    }
     fr.fromIrq = fromIrq;
     // Incoming arguments land in the first registers (the selector
     // allocates parameter tuples first, in slot order).
-    for (size_t i = 0; i < argBuf_.size() && i < fr.regs.size(); ++i)
+    for (size_t i = 0; i < argBuf_.size() && i < argBound; ++i)
         fr.regs[i] = argBuf_[i];
     argBuf_.clear();
     frames_.push_back(std::move(fr));
@@ -63,7 +102,7 @@ Machine::enterFunction(uint32_t funcIdx, bool fromIrq)
 uint64_t
 Machine::maskFor(uint8_t w) const
 {
-    return w >= 64 ? ~0ull : ((1ull << w) - 1);
+    return widthMask(w);
 }
 
 uint64_t
@@ -115,36 +154,62 @@ Machine::evalCond(MCond c, uint64_t a, uint64_t b, uint8_t w) const
 void
 Machine::dispatchIrqs()
 {
-    if (!iflag_ || pendingIrqs_.empty())
+    if (!iflag_ || !irqPending())
         return;
-    int vec = pendingIrqs_.front();
-    pendingIrqs_.erase(pendingIrqs_.begin());
-    if (vec < 0 || vec >= static_cast<int>(prog_.vectorTable.size()) ||
-        prog_.vectorTable[vec] < 0) {
+    // O(1) pop-front: a read index over the vector, compacted when
+    // the queue drains (the erase(begin()) this replaces was O(n)
+    // per dispatch).
+    int vec = pendingIrqs_[irqHead_++];
+    if (irqHead_ == pendingIrqs_.size()) {
+        pendingIrqs_.clear();
+        irqHead_ = 0;
+    }
+    if (vec < 0 || vec >= static_cast<int>(numVectors_) ||
+        vectors_[vec] < 0) {
         return;
     }
     iflag_ = false;
     cycles_ += 8;  // hardware interrupt latency
-    enterFunction(static_cast<uint32_t>(prog_.vectorTable[vec]), true);
+    enterFunction(static_cast<uint32_t>(vectors_[vec]), true);
 }
 
 uint64_t
 Machine::readGlobal(const std::string &name, uint32_t size) const
 {
-    auto it = dataByName_.find(name);
-    if (it == dataByName_.end())
+    const MProgram::DataItem *d =
+        decoded_ ? decoded_->findDataByName(name) : nullptr;
+    if (!decoded_) {
+        auto it = dataByName_.find(name);
+        d = it == dataByName_.end() ? nullptr : it->second;
+    }
+    if (!d)
         return 0;
-    return loadMem(it->second->addr, static_cast<uint8_t>(size * 8));
+    return loadMem(d->addr, static_cast<uint8_t>(size * 8));
 }
 
 bool
 Machine::hasGlobal(const std::string &name) const
 {
+    if (decoded_)
+        return decoded_->findDataByName(name) != nullptr;
     return dataByName_.count(name) > 0;
 }
 
 void
 Machine::runUntilCycle(uint64_t target)
+{
+    if (mode_ == ExecMode::Predecoded)
+        runPredecoded(target);
+    else
+        runLegacy(target);
+}
+
+//---------------------------------------------------------------------
+// Legacy core (the reference interpreter, preserved verbatim)
+//---------------------------------------------------------------------
+
+void
+Machine::runLegacy(uint64_t target)
 {
     while (cycles_ < target && !halted_) {
         if (wedged_) {
@@ -443,8 +508,338 @@ Machine::step()
         // device event (or an incoming radio packet) wakes us.
         sleeping_ = true;
         break;
+      case MOp::Halt:  // backend never emits this (decoded sentinel)
+        halted_ = true;
+        break;
       case MOp::Nop:
         break;
+    }
+}
+
+//---------------------------------------------------------------------
+// Predecoded core (event-horizon scheduling)
+//---------------------------------------------------------------------
+
+void
+Machine::drainDeviceEvents()
+{
+    irqScratch_.clear();
+    dev_.advanceTo(cycles_, irqScratch_);
+    for (int v : irqScratch_)
+        pendingIrqs_.push_back(v);
+}
+
+void
+Machine::runPredecoded(uint64_t target)
+{
+    while (cycles_ < target && !halted_) {
+        if (wedged_) {
+            cycles_ = target;  // spinning awake in the failure stub
+            return;
+        }
+        if (sleeping_) {
+            uint64_t next = dev_.nextEventAt();
+            if (next == UINT64_MAX || next > target) {
+                sleepCycles_ += target - cycles_;
+                cycles_ = target;
+                return;
+            }
+            if (next > cycles_) {
+                sleepCycles_ += next - cycles_;
+                cycles_ = next;
+            }
+            sleeping_ = false;  // the event below wakes the core
+        }
+        drainDeviceEvents();
+        dispatchIrqs();
+        if (frames_.empty()) {
+            halted_ = true;
+            return;
+        }
+        // Event horizon: no device event can fire before this cycle,
+        // so the instruction loop below never needs to consult the
+        // hub. Like the legacy core, at least one instruction runs
+        // per dispatch opportunity (an interrupt's 8-cycle latency
+        // may already have crossed the horizon).
+        uint64_t horizon = std::min(target, dev_.nextEventAt());
+        // Cached frame/code/register pointers, refreshed only when a
+        // call or return changes the top frame. The register file is
+        // pre-sized at decode time to cover every operand index, so
+        // accesses are unchecked.
+        Frame *frp = &frames_.back();
+        const DInstr *code = frp->df->instrs.data();
+        uint64_t *regs = frp->regs.data();
+        auto refreshFrame = [&] {
+            frp = &frames_.back();
+            code = frp->df->instrs.data();
+            regs = frp->regs.data();
+        };
+        for (;;) {
+            Frame &fr = *frp;
+            const DInstr &in = code[fr.ip];
+            if (in.op == MOp::Halt) {
+                halted_ = true;
+                break;
+            }
+            ++fr.ip;
+            ++instrs_;
+            cycles_ += in.cycles;
+            const uint64_t mask = in.mask;
+            auto reg = [&](uint32_t r) -> uint64_t { return regs[r]; };
+            auto setReg = [&](uint32_t r, uint64_t v) {
+                regs[r] = v & mask;
+            };
+
+            switch (in.op) {
+              case MOp::Ldi:
+                setReg(in.rd, static_cast<uint64_t>(in.imm));
+                break;
+              case MOp::Mov:
+                setReg(in.rd, reg(in.ra));
+                break;
+              case MOp::Add:
+                setReg(in.rd, reg(in.ra) + reg(in.rb));
+                break;
+              case MOp::Sub:
+                setReg(in.rd, reg(in.ra) - reg(in.rb));
+                break;
+              case MOp::Mul:
+                setReg(in.rd, reg(in.ra) * reg(in.rb));
+                break;
+              case MOp::DivU: {
+                uint64_t b = reg(in.rb) & mask;
+                setReg(in.rd, b ? (reg(in.ra) & mask) / b : 0);
+                break;
+              }
+              case MOp::DivS: {
+                int64_t a = static_cast<int64_t>(reg(in.ra) & mask);
+                int64_t b = static_cast<int64_t>(reg(in.rb) & mask);
+                if (in.w < 64) {
+                    if (static_cast<uint64_t>(a) >> (in.w - 1))
+                        a |= ~static_cast<int64_t>(mask);
+                    if (static_cast<uint64_t>(b) >> (in.w - 1))
+                        b |= ~static_cast<int64_t>(mask);
+                }
+                setReg(in.rd, b ? static_cast<uint64_t>(a / b) : 0);
+                break;
+              }
+              case MOp::RemU: {
+                uint64_t b = reg(in.rb) & mask;
+                setReg(in.rd, b ? (reg(in.ra) & mask) % b : 0);
+                break;
+              }
+              case MOp::RemS: {
+                int64_t a = static_cast<int64_t>(reg(in.ra) & mask);
+                int64_t b = static_cast<int64_t>(reg(in.rb) & mask);
+                if (in.w < 64) {
+                    if (static_cast<uint64_t>(a) >> (in.w - 1))
+                        a |= ~static_cast<int64_t>(mask);
+                    if (static_cast<uint64_t>(b) >> (in.w - 1))
+                        b |= ~static_cast<int64_t>(mask);
+                }
+                setReg(in.rd, b ? static_cast<uint64_t>(a % b) : 0);
+                break;
+              }
+              case MOp::And:
+                setReg(in.rd, reg(in.ra) & reg(in.rb));
+                break;
+              case MOp::Or:
+                setReg(in.rd, reg(in.ra) | reg(in.rb));
+                break;
+              case MOp::Xor:
+                setReg(in.rd, reg(in.ra) ^ reg(in.rb));
+                break;
+              case MOp::Shl:
+                setReg(in.rd, reg(in.ra) << (reg(in.rb) & 63));
+                break;
+              case MOp::ShrU:
+                setReg(in.rd, (reg(in.ra) & mask) >> (reg(in.rb) & 63));
+                break;
+              case MOp::ShrS: {
+                int64_t a = static_cast<int64_t>(reg(in.ra) & mask);
+                if (in.w < 64 &&
+                    (static_cast<uint64_t>(a) >> (in.w - 1)))
+                    a |= ~static_cast<int64_t>(mask);
+                setReg(in.rd,
+                       static_cast<uint64_t>(a >> (reg(in.rb) & 63)));
+                break;
+              }
+              case MOp::AddI:
+                setReg(in.rd, reg(in.ra) + static_cast<uint64_t>(in.imm));
+                break;
+              case MOp::AndI:
+                setReg(in.rd, reg(in.ra) & static_cast<uint64_t>(in.imm));
+                break;
+              case MOp::Neg:
+                setReg(in.rd, 0 - reg(in.ra));
+                break;
+              case MOp::Not:
+                setReg(in.rd, (reg(in.ra) & mask) == 0 ? 1 : 0);
+                break;
+              case MOp::BNot:
+                setReg(in.rd, ~reg(in.ra));
+                break;
+              case MOp::Sext: {
+                uint64_t v = reg(in.ra) & in.aux;
+                uint8_t from = static_cast<uint8_t>(in.imm);
+                if (from < 64 && (v >> (from - 1)))
+                    v |= ~in.aux;
+                setReg(in.rd, v);
+                break;
+              }
+              case MOp::SetC:
+                setReg(in.rd, evalCond(in.cond, reg(in.ra), reg(in.rb),
+                                       in.w)
+                                  ? 1
+                                  : 0);
+                break;
+              case MOp::CmpBr:
+                if (evalCond(in.cond, reg(in.ra), reg(in.rb), in.w))
+                    fr.ip = in.target;
+                break;
+              case MOp::Jmp:
+                if (in.wedge) {
+                    wedged_ = true;
+                    break;
+                }
+                fr.ip = in.target;
+                break;
+              case MOp::Ld:
+                setReg(in.rd, loadMem(static_cast<uint32_t>(
+                                          (reg(in.ra) + in.imm) & 0xFFFF),
+                                      in.w));
+                break;
+              case MOp::St:
+                storeMem(
+                    static_cast<uint32_t>((reg(in.ra) + in.imm) & 0xFFFF),
+                    reg(in.rb), in.w);
+                break;
+              case MOp::Lea:
+                setReg(in.rd, in.aux);  // resolved at decode time
+                break;
+              case MOp::Leal:
+                setReg(in.rd, (fr.fp + in.imm) & 0xFFFF);
+                break;
+              case MOp::Enter: {
+                uint32_t size = static_cast<uint32_t>(in.imm);
+                if (sp_ < size + 0x200) {
+                    halted_ = true;  // stack overflow
+                    break;
+                }
+                sp_ -= size;
+                fr.fp = sp_;
+                for (uint32_t i = 0; i < size; ++i)
+                    mem_[fr.fp + i] = 0;
+                break;
+              }
+              case MOp::Leave:
+                sp_ += static_cast<uint32_t>(in.imm);
+                break;
+              case MOp::SetArg: {
+                size_t slot = static_cast<size_t>(in.imm);
+                if (argBuf_.size() <= slot)
+                    argBuf_.resize(slot + 1, 0);
+                argBuf_[slot] = reg(in.ra) & mask;
+                break;
+              }
+              case MOp::GetRet: {
+                size_t slot = static_cast<size_t>(in.imm);
+                setReg(in.rd, slot < retBuf_.size() ? retBuf_[slot] : 0);
+                break;
+              }
+              case MOp::SetRet: {
+                size_t slot = static_cast<size_t>(in.imm);
+                if (retBuf_.size() <= slot)
+                    retBuf_.resize(slot + 1, 0);
+                retBuf_[slot] = reg(in.ra) & mask;
+                break;
+              }
+              case MOp::Call: {
+                if (in.callIdx < 0) {
+                    halted_ = true;
+                    break;
+                }
+                if (in.callsFail && !argBuf_.empty() &&
+                    failedFlid_ == 0) {
+                    failedFlid_ = static_cast<uint32_t>(argBuf_[0]);
+                }
+                retBuf_.clear();
+                enterFunction(static_cast<uint32_t>(in.callIdx), false);
+                refreshFrame();
+                break;
+              }
+              case MOp::CallR: {
+                uint64_t id = reg(in.ra);
+                // Mirror the legacy core exactly: the function id is
+                // truncated to 32 bits before resolution.
+                int32_t idx = id == 0
+                                  ? -1
+                                  : decoded_->funcIndexForId(
+                                        static_cast<uint32_t>(id - 1));
+                if (idx < 0) {
+                    wedged_ = true;  // wild jump; model as a crash
+                    break;
+                }
+                retBuf_.clear();
+                enterFunction(static_cast<uint32_t>(idx), false);
+                refreshFrame();
+                break;
+              }
+              case MOp::Ret:
+              case MOp::Reti: {
+                bool fromIrq = fr.fromIrq;
+                frames_.pop_back();
+                if (in.op == MOp::Reti || fromIrq)
+                    iflag_ = true;
+                if (frames_.empty())
+                    halted_ = true;
+                else
+                    refreshFrame();
+                break;
+              }
+              case MOp::Sei:
+                iflag_ = true;
+                break;
+              case MOp::Cli:
+                iflag_ = false;
+                break;
+              case MOp::GetIf:
+                setReg(in.rd, iflag_ ? 1 : 0);
+                break;
+              case MOp::SetIf:
+                iflag_ = (reg(in.ra) & 1) != 0;
+                break;
+              case MOp::In:
+                setReg(in.rd, dev_.ioRead(in.port, cycles_));
+                // I/O may repoint the hub's schedule (e.g. FIFO pops);
+                // stay conservative and re-aim the horizon.
+                horizon = std::min(target, dev_.nextEventAt());
+                break;
+              case MOp::Out:
+                dev_.ioWrite(in.port,
+                             static_cast<uint32_t>(reg(in.ra) & mask),
+                             cycles_);
+                // Starting a timer/ADC/radio moves the next event.
+                horizon = std::min(target, dev_.nextEventAt());
+                break;
+              case MOp::Sleep:
+                sleeping_ = true;
+                break;
+              case MOp::Halt:  // handled before accounting
+                break;
+              case MOp::Nop:
+                break;
+            }
+
+            if (halted_ || wedged_ || sleeping_)
+                break;
+            // A Reti/Sei/SetIf may have re-enabled interrupts while
+            // requests are queued: let the outer loop dispatch.
+            if (iflag_ && irqPending())
+                break;
+            if (cycles_ >= horizon)
+                break;
+        }
     }
 }
 
@@ -453,20 +848,150 @@ Machine::step()
 //---------------------------------------------------------------------
 
 Machine &
-Network::addMote(const MProgram &prog, uint8_t nodeId)
+Network::attachMote(std::unique_ptr<Machine> m)
 {
-    motes_.push_back(std::make_unique<Machine>(prog, nodeId));
+    motes_.push_back(std::move(m));
     Machine *self = motes_.back().get();
     size_t selfIdx = motes_.size() - 1;
     self->devices().onSend = [this, selfIdx](const Packet &p) {
-        for (size_t i = 0; i < motes_.size(); ++i) {
-            if (i == selfIdx)
-                continue;
-            motes_[i]->devices().deliver(
-                p, motes_[selfIdx]->cycles() + kAirLatency);
-        }
+        uint64_t at = motes_[selfIdx]->cycles() + kAirLatency;
+        if (bufferSends_)
+            outboxes_[selfIdx].push_back({p, at});
+        else
+            deliverFrom(selfIdx, p, at);
     };
     return *self;
+}
+
+void
+Network::deliverFrom(size_t senderIdx, const Packet &p, uint64_t at)
+{
+    for (size_t i = 0; i < motes_.size(); ++i) {
+        if (i == senderIdx)
+            continue;
+        motes_[i]->devices().deliver(p, at);
+    }
+}
+
+Machine &
+Network::addMote(const MProgram &prog, uint8_t nodeId)
+{
+    return attachMote(
+        std::make_unique<Machine>(prog, nodeId, opts_.mode));
+}
+
+Machine &
+Network::addMote(std::shared_ptr<const DecodedProgram> prog,
+                 uint8_t nodeId)
+{
+    return attachMote(std::make_unique<Machine>(std::move(prog), nodeId));
+}
+
+uint64_t
+Network::windowEnd(uint64_t t, uint64_t end) const
+{
+    if (!opts_.lookahead)
+        return std::min(t + kQuantum, end);
+    // A lone mote has nobody to synchronize with.
+    if (motes_.size() <= 1)
+        return end;
+    // Conservative lookahead: the window may extend to the earliest
+    // cycle at which one mote could influence another. Transmitting
+    // one radio byte takes kCyclesPerRadioByte cycles and propagation
+    // another kAirLatency, so a transmission *started* inside the
+    // window cannot arrive before
+    //   start + kCyclesPerRadioByte + kAirLatency;
+    // a sleeping mote cannot start one before its next wakeup, and a
+    // transmission already in flight arrives no earlier than its
+    // completion + kAirLatency. Windows also close at the next
+    // already-queued delivery so they align with radio activity. For
+    // the paper's duty-cycle workloads (motes asleep between timer
+    // ticks) this fast-forwards whole sleep periods per window, the
+    // Avrora sleep/event trick combined with lookahead.
+    uint64_t te = end;
+    for (const auto &m : motes_) {
+        const Machine &mote = *m;
+        if (mote.halted() || mote.wedged())
+            continue;  // executes nothing: cannot transmit
+        const DeviceHub &dev = mote.devices();
+        uint64_t at = dev.nextRxDeliveryAt();
+        if (at > t && at < te)
+            te = at;
+        uint64_t tx = dev.txDoneAt();
+        if (tx != UINT64_MAX && tx + kAirLatency < te)
+            te = tx + kAirLatency;
+        uint64_t wake = t;
+        if (mote.sleeping()) {
+            uint64_t next = dev.nextEventAt();
+            if (next == UINT64_MAX)
+                continue;  // sleeps forever: cannot transmit
+            wake = std::max(t, next);
+        }
+        uint64_t influence =
+            wake + DeviceHub::kCyclesPerRadioByte + kAirLatency;
+        if (influence < te)
+            te = influence;
+    }
+    return std::max(te, t + 1);  // guarantee forward progress
+}
+
+void
+Network::runSerial(uint64_t start, uint64_t end)
+{
+    for (uint64_t t = start; t < end;) {
+        // Clamp the final window so a request that is not a multiple
+        // of the window never runs past `end` (it would inflate every
+        // duty-cycle measurement).
+        uint64_t te = windowEnd(t, end);
+        for (auto &m : motes_)
+            m->runUntilCycle(te);
+        t = te;
+    }
+}
+
+void
+Network::runParallel(uint64_t start, uint64_t end, unsigned threads)
+{
+    outboxes_.assign(motes_.size(), {});
+    bufferSends_ = true;
+    uint64_t t = start;
+    uint64_t te = windowEnd(t, end);
+    bool done = t >= end;
+    // The completion step runs on exactly one thread while everyone
+    // else waits at the barrier: flush the buffered radio sends in
+    // sender-index order (the serial delivery order), then open the
+    // next window.
+    std::barrier sync(static_cast<std::ptrdiff_t>(threads),
+                      [&]() noexcept {
+                          for (size_t i = 0; i < outboxes_.size(); ++i) {
+                              for (const Send &s : outboxes_[i])
+                                  deliverFrom(i, s.p, s.at);
+                              outboxes_[i].clear();
+                          }
+                          t = te;
+                          if (t >= end)
+                              done = true;
+                          else
+                              te = windowEnd(t, end);
+                      });
+    auto worker = [&](unsigned tid) {
+        // Fixed stride partition: each mote belongs to one thread for
+        // the whole run, so no mote is ever touched by two threads.
+        while (!done) {
+            uint64_t wEnd = te;
+            for (size_t i = tid; i < motes_.size(); i += threads)
+                motes_[i]->runUntilCycle(wEnd);
+            sync.arrive_and_wait();
+        }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(threads - 1);
+    for (unsigned tid = 1; tid < threads; ++tid)
+        pool.emplace_back(worker, tid);
+    worker(0);
+    for (auto &th : pool)
+        th.join();
+    bufferSends_ = false;
 }
 
 void
@@ -477,16 +1002,17 @@ Network::run(uint64_t cycles)
             m->boot();
         booted_ = true;
     }
-    uint64_t start = motes_.empty() ? 0 : motes_[0]->cycles();
+    if (motes_.empty())
+        return;
+    uint64_t start = motes_[0]->cycles();
     uint64_t end = start + cycles;
-    for (uint64_t t = start; t < end; t += kQuantum) {
-        // Clamp the final quantum so a request that is not a multiple
-        // of kQuantum never runs past `end` (it would inflate every
-        // duty-cycle measurement).
-        uint64_t stepEnd = std::min(t + kQuantum, end);
-        for (auto &m : motes_)
-            m->runUntilCycle(stepEnd);
-    }
+    unsigned threads = opts_.threads;
+    if (threads > motes_.size())
+        threads = static_cast<unsigned>(motes_.size());
+    if (threads > 1 && opts_.lookahead)
+        runParallel(start, end, threads);
+    else
+        runSerial(start, end);
 }
 
 } // namespace stos::sim

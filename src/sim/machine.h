@@ -5,6 +5,22 @@
  * dispatches device interrupts between instructions, fast-forwards
  * time across SLEEP, and accounts the duty cycle (awake / total
  * cycles) that the paper's Figure 3(c) reports.
+ *
+ * Two interpreter cores share one device model and one observable
+ * behaviour:
+ *
+ *  - ExecMode::Legacy is the original reference interpreter: it
+ *    re-derives static facts (cycle cost, width masks, call targets,
+ *    data addresses) on every executed instruction and polls the
+ *    device hub between every step.
+ *  - ExecMode::Predecoded executes a sim::DecodedProgram (built once
+ *    per image, shareable across motes and threads) in an
+ *    event-horizon loop: the device hub is consulted once per horizon
+ *    — min(target, next device event) — and a tight instruction loop
+ *    runs untouched until the horizon, an I/O access, or a wakeup.
+ *
+ * The equivalence suite holds the two cores identical on every
+ * counter (cycles, awake cycles, instructions, flid, uart log).
  */
 #ifndef STOS_SIM_MACHINE_H
 #define STOS_SIM_MACHINE_H
@@ -16,13 +32,24 @@
 #include <vector>
 
 #include "backend/minstr.h"
+#include "sim/decoded.h"
 #include "sim/devices.h"
 
 namespace stos::sim {
 
+/** Which interpreter core executes the firmware. */
+enum class ExecMode {
+    Legacy,      ///< reference core: per-step re-derivation + hub polls
+    Predecoded,  ///< DecodedProgram + event-horizon scheduling
+};
+
 class Machine {
   public:
-    Machine(const backend::MProgram &prog, uint8_t nodeId = 1);
+    explicit Machine(const backend::MProgram &prog, uint8_t nodeId = 1,
+                     ExecMode mode = ExecMode::Predecoded);
+    /** Execute a shared immutable predecode (no per-mote decode). */
+    explicit Machine(std::shared_ptr<const DecodedProgram> prog,
+                     uint8_t nodeId = 1);
 
     /** Start executing at the entry point (call before runUntil). */
     void boot();
@@ -30,9 +57,13 @@ class Machine {
     /** Run until the local cycle counter reaches `cycle`. */
     void runUntilCycle(uint64_t cycle);
 
+    ExecMode mode() const { return mode_; }
+
     bool halted() const { return halted_; }
     /** Stuck in a failure-handler self loop. */
     bool wedged() const { return wedged_; }
+    /** In low-power mode awaiting the next device event. */
+    bool sleeping() const { return sleeping_; }
     uint32_t failedFlid() const { return failedFlid_; }
 
     uint64_t cycles() const { return cycles_; }
@@ -57,13 +88,16 @@ class Machine {
   private:
     struct Frame {
         uint32_t funcIdx = 0;
-        uint32_t block = 0;
-        size_t ip = 0;
+        uint32_t block = 0;            ///< legacy core: block index
+        size_t ip = 0;                 ///< legacy: in-block; predecoded: flat
+        const DFunc *df = nullptr;     ///< predecoded core
         uint32_t fp = 0;
         std::vector<uint64_t> regs;
         bool fromIrq = false;
     };
 
+    void runLegacy(uint64_t target);
+    void runPredecoded(uint64_t target);
     void step();
     void dispatchIrqs();
     void enterFunction(uint32_t funcIdx, bool fromIrq);
@@ -73,10 +107,18 @@ class Machine {
     bool evalCond(backend::MCond c, uint64_t a, uint64_t b,
                   uint8_t w) const;
 
+    bool irqPending() const { return irqHead_ != pendingIrqs_.size(); }
+    void drainDeviceEvents();
+
+    ExecMode mode_;
+    std::shared_ptr<const DecodedProgram> decoded_;  ///< null in legacy
     const backend::MProgram &prog_;
     DeviceHub dev_;
-    std::map<uint32_t, uint32_t> funcByModuleId_;
-    std::map<std::string, const backend::MProgram::DataItem *> dataByName_;
+    std::map<uint32_t, uint32_t> funcByModuleId_;         ///< legacy only
+    std::map<std::string, const backend::MProgram::DataItem *>
+        dataByName_;                                      ///< legacy only
+    const int *vectors_ = nullptr;  ///< cached interrupt vector table
+    size_t numVectors_ = 0;
 
     std::vector<uint8_t> mem_;
     uint32_t sp_;
@@ -84,7 +126,11 @@ class Machine {
     std::vector<uint64_t> argBuf_;
     std::vector<uint64_t> retBuf_;
     bool iflag_ = true;
+    /** Pending interrupt queue: vector + read index (O(1) pop). */
     std::vector<int> pendingIrqs_;
+    size_t irqHead_ = 0;
+    /** Reusable scratch for DeviceHub::advanceTo (no per-step alloc). */
+    std::vector<int> irqScratch_;
     uint64_t cycles_ = 0;
     uint64_t sleepCycles_ = 0;
     uint64_t instrs_ = 0;
@@ -95,15 +141,42 @@ class Machine {
     uint32_t failFnIdx_ = ~0u;
 };
 
-/** A network of motes sharing a radio medium, stepped in lockstep. */
+/** Scheduling options for a mote network. */
+struct NetworkOptions {
+    /** Interpreter core for motes added via the MProgram overload. */
+    ExecMode mode = ExecMode::Predecoded;
+    /**
+     * Conservative-lookahead windows: sync every
+     * min(kAirLatency, next pending radio delivery) cycles instead of
+     * the fixed legacy kQuantum. Radio propagation takes kAirLatency
+     * cycles, so no mote can observe another inside a window and any
+     * window size <= kAirLatency yields identical behaviour.
+     */
+    bool lookahead = true;
+    /**
+     * Step the motes of each window in parallel on this many threads
+     * (1 = serial). Requires lookahead; radio sends are buffered
+     * per-sender during a window and flushed at the window barrier in
+     * sender order, which is exactly the serial delivery order.
+     */
+    unsigned threads = 1;
+};
+
+/** A network of motes sharing a radio medium, stepped in windows. */
 class Network {
   public:
     static constexpr uint64_t kAirLatency = 500;  ///< propagation cycles
-    /** Lockstep scheduling quantum in cycles. */
+    /** Legacy lockstep scheduling quantum in cycles. */
     static constexpr uint64_t kQuantum = 256;
+
+    Network() = default;
+    explicit Network(NetworkOptions opts) : opts_(opts) {}
 
     /** Add a mote running `prog` with the given node id. */
     Machine &addMote(const backend::MProgram &prog, uint8_t nodeId);
+    /** Add a mote executing a shared predecoded image. */
+    Machine &addMote(std::shared_ptr<const DecodedProgram> prog,
+                     uint8_t nodeId);
 
     /** Boot every mote and run the whole network for `cycles`. */
     void run(uint64_t cycles);
@@ -112,7 +185,22 @@ class Network {
     size_t size() const { return motes_.size(); }
 
   private:
+    struct Send {
+        Packet p;
+        uint64_t at;
+    };
+
+    Machine &attachMote(std::unique_ptr<Machine> m);
+    void deliverFrom(size_t senderIdx, const Packet &p, uint64_t at);
+    uint64_t windowEnd(uint64_t t, uint64_t end) const;
+    void runSerial(uint64_t start, uint64_t end);
+    void runParallel(uint64_t start, uint64_t end, unsigned threads);
+
+    NetworkOptions opts_;
     std::vector<std::unique_ptr<Machine>> motes_;
+    /** Per-sender buffers for window-parallel radio delivery. */
+    std::vector<std::vector<Send>> outboxes_;
+    bool bufferSends_ = false;
     bool booted_ = false;
 };
 

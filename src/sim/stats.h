@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Observable-state snapshot of one simulated mote: every counter the
+ * interpreter-core equivalence contract covers, in one place. The
+ * equivalence suite and the sim_speed benchmark both compare these,
+ * so adding a new observable (a future device statistic, say) to the
+ * contract means extending this struct — every gate tightens in
+ * lockstep. SimDriver::recordsEquivalent compares the SimOutcome
+ * subset of the same fields at the report level.
+ */
+#ifndef STOS_SIM_STATS_H
+#define STOS_SIM_STATS_H
+
+#include <cstdint>
+#include <string>
+
+#include "sim/machine.h"
+
+namespace stos::sim {
+
+struct MoteSnapshot {
+    uint64_t cycles = 0, awakeCycles = 0, instructions = 0;
+    bool halted = false, wedged = false;
+    uint32_t failedFlid = 0;
+    std::string uartLog;
+    uint32_t ledWrites = 0, packetsSent = 0, packetsReceived = 0;
+    uint32_t adcConversions = 0;
+
+    bool
+    operator==(const MoteSnapshot &o) const
+    {
+        return cycles == o.cycles && awakeCycles == o.awakeCycles &&
+               instructions == o.instructions &&
+               halted == o.halted && wedged == o.wedged &&
+               failedFlid == o.failedFlid && uartLog == o.uartLog &&
+               ledWrites == o.ledWrites &&
+               packetsSent == o.packetsSent &&
+               packetsReceived == o.packetsReceived &&
+               adcConversions == o.adcConversions;
+    }
+};
+
+inline MoteSnapshot
+snapshotOf(const Machine &m)
+{
+    return {m.cycles(),
+            m.awakeCycles(),
+            m.instructionsExecuted(),
+            m.halted(),
+            m.wedged(),
+            m.failedFlid(),
+            m.devices().uartLog(),
+            m.devices().ledWrites(),
+            m.devices().packetsSent(),
+            m.devices().packetsReceived(),
+            m.devices().adcConversions()};
+}
+
+} // namespace stos::sim
+
+#endif

@@ -7,6 +7,7 @@
 #ifndef STOS_SUPPORT_UTIL_H
 #define STOS_SUPPORT_UTIL_H
 
+#include <chrono>
 #include <cstdarg>
 #include <cstdint>
 #include <stdexcept>
@@ -45,6 +46,15 @@ inline uint32_t
 alignUp(uint32_t v, uint32_t align)
 {
     return (v + align - 1) & ~(align - 1);
+}
+
+/** Wall milliseconds elapsed since `start` (steady clock). */
+inline double
+millisSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
 }
 
 } // namespace stos

@@ -12,6 +12,7 @@
 #include <thread>
 
 #include "core/simdriver.h"
+#include "support/util.h"
 
 namespace stos {
 namespace {
@@ -240,6 +241,147 @@ TEST(SimDriver, OutcomeFieldsAreConsistent)
                     1e-12);
         EXPECT_FALSE(r.outcome.wedged) << r.app << "/" << r.config;
     }
+}
+
+TEST(CompanionCache, PersistsAcrossDriverRuns)
+{
+    // The serial equivalence gates re-run the same matrix; with a
+    // caller-owned cache the second run must not rebuild a single
+    // companion (ROADMAP follow-on).
+    BuildReport builds = smallBuilds();
+    CompanionCache cache;
+    SimOptions opts;
+    opts.seconds = kSimSeconds;
+    SimDriver driver(opts);
+
+    SimReport first = driver.run(builds, cache);
+    EXPECT_EQ(first.companionBuilds, 3u);
+    SimReport second = driver.run(builds, cache);
+    EXPECT_EQ(second.companionBuilds, 0u)
+        << "persistent cache must serve every companion";
+    EXPECT_EQ(second.companionReuses, 6u);
+
+    std::string why;
+    EXPECT_TRUE(SimDriver::reportsEquivalent(first, second, &why))
+        << why;
+}
+
+TEST(CompanionCache, DecodedImageSharesTheCompiledFirmware)
+{
+    CompanionCache cache;
+    auto image = cache.get("CntToLedsAndRfm", "Mica2");
+    auto decoded = cache.getDecoded("CntToLedsAndRfm", "Mica2");
+    ASSERT_NE(decoded, nullptr);
+    EXPECT_EQ(&decoded->program(), image.get())
+        << "the decode must wrap the cached image, not a copy";
+    EXPECT_EQ(cache.builds(), 1u);
+    // Decode requests hit the same memo entry.
+    EXPECT_EQ(cache.getDecoded("CntToLedsAndRfm", "Mica2").get(),
+              decoded.get());
+}
+
+TEST(SimDriver, LegacyModeMatchesPredecodedCellForCell)
+{
+    // The acceptance gate of the predecoded core at the driver level:
+    // the legacy reference interpreter and the predecoded
+    // event-horizon core must agree on every cell, uart log included.
+    BuildReport builds = smallBuilds();
+
+    SimOptions legacyOpts;
+    legacyOpts.jobs = 1;
+    legacyOpts.seconds = kSimSeconds;
+    legacyOpts.mode = sim::ExecMode::Legacy;
+    SimReport legacy = SimDriver(legacyOpts).run(builds);
+
+    SimOptions preOpts;
+    preOpts.jobs = 2;
+    preOpts.seconds = kSimSeconds;
+    SimReport pre = SimDriver(preOpts).run(builds);
+
+    std::string why;
+    EXPECT_TRUE(SimDriver::reportsEquivalent(legacy, pre, &why)) << why;
+}
+
+TEST(SimDriver, LookaheadParallelNetworksMatchSerial)
+{
+    // Multi-mote networks stepped in parallel inside each lookahead
+    // window must be indistinguishable from serial stepping.
+    BuildReport builds = smallBuilds();
+
+    SimOptions serialOpts;
+    serialOpts.seconds = kSimSeconds;
+    SimReport serial = SimDriver(serialOpts).run(builds);
+
+    SimOptions parOpts;
+    parOpts.seconds = kSimSeconds;
+    parOpts.netThreads = 3;
+    SimReport parallel = SimDriver(parOpts).run(builds);
+
+    std::string why;
+    EXPECT_TRUE(SimDriver::reportsEquivalent(serial, parallel, &why))
+        << why;
+}
+
+TEST(SimReport, JoinedCsvMergesStaticAndDynamicColumns)
+{
+    BuildReport builds = smallBuilds();
+    SimOptions opts;
+    opts.seconds = kSimSeconds;
+    SimReport rep = SimDriver(opts).run(builds);
+
+    std::ostringstream os;
+    rep.joinCsv(builds, os);
+    std::istringstream in(os.str());
+    std::string header;
+    ASSERT_TRUE(std::getline(in, header));
+    EXPECT_NE(header.find("code_bytes"), std::string::npos);
+    EXPECT_NE(header.find("duty_cycle"), std::string::npos);
+    EXPECT_NE(header.find("surviving_checks"), std::string::npos);
+    size_t rows = 0;
+    std::string line;
+    while (std::getline(in, line))
+        ++rows;
+    EXPECT_EQ(rows, rep.records.size());
+    EXPECT_NE(os.str().find("\"safe, FLIDs\""), std::string::npos);
+}
+
+TEST(SimReport, JoinedJsonRoundTripsStructure)
+{
+    BuildReport builds = smallBuilds();
+    SimOptions opts;
+    opts.seconds = kSimSeconds;
+    SimReport rep = SimDriver(opts).run(builds);
+
+    std::ostringstream os;
+    rep.joinJson(builds, os);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"kind\": \"joined_report\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"code_bytes\":"), std::string::npos);
+    EXPECT_NE(json.find("\"duty_cycle\":"), std::string::npos);
+    size_t open = 0, close = 0;
+    for (char c : json) {
+        open += c == '{';
+        close += c == '}';
+    }
+    EXPECT_EQ(open, close);
+}
+
+TEST(SimReport, JoinRejectsAMismatchedBuildReport)
+{
+    BuildReport builds = smallBuilds();
+    SimOptions opts;
+    opts.seconds = kSimSeconds;
+    SimReport rep = SimDriver(opts).run(builds);
+
+    BuildDriver d;
+    d.addApp(appByName("BlinkTask"));
+    d.addConfig(ConfigId::Baseline);
+    BuildReport other = d.run();
+
+    std::ostringstream os;
+    EXPECT_THROW(rep.joinCsv(other, os), FatalError);
+    EXPECT_THROW(rep.joinJson(other, os), FatalError);
 }
 
 TEST(SimReport, CsvHasHeaderOneRowPerCellAndQuotedLabels)
