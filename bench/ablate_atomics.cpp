@@ -4,12 +4,13 @@
  * atomic-section elimination, removal of atomics in interrupt-only
  * code, and skipping the IRQ-bit save for non-nested sections. Also
  * reports the racy-variable counts the detector feeds to the locking
- * pass (the list the nesC compiler used to provide). Both columns of
- * the ablation are compiled in one BuildDriver batch and executed on
- * the cycle simulator through the SimDriver, so the ablation's
- * dynamic cost (duty-cycle delta) rides along with the static one.
- * `--serial` gates sim equivalence; `--csv`/`--json` emit the
- * SimReport.
+ * pass (the list the nesC compiler used to provide). Both columns run
+ * as one Experiment — built through the stage graph (they share
+ * everything up to the opt stage) and executed on the cycle simulator
+ * so the ablation's dynamic cost (duty-cycle delta) rides along with
+ * the static one. `--serial` gates equivalence against the cold
+ * serial legacy reference; `--csv`/`--json`/`--joined-*` emit
+ * reports.
  */
 #include "bench_util.h"
 
@@ -20,50 +21,40 @@ using namespace stos::bench;
 int
 main(int argc, char **argv)
 {
-    BenchFlags flags = BenchFlags::parse(argc, argv);
-    double seconds = simSeconds(0.5);
-    DriverOptions buildOpts;
-    buildOpts.jobs = flags.jobs;
-    BuildDriver d(buildOpts);
-    d.addAllApps();
-    d.addConfig(ConfigId::SafeFlidInlineCxprop);
-    d.addCustom("no-atomic-opt", [](const std::string &platform) {
+    BenchCli cli = BenchCli::parse(argc, argv, 0.5);
+    Experiment exp(cli.options());
+    exp.addAllApps();
+    exp.addConfig(ConfigId::SafeFlidInlineCxprop);
+    exp.addCustom("no-atomic-opt", [](const std::string &platform) {
         PipelineConfig cfg =
             configFor(ConfigId::SafeFlidInlineCxprop, platform);
         cfg.cxprop.optimizeAtomics = false;
         return cfg;
     });
-    BuildReport rep = d.run();
-    if (!rep.allOk())
-        return reportFailures(rep);
 
     printHeader("§2.2 ablation: atomic-section optimization and races");
-    printf("[%s]\n", rep.summary().c_str());
-
-    SimReport sims;
-    if (int rc = runSims(rep, seconds, flags, sims))
+    ExperimentReport rep;
+    if (int rc = cli.run(exp, rep))
         return rc;
 
     printf("%-28s %6s %8s %8s %9s %8s %8s\n", "application", "racy",
            "locks", "removed", "downgrade", "code-d", "duty-d");
-    for (size_t a = 0; a < rep.numApps; ++a) {
-        const BuildResult &rw = rep.at(a, 0).result;
-        const BuildResult &ro = rep.at(a, 1).result;
+    for (size_t a = 0; a < rep.builds.numApps; ++a) {
+        const BuildResult &rw = *rep.builds.at(a, 0).result;
+        const BuildResult &ro = *rep.builds.at(a, 1).result;
         printf("%-28s %6u %8u %8u %9u %7.1f%% %7.1f%%\n",
-               appLabel(rep.at(a, 0)).c_str(),
+               appLabel(rep.builds.at(a, 0)).c_str(),
                rw.safetyReport.racyGlobals,
                rw.safetyReport.locksInserted,
                rw.cxpropReport.atomicsRemoved,
                rw.cxpropReport.atomicSavesDowngraded,
                pctChange(rw.codeBytes, ro.codeBytes),
-               pctChange(sims.at(a, 0).outcome.dutyCycle,
-                         sims.at(a, 1).outcome.dutyCycle));
+               pctChange(rep.sims.at(a, 0).outcome.dutyCycle,
+                         rep.sims.at(a, 1).outcome.dutyCycle));
     }
     printf("\nShape to check: apps with interrupt-shared state report\n"
            "racy variables; the optimizer removes nested/handler\n"
            "atomics and downgrades saves, shrinking code slightly and\n"
            "never increasing the duty cycle.\n");
-    if (int rc = writeReports(sims, flags))
-        return rc;
-    return writeJoined(rep, sims, flags);
+    return 0;
 }

@@ -3,11 +3,12 @@
  * §2.1 DCE ablation: the strong whole-program DCE (+ copy
  * propagation) in cXprop versus relying on the backend's weak DCE
  * only. The paper credits the stronger pass with a 3-5% code-size
- * improvement. Both columns are compiled in one BuildDriver batch and
- * executed on the cycle simulator through the SimDriver so the
- * runtime effect of the dead code (duty-cycle delta) is measured too.
- * `--serial` gates sim equivalence; `--csv`/`--json` emit the
- * SimReport.
+ * improvement. Both columns run as one Experiment — they share the
+ * frontend and safety stages in the StageCache — and are executed on
+ * the cycle simulator so the runtime effect of the dead code
+ * (duty-cycle delta) is measured too. `--serial` gates equivalence
+ * against the cold serial legacy reference; `--csv`/`--json`/
+ * `--joined-*` emit reports.
  */
 #include "bench_util.h"
 
@@ -18,48 +19,38 @@ using namespace stos::bench;
 int
 main(int argc, char **argv)
 {
-    BenchFlags flags = BenchFlags::parse(argc, argv);
-    double seconds = simSeconds(0.5);
-    DriverOptions buildOpts;
-    buildOpts.jobs = flags.jobs;
-    BuildDriver d(buildOpts);
-    d.addAllApps();
-    d.addConfig(ConfigId::SafeFlidInlineCxprop);
-    d.addCustom("weak-dce", [](const std::string &platform) {
+    BenchCli cli = BenchCli::parse(argc, argv, 0.5);
+    Experiment exp(cli.options());
+    exp.addAllApps();
+    exp.addConfig(ConfigId::SafeFlidInlineCxprop);
+    exp.addCustom("weak-dce", [](const std::string &platform) {
         PipelineConfig cfg =
             configFor(ConfigId::SafeFlidInlineCxprop, platform);
         cfg.cxprop.strongDce = false;
         cfg.cxprop.copyProp = false;
         return cfg;
     });
-    BuildReport rep = d.run();
-    if (!rep.allOk())
-        return reportFailures(rep);
 
     printHeader("§2.1 ablation: strong (cXprop) vs weak (GCC) DCE");
-    printf("[%s]\n", rep.summary().c_str());
-
-    SimReport sims;
-    if (int rc = runSims(rep, seconds, flags, sims))
+    ExperimentReport rep;
+    if (int rc = cli.run(exp, rep))
         return rc;
 
     printf("%-28s %10s %10s %8s %8s\n", "application", "strong(B)",
            "weak(B)", "delta", "duty-d");
     double totalStrong = 0, totalWeak = 0;
-    for (size_t a = 0; a < rep.numApps; ++a) {
-        const BuildResult &rs = rep.at(a, 0).result;
-        const BuildResult &rw = rep.at(a, 1).result;
+    for (size_t a = 0; a < rep.builds.numApps; ++a) {
+        const BuildResult &rs = *rep.builds.at(a, 0).result;
+        const BuildResult &rw = *rep.builds.at(a, 1).result;
         totalStrong += rs.codeBytes;
         totalWeak += rw.codeBytes;
         printf("%-28s %10u %10u %7.1f%% %7.1f%%\n",
-               appLabel(rep.at(a, 0)).c_str(), rs.codeBytes,
+               appLabel(rep.builds.at(a, 0)).c_str(), rs.codeBytes,
                rw.codeBytes, pctChange(rs.codeBytes, rw.codeBytes),
-               pctChange(sims.at(a, 0).outcome.dutyCycle,
-                         sims.at(a, 1).outcome.dutyCycle));
+               pctChange(rep.sims.at(a, 0).outcome.dutyCycle,
+                         rep.sims.at(a, 1).outcome.dutyCycle));
     }
     printf("\nAggregate: strong DCE is %.1f%% smaller (paper: 3-5%%).\n",
            -pctChange(totalStrong, totalWeak));
-    if (int rc = writeReports(sims, flags))
-        return rc;
-    return writeJoined(rep, sims, flags);
+    return 0;
 }

@@ -4,7 +4,9 @@
  * paper builds on): how much check elimination each abstract-domain
  * configuration achieves — constants only, constants+intervals, and
  * the full product with known-bits. The four columns (insertion
- * reference + three domain configs) build as one BuildDriver batch.
+ * reference + three domain configs) run as one build-only Experiment;
+ * the three domain columns share the safety stage in the StageCache
+ * (they only diverge at the opt stage).
  */
 #include "bench_util.h"
 
@@ -13,13 +15,14 @@ using namespace stos::core;
 using namespace stos::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    BuildDriver d;
-    d.addAllApps();
+    BenchCli cli = BenchCli::parse(argc, argv);
+    Experiment exp(cli.options(/*simulate=*/false));
+    exp.addAllApps();
     // Column 0: unoptimized CCured — its safety report carries the
     // inserted-check reference count.
-    d.addStrategy(CheckStrategy::GccOnly);
+    exp.addStrategy(CheckStrategy::GccOnly);
     struct Dc {
         const char *label;
         bool intervals;
@@ -28,7 +31,7 @@ main()
     for (Dc dc : {Dc{"const-only", false, false},
                   Dc{"+interval", true, false},
                   Dc{"+bits", true, true}}) {
-        d.addCustom(dc.label, [dc](const std::string &platform) {
+        exp.addCustom(dc.label, [dc](const std::string &platform) {
             PipelineConfig cfg = configForStrategy(
                 CheckStrategy::CcuredOptInlineCxprop, platform);
             cfg.cxprop.domains.intervals = dc.intervals;
@@ -36,20 +39,21 @@ main()
             return cfg;
         });
     }
-    BuildReport rep = d.run();
-    if (!rep.allOk())
-        return reportFailures(rep);
 
     printHeader("cXprop domain ablation: checks removed per domain");
-    printf("[%s]\n", rep.summary().c_str());
+    ExperimentReport rep;
+    if (int rc = cli.run(exp, rep))
+        return rc;
+
+    const BuildReport &b = rep.builds;
     printf("%-28s %9s | %10s %10s %10s\n", "application", "inserted",
            "const", "+interval", "+bits");
-    for (size_t a = 0; a < rep.numApps; ++a) {
+    for (size_t a = 0; a < b.numApps; ++a) {
         uint32_t inserted =
-            rep.at(a, 0).result.safetyReport.checksInserted;
-        printf("%-28s %9u |", appLabel(rep.at(a, 0)).c_str(), inserted);
-        for (size_t c = 1; c < rep.numConfigs; ++c) {
-            uint32_t survive = rep.at(a, c).result.survivingChecks;
+            b.at(a, 0).result->safetyReport.checksInserted;
+        printf("%-28s %9u |", appLabel(b.at(a, 0)).c_str(), inserted);
+        for (size_t c = 1; c < b.numConfigs; ++c) {
+            uint32_t survive = b.at(a, c).result->survivingChecks;
             double removed =
                 inserted ? 100.0 * (inserted - survive) / inserted : 0.0;
             printf("   %7.1f%%", removed);

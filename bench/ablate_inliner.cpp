@@ -4,7 +4,9 @@
  * ("source-to-source inliner in CIL") versus letting the backend
  * ("GCC") inline exactly the same functions too late for cXprop to
  * exploit. The paper reports roughly 5% smaller executables for
- * early inlining. Both columns build as one BuildDriver batch.
+ * early inlining. Both columns run as one build-only Experiment; the
+ * late-inline column shares the early column's safety stage in the
+ * StageCache.
  */
 #include "bench_util.h"
 
@@ -13,33 +15,35 @@ using namespace stos::core;
 using namespace stos::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    BuildDriver d;
-    d.addAllApps();
-    d.addConfig(ConfigId::SafeFlidInlineCxprop);
-    d.addCustom("late-inline", [](const std::string &platform) {
+    BenchCli cli = BenchCli::parse(argc, argv);
+    Experiment exp(cli.options(/*simulate=*/false));
+    exp.addAllApps();
+    exp.addConfig(ConfigId::SafeFlidInlineCxprop);
+    exp.addCustom("late-inline", [](const std::string &platform) {
         PipelineConfig cfg =
             configFor(ConfigId::SafeFlidCxprop, platform);
         cfg.backend.gcc.lateInline = true;
         return cfg;
     });
-    BuildReport rep = d.run();
-    if (!rep.allOk())
-        return reportFailures(rep);
 
     printHeader("§2.1 ablation: early (CIL) vs late (GCC) inlining");
-    printf("[%s]\n", rep.summary().c_str());
+    ExperimentReport rep;
+    if (int rc = cli.run(exp, rep))
+        return rc;
+
+    const BuildReport &b = rep.builds;
     printf("%-28s %10s %10s %8s\n", "application", "early(B)", "late(B)",
            "delta");
     double totalEarly = 0, totalLate = 0;
-    for (size_t a = 0; a < rep.numApps; ++a) {
-        const BuildResult &re = rep.at(a, 0).result;
-        const BuildResult &rl = rep.at(a, 1).result;
+    for (size_t a = 0; a < b.numApps; ++a) {
+        const BuildResult &re = *b.at(a, 0).result;
+        const BuildResult &rl = *b.at(a, 1).result;
         totalEarly += re.codeBytes;
         totalLate += rl.codeBytes;
         printf("%-28s %10u %10u %7.1f%%\n",
-               appLabel(rep.at(a, 0)).c_str(), re.codeBytes,
+               appLabel(b.at(a, 0)).c_str(), re.codeBytes,
                rl.codeBytes, pctChange(re.codeBytes, rl.codeBytes));
     }
     printf("\nAggregate: early inlining is %.1f%% smaller than late\n"

@@ -1,8 +1,11 @@
 /**
  * @file
  * Shared helpers for the figure-reproduction benchmark binaries:
- * percentage formatting and consistent table layout matching the
- * paper's presentation (baseline = unsafe unoptimized build).
+ * percentage formatting, consistent table layout matching the paper's
+ * presentation (baseline = unsafe unoptimized build), and BenchCli —
+ * the one place every bench parses its command line, runs its
+ * Experiment, applies the --serial equivalence gate, and emits the
+ * requested reports.
  */
 #ifndef STOS_BENCH_BENCH_UTIL_H
 #define STOS_BENCH_BENCH_UTIL_H
@@ -14,9 +17,7 @@
 #include <string>
 #include <vector>
 
-#include "core/driver.h"
-#include "core/pipeline.h"
-#include "core/simdriver.h"
+#include "core/experiment.h"
 
 namespace stos::bench {
 
@@ -42,67 +43,90 @@ appLabel(const tinyos::AppInfo &app)
     return app.name + "_" + app.platform;
 }
 
+/** Build/Sim records share the app+platform identity fields. */
+template <typename Record>
 inline std::string
-appLabel(const core::BuildRecord &rec)
-{
-    return rec.app + "_" + rec.platform;
-}
-
-inline std::string
-appLabel(const core::SimRecord &rec)
+appLabel(const Record &rec)
 {
     return rec.app + "_" + rec.platform;
 }
 
 /** Print every failed cell of a driver report; returns exit status. */
+template <typename Report>
 inline int
-reportFailures(const core::BuildReport &rep)
+reportFailures(const Report &rep, const char *what = "BUILD")
 {
     for (const auto &r : rep.records) {
         if (!r.ok)
-            fprintf(stderr, "FAILED %s / %s: %s\n", r.app.c_str(),
-                    r.config.c_str(), r.error.c_str());
+            fprintf(stderr, "%s FAILED %s / %s: %s\n", what,
+                    r.app.c_str(), r.config.c_str(), r.error.c_str());
     }
     return rep.allOk() ? 0 : 1;
 }
 
-/** As above, for a simulated matrix. */
+/** Both phases of a combined report. */
 inline int
-reportFailures(const core::SimReport &rep)
+reportFailures(const core::ExperimentReport &rep)
 {
-    for (const auto &r : rep.records) {
-        if (!r.ok)
-            fprintf(stderr, "SIM FAILED %s / %s: %s\n", r.app.c_str(),
-                    r.config.c_str(), r.error.c_str());
-    }
-    return rep.allOk() ? 0 : 1;
+    int rc = reportFailures(rep.builds);
+    if (rep.simulated)
+        rc = reportFailures(rep.sims, "SIM") ? 1 : rc;
+    return rc;
 }
 
 /**
- * Command-line flags shared by the figure benchmarks:
+ * Open `path` (empty = skip), run `emit(ostream)`, flush, and report
+ * the outcome. The single emission path every report writer shares.
+ */
+template <typename Emit>
+inline int
+emitTo(const std::string &path, Emit emit)
+{
+    if (path.empty())
+        return 0;
+    std::ofstream os(path);
+    if (os)
+        emit(os);
+    os.flush();
+    if (!os) {
+        fprintf(stderr, "cannot write %s\n", path.c_str());
+        return 1;
+    }
+    printf("wrote %s\n", path.c_str());
+    return 0;
+}
+
+/**
+ * Command-line surface shared by every figure benchmark:
  *
- *   --serial      also run the serial legacy-interpreter equivalent
- *                 (1 job, fixed-quantum lockstep networks) and gate
+ *   --serial      also run the cold serial legacy reference (1 job,
+ *                 no stage memoization, per-cell companion rebuilds,
+ *                 legacy interpreter, lockstep networks) and gate
  *                 cell-for-cell equivalence against it
  *   --jobs N      worker threads (0 = hardware concurrency)
  *   --csv PATH    write the report as CSV
  *   --json PATH   write the report as JSON
- *   --joined-csv PATH   write the sim report joined with its build
- *                       report (static + dynamic columns) as CSV
+ *   --joined-csv PATH   write the joined static+dynamic table as CSV
  *   --joined-json PATH  ditto as JSON
+ *
+ * parse() resolves the simulated duration from
+ * SAFE_TINYOS_SIM_SECONDS (falling back to the bench's default), so
+ * `seconds` is authoritative for table headers.
  */
-struct BenchFlags {
+struct BenchCli {
     bool serial = false;
     unsigned jobs = 0;
     std::string csvPath;
     std::string jsonPath;
     std::string joinedCsvPath;
     std::string joinedJsonPath;
+    double seconds = 0.0;
 
-    static BenchFlags
-    parse(int argc, char **argv)
+    static BenchCli
+    parse(int argc, char **argv, double defaultSeconds = 3.0)
     {
-        BenchFlags f;
+        BenchCli f;
+        f.seconds = core::simSeconds(defaultSeconds);
         for (int i = 1; i < argc; ++i) {
             if (!std::strcmp(argv[i], "--serial")) {
                 f.serial = true;
@@ -129,108 +153,67 @@ struct BenchFlags {
         }
         return f;
     }
-};
 
-/**
- * Open `path` (empty = skip), run `emit(ostream)`, flush, and report
- * the outcome. The single emission path every report writer shares.
- */
-template <typename Emit>
-inline int
-emitTo(const std::string &path, Emit emit)
-{
-    if (path.empty())
-        return 0;
-    std::ofstream os(path);
-    if (os)
-        emit(os);
-    os.flush();
-    if (!os) {
-        fprintf(stderr, "cannot write %s\n", path.c_str());
-        return 1;
+    /** ExperimentOptions for this command line. */
+    core::ExperimentOptions
+    options(bool simulate = true) const
+    {
+        core::ExperimentOptions o;
+        o.jobs = jobs;
+        o.simulate = simulate;
+        o.seconds = seconds;
+        return o;
     }
-    printf("wrote %s\n", path.c_str());
-    return 0;
-}
 
-/** Write a Build/SimReport to the paths requested by the flags. */
-template <typename Report>
-inline int
-writeReports(const Report &rep, const BenchFlags &flags)
-{
-    if (int rc = emitTo(flags.csvPath,
-                        [&](std::ostream &os) { rep.emitCsv(os); }))
-        return rc;
-    return emitTo(flags.jsonPath,
-                  [&](std::ostream &os) { rep.emitJson(os); });
-}
-
-/**
- * Run the per-cell simulations of `builds` through the parallel
- * SimDriver (predecoded cores). With --serial, follow up with the
- * serial legacy-interpreter equivalent and return non-zero if any
- * cell diverges — the same gate pipeline_speed --matrix applies to
- * builds, now also certifying the predecoded core against the
- * reference interpreter. Both runs share one persistent
- * CompanionCache, so the gate never rebuilds companion firmware.
- * Returns 0 and fills `out` on success.
- */
-inline int
-runSims(const core::BuildReport &builds, double seconds,
-        const BenchFlags &flags, core::SimReport &out)
-{
-    core::CompanionCache cache;
-    core::SimOptions opts;
-    opts.jobs = flags.jobs;
-    opts.seconds = seconds;
-    core::SimDriver driver(opts);
-    out = driver.run(builds, cache);
-    printf("[sim: %s]\n", out.summary().c_str());
-    if (int rc = reportFailures(out))
-        return rc;
-    if (flags.serial) {
-        core::SimOptions serialOpts;
-        serialOpts.jobs = 1;
-        serialOpts.seconds = seconds;
-        serialOpts.mode = sim::ExecMode::Legacy;
-        core::SimReport serial =
-            core::SimDriver(serialOpts).run(builds, cache);
-        printf("[serial sim: %s]\n", serial.summary().c_str());
-        if (serial.companionBuilds != 0) {
+    /**
+     * Run the declared experiment, print the stage/sim summaries,
+     * report failed cells, apply the --serial cold-reference gate,
+     * and write every requested report. Returns 0 and fills `out` on
+     * success.
+     */
+    int
+    run(core::Experiment &exp, core::ExperimentReport &out) const
+    {
+        // Reject impossible flag combinations before spending minutes
+        // on the matrix (and the optional cold serial reference).
+        if ((!joinedCsvPath.empty() || !joinedJsonPath.empty()) &&
+            !exp.options().simulate) {
             fprintf(stderr,
-                    "serial gate rebuilt %zu companions despite the "
-                    "persistent cache\n",
-                    serial.companionBuilds);
-            return 1;
+                    "--joined-csv/--joined-json require a simulated "
+                    "matrix\n");
+            return 2;
         }
-        std::string why;
-        if (!core::SimDriver::reportsEquivalent(serial, out, &why)) {
-            fprintf(stderr, "SIM MISMATCH: %s\n", why.c_str());
-            return 1;
+        out = exp.run();
+        printf("[%s]\n", out.summary().c_str());
+        if (int rc = reportFailures(out))
+            return rc;
+        if (serial) {
+            std::string why;
+            if (!exp.verifySerialEquivalence(out, &why)) {
+                fprintf(stderr, "EQUIVALENCE MISMATCH: %s\n",
+                        why.c_str());
+                return 1;
+            }
+            printf("cold serial legacy reference identical "
+                   "cell-for-cell\n");
         }
-        double speedup = out.wallMillis > 0
-                             ? serial.wallMillis / out.wallMillis
-                             : 0.0;
-        printf("serial legacy and parallel predecoded simulations "
-               "identical; speedup %.2fx\n",
-               speedup);
+        if (int rc = emitTo(csvPath, [&](std::ostream &os) {
+                out.emitCsv(os);
+            }))
+            return rc;
+        if (int rc = emitTo(jsonPath, [&](std::ostream &os) {
+                out.emitJson(os);
+            }))
+            return rc;
+        if (int rc = emitTo(joinedCsvPath, [&](std::ostream &os) {
+                out.emitJoinedCsv(os);
+            }))
+            return rc;
+        return emitTo(joinedJsonPath, [&](std::ostream &os) {
+            out.emitJoinedJson(os);
+        });
     }
-    return 0;
-}
-
-/** Write the joined static+dynamic report to the requested paths. */
-inline int
-writeJoined(const core::BuildReport &builds, const core::SimReport &sims,
-            const BenchFlags &flags)
-{
-    if (int rc = emitTo(flags.joinedCsvPath, [&](std::ostream &os) {
-            sims.joinCsv(builds, os);
-        }))
-        return rc;
-    return emitTo(flags.joinedJsonPath, [&](std::ostream &os) {
-        sims.joinJson(builds, os);
-    });
-}
+};
 
 } // namespace stos::bench
 

@@ -7,8 +7,10 @@
  * dead-data elimination. The row of absolute numbers is the count of
  * checks originally inserted (paper: 22..330 across apps).
  *
- * The whole 12-app x 4-strategy matrix is compiled concurrently by
- * the BuildDriver; printing happens from the collected report.
+ * The whole 12-app x 4-strategy matrix is one build-only Experiment;
+ * the strategies share safety stages where their fingerprints agree
+ * (strategies 2-4 differ only downstream of the CCured optimizer
+ * setting).
  */
 #include "bench_util.h"
 
@@ -17,29 +19,36 @@ using namespace stos::core;
 using namespace stos::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    BuildReport rep = BuildDriver::figure2Matrix();
-    if (!rep.allOk())
-        return reportFailures(rep);
+    BenchCli cli = BenchCli::parse(argc, argv);
+    Experiment exp(cli.options(/*simulate=*/false));
+    exp.addAllApps();
+    exp.addStrategies({CheckStrategy::GccOnly, CheckStrategy::CcuredOpt,
+                       CheckStrategy::CcuredOptCxprop,
+                       CheckStrategy::CcuredOptInlineCxprop});
 
     printHeader(
         "Figure 2: checks inserted by CCured that each strategy removes");
-    printf("[%s]\n", rep.summary().c_str());
+    ExperimentReport rep;
+    if (int rc = cli.run(exp, rep))
+        return rc;
+
+    const BuildReport &b = rep.builds;
     printf("%-28s %9s | %8s %8s %8s %8s\n", "application", "inserted",
            "gcc", "ccured", "cxprop", "inl+cx");
     printf("%-28s %9s | %8s %8s %8s %8s\n", "", "", "(%)", "(%)", "(%)",
            "(%)");
     bool orderingHolds = true;
-    for (size_t a = 0; a < rep.numApps; ++a) {
+    for (size_t a = 0; a < b.numApps; ++a) {
         // Inserted = checks the unoptimized CCured emits (strategy 1's
         // safety pass with the CCured optimizer disabled).
         uint32_t inserted =
-            rep.at(a, 0).result.safetyReport.checksInserted;
-        printf("%-28s %9u |", appLabel(rep.at(a, 0)).c_str(), inserted);
+            b.at(a, 0).result->safetyReport.checksInserted;
+        printf("%-28s %9u |", appLabel(b.at(a, 0)).c_str(), inserted);
         uint32_t prevSurvivors = ~0u;
-        for (size_t c = 0; c < rep.numConfigs; ++c) {
-            uint32_t survive = rep.at(a, c).result.survivingChecks;
+        for (size_t c = 0; c < b.numConfigs; ++c) {
+            uint32_t survive = b.at(a, c).result->survivingChecks;
             double removed =
                 inserted ? 100.0 * (inserted - survive) / inserted : 0.0;
             printf(" %7.1f%%", removed);

@@ -4,7 +4,9 @@
  * bytes) of each application under the seven configurations, relative
  * to the unsafe unoptimized baseline. The absolute row reports the
  * baseline code size in bytes, like the numbers atop the paper's
- * graph. The full matrix is batch-compiled by the BuildDriver.
+ * graph. The full matrix is one build-only Experiment (stage-shared
+ * through the StageCache); the common flags (--jobs/--csv/--json/
+ * --serial) apply.
  */
 #include "bench_util.h"
 
@@ -13,25 +15,31 @@ using namespace stos::core;
 using namespace stos::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    BuildReport rep = BuildDriver::figure3Matrix();
-    if (!rep.allOk())
-        return reportFailures(rep);
+    BenchCli cli = BenchCli::parse(argc, argv);
+    Experiment exp(cli.options(/*simulate=*/false));
+    exp.addAllApps();
+    exp.addConfig(ConfigId::Baseline);
+    exp.addConfigs(figure3Configs());
 
     printHeader("Figure 3(a): change in code size vs unsafe baseline");
-    printf("[%s]\n", rep.summary().c_str());
+    ExperimentReport rep;
+    if (int rc = cli.run(exp, rep))
+        return rc;
+
+    const BuildReport &b = rep.builds;
     printf("%-28s %9s | %7s %7s %7s %7s %7s %7s %7s\n", "application",
            "baseline", "C1", "C2", "C3", "C4", "C5", "C6", "C7");
-    for (size_t a = 0; a < rep.numApps; ++a) {
-        const BuildResult &base = rep.at(a, 0).result;
-        printf("%-28s %9u |", appLabel(rep.at(a, 0)).c_str(),
+    for (size_t a = 0; a < b.numApps; ++a) {
+        const BuildResult &base = *b.at(a, 0).result;
+        printf("%-28s %9u |", appLabel(b.at(a, 0)).c_str(),
                base.codeBytes);
         // Code size = flash code; C2's ROM strings count as flash
         // too (the paper's code-size metric is flash occupancy).
         uint32_t baseCode = base.codeBytes + base.romDataBytes;
-        for (size_t c = 1; c < rep.numConfigs; ++c) {
-            const BuildResult &r = rep.at(a, c).result;
+        for (size_t c = 1; c < b.numConfigs; ++c) {
+            const BuildResult &r = *b.at(a, c).result;
             uint32_t code = r.codeBytes + r.romDataBytes;
             printf(" %6.1f%%", pctChange(code, baseCode));
         }

@@ -4,7 +4,8 @@
  * the seven configurations, relative to the unsafe baseline. The
  * paper clips this graph at +100% because naive safe builds blow RAM
  * up by thousands of percent; we print the raw number and mark
- * clipped entries. The matrix is batch-compiled by the BuildDriver.
+ * clipped entries. The matrix is one build-only Experiment
+ * (stage-shared through the StageCache).
  */
 #include "bench_util.h"
 
@@ -13,22 +14,28 @@ using namespace stos::core;
 using namespace stos::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    BuildReport rep = BuildDriver::figure3Matrix();
-    if (!rep.allOk())
-        return reportFailures(rep);
+    BenchCli cli = BenchCli::parse(argc, argv);
+    Experiment exp(cli.options(/*simulate=*/false));
+    exp.addAllApps();
+    exp.addConfig(ConfigId::Baseline);
+    exp.addConfigs(figure3Configs());
 
     printHeader("Figure 3(b): change in static data size vs baseline");
-    printf("[%s]\n", rep.summary().c_str());
+    ExperimentReport rep;
+    if (int rc = cli.run(exp, rep))
+        return rc;
+
+    const BuildReport &b = rep.builds;
     printf("%-28s %9s | %8s %8s %8s %8s %8s %8s %8s\n", "application",
            "baseline", "C1", "C2", "C3", "C4", "C5", "C6", "C7");
-    for (size_t a = 0; a < rep.numApps; ++a) {
-        const BuildResult &base = rep.at(a, 0).result;
-        printf("%-28s %9u |", appLabel(rep.at(a, 0)).c_str(),
+    for (size_t a = 0; a < b.numApps; ++a) {
+        const BuildResult &base = *b.at(a, 0).result;
+        printf("%-28s %9u |", appLabel(b.at(a, 0)).c_str(),
                base.ramBytes);
-        for (size_t c = 1; c < rep.numConfigs; ++c) {
-            const BuildResult &r = rep.at(a, c).result;
+        for (size_t c = 1; c < b.numConfigs; ++c) {
+            const BuildResult &r = *b.at(a, c).result;
             double pct = pctChange(r.ramBytes, base.ramBytes);
             if (pct > 100.0)
                 printf(" %6.0f%%*", pct);  // paper clips these at 100%

@@ -7,11 +7,13 @@
  * seconds so the whole harness stays fast — set
  * SAFE_TINYOS_SIM_SECONDS=180 to match the paper exactly.
  *
- * Firmware images are batch-compiled by the BuildDriver and the
- * network simulations batch-run by the SimDriver (companion images
- * compiled once per platform, cells fanned out across the thread
- * pool). `--serial` gates cell-for-cell equivalence against a serial
- * un-memoized run; `--csv`/`--json` emit the SimReport for plotting.
+ * The whole matrix runs as one Experiment: builds share pipeline
+ * stages through the content-keyed StageCache (one safety run per
+ * app serves C4/C5/C6; companion firmware aliases the Baseline
+ * column), and the simulations fan out over the same pool. `--serial`
+ * gates cell-for-cell equivalence against the cold serial legacy
+ * reference; `--csv`/`--json` emit the SimReport and
+ * `--joined-csv/--joined-json` the combined static+dynamic table.
  */
 #include "bench_util.h"
 
@@ -24,48 +26,36 @@ using namespace stos::bench;
 int
 main(int argc, char **argv)
 {
-    BenchFlags flags = BenchFlags::parse(argc, argv);
-    double seconds = simSeconds(3.0);
+    BenchCli cli = BenchCli::parse(argc, argv, 3.0);
     // The paper's duty graph covers Mica2 apps only; don't waste
     // builds on the TelosB rows.
-    DriverOptions buildOpts;
-    buildOpts.jobs = flags.jobs;
-    BuildDriver d(buildOpts);
-    for (const auto &app : tinyos::allApps()) {
-        if (app.platform == "Mica2")
-            d.addApp(app);
-    }
-    d.addConfig(ConfigId::Baseline);
-    d.addConfigs(figure3Configs());
-    BuildReport builds = d.run();
-    if (!builds.allOk())
-        return reportFailures(builds);
+    Experiment exp(cli.options());
+    exp.addAppsOn("Mica2");
+    exp.addConfig(ConfigId::Baseline);
+    exp.addConfigs(figure3Configs());
 
     printHeader(strfmt(
         "Figure 3(c): change in duty cycle vs baseline (%g simulated s)",
-        seconds));
-    printf("[build: %s]\n", builds.summary().c_str());
-
-    SimReport rep;
-    if (int rc = runSims(builds, seconds, flags, rep))
+        cli.seconds));
+    ExperimentReport rep;
+    if (int rc = cli.run(exp, rep))
         return rc;
 
     printf("%-28s %9s | %7s %7s %7s %7s %7s %7s %7s\n", "application",
            "base(%)", "C1", "C2", "C3", "C4", "C5", "C6", "C7");
-    for (size_t a = 0; a < rep.numApps; ++a) {
-        const SimRecord &baseRec = rep.at(a, 0);
+    for (size_t a = 0; a < rep.sims.numApps; ++a) {
+        const SimRecord &baseRec = rep.sims.at(a, 0);
         double baseDuty = baseRec.outcome.dutyCycle;
         printf("%-28s %8.2f%% |", appLabel(baseRec).c_str(),
                100.0 * baseDuty);
-        for (size_t c = 1; c < rep.numConfigs; ++c)
+        for (size_t c = 1; c < rep.sims.numConfigs; ++c)
             printf(" %6.1f%%",
-                   pctChange(rep.at(a, c).outcome.dutyCycle, baseDuty));
+                   pctChange(rep.sims.at(a, c).outcome.dutyCycle,
+                             baseDuty));
         printf("\n");
     }
     printf("\nPaper shape: safety alone slows apps by a few percent;\n"
            "cXprop alone speeds them up 3-10%%; safe+optimized (C6) is\n"
            "about as fast as the unsafe original; C7 is fastest.\n");
-    if (int rc = writeReports(rep, flags))
-        return rc;
-    return writeJoined(builds, rep, flags);
+    return 0;
 }

@@ -5,28 +5,28 @@
  *   pipeline_speed              google-benchmark microbenchmarks of
  *                               the frontend, full pipeline, driver
  *                               matrix, and simulator.
- *   pipeline_speed --matrix [J] compile the full Figure-3 matrix
- *                               serially (per-config re-parse, one
- *                               thread) and through the parallel
- *                               BuildDriver (J jobs, frontend
- *                               memoized), verify the two reports are
- *                               cell-for-cell equivalent, and report
- *                               the speedup. Exits non-zero if any
- *                               build fails or the results diverge.
+ *   pipeline_speed --matrix [J] the stage-graph gate: build the full
+ *                               Figure-3 matrix memoized+parallel,
+ *                               require stage executions == distinct
+ *                               content keys (the stage-cache win),
+ *                               then rebuild cold+serial and require
+ *                               cell-for-cell byte-identity,
+ *                               reporting the speedup.
  *
  * These are not a paper figure; they keep the whole-program approach
  * honest ("small system size means whole-program optimization is
- * feasible", §1) and gate the BuildDriver's parallel speedup.
+ * feasible", §1) and gate the stage graph's reuse and speedup.
  */
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <set>
 #include <thread>
 
-#include "core/driver.h"
-#include "core/pipeline.h"
+#include "core/experiment.h"
+#include "core/stagecache.h"
 #include "frontend/frontend.h"
 #include "sim/machine.h"
 
@@ -94,7 +94,7 @@ BENCHMARK(BM_Figure3MatrixSerial)
 void
 BM_Figure3MatrixParallel(benchmark::State &state)
 {
-    DriverOptions opts;  // jobs = hardware concurrency, memoized
+    DriverOptions opts;  // jobs = hardware concurrency, stage-cached
     for (auto _ : state) {
         BuildReport rep = BuildDriver::figure3Matrix(opts);
         benchmark::DoNotOptimize(rep.records.size());
@@ -120,55 +120,92 @@ BM_SimulatorThroughput(benchmark::State &state)
 }
 BENCHMARK(BM_SimulatorThroughput);
 
-/** --matrix mode: serial-vs-parallel equivalence + speedup gate. */
 int
 runMatrixComparison(unsigned jobs)
 {
-    printf("Figure-3 matrix, serial per-config compilation "
-           "(1 job, no frontend memoization)...\n");
-    DriverOptions serialOpts;
-    serialOpts.jobs = 1;
-    serialOpts.memoizeFrontend = false;
-    BuildReport serial = BuildDriver::figure3Matrix(serialOpts);
-    printf("  %s\n", serial.summary().c_str());
+    ExperimentOptions opts;
+    opts.jobs = jobs;  // 0 = let the pool pick
+    opts.simulate = false;
+    Experiment exp(opts);
+    exp.addAllApps();
+    exp.addConfig(ConfigId::Baseline);
+    exp.addConfigs(figure3Configs());
 
-    printf("Figure-3 matrix, parallel BuildDriver "
-           "(frontend memoized)...\n");
-    DriverOptions parOpts;
-    parOpts.jobs = jobs;  // 0 = let the driver pick
-    BuildReport parallel = BuildDriver::figure3Matrix(parOpts);
-    printf("  %s\n", parallel.summary().c_str());
-
-    int failures = 0;
-    for (const auto &r : serial.records)
-        failures += r.ok ? 0 : 1;
-    for (const auto &r : parallel.records)
-        failures += r.ok ? 0 : 1;
-    if (failures) {
-        fprintf(stderr, "%d builds failed\n", failures);
+    printf("Figure-3 matrix, parallel stage-graph build "
+           "(StageCache memoized)...\n");
+    ExperimentReport par = exp.run();
+    printf("  %s\n", par.builds.summary().c_str());
+    if (!par.allOk()) {
+        fprintf(stderr, "builds failed\n");
         return 1;
     }
-    if (serial.records.size() != parallel.records.size()) {
-        fprintf(stderr, "report sizes differ\n");
-        return 1;
-    }
-    size_t mismatches = 0;
-    for (size_t i = 0; i < serial.records.size(); ++i) {
-        std::string why;
-        if (!BuildDriver::recordsEquivalent(serial.records[i],
-                                            parallel.records[i], &why)) {
-            fprintf(stderr, "MISMATCH: %s\n", why.c_str());
-            ++mismatches;
+
+    // The stage-cache win is gated, not just printed: executions of
+    // each stage must equal the number of distinct content keys the
+    // matrix spans (C4/C5/C6 share one safety run per app,
+    // Baseline/C7 share the unsafe pass-through), never the cell
+    // count.
+    std::set<std::string> appKeys, safetyKeys, optKeys, buildKeys;
+    std::vector<ConfigId> columns{ConfigId::Baseline};
+    for (ConfigId id : figure3Configs())
+        columns.push_back(id);
+    for (const auto &app : tinyos::allApps()) {
+        appKeys.insert(StageCache::appKey(app));
+        for (ConfigId id : columns) {
+            PipelineConfig cfg = configFor(id, app.platform);
+            safetyKeys.insert(StageCache::safetyKey(app, cfg));
+            optKeys.insert(StageCache::optKey(app, cfg));
+            buildKeys.insert(StageCache::buildKey(app, cfg));
         }
     }
-    double speedup = parallel.wallMillis > 0
-                         ? serial.wallMillis / parallel.wallMillis
+    const size_t cells = par.builds.records.size();
+    printf("stage-cache win: %zu cells -> %zu parses, %zu safety "
+           "runs, %zu opt runs, %zu backend runs "
+           "(%zu post-frontend stage reuses)\n",
+           cells, par.builds.frontendParses, par.builds.safetyRuns,
+           par.builds.optRuns, par.builds.backendRuns,
+           par.builds.stageReuses());
+    if (par.builds.frontendParses != appKeys.size() ||
+        par.builds.safetyRuns != safetyKeys.size() ||
+        par.builds.optRuns != optKeys.size() ||
+        par.builds.backendRuns != buildKeys.size()) {
+        fprintf(stderr,
+                "FAIL: stage executions do not match the distinct "
+                "content keys (expected %zu/%zu/%zu/%zu)\n",
+                appKeys.size(), safetyKeys.size(), optKeys.size(),
+                buildKeys.size());
+        return 1;
+    }
+    if (par.builds.safetyRuns >= cells) {
+        fprintf(stderr,
+                "FAIL: no safety-stage sharing (%zu runs for %zu "
+                "cells)\n",
+                par.builds.safetyRuns, cells);
+        return 1;
+    }
+
+    printf("Figure-3 matrix, cold serial compilation "
+           "(1 job, no memoization)...\n");
+    ExperimentReport serial = exp.runSerialReference();
+    printf("  %s\n", serial.builds.summary().c_str());
+    if (!serial.allOk()) {
+        fprintf(stderr, "serial builds failed\n");
+        return 1;
+    }
+
+    std::string why;
+    bool identical = Experiment::reportsEquivalent(serial, par, &why);
+    if (!identical)
+        fprintf(stderr, "MISMATCH: %s\n", why.c_str());
+    double speedup = par.builds.wallMillis > 0
+                         ? serial.builds.wallMillis /
+                               par.builds.wallMillis
                          : 0.0;
     printf("\nresults identical: %s   speedup: %.2fx "
            "(%u hardware threads)\n",
-           mismatches ? "NO" : "YES", speedup,
+           identical ? "YES" : "NO", speedup,
            std::thread::hardware_concurrency());
-    return mismatches ? 1 : 0;
+    return identical ? 0 : 1;
 }
 
 } // namespace

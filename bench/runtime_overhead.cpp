@@ -8,12 +8,12 @@
  * runtime with FLIDs collapses to a couple of RAM bytes (the last
  * failure id) and a few hundred bytes of handler code.
  *
- * The three runtime variants are built as one BuildDriver matrix
- * over a custom single-app row, then executed on the cycle simulator
- * through the SimDriver so the runtime's dynamic cost (duty cycle,
+ * The three runtime variants run as one Experiment over a custom
+ * single-app row: built through the stage graph, then executed on the
+ * cycle simulator so the runtime's dynamic cost (duty cycle,
  * instructions retired) rides along with the static footprint.
- * `--serial` gates sim equivalence; `--csv`/`--json` emit the
- * SimReport.
+ * `--serial` gates equivalence against the cold serial legacy
+ * reference; `--csv`/`--json`/`--joined-*` emit reports.
  */
 #include "bench_util.h"
 
@@ -40,28 +40,25 @@ void main() {
 int
 main(int argc, char **argv)
 {
-    BenchFlags flags = BenchFlags::parse(argc, argv);
-    double seconds = simSeconds(1.0);
-    DriverOptions buildOpts;
-    buildOpts.jobs = flags.jobs;
-    BuildDriver d(buildOpts);
-    d.addApp({"minimal", "Mica2", kMinimalApp, {}});
-    d.addConfig(ConfigId::Baseline);
-    d.addCustom("naive runtime", [](const std::string &platform) {
+    BenchCli cli = BenchCli::parse(argc, argv, 1.0);
+    Experiment exp(cli.options());
+    exp.addApp({"minimal", "Mica2", kMinimalApp, {}});
+    exp.addConfig(ConfigId::Baseline);
+    exp.addCustom("naive runtime", [](const std::string &platform) {
         PipelineConfig cfg = configFor(ConfigId::SafeVerboseRam, platform);
         cfg.safety.naiveRuntime = true;
         return cfg;
     });
-    d.addConfig(ConfigId::SafeFlidInlineCxprop);
-    BuildReport rep = d.run();
-    if (!rep.allOk())
-        return reportFailures(rep);
+    exp.addConfig(ConfigId::SafeFlidInlineCxprop);
 
     printHeader("§2.3: CCured runtime footprint on a minimal application");
+    ExperimentReport rep;
+    if (int rc = cli.run(exp, rep))
+        return rc;
 
-    const BuildResult &plain = rep.at(0, 0).result;
-    const BuildResult &big = rep.at(0, 1).result;
-    const BuildResult &small = rep.at(0, 2).result;
+    const BuildResult &plain = *rep.builds.at(0, 0).result;
+    const BuildResult &big = *rep.builds.at(0, 1).result;
+    const BuildResult &small = *rep.builds.at(0, 2).result;
 
     uint32_t naiveRam = big.ramBytes - plain.ramBytes;
     uint32_t naiveRom = (big.codeBytes + big.romDataBytes) -
@@ -90,19 +87,14 @@ main(int argc, char **argv)
            trimRom ? static_cast<double>(naiveRom) / trimRom
                    : static_cast<double>(naiveRom));
 
-    SimReport sims;
-    if (int rc = runSims(rep, seconds, flags, sims))
-        return rc;
-    printf("\nSimulated execution (%g s):\n", seconds);
+    printf("\nSimulated execution (%g s):\n", cli.seconds);
     printf("%-34s %10s %14s\n", "runtime variant", "duty (%)",
            "instructions");
-    for (size_t c = 0; c < sims.numConfigs; ++c) {
-        const SimRecord &r = sims.at(0, c);
+    for (size_t c = 0; c < rep.sims.numConfigs; ++c) {
+        const SimRecord &r = rep.sims.at(0, c);
         printf("%-34s %9.3f%% %14llu\n", r.config.c_str(),
                100.0 * r.outcome.dutyCycle,
                static_cast<unsigned long long>(r.outcome.instructions));
     }
-    if (int rc = writeReports(sims, flags))
-        return rc;
-    return writeJoined(rep, sims, flags);
+    return 0;
 }

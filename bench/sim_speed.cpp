@@ -103,9 +103,9 @@ perSec(uint64_t instrs, double ms)
 int
 main(int argc, char **argv)
 {
-    BenchFlags flags = BenchFlags::parse(argc, argv);
-    if (flags.serial || !flags.joinedCsvPath.empty() ||
-        !flags.joinedJsonPath.empty()) {
+    BenchCli cli = BenchCli::parse(argc, argv, 3.0);
+    if (cli.serial || !cli.joinedCsvPath.empty() ||
+        !cli.joinedJsonPath.empty()) {
         fprintf(stderr,
                 "sim_speed: --serial is implicit (every cell is "
                 "equivalence-gated) and --joined-csv/--joined-json "
@@ -117,27 +117,25 @@ main(int argc, char **argv)
     // per cell (the 5x speedup target is defined on this workload;
     // shorter durations under-report it because the once-per-program
     // decode amortizes over fewer executed instructions).
-    double seconds = simSeconds(3.0);
+    double seconds = cli.seconds;
 
-    DriverOptions buildOpts;
-    buildOpts.jobs = flags.jobs;
-    BuildDriver d(buildOpts);
-    for (const auto &app : tinyos::allApps()) {
-        if (app.platform == "Mica2")
-            d.addApp(app);
-    }
-    d.addConfig(ConfigId::Baseline);
-    d.addConfigs(figure3Configs());
-    BuildReport builds = d.run();
-    if (!builds.allOk())
-        return reportFailures(builds);
+    // Build through the stage graph; companion firmware below comes
+    // from the same cache, aliasing the matrix's Baseline column.
+    StageCache cache;
+    Experiment exp(cli.options(/*simulate=*/false));
+    exp.addAppsOn("Mica2");
+    exp.addConfig(ConfigId::Baseline);
+    exp.addConfigs(figure3Configs());
+    ExperimentReport built = exp.run(cache);
+    if (!built.allOk())
+        return reportFailures(built);
+    const BuildReport &builds = built.builds;
 
     printHeader(strfmt("sim_speed: interpreter throughput on the "
                        "Figure-3(c) matrix (%g simulated s/cell)",
                        seconds));
     printf("[build: %s]\n", builds.summary().c_str());
 
-    CompanionCache cache;
     std::vector<CellTiming> cells;
     double legacyMs = 0, preMs = 0;
     double parLegacyMs = 0, parParMs = 0;
@@ -151,26 +149,26 @@ main(int argc, char **argv)
         std::vector<const backend::MProgram *> companions;
         std::vector<std::shared_ptr<const sim::DecodedProgram>> dcomps;
         for (const auto &cname : r.companions) {
-            owned.push_back(cache.get(cname, r.platform));
+            owned.push_back(cache.companionImage(cname, r.platform));
             companions.push_back(owned.back().get());
-            dcomps.push_back(cache.getDecoded(cname, r.platform));
+            dcomps.push_back(cache.companionDecode(cname, r.platform));
         }
         uint64_t cycles = static_cast<uint64_t>(
             seconds *
-            static_cast<double>(r.result.image.target.clockHz));
+            static_cast<double>(r.result->image.target.clockHz));
 
         CellTiming cell;
         cell.app = r.app;
         cell.config = r.config;
         cell.motes = companions.size() + 1;
 
-        auto legacy = runLegacyCell(r.result.image, companions, cycles,
+        auto legacy = runLegacyCell(r.result->image, companions, cycles,
                                     cell.legacyMs);
         // The cell image decodes once, charged to the serial
         // predecoded timing (decode is paid once per program).
         auto tDecode = Clock::now();
         auto dimage =
-            std::make_shared<const sim::DecodedProgram>(r.result.image);
+            std::make_shared<const sim::DecodedProgram>(r.result->image);
         cell.preMs += millisSince(tDecode);
         auto pre =
             runDecodedCell(dimage, dcomps, cycles, 1, cell.preMs);
@@ -236,31 +234,24 @@ main(int argc, char **argv)
         }
     }
 
-    if (!flags.csvPath.empty()) {
-        std::ofstream os(flags.csvPath);
-        os << "app,config,motes,instructions,legacy_millis,"
-              "predecoded_millis,parallel_millis,speedup\n";
-        for (const CellTiming &c : cells) {
-            os << csvField(c.app) << ',' << csvField(c.config) << ','
-               << c.motes << ',' << c.instrs << ','
-               << strfmt("%.3f", c.legacyMs) << ','
-               << strfmt("%.3f", c.preMs) << ',';
-            if (c.parMs >= 0)
-                os << strfmt("%.3f", c.parMs);
-            os << ','
-               << strfmt("%.3f",
-                         c.preMs > 0 ? c.legacyMs / c.preMs : 0.0)
-               << '\n';
-        }
-        os.flush();
-        if (!os) {
-            fprintf(stderr, "cannot write %s\n", flags.csvPath.c_str());
-            return 1;
-        }
-        printf("wrote %s\n", flags.csvPath.c_str());
-    }
-    if (!flags.jsonPath.empty()) {
-        std::ofstream os(flags.jsonPath);
+    if (int rc = emitTo(cli.csvPath, [&](std::ostream &os) {
+            os << "app,config,motes,instructions,legacy_millis,"
+                  "predecoded_millis,parallel_millis,speedup\n";
+            for (const CellTiming &c : cells) {
+                os << csvField(c.app) << ',' << csvField(c.config)
+                   << ',' << c.motes << ',' << c.instrs << ','
+                   << strfmt("%.3f", c.legacyMs) << ','
+                   << strfmt("%.3f", c.preMs) << ',';
+                if (c.parMs >= 0)
+                    os << strfmt("%.3f", c.parMs);
+                os << ','
+                   << strfmt("%.3f",
+                             c.preMs > 0 ? c.legacyMs / c.preMs : 0.0)
+                   << '\n';
+            }
+        }))
+        return rc;
+    return emitTo(cli.jsonPath, [&](std::ostream &os) {
         os << "{\n"
            << "  \"kind\": \"sim_speed\",\n"
            << "  \"seconds_per_cell\": " << strfmt("%g", seconds)
@@ -282,13 +273,5 @@ main(int argc, char **argv)
            << ",\n"
            << "  \"equivalent\": true\n"
            << "}\n";
-        os.flush();
-        if (!os) {
-            fprintf(stderr, "cannot write %s\n",
-                    flags.jsonPath.c_str());
-            return 1;
-        }
-        printf("wrote %s\n", flags.jsonPath.c_str());
-    }
-    return 0;
+    });
 }

@@ -1,21 +1,21 @@
 /**
  * @file
- * BuildDriver implementation. Work distribution is a single atomic
- * job counter over the flattened matrix; jobs are executed in
- * config-major order (cell k -> app k % A) so the first wave of
- * workers hits distinct apps and the per-app frontend memo fills
- * without contention, while results land in app-major record slots so
- * the report order is deterministic under any thread count.
+ * BuildDriver implementation: a shim over the stage graph. Work
+ * distribution is a single atomic job counter over the flattened
+ * matrix (core/pool.h); jobs are executed in config-major order
+ * (cell k -> app k % A) so the first wave of workers hits distinct
+ * apps and the per-app stage entries fill without contention, while
+ * results land in app-major record slots so the report order is
+ * deterministic under any thread count.
  */
 #include "core/driver.h"
 
 #include <atomic>
 #include <chrono>
-#include <memory>
-#include <mutex>
 #include <ostream>
-#include <thread>
 
+#include "core/pool.h"
+#include "core/stagecache.h"
 #include "ir/printer.h"
 #include "support/util.h"
 
@@ -63,29 +63,35 @@ std::string
 BuildReport::summary() const
 {
     return strfmt("%zu apps x %zu configs = %zu builds in %.0f ms "
-                  "(%u jobs, %zu parses, %zu frontend reuses)",
+                  "(%u jobs; stage runs/reuses: frontend %zu/%zu, "
+                  "safety %zu/%zu, opt %zu/%zu, backend %zu/%zu)",
                   numApps, numConfigs, records.size(), wallMillis,
-                  jobsUsed, frontendParses, frontendReuses);
+                  jobsUsed, frontendParses, frontendReuses, safetyRuns,
+                  safetyReuses, optRuns, optReuses, backendRuns,
+                  backendReuses);
 }
 
 void
 BuildReport::emitCsv(std::ostream &os) const
 {
     os << "app,platform,config,app_index,config_index,ok,error,"
-          "frontend_reused,code_bytes,ram_bytes,rom_data_bytes,"
+          "frontend_reused,safety_reused,opt_reused,backend_reused,"
+          "code_bytes,ram_bytes,rom_data_bytes,"
           "surviving_checks,checks_inserted,cxprop_checks_removed,"
           "millis\n";
     for (const auto &r : records) {
         os << csvField(r.app) << ',' << csvField(r.platform) << ','
            << csvField(r.config) << ',' << r.appIndex << ','
            << r.configIndex << ',' << (r.ok ? 1 : 0) << ','
-           << csvField(r.error) << ',' << (r.frontendReused ? 1 : 0);
+           << csvField(r.error) << ',' << (r.frontendReused ? 1 : 0)
+           << ',' << (r.safetyReused ? 1 : 0) << ','
+           << (r.optReused ? 1 : 0) << ',' << (r.backendReused ? 1 : 0);
         if (r.ok) {
-            os << ',' << r.result.codeBytes << ',' << r.result.ramBytes
-               << ',' << r.result.romDataBytes << ','
-               << r.result.survivingChecks << ','
-               << r.result.safetyReport.checksInserted << ','
-               << r.result.cxpropReport.checksRemoved;
+            os << ',' << r.result->codeBytes << ',' << r.result->ramBytes
+               << ',' << r.result->romDataBytes << ','
+               << r.result->survivingChecks << ','
+               << r.result->safetyReport.checksInserted << ','
+               << r.result->cxpropReport.checksRemoved;
         } else {
             os << ",,,,,,";
         }
@@ -103,6 +109,13 @@ BuildReport::emitJson(std::ostream &os) const
        << "  \"jobs_used\": " << jobsUsed << ",\n"
        << "  \"frontend_parses\": " << frontendParses << ",\n"
        << "  \"frontend_reuses\": " << frontendReuses << ",\n"
+       << "  \"safety_runs\": " << safetyRuns << ",\n"
+       << "  \"safety_reuses\": " << safetyReuses << ",\n"
+       << "  \"opt_runs\": " << optRuns << ",\n"
+       << "  \"opt_reuses\": " << optReuses << ",\n"
+       << "  \"backend_runs\": " << backendRuns << ",\n"
+       << "  \"backend_reuses\": " << backendReuses << ",\n"
+       << "  \"stage_reuses\": " << stageReuses() << ",\n"
        << "  \"wall_millis\": " << strfmt("%.3f", wallMillis) << ",\n"
        << "  \"records\": [\n";
     for (size_t i = 0; i < records.size(); ++i) {
@@ -115,16 +128,21 @@ BuildReport::emitJson(std::ostream &os) const
            << ", \"ok\": " << (r.ok ? "true" : "false")
            << ", \"error\": \"" << jsonEscape(r.error)
            << "\", \"frontend_reused\": "
-           << (r.frontendReused ? "true" : "false");
+           << (r.frontendReused ? "true" : "false")
+           << ", \"safety_reused\": "
+           << (r.safetyReused ? "true" : "false")
+           << ", \"opt_reused\": " << (r.optReused ? "true" : "false")
+           << ", \"backend_reused\": "
+           << (r.backendReused ? "true" : "false");
         if (r.ok) {
-            os << ", \"code_bytes\": " << r.result.codeBytes
-               << ", \"ram_bytes\": " << r.result.ramBytes
-               << ", \"rom_data_bytes\": " << r.result.romDataBytes
-               << ", \"surviving_checks\": " << r.result.survivingChecks
+            os << ", \"code_bytes\": " << r.result->codeBytes
+               << ", \"ram_bytes\": " << r.result->ramBytes
+               << ", \"rom_data_bytes\": " << r.result->romDataBytes
+               << ", \"surviving_checks\": " << r.result->survivingChecks
                << ", \"checks_inserted\": "
-               << r.result.safetyReport.checksInserted
+               << r.result->safetyReport.checksInserted
                << ", \"cxprop_checks_removed\": "
-               << r.result.cxpropReport.checksRemoved;
+               << r.result->cxpropReport.checksRemoved;
         }
         os << ", \"millis\": " << strfmt("%.3f", r.millis) << "}"
            << (i + 1 < records.size() ? "," : "") << "\n";
@@ -208,17 +226,74 @@ BuildDriver::addCustom(std::string label,
 
 namespace {
 
-/** Per-app frontend memo cell: first thread to need the app parses. */
-struct FrontendMemo {
-    std::once_flag once;
-    std::shared_ptr<const FrontendProduct> product;
-    std::exception_ptr error;
-};
+/** Fill the identity fields every cell carries regardless of mode. */
+BuildRecord &
+cellRecord(BuildReport &report, const tinyos::AppInfo &app,
+           const ConfigSpec &spec, size_t appIdx, size_t cfgIdx)
+{
+    BuildRecord &rec =
+        report.records[appIdx * report.numConfigs + cfgIdx];
+    rec.app = app.name;
+    rec.platform = app.platform;
+    rec.config = spec.label;
+    rec.companions = app.companions;
+    rec.appIndex = static_cast<uint32_t>(appIdx);
+    rec.configIndex = static_cast<uint32_t>(cfgIdx);
+    return rec;
+}
 
 } // namespace
 
 BuildReport
 BuildDriver::run() const
+{
+    if (opts_.memoizeFrontend) {
+        StageCache cache;
+        return run(cache);
+    }
+    // Cold mode: every cell compiles from source, nothing is shared —
+    // the reference behaviour the equivalence gates compare against.
+    const size_t nApps = apps_.size();
+    const size_t nConfigs = configs_.size();
+    const size_t nJobs = nApps * nConfigs;
+
+    BuildReport report;
+    report.numApps = nApps;
+    report.numConfigs = nConfigs;
+    report.records.resize(nJobs);
+    report.jobsUsed = resolveJobs(opts_.jobs, nJobs);
+    if (nJobs == 0)
+        return report;
+
+    auto start = Clock::now();
+    runOnPool(report.jobsUsed, nJobs, [&](size_t k) {
+        size_t appIdx = k % nApps, cfgIdx = k / nApps;
+        const tinyos::AppInfo &app = apps_[appIdx];
+        const ConfigSpec &spec = configs_[cfgIdx];
+        BuildRecord &rec = cellRecord(report, app, spec, appIdx, cfgIdx);
+        auto cellStart = Clock::now();
+        try {
+            rec.result = std::make_shared<const BuildResult>(
+                buildSource(app.name, app.source,
+                            spec.make(app.platform)));
+            rec.ok = true;
+        } catch (const std::exception &e) {
+            rec.ok = false;
+            rec.error = e.what();
+        }
+        rec.millis = millisSince(cellStart);
+    });
+    report.wallMillis = millisSince(start);
+    // Every cell ran the whole pipeline by itself.
+    report.frontendParses = nJobs;
+    report.safetyRuns = nJobs;
+    report.optRuns = nJobs;
+    report.backendRuns = nJobs;
+    return report;
+}
+
+BuildReport
+BuildDriver::run(StageCache &cache) const
 {
     const size_t nApps = apps_.size();
     const size_t nConfigs = configs_.size();
@@ -228,98 +303,55 @@ BuildDriver::run() const
     report.numApps = nApps;
     report.numConfigs = nConfigs;
     report.records.resize(nJobs);
-
-    unsigned jobs = opts_.jobs;
-    if (jobs == 0) {
-        jobs = std::thread::hardware_concurrency();
-        if (jobs == 0)
-            jobs = 1;
-    }
-    if (jobs > nJobs)
-        jobs = static_cast<unsigned>(nJobs ? nJobs : 1);
-    report.jobsUsed = jobs;
+    report.jobsUsed = resolveJobs(opts_.jobs, nJobs);
     if (nJobs == 0)
         return report;
 
-    std::vector<std::unique_ptr<FrontendMemo>> memos(nApps);
-    for (auto &m : memos)
-        m = std::make_unique<FrontendMemo>();
+    StageCacheStats before = cache.stats();
 
-    std::atomic<size_t> nextJob{0};
-    std::atomic<size_t> parses{0};
-    std::atomic<size_t> reuses{0};
-
-    auto buildCell = [&](size_t appIdx, size_t cfgIdx) {
+    auto start = Clock::now();
+    // Config-major execution order: spread early jobs across distinct
+    // apps so the per-app stage entries fill in parallel.
+    runOnPool(report.jobsUsed, nJobs, [&](size_t k) {
+        size_t appIdx = k % nApps, cfgIdx = k / nApps;
         const tinyos::AppInfo &app = apps_[appIdx];
         const ConfigSpec &spec = configs_[cfgIdx];
-        BuildRecord &rec =
-            report.records[appIdx * nConfigs + cfgIdx];
-        rec.app = app.name;
-        rec.platform = app.platform;
-        rec.config = spec.label;
-        rec.companions = app.companions;
-        rec.appIndex = static_cast<uint32_t>(appIdx);
-        rec.configIndex = static_cast<uint32_t>(cfgIdx);
-
+        BuildRecord &rec = cellRecord(report, app, spec, appIdx, cfgIdx);
         auto cellStart = Clock::now();
+        StageHits hits;
         try {
             PipelineConfig cfg = spec.make(app.platform);
-            if (opts_.memoizeFrontend) {
-                FrontendMemo &memo = *memos[appIdx];
-                bool parsedHere = false;
-                std::call_once(memo.once, [&] {
-                    try {
-                        memo.product =
-                            std::make_shared<const FrontendProduct>(
-                                runFrontend(app.name, app.source));
-                    } catch (...) {
-                        memo.error = std::current_exception();
-                    }
-                    parsedHere = true;
-                    parses.fetch_add(1, std::memory_order_relaxed);
-                });
-                if (memo.error)
-                    std::rethrow_exception(memo.error);
-                if (!parsedHere) {
-                    rec.frontendReused = true;
-                    reuses.fetch_add(1, std::memory_order_relaxed);
-                }
-                rec.result = buildFromFrontend(*memo.product, cfg);
-            } else {
-                parses.fetch_add(1, std::memory_order_relaxed);
-                rec.result = buildSource(app.name, app.source, cfg);
-            }
+            // Shared immutably with the cache — no per-cell copy.
+            rec.result = cache.build(app, cfg, &hits);
             rec.ok = true;
         } catch (const std::exception &e) {
             rec.ok = false;
             rec.error = e.what();
         }
+        rec.frontendReused = hits.frontend;
+        rec.safetyReused = hits.safety;
+        rec.optReused = hits.opt;
+        rec.backendReused = hits.backend;
         rec.millis = millisSince(cellStart);
-    };
-
-    auto worker = [&] {
-        for (size_t k = nextJob.fetch_add(1); k < nJobs;
-             k = nextJob.fetch_add(1)) {
-            // Config-major execution order: spread early jobs across
-            // distinct apps so frontend memos fill in parallel.
-            buildCell(k % nApps, k / nApps);
-        }
-    };
-
-    auto start = Clock::now();
-    if (jobs <= 1) {
-        worker();
-    } else {
-        std::vector<std::thread> pool;
-        pool.reserve(jobs);
-        for (unsigned t = 0; t < jobs; ++t)
-            pool.emplace_back(worker);
-        for (auto &t : pool)
-            t.join();
-    }
+    });
     report.wallMillis = millisSince(start);
-    report.frontendParses = parses.load();
-    report.frontendReuses = reuses.load();
+
+    // Stage executions this run come from the cache's counter delta;
+    // per-cell reuse comes from the chain flags (a request chain
+    // stops at its first cache hit, so raw request counters would
+    // under-report upstream reuse).
+    StageCacheStats after = cache.stats();
+    report.frontendParses =
+        after.frontend.executed - before.frontend.executed;
+    report.safetyRuns = after.safety.executed - before.safety.executed;
+    report.optRuns = after.opt.executed - before.opt.executed;
+    report.backendRuns = after.backend.executed - before.backend.executed;
+    for (const auto &r : report.records) {
+        report.frontendReuses += r.frontendReused ? 1 : 0;
+        report.safetyReuses += r.safetyReused ? 1 : 0;
+        report.optReuses += r.optReused ? 1 : 0;
+        report.backendReuses += r.backendReused ? 1 : 0;
+    }
     return report;
 }
 
@@ -418,7 +450,7 @@ BuildDriver::recordsEquivalent(const BuildRecord &a, const BuildRecord &b,
     if (!a.ok)
         return a.error == b.error ? true : fail("error text differs");
     std::string innerWhy;
-    if (!resultsEquivalent(a.result, b.result, &innerWhy))
+    if (!resultsEquivalent(*a.result, *b.result, &innerWhy))
         return fail(a.app + "/" + a.config + ": " + innerWhy);
     return true;
 }

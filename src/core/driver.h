@@ -1,18 +1,23 @@
 /**
  * @file
  * BuildDriver: a thread-pooled batch compiler for the evaluation
- * matrices the paper's figures are built from. Given a set of
- * applications (rows) and a set of configurations (columns), it
- * compiles every cell concurrently, memoizing the config-independent
- * frontend stage per app (parse once, clone the IR module per
- * configuration) and collecting the results into a single report with
- * deterministic app-major ordering regardless of scheduling.
+ * matrices the paper's figures are built from — now a thin shim over
+ * the pipeline's stage graph. Given a set of applications (rows) and
+ * a set of configurations (columns), it compiles every cell
+ * concurrently through a StageCache, so cells share every stage whose
+ * content key matches (one frontend parse per app, one safety run per
+ * (app, safety-fingerprint), ...), and collects the results into a
+ * single report with deterministic app-major ordering regardless of
+ * scheduling. New code should prefer the Experiment facade
+ * (core/experiment.h), which pairs the build matrix with its
+ * simulations behind one API.
  */
 #ifndef STOS_CORE_DRIVER_H
 #define STOS_CORE_DRIVER_H
 
 #include <functional>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -20,13 +25,18 @@
 
 namespace stos::core {
 
+class StageCache;
+
 struct DriverOptions {
     /** Worker threads; 0 = std::thread::hardware_concurrency(). */
     unsigned jobs = 0;
     /**
-     * Parse each app once and clone the module per configuration.
-     * Off = re-run the frontend for every cell (the serial-equivalent
-     * behaviour the speed benchmark compares against).
+     * Memoize the stage graph: every cell is served through a
+     * StageCache, sharing frontend/safety/opt/backend products
+     * between cells with matching content keys. Off = cold-build
+     * every cell from source (the serial-equivalent behaviour the
+     * speed benchmark and the equivalence gates compare against).
+     * (Historical name: the driver once memoized the frontend only.)
      */
     bool memoizeFrontend = true;
 };
@@ -48,10 +58,17 @@ struct BuildRecord {
     std::vector<std::string> companions;
     uint32_t appIndex = 0;    ///< row in the requested matrix
     uint32_t configIndex = 0; ///< column in the requested matrix
-    bool frontendReused = false; ///< built from a memoized frontend clone
+    bool frontendReused = false; ///< frontend served from the cache
+    bool safetyReused = false;   ///< safety stage served from the cache
+    bool optReused = false;      ///< opt stage served from the cache
+    bool backendReused = false;  ///< whole build served from the cache
     bool ok = false;
     std::string error;        ///< populated when the build failed
-    BuildResult result;       ///< valid only when ok
+    /**
+     * The cell's build product, shared immutably with the StageCache
+     * (and any other cell of the same content key) — null unless ok.
+     */
+    std::shared_ptr<const BuildResult> result;
     double millis = 0.0;      ///< wall time of this cell's build
 };
 
@@ -62,6 +79,12 @@ struct BuildReport {
     std::vector<BuildRecord> records;
     size_t frontendParses = 0;  ///< frontend runs actually executed
     size_t frontendReuses = 0;  ///< cells served from the memo
+    size_t safetyRuns = 0;      ///< safety stage executions
+    size_t safetyReuses = 0;    ///< cells whose safety stage was shared
+    size_t optRuns = 0;         ///< opt stage executions
+    size_t optReuses = 0;       ///< cells whose opt stage was shared
+    size_t backendRuns = 0;     ///< backend stage executions
+    size_t backendReuses = 0;   ///< cells served whole from the cache
     double wallMillis = 0.0;
     unsigned jobsUsed = 1;
 
@@ -71,6 +94,11 @@ struct BuildReport {
     const BuildRecord *find(const std::string &app,
                             const std::string &config) const;
     bool allOk() const;
+    /** Total post-frontend stage reuse (the stage-cache win). */
+    size_t stageReuses() const
+    {
+        return safetyReuses + optReuses + backendReuses;
+    }
     /** One-line stats string for benchmark headers. */
     std::string summary() const;
 
@@ -105,9 +133,19 @@ class BuildDriver {
 
     size_t numApps() const { return apps_.size(); }
     size_t numConfigs() const { return configs_.size(); }
+    const std::vector<tinyos::AppInfo> &apps() const { return apps_; }
+    const std::vector<ConfigSpec> &configs() const { return configs_; }
     DriverOptions &options() { return opts_; }
 
+    /** Run the matrix over a fresh per-run StageCache. */
     BuildReport run() const;
+    /**
+     * As above, but stage products come from (and persist in) the
+     * caller's cache, so repeated runs — equivalence gates, or the
+     * Experiment facade's build+sim pairing — rebuild nothing. The
+     * report's per-stage run counters cover this run only.
+     */
+    BuildReport run(StageCache &cache) const;
 
     /** All apps × (baseline + the seven Figure-3 configurations). */
     static BuildReport figure3Matrix(DriverOptions opts = {});

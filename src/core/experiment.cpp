@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Experiment facade implementation. The facade owns a BuildDriver
+ * (the matrix declaration) and pairs it with a SimDriver run over the
+ * same StageCache, so the sim phase's companion firmware aliases the
+ * matrix's Baseline cells instead of rebuilding them.
+ */
+#include "core/experiment.h"
+
+#include "support/util.h"
+
+namespace stos::core {
+
+//---------------------------------------------------------------------
+// ExperimentReport
+//---------------------------------------------------------------------
+
+bool
+ExperimentReport::allOk() const
+{
+    return builds.allOk() && (!simulated || sims.allOk());
+}
+
+std::string
+ExperimentReport::summary() const
+{
+    std::string s = "build: " + builds.summary();
+    if (simulated)
+        s += "\nsim:   " + sims.summary();
+    return s;
+}
+
+void
+ExperimentReport::emitCsv(std::ostream &os) const
+{
+    if (simulated)
+        sims.emitCsv(os);
+    else
+        builds.emitCsv(os);
+}
+
+void
+ExperimentReport::emitJson(std::ostream &os) const
+{
+    if (simulated)
+        sims.emitJson(os);
+    else
+        builds.emitJson(os);
+}
+
+void
+ExperimentReport::emitJoinedCsv(std::ostream &os) const
+{
+    if (!simulated)
+        throw FatalError("joined report requires a simulated matrix");
+    sims.joinCsv(builds, os);
+}
+
+void
+ExperimentReport::emitJoinedJson(std::ostream &os) const
+{
+    if (!simulated)
+        throw FatalError("joined report requires a simulated matrix");
+    sims.joinJson(builds, os);
+}
+
+//---------------------------------------------------------------------
+// Matrix declaration (delegated to the BuildDriver shim)
+//---------------------------------------------------------------------
+
+Experiment &
+Experiment::addApp(const tinyos::AppInfo &app)
+{
+    builder_.addApp(app);
+    return *this;
+}
+
+Experiment &
+Experiment::addApps(const std::vector<tinyos::AppInfo> &apps)
+{
+    builder_.addApps(apps);
+    return *this;
+}
+
+Experiment &
+Experiment::addAllApps()
+{
+    builder_.addAllApps();
+    return *this;
+}
+
+Experiment &
+Experiment::addAppsOn(const std::string &platform)
+{
+    for (const auto &app : tinyos::allApps()) {
+        if (app.platform == platform)
+            builder_.addApp(app);
+    }
+    return *this;
+}
+
+Experiment &
+Experiment::addConfig(ConfigId id)
+{
+    builder_.addConfig(id);
+    return *this;
+}
+
+Experiment &
+Experiment::addConfigs(const std::vector<ConfigId> &ids)
+{
+    builder_.addConfigs(ids);
+    return *this;
+}
+
+Experiment &
+Experiment::addStrategy(CheckStrategy s)
+{
+    builder_.addStrategy(s);
+    return *this;
+}
+
+Experiment &
+Experiment::addStrategies(const std::vector<CheckStrategy> &ss)
+{
+    builder_.addStrategies(ss);
+    return *this;
+}
+
+Experiment &
+Experiment::addCustom(std::string label,
+                      std::function<PipelineConfig(const std::string &)>
+                          make)
+{
+    builder_.addCustom(std::move(label), std::move(make));
+    return *this;
+}
+
+//---------------------------------------------------------------------
+// Execution
+//---------------------------------------------------------------------
+
+ExperimentReport
+Experiment::run() const
+{
+    StageCache cache;
+    return run(cache);
+}
+
+ExperimentReport
+Experiment::run(StageCache &cache) const
+{
+    ExperimentReport rep;
+
+    BuildDriver builder = builder_;
+    builder.options().jobs = opts_.jobs;
+    builder.options().memoizeFrontend = opts_.memoize;
+    rep.builds = opts_.memoize ? builder.run(cache) : builder.run();
+
+    if (opts_.simulate) {
+        SimOptions simOpts;
+        simOpts.jobs = opts_.jobs;
+        simOpts.seconds = opts_.seconds;
+        simOpts.mode = opts_.mode;
+        simOpts.netThreads = opts_.netThreads;
+        simOpts.memoizeCompanions = opts_.memoize;
+        rep.sims = SimDriver(simOpts).run(rep.builds, cache);
+        rep.simulated = true;
+    }
+    return rep;
+}
+
+ExperimentReport
+Experiment::runSerialReference() const
+{
+    Experiment ref = *this;
+    ref.opts_.jobs = 1;
+    ref.opts_.memoize = false;
+    ref.opts_.mode = sim::ExecMode::Legacy;
+    ref.opts_.netThreads = 1;
+    return ref.run();
+}
+
+//---------------------------------------------------------------------
+// Equivalence gates
+//---------------------------------------------------------------------
+
+bool
+Experiment::reportsEquivalent(const ExperimentReport &a,
+                              const ExperimentReport &b, std::string *why)
+{
+    auto fail = [&](const std::string &msg) {
+        if (why)
+            *why = msg;
+        return false;
+    };
+    if (a.builds.records.size() != b.builds.records.size() ||
+        a.builds.numApps != b.builds.numApps ||
+        a.builds.numConfigs != b.builds.numConfigs)
+        return fail("build matrix shapes differ");
+    for (size_t i = 0; i < a.builds.records.size(); ++i) {
+        if (!BuildDriver::recordsEquivalent(a.builds.records[i],
+                                            b.builds.records[i], why))
+            return false;
+    }
+    if (a.simulated != b.simulated)
+        return fail("one report is build-only");
+    if (a.simulated &&
+        !SimDriver::reportsEquivalent(a.sims, b.sims, why))
+        return false;
+    return true;
+}
+
+bool
+Experiment::verifySerialEquivalence(const ExperimentReport &rep,
+                                    std::string *why) const
+{
+    ExperimentReport ref = runSerialReference();
+    if (!ref.allOk()) {
+        if (why)
+            *why = "serial reference run failed";
+        return false;
+    }
+    return reportsEquivalent(ref, rep, why);
+}
+
+} // namespace stos::core

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Experiment: the unified facade over the build/sim stage graph.
+ * Declare the rows (applications), columns (configurations), and
+ * simulation settings once; run() compiles the matrix through a
+ * shared StageCache (one frontend parse per app, one safety run per
+ * (app, safety-fingerprint), companion firmware reused from the
+ * matrix's own Baseline column) and then fans the per-cell network
+ * simulations over the same worker pool, returning one combined
+ * report. The serial/legacy equivalence gates the benches used to
+ * hand-roll are API methods here. BuildDriver + SimDriver remain as
+ * thin compatibility shims over the same graph; new code should use
+ * this facade.
+ *
+ * Typical use (what every figure bench does via BenchCli):
+ *
+ *   Experiment exp(opts);
+ *   exp.addAppsOn("Mica2")
+ *      .addConfig(ConfigId::Baseline)
+ *      .addConfigs(figure3Configs());
+ *   ExperimentReport rep = exp.run();
+ *   if (!exp.verifySerialEquivalence(rep, &why)) ...   // optional gate
+ *   rep.emitJoinedCsv(os);                             // one table
+ */
+#ifndef STOS_CORE_EXPERIMENT_H
+#define STOS_CORE_EXPERIMENT_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/simdriver.h"
+
+namespace stos::core {
+
+struct ExperimentOptions {
+    /** Worker threads for both phases; 0 = hardware concurrency. */
+    unsigned jobs = 0;
+    /** Memoize the stage graph (off = cold-build every cell). */
+    bool memoize = true;
+    /** Run the simulation phase after the build phase. */
+    bool simulate = true;
+    /** Simulated duration per cell, in seconds of mote time. */
+    double seconds = 3.0;
+    /** Interpreter core for the simulation phase. */
+    sim::ExecMode mode = sim::ExecMode::Predecoded;
+    /** Threads stepping each multi-mote network (1 = serial). */
+    unsigned netThreads = 1;
+};
+
+/**
+ * The combined result of one Experiment::run(): the static build
+ * matrix and (when simulated) the dynamic simulation matrix over the
+ * same cells.
+ */
+struct ExperimentReport {
+    BuildReport builds;
+    SimReport sims;        ///< valid only when `simulated`
+    bool simulated = false;
+
+    bool allOk() const;
+    /** One-line stats (build phase; plus sim phase when simulated). */
+    std::string summary() const;
+
+    /**
+     * Primary emission: the joined static+dynamic table when
+     * simulated (one row per cell: code/RAM/ROM/checks next to duty
+     * cycle and execution counters), the build table otherwise.
+     */
+    void emitCsv(std::ostream &os) const;
+    void emitJson(std::ostream &os) const;
+
+    /** The joined table, explicitly (throws unless simulated). */
+    void emitJoinedCsv(std::ostream &os) const;
+    void emitJoinedJson(std::ostream &os) const;
+};
+
+class Experiment {
+  public:
+    explicit Experiment(ExperimentOptions opts = {}) : opts_(opts) {}
+
+    //--- rows -----------------------------------------------------
+    Experiment &addApp(const tinyos::AppInfo &app);
+    Experiment &addApps(const std::vector<tinyos::AppInfo> &apps);
+    /** All twelve benchmark applications. */
+    Experiment &addAllApps();
+    /** Registry apps on one platform (the Figure-3(c) row set). */
+    Experiment &addAppsOn(const std::string &platform);
+
+    //--- columns --------------------------------------------------
+    Experiment &addConfig(ConfigId id);
+    Experiment &addConfigs(const std::vector<ConfigId> &ids);
+    Experiment &addStrategy(CheckStrategy s);
+    Experiment &addStrategies(const std::vector<CheckStrategy> &ss);
+    /** Arbitrary column, e.g. an ablation tweak of a named config. */
+    Experiment &
+    addCustom(std::string label,
+              std::function<PipelineConfig(const std::string &)> make);
+
+    size_t numApps() const { return builder_.numApps(); }
+    size_t numConfigs() const { return builder_.numConfigs(); }
+    ExperimentOptions &options() { return opts_; }
+
+    //--- execution ------------------------------------------------
+    /** Build + simulate the matrix over a fresh per-run StageCache. */
+    ExperimentReport run() const;
+    /**
+     * As above over the caller's persistent cache: repeated runs
+     * (and the serial gate's sim phase) rebuild nothing.
+     */
+    ExperimentReport run(StageCache &cache) const;
+
+    /**
+     * The cold reference of the same matrix: one job, no stage
+     * memoization, per-cell companion rebuilds, legacy interpreter,
+     * fixed-quantum lockstep networks. This is what every
+     * memoized/parallel/predecoded layer is gated against.
+     */
+    ExperimentReport runSerialReference() const;
+
+    /**
+     * Run the serial reference and require cell-for-cell equivalence
+     * with `rep` (byte-identical builds via
+     * BuildDriver::resultsEquivalent, identical sim outcomes via
+     * SimDriver::recordsEquivalent). `why` gets the first
+     * difference.
+     */
+    bool verifySerialEquivalence(const ExperimentReport &rep,
+                                 std::string *why = nullptr) const;
+
+    /** Cell-for-cell equivalence of two combined reports. */
+    static bool reportsEquivalent(const ExperimentReport &a,
+                                  const ExperimentReport &b,
+                                  std::string *why = nullptr);
+
+  private:
+    ExperimentOptions opts_;
+    BuildDriver builder_;
+};
+
+} // namespace stos::core
+
+#endif

@@ -150,27 +150,48 @@ runFrontend(const std::string &name, const std::string &src)
     return fe;
 }
 
-namespace {
+//---------------------------------------------------------------------
+// Stage functions
+//---------------------------------------------------------------------
 
-/** Config-dependent stages; consumes the module it is given. */
-BuildResult
-finishBuild(Module m, const SourceManager *sm, const PipelineConfig &cfg)
+SafetyProduct
+runSafetyStage(Module m, const SourceManager *sm,
+               const PipelineConfig &cfg)
 {
-    BuildResult result;
+    SafetyProduct sp;
     if (cfg.safe) {
-        result.safetyReport = safety::applySafety(m, cfg.safety, sm);
+        sp.report = safety::applySafety(m, cfg.safety, sm);
         verifyOrDie(m, "safety");
     }
-    if (cfg.runCxprop) {
-        result.cxpropReport = opt::runCxprop(m, cfg.cxprop);
-        verifyOrDie(m, "cxprop");
-    }
+    sp.module = std::move(m);
+    return sp;
+}
 
+OptProduct
+runOptStage(SafetyProduct sp, const PipelineConfig &cfg)
+{
+    OptProduct op;
+    if (cfg.runCxprop) {
+        op.report = opt::runCxprop(sp.module, cfg.cxprop);
+        verifyOrDie(sp.module, "cxprop");
+    }
+    op.module = std::move(sp.module);
+    op.safetyReport = std::move(sp.report);
+    return op;
+}
+
+BuildResult
+runBackendStage(OptProduct op, const PipelineConfig &cfg)
+{
+    BuildResult result;
+    result.safetyReport = std::move(op.safetyReport);
+    result.cxpropReport = op.report;
     backend::TargetInfo target = cfg.platform == "TelosB"
                                      ? backend::TargetInfo::telosb()
                                      : backend::TargetInfo::mica2();
-    result.image = backend::compileToTarget(m, target, cfg.backend);
-    result.module = std::move(m);
+    result.image =
+        backend::compileToTarget(op.module, target, cfg.backend);
+    result.module = std::move(op.module);
     result.codeBytes = result.image.codeBytes();
     result.ramBytes = result.image.ramDataBytes();
     result.romDataBytes = result.image.romDataBytes();
@@ -178,12 +199,70 @@ finishBuild(Module m, const SourceManager *sm, const PipelineConfig &cfg)
     return result;
 }
 
+//---------------------------------------------------------------------
+// Fingerprints
+//---------------------------------------------------------------------
+
+namespace {
+
+std::string
+concurrencyFingerprint(const analysis::ConcurrencyOptions &c)
+{
+    return strfmt("norace=%d,followptr=%d", c.suppressNorace ? 1 : 0,
+                  c.followPointers ? 1 : 0);
+}
+
 } // namespace
+
+std::string
+safetyFingerprint(const PipelineConfig &cfg)
+{
+    if (!cfg.safe)
+        return "unsafe";
+    const safety::SafetyConfig &s = cfg.safety;
+    return strfmt("safe:mode=%d,ccopt=%d,naive=%d,tags=%d,lock=%d,%s",
+                  static_cast<int>(s.errorMode),
+                  s.ccuredOptimizer ? 1 : 0, s.naiveRuntime ? 1 : 0,
+                  s.insertCheckTags ? 1 : 0, s.lockRacyChecks ? 1 : 0,
+                  concurrencyFingerprint(s.concurrency).c_str());
+}
+
+std::string
+optFingerprint(const PipelineConfig &cfg)
+{
+    if (!cfg.runCxprop)
+        return "nocx";
+    const opt::CxpropOptions &o = cfg.cxprop;
+    return strfmt("cx:iv=%d,bits=%d,inl=%d,budget=%u,single=%d,"
+                  "inlrounds=%d,rounds=%d,atom=%d,chk=%d,copy=%d,"
+                  "dce=%d,%s",
+                  o.domains.intervals ? 1 : 0,
+                  o.domains.knownBits ? 1 : 0, o.inlineFirst ? 1 : 0,
+                  o.inlineOpts.sizeBudget,
+                  o.inlineOpts.inlineSingleCallSite ? 1 : 0,
+                  o.inlineOpts.maxRounds, o.maxRounds,
+                  o.optimizeAtomics ? 1 : 0, o.removeChecks ? 1 : 0,
+                  o.copyProp ? 1 : 0, o.strongDce ? 1 : 0,
+                  concurrencyFingerprint(o.concurrency).c_str());
+}
+
+std::string
+backendFingerprint(const PipelineConfig &cfg)
+{
+    return strfmt("be:%s,opt=%d,late=%d,budget=%u",
+                  cfg.platform.c_str(), cfg.backend.gcc.optimize ? 1 : 0,
+                  cfg.backend.gcc.lateInline ? 1 : 0,
+                  cfg.backend.gcc.inlineBudget);
+}
 
 BuildResult
 buildFromFrontend(const FrontendProduct &fe, const PipelineConfig &cfg)
 {
-    return finishBuild(fe.module.clone(), fe.sourceManager.get(), cfg);
+    return runBackendStage(
+        runOptStage(runSafetyStage(fe.module.clone(),
+                                   fe.sourceManager.get(), cfg),
+                    cfg),
+        cfg);
 }
 
 BuildResult
@@ -191,7 +270,11 @@ buildSource(const std::string &name, const std::string &src,
             const PipelineConfig &cfg)
 {
     FrontendProduct fe = runFrontend(name, src);
-    return finishBuild(std::move(fe.module), fe.sourceManager.get(), cfg);
+    return runBackendStage(
+        runOptStage(runSafetyStage(std::move(fe.module),
+                                   fe.sourceManager.get(), cfg),
+                    cfg),
+        cfg);
 }
 
 BuildResult

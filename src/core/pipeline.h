@@ -74,6 +74,21 @@ struct BuildResult {
     uint32_t survivingChecks = 0;  ///< via the tag-string methodology
 };
 
+//---------------------------------------------------------------------
+// The stage graph
+//
+// The pipeline is an explicit four-stage graph,
+//
+//   Frontend -> Safety -> Opt -> Backend
+//
+// where each stage is a pure function of its predecessor's product
+// and the *stage-relevant slice* of the PipelineConfig (the
+// fingerprint functions below). Splitting here lets StageCache share
+// work between evaluation-matrix columns that only diverge late:
+// C4/C5/C6 differ only in cXprop/inlining, so they share one safety
+// run per app; Baseline/C7 share the unsafe pass-through.
+//---------------------------------------------------------------------
+
 /**
  * Output of the config-independent frontend stage (library + app
  * parsed, lowered, verified). The pipeline splits here so a batch
@@ -86,14 +101,64 @@ struct FrontendProduct {
     std::shared_ptr<SourceManager> sourceManager;
 };
 
+/**
+ * Output of the safety stage: the module with CCured-analogue checks
+ * (a verbatim pass-through of the frontend module when the
+ * configuration is unsafe) plus the stage's report.
+ */
+struct SafetyProduct {
+    ir::Module module;
+    safety::SafetyReport report;
+};
+
+/**
+ * Output of the opt stage: the module after cXprop (pass-through when
+ * cXprop is off). Carries the upstream safety report along so the
+ * backend stage can assemble a complete BuildResult without reaching
+ * back into the graph.
+ */
+struct OptProduct {
+    ir::Module module;
+    safety::SafetyReport safetyReport;
+    opt::CxpropReport report;
+};
+
 /** Run the frontend on one source (library included); throws on error. */
 FrontendProduct runFrontend(const std::string &name,
                             const std::string &src);
 
 /**
+ * Safety stage. Consumes `m` (pass a clone to keep the input). `sm`
+ * may be null for modules without source locations (tests).
+ */
+SafetyProduct runSafetyStage(ir::Module m, const SourceManager *sm,
+                             const PipelineConfig &cfg);
+
+/** Opt (cXprop) stage. Consumes the product it is given. */
+OptProduct runOptStage(SafetyProduct sp, const PipelineConfig &cfg);
+
+/** Backend stage: late opts, isel, link. Consumes the product. */
+BuildResult runBackendStage(OptProduct op, const PipelineConfig &cfg);
+
+/**
+ * Stage-relevant fingerprints of a PipelineConfig: two configs with
+ * equal fingerprints produce byte-identical products from that stage
+ * (given identical inputs), so the fingerprint is the cache-key
+ * component StageCache uses for that stage. Changing a field that a
+ * stage never reads (e.g. CxpropOptions for the safety stage) must
+ * not change that stage's fingerprint — test_stagecache enforces
+ * this. New PipelineConfig fields must be added to the fingerprint of
+ * every stage that reads them.
+ */
+std::string safetyFingerprint(const PipelineConfig &cfg);
+std::string optFingerprint(const PipelineConfig &cfg);
+std::string backendFingerprint(const PipelineConfig &cfg);
+
+/**
  * Run the config-dependent stages (safety, cXprop, backend) on a
  * clone of the memoized frontend output. Safe to call concurrently on
- * the same FrontendProduct from multiple threads.
+ * the same FrontendProduct from multiple threads. Equivalent to
+ * chaining the three stage functions above.
  */
 BuildResult buildFromFrontend(const FrontendProduct &fe,
                               const PipelineConfig &cfg);

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The shared worker-pool used by BuildDriver, SimDriver, and the
+ * Experiment facade: a flat job index distributed over N threads by a
+ * single atomic counter. Matrix drivers pass cell index -> (app,
+ * config) mappings in the callback; the deterministic record slots
+ * make the output independent of scheduling.
+ */
+#ifndef STOS_CORE_POOL_H
+#define STOS_CORE_POOL_H
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace stos::core {
+
+/**
+ * Resolve a jobs request against the machine and the work: 0 means
+ * hardware concurrency; never more threads than jobs; at least 1.
+ */
+inline unsigned
+resolveJobs(unsigned requested, size_t nJobs)
+{
+    unsigned jobs = requested;
+    if (jobs == 0) {
+        jobs = std::thread::hardware_concurrency();
+        if (jobs == 0)
+            jobs = 1;
+    }
+    if (jobs > nJobs)
+        jobs = static_cast<unsigned>(nJobs ? nJobs : 1);
+    return jobs;
+}
+
+/**
+ * Run fn(k) for every k in [0, nJobs) on `jobs` threads. Work is
+ * claimed from a single atomic counter, so threads stay busy until
+ * the matrix drains; `fn` must confine its effects to slot k (or be
+ * internally synchronized, as the StageCache is).
+ */
+template <typename Fn>
+inline void
+runOnPool(unsigned jobs, size_t nJobs, Fn &&fn)
+{
+    if (nJobs == 0)
+        return;
+    std::atomic<size_t> next{0};
+    auto worker = [&] {
+        for (size_t k = next.fetch_add(1); k < nJobs;
+             k = next.fetch_add(1))
+            fn(k);
+    };
+    if (jobs <= 1) {
+        worker();
+        return;
+    }
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (unsigned t = 0; t < jobs; ++t)
+        pool.emplace_back(worker);
+    for (auto &t : pool)
+        t.join();
+}
+
+} // namespace stos::core
+
+#endif

@@ -1,81 +1,25 @@
 /**
  * @file
  * SimDriver implementation. Like BuildDriver, work distribution is a
- * single atomic job counter over the flattened matrix, executed in
- * config-major order (cell k -> app k % A) so the first wave of
- * workers hits distinct apps and the companion memo fills for
- * distinct companion sets without contention; results land in
+ * single atomic job counter over the flattened matrix (core/pool.h),
+ * executed in config-major order (cell k -> app k % A) so the first
+ * wave of workers hits distinct apps and the companion entries fill
+ * for distinct companion sets without contention; results land in
  * app-major record slots so the report order is deterministic under
- * any thread count.
+ * any thread count. Companion firmware/decodes are StageCache
+ * companion entries (stagecache.cpp).
  */
 #include "core/simdriver.h"
 
 #include <chrono>
 #include <ostream>
-#include <thread>
 
+#include "core/pool.h"
 #include "support/util.h"
 
 namespace stos::core {
 
 using Clock = std::chrono::steady_clock;
-
-//---------------------------------------------------------------------
-// CompanionCache
-//---------------------------------------------------------------------
-
-std::shared_ptr<CompanionCache::Entry>
-CompanionCache::entryFor(const std::string &name,
-                         const std::string &platform, bool *builtHere)
-{
-    std::shared_ptr<Entry> entry;
-    {
-        std::lock_guard<std::mutex> lock(mu_);
-        auto &slot = entries_[{name, platform}];
-        if (!slot)
-            slot = std::make_shared<Entry>();
-        entry = slot;
-    }
-    bool built = false;
-    std::call_once(entry->once, [&] {
-        try {
-            const auto &app = tinyos::appByName(name);
-            PipelineConfig base = configFor(ConfigId::Baseline, platform);
-            entry->image = std::make_shared<const backend::MProgram>(
-                buildApp(app, base).image);
-            // One decode per companion image, shared by every mote of
-            // every cell (and every run) that simulates it.
-            entry->decoded =
-                std::make_shared<const sim::DecodedProgram>(
-                    entry->image);
-        } catch (...) {
-            entry->error = std::current_exception();
-        }
-        built = true;
-        builds_.fetch_add(1, std::memory_order_relaxed);
-    });
-    if (!built)
-        hits_.fetch_add(1, std::memory_order_relaxed);
-    if (builtHere)
-        *builtHere = built;
-    if (entry->error)
-        std::rethrow_exception(entry->error);
-    return entry;
-}
-
-std::shared_ptr<const backend::MProgram>
-CompanionCache::get(const std::string &name, const std::string &platform,
-                    bool *builtHere)
-{
-    return entryFor(name, platform, builtHere)->image;
-}
-
-std::shared_ptr<const sim::DecodedProgram>
-CompanionCache::getDecoded(const std::string &name,
-                           const std::string &platform, bool *builtHere)
-{
-    return entryFor(name, platform, builtHere)->decoded;
-}
 
 //---------------------------------------------------------------------
 // SimReport
@@ -233,9 +177,9 @@ SimReport::joinCsv(const BuildReport &builds, std::ostream &os) const
            << (s.ok ? 1 : 0) << ','
            << csvField(s.ok ? std::string() : s.error);
         if (b.ok) {
-            os << ',' << b.result.codeBytes << ',' << b.result.ramBytes
-               << ',' << b.result.romDataBytes << ','
-               << b.result.survivingChecks;
+            os << ',' << b.result->codeBytes << ',' << b.result->ramBytes
+               << ',' << b.result->romDataBytes << ','
+               << b.result->survivingChecks;
         } else {
             os << ",,,,";
         }
@@ -264,6 +208,12 @@ SimReport::joinJson(const BuildReport &builds, std::ostream &os) const
        << "  \"num_apps\": " << numApps << ",\n"
        << "  \"num_configs\": " << numConfigs << ",\n"
        << "  \"seconds\": " << strfmt("%g", seconds) << ",\n"
+       // Stage-cache counters of the build phase, so the cache win
+       // (safety runs << cells) is visible in the joined artifact.
+       << "  \"frontend_parses\": " << builds.frontendParses << ",\n"
+       << "  \"safety_runs\": " << builds.safetyRuns << ",\n"
+       << "  \"safety_reuses\": " << builds.safetyReuses << ",\n"
+       << "  \"stage_reuses\": " << builds.stageReuses() << ",\n"
        << "  \"records\": [\n";
     for (size_t i = 0; i < records.size(); ++i) {
         const BuildRecord &b = builds.records[i];
@@ -276,11 +226,11 @@ SimReport::joinJson(const BuildReport &builds, std::ostream &os) const
            << ", \"build_ok\": " << (b.ok ? "true" : "false")
            << ", \"sim_ok\": " << (s.ok ? "true" : "false");
         if (b.ok) {
-            os << ", \"code_bytes\": " << b.result.codeBytes
-               << ", \"ram_bytes\": " << b.result.ramBytes
-               << ", \"rom_data_bytes\": " << b.result.romDataBytes
+            os << ", \"code_bytes\": " << b.result->codeBytes
+               << ", \"ram_bytes\": " << b.result->ramBytes
+               << ", \"rom_data_bytes\": " << b.result->romDataBytes
                << ", \"surviving_checks\": "
-               << b.result.survivingChecks;
+               << b.result->survivingChecks;
         }
         if (s.ok) {
             os << ", \"duty_cycle\": "
@@ -311,12 +261,12 @@ SimReport::joinJson(const BuildReport &builds, std::ostream &os) const
 SimReport
 SimDriver::run(const BuildReport &builds) const
 {
-    CompanionCache cache;
+    StageCache cache;
     return run(builds, cache);
 }
 
 SimReport
-SimDriver::run(const BuildReport &builds, CompanionCache &cache) const
+SimDriver::run(const BuildReport &builds, StageCache &cache) const
 {
     const size_t nApps = builds.numApps;
     const size_t nConfigs = builds.numConfigs;
@@ -327,22 +277,12 @@ SimDriver::run(const BuildReport &builds, CompanionCache &cache) const
     report.numConfigs = nConfigs;
     report.seconds = opts_.seconds;
     report.records.resize(nJobs);
-
-    unsigned jobs = opts_.jobs;
-    if (jobs == 0) {
-        jobs = std::thread::hardware_concurrency();
-        if (jobs == 0)
-            jobs = 1;
-    }
-    if (jobs > nJobs)
-        jobs = static_cast<unsigned>(nJobs ? nJobs : 1);
-    report.jobsUsed = jobs;
+    report.jobsUsed = resolveJobs(opts_.jobs, nJobs);
     if (nJobs == 0)
         return report;
 
-    const size_t builds0 = cache.builds();
-    const size_t hits0 = cache.hits();
-    std::atomic<size_t> nextJob{0};
+    const size_t builds0 = cache.companionBuilds();
+    const size_t hits0 = cache.companionHits();
 
     sim::NetworkOptions netOpts;
     netOpts.mode = opts_.mode;
@@ -386,14 +326,14 @@ SimDriver::run(const BuildReport &builds, CompanionCache &cache) const
                 // cache, shared across every cell and run.
                 auto dimage =
                     std::make_shared<const sim::DecodedProgram>(
-                        build.result.image);
+                        build.result->image);
                 std::vector<
                     std::shared_ptr<const sim::DecodedProgram>>
                     dcomps;
                 for (const auto &cname : build.companions) {
                     if (opts_.memoizeCompanions) {
                         bool builtHere = false;
-                        dcomps.push_back(cache.getDecoded(
+                        dcomps.push_back(cache.companionDecode(
                             cname, build.platform, &builtHere));
                         if (builtHere)
                             allReused = false;
@@ -415,8 +355,8 @@ SimDriver::run(const BuildReport &builds, CompanionCache &cache) const
                 for (const auto &cname : build.companions) {
                     if (opts_.memoizeCompanions) {
                         bool builtHere = false;
-                        owned.push_back(cache.get(cname, build.platform,
-                                                  &builtHere));
+                        owned.push_back(cache.companionImage(
+                            cname, build.platform, &builtHere));
                         if (builtHere)
                             allReused = false;
                     } else {
@@ -427,7 +367,7 @@ SimDriver::run(const BuildReport &builds, CompanionCache &cache) const
                 }
                 rec.companionsReused = allReused;
                 rec.outcome =
-                    simulateInContext(build.result.image, companions,
+                    simulateInContext(build.result->image, companions,
                                       opts_.seconds, netOpts);
             }
             rec.ok = true;
@@ -438,29 +378,14 @@ SimDriver::run(const BuildReport &builds, CompanionCache &cache) const
         rec.millis = millisSince(cellStart);
     };
 
-    auto worker = [&] {
-        for (size_t k = nextJob.fetch_add(1); k < nJobs;
-             k = nextJob.fetch_add(1)) {
-            // Config-major execution order: spread early jobs across
-            // distinct apps so the companion memo fills in parallel.
-            simCell(k % nApps, k / nApps);
-        }
-    };
-
     auto start = Clock::now();
-    if (jobs <= 1) {
-        worker();
-    } else {
-        std::vector<std::thread> pool;
-        pool.reserve(jobs);
-        for (unsigned t = 0; t < jobs; ++t)
-            pool.emplace_back(worker);
-        for (auto &t : pool)
-            t.join();
-    }
+    // Config-major execution order: spread early jobs across distinct
+    // apps so the companion entries fill in parallel.
+    runOnPool(report.jobsUsed, nJobs,
+              [&](size_t k) { simCell(k % nApps, k / nApps); });
     report.wallMillis = millisSince(start);
-    report.companionBuilds = cache.builds() - builds0;
-    report.companionReuses = cache.hits() - hits0;
+    report.companionBuilds = cache.companionBuilds() - builds0;
+    report.companionReuses = cache.companionHits() - hits0;
     return report;
 }
 

@@ -7,75 +7,68 @@
  * in its sensor-network context concurrently and collects duty
  * cycles, cycle/instruction counts, and wedged/failed status into a
  * SimReport with deterministic app-major ordering. Companion mote
- * firmware (always the Baseline build of the companion app) is
- * compiled once per (companion, platform) in a thread-safe memo
- * shared by all cells, instead of once per simulation.
+ * firmware (always the Baseline build of the companion app) is an
+ * ordinary StageCache entry shared by all cells — and, when the
+ * caller passes the same cache that compiled the matrix (the
+ * Experiment facade does), shared with the matrix's own Baseline
+ * column. New code should prefer the Experiment facade
+ * (core/experiment.h).
  */
 #ifndef STOS_CORE_SIMDRIVER_H
 #define STOS_CORE_SIMDRIVER_H
 
-#include <atomic>
 #include <iosfwd>
-#include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/driver.h"
+#include "core/stagecache.h"
 #include "sim/decoded.h"
 
 namespace stos::core {
 
 /**
- * Thread-safe memo of Baseline companion firmware, keyed by
- * (app name, platform). The first caller to request a key builds it —
- * compile AND predecode; concurrent callers for the same key block on
- * that build and then share the immutable image/decode. Build
- * failures are cached too, and rethrown to every requester. The cache
- * outlives any single SimDriver::run: pass one instance to several
- * runs (e.g. the parallel run and its serial equivalence gate) and
- * the companions are built exactly once per process.
+ * DEPRECATED compatibility shim: the bespoke companion-firmware memo
+ * is now an ordinary StageCache companion entry; this wrapper only
+ * preserves the previous API for one PR. Use StageCache (or the
+ * Experiment facade, which owns one) instead. Note builds() counts
+ * companion entries materialized — with a cache shared with the
+ * build matrix the underlying firmware may itself have been reused
+ * from the matrix's Baseline column.
  */
 class CompanionCache {
   public:
     /**
      * Baseline image for `name` on `platform`; builds at most once.
-     * `builtHere`, when non-null, is set to whether this call did the
-     * build (vs being served from the memo).
+     * `builtHere`, when non-null, is set to whether this call
+     * materialized the entry (vs being served from the memo).
      */
     std::shared_ptr<const backend::MProgram>
     get(const std::string &name, const std::string &platform,
-        bool *builtHere = nullptr);
+        bool *builtHere = nullptr)
+    {
+        return stages_.companionImage(name, platform, builtHere);
+    }
 
     /** The shared predecode of the same image (built alongside it). */
     std::shared_ptr<const sim::DecodedProgram>
     getDecoded(const std::string &name, const std::string &platform,
-               bool *builtHere = nullptr);
+               bool *builtHere = nullptr)
+    {
+        return stages_.companionDecode(name, platform, builtHere);
+    }
 
-    /** Companion compiles actually executed. */
-    size_t builds() const { return builds_.load(); }
+    /** Companion entries actually materialized. */
+    size_t builds() const { return stages_.companionBuilds(); }
     /** Requests served from the memo without building. */
-    size_t hits() const { return hits_.load(); }
+    size_t hits() const { return stages_.companionHits(); }
+
+    /** The underlying stage cache. */
+    StageCache &stages() { return stages_; }
 
   private:
-    struct Entry {
-        std::once_flag once;
-        std::shared_ptr<const backend::MProgram> image;
-        std::shared_ptr<const sim::DecodedProgram> decoded;
-        std::exception_ptr error;
-    };
-
-    std::shared_ptr<Entry> entryFor(const std::string &name,
-                                    const std::string &platform,
-                                    bool *builtHere);
-
-    std::mutex mu_;
-    std::map<std::pair<std::string, std::string>,
-             std::shared_ptr<Entry>>
-        entries_;
-    std::atomic<size_t> builds_{0};
-    std::atomic<size_t> hits_{0};
+    StageCache stages_;
 };
 
 struct SimOptions {
@@ -177,13 +170,21 @@ class SimDriver {
 
     /**
      * As above, but companion firmware comes from (and is added to)
-     * the caller's persistent cache, so repeated runs — serial
-     * equivalence gates in particular — never rebuild a companion.
-     * The report's companionBuilds/companionReuses count this run
-     * only.
+     * the caller's persistent stage cache, so repeated runs — serial
+     * equivalence gates in particular — never rebuild a companion,
+     * and a cache shared with the build matrix reuses its Baseline
+     * cells outright. The report's companionBuilds/companionReuses
+     * count this run only.
      */
-    SimReport run(const BuildReport &builds,
-                  CompanionCache &cache) const;
+    SimReport run(const BuildReport &builds, StageCache &cache) const;
+
+    /** Source-compat shim for the pre-StageCache companion memo. */
+    [[deprecated("pass a StageCache, or use the Experiment facade")]]
+    SimReport
+    run(const BuildReport &builds, CompanionCache &cache) const
+    {
+        return run(builds, cache.stages());
+    }
 
     /** Field-for-field equivalence of two sim records (not timing). */
     static bool recordsEquivalent(const SimRecord &a, const SimRecord &b,

@@ -1,0 +1,276 @@
+/**
+ * @file
+ * StageCache implementation. Every stage follows the same pattern:
+ * resolve the entry under the map mutex, then execute the stage body
+ * at most once via the entry's once_flag (concurrent requesters block
+ * on the first execution and share the product; failures are cached
+ * and rethrown). A stage body requests its upstream product through
+ * the cache, so chains nest strictly downstream -> upstream and can
+ * never deadlock. Counters are relaxed atomics — they are statistics,
+ * not synchronization.
+ */
+#include "core/stagecache.h"
+
+#include <functional>
+
+namespace stos::core {
+
+const char *
+stageName(Stage s)
+{
+    switch (s) {
+      case Stage::Frontend: return "frontend";
+      case Stage::Safety: return "safety";
+      case Stage::Opt: return "opt";
+      case Stage::Backend: return "backend";
+    }
+    return "?";
+}
+
+//---------------------------------------------------------------------
+// Keys
+//---------------------------------------------------------------------
+
+std::string
+StageCache::appKey(const tinyos::AppInfo &app)
+{
+    // Content-keyed: two rows with the same name but different source
+    // (a tweaked custom app) must not collide. The frontend is
+    // platform-independent, so the platform is deliberately absent —
+    // it enters the chain in the backend fingerprint.
+    char hex[2 * sizeof(size_t) + 1];
+    snprintf(hex, sizeof hex, "%zx",
+             std::hash<std::string>{}(app.source));
+    return app.name + "#" + hex;
+}
+
+std::string
+StageCache::safetyKey(const tinyos::AppInfo &app,
+                      const PipelineConfig &cfg)
+{
+    return appKey(app) + "|" + safetyFingerprint(cfg);
+}
+
+std::string
+StageCache::optKey(const tinyos::AppInfo &app, const PipelineConfig &cfg)
+{
+    return safetyKey(app, cfg) + "|" + optFingerprint(cfg);
+}
+
+std::string
+StageCache::buildKey(const tinyos::AppInfo &app,
+                     const PipelineConfig &cfg)
+{
+    return optKey(app, cfg) + "|" + backendFingerprint(cfg);
+}
+
+//---------------------------------------------------------------------
+// Entries
+//---------------------------------------------------------------------
+
+template <typename T>
+std::shared_ptr<StageCache::Entry<T>>
+StageCache::entryFor(EntryMap<T> &map, const std::string &key)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto &slot = map[key];
+    if (!slot)
+        slot = std::make_shared<Entry<T>>();
+    return slot;
+}
+
+std::shared_ptr<const FrontendProduct>
+StageCache::frontend(const tinyos::AppInfo &app, StageHits *hits)
+{
+    auto entry = entryFor(frontends_, appKey(app));
+    bool ran = false;
+    std::call_once(entry->once, [&] {
+        ran = true;
+        try {
+            entry->value = std::make_shared<const FrontendProduct>(
+                runFrontend(app.name, app.source));
+        } catch (...) {
+            entry->error = std::current_exception();
+        }
+        feExec_.fetch_add(1, std::memory_order_relaxed);
+    });
+    if (!ran)
+        feReuse_.fetch_add(1, std::memory_order_relaxed);
+    if (hits)
+        hits->frontend = !ran;
+    if (entry->error)
+        std::rethrow_exception(entry->error);
+    return entry->value;
+}
+
+std::shared_ptr<const SafetyProduct>
+StageCache::safety(const tinyos::AppInfo &app, const PipelineConfig &cfg,
+                   StageHits *hits)
+{
+    auto entry = entryFor(safeties_, safetyKey(app, cfg));
+    bool ran = false;
+    std::call_once(entry->once, [&] {
+        ran = true;
+        try {
+            auto fe = frontend(app, hits);
+            entry->value = std::make_shared<const SafetyProduct>(
+                runSafetyStage(fe->module.clone(),
+                               fe->sourceManager.get(), cfg));
+        } catch (...) {
+            entry->error = std::current_exception();
+        }
+        saExec_.fetch_add(1, std::memory_order_relaxed);
+    });
+    if (!ran) {
+        saReuse_.fetch_add(1, std::memory_order_relaxed);
+        if (hits)
+            hits->frontend = true;  // served transitively
+    }
+    if (hits)
+        hits->safety = !ran;
+    if (entry->error)
+        std::rethrow_exception(entry->error);
+    return entry->value;
+}
+
+std::shared_ptr<const OptProduct>
+StageCache::opt(const tinyos::AppInfo &app, const PipelineConfig &cfg,
+                StageHits *hits)
+{
+    auto entry = entryFor(opts_, optKey(app, cfg));
+    bool ran = false;
+    std::call_once(entry->once, [&] {
+        ran = true;
+        try {
+            auto sp = safety(app, cfg, hits);
+            entry->value = std::make_shared<const OptProduct>(
+                runOptStage({sp->module.clone(), sp->report}, cfg));
+        } catch (...) {
+            entry->error = std::current_exception();
+        }
+        opExec_.fetch_add(1, std::memory_order_relaxed);
+    });
+    if (!ran) {
+        opReuse_.fetch_add(1, std::memory_order_relaxed);
+        if (hits) {
+            hits->frontend = true;
+            hits->safety = true;
+        }
+    }
+    if (hits)
+        hits->opt = !ran;
+    if (entry->error)
+        std::rethrow_exception(entry->error);
+    return entry->value;
+}
+
+std::shared_ptr<const BuildResult>
+StageCache::build(const tinyos::AppInfo &app, const PipelineConfig &cfg,
+                  StageHits *hits)
+{
+    auto entry = entryFor(builds_, buildKey(app, cfg));
+    bool ran = false;
+    std::call_once(entry->once, [&] {
+        ran = true;
+        try {
+            auto op = opt(app, cfg, hits);
+            entry->value = std::make_shared<const BuildResult>(
+                runBackendStage(
+                    {op->module.clone(), op->safetyReport, op->report},
+                    cfg));
+        } catch (...) {
+            entry->error = std::current_exception();
+        }
+        beExec_.fetch_add(1, std::memory_order_relaxed);
+    });
+    if (!ran) {
+        beReuse_.fetch_add(1, std::memory_order_relaxed);
+        if (hits) {
+            hits->frontend = true;
+            hits->safety = true;
+            hits->opt = true;
+        }
+    }
+    if (hits)
+        hits->backend = !ran;
+    if (entry->error)
+        std::rethrow_exception(entry->error);
+    return entry->value;
+}
+
+//---------------------------------------------------------------------
+// Companions
+//---------------------------------------------------------------------
+
+std::shared_ptr<StageCache::CompanionEntry>
+StageCache::companionEntry(const std::string &name,
+                           const std::string &platform, bool *builtHere)
+{
+    std::shared_ptr<CompanionEntry> entry;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto &slot = companions_[{name, platform}];
+        if (!slot)
+            slot = std::make_shared<CompanionEntry>();
+        entry = slot;
+    }
+    bool ran = false;
+    std::call_once(entry->once, [&] {
+        ran = true;
+        try {
+            const auto &app = tinyos::appByName(name);
+            PipelineConfig base = configFor(ConfigId::Baseline, platform);
+            // The firmware itself is the ordinary backend entry of
+            // (app, Baseline, platform) — shared with any matrix that
+            // builds the same cell; this entry just aliases it and
+            // memoizes the decode every simulating mote shares.
+            auto br = build(app, base);
+            entry->image = std::shared_ptr<const backend::MProgram>(
+                br, &br->image);
+            entry->decoded =
+                std::make_shared<const sim::DecodedProgram>(
+                    entry->image);
+        } catch (...) {
+            entry->error = std::current_exception();
+        }
+        coBuilds_.fetch_add(1, std::memory_order_relaxed);
+    });
+    if (!ran)
+        coHits_.fetch_add(1, std::memory_order_relaxed);
+    if (builtHere)
+        *builtHere = ran;
+    if (entry->error)
+        std::rethrow_exception(entry->error);
+    return entry;
+}
+
+std::shared_ptr<const backend::MProgram>
+StageCache::companionImage(const std::string &name,
+                           const std::string &platform, bool *builtHere)
+{
+    return companionEntry(name, platform, builtHere)->image;
+}
+
+std::shared_ptr<const sim::DecodedProgram>
+StageCache::companionDecode(const std::string &name,
+                            const std::string &platform, bool *builtHere)
+{
+    return companionEntry(name, platform, builtHere)->decoded;
+}
+
+//---------------------------------------------------------------------
+// Stats
+//---------------------------------------------------------------------
+
+StageCacheStats
+StageCache::stats() const
+{
+    StageCacheStats s;
+    s.frontend = {feExec_.load(), feReuse_.load()};
+    s.safety = {saExec_.load(), saReuse_.load()};
+    s.opt = {opExec_.load(), opReuse_.load()};
+    s.backend = {beExec_.load(), beReuse_.load()};
+    return s;
+}
+
+} // namespace stos::core

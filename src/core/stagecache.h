@@ -1,0 +1,166 @@
+/**
+ * @file
+ * StageCache: a thread-safe, content-keyed memo of the pipeline's
+ * stage graph (Frontend -> Safety -> Opt -> Backend). Every product
+ * is keyed by (app identity, stage-relevant fingerprint chain of the
+ * PipelineConfig), so evaluation-matrix columns that only diverge
+ * late share the early work: C4/C5/C6 differ only in cXprop options
+ * and share one safety run per app; Baseline/C7 share the unsafe
+ * pass-through; repeated runs over one cache (equivalence gates)
+ * rebuild nothing at all. Companion mote firmware is an ordinary
+ * backend entry plus a memoized decode, replacing the bespoke
+ * CompanionCache.
+ *
+ * The first requester of a key executes the stage; concurrent
+ * requesters block on that execution and share the immutable product.
+ * Failures are cached and rethrown to every requester. All products
+ * are immutable after construction, so sharing needs no further
+ * locking.
+ */
+#ifndef STOS_CORE_STAGECACHE_H
+#define STOS_CORE_STAGECACHE_H
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/pipeline.h"
+#include "sim/decoded.h"
+#include "tinyos/tinyos.h"
+
+namespace stos::core {
+
+/** The stages of the build graph, in dataflow order. */
+enum class Stage { Frontend, Safety, Opt, Backend };
+
+const char *stageName(Stage s);
+
+/** Execution counters of one stage (executed + reused = requests). */
+struct StageStats {
+    size_t executed = 0;  ///< stage bodies actually run
+    size_t reused = 0;    ///< requests served from the memo
+};
+
+/** Snapshot of every stage's counters. */
+struct StageCacheStats {
+    StageStats frontend, safety, opt, backend;
+};
+
+/**
+ * Which stages of one request chain were served from the cache. A
+ * stage served from the cache implies everything upstream of it was
+ * too (the chain never re-executes above a hit).
+ */
+struct StageHits {
+    bool frontend = false;
+    bool safety = false;
+    bool opt = false;
+    bool backend = false;
+};
+
+class StageCache {
+  public:
+    StageCache() = default;
+    StageCache(const StageCache &) = delete;
+    StageCache &operator=(const StageCache &) = delete;
+
+    //--- key derivation (exposed so benches and tests can predict
+    //--- sharing: two cells share a stage iff their keys match) ----
+    static std::string appKey(const tinyos::AppInfo &app);
+    static std::string safetyKey(const tinyos::AppInfo &app,
+                                 const PipelineConfig &cfg);
+    static std::string optKey(const tinyos::AppInfo &app,
+                              const PipelineConfig &cfg);
+    static std::string buildKey(const tinyos::AppInfo &app,
+                                const PipelineConfig &cfg);
+
+    //--- stage products -------------------------------------------
+    std::shared_ptr<const FrontendProduct>
+    frontend(const tinyos::AppInfo &app, StageHits *hits = nullptr);
+
+    std::shared_ptr<const SafetyProduct>
+    safety(const tinyos::AppInfo &app, const PipelineConfig &cfg,
+           StageHits *hits = nullptr);
+
+    std::shared_ptr<const OptProduct>
+    opt(const tinyos::AppInfo &app, const PipelineConfig &cfg,
+        StageHits *hits = nullptr);
+
+    /** The full build (backend product) of one matrix cell. */
+    std::shared_ptr<const BuildResult>
+    build(const tinyos::AppInfo &app, const PipelineConfig &cfg,
+          StageHits *hits = nullptr);
+
+    //--- companion firmware ---------------------------------------
+    /**
+     * Baseline firmware for registry app `name` on `platform` — an
+     * alias into the backend entry of (app, Baseline config), so a
+     * matrix that already built that cell shares it outright.
+     * `builtHere`, when non-null, reports whether this call
+     * materialized the companion entry (vs being served from it).
+     */
+    std::shared_ptr<const backend::MProgram>
+    companionImage(const std::string &name, const std::string &platform,
+                   bool *builtHere = nullptr);
+
+    /** The shared predecode of the same image (built alongside it). */
+    std::shared_ptr<const sim::DecodedProgram>
+    companionDecode(const std::string &name, const std::string &platform,
+                    bool *builtHere = nullptr);
+
+    //--- counters -------------------------------------------------
+    /**
+     * Per-stage request counters. `reused` counts requests served
+     * from the memo at that stage — note a request chain stops at its
+     * first hit, so upstream stages never see the request at all
+     * (drivers derive per-cell reuse from StageHits instead).
+     */
+    StageCacheStats stats() const;
+
+    /** Companion entries materialized / served (CompanionCache ABI). */
+    size_t companionBuilds() const { return coBuilds_.load(); }
+    size_t companionHits() const { return coHits_.load(); }
+
+  private:
+    template <typename T> struct Entry {
+        std::once_flag once;
+        std::shared_ptr<const T> value;
+        std::exception_ptr error;
+    };
+    struct CompanionEntry {
+        std::once_flag once;
+        std::shared_ptr<const backend::MProgram> image;
+        std::shared_ptr<const sim::DecodedProgram> decoded;
+        std::exception_ptr error;
+    };
+    template <typename T>
+    using EntryMap = std::map<std::string, std::shared_ptr<Entry<T>>>;
+
+    template <typename T>
+    std::shared_ptr<Entry<T>> entryFor(EntryMap<T> &map,
+                                       const std::string &key);
+    std::shared_ptr<CompanionEntry>
+    companionEntry(const std::string &name, const std::string &platform,
+                   bool *builtHere);
+
+    mutable std::mutex mu_;
+    EntryMap<FrontendProduct> frontends_;
+    EntryMap<SafetyProduct> safeties_;
+    EntryMap<OptProduct> opts_;
+    EntryMap<BuildResult> builds_;
+    std::map<std::pair<std::string, std::string>,
+             std::shared_ptr<CompanionEntry>>
+        companions_;
+
+    std::atomic<size_t> feExec_{0}, feReuse_{0};
+    std::atomic<size_t> saExec_{0}, saReuse_{0};
+    std::atomic<size_t> opExec_{0}, opReuse_{0};
+    std::atomic<size_t> beExec_{0}, beReuse_{0};
+    std::atomic<size_t> coBuilds_{0}, coHits_{0};
+};
+
+} // namespace stos::core
+
+#endif

@@ -296,9 +296,9 @@ TEST(DifferentialMatrix, AllFigure3ConfigsAgree)
         Outcome ref;
         for (size_t c = 0; c < rep.numConfigs; ++c) {
             const BuildRecord &rec = rep.at(a, c);
-            Module m = rec.result.module.clone();
+            Module m = rec.result->module.clone();
             Outcome iOut = runInterp(m);
-            Outcome mOut = runImage(rec.result.image);
+            Outcome mOut = runImage(rec.result->image);
             EXPECT_EQ(iOut.uart, mOut.uart)
                 << rec.app << " under " << rec.config
                 << ": interpreter vs machine";

@@ -162,7 +162,7 @@ TEST(BuildDriver, CustomColumnsDriveAblation)
     BuildReport rep = d.run();
     ASSERT_TRUE(rep.allOk());
     EXPECT_EQ(rep.at(0, 0).config, "no-atomic-opt");
-    EXPECT_EQ(rep.at(0, 0).result.cxpropReport.atomicsRemoved, 0u);
+    EXPECT_EQ(rep.at(0, 0).result->cxpropReport.atomicsRemoved, 0u);
 }
 
 TEST(BuildDriver, Figure3MatrixCoversEveryCell)
@@ -175,7 +175,7 @@ TEST(BuildDriver, Figure3MatrixCoversEveryCell)
     // Column 0 is the unsafe baseline every figure normalizes to.
     for (size_t a = 0; a < rep.numApps; ++a) {
         EXPECT_EQ(rep.at(a, 0).config, configName(ConfigId::Baseline));
-        EXPECT_GT(rep.at(a, 0).result.codeBytes, 0u);
+        EXPECT_GT(rep.at(a, 0).result->codeBytes, 0u);
     }
 }
 
@@ -261,7 +261,7 @@ TEST(BuildDriver, Figure2MatrixChecksMonotone)
     for (size_t a = 0; a < rep.numApps; ++a) {
         uint32_t prev = ~0u;
         for (size_t c = 0; c < rep.numConfigs; ++c) {
-            uint32_t survive = rep.at(a, c).result.survivingChecks;
+            uint32_t survive = rep.at(a, c).result->survivingChecks;
             EXPECT_LE(survive, prev)
                 << rep.at(a, c).app << " strategy " << c;
             prev = survive;

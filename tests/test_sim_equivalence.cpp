@@ -66,8 +66,8 @@ TEST(SimEquivalence, EveryFigure3CellMatchesOnASingleMote)
     const BuildReport &rep = matrix();
     ASSERT_TRUE(rep.allOk());
     for (const BuildRecord &r : rep.records) {
-        Machine legacy(r.result.image, 1, ExecMode::Legacy);
-        Machine pre(r.result.image, 1, ExecMode::Predecoded);
+        Machine legacy(r.result->image, 1, ExecMode::Legacy);
+        Machine pre(r.result->image, 1, ExecMode::Predecoded);
         legacy.boot();
         pre.boot();
         legacy.runUntilCycle(kCycles);
@@ -84,13 +84,13 @@ runNetwork(const BuildRecord &r, const BuildReport &rep,
            const NetworkOptions &opts, uint64_t cycles)
 {
     Network net(opts);
-    net.addMote(r.result.image, 1);
+    net.addMote(r.result->image, 1);
     uint8_t nextId = 2;
     for (const auto &cname : r.companions) {
         const BuildRecord *comp =
             rep.find(cname, configName(ConfigId::Baseline));
         EXPECT_NE(comp, nullptr) << cname;
-        net.addMote(comp->result.image, nextId++);
+        net.addMote(comp->result->image, nextId++);
     }
     net.run(cycles);
     std::vector<MoteStats> out;

@@ -1,0 +1,282 @@
+/**
+ * @file
+ * StageCache tests: exactly-once stage execution under concurrent
+ * requests, failure caching and rethrow, fingerprint sensitivity
+ * (changing only CxpropOptions must NOT invalidate the safety stage;
+ * changing SafetyConfig must), companion entries aliasing the
+ * matrix's Baseline cells, and full Figure-3-matrix byte-identity of
+ * cached vs cold builds.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "core/driver.h"
+#include "core/stagecache.h"
+
+namespace stos {
+namespace {
+
+using namespace stos::core;
+using namespace stos::tinyos;
+
+TEST(StageCache, ExecutesEachStageExactlyOnceUnderContention)
+{
+    StageCache cache;
+    const auto &app = appByName("BlinkTask");
+    PipelineConfig cfg =
+        configFor(ConfigId::SafeFlidInlineCxprop, app.platform);
+    constexpr unsigned kThreads = 8;
+    std::vector<std::shared_ptr<const BuildResult>> results(kThreads);
+    std::vector<std::thread> pool;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        pool.emplace_back([&, t] {
+            results[t] = cache.build(app, cfg);
+        });
+    }
+    for (auto &t : pool)
+        t.join();
+
+    StageCacheStats s = cache.stats();
+    EXPECT_EQ(s.frontend.executed, 1u);
+    EXPECT_EQ(s.safety.executed, 1u);
+    EXPECT_EQ(s.opt.executed, 1u);
+    EXPECT_EQ(s.backend.executed, 1u);
+    EXPECT_EQ(s.backend.reused, kThreads - 1);
+    for (unsigned t = 1; t < kThreads; ++t)
+        EXPECT_EQ(results[t].get(), results[0].get())
+            << "all requesters must share one immutable product";
+}
+
+TEST(StageCache, FailuresAreCachedAndRethrownAtEveryLevel)
+{
+    StageCache cache;
+    tinyos::AppInfo broken{"Broken", "Mica2", "void main( {", {}};
+    PipelineConfig cfg = configFor(ConfigId::Baseline, broken.platform);
+    EXPECT_THROW(cache.build(broken, cfg), std::exception);
+    EXPECT_THROW(cache.build(broken, cfg), std::exception);
+    EXPECT_THROW(cache.frontend(broken), std::exception);
+    StageCacheStats s = cache.stats();
+    EXPECT_EQ(s.frontend.executed, 1u)
+        << "the failed parse must be memoized, not retried";
+    EXPECT_EQ(s.backend.executed, 1u);
+    EXPECT_EQ(s.backend.reused, 1u);
+}
+
+TEST(StageCache, SafetyFingerprintIgnoresCxpropOptions)
+{
+    const auto &app = appByName("BlinkTask");
+    PipelineConfig c4 = configFor(ConfigId::SafeFlid, app.platform);
+    PipelineConfig c5 =
+        configFor(ConfigId::SafeFlidCxprop, app.platform);
+    PipelineConfig c6 =
+        configFor(ConfigId::SafeFlidInlineCxprop, app.platform);
+
+    // C4/C5/C6 share the FLID safety transform: one safety key.
+    EXPECT_EQ(StageCache::safetyKey(app, c4),
+              StageCache::safetyKey(app, c5));
+    EXPECT_EQ(StageCache::safetyKey(app, c4),
+              StageCache::safetyKey(app, c6));
+    // ...but distinct opt keys where cXprop options differ.
+    EXPECT_NE(StageCache::optKey(app, c5), StageCache::optKey(app, c6));
+
+    // Tweaking only CxpropOptions must not invalidate the safety
+    // stage; tweaking SafetyConfig must.
+    PipelineConfig cxTweak = c6;
+    cxTweak.cxprop.domains.knownBits = false;
+    EXPECT_EQ(StageCache::safetyKey(app, c6),
+              StageCache::safetyKey(app, cxTweak));
+    EXPECT_NE(StageCache::optKey(app, c6),
+              StageCache::optKey(app, cxTweak));
+
+    PipelineConfig safetyTweak = c6;
+    safetyTweak.safety.errorMode = safety::ErrorMode::Terse;
+    EXPECT_NE(StageCache::safetyKey(app, c6),
+              StageCache::safetyKey(app, safetyTweak));
+
+    // Baseline/C7 share the unsafe pass-through.
+    PipelineConfig base = configFor(ConfigId::Baseline, app.platform);
+    PipelineConfig c7 =
+        configFor(ConfigId::UnsafeInlineCxprop, app.platform);
+    EXPECT_EQ(StageCache::safetyKey(app, base),
+              StageCache::safetyKey(app, c7));
+
+    // The platform only enters at the backend stage.
+    PipelineConfig telos = c4;
+    telos.platform = "TelosB";
+    EXPECT_EQ(StageCache::optKey(app, c4),
+              StageCache::optKey(app, telos));
+    EXPECT_NE(StageCache::buildKey(app, c4),
+              StageCache::buildKey(app, telos));
+}
+
+TEST(StageCache, SharedFingerprintsShareOneExecution)
+{
+    StageCache cache;
+    const auto &app = appByName("BlinkTask");
+    PipelineConfig c4 = configFor(ConfigId::SafeFlid, app.platform);
+    PipelineConfig c5 =
+        configFor(ConfigId::SafeFlidCxprop, app.platform);
+    PipelineConfig c6 =
+        configFor(ConfigId::SafeFlidInlineCxprop, app.platform);
+
+    auto r4 = cache.build(app, c4);
+    auto r5 = cache.build(app, c5);
+    auto r6 = cache.build(app, c6);
+    ASSERT_NE(r4, nullptr);
+    ASSERT_NE(r5, nullptr);
+    ASSERT_NE(r6, nullptr);
+
+    StageCacheStats s = cache.stats();
+    EXPECT_EQ(s.frontend.executed, 1u);
+    EXPECT_EQ(s.safety.executed, 1u)
+        << "C4/C5/C6 must share one safety run";
+    EXPECT_EQ(s.opt.executed, 3u);
+    EXPECT_EQ(s.backend.executed, 3u);
+    // The shared safety product is one object, not three equal ones.
+    EXPECT_EQ(cache.safety(app, c4).get(), cache.safety(app, c6).get());
+
+    // A different safety config forces a new safety run.
+    PipelineConfig c1 =
+        configFor(ConfigId::SafeVerboseRam, app.platform);
+    cache.build(app, c1);
+    EXPECT_EQ(cache.stats().safety.executed, 2u);
+    EXPECT_EQ(cache.stats().frontend.executed, 1u);
+}
+
+TEST(StageCache, CompanionAliasesTheMatrixBaselineCell)
+{
+    StageCache cache;
+    const auto &app = appByName("CntToLedsAndRfm");
+    PipelineConfig base = configFor(ConfigId::Baseline, app.platform);
+    auto cell = cache.build(app, base);
+    size_t backendRuns = cache.stats().backend.executed;
+
+    bool builtHere = false;
+    auto image =
+        cache.companionImage(app.name, app.platform, &builtHere);
+    EXPECT_TRUE(builtHere);
+    EXPECT_EQ(cache.stats().backend.executed, backendRuns)
+        << "the companion must reuse the matrix's Baseline build";
+    EXPECT_EQ(image.get(), &cell->image)
+        << "the companion image must alias the cached BuildResult";
+
+    auto decoded = cache.companionDecode(app.name, app.platform);
+    EXPECT_EQ(&decoded->program(), image.get());
+    EXPECT_EQ(cache.companionBuilds(), 1u);
+    EXPECT_GE(cache.companionHits(), 1u);
+}
+
+TEST(StageCache, Figure3CachedMatchesColdByteForByte)
+{
+    // The acceptance gate of the whole redesign: on the full Figure-3
+    // matrix, safety executions equal the number of distinct
+    // (app, safety-fingerprint) pairs — 5 error-mode variants per app,
+    // not 8 cells — while every cached BuildResult stays
+    // byte-identical to a cold per-cell compile.
+    BuildReport cached = BuildDriver::figure3Matrix();
+    DriverOptions coldOpts;
+    coldOpts.memoizeFrontend = false;
+    BuildReport cold = BuildDriver::figure3Matrix(coldOpts);
+
+    ASSERT_TRUE(cached.allOk());
+    ASSERT_TRUE(cold.allOk());
+    EXPECT_EQ(cached.frontendParses, cached.numApps);
+    EXPECT_EQ(cached.safetyRuns, 5 * cached.numApps)
+        << "unsafe + VerboseRam + VerboseRom + Terse + Flid per app";
+    EXPECT_EQ(cached.optRuns, cached.records.size())
+        << "every Figure-3 column has a distinct opt fingerprint chain";
+    EXPECT_EQ(cached.backendRuns, cached.records.size());
+    EXPECT_EQ(cached.safetyReuses, 3 * cached.numApps)
+        << "C5/C6 reuse C4's safety run; C7 reuses Baseline's";
+    EXPECT_GT(cached.stageReuses(), 0u);
+
+    ASSERT_EQ(cached.records.size(), cold.records.size());
+    for (size_t i = 0; i < cached.records.size(); ++i) {
+        std::string why;
+        EXPECT_TRUE(BuildDriver::recordsEquivalent(
+            cold.records[i], cached.records[i], &why))
+            << why;
+    }
+}
+
+TEST(StageCache, PersistentCacheServesARepeatRunEntirely)
+{
+    StageCache cache;
+    BuildDriver d;
+    d.addApp(appByName("BlinkTask"));
+    d.addApp(appByName("SenseToRfm"));
+    d.addConfig(ConfigId::Baseline);
+    d.addConfig(ConfigId::SafeFlid);
+
+    BuildReport first = d.run(cache);
+    ASSERT_TRUE(first.allOk());
+    EXPECT_EQ(first.backendRuns, first.records.size());
+
+    BuildReport second = d.run(cache);
+    ASSERT_TRUE(second.allOk());
+    EXPECT_EQ(second.frontendParses, 0u);
+    EXPECT_EQ(second.safetyRuns, 0u);
+    EXPECT_EQ(second.optRuns, 0u);
+    EXPECT_EQ(second.backendRuns, 0u)
+        << "a repeat run over one cache must rebuild nothing";
+    EXPECT_EQ(second.backendReuses, second.records.size());
+    for (size_t i = 0; i < first.records.size(); ++i) {
+        std::string why;
+        EXPECT_TRUE(BuildDriver::recordsEquivalent(
+            first.records[i], second.records[i], &why))
+            << why;
+    }
+}
+
+TEST(StageCache, ContentKeyedAppsDoNotCollideOnName)
+{
+    StageCache cache;
+    tinyos::AppInfo a{"same", "Mica2",
+                      "void main() { stos_run_scheduler(); }", {}};
+    tinyos::AppInfo b{"same", "Mica2",
+                      "task void t() { } void main() { post t; "
+                      "stos_run_scheduler(); }",
+                      {}};
+    EXPECT_NE(StageCache::appKey(a), StageCache::appKey(b));
+    PipelineConfig cfg = configFor(ConfigId::Baseline, "Mica2");
+    auto ra = cache.build(a, cfg);
+    auto rb = cache.build(b, cfg);
+    EXPECT_EQ(cache.stats().frontend.executed, 2u);
+    EXPECT_NE(ra.get(), rb.get());
+}
+
+TEST(BuildReport, SummaryAndEmittersSurfaceStageCounters)
+{
+    BuildDriver d;
+    d.addApp(appByName("BlinkTask"));
+    d.addConfig(ConfigId::SafeFlid);
+    d.addConfig(ConfigId::SafeFlidCxprop);
+    BuildReport rep = d.run();
+    ASSERT_TRUE(rep.allOk());
+    EXPECT_EQ(rep.safetyRuns, 1u);
+    EXPECT_EQ(rep.safetyReuses, 1u);
+
+    EXPECT_NE(rep.summary().find("safety 1/1"), std::string::npos)
+        << rep.summary();
+
+    std::ostringstream json;
+    rep.emitJson(json);
+    EXPECT_NE(json.str().find("\"safety_runs\": 1"), std::string::npos);
+    EXPECT_NE(json.str().find("\"stage_reuses\":"), std::string::npos);
+    EXPECT_NE(json.str().find("\"safety_reused\": true"),
+              std::string::npos);
+
+    std::ostringstream csv;
+    rep.emitCsv(csv);
+    std::istringstream in(csv.str());
+    std::string header;
+    ASSERT_TRUE(std::getline(in, header));
+    EXPECT_NE(header.find("safety_reused"), std::string::npos);
+    EXPECT_NE(header.find("opt_reused"), std::string::npos);
+}
+
+} // namespace
+} // namespace stos
