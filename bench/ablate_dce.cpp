@@ -21,7 +21,7 @@ main(int argc, char **argv)
 {
     BenchCli cli = BenchCli::parse(argc, argv, 0.5);
     Experiment exp(cli.options());
-    exp.addAllApps();
+    exp.addApps(cli.corpusApps());
     exp.addConfig(ConfigId::SafeFlidInlineCxprop);
     exp.addCustom("weak-dce", [](const std::string &platform) {
         PipelineConfig cfg =

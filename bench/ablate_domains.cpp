@@ -19,7 +19,7 @@ main(int argc, char **argv)
 {
     BenchCli cli = BenchCli::parse(argc, argv);
     Experiment exp(cli.options(/*simulate=*/false));
-    exp.addAllApps();
+    exp.addApps(cli.corpusApps());
     // Column 0: unoptimized CCured — its safety report carries the
     // inserted-check reference count.
     exp.addStrategy(CheckStrategy::GccOnly);

@@ -103,6 +103,10 @@ emitTo(const std::string &path, Emit emit)
  *                 no stage memoization, per-cell companion rebuilds,
  *                 legacy interpreter, lockstep networks) and gate
  *                 cell-for-cell equivalence against it
+ *   --corpus=paper|full
+ *                 row set for corpus-driven benches: the paper's
+ *                 twelve applications (default, matches the figures)
+ *                 or the whole expanded registry
  *   --jobs N      worker threads (0 = hardware concurrency)
  *   --csv PATH    write the report as CSV
  *   --json PATH   write the report as JSON
@@ -116,6 +120,7 @@ emitTo(const std::string &path, Emit emit)
 struct BenchCli {
     bool serial = false;
     unsigned jobs = 0;
+    std::string corpus = "paper";
     std::string csvPath;
     std::string jsonPath;
     std::string joinedCsvPath;
@@ -130,6 +135,13 @@ struct BenchCli {
         for (int i = 1; i < argc; ++i) {
             if (!std::strcmp(argv[i], "--serial")) {
                 f.serial = true;
+            } else if (!std::strncmp(argv[i], "--corpus=", 9)) {
+                f.corpus = argv[i] + 9;
+                if (f.corpus != "paper" && f.corpus != "full") {
+                    fprintf(stderr,
+                            "--corpus must be 'paper' or 'full'\n");
+                    std::exit(2);
+                }
             } else if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc) {
                 f.jobs = static_cast<unsigned>(std::atoi(argv[++i]));
             } else if (!std::strcmp(argv[i], "--csv") && i + 1 < argc) {
@@ -144,14 +156,32 @@ struct BenchCli {
                 f.joinedJsonPath = argv[++i];
             } else {
                 fprintf(stderr,
-                        "usage: %s [--serial] [--jobs N] [--csv PATH] "
-                        "[--json PATH] [--joined-csv PATH] "
-                        "[--joined-json PATH]\n",
+                        "usage: %s [--serial] [--corpus=paper|full] "
+                        "[--jobs N] [--csv PATH] [--json PATH] "
+                        "[--joined-csv PATH] [--joined-json PATH]\n",
                         argv[0]);
                 std::exit(2);
             }
         }
         return f;
+    }
+
+    /**
+     * The benchmark's row set: the paper's twelve (default) or the
+     * whole registry, optionally filtered to one platform (the
+     * Figure-3(c) Mica2 row set).
+     */
+    std::vector<tinyos::AppInfo>
+    corpusApps(const std::string &platform = std::string()) const
+    {
+        const auto &src = corpus == "full" ? tinyos::allApps()
+                                           : tinyos::paperApps();
+        std::vector<tinyos::AppInfo> out;
+        for (const auto &app : src) {
+            if (platform.empty() || app.platform == platform)
+                out.push_back(app);
+        }
+        return out;
     }
 
     /** ExperimentOptions for this command line. */

@@ -23,7 +23,7 @@ main(int argc, char **argv)
 {
     BenchCli cli = BenchCli::parse(argc, argv);
     Experiment exp(cli.options(/*simulate=*/false));
-    exp.addAllApps();
+    exp.addApps(cli.corpusApps());
     exp.addStrategies({CheckStrategy::GccOnly, CheckStrategy::CcuredOpt,
                        CheckStrategy::CcuredOptCxprop,
                        CheckStrategy::CcuredOptInlineCxprop});

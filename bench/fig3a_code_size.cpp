@@ -19,7 +19,7 @@ main(int argc, char **argv)
 {
     BenchCli cli = BenchCli::parse(argc, argv);
     Experiment exp(cli.options(/*simulate=*/false));
-    exp.addAllApps();
+    exp.addApps(cli.corpusApps());
     exp.addConfig(ConfigId::Baseline);
     exp.addConfigs(figure3Configs());
 

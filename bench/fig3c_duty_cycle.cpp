@@ -1,8 +1,9 @@
 /**
  * @file
  * Figure 3(c) reproduction: change in duty cycle (fraction of time
- * the CPU is awake) for the eleven Mica2 applications, each run in
- * its sensor-network context on the cycle simulator. The paper uses
+ * the CPU is awake) for the Mica2 applications — the paper's eleven
+ * by default, the whole expanded corpus with --corpus=full — each run
+ * in its sensor-network context on the cycle simulator. The paper uses
  * three simulated minutes; the default here is three simulated
  * seconds so the whole harness stays fast — set
  * SAFE_TINYOS_SIM_SECONDS=180 to match the paper exactly.
@@ -30,7 +31,7 @@ main(int argc, char **argv)
     // The paper's duty graph covers Mica2 apps only; don't waste
     // builds on the TelosB rows.
     Experiment exp(cli.options());
-    exp.addAppsOn("Mica2");
+    exp.addApps(cli.corpusApps("Mica2"));
     exp.addConfig(ConfigId::Baseline);
     exp.addConfigs(figure3Configs());
 

@@ -42,7 +42,7 @@ main(int argc, char **argv)
 {
     BenchCli cli = BenchCli::parse(argc, argv, 1.0);
     Experiment exp(cli.options());
-    exp.addApp({"minimal", "Mica2", kMinimalApp, {}});
+    exp.addApp({"minimal", "Mica2", kMinimalApp, {}, "custom", {}});
     exp.addConfig(ConfigId::Baseline);
     exp.addCustom("naive runtime", [](const std::string &platform) {
         PipelineConfig cfg = configFor(ConfigId::SafeVerboseRam, platform);

@@ -123,7 +123,7 @@ main(int argc, char **argv)
     // from the same cache, aliasing the matrix's Baseline column.
     StageCache cache;
     Experiment exp(cli.options(/*simulate=*/false));
-    exp.addAppsOn("Mica2");
+    exp.addApps(cli.corpusApps("Mica2"));
     exp.addConfig(ConfigId::Baseline);
     exp.addConfigs(figure3Configs());
     ExperimentReport built = exp.run(cache);

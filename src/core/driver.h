@@ -119,7 +119,7 @@ class BuildDriver {
 
     BuildDriver &addApp(const tinyos::AppInfo &app);
     BuildDriver &addApps(const std::vector<tinyos::AppInfo> &apps);
-    /** All twelve benchmark applications. */
+    /** The whole registry corpus (paper + expanded families). */
     BuildDriver &addAllApps();
 
     BuildDriver &addConfig(ConfigId id);

@@ -90,6 +90,20 @@ Experiment::addAllApps()
 }
 
 Experiment &
+Experiment::addPaperApps()
+{
+    builder_.addApps(tinyos::paperApps());
+    return *this;
+}
+
+Experiment &
+Experiment::addAppsByTag(const std::string &tag)
+{
+    builder_.addApps(tinyos::appsByTag(tag));
+    return *this;
+}
+
+Experiment &
 Experiment::addAppsOn(const std::string &platform)
 {
     for (const auto &app : tinyos::allApps()) {

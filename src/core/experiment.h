@@ -82,8 +82,12 @@ class Experiment {
     //--- rows -----------------------------------------------------
     Experiment &addApp(const tinyos::AppInfo &app);
     Experiment &addApps(const std::vector<tinyos::AppInfo> &apps);
-    /** All twelve benchmark applications. */
+    /** The whole registry corpus (paper + expanded families). */
     Experiment &addAllApps();
+    /** The paper's twelve benchmark applications. */
+    Experiment &addPaperApps();
+    /** Registry apps of one scenario family / tag ("routing", ...). */
+    Experiment &addAppsByTag(const std::string &tag);
     /** Registry apps on one platform (the Figure-3(c) row set). */
     Experiment &addAppsOn(const std::string &platform);
 

@@ -11,6 +11,8 @@
 
 #include <atomic>
 #include <cstddef>
+#include <exception>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -39,6 +41,12 @@ resolveJobs(unsigned requested, size_t nJobs)
  * claimed from a single atomic counter, so threads stay busy until
  * the matrix drains; `fn` must confine its effects to slot k (or be
  * internally synchronized, as the StageCache is).
+ *
+ * An exception escaping `fn` does not call std::terminate (the old
+ * behaviour — an unwound worker thread): the first exception is
+ * captured, every worker stops claiming new jobs and is joined, and
+ * the exception is rethrown on the caller. Jobs already running when
+ * the failure happens still complete.
  */
 template <typename Fn>
 inline void
@@ -47,21 +55,36 @@ runOnPool(unsigned jobs, size_t nJobs, Fn &&fn)
     if (nJobs == 0)
         return;
     std::atomic<size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+    std::mutex errorMu;
     auto worker = [&] {
-        for (size_t k = next.fetch_add(1); k < nJobs;
-             k = next.fetch_add(1))
-            fn(k);
+        while (!failed.load(std::memory_order_relaxed)) {
+            size_t k = next.fetch_add(1);
+            if (k >= nJobs)
+                return;
+            try {
+                fn(k);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(errorMu);
+                if (!error)
+                    error = std::current_exception();
+                failed.store(true, std::memory_order_relaxed);
+            }
+        }
     };
     if (jobs <= 1) {
         worker();
-        return;
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(jobs);
+        for (unsigned t = 0; t < jobs; ++t)
+            pool.emplace_back(worker);
+        for (auto &t : pool)
+            t.join();
     }
-    std::vector<std::thread> pool;
-    pool.reserve(jobs);
-    for (unsigned t = 0; t < jobs; ++t)
-        pool.emplace_back(worker);
-    for (auto &t : pool)
-        t.join();
+    if (error)
+        std::rethrow_exception(error);
 }
 
 } // namespace stos::core

@@ -209,10 +209,17 @@ SimReport::joinJson(const BuildReport &builds, std::ostream &os) const
        << "  \"num_configs\": " << numConfigs << ",\n"
        << "  \"seconds\": " << strfmt("%g", seconds) << ",\n"
        // Stage-cache counters of the build phase, so the cache win
-       // (safety runs << cells) is visible in the joined artifact.
+       // (safety runs << cells) is visible in the joined artifact and
+       // CI can validate every stage's run/reuse count against the
+       // matrix's distinct content keys.
        << "  \"frontend_parses\": " << builds.frontendParses << ",\n"
+       << "  \"frontend_reuses\": " << builds.frontendReuses << ",\n"
        << "  \"safety_runs\": " << builds.safetyRuns << ",\n"
        << "  \"safety_reuses\": " << builds.safetyReuses << ",\n"
+       << "  \"opt_runs\": " << builds.optRuns << ",\n"
+       << "  \"opt_reuses\": " << builds.optReuses << ",\n"
+       << "  \"backend_runs\": " << builds.backendRuns << ",\n"
+       << "  \"backend_reuses\": " << builds.backendReuses << ",\n"
        << "  \"stage_reuses\": " << builds.stageReuses() << ",\n"
        << "  \"records\": [\n";
     for (size_t i = 0; i < records.size(); ++i) {

@@ -28,49 +28,6 @@
 
 namespace stos::core {
 
-/**
- * DEPRECATED compatibility shim: the bespoke companion-firmware memo
- * is now an ordinary StageCache companion entry; this wrapper only
- * preserves the previous API for one PR. Use StageCache (or the
- * Experiment facade, which owns one) instead. Note builds() counts
- * companion entries materialized — with a cache shared with the
- * build matrix the underlying firmware may itself have been reused
- * from the matrix's Baseline column.
- */
-class CompanionCache {
-  public:
-    /**
-     * Baseline image for `name` on `platform`; builds at most once.
-     * `builtHere`, when non-null, is set to whether this call
-     * materialized the entry (vs being served from the memo).
-     */
-    std::shared_ptr<const backend::MProgram>
-    get(const std::string &name, const std::string &platform,
-        bool *builtHere = nullptr)
-    {
-        return stages_.companionImage(name, platform, builtHere);
-    }
-
-    /** The shared predecode of the same image (built alongside it). */
-    std::shared_ptr<const sim::DecodedProgram>
-    getDecoded(const std::string &name, const std::string &platform,
-               bool *builtHere = nullptr)
-    {
-        return stages_.companionDecode(name, platform, builtHere);
-    }
-
-    /** Companion entries actually materialized. */
-    size_t builds() const { return stages_.companionBuilds(); }
-    /** Requests served from the memo without building. */
-    size_t hits() const { return stages_.companionHits(); }
-
-    /** The underlying stage cache. */
-    StageCache &stages() { return stages_; }
-
-  private:
-    StageCache stages_;
-};
-
 struct SimOptions {
     /** Worker threads; 0 = std::thread::hardware_concurrency(). */
     unsigned jobs = 0;
@@ -177,14 +134,6 @@ class SimDriver {
      * count this run only.
      */
     SimReport run(const BuildReport &builds, StageCache &cache) const;
-
-    /** Source-compat shim for the pre-StageCache companion memo. */
-    [[deprecated("pass a StageCache, or use the Experiment facade")]]
-    SimReport
-    run(const BuildReport &builds, CompanionCache &cache) const
-    {
-        return run(builds, cache.stages());
-    }
 
     /** Field-for-field equivalence of two sim records (not timing). */
     static bool recordsEquivalent(const SimRecord &a, const SimRecord &b,

@@ -34,13 +34,24 @@ stageName(Stage s)
 std::string
 StageCache::appKey(const tinyos::AppInfo &app)
 {
+    return appKey(app, tinyos::libSource());
+}
+
+std::string
+StageCache::appKey(const tinyos::AppInfo &app,
+                   const std::string &librarySource)
+{
     // Content-keyed: two rows with the same name but different source
-    // (a tweaked custom app) must not collide. The frontend is
+    // (a tweaked custom app) must not collide. The frontend parses
+    // library + app together, so the library source is part of the
+    // fingerprint — an edit to the shared TinyOS library must miss,
+    // not silently serve stale products. The frontend is
     // platform-independent, so the platform is deliberately absent —
     // it enters the chain in the backend fingerprint.
-    char hex[2 * sizeof(size_t) + 1];
-    snprintf(hex, sizeof hex, "%zx",
-             std::hash<std::string>{}(app.source));
+    char hex[4 * sizeof(size_t) + 2];
+    snprintf(hex, sizeof hex, "%zx.%zx",
+             std::hash<std::string>{}(app.source),
+             std::hash<std::string>{}(librarySource));
     return app.name + "#" + hex;
 }
 

@@ -15,7 +15,8 @@
  * requesters block on that execution and share the immutable product.
  * Failures are cached and rethrown to every requester. All products
  * are immutable after construction, so sharing needs no further
- * locking.
+ * locking. (The bespoke CompanionCache wrapper this replaced has been
+ * removed; the companion entry points below are the one API.)
  */
 #ifndef STOS_CORE_STAGECACHE_H
 #define STOS_CORE_STAGECACHE_H
@@ -68,7 +69,16 @@ class StageCache {
 
     //--- key derivation (exposed so benches and tests can predict
     //--- sharing: two cells share a stage iff their keys match) ----
+    /**
+     * Content key of the frontend stage: app identity plus a
+     * fingerprint of the frontend's whole input — the app source AND
+     * the shared TinyOS library baked into every parse. Keying on the
+     * app source alone served stale products after a library edit.
+     */
     static std::string appKey(const tinyos::AppInfo &app);
+    /** As above with an explicit library source (fingerprint tests). */
+    static std::string appKey(const tinyos::AppInfo &app,
+                              const std::string &librarySource);
     static std::string safetyKey(const tinyos::AppInfo &app,
                                  const PipelineConfig &cfg);
     static std::string optKey(const tinyos::AppInfo &app,
@@ -119,7 +129,7 @@ class StageCache {
      */
     StageCacheStats stats() const;
 
-    /** Companion entries materialized / served (CompanionCache ABI). */
+    /** Companion entries materialized / served from the memo. */
     size_t companionBuilds() const { return coBuilds_.load(); }
     size_t companionHits() const { return coHits_.load(); }
 

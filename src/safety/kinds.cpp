@@ -529,7 +529,14 @@ class Solver {
                 continue;
             for (auto &bb : f.blocks) {
                 for (auto &in : bb.instrs) {
-                    if (in.hasDst() && in.op != Opcode::Call)
+                    // Calls included: the solver unifies the dst vreg
+                    // with the callee's return node, so the rewritten
+                    // vreg type IS the fattened return type — leaving
+                    // the stale thin type here made isel emit too few
+                    // GetRet words for pointer-returning functions
+                    // (bounds arrived as garbage and the first use
+                    // tripped its own check).
+                    if (in.hasDst())
                         in.type = f.vregs[in.dst].type;
                     switch (in.op) {
                       case Opcode::Gep: {

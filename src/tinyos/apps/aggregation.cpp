@@ -1,0 +1,140 @@
+/**
+ * @file
+ * In-network aggregation family: nodes that reduce overheard sensor
+ * traffic instead of forwarding every reading — a per-source slot
+ * table folded into a periodic average, and an atomic min/max tracker
+ * published every few samples. Both run among SenseToRfm-style
+ * producers, the TAG-style "aggregate at the parent" scenario the
+ * paper's suite lacks.
+ */
+#include "tinyos/apps/families.h"
+
+namespace stos::tinyos {
+
+namespace {
+
+// AggTreeAverage: collects readings per source into freshness-aged
+// slots; a slow timer folds the fresh slots into an average that is
+// broadcast upstream and logged.
+const char *kAggTreeAverage = R"TC(
+struct Slot {
+    u16 value;
+    u8  fresh;
+};
+
+struct Slot slots[4];
+u8 outp[8];
+u8 rxb[8];
+u16 rounds;
+
+task void aggregate() {
+    u32 sum = 0;
+    u8 count = 0;
+    u8 i = 0;
+    while (i < 4) {
+        if (slots[i].fresh > 0) {
+            sum = sum + slots[i].value;
+            count = (u8)(count + 1);
+            slots[i].fresh = (u8)(slots[i].fresh - 1);
+        }
+        i = (u8)(i + 1);
+    }
+    rounds = rounds + 1;
+    if (count == 0) { return; }
+    u16 avg = (u16)(sum / count);
+    u8* p = outp;
+    p[0] = 2;                   // aggregate frame kind
+    p[1] = NODE_ID;
+    p[2] = count;
+    p[3] = (u8)(avg & 255);
+    p[4] = (u8)(avg >> 8);
+    stos_radio_send(255, outp, 5);
+    stos_uart_put_u16(avg);
+    stos_uart_put(10);
+}
+
+interrupt(RADIO_RX) void on_rx() {
+    u8 n = stos_radio_recv(rxb, 8);
+    if (n < 5) { return; }      // SenseToRfm readings are 5 bytes
+    u16 v = (u16)(rxb[0]) | ((u16)(rxb[1]) << 8);
+    u8 slot = (u8)(rxb[4] & 3);
+    slots[slot].value = v;
+    slots[slot].fresh = 4;
+}
+
+interrupt(TIMER0) void on_timer() {
+    post aggregate;
+}
+
+void main() {
+    stos_radio_enable_rx();
+    stos_timer0_start(4096);
+    stos_run_scheduler();
+}
+)TC";
+
+// AggMinMax: running min/max/count over every overheard reading,
+// maintained under atomic sections (rx interrupt vs publish task) and
+// published + reset every fourth sample.
+const char *kAggMinMax = R"TC(
+u16 cur_min;
+u16 cur_max;
+u16 nsamples;
+u8 rxb[8];
+u8 outp[8];
+
+task void publish() {
+    u16 lo = 0;
+    u16 hi = 0;
+    atomic {
+        lo = cur_min;
+        hi = cur_max;
+        cur_min = 65535;
+        cur_max = 0;
+        nsamples = 0;
+    }
+    u8* p = outp;
+    p[0] = 3;                   // min/max frame kind
+    p[1] = NODE_ID;
+    p[2] = (u8)(lo & 255);
+    p[3] = (u8)(lo >> 8);
+    p[4] = (u8)(hi & 255);
+    p[5] = (u8)(hi >> 8);
+    stos_radio_send(255, outp, 6);
+    stos_leds_set((u8)(hi & 7));
+}
+
+interrupt(RADIO_RX) void on_rx() {
+    u8 n = stos_radio_recv(rxb, 8);
+    if (n < 5) { return; }
+    u16 v = (u16)(rxb[0]) | ((u16)(rxb[1]) << 8);
+    bool full = false;
+    atomic {
+        if (v < cur_min) { cur_min = v; }
+        if (v > cur_max) { cur_max = v; }
+        nsamples = nsamples + 1;
+        if (nsamples >= 4) { full = true; }
+    }
+    if (full) { post publish; }
+}
+
+void main() {
+    cur_min = 65535;
+    stos_radio_enable_rx();
+    stos_run_scheduler();
+}
+)TC";
+
+} // namespace
+
+void
+registerAggregationApps(std::vector<AppInfo> &apps)
+{
+    apps.push_back({"AggTreeAverage", "Mica2", kAggTreeAverage,
+                    {"SenseToRfm", "CntToLedsAndRfm"}, "aggregation",
+                    {}});
+    apps.push_back({"AggMinMax", "Mica2", kAggMinMax, {"SenseToRfm"},
+                    "aggregation", {}});
+}
+
+} // namespace stos::tinyos

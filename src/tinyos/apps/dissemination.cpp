@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Flooding/dissemination family: Trickle-style version gossip (adopt
+ * newer, update stale neighbours) and a TTL-bounded flood repeater
+ * with per-origin duplicate suppression. Both run in homogeneous
+ * multi-mote contexts (their companions run the same image), so the
+ * simulated cells exercise symmetric gossip traffic.
+ */
+#include "tinyos/apps/families.h"
+
+namespace stos::tinyos {
+
+namespace {
+
+// TrickleDissem: every node periodically advertises its data version;
+// hearing a newer version adopts it and re-advertises immediately,
+// hearing an older one answers with its own (the Trickle "polite
+// gossip" short-circuit). Node 1 authors a new version every eighth
+// tick.
+const char *kTrickleDissem = R"TC(
+u16 version;
+u8 meta[4];
+u8 rxb[4];
+u8 ticks;
+
+task void advertise() {
+    u8* p = meta;
+    p[0] = 9;                   // metadata frame kind
+    p[1] = NODE_ID;
+    p[2] = (u8)(version & 255);
+    p[3] = (u8)(version >> 8);
+    stos_radio_send(255, meta, 4);
+}
+
+interrupt(RADIO_RX) void on_rx() {
+    u8 n = stos_radio_recv(rxb, 4);
+    if (n < 4) { return; }
+    if (rxb[0] != 9) { return; }
+    u16 theirs = (u16)(rxb[2]) | ((u16)(rxb[3]) << 8);
+    if (theirs > version) {
+        version = theirs;       // adopt the newer data
+        stos_leds_set((u8)(version & 7));
+        post advertise;
+    } else {
+        if (theirs < version) { post advertise; }
+    }
+}
+
+interrupt(TIMER0) void on_timer() {
+    ticks = (u8)(ticks + 1);
+    if (NODE_ID == 1 && (ticks & 7) == 0) {
+        version = version + 1;  // node 1 authors new versions
+    }
+    post advertise;
+}
+
+void main() {
+    stos_radio_enable_rx();
+    stos_timer0_start(8192);
+    stos_run_scheduler();
+}
+)TC";
+
+// FloodRepeater: originates a flood every fourth tick and repeats
+// every frame it has not seen before (per-origin last-sequence
+// table), decrementing the TTL so floods die out deterministically.
+const char *kFloodRepeater = R"TC(
+u8 last_seq[8];
+u8 seen_any[8];
+u8 rxb[4];
+u8 txb[4];
+u8 myseq;
+u8 ticks;
+
+task void rebroadcast() {
+    stos_radio_send(255, txb, 4);
+}
+
+task void originate() {
+    myseq = (u8)(myseq + 1);
+    u8* p = txb;
+    p[0] = NODE_ID;
+    p[1] = myseq;
+    p[2] = 3;                   // TTL
+    p[3] = 77;
+    stos_radio_send(255, txb, 4);
+}
+
+interrupt(RADIO_RX) void on_rx() {
+    u8 n = stos_radio_recv(rxb, 4);
+    if (n < 4) { return; }
+    u8 origin = rxb[0];
+    if (origin == NODE_ID) { return; }
+    u8 slot = (u8)(origin & 7);
+    if (seen_any[slot] == 1 && last_seq[slot] == rxb[1]) { return; }
+    seen_any[slot] = 1;
+    last_seq[slot] = rxb[1];
+    stos_leds_set((u8)(rxb[1] & 7));
+    if (rxb[2] == 0) { return; }
+    txb[0] = rxb[0];
+    txb[1] = rxb[1];
+    txb[2] = (u8)(rxb[2] - 1);
+    txb[3] = rxb[3];
+    post rebroadcast;
+}
+
+interrupt(TIMER0) void on_timer() {
+    ticks = (u8)(ticks + 1);
+    if ((ticks & 3) == 0) { post originate; }
+}
+
+void main() {
+    stos_radio_enable_rx();
+    stos_timer0_start(6656);
+    stos_run_scheduler();
+}
+)TC";
+
+} // namespace
+
+void
+registerDisseminationApps(std::vector<AppInfo> &apps)
+{
+    apps.push_back({"TrickleDissem", "Mica2", kTrickleDissem,
+                    {"TrickleDissem", "TrickleDissem"}, "dissemination",
+                    {}});
+    apps.push_back({"FloodRepeater", "Mica2", kFloodRepeater,
+                    {"FloodRepeater", "CntToLedsAndRfm"},
+                    "dissemination", {}});
+}
+
+} // namespace stos::tinyos

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Internal registration interface of the per-family application
+ * sources under src/tinyos/apps/. Each family file appends its
+ * AppInfo rows; registry.cpp composes them into the corpus behind
+ * allApps()/appsByTag(). Not installed — include from apps/ only.
+ */
+#ifndef STOS_TINYOS_APPS_FAMILIES_H
+#define STOS_TINYOS_APPS_FAMILIES_H
+
+#include "tinyos/tinyos.h"
+
+namespace stos::tinyos {
+
+/** The paper's twelve applications (§3, Figures 2/3); tag "paper". */
+void registerPaperApps(std::vector<AppInfo> &apps);
+/** Multi-hop routing/forwarding (Surge-style relay chains). */
+void registerRoutingApps(std::vector<AppInfo> &apps);
+/** In-network aggregation (average/min-max collectors). */
+void registerAggregationApps(std::vector<AppInfo> &apps);
+/** Low-duty-cycle sensing with radio wakeup. */
+void registerLowPowerApps(std::vector<AppInfo> &apps);
+/** Flooding / Trickle-style dissemination. */
+void registerDisseminationApps(std::vector<AppInfo> &apps);
+/** UART-heavy logging workloads. */
+void registerLoggingApps(std::vector<AppInfo> &apps);
+/** Safety-check stress: deep call chains, pointer-heavy buffers,
+ *  atomic-section churn. */
+void registerStressApps(std::vector<AppInfo> &apps);
+
+} // namespace stos::tinyos
+
+#endif

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * UART-heavy logging family: workloads dominated by the serial port
+ * rather than the radio — a per-packet hex-dump logger and a rotating
+ * in-RAM event log flushed on a timer. The UART wrappers (decimal
+ * printer, string writer) carry division and pointer loops, so these
+ * apps weight the runtime-check distribution toward the output path.
+ */
+#include "tinyos/apps/families.h"
+
+namespace stos::tinyos {
+
+namespace {
+
+// UartPacketLogger: copies every received packet out of the rx
+// interrupt and logs it decimal-formatted with a running packet
+// number — the heaviest UART consumer in the corpus.
+const char *kUartPacketLogger = R"TC(
+u8 rxb[16];
+u8 copy[16];
+u8 copy_len;
+u16 pktnum;
+
+task void log_packet() {
+    pktnum = pktnum + 1;
+    stos_uart_put(91);
+    stos_uart_put_u16(pktnum);
+    stos_uart_put(93);
+    stos_uart_put(32);
+    u8 i = 0;
+    while (i < copy_len) {
+        stos_uart_put_u16((u16)(copy[i]));
+        stos_uart_put(44);
+        i = (u8)(i + 1);
+    }
+    stos_uart_put(10);
+}
+
+interrupt(RADIO_RX) void on_rx() {
+    u8 n = stos_radio_recv(rxb, 16);
+    if (n == 0) { return; }
+    u8 i = 0;
+    while (i < n) {
+        copy[i] = rxb[i];
+        i = (u8)(i + 1);
+    }
+    copy_len = n;
+    post log_packet;
+}
+
+void main() {
+    stos_uart_puts("pktlog");
+    stos_uart_put(10);
+    stos_radio_enable_rx();
+    stos_run_scheduler();
+}
+)TC";
+
+// EventLogRotate: a 16-entry rotating event log (code + CLOCK stamp)
+// fed from both interrupt contexts under atomic sections and flushed
+// over the UART on every timer tick.
+const char *kEventLogRotate = R"TC(
+struct Event {
+    u8  code;
+    u16 stamp;
+};
+
+struct Event ring[16];
+u8 head;
+u8 count;
+u8 rxb[8];
+
+void log_event(u8 code) {
+    atomic {
+        ring[head].code = code;
+        ring[head].stamp = CLOCK;
+        head = (u8)((head + 1) & 15);
+        if (count < 16) { count = (u8)(count + 1); }
+    }
+}
+
+task void flush() {
+    u8 n = 0;
+    u8 idx = 0;
+    atomic {
+        n = count;
+        idx = (u8)((head + 16 - count) & 15);
+        count = 0;
+    }
+    u8 i = 0;
+    while (i < n) {
+        stos_uart_put(ring[idx].code);
+        stos_uart_put(61);
+        stos_uart_put_u16(ring[idx].stamp);
+        stos_uart_put(32);
+        idx = (u8)((idx + 1) & 15);
+        i = (u8)(i + 1);
+    }
+    stos_uart_put(10);
+}
+
+interrupt(RADIO_RX) void on_rx() {
+    u8 n = stos_radio_recv(rxb, 8);
+    if (n > 0) { log_event(82); }
+}
+
+interrupt(TIMER0) void on_timer() {
+    log_event(84);
+    post flush;
+}
+
+void main() {
+    stos_radio_enable_rx();
+    stos_timer0_start(7168);
+    stos_run_scheduler();
+}
+)TC";
+
+} // namespace
+
+void
+registerLoggingApps(std::vector<AppInfo> &apps)
+{
+    apps.push_back({"UartPacketLogger", "Mica2", kUartPacketLogger,
+                    {"CntToLedsAndRfm", "SenseToRfm"}, "logging", {}});
+    apps.push_back({"EventLogRotate", "Mica2", kEventLogRotate,
+                    {"CntToLedsAndRfm"}, "logging", {}});
+}
+
+} // namespace stos::tinyos

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Low-duty-cycle family: motes that sleep through long timer periods
+ * and wake the radio only when there is something worth saying —
+ * send-on-delta sensing and a rare beacon. These populate the low end
+ * of the Figure-3(c) duty-cycle spectrum, where the safety checks'
+ * relative cost is largest (few awake cycles to amortize over).
+ */
+#include "tinyos/apps/families.h"
+
+namespace stos::tinyos {
+
+namespace {
+
+// LowPowerSense: a long-period timer starts one ADC conversion; the
+// completion task transmits only when the reading moved more than a
+// threshold since the last transmission (send-on-delta).
+const char *kLowPowerSense = R"TC(
+u16 last_sent;
+u16 seq;
+u8 pkt[8];
+u8 primed;
+
+task void maybe_send() {
+    u16 v = stos_adc_data();
+    u16 delta = v - last_sent;
+    if (v < last_sent) { delta = last_sent - v; }
+    if (primed == 1 && delta < 8) { return; }
+    primed = 1;
+    last_sent = v;
+    seq = seq + 1;
+    u8* p = pkt;
+    p[0] = (u8)(v & 255);
+    p[1] = (u8)(v >> 8);
+    p[2] = (u8)(seq & 255);
+    p[3] = (u8)(seq >> 8);
+    p[4] = NODE_ID;
+    stos_radio_send(255, pkt, 5);
+}
+
+interrupt(ADC) void on_adc() {
+    post maybe_send;
+}
+
+interrupt(TIMER0) void on_timer() {
+    stos_adc_start(3);
+}
+
+void main() {
+    stos_timer0_start(24576);   // long period: mostly asleep
+    stos_run_scheduler();
+}
+)TC";
+
+// WakeupBeacon: sleeps through a very long timer period, wakes to
+// broadcast a sequence-numbered beacon, and keeps the receiver on to
+// count its neighbours' beacons between wakeups.
+const char *kWakeupBeacon = R"TC(
+u16 beacons;
+u16 heard;
+u8 outb[4];
+u8 rxb[8];
+
+task void beacon() {
+    beacons = beacons + 1;
+    u8* p = outb;
+    p[0] = 7;                   // beacon frame kind
+    p[1] = NODE_ID;
+    p[2] = (u8)(beacons & 255);
+    p[3] = (u8)(beacons >> 8);
+    stos_radio_send(255, outb, 4);
+    stos_leds_set((u8)(beacons & 1));
+}
+
+interrupt(RADIO_RX) void on_rx() {
+    u8 n = stos_radio_recv(rxb, 8);
+    if (n == 0) { return; }
+    heard = heard + 1;
+    stos_leds_set((u8)((heard & 3) | 4));
+}
+
+interrupt(TIMER0) void on_timer() {
+    post beacon;
+}
+
+void main() {
+    stos_radio_enable_rx();
+    stos_timer0_start(16384);
+    stos_run_scheduler();
+}
+)TC";
+
+} // namespace
+
+void
+registerLowPowerApps(std::vector<AppInfo> &apps)
+{
+    apps.push_back({"LowPowerSense", "Mica2", kLowPowerSense,
+                    {"GenericBase"}, "lowpower", {}});
+    apps.push_back({"WakeupBeacon", "Mica2", kWakeupBeacon,
+                    {"WakeupBeacon"}, "lowpower", {}});
+}
+
+} // namespace stos::tinyos

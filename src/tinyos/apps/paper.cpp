@@ -1,15 +1,14 @@
 /**
  * @file
- * The twelve benchmark applications (paper §3), rewritten in TinyC on
- * top of the library in lib.cpp. Each mirrors the corresponding
- * TinyOS 1.x demo application's structure: interrupt handlers post
- * tasks, tasks do the buffer/packet work, and everything uses the
- * static-allocation style that makes whole-program optimization
- * effective.
+ * The twelve benchmark applications of the paper's evaluation (§3),
+ * rewritten in TinyC on top of the library in lib.cpp. Each mirrors
+ * the corresponding TinyOS 1.x demo application's structure:
+ * interrupt handlers post tasks, tasks do the buffer/packet work, and
+ * everything uses the static-allocation style that makes
+ * whole-program optimization effective. All twelve carry the "paper"
+ * tag; the expanded families live in the sibling sources.
  */
-#include "tinyos/tinyos.h"
-
-#include "support/util.h"
+#include "tinyos/apps/families.h"
 
 namespace stos::tinyos {
 
@@ -528,49 +527,36 @@ void main() {
 }
 )TC";
 
-std::vector<AppInfo>
-makeApps()
-{
-    std::vector<AppInfo> apps;
-    apps.push_back({"BlinkTask", "Mica2", kBlinkTask, {}});
-    apps.push_back({"Oscilloscope", "Mica2", kOscilloscope, {}});
-    apps.push_back(
-        {"GenericBase", "Mica2", kGenericBase, {"CntToLedsAndRfm"}});
-    apps.push_back(
-        {"RfmToLeds", "Mica2", kRfmToLeds, {"CntToLedsAndRfm"}});
-    apps.push_back({"CntToLedsAndRfm", "Mica2", kCntToLedsAndRfm, {}});
-    apps.push_back({"MicaHWVerify", "Mica2", kMicaHWVerify, {}});
-    apps.push_back({"SenseToRfm", "Mica2", kSenseToRfm, {}});
-    apps.push_back({"TestTimeStamping", "Mica2", kTestTimeStamping,
-                    {"CntToLedsAndRfm"}});
-    apps.push_back(
-        {"Surge", "Mica2", kSurge, {"Surge", "GenericBase"}});
-    apps.push_back({"Ident", "Mica2", kIdent, {"CntToLedsAndRfm"}});
-    apps.push_back({"HighFrequencySampling", "Mica2",
-                    kHighFrequencySampling, {}});
-    apps.push_back(
-        {"RadioCountToLeds", "TelosB", kRadioCountToLeds,
-         {"RadioCountToLeds"}});
-    return apps;
-}
-
 } // namespace
 
-const std::vector<AppInfo> &
-allApps()
+void
+registerPaperApps(std::vector<AppInfo> &apps)
 {
-    static const std::vector<AppInfo> apps = makeApps();
-    return apps;
-}
-
-const AppInfo &
-appByName(const std::string &name)
-{
-    for (const auto &a : allApps()) {
-        if (a.name == name)
-            return a;
-    }
-    panic("unknown application: " + name);
+    const std::vector<std::string> paper{"paper"};
+    apps.push_back(
+        {"BlinkTask", "Mica2", kBlinkTask, {}, "basic", paper});
+    apps.push_back(
+        {"Oscilloscope", "Mica2", kOscilloscope, {}, "sensing", paper});
+    apps.push_back({"GenericBase", "Mica2", kGenericBase,
+                    {"CntToLedsAndRfm"}, "bridging", paper});
+    apps.push_back({"RfmToLeds", "Mica2", kRfmToLeds,
+                    {"CntToLedsAndRfm"}, "bridging", paper});
+    apps.push_back({"CntToLedsAndRfm", "Mica2", kCntToLedsAndRfm, {},
+                    "bridging", paper});
+    apps.push_back(
+        {"MicaHWVerify", "Mica2", kMicaHWVerify, {}, "hwtest", paper});
+    apps.push_back(
+        {"SenseToRfm", "Mica2", kSenseToRfm, {}, "sensing", paper});
+    apps.push_back({"TestTimeStamping", "Mica2", kTestTimeStamping,
+                    {"CntToLedsAndRfm"}, "bridging", paper});
+    apps.push_back({"Surge", "Mica2", kSurge, {"Surge", "GenericBase"},
+                    "routing", paper});
+    apps.push_back({"Ident", "Mica2", kIdent, {"CntToLedsAndRfm"},
+                    "bridging", paper});
+    apps.push_back({"HighFrequencySampling", "Mica2",
+                    kHighFrequencySampling, {}, "sensing", paper});
+    apps.push_back({"RadioCountToLeds", "TelosB", kRadioCountToLeds,
+                    {"RadioCountToLeds"}, "bridging", paper});
 }
 
 } // namespace stos::tinyos

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The application registry: composes the per-family sources under
+ * src/tinyos/apps/ into the corpus behind allApps(), and provides the
+ * paper subset and tag-based family selection the benches use
+ * (--corpus=paper|full, appsByTag("routing"), ...).
+ */
+#include "tinyos/apps/families.h"
+
+#include "support/util.h"
+
+namespace stos::tinyos {
+
+namespace {
+
+std::vector<AppInfo>
+makeApps()
+{
+    std::vector<AppInfo> apps;
+    registerPaperApps(apps);
+    registerRoutingApps(apps);
+    registerAggregationApps(apps);
+    registerLowPowerApps(apps);
+    registerDisseminationApps(apps);
+    registerLoggingApps(apps);
+    registerStressApps(apps);
+    return apps;
+}
+
+} // namespace
+
+bool
+AppInfo::hasTag(const std::string &tag) const
+{
+    if (family == tag)
+        return true;
+    for (const auto &t : tags) {
+        if (t == tag)
+            return true;
+    }
+    return false;
+}
+
+const std::vector<AppInfo> &
+allApps()
+{
+    static const std::vector<AppInfo> apps = makeApps();
+    return apps;
+}
+
+const std::vector<AppInfo> &
+paperApps()
+{
+    static const std::vector<AppInfo> apps = appsByTag("paper");
+    return apps;
+}
+
+std::vector<AppInfo>
+appsByTag(const std::string &tag)
+{
+    std::vector<AppInfo> out;
+    for (const auto &a : allApps()) {
+        if (a.hasTag(tag))
+            out.push_back(a);
+    }
+    return out;
+}
+
+const AppInfo &
+appByName(const std::string &name)
+{
+    for (const auto &a : allApps()) {
+        if (a.name == name)
+            return a;
+    }
+    panic("unknown application: " + name);
+}
+
+} // namespace stos::tinyos

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Multi-hop routing/forwarding family: Surge-style relay chains. The
+ * paper's Surge app originates and relays its own traffic; these apps
+ * fill the gap between origin and base station — a dedicated relay
+ * with duplicate suppression and a sink that accounts deliveries per
+ * origin. Their network contexts chain origin -> relay -> sink, so
+ * the simulated cells exercise forwarding across three hops.
+ */
+#include "tinyos/apps/families.h"
+
+namespace stos::tinyos {
+
+namespace {
+
+// SurgeRelay: a pure forwarder for Surge-style data frames. Keeps a
+// small per-origin duplicate table, bumps the hop count, and unicasts
+// toward the base (NODE_ID - 1). Drops frames whose TTL is spent.
+const char *kSurgeRelay = R"TC(
+struct Seen {
+    u8  origin;
+    u16 seq;
+    u8  valid;
+};
+
+struct Seen seen[4];
+u8 relay_buf[8];
+u8 fwd_buf[8];
+u8 have_fwd;
+u16 relayed;
+u16 dropped;
+
+bool is_dup(u8 origin, u16 seq) {
+    u8 i = 0;
+    while (i < 4) {
+        if (seen[i].valid == 1 && seen[i].origin == origin) {
+            if (seen[i].seq == seq) { return true; }
+            seen[i].seq = seq;
+            return false;
+        }
+        i = (u8)(i + 1);
+    }
+    u8 slot = (u8)(origin & 3);
+    seen[slot].origin = origin;
+    seen[slot].seq = seq;
+    seen[slot].valid = 1;
+    return false;
+}
+
+task void forward() {
+    if (have_fwd == 0) { return; }
+    u8 next = 1;
+    if (NODE_ID > 1) { next = (u8)(NODE_ID - 1); }
+    u8* w = fwd_buf;
+    w[2] = (u8)(w[2] + 1);      // one more hop on the path
+    stos_radio_send(next, fwd_buf, 7);
+    relayed = relayed + 1;
+    have_fwd = 0;
+}
+
+interrupt(RADIO_RX) void on_rx() {
+    u8 n = stos_radio_recv(relay_buf, 8);
+    if (n < 7) { return; }
+    if (relay_buf[0] != 1) { return; }   // not a Surge data frame
+    u16 seq = (u16)(relay_buf[3]) | ((u16)(relay_buf[4]) << 8);
+    if (is_dup(relay_buf[1], seq)) {
+        dropped = dropped + 1;
+        return;
+    }
+    if (relay_buf[2] >= 5) { return; }   // TTL spent
+    u8 i = 0;
+    while (i < 7) {
+        fwd_buf[i] = relay_buf[i];
+        i = (u8)(i + 1);
+    }
+    have_fwd = 1;
+    post forward;
+}
+
+void main() {
+    stos_radio_enable_rx();
+    stos_run_scheduler();
+}
+)TC";
+
+// MultiHopSink: the base station of a relay chain. Counts deliveries
+// per origin, shows the total on the LEDs, and reports the per-origin
+// tallies over the UART on a slow timer.
+const char *kMultiHopSink = R"TC(
+u16 per_origin[8];
+u16 total;
+u8 rxb[8];
+
+task void report() {
+    stos_uart_put(35);
+    stos_uart_put_u16(total);
+    u8 i = 0;
+    while (i < 8) {
+        if (per_origin[i] > 0) {
+            stos_uart_put(32);
+            stos_uart_put((u8)(48 + i));
+            stos_uart_put(58);
+            stos_uart_put_u16(per_origin[i]);
+        }
+        i = (u8)(i + 1);
+    }
+    stos_uart_put(10);
+}
+
+interrupt(RADIO_RX) void on_rx() {
+    u8 n = stos_radio_recv(rxb, 8);
+    if (n < 7) { return; }
+    if (rxb[0] != 1) { return; }
+    u8 slot = (u8)(rxb[1] & 7);
+    per_origin[slot] = per_origin[slot] + 1;
+    total = total + 1;
+    stos_leds_set((u8)(total & 7));
+}
+
+interrupt(TIMER0) void on_timer() {
+    post report;
+}
+
+void main() {
+    stos_radio_enable_rx();
+    stos_timer0_start(6144);
+    stos_run_scheduler();
+}
+)TC";
+
+} // namespace
+
+void
+registerRoutingApps(std::vector<AppInfo> &apps)
+{
+    apps.push_back({"SurgeRelay", "Mica2", kSurgeRelay,
+                    {"Surge", "GenericBase"}, "routing", {}});
+    apps.push_back({"MultiHopSink", "Mica2", kMultiHopSink,
+                    {"SurgeRelay", "Surge"}, "routing", {}});
+}
+
+} // namespace stos::tinyos

@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Safety-check stress family: apps engineered to maximize pressure on
+ * the CCured-analogue transform and its optimizers — deep call chains
+ * with pointer parameters (check hoisting across frames), a rotating
+ * pointer-table workload (pointer-heavy buffers), and two
+ * producer/consumer queues under many small atomic sections
+ * (atomic-section churn for the cXprop atomics optimization).
+ * DeepCallChain and PointerChurn run standalone so the property suite
+ * gates their safe-vs-unsafe behaviour directly on a single mote.
+ */
+#include "tinyos/apps/families.h"
+
+namespace stos::tinyos {
+
+namespace {
+
+// DeepCallChain: every tick pushes a buffer through a four-level call
+// chain plus a recursive halving checksum, all through pointer
+// parameters the safety transform must bound-check at each depth.
+const char *kDeepCallChain = R"TC(
+u8 data[16];
+u16 rounds;
+
+u16 level4(u8* p, u8 len, u16 acc) {
+    u8 i = 0;
+    while (i < len) {
+        acc = acc + p[i];
+        i = (u8)(i + 1);
+    }
+    return acc;
+}
+
+u16 level3(u8* p, u8 len, u16 acc) {
+    if (len > 8) { len = 8; }
+    return level4(p, len, (u16)(acc + 1));
+}
+
+u16 level2(u8* p, u8 len) {
+    return level3(p, len, level4(p, (u8)(len >> 1), 0));
+}
+
+u16 level1(u8* p) {
+    return level2(p, 16);
+}
+
+u16 csum(u8* p, u8 n) {
+    if (n <= 2) {
+        u16 r = p[0];
+        if (n == 2) { r = r + p[1]; }
+        return r;
+    }
+    u8 half = (u8)(n >> 1);
+    return csum(p, half) + csum(p + half, (u8)(n - half));
+}
+
+task void churn() {
+    u8 i = 0;
+    while (i < 16) {
+        data[i] = (u8)(data[i] + i + 1);
+        i = (u8)(i + 1);
+    }
+    rounds = rounds + 1;
+    u16 a = level1(data);
+    u16 b = csum(data, 16);
+    stos_uart_put_u16(a);
+    stos_uart_put(47);
+    stos_uart_put_u16(b);
+    stos_uart_put(10);
+}
+
+interrupt(TIMER0) void on_timer() {
+    post churn;
+}
+
+void main() {
+    stos_timer0_start(5632);
+    stos_run_scheduler();
+}
+)TC";
+
+// PointerChurn: three buffers behind a rotating index permutation,
+// resolved to pointers through a selector and pushed through
+// multi-pointer helpers (fill, interleaved mix) every tick — the
+// pointer-heavy access pattern that maximizes inserted checks while
+// staying inside the CCured type discipline (pointers live in
+// registers, never in RAM, matching how the original Safe TinyOS
+// apps were conformed).
+const char *kPointerChurn = R"TC(
+u8 bufs[24];
+u8 order[3] = {0, 1, 2};
+u8 phase;
+u16 writes;
+
+u8* buf_for(u8 which) {
+    u16 off = (u16)(which % 3) * 8;
+    return bufs + off;
+}
+
+u16 step(u8* dst, u8* a, u8* b, u8 seed) {
+    u8 i = 0;
+    while (i < 8) {
+        dst[i] = (u8)(seed + i);
+        i = (u8)(i + 1);
+    }
+    u16 s = 0;
+    i = 0;
+    while (i < 8) {
+        s = s + a[i] + b[(u8)(7 - i)];
+        i = (u8)(i + 1);
+    }
+    return s;
+}
+
+task void churn() {
+    u8 t = order[0];
+    order[0] = order[1];
+    order[1] = order[2];
+    order[2] = t;
+    phase = (u8)(phase + 1);
+    u16 w = step(buf_for(order[0]), buf_for(order[1]),
+                 buf_for(order[2]), phase);
+    writes = writes + 1;
+    stos_leds_set((u8)(w & 7));
+    if ((phase & 7) == 0) {
+        stos_uart_put_u16(w);
+        stos_uart_put(10);
+    }
+}
+
+interrupt(TIMER0) void on_timer() {
+    post churn;
+}
+
+void main() {
+    u8 k = 0;
+    while (k < 3) {
+        u8* d = buf_for(k);
+        u8 i = 0;
+        while (i < 8) {
+            d[i] = (u8)(k + 1 + i);
+            i = (u8)(i + 1);
+        }
+        k = (u8)(k + 1);
+    }
+    stos_timer0_start(4608);
+    stos_run_scheduler();
+}
+)TC";
+
+// AtomicChurn: two bounded queues pumped from both interrupt contexts
+// to a consumer task through many small atomic sections — the
+// workload the cXprop atomic-section optimization (§2.2) targets.
+const char *kAtomicChurn = R"TC(
+u16 q1[8];
+u8 q1_head;
+u8 q1_tail;
+u8 q1_count;
+u16 q2[8];
+u8 q2_head;
+u8 q2_tail;
+u8 q2_count;
+u16 moved;
+u16 dropped;
+u8 rxb[8];
+
+void q1_push(u16 v) {
+    atomic {
+        if (q1_count < 8) {
+            q1[q1_tail] = v;
+            q1_tail = (u8)((q1_tail + 1) & 7);
+            q1_count = (u8)(q1_count + 1);
+        } else {
+            dropped = dropped + 1;
+        }
+    }
+}
+
+task void drain() {
+    u16 acc = 0;
+    u8 n = 0;
+    bool more = true;
+    while (more) {
+        bool have = false;
+        u16 v = 0;
+        atomic {
+            if (q2_count > 0) {
+                v = q2[q2_head];
+                q2_head = (u8)((q2_head + 1) & 7);
+                q2_count = (u8)(q2_count - 1);
+                have = true;
+            }
+        }
+        if (!have) { more = false; }
+        else {
+            acc = acc + v;
+            n = (u8)(n + 1);
+        }
+    }
+    if (n > 0) { stos_leds_set((u8)(acc & 7)); }
+}
+
+task void pump() {
+    bool more = true;
+    while (more) {
+        u16 v = 0;
+        bool have = false;
+        atomic {
+            if (q1_count > 0) {
+                v = q1[q1_head];
+                q1_head = (u8)((q1_head + 1) & 7);
+                q1_count = (u8)(q1_count - 1);
+                have = true;
+            }
+        }
+        if (!have) { more = false; }
+        else {
+            atomic {
+                if (q2_count < 8) {
+                    q2[q2_tail] = v;
+                    q2_tail = (u8)((q2_tail + 1) & 7);
+                    q2_count = (u8)(q2_count + 1);
+                }
+            }
+            moved = moved + 1;
+        }
+    }
+    post drain;
+}
+
+interrupt(RADIO_RX) void on_rx() {
+    u8 n = stos_radio_recv(rxb, 8);
+    if (n >= 2) {
+        q1_push((u16)(rxb[0]) | ((u16)(rxb[1]) << 8));
+    }
+}
+
+interrupt(TIMER0) void on_timer() {
+    q1_push(CLOCK);
+    post pump;
+}
+
+void main() {
+    stos_radio_enable_rx();
+    stos_timer0_start(3584);
+    stos_run_scheduler();
+}
+)TC";
+
+} // namespace
+
+void
+registerStressApps(std::vector<AppInfo> &apps)
+{
+    apps.push_back(
+        {"DeepCallChain", "Mica2", kDeepCallChain, {}, "stress", {}});
+    apps.push_back(
+        {"PointerChurn", "Mica2", kPointerChurn, {}, "stress", {}});
+    apps.push_back({"AtomicChurn", "Mica2", kAtomicChurn,
+                    {"CntToLedsAndRfm"}, "stress", {}});
+}
+
+} // namespace stos::tinyos

@@ -1,10 +1,13 @@
 /**
  * @file
- * The TinyOS-style application library and the twelve benchmark
- * applications from the paper's evaluation, rewritten in TinyC. The
- * library provides the two-level execution model (task queue +
- * scheduler + sleep), LED/timer/ADC/radio/UART wrappers, and the
- * hardware register declarations for the simulated mote.
+ * The TinyOS-style application library and the benchmark application
+ * corpus, rewritten in TinyC. The library provides the two-level
+ * execution model (task queue + scheduler + sleep), LED/timer/ADC/
+ * radio/UART wrappers, and the hardware register declarations for the
+ * simulated mote. The corpus holds the paper's twelve applications
+ * (tag "paper") plus the expanded scenario families under
+ * src/tinyos/apps/ — routing, aggregation, lowpower, dissemination,
+ * logging, and stress — registered per family behind allApps().
  */
 #ifndef STOS_TINYOS_TINYOS_H
 #define STOS_TINYOS_TINYOS_H
@@ -23,13 +26,30 @@ struct AppInfo {
      * context" (§3.4) the app runs in, by name; empty = runs alone.
      */
     std::vector<std::string> companions;
+    /** Scenario family, e.g. "routing" (see src/tinyos/apps/). */
+    std::string family;
+    /** Selection tags; {"paper"} marks the original twelve. */
+    std::vector<std::string> tags;
+
+    /** Whether `tag` matches this app's family or one of its tags. */
+    bool hasTag(const std::string &tag) const;
 };
 
 /** TinyC source of the shared TinyOS-style library. */
 const std::string &libSource();
 
-/** All twelve benchmark applications (paper Figures 2 and 3). */
+/** The whole corpus: the paper's twelve plus the expanded families. */
 const std::vector<AppInfo> &allApps();
+
+/** The original twelve benchmark applications (Figures 2 and 3). */
+const std::vector<AppInfo> &paperApps();
+
+/**
+ * Every app whose family or tag list matches `tag` — benches use this
+ * to select a scenario family ("routing", "stress", ...) or the
+ * "paper" subset.
+ */
+std::vector<AppInfo> appsByTag(const std::string &tag);
 
 /** Look up an app by name; throws if unknown. */
 const AppInfo &appByName(const std::string &name);

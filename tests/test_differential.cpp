@@ -282,7 +282,7 @@ TEST(DifferentialMatrix, AllFigure3ConfigsAgree)
 
     BuildDriver d;
     for (const Kernel &k : kKernels)
-        d.addApp({k.name, "Mica2", k.src, {}});
+        d.addApp({k.name, "Mica2", k.src, {}, "kernel", {}});
     d.addConfig(ConfigId::Baseline);
     d.addConfigs(figure3Configs());
     BuildReport rep = d.run();

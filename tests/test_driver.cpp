@@ -7,9 +7,12 @@
  */
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <sstream>
+#include <stdexcept>
 
 #include "core/driver.h"
+#include "core/pool.h"
 
 namespace stos {
 namespace {
@@ -125,7 +128,7 @@ TEST(BuildDriver, FailuresAreIsolated)
     opts.jobs = 4;
     BuildDriver d(opts);
     d.addApp(appByName("BlinkTask"));
-    d.addApp({"Broken", "Mica2", "void main( {", {}});
+    d.addApp({"Broken", "Mica2", "void main( {", {}, "test", {}});
     d.addConfig(ConfigId::Baseline);
     d.addConfig(ConfigId::SafeFlid);
     BuildReport rep = d.run();
@@ -136,6 +139,49 @@ TEST(BuildDriver, FailuresAreIsolated)
     EXPECT_FALSE(rep.at(1, 1).ok);
     EXPECT_FALSE(rep.at(1, 0).error.empty());
     EXPECT_FALSE(rep.allOk());
+}
+
+TEST(RunOnPool, WorkerExceptionsRethrowOnTheCallerNotTerminate)
+{
+    // Regression: an exception escaping fn on a worker thread used to
+    // unwind the std::thread and call std::terminate. The pool must
+    // capture the first exception, join every worker, and rethrow on
+    // the calling thread — under any job count, including the inline
+    // jobs<=1 path.
+    for (unsigned jobs : {1u, 4u}) {
+        std::atomic<size_t> ran{0};
+        EXPECT_THROW(
+            core::runOnPool(jobs, 64,
+                            [&](size_t k) {
+                                if (k == 3)
+                                    throw std::runtime_error("cell 3");
+                                ran.fetch_add(1);
+                            }),
+            std::runtime_error)
+            << "jobs=" << jobs;
+        // Job 3 fails in the first wave (the counter hands out 0..3
+        // first), and each worker may run at most one more job before
+        // observing the failure flag — far below the 60 jobs a
+        // drain-everything regression would complete.
+        EXPECT_LT(ran.load(), 32u)
+            << "workers must stop claiming jobs after a failure";
+    }
+    // The rethrown exception is the worker's own.
+    try {
+        core::runOnPool(2, 8, [](size_t) {
+            throw std::runtime_error("boom");
+        });
+        FAIL() << "expected the worker exception";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "boom");
+    }
+}
+
+TEST(RunOnPool, CompletesEveryJobWhenNothingThrows)
+{
+    std::atomic<size_t> sum{0};
+    core::runOnPool(4, 100, [&](size_t k) { sum.fetch_add(k); });
+    EXPECT_EQ(sum.load(), 99u * 100u / 2u);
 }
 
 TEST(BuildDriver, EmptyMatrixIsEmptyReport)
@@ -228,7 +274,7 @@ TEST(BuildReport, FailedCellsEmitWithEscapedErrors)
 {
     DriverOptions opts;
     BuildDriver d(opts);
-    d.addApp({"Broken", "Mica2", "void main( {\n\"quote\"", {}});
+    d.addApp({"Broken", "Mica2", "void main( {\n\"quote\"", {}, "test", {}});
     d.addConfig(ConfigId::Baseline);
     BuildReport rep = d.run();
     ASSERT_FALSE(rep.allOk());

@@ -74,6 +74,26 @@ smallExperiment(ExperimentOptions opts)
     return exp;
 }
 
+TEST(Experiment, RowSelectorsMirrorTheRegistry)
+{
+    // The corpus selectors the facade exposes (paper subset, family
+    // tag, whole registry) must declare exactly what the registry
+    // reports — benches select rows through these.
+    Experiment paper{ExperimentOptions{}};
+    paper.addPaperApps();
+    EXPECT_EQ(paper.numApps(), tinyos::paperApps().size());
+
+    Experiment routing{ExperimentOptions{}};
+    routing.addAppsByTag("routing");
+    EXPECT_EQ(routing.numApps(), tinyos::appsByTag("routing").size());
+    EXPECT_GE(routing.numApps(), 3u);  // Surge + the relay family
+
+    Experiment full{ExperimentOptions{}};
+    full.addAllApps();
+    EXPECT_EQ(full.numApps(), tinyos::allApps().size());
+    EXPECT_GE(full.numApps(), 24u);
+}
+
 TEST(Experiment, CombinedReportCoversBuildAndSimPhases)
 {
     Experiment exp = smallExperiment(fastOptions());

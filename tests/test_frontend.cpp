@@ -427,5 +427,93 @@ TEST(FrontendErrors, HwregMustBeU8OrU16)
     EXPECT_TRUE(compileFails("hwreg u32 R @ 0x10; void main() { }"));
 }
 
+//---------------------------------------------------------------------
+// Error cases for the constructs the expanded corpus leans on
+// (for-loop headers, ternaries, struct copies, modulo, pointer
+// returns, atomic sections, rotating-log struct arrays).
+//---------------------------------------------------------------------
+
+/** Compile a failing snippet and return the diagnostic dump. */
+std::string
+diagnosticsOf(const std::string &src)
+{
+    SourceManager sm;
+    DiagnosticEngine diags(&sm);
+    compileTinyC({{"test.tc", src}}, diags, sm);
+    EXPECT_TRUE(diags.hasErrors()) << "snippet unexpectedly compiled";
+    return diags.dump();
+}
+
+TEST(FrontendErrors, MalformedForLoopHeader)
+{
+    // Missing first semicolon of the header.
+    EXPECT_NE(diagnosticsOf("void main() {"
+                            "  for (u16 i = 0 i < 3; i++) { }"
+                            "}")
+                  .find("expected"),
+              std::string::npos);
+}
+
+TEST(FrontendErrors, TernaryMissingColon)
+{
+    EXPECT_TRUE(compileFails(
+        "u16 main() { u16 x = 1; return x > 0 ? 2 2; }"));
+}
+
+TEST(FrontendErrors, TooManyArrayInitializers)
+{
+    EXPECT_NE(
+        diagnosticsOf("u8 order[2] = {1, 2, 3}; void main() { }")
+            .find("too many array initializers"),
+        std::string::npos);
+}
+
+TEST(FrontendErrors, AggregateAssignmentTypeMismatch)
+{
+    EXPECT_NE(diagnosticsOf("struct A { u8 x; };"
+                            "struct B { u16 y; };"
+                            "struct A a; struct B b;"
+                            "void main() { a = b; }")
+                  .find("aggregate assignment type mismatch"),
+              std::string::npos);
+}
+
+TEST(FrontendErrors, ModuloNeedsIntegerOperands)
+{
+    EXPECT_TRUE(compileFails("u8 buf[4];"
+                             "void main() { u8* p = buf; p = p % 2; }"));
+}
+
+TEST(FrontendErrors, ReturnedPointerTypeMustMatch)
+{
+    // The selector-return idiom (PointerChurn) with the wrong pointee
+    // width must be rejected, not silently converted.
+    EXPECT_NE(diagnosticsOf("u8 bufs[8];"
+                            "u16* pick() { return bufs; }"
+                            "void main() { }")
+                  .find("pointer conversion"),
+              std::string::npos);
+}
+
+TEST(FrontendErrors, UnterminatedAtomicSection)
+{
+    EXPECT_TRUE(compileFails(
+        "u8 c; void main() { atomic { c = (u8)(c + 1); }"));
+}
+
+TEST(FrontendErrors, PostOfUnknownTaskNamesTheTarget)
+{
+    EXPECT_NE(diagnosticsOf("void main() { post nosuch; }")
+                  .find("post of unknown task nosuch"),
+              std::string::npos);
+}
+
+TEST(FrontendErrors, UnterminatedStringLiteral)
+{
+    EXPECT_NE(diagnosticsOf("u8 msg[4] = \"abc; void main() { }")
+                  .find("unterminated string literal"),
+              std::string::npos);
+}
+
 } // namespace
 } // namespace stos

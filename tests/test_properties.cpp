@@ -44,7 +44,18 @@ observe(const backend::MProgram &img, uint64_t cycles)
     return o;
 }
 
-class EveryApp : public ::testing::TestWithParam<const char *> {};
+class EveryApp : public ::testing::TestWithParam<std::string> {};
+
+/** Every registry app's name — the suite sweeps the whole corpus, so
+ *  a newly registered app is property-tested with no edit here. */
+std::vector<std::string>
+allAppNames()
+{
+    std::vector<std::string> names;
+    for (const auto &app : allApps())
+        names.push_back(app.name);
+    return names;
+}
 
 TEST_P(EveryApp, BuildsUnderAllConfigurations)
 {
@@ -122,13 +133,9 @@ TEST_P(EveryApp, OptimizedSafeCodeIsNotBigger)
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    AllApps, EveryApp,
-    ::testing::Values("BlinkTask", "Oscilloscope", "GenericBase",
-                      "RfmToLeds", "CntToLedsAndRfm", "MicaHWVerify",
-                      "SenseToRfm", "TestTimeStamping", "Surge", "Ident",
-                      "HighFrequencySampling", "RadioCountToLeds"),
-    [](const ::testing::TestParamInfo<const char *> &info) {
-        return std::string(info.param);
+    AllApps, EveryApp, ::testing::ValuesIn(allAppNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
     });
 
 } // namespace

@@ -1,10 +1,11 @@
 /**
  * @file
- * SimDriver tests: companion-image memoization (each companion built
- * exactly once per platform, concurrent lookups race-free),
- * parallel-vs-serial SimReport equivalence across every Figure-3
- * configuration, matrix shape/ordering, failure isolation, and the
- * CSV/JSON report emitters.
+ * SimDriver tests: StageCache companion-entry memoization (each
+ * companion built exactly once per platform, concurrent lookups
+ * race-free, persistent across driver runs), parallel-vs-serial
+ * SimReport equivalence across every Figure-3 configuration, matrix
+ * shape/ordering, failure isolation, and the CSV/JSON report
+ * emitters. (Ported from the removed CompanionCache shim's coverage.)
  */
 #include <gtest/gtest.h>
 
@@ -13,11 +14,6 @@
 
 #include "core/simdriver.h"
 #include "support/util.h"
-
-// CompanionCache and SimDriver::run(builds, CompanionCache&) are
-// deprecated shims over the StageCache, kept source-compatible for
-// one PR; this suite deliberately still covers them.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 namespace stos {
 namespace {
@@ -42,47 +38,51 @@ smallBuilds(unsigned jobs = 0)
     return d.run();
 }
 
-TEST(CompanionCache, BuildsEachKeyExactlyOnceUnderContention)
+TEST(StageCacheCompanions, BuildsEachKeyExactlyOnceUnderContention)
 {
-    CompanionCache cache;
+    StageCache cache;
     constexpr unsigned kThreads = 8;
     std::vector<std::shared_ptr<const backend::MProgram>> images(
         kThreads);
     std::vector<std::thread> pool;
     for (unsigned t = 0; t < kThreads; ++t) {
         pool.emplace_back([&cache, &images, t] {
-            images[t] = cache.get("CntToLedsAndRfm", "Mica2");
+            images[t] =
+                cache.companionImage("CntToLedsAndRfm", "Mica2");
         });
     }
     for (auto &t : pool)
         t.join();
-    EXPECT_EQ(cache.builds(), 1u);
-    EXPECT_EQ(cache.hits(), kThreads - 1);
+    EXPECT_EQ(cache.companionBuilds(), 1u);
+    EXPECT_EQ(cache.companionHits(), kThreads - 1);
     for (unsigned t = 1; t < kThreads; ++t)
         EXPECT_EQ(images[t].get(), images[0].get())
             << "all callers must share one immutable image";
 }
 
-TEST(CompanionCache, DistinctPlatformsAreDistinctEntries)
+TEST(StageCacheCompanions, DistinctPlatformsAreDistinctEntries)
 {
-    CompanionCache cache;
-    auto mica = cache.get("BlinkTask", "Mica2");
-    auto telos = cache.get("BlinkTask", "TelosB");
-    EXPECT_EQ(cache.builds(), 2u);
+    StageCache cache;
+    auto mica = cache.companionImage("BlinkTask", "Mica2");
+    auto telos = cache.companionImage("BlinkTask", "TelosB");
+    EXPECT_EQ(cache.companionBuilds(), 2u);
     EXPECT_NE(mica.get(), telos.get());
     // Second lookups hit the memo.
-    cache.get("BlinkTask", "Mica2");
-    cache.get("BlinkTask", "TelosB");
-    EXPECT_EQ(cache.builds(), 2u);
-    EXPECT_EQ(cache.hits(), 2u);
+    cache.companionImage("BlinkTask", "Mica2");
+    cache.companionImage("BlinkTask", "TelosB");
+    EXPECT_EQ(cache.companionBuilds(), 2u);
+    EXPECT_EQ(cache.companionHits(), 2u);
 }
 
-TEST(CompanionCache, FailuresAreCachedAndRethrown)
+TEST(StageCacheCompanions, FailuresAreCachedAndRethrown)
 {
-    CompanionCache cache;
-    EXPECT_THROW(cache.get("NoSuchApp", "Mica2"), std::exception);
-    EXPECT_THROW(cache.get("NoSuchApp", "Mica2"), std::exception);
-    EXPECT_EQ(cache.builds(), 1u) << "the failed build must be memoized";
+    StageCache cache;
+    EXPECT_THROW(cache.companionImage("NoSuchApp", "Mica2"),
+                 std::exception);
+    EXPECT_THROW(cache.companionImage("NoSuchApp", "Mica2"),
+                 std::exception);
+    EXPECT_EQ(cache.companionBuilds(), 1u)
+        << "the failed build must be memoized";
 }
 
 TEST(SimDriver, MatrixShapeOrderingAndCompanionAccounting)
@@ -185,8 +185,8 @@ TEST(SimDriver, CustomRowsOutsideTheRegistrySimulate)
         "interrupt(TIMER0) void t() { }"
         "void main() { stos_timer0_start(4096); stos_run_scheduler(); }";
     BuildDriver d;
-    d.addApp({"custom_alone", "Mica2", kIdle, {}});
-    d.addApp({"custom_ctx", "Mica2", kIdle, {"CntToLedsAndRfm"}});
+    d.addApp({"custom_alone", "Mica2", kIdle, {}, "test", {}});
+    d.addApp({"custom_ctx", "Mica2", kIdle, {"CntToLedsAndRfm"}, "test", {}});
     d.addConfig(ConfigId::Baseline);
     BuildReport builds = d.run();
     ASSERT_TRUE(builds.allOk());
@@ -206,7 +206,7 @@ TEST(SimDriver, FailedBuildCellsBecomeFailedSimRecords)
     bopts.jobs = 2;
     BuildDriver d(bopts);
     d.addApp(appByName("BlinkTask"));
-    d.addApp({"Broken", "Mica2", "void main( {", {}});
+    d.addApp({"Broken", "Mica2", "void main( {", {}, "test", {}});
     d.addConfig(ConfigId::Baseline);
     BuildReport builds = d.run();
     ASSERT_FALSE(builds.allOk());
@@ -248,13 +248,13 @@ TEST(SimDriver, OutcomeFieldsAreConsistent)
     }
 }
 
-TEST(CompanionCache, PersistsAcrossDriverRuns)
+TEST(StageCacheCompanions, PersistAcrossDriverRuns)
 {
     // The serial equivalence gates re-run the same matrix; with a
     // caller-owned cache the second run must not rebuild a single
     // companion (ROADMAP follow-on).
     BuildReport builds = smallBuilds();
-    CompanionCache cache;
+    StageCache cache;
     SimOptions opts;
     opts.seconds = kSimSeconds;
     SimDriver driver(opts);
@@ -271,17 +271,17 @@ TEST(CompanionCache, PersistsAcrossDriverRuns)
         << why;
 }
 
-TEST(CompanionCache, DecodedImageSharesTheCompiledFirmware)
+TEST(StageCacheCompanions, DecodedImageSharesTheCompiledFirmware)
 {
-    CompanionCache cache;
-    auto image = cache.get("CntToLedsAndRfm", "Mica2");
-    auto decoded = cache.getDecoded("CntToLedsAndRfm", "Mica2");
+    StageCache cache;
+    auto image = cache.companionImage("CntToLedsAndRfm", "Mica2");
+    auto decoded = cache.companionDecode("CntToLedsAndRfm", "Mica2");
     ASSERT_NE(decoded, nullptr);
     EXPECT_EQ(&decoded->program(), image.get())
         << "the decode must wrap the cached image, not a copy";
-    EXPECT_EQ(cache.builds(), 1u);
+    EXPECT_EQ(cache.companionBuilds(), 1u);
     // Decode requests hit the same memo entry.
-    EXPECT_EQ(cache.getDecoded("CntToLedsAndRfm", "Mica2").get(),
+    EXPECT_EQ(cache.companionDecode("CntToLedsAndRfm", "Mica2").get(),
               decoded.get());
 }
 

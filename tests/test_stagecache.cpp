@@ -53,7 +53,7 @@ TEST(StageCache, ExecutesEachStageExactlyOnceUnderContention)
 TEST(StageCache, FailuresAreCachedAndRethrownAtEveryLevel)
 {
     StageCache cache;
-    tinyos::AppInfo broken{"Broken", "Mica2", "void main( {", {}};
+    tinyos::AppInfo broken{"Broken", "Mica2", "void main( {", {}, "test", {}};
     PipelineConfig cfg = configFor(ConfigId::Baseline, broken.platform);
     EXPECT_THROW(cache.build(broken, cfg), std::exception);
     EXPECT_THROW(cache.build(broken, cfg), std::exception);
@@ -235,17 +235,40 @@ TEST(StageCache, ContentKeyedAppsDoNotCollideOnName)
 {
     StageCache cache;
     tinyos::AppInfo a{"same", "Mica2",
-                      "void main() { stos_run_scheduler(); }", {}};
+                      "void main() { stos_run_scheduler(); }", {},
+                      "test", {}};
     tinyos::AppInfo b{"same", "Mica2",
                       "task void t() { } void main() { post t; "
                       "stos_run_scheduler(); }",
-                      {}};
+                      {}, "test", {}};
     EXPECT_NE(StageCache::appKey(a), StageCache::appKey(b));
     PipelineConfig cfg = configFor(ConfigId::Baseline, "Mica2");
     auto ra = cache.build(a, cfg);
     auto rb = cache.build(b, cfg);
     EXPECT_EQ(cache.stats().frontend.executed, 2u);
     EXPECT_NE(ra.get(), rb.get());
+}
+
+TEST(StageCache, FrontendKeyIsSensitiveToTheLibrarySource)
+{
+    // The frontend parses library + app together, so the appKey must
+    // fingerprint both inputs: an edit to the shared TinyOS library
+    // has to miss the cache, not silently serve the pre-edit product
+    // (the bug: only the app source was hashed).
+    const auto &app = appByName("BlinkTask");
+    EXPECT_EQ(StageCache::appKey(app),
+              StageCache::appKey(app, tinyos::libSource()));
+    std::string editedLib =
+        tinyos::libSource() + "\nu8 __lib_extra;\n";
+    EXPECT_NE(StageCache::appKey(app),
+              StageCache::appKey(app, editedLib))
+        << "a library edit must change the frontend content key";
+    // The whole downstream chain inherits the miss.
+    PipelineConfig cfg =
+        configFor(ConfigId::SafeFlidInlineCxprop, app.platform);
+    EXPECT_NE(StageCache::appKey(app, editedLib) + "|" +
+                  safetyFingerprint(cfg),
+              StageCache::safetyKey(app, cfg));
 }
 
 TEST(BuildReport, SummaryAndEmittersSurfaceStageCounters)
