@@ -383,8 +383,15 @@ class Selector {
             break;
           }
           case Opcode::Bin: {
+            // Operand width, from either vreg operand: for
+            // comparisons in.type is the bool result type, so when
+            // the optimizer substitutes an immediate into args[0]
+            // the real comparison width lives on args[1].
             uint8_t w = in.args[0].isVReg()
                             ? widthOfType(func_->vregs[in.args[0].index]
+                                              .type)
+                        : in.args[1].isVReg()
+                            ? widthOfType(func_->vregs[in.args[1].index]
                                               .type)
                             : widthOfType(in.type);
             uint32_t ra = valueReg(in.args[0], w);

@@ -11,6 +11,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "support/arith.h"
 #include "support/util.h"
 #include "frontend/ast.h"
 #include "frontend/lexer.h"
@@ -195,16 +196,16 @@ class Lowerer {
             if (!evalConst(*e.a, a) || !evalConst(*e.b, b))
                 return false;
             switch (e.bop) {
-              case BinaryOp::Add: out = a + b; return true;
-              case BinaryOp::Sub: out = a - b; return true;
-              case BinaryOp::Mul: out = a * b; return true;
+              case BinaryOp::Add: out = arith::wrapAdd(a, b); return true;
+              case BinaryOp::Sub: out = arith::wrapSub(a, b); return true;
+              case BinaryOp::Mul: out = arith::wrapMul(a, b); return true;
               case BinaryOp::Div:
                 if (!b) return false;
-                out = a / b;
+                out = arith::sdiv(a, b);
                 return true;
               case BinaryOp::Rem:
                 if (!b) return false;
-                out = a % b;
+                out = arith::srem(a, b);
                 return true;
               case BinaryOp::And: out = a & b; return true;
               case BinaryOp::Or: out = a | b; return true;
@@ -1100,6 +1101,8 @@ class Lowerer {
           case ExprKind::IncDec: {
             LVal lv = lowerLValue(*e.a);
             RVal old = rvalueOf(lv, e.loc);
+            if (lv.kind == LVal::None || lv.type == kInvalidType)
+                return old;
             const Type &ty = tt().get(lv.type);
             RVal one = {Operand::immInt(1), lv.type};
             RVal next;

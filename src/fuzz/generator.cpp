@@ -1,0 +1,1094 @@
+/**
+ * @file
+ * Seeded TinyC program generator. The grammar mirrors what the
+ * frontend accepts; the output is correct-by-construction so that
+ * every build mode and every execution engine must agree on it:
+ *
+ *  - memory-safe: array indices are masked to power-of-two sizes,
+ *    pointers always carry a conservative extent, rom and
+ *    string-initialized globals are never written, pointers to locals
+ *    never escape into globals — so safe builds never trip a check
+ *    and unsafe builds never corrupt memory;
+ *  - terminating: loops are canonical counted loops over reserved
+ *    counters the body cannot write, calls form a DAG (a function
+ *    only calls functions defined before it), and `continue` is
+ *    emitted only inside `for` (whose step still runs);
+ *  - deterministic: no interrupts, tasks, or device reads — the only
+ *    observable effects are UART/LED writes and the final dump of
+ *    every mutable global, which main emits before returning.
+ *
+ * Division, remainder, and shifts are generated with arbitrary
+ * operands on purpose: their corner cases (x/0, INT_MIN/-1, shift
+ * counts past the width) are exactly where the engines historically
+ * diverged.
+ */
+#include "fuzz/fuzz.h"
+
+#include <string>
+#include <vector>
+
+namespace stos::fuzz {
+namespace {
+
+enum class Ty : uint8_t { U8, I8, U16, I16, U32, I32 };
+constexpr Ty kAllTys[] = {Ty::U8, Ty::I8, Ty::U16,
+                          Ty::I16, Ty::U32, Ty::I32};
+
+const char *
+tyName(Ty t)
+{
+    switch (t) {
+      case Ty::U8: return "u8";
+      case Ty::I8: return "i8";
+      case Ty::U16: return "u16";
+      case Ty::I16: return "i16";
+      case Ty::U32: return "u32";
+      case Ty::I32: return "i32";
+    }
+    return "u8";
+}
+
+uint32_t
+tyBits(Ty t)
+{
+    switch (t) {
+      case Ty::U8: case Ty::I8: return 8;
+      case Ty::U16: case Ty::I16: return 16;
+      default: return 32;
+    }
+}
+
+struct Var {
+    std::string name;
+    Ty ty;
+    bool writable;
+};
+
+struct Arr {
+    std::string name;
+    Ty ty;
+    uint32_t size;   ///< power of two
+    bool writable;   ///< false for rom / string globals
+    bool isString;   ///< NUL-terminated, safe for stos_uart_puts
+};
+
+struct Field {
+    std::string name;
+    Ty ty;
+    uint32_t arr;    ///< 0 = scalar, else power-of-two count
+};
+
+struct StructDef {
+    std::string name;
+    std::vector<Field> fields;
+};
+
+struct StructVar {
+    std::string name;
+    uint32_t sidx;
+    bool isPtr;      ///< struct pointer (extent 1)
+};
+
+struct PtrVar {
+    std::string name;
+    Ty ty;
+    uint32_t extent; ///< p[0..extent-1] are dereferenceable
+};
+
+struct Helper {
+    struct Param {
+        std::string name;
+        Ty ty;
+        bool isPtr;  ///< callee assumes extent >= 4
+    };
+    std::string name;
+    Ty retTy;
+    bool retPtr;     ///< returns retTy* with extent >= 1
+    std::vector<Param> params;
+};
+
+class Generator {
+  public:
+    Generator(uint64_t seed, const GenOptions &opts)
+        : rng_(seed), opts_(opts)
+    {
+    }
+
+    std::string
+    run()
+    {
+        genStructs();
+        genGlobals();
+        genProcs();
+        genHelpers();
+        genMain();
+        std::string out;
+        for (const std::string &l : lines_) {
+            out += l;
+            out += '\n';
+        }
+        return out;
+    }
+
+  private:
+    //--- emission -----------------------------------------------------
+    void
+    emit(const std::string &line)
+    {
+        lines_.push_back(std::string(indent_ * 2, ' ') + line);
+    }
+
+    std::string
+    num(uint64_t v)
+    {
+        return std::to_string(v);
+    }
+
+    //--- random pieces ------------------------------------------------
+    Ty
+    anyTy()
+    {
+        return kAllTys[rng_.range(6)];
+    }
+
+    /** A literal of exact type t: (t)<unsigned decimal>. */
+    std::string
+    lit(Ty t)
+    {
+        uint32_t bits = tyBits(t);
+        uint64_t mask = (bits >= 64) ? ~0ull : ((1ull << bits) - 1);
+        uint64_t v;
+        switch (rng_.range(8)) {
+          case 0: v = 0; break;
+          case 1: v = 1; break;
+          case 2: v = mask; break;                 // all ones (-1)
+          case 3: v = 1ull << (bits - 1); break;   // sign bit (INT_MIN)
+          case 4: v = (1ull << (bits - 1)) - 1; break;  // INT_MAX
+          case 5: v = rng_.range(17); break;       // small
+          default: v = rng_.next() & mask; break;  // anything
+        }
+        return "(" + std::string(tyName(t)) + ")" + num(v & mask);
+    }
+
+    /** A cheap u8-ish index source: loop counter, scalar, or literal. */
+    std::string
+    idxSource()
+    {
+        if (!counters_.empty() && rng_.chance(60))
+            return counters_[rng_.range(
+                static_cast<uint32_t>(counters_.size()))];
+        if (!scalars_.empty() && rng_.chance(50)) {
+            const Var &v = scalars_[rng_.range(
+                static_cast<uint32_t>(scalars_.size()))];
+            return "(u8)" + v.name;
+        }
+        return num(rng_.range(256));
+    }
+
+    /** An in-bounds index into `size` (power of two) elements. */
+    std::string
+    index(uint32_t size)
+    {
+        return "(u8)(" + idxSource() + " & " + num(size - 1) + ")";
+    }
+
+    /** A readable scalar lvalue/rvalue of exact type t. */
+    std::string
+    scalarRead(Ty t, int depth)
+    {
+        for (int tries = 0; tries < 4; ++tries) {
+            switch (rng_.range(5)) {
+              case 0: {  // direct scalar (cast if type differs)
+                if (scalars_.empty())
+                    break;
+                const Var &v = scalars_[rng_.range(
+                    static_cast<uint32_t>(scalars_.size()))];
+                if (v.ty == t)
+                    return v.name;
+                return "(" + std::string(tyName(t)) + ")" + v.name;
+              }
+              case 1: {  // array element
+                if (arrays_.empty())
+                    break;
+                const Arr &a = arrays_[rng_.range(
+                    static_cast<uint32_t>(arrays_.size()))];
+                std::string e = a.name + "[" + index(a.size) + "]";
+                if (a.ty == t)
+                    return e;
+                return "(" + std::string(tyName(t)) + ")" + e;
+              }
+              case 2: {  // struct field
+                std::string e = fieldRead();
+                if (e.empty())
+                    break;
+                return "(" + std::string(tyName(t)) + ")" + e;
+              }
+              case 3: {  // pointer deref
+                if (ptrs_.empty())
+                    break;
+                const PtrVar &p = ptrs_[rng_.range(
+                    static_cast<uint32_t>(ptrs_.size()))];
+                std::string e = p.extent > 1 && rng_.chance(60)
+                    ? p.name + "[" + index(p.extent) + "]"
+                    : "(*" + p.name + ")";
+                if (p.ty == t)
+                    return e;
+                return "(" + std::string(tyName(t)) + ")" + e;
+              }
+              default: {  // call of a value-returning helper
+                if (depth <= 0)
+                    break;
+                std::string e = callExpr(false);
+                if (e.empty())
+                    break;
+                return "(" + std::string(tyName(t)) + ")" + e;
+              }
+            }
+        }
+        return lit(t);
+    }
+
+    /** A random scalar field access (possibly via struct pointer). */
+    std::string
+    fieldRead()
+    {
+        if (structVars_.empty())
+            return "";
+        const StructVar &sv = structVars_[rng_.range(
+            static_cast<uint32_t>(structVars_.size()))];
+        const StructDef &sd = structs_[sv.sidx];
+        const Field &f =
+            sd.fields[rng_.range(static_cast<uint32_t>(sd.fields.size()))];
+        std::string acc = sv.isPtr ? sv.name + "->" + f.name
+                                   : sv.name + "." + f.name;
+        if (f.arr)
+            acc += "[" + index(f.arr) + "]";
+        return acc;
+    }
+
+    /** Call text of a random helper; "" if none callable. retPtr
+     *  selects pointer-returning helpers. */
+    std::string
+    callExpr(bool retPtr)
+    {
+        std::vector<uint32_t> cands;
+        for (uint32_t i = 0; i < helpers_.size(); ++i)
+            if (helpers_[i].retPtr == retPtr && callableHelpers_ > i)
+                cands.push_back(i);
+        if (cands.empty())
+            return "";
+        const Helper &h = helpers_[cands[rng_.range(
+            static_cast<uint32_t>(cands.size()))]];
+        std::string call = h.name + "(";
+        for (size_t i = 0; i < h.params.size(); ++i) {
+            if (i)
+                call += ", ";
+            const Helper::Param &p = h.params[i];
+            if (p.isPtr)
+                call += ptrArg(p.ty);
+            else
+                call += expr(p.ty, 1);
+        }
+        call += ")";
+        return call;
+    }
+
+    /** A pointer argument with extent >= 4 for elem type t. */
+    std::string
+    ptrArg(Ty t)
+    {
+        std::vector<std::string> cands;
+        for (const Arr &a : arrays_)
+            if (a.ty == t && a.size >= 4 && a.writable)
+                cands.push_back(a.name);
+        for (const PtrVar &p : ptrs_)
+            if (p.ty == t && p.extent >= 4)
+                cands.push_back(p.name);
+        // Helper generation guarantees a global array of this type.
+        return cands[rng_.range(static_cast<uint32_t>(cands.size()))];
+    }
+
+    /** A boolean-ish condition expression. */
+    std::string
+    cond(int depth)
+    {
+        if (depth <= 0) {
+            switch (rng_.range(3)) {
+              case 0: return "true";
+              case 1: return "false";
+              default: {
+                Ty t = anyTy();
+                return "(" + scalarRead(t, 0) + " != " + lit(t) + ")";
+              }
+            }
+        }
+        switch (rng_.range(6)) {
+          case 0: {
+            Ty t = anyTy();
+            static const char *cmps[] = {"<", "<=", ">", ">=",
+                                         "==", "!="};
+            return "(" + expr(t, depth - 1) + " " + cmps[rng_.range(6)] +
+                   " " + expr(t, depth - 1) + ")";
+          }
+          case 1:
+            return "(" + cond(depth - 1) + " && " + cond(depth - 1) +
+                   ")";
+          case 2:
+            return "(" + cond(depth - 1) + " || " + cond(depth - 1) +
+                   ")";
+          case 3:
+            return "(!" + cond(depth - 1) + ")";
+          case 4:
+            if (fnptrSlots_ > 0) {
+                return "(ft[" + index(fnptrSlots_) + "] " +
+                       (rng_.chance(50) ? "!=" : "==") + " null)";
+            }
+            [[fallthrough]];
+          default: {
+            Ty t = anyTy();
+            return "(" + expr(t, depth - 1) + " < " + expr(t, depth - 1) +
+                   ")";
+          }
+        }
+    }
+
+    /** An expression of exact type t. */
+    std::string
+    expr(Ty t, int depth)
+    {
+        if (depth <= 0)
+            return rng_.chance(40) ? lit(t) : scalarRead(t, 0);
+        std::string tn = tyName(t);
+        switch (rng_.range(10)) {
+          case 0:
+          case 1: {  // arithmetic / bitwise binary, any operand type
+            Ty ot = rng_.chance(70) ? t : anyTy();
+            static const char *ops[] = {"+", "-", "*", "/", "%",
+                                        "&", "|", "^", "<<", ">>"};
+            return "(" + tn + ")(" + expr(ot, depth - 1) + " " +
+                   ops[rng_.range(10)] + " " + expr(ot, depth - 1) +
+                   ")";
+          }
+          case 2:    // ternary
+            return "(" + tn + ")(" + cond(depth - 1) + " ? " +
+                   expr(t, depth - 1) + " : " + expr(t, depth - 1) +
+                   ")";
+          case 3: {  // unary
+            static const char *ops[] = {"-", "~"};
+            return "(" + tn + ")(" + ops[rng_.range(2)] +
+                   expr(t, depth - 1) + ")";
+          }
+          case 4:    // comparison as value
+            return "(" + tn + ")" + cond(depth - 1);
+          case 5: {  // sizeof
+            std::string what;
+            if (!structs_.empty() && rng_.chance(50))
+                what = "struct " +
+                       structs_[rng_.range(static_cast<uint32_t>(
+                                    structs_.size()))]
+                           .name;
+            else
+                what = tyName(anyTy());
+            return "(" + tn + ")sizeof(" + what + ")";
+          }
+          case 6: {  // pointer-returning helper, deref'd
+            std::string c = callExpr(true);
+            if (!c.empty())
+                return "(" + tn + ")(*" + c + ")";
+            return scalarRead(t, depth);
+          }
+          default:
+            return scalarRead(t, depth);
+        }
+    }
+
+    /** A writable scalar lvalue; returns ("", U8) if none. */
+    std::pair<std::string, Ty>
+    lvalue()
+    {
+        for (int tries = 0; tries < 6; ++tries) {
+            switch (rng_.range(4)) {
+              case 0: {
+                std::vector<uint32_t> w;
+                for (uint32_t i = 0; i < scalars_.size(); ++i)
+                    if (scalars_[i].writable)
+                        w.push_back(i);
+                if (w.empty())
+                    break;
+                const Var &v = scalars_[w[rng_.range(
+                    static_cast<uint32_t>(w.size()))]];
+                return {v.name, v.ty};
+              }
+              case 1: {
+                std::vector<uint32_t> w;
+                for (uint32_t i = 0; i < arrays_.size(); ++i)
+                    if (arrays_[i].writable)
+                        w.push_back(i);
+                if (w.empty())
+                    break;
+                const Arr &a = arrays_[w[rng_.range(
+                    static_cast<uint32_t>(w.size()))]];
+                return {a.name + "[" + index(a.size) + "]", a.ty};
+              }
+              case 2: {
+                if (structVars_.empty())
+                    break;
+                const StructVar &sv = structVars_[rng_.range(
+                    static_cast<uint32_t>(structVars_.size()))];
+                const StructDef &sd = structs_[sv.sidx];
+                const Field &f = sd.fields[rng_.range(
+                    static_cast<uint32_t>(sd.fields.size()))];
+                std::string acc = sv.isPtr
+                                      ? sv.name + "->" + f.name
+                                      : sv.name + "." + f.name;
+                if (f.arr)
+                    acc += "[" + index(f.arr) + "]";
+                return {acc, f.ty};
+              }
+              default: {
+                if (ptrs_.empty())
+                    break;
+                const PtrVar &p = ptrs_[rng_.range(
+                    static_cast<uint32_t>(ptrs_.size()))];
+                if (p.extent > 1 && rng_.chance(60))
+                    return {p.name + "[" + index(p.extent) + "]", p.ty};
+                return {"(*" + p.name + ")", p.ty};
+              }
+            }
+        }
+        return {"", Ty::U8};
+    }
+
+    //--- scope management --------------------------------------------
+    struct ScopeMark {
+        size_t scalars, ptrs, structVars, counters;
+    };
+
+    ScopeMark
+    mark() const
+    {
+        return {scalars_.size(), ptrs_.size(), structVars_.size(),
+                counters_.size()};
+    }
+
+    void
+    release(const ScopeMark &m)
+    {
+        scalars_.resize(m.scalars);
+        ptrs_.resize(m.ptrs);
+        structVars_.resize(m.structVars);
+        counters_.resize(m.counters);
+    }
+
+    //--- statements ---------------------------------------------------
+    std::string
+    freshName(const char *prefix)
+    {
+        return prefix + num(nameCounter_++);
+    }
+
+    void
+    stmtAssign()
+    {
+        auto [lv, t] = lvalue();
+        if (lv.empty())
+            return;
+        switch (rng_.range(4)) {
+          case 0: {
+            static const char *ops[] = {"+=", "-=", "*=", "/=", "%=",
+                                        "&=", "|=", "^=", "<<=", ">>="};
+            emit(lv + " " + ops[rng_.range(10)] + " " + expr(t, 1) +
+                 ";");
+            break;
+          }
+          case 1:
+            emit(lv + (rng_.chance(50) ? "++;" : "--;"));
+            break;
+          default:
+            emit(lv + " = " + expr(t, 2) + ";");
+            break;
+        }
+    }
+
+    void
+    stmtLocalDecl()
+    {
+        switch (rng_.range(5)) {
+          case 0: {  // pointer local
+            if (arrays_.empty())
+                return;
+            std::vector<uint32_t> w;
+            for (uint32_t i = 0; i < arrays_.size(); ++i)
+                if (arrays_[i].writable)
+                    w.push_back(i);
+            if (w.empty())
+                return;
+            const Arr &a =
+                arrays_[w[rng_.range(static_cast<uint32_t>(w.size()))]];
+            std::string n = freshName("pt");
+            emit(std::string(tyName(a.ty)) + "* " + n + " = " + a.name +
+                 ";");
+            ptrs_.push_back({n, a.ty, a.size});
+            break;
+          }
+          case 1: {  // pointer to scalar global (extent 1)
+            std::vector<uint32_t> w;
+            for (uint32_t i = 0; i < globalScalars_; ++i)
+                if (scalars_[i].writable)
+                    w.push_back(i);
+            if (w.empty())
+                return;
+            const Var &v =
+                scalars_[w[rng_.range(static_cast<uint32_t>(w.size()))]];
+            std::string n = freshName("pt");
+            emit(std::string(tyName(v.ty)) + "* " + n + " = &" + v.name +
+                 ";");
+            ptrs_.push_back({n, v.ty, 1});
+            break;
+          }
+          case 2: {  // struct local, defined via copy from a global
+            if (gstructIdx_.empty())
+                return;
+            uint32_t gi = gstructIdx_[rng_.range(
+                static_cast<uint32_t>(gstructIdx_.size()))];
+            const StructVar &src = structVars_[gi];
+            std::string n = freshName("sl");
+            emit("struct " + structs_[src.sidx].name + " " + n + ";");
+            emit(n + " = " + src.name + ";");
+            structVars_.push_back({n, src.sidx, false});
+            break;
+          }
+          case 3: {  // struct pointer local
+            if (gstructIdx_.empty())
+                return;
+            uint32_t gi = gstructIdx_[rng_.range(
+                static_cast<uint32_t>(gstructIdx_.size()))];
+            const StructVar &src = structVars_[gi];
+            std::string n = freshName("sp");
+            emit("struct " + structs_[src.sidx].name + "* " + n +
+                 " = &" + src.name + ";");
+            structVars_.push_back({n, src.sidx, true});
+            break;
+          }
+          default: {  // scalar local
+            Ty t = anyTy();
+            std::string n = freshName("v");
+            emit(std::string(tyName(t)) + " " + n + " = " + expr(t, 2) +
+                 ";");
+            scalars_.push_back({n, t, true});
+            break;
+          }
+        }
+    }
+
+    void
+    stmtStructCopy()
+    {
+        // Copy between two same-type struct variables (byte-copy loop
+        // in the IR). Sources may be pointers (deref'd via *).
+        if (structVars_.size() < 2)
+            return;
+        for (int tries = 0; tries < 4; ++tries) {
+            const StructVar &dst = structVars_[rng_.range(
+                static_cast<uint32_t>(structVars_.size()))];
+            const StructVar &src = structVars_[rng_.range(
+                static_cast<uint32_t>(structVars_.size()))];
+            if (dst.sidx != src.sidx || dst.name == src.name)
+                continue;
+            std::string d = dst.isPtr ? "(*" + dst.name + ")" : dst.name;
+            std::string s = src.isPtr ? "(*" + src.name + ")" : src.name;
+            emit(d + " = " + s + ";");
+            return;
+        }
+    }
+
+    void
+    stmtUart()
+    {
+        switch (rng_.range(5)) {
+          case 0:
+            emit("stos_uart_put((u8)" + expr(Ty::U8, 1) + ");");
+            break;
+          case 1:
+            emit("UART_DATA = " + expr(Ty::U8, 1) + ";");
+            break;
+          case 2:
+            emit("stos_leds_set(" + expr(Ty::U8, 1) + ");");
+            break;
+          case 3: {
+            std::vector<const Arr *> strs;
+            for (const Arr &a : arrays_)
+                if (a.isString)
+                    strs.push_back(&a);
+            if (!strs.empty()) {
+                emit("stos_uart_puts(" +
+                     strs[rng_.range(
+                             static_cast<uint32_t>(strs.size()))]
+                         ->name +
+                     ");");
+                break;
+            }
+            [[fallthrough]];
+          }
+          default:
+            emit("stos_uart_put_u16(" + expr(Ty::U16, 2) + ");");
+            break;
+        }
+    }
+
+    void
+    stmtIf(uint32_t budgetShare)
+    {
+        emit("if " + cond(2) + " {");
+        ++indent_;
+        ScopeMark m = mark();
+        block(budgetShare);
+        release(m);
+        --indent_;
+        if (rng_.chance(40)) {
+            emit("} else {");
+            ++indent_;
+            ScopeMark m2 = mark();
+            block(budgetShare);
+            release(m2);
+            --indent_;
+        }
+        emit("}");
+    }
+
+    void
+    stmtLoop(uint32_t budgetShare)
+    {
+        uint32_t k = 2 + rng_.range(5);
+        std::string q = "q" + num(loopCounter_++);
+        bool isFor = rng_.chance(50);
+        ScopeMark m = mark();
+        if (isFor) {
+            emit("for (u8 " + q + " = 0; " + q + " < " + num(k) + "; " +
+                 q + "++) {");
+        } else {
+            emit("u8 " + q + " = 0;");
+            emit("while (" + q + " < " + num(k) + ") {");
+        }
+        ++indent_;
+        counters_.push_back(q);
+        scalars_.push_back({q, Ty::U8, false});
+        ++loopDepth_;
+        loopIsFor_.push_back(isFor);
+        block(budgetShare);
+        // Early exit, guarded so most iterations still run.
+        if (rng_.chance(30)) {
+            if (isFor && rng_.chance(40))
+                emit("if " + cond(1) + " { continue; }");
+            else
+                emit("if " + cond(1) + " { break; }");
+        }
+        loopIsFor_.pop_back();
+        --loopDepth_;
+        if (!isFor)
+            emit(q + " = (u8)(" + q + " + 1);");
+        release(m);
+        --indent_;
+        emit("}");
+    }
+
+    void
+    stmtAtomic(uint32_t budgetShare)
+    {
+        emit("atomic {");
+        ++indent_;
+        ScopeMark m = mark();
+        bool saved = inAtomic_;
+        inAtomic_ = true;
+        block(budgetShare);
+        inAtomic_ = saved;
+        release(m);
+        --indent_;
+        emit("}");
+    }
+
+    void
+    stmtCall()
+    {
+        if (!procs_.empty() && rng_.chance(40)) {
+            emit(procs_[rng_.range(
+                     static_cast<uint32_t>(procs_.size()))] +
+                 "();");
+            return;
+        }
+        std::string c = callExpr(false);
+        if (!c.empty())
+            emit(c + ";");
+    }
+
+    void
+    stmtFnptrDispatch()
+    {
+        if (fnptrSlots_ == 0)
+            return;
+        std::string f = freshName("fp");
+        emit("fnptr " + f + " = ft[" + index(fnptrSlots_) + "];");
+        emit("if (" + f + " != null) {");
+        ++indent_;
+        emit(f + "();");
+        --indent_;
+        emit("}");
+    }
+
+    /** Emit one statement; consumes budget. */
+    void
+    statement()
+    {
+        if (budget_ == 0)
+            return;
+        --budget_;
+        uint32_t depthLeft = maxLoopDepth_ - loopDepth_;
+        switch (rng_.range(16)) {
+          case 0: case 1: case 2: case 3:
+            stmtAssign();
+            break;
+          case 4: case 5:
+            stmtLocalDecl();
+            break;
+          case 6:
+            stmtStructCopy();
+            break;
+          case 7: case 8:
+            stmtUart();
+            break;
+          case 9: case 10:
+            stmtIf(2 + rng_.range(3));
+            break;
+          case 11: case 12:
+            if (depthLeft > 0)
+                stmtLoop(2 + rng_.range(4));
+            else
+                stmtAssign();
+            break;
+          case 13:
+            if (!inAtomic_)
+                stmtAtomic(1 + rng_.range(2));
+            else
+                stmtAssign();
+            break;
+          case 14:
+            stmtCall();
+            break;
+          default:
+            if (inMain_)
+                stmtFnptrDispatch();
+            else
+                stmtUart();
+            break;
+        }
+    }
+
+    /** A run of up to n statements (bounded by the global budget). */
+    void
+    block(uint32_t n)
+    {
+        for (uint32_t i = 0; i < n && budget_ > 0; ++i)
+            statement();
+    }
+
+    //--- program skeleton --------------------------------------------
+    void
+    genStructs()
+    {
+        uint32_t n = rng_.range(opts_.maxStructs + 1);
+        for (uint32_t i = 0; i < n; ++i) {
+            StructDef sd;
+            sd.name = "S" + num(i);
+            uint32_t nf = 1 + rng_.range(4);
+            std::string decl = "struct " + sd.name + " { ";
+            for (uint32_t j = 0; j < nf; ++j) {
+                Field f;
+                f.name = "f" + num(j);
+                f.ty = anyTy();
+                f.arr = rng_.chance(25) ? (2u << rng_.range(2)) : 0;
+                decl += std::string(tyName(f.ty)) + " " + f.name;
+                if (f.arr)
+                    decl += "[" + num(f.arr) + "]";
+                decl += "; ";
+                sd.fields.push_back(f);
+            }
+            decl += "};";
+            emit(decl);
+            structs_.push_back(sd);
+        }
+    }
+
+    void
+    genGlobals()
+    {
+        // Scalars. Zero-initialized or with a constant initializer;
+        // both are identical across engines.
+        uint32_t n = 3 + rng_.range(opts_.maxGlobals - 2);
+        for (uint32_t i = 0; i < n; ++i) {
+            Ty t = anyTy();
+            std::string name = "g" + num(i);
+            if (rng_.chance(60))
+                emit(std::string(tyName(t)) + " " + name + " = " +
+                     lit(t) + ";");
+            else
+                emit(std::string(tyName(t)) + " " + name + ";");
+            scalars_.push_back({name, t, true});
+        }
+        globalScalars_ = static_cast<uint32_t>(scalars_.size());
+
+        // Arrays: power-of-two sizes, one guaranteed per scalar type
+        // so pointer-taking helpers always have a valid argument.
+        uint32_t ai = 0;
+        for (Ty t : kAllTys) {
+            uint32_t size = 4u << rng_.range(3);  // 4 / 8 / 16
+            std::string name = "a" + num(ai++);
+            if (rng_.chance(40)) {
+                std::string init = "{";
+                for (uint32_t j = 0; j < size; ++j) {
+                    if (j)
+                        init += ", ";
+                    init += num(rng_.range(200));
+                }
+                init += "}";
+                emit(std::string(tyName(t)) + " " + name + "[" +
+                     num(size) + "] = " + init + ";");
+            } else {
+                emit(std::string(tyName(t)) + " " + name + "[" +
+                     num(size) + "];");
+            }
+            arrays_.push_back({name, t, size, true, false});
+        }
+
+        // A rom table (read-only) and a string (for stos_uart_puts).
+        if (rng_.chance(70)) {
+            uint32_t size = 4u << rng_.range(2);
+            std::string init = "{";
+            for (uint32_t j = 0; j < size; ++j) {
+                if (j)
+                    init += ", ";
+                init += num(rng_.range(256));
+            }
+            init += "}";
+            emit("rom u8 rt0[" + num(size) + "] = " + init + ";");
+            arrays_.push_back({"rt0", Ty::U8, size, false, false});
+        }
+        if (rng_.chance(70)) {
+            uint32_t len = 3 + rng_.range(8);
+            std::string s;
+            for (uint32_t j = 0; j < len; ++j)
+                s += static_cast<char>('a' + rng_.range(26));
+            emit("u8 ms0[" + num(len + 1) + "] = \"" + s + "\";");
+            arrays_.push_back(
+                {"ms0", Ty::U8, 1, false, true});  // never indexed
+        }
+
+        // Struct globals (zero-initialized).
+        for (uint32_t si = 0; si < structs_.size(); ++si) {
+            uint32_t copies = 1 + rng_.range(2);
+            for (uint32_t c = 0; c < copies; ++c) {
+                std::string name = "gs" + num(si) + "_" + num(c);
+                emit("struct " + structs_[si].name + " " + name + ";");
+                gstructIdx_.push_back(
+                    static_cast<uint32_t>(structVars_.size()));
+                structVars_.push_back({name, si, false});
+            }
+        }
+
+        // The fnptr dispatch table.
+        if (rng_.chance(80)) {
+            fnptrSlots_ = 4;
+            emit("fnptr ft[4];");
+        }
+        emit("");
+    }
+
+    void
+    genProcs()
+    {
+        // void(void) procedures for the fnptr table: straight-line
+        // mutations of writable globals.
+        uint32_t n = fnptrSlots_ ? 2 + rng_.range(2) : rng_.range(2);
+        for (uint32_t i = 0; i < n; ++i) {
+            std::string name = "p" + num(i);
+            emit("void " + name + "() {");
+            ++indent_;
+            uint32_t stmts = 1 + rng_.range(3);
+            for (uint32_t j = 0; j < stmts; ++j) {
+                auto [lv, t] = lvalue();
+                if (!lv.empty())
+                    emit(lv + " = " + expr(t, 1) + ";");
+            }
+            --indent_;
+            emit("}");
+            procs_.push_back(name);
+        }
+        if (n)
+            emit("");
+    }
+
+    void
+    genHelpers()
+    {
+        uint32_t n = 1 + rng_.range(opts_.maxHelpers);
+        for (uint32_t i = 0; i < n; ++i) {
+            Helper h;
+            h.name = "h" + num(i);
+            h.retTy = anyTy();
+            h.retPtr = rng_.chance(25);
+            uint32_t np = rng_.range(4);
+            ScopeMark m = mark();
+            std::string sig;
+            if (h.retPtr) {
+                // Pointer-returning helpers take the pointer they
+                // offset into, so the result provably stays in
+                // bounds: return p + (i & 3) with extent >= 4.
+                h.params.push_back({"pp", h.retTy, true});
+                h.params.push_back({"pi", Ty::U8, false});
+                sig = std::string(tyName(h.retTy)) + "* " + h.name +
+                      "(" + tyName(h.retTy) + "* pp, u8 pi)";
+                ptrs_.push_back({"pp", h.retTy, 4});
+                scalars_.push_back({"pi", Ty::U8, true});
+            } else {
+                sig = std::string(tyName(h.retTy)) + " " + h.name + "(";
+                for (uint32_t j = 0; j < np; ++j) {
+                    Helper::Param p;
+                    p.name = "p" + num(j) + "_";
+                    p.isPtr = rng_.chance(30);
+                    p.ty = anyTy();
+                    if (j)
+                        sig += ", ";
+                    sig += std::string(tyName(p.ty)) +
+                           (p.isPtr ? "* " : " ") + p.name;
+                    if (p.isPtr)
+                        ptrs_.push_back({p.name, p.ty, 4});
+                    else
+                        scalars_.push_back({p.name, p.ty, true});
+                    h.params.push_back(p);
+                }
+                sig += ")";
+            }
+            emit(sig + " {");
+            ++indent_;
+            budget_ = 3 + rng_.range(5);
+            maxLoopDepth_ = 1;
+            block(budget_);
+            if (!h.retPtr && rng_.chance(30))
+                emit("if " + cond(1) + " { return " +
+                     expr(h.retTy, 1) + "; }");
+            if (h.retPtr)
+                emit("return pp + (u8)(pi & 3);");
+            else
+                emit("return " + expr(h.retTy, 2) + ";");
+            --indent_;
+            emit("}");
+            emit("");
+            release(m);
+            helpers_.push_back(h);
+            callableHelpers_ = static_cast<uint32_t>(helpers_.size());
+        }
+    }
+
+    void
+    genMain()
+    {
+        emit("u16 main() {");
+        ++indent_;
+        inMain_ = true;
+        // Wire up some fnptr slots; leave others null on purpose.
+        for (uint32_t i = 0; i < fnptrSlots_ && !procs_.empty(); ++i) {
+            if (rng_.chance(65))
+                emit("ft[" + num(i) + "] = " +
+                     procs_[rng_.range(static_cast<uint32_t>(
+                         procs_.size()))] +
+                     ";");
+        }
+        budget_ = opts_.mainStatements;
+        maxLoopDepth_ = 2;
+        block(budget_);
+
+        // Observability epilogue: dump every mutable global so that
+        // any state divergence becomes a UART divergence.
+        for (uint32_t i = 0; i < globalScalars_; ++i) {
+            const Var &v = scalars_[i];
+            emit("stos_uart_put_u16((u16)" + v.name + ");");
+            if (tyBits(v.ty) == 32)
+                emit("stos_uart_put_u16((u16)(" + v.name + " >> 16));");
+        }
+        for (const Arr &a : arrays_) {
+            if (!a.writable)
+                continue;
+            std::string q = "q" + num(loopCounter_++);
+            emit("for (u8 " + q + " = 0; " + q + " < " + num(a.size) +
+                 "; " + q + "++) {");
+            ++indent_;
+            emit("stos_uart_put_u16((u16)" + a.name + "[" + q + "]);");
+            if (tyBits(a.ty) == 32)
+                emit("stos_uart_put_u16((u16)(" + a.name + "[" + q +
+                     "] >> 16));");
+            --indent_;
+            emit("}");
+        }
+        for (uint32_t gi : gstructIdx_) {
+            const StructVar &sv = structVars_[gi];
+            for (const Field &f : structs_[sv.sidx].fields) {
+                if (f.arr) {
+                    std::string q = "q" + num(loopCounter_++);
+                    emit("for (u8 " + q + " = 0; " + q + " < " +
+                         num(f.arr) + "; " + q + "++) {");
+                    ++indent_;
+                    emit("stos_uart_put_u16((u16)" + sv.name + "." +
+                         f.name + "[" + q + "]);");
+                    --indent_;
+                    emit("}");
+                } else {
+                    emit("stos_uart_put_u16((u16)" + sv.name + "." +
+                         f.name + ");");
+                }
+            }
+        }
+        emit("return 0;");
+        --indent_;
+        emit("}");
+    }
+
+    //--- state --------------------------------------------------------
+    Rng rng_;
+    GenOptions opts_;
+    std::vector<std::string> lines_;
+    int indent_ = 0;
+
+    std::vector<StructDef> structs_;
+    std::vector<std::string> procs_;
+    std::vector<Helper> helpers_;
+    uint32_t callableHelpers_ = 0;
+    uint32_t fnptrSlots_ = 0;
+    uint32_t globalScalars_ = 0;
+
+    // In-scope pools (globals stay; locals pushed/popped by mark()).
+    std::vector<Var> scalars_;
+    std::vector<Arr> arrays_;
+    std::vector<StructVar> structVars_;
+    std::vector<uint32_t> gstructIdx_;  ///< global struct vars
+    std::vector<PtrVar> ptrs_;
+    std::vector<std::string> counters_;
+
+    uint32_t budget_ = 0;
+    uint32_t maxLoopDepth_ = 2;
+    uint32_t loopDepth_ = 0;
+    std::vector<bool> loopIsFor_;
+    bool inAtomic_ = false;
+    bool inMain_ = false;
+    int nameCounter_ = 0;
+    int loopCounter_ = 0;
+};
+
+} // namespace
+
+std::string
+generateProgram(uint64_t seed, const GenOptions &opts)
+{
+    Generator g(seed, opts);
+    return g.run();
+}
+
+} // namespace stos::fuzz

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Delta-debugging line minimizer (ddmin). Works on whole lines — the
+ * generator emits one statement per line precisely so that deleting a
+ * line subset yields a plausible program. Candidates that no longer
+ * compile simply fail the caller's predicate and are skipped; the
+ * result is a 1-minimal program: removing any single remaining line
+ * makes the failure disappear.
+ */
+#include "fuzz/fuzz.h"
+
+#include <cstddef>
+
+namespace stos::fuzz {
+namespace {
+
+std::vector<std::string>
+splitLines(const std::string &src)
+{
+    std::vector<std::string> lines;
+    std::string cur;
+    for (char c : src) {
+        if (c == '\n') {
+            lines.push_back(cur);
+            cur.clear();
+        } else {
+            cur.push_back(c);
+        }
+    }
+    if (!cur.empty())
+        lines.push_back(cur);
+    return lines;
+}
+
+std::string
+joinWithout(const std::vector<std::string> &lines, size_t from,
+            size_t to)
+{
+    std::string out;
+    for (size_t i = 0; i < lines.size(); ++i) {
+        if (i >= from && i < to)
+            continue;
+        out += lines[i];
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+minimize(const std::string &src,
+         const std::function<bool(const std::string &)> &fails)
+{
+    std::vector<std::string> lines = splitLines(src);
+    bool shrunk = true;
+    while (shrunk) {
+        shrunk = false;
+        // Chunk sizes from half the program down to single lines.
+        for (size_t chunk = (lines.size() + 1) / 2; chunk >= 1;
+             chunk = chunk / 2) {
+            for (size_t start = 0; start < lines.size();) {
+                size_t end = start + chunk;
+                if (end > lines.size())
+                    end = lines.size();
+                std::string candidate = joinWithout(lines, start, end);
+                if (fails(candidate)) {
+                    // The failure survives without [start, end) —
+                    // drop those lines and retry at the same offset.
+                    lines.erase(lines.begin() +
+                                    static_cast<std::ptrdiff_t>(start),
+                                lines.begin() +
+                                    static_cast<std::ptrdiff_t>(end));
+                    shrunk = true;
+                } else {
+                    start = end;
+                }
+            }
+            if (chunk == 1)
+                break;
+        }
+    }
+    std::string out;
+    for (const std::string &l : lines) {
+        out += l;
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace stos::fuzz

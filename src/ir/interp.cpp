@@ -6,6 +6,7 @@
 
 #include <algorithm>
 
+#include "support/arith.h"
 #include "support/util.h"
 
 namespace stos::ir {
@@ -383,8 +384,16 @@ Interp::callFunction(const Function &f, const std::vector<RtValue> &args,
           case Opcode::Bin: {
             RtValue av = eval(fr, in.args[0]);
             RtValue bv = eval(fr, in.args[1]);
+            // Operand width comes from either vreg operand: for
+            // comparisons in.type is the bool result, not the width
+            // the operands compare at, so an immediate substituted
+            // into args[0] must not force the fallback while args[1]
+            // still knows the real type.
             TypeId at = in.args[0].isVReg()
-                            ? f.vregs[in.args[0].index].type : in.type;
+                            ? f.vregs[in.args[0].index].type
+                        : in.args[1].isVReg()
+                            ? f.vregs[in.args[1].index].type
+                            : in.type;
             uint64_t a = av.i, b = bv.i;
             int64_t sa = signedOf(a, at), sb = signedOf(b, at);
             uint64_t ua = truncToType(a, at), ub = truncToType(b, at);
@@ -393,25 +402,13 @@ Interp::callFunction(const Function &f, const std::vector<RtValue> &args,
               case BinOp::Add: r = a + b; break;
               case BinOp::Sub: r = a - b; break;
               case BinOp::Mul: r = a * b; break;
-              case BinOp::DivU:
-                if (ub == 0)
-                    trap(StopReason::DivByZero, 0, "division by zero");
-                r = ua / ub;
-                break;
+              case BinOp::DivU: r = arith::udiv(ua, ub); break;
               case BinOp::DivS:
-                if (sb == 0)
-                    trap(StopReason::DivByZero, 0, "division by zero");
-                r = static_cast<uint64_t>(sa / sb);
+                r = static_cast<uint64_t>(arith::sdiv(sa, sb));
                 break;
-              case BinOp::RemU:
-                if (ub == 0)
-                    trap(StopReason::DivByZero, 0, "division by zero");
-                r = ua % ub;
-                break;
+              case BinOp::RemU: r = arith::urem(ua, ub); break;
               case BinOp::RemS:
-                if (sb == 0)
-                    trap(StopReason::DivByZero, 0, "division by zero");
-                r = static_cast<uint64_t>(sa % sb);
+                r = static_cast<uint64_t>(arith::srem(sa, sb));
                 break;
               case BinOp::And: r = a & b; break;
               case BinOp::Or: r = a | b; break;

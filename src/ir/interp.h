@@ -60,7 +60,6 @@ enum class StopReason {
     Returned,     ///< top-level function returned normally
     SafetyFault,  ///< a dynamic check fired (flid says which)
     MemoryFault,  ///< raw access outside mapped memory / ROM write
-    DivByZero,
     StepLimit,
     Halted,       ///< sleeping with no pending interrupt
     BadIndirect,  ///< indirect call through invalid fnptr (unsafe build)

@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "support/arith.h"
 #include "support/util.h"
 
 namespace stos::opt {
@@ -305,13 +306,19 @@ evalBin(BinOp op, const AbsVal &a, const AbsVal &b, const TypeTable &tt,
         int64_t sx = sext(ux), sy = sext(uy);
         std::optional<int64_t> r;
         switch (op) {
-          case BinOp::Add: r = x + y; break;
-          case BinOp::Sub: r = x - y; break;
-          case BinOp::Mul: r = x * y; break;
-          case BinOp::DivU: if (uy) r = static_cast<int64_t>(ux / uy); break;
-          case BinOp::DivS: if (sy) r = sx / sy; break;
-          case BinOp::RemU: if (uy) r = static_cast<int64_t>(ux % uy); break;
-          case BinOp::RemS: if (sy) r = sx % sy; break;
+          case BinOp::Add: r = arith::wrapAdd(x, y); break;
+          case BinOp::Sub: r = arith::wrapSub(x, y); break;
+          case BinOp::Mul: r = arith::wrapMul(x, y); break;
+          // Division is total (x/0 == 0, INT_MIN/-1 wraps): fold the
+          // defined result the engines would compute at runtime.
+          case BinOp::DivU:
+            r = static_cast<int64_t>(arith::udiv(ux, uy));
+            break;
+          case BinOp::DivS: r = arith::sdiv(sx, sy); break;
+          case BinOp::RemU:
+            r = static_cast<int64_t>(arith::urem(ux, uy));
+            break;
+          case BinOp::RemS: r = arith::srem(sx, sy); break;
           case BinOp::And: r = static_cast<int64_t>(ux & uy); break;
           case BinOp::Or: r = static_cast<int64_t>(ux | uy); break;
           case BinOp::Xor: r = static_cast<int64_t>(ux ^ uy); break;
@@ -354,8 +361,14 @@ evalBin(BinOp op, const AbsVal &a, const AbsVal &b, const TypeTable &tt,
         out.hi = a.hi - b.lo;
         break;
       case BinOp::Mul: {
-        int64_t c[4] = {a.lo * b.lo, a.lo * b.hi, a.hi * b.lo,
-                        a.hi * b.hi};
+        // Corner products of u32-wide intervals can exceed int64;
+        // give up on the interval rather than overflow.
+        int64_t c[4];
+        if (__builtin_mul_overflow(a.lo, b.lo, &c[0]) ||
+            __builtin_mul_overflow(a.lo, b.hi, &c[1]) ||
+            __builtin_mul_overflow(a.hi, b.lo, &c[2]) ||
+            __builtin_mul_overflow(a.hi, b.hi, &c[3]))
+            return AbsVal::top();
         out.lo = *std::min_element(c, c + 4);
         out.hi = *std::max_element(c, c + 4);
         break;
@@ -405,8 +418,15 @@ evalBin(BinOp op, const AbsVal &a, const AbsVal &b, const TypeTable &tt,
       case BinOp::Shl:
         if (nonNegA && b.isConst() && *b.asConst() >= 0 &&
             *b.asConst() < 32) {
-            out.lo = a.lo << *b.asConst();
-            out.hi = a.hi << *b.asConst();
+            // Shift in uint64; a 32-bit hi shifted by 31 can pass
+            // INT64_MAX, in which case the interval is useless anyway.
+            uint64_t sh = static_cast<uint64_t>(*b.asConst());
+            uint64_t hi = static_cast<uint64_t>(a.hi) << sh;
+            if (hi >> 63)
+                return AbsVal::top();
+            out.lo = static_cast<int64_t>(
+                static_cast<uint64_t>(a.lo) << sh);
+            out.hi = static_cast<int64_t>(hi);
         } else {
             return AbsVal::top();
         }

@@ -13,6 +13,7 @@
 #include "analysis/callgraph.h"
 #include "analysis/concurrency.h"
 #include "analysis/pointsto.h"
+#include "ir/printer.h"
 #include "opt/passes.h"
 #include "support/util.h"
 
@@ -128,9 +129,21 @@ class Engine {
     const PointsTo &pts() const { return pts_; }
 
   private:
+    /**
+     * One forwarded store: the exact byte offset and store width pin
+     * down which later loads must-alias it. An object-keyed map alone
+     * is not enough — a store to ft[2] must never forward to a load
+     * of ft[1].
+     */
+    struct FwdSlot {
+        int64_t off = 0;
+        uint32_t size = 0;
+        AbsVal val;
+    };
+
     struct State {
         std::vector<AbsVal> regs;
-        std::map<MemObj, AbsVal> mem;  ///< block-local store forwarding
+        std::map<MemObj, FwdSlot> mem;  ///< block-local store forwarding
     };
 
     void
@@ -274,8 +287,15 @@ class Engine {
             break;
           }
           case Opcode::Bin: {
+            // Operand width comes from either vreg operand: for
+            // comparisons in.type is the bool result, not the width
+            // the operands compare at, and a previous round may have
+            // folded args[0] to an immediate while args[1] still
+            // carries the real operand type.
             TypeId opd = in.args[0].isVReg()
                              ? f.vregs[in.args[0].index].type
+                         : in.args[1].isVReg()
+                             ? f.vregs[in.args[1].index].type
                              : in.type;
             AbsVal v = evalBin(in.bop, ev(0), ev(1), tt, opd, in.type,
                                opts_.domains);
@@ -382,8 +402,10 @@ class Engine {
                 bool racy = isRacy(addr.obj);
                 auto fwd = st.mem.find(addr.obj);
                 if (!racy && fwd != st.mem.end() &&
-                    addr.offLo == addr.offHi) {
-                    result = fwd->second;
+                    addr.offLo == addr.offHi &&
+                    fwd->second.off == addr.offLo &&
+                    fwd->second.size == mod_.typeSize(in.type)) {
+                    result = fwd->second.val;
                 } else if (addr.obj.kind == MemObj::GlobalObj &&
                            addr.offLo == 0 && addr.offHi == 0 &&
                            isScalar(tt, in.type) &&
@@ -406,7 +428,8 @@ class Engine {
                 // Strong update in the block-local map when the
                 // offset is exact (must-alias); weak otherwise.
                 if (addr.offLo == addr.offHi && !isRacy(addr.obj)) {
-                    st.mem[addr.obj] = val;
+                    st.mem[addr.obj] = {addr.offLo,
+                                        mod_.typeSize(in.type), val};
                 } else {
                     st.mem.erase(addr.obj);
                 }
@@ -752,6 +775,15 @@ runCxprop(Module &m, const CxpropOptions &opts)
             rep.atomicsRemoved +=
                 ar.nestedRemoved + ar.handlerAtomicsRemoved;
             rep.atomicSavesDowngraded += ar.savesDowngraded;
+        }
+        if (std::getenv("STOS_CXPROP_DEBUG")) {
+            std::fprintf(stderr, "=== after cxprop round %d ===\n",
+                         round + 1);
+            for (auto &f : m.funcs()) {
+                if (!f.dead && f.name == "main")
+                    std::fprintf(stderr, "%s\n",
+                                 ir::functionToString(m, f).c_str());
+            }
         }
         uint32_t after = rep.checksRemoved + rep.instrsConstFolded +
                          rep.branchesFolded;

@@ -10,6 +10,7 @@
 #include <barrier>
 #include <thread>
 
+#include "support/arith.h"
 #include "support/util.h"
 
 namespace stos::sim {
@@ -291,11 +292,10 @@ Machine::step()
       case MOp::Mul:
         setReg(in.rd, reg(in.ra) * reg(in.rb));
         break;
-      case MOp::DivU: {
-        uint64_t b = reg(in.rb) & mask;
-        setReg(in.rd, b ? (reg(in.ra) & mask) / b : 0);
+      case MOp::DivU:
+        setReg(in.rd,
+               arith::udiv(reg(in.ra) & mask, reg(in.rb) & mask));
         break;
-      }
       case MOp::DivS: {
         int64_t a = static_cast<int64_t>(reg(in.ra) & mask);
         int64_t b = static_cast<int64_t>(reg(in.rb) & mask);
@@ -305,14 +305,13 @@ Machine::step()
             if (static_cast<uint64_t>(b) >> (in.w - 1))
                 b |= ~static_cast<int64_t>(mask);
         }
-        setReg(in.rd, b ? static_cast<uint64_t>(a / b) : 0);
+        setReg(in.rd, static_cast<uint64_t>(arith::sdiv(a, b)));
         break;
       }
-      case MOp::RemU: {
-        uint64_t b = reg(in.rb) & mask;
-        setReg(in.rd, b ? (reg(in.ra) & mask) % b : 0);
+      case MOp::RemU:
+        setReg(in.rd,
+               arith::urem(reg(in.ra) & mask, reg(in.rb) & mask));
         break;
-      }
       case MOp::RemS: {
         int64_t a = static_cast<int64_t>(reg(in.ra) & mask);
         int64_t b = static_cast<int64_t>(reg(in.rb) & mask);
@@ -322,7 +321,7 @@ Machine::step()
             if (static_cast<uint64_t>(b) >> (in.w - 1))
                 b |= ~static_cast<int64_t>(mask);
         }
-        setReg(in.rd, b ? static_cast<uint64_t>(a % b) : 0);
+        setReg(in.rd, static_cast<uint64_t>(arith::srem(a, b)));
         break;
       }
       case MOp::And:
@@ -606,11 +605,10 @@ Machine::runPredecoded(uint64_t target)
               case MOp::Mul:
                 setReg(in.rd, reg(in.ra) * reg(in.rb));
                 break;
-              case MOp::DivU: {
-                uint64_t b = reg(in.rb) & mask;
-                setReg(in.rd, b ? (reg(in.ra) & mask) / b : 0);
+              case MOp::DivU:
+                setReg(in.rd, arith::udiv(reg(in.ra) & mask,
+                                          reg(in.rb) & mask));
                 break;
-              }
               case MOp::DivS: {
                 int64_t a = static_cast<int64_t>(reg(in.ra) & mask);
                 int64_t b = static_cast<int64_t>(reg(in.rb) & mask);
@@ -620,14 +618,14 @@ Machine::runPredecoded(uint64_t target)
                     if (static_cast<uint64_t>(b) >> (in.w - 1))
                         b |= ~static_cast<int64_t>(mask);
                 }
-                setReg(in.rd, b ? static_cast<uint64_t>(a / b) : 0);
+                setReg(in.rd,
+                       static_cast<uint64_t>(arith::sdiv(a, b)));
                 break;
               }
-              case MOp::RemU: {
-                uint64_t b = reg(in.rb) & mask;
-                setReg(in.rd, b ? (reg(in.ra) & mask) % b : 0);
+              case MOp::RemU:
+                setReg(in.rd, arith::urem(reg(in.ra) & mask,
+                                          reg(in.rb) & mask));
                 break;
-              }
               case MOp::RemS: {
                 int64_t a = static_cast<int64_t>(reg(in.ra) & mask);
                 int64_t b = static_cast<int64_t>(reg(in.rb) & mask);
@@ -637,7 +635,8 @@ Machine::runPredecoded(uint64_t target)
                     if (static_cast<uint64_t>(b) >> (in.w - 1))
                         b |= ~static_cast<int64_t>(mask);
                 }
-                setReg(in.rd, b ? static_cast<uint64_t>(a % b) : 0);
+                setReg(in.rd,
+                       static_cast<uint64_t>(arith::srem(a, b)));
                 break;
               }
               case MOp::And:

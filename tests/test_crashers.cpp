@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Regression suite over tests/crashers/: every minimized program the
+ * differential fuzzer ever caught an engine divergence on, re-run
+ * through the full per-program oracle set (four build modes x three
+ * execution engines). A crasher that diverges again means a fixed
+ * bug has been reintroduced.
+ */
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "fuzz/fuzz.h"
+
+namespace stos {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<std::string>
+crasherFiles()
+{
+    std::vector<std::string> files;
+    for (const auto &e : fs::directory_iterator(STOS_CRASHERS_DIR)) {
+        if (e.path().extension() == ".tc")
+            files.push_back(e.path().string());
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+class Crashers : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(Crashers, AllEnginesAgree)
+{
+    std::string src = slurp(GetParam());
+    ASSERT_FALSE(src.empty()) << GetParam();
+    fuzz::Divergence d = fuzz::checkProgram(src);
+    EXPECT_FALSE(static_cast<bool>(d))
+        << GetParam() << " diverges again [" << d.oracle
+        << "]: " << d.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, Crashers, ::testing::ValuesIn(crasherFiles()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return fs::path(info.param).stem().string();
+    });
+
+TEST(Crashers, CorpusIsNonEmpty)
+{
+    EXPECT_GE(crasherFiles().size(), 5u);
+}
+
+} // namespace
+} // namespace stos

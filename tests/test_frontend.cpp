@@ -427,6 +427,15 @@ TEST(FrontendErrors, HwregMustBeU8OrU16)
     EXPECT_TRUE(compileFails("hwreg u32 R @ 0x10; void main() { }"));
 }
 
+TEST(FrontendErrors, IncDecOfUnknownMemberIsDiagnosedNotCrash)
+{
+    // Found by the fuzzer's ddmin minimizer: ++/-- on a member of an
+    // undeclared variable used to read the error lvalue's invalid
+    // type id and crash instead of reporting a diagnostic.
+    EXPECT_TRUE(compileFails("void main() { nosuch.f0--; }"));
+    EXPECT_TRUE(compileFails("void main() { nosuch++; }"));
+}
+
 //---------------------------------------------------------------------
 // Error cases for the constructs the expanded corpus leans on
 // (for-loop headers, ternaries, struct copies, modulo, pointer

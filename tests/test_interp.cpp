@@ -25,11 +25,31 @@ compile(const std::string &src)
     return m;
 }
 
-TEST(Interp, DivisionByZeroTraps)
+TEST(Interp, DivisionByZeroIsDefinedAsZero)
 {
-    Module m = compile("u16 main() { u16 z = 0; return 5 / z; }");
+    // TinyCIL division is total: x / 0 == 0 and x % 0 == 0, matching
+    // the simulator cores (the interpreter used to trap here, which
+    // made the two executors diverge on the same program).
+    Module m = compile(
+        "u16 main() { u16 z = 0; return (u16)(5 / z + 7 % z); }");
     Interp in(m);
-    EXPECT_EQ(in.run("main").reason, StopReason::DivByZero);
+    auto r = in.run("main");
+    EXPECT_EQ(r.reason, StopReason::Returned);
+    EXPECT_EQ(r.retVal.i, 0u);
+}
+
+TEST(Interp, SignedDivisionOverflowWraps)
+{
+    // INT_MIN / -1 wraps to INT_MIN; INT_MIN % -1 is 0. At 16 bits:
+    // -32768 / -1 == -32768 (0x8000 as u16).
+    Module m = compile(
+        "i16 lo = -32768;"
+        "i16 m1 = -1;"
+        "u16 main() { return (u16)(lo / m1) + (u16)(lo % m1); }");
+    Interp in(m);
+    auto r = in.run("main");
+    EXPECT_EQ(r.reason, StopReason::Returned);
+    EXPECT_EQ(r.retVal.i, 0x8000u);
 }
 
 TEST(Interp, StepLimitStopsInfiniteLoop)

@@ -13,9 +13,11 @@
 
 #include "core/driver.h"
 #include "core/pipeline.h"
+#include "ir/interp.h"
 #include "sim/decoded.h"
 #include "sim/machine.h"
 #include "sim/stats.h"
+#include "support/devmap.h"
 
 namespace stos {
 namespace {
@@ -178,6 +180,149 @@ TEST(SimEquivalence, FailingProgramWedgesIdenticallyWithSameFlid)
     EXPECT_TRUE(pre.wedged());
     EXPECT_NE(pre.failedFlid(), 0u);
     expectSame(statsOf(legacy), statsOf(pre), "oob");
+}
+
+/**
+ * Width-sweep arithmetic equivalence: division, remainder, and shifts
+ * over every integer width and the nasty operand corners — divisor
+ * zero, INT_MIN / -1, shift counts at and past the operand width —
+ * must produce identical UART streams from the IR interpreter, the
+ * legacy core, and the predecoded core, in unsafe, safe, and
+ * safe+optimized builds. This pins the unified total-division
+ * semantics (x/0 == 0, x%0 == 0, INT_MIN/-1 wraps) across all three
+ * engines and the constant folder.
+ */
+const char *kArithSweep = R"TC(
+i16 sa[6] = {-32768, -32767, -7, -1, 0, 32767};
+i16 sb[6] = {-1, 0, 1, -7, 3, -32768};
+u16 ua[5] = {0, 1, 7, 4660, 65535};
+u16 ub[5] = {0, 1, 2, 10, 65535};
+i32 wa[6] = {-2147483648, -2147483647, -513, -1, 0, 2147483647};
+i32 wb[6] = {-1, 0, 1, -513, 3, -2147483648};
+u32 va[5] = {0, 1, 513, 65537, 4294967295};
+u32 vb[5] = {0, 1, 2, 65537, 4294967295};
+u8 sh[9] = {0, 1, 7, 15, 16, 31, 32, 63, 70};
+void put32(u32 v) {
+    stos_uart_put_u16((u16)(v >> 16));
+    stos_uart_put_u16((u16)v);
+}
+u16 main() {
+    u8 i = 0;
+    u8 j = 0;
+    while (i < 6) {
+        j = 0;
+        while (j < 6) {
+            stos_uart_put_u16((u16)(sa[i] / sb[j]));
+            stos_uart_put_u16((u16)(sa[i] % sb[j]));
+            put32((u32)(wa[i] / wb[j]));
+            put32((u32)(wa[i] % wb[j]));
+            j = (u8)(j + 1);
+        }
+        i = (u8)(i + 1);
+    }
+    i = 0;
+    while (i < 5) {
+        j = 0;
+        while (j < 5) {
+            stos_uart_put_u16((u16)(ua[i] / ub[j]));
+            stos_uart_put_u16((u16)(ua[i] % ub[j]));
+            put32(va[i] / vb[j]);
+            put32(va[i] % vb[j]);
+            j = (u8)(j + 1);
+        }
+        i = (u8)(i + 1);
+    }
+    i = 0;
+    while (i < 6) {
+        j = 0;
+        while (j < 9) {
+            stos_uart_put_u16((u16)(sa[i] << sh[j]));
+            stos_uart_put_u16((u16)(sa[i] >> sh[j]));
+            put32((u32)(wa[i] << sh[j]));
+            put32((u32)(wa[i] >> sh[j]));
+            if (i < 5) {
+                stos_uart_put_u16((u16)(ua[i] << sh[j]));
+                stos_uart_put_u16((u16)(ua[i] >> sh[j]));
+                put32(va[i] << sh[j]);
+                put32(va[i] >> sh[j]);
+            }
+            j = (u8)(j + 1);
+        }
+        i = (u8)(i + 1);
+    }
+    return 0;
+}
+)TC";
+
+TEST(SimEquivalence, WidthSweepArithmeticAgreesAcrossAllEngines)
+{
+    for (ConfigId cfg : {ConfigId::Baseline, ConfigId::SafeFlid,
+                         ConfigId::SafeFlidInlineCxprop}) {
+        BuildResult build = buildSource("arith_sweep", kArithSweep,
+                                        configFor(cfg, "Mica2"));
+        std::string label = std::string("arith_sweep / ") +
+                            configName(cfg);
+
+        ir::Module m = build.module.clone();
+        ir::HwBus bus;
+        ir::InterpOptions iopts;
+        iopts.stepLimit = 50'000'000;
+        ir::Interp interp(m, &bus, iopts);
+        auto res = interp.run("main");
+        ASSERT_EQ(res.reason, ir::StopReason::Returned)
+            << label << ": " << res.detail;
+        std::string interpUart;
+        for (const auto &w : bus.writeLog())
+            if (w.addr == dev::kRegUartData)
+                interpUart.push_back(static_cast<char>(w.value));
+
+        Machine legacy(build.image, 1, ExecMode::Legacy);
+        Machine pre(build.image, 1, ExecMode::Predecoded);
+        legacy.boot();
+        pre.boot();
+        legacy.runUntilCycle(50'000'000);
+        pre.runUntilCycle(50'000'000);
+        ASSERT_TRUE(legacy.halted()) << label;
+        ASSERT_FALSE(legacy.wedged()) << label;
+        expectSame(statsOf(legacy), statsOf(pre), label);
+        EXPECT_EQ(interpUart, legacy.devices().uartLog()) << label;
+        EXPECT_FALSE(interpUart.empty()) << label;
+    }
+}
+
+/** The minimized div-by-zero divergence the fuzzer's first audit
+ *  found: interp used to trap where both machine cores returned 0. */
+TEST(SimEquivalence, DivByZeroProducesZeroOnEveryEngine)
+{
+    const char *kDiv0 =
+        "u16 z;"
+        "u16 main() {"
+        "  stos_uart_put_u16((u16)(123 / z));"
+        "  stos_uart_put_u16((u16)(123 % z));"
+        "  return 0;"
+        "}";
+    BuildResult build = buildSource(
+        "div0", kDiv0, configFor(ConfigId::Baseline, "Mica2"));
+
+    ir::Module m = build.module.clone();
+    ir::HwBus bus;
+    ir::Interp interp(m, &bus);
+    auto r = interp.run("main");
+    ASSERT_EQ(r.reason, ir::StopReason::Returned) << r.detail;
+    std::string interpUart;
+    for (const auto &w : bus.writeLog())
+        if (w.addr == dev::kRegUartData)
+            interpUart.push_back(static_cast<char>(w.value));
+
+    Machine legacy(build.image, 1, ExecMode::Legacy);
+    Machine pre(build.image, 1, ExecMode::Predecoded);
+    legacy.boot();
+    pre.boot();
+    legacy.runUntilCycle(1'000'000);
+    pre.runUntilCycle(1'000'000);
+    ASSERT_TRUE(legacy.halted());
+    expectSame(statsOf(legacy), statsOf(pre), "div0");
+    EXPECT_EQ(interpUart, legacy.devices().uartLog());
 }
 
 TEST(SimEquivalence, PredecodedNetworkClampsToRequestedCycles)
