@@ -14,6 +14,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -112,6 +113,12 @@ emitTo(const std::string &path, Emit emit)
  *   --json PATH   write the report as JSON
  *   --joined-csv PATH   write the joined static+dynamic table as CSV
  *   --joined-json PATH  ditto as JSON
+ *   --cache-dir PATH    back the run's StageCache with an on-disk
+ *                 artifact store at PATH: stage products persist
+ *                 across processes, and a warmed directory serves a
+ *                 repeat run without executing a single stage
+ *   --cache-stats print the artifact-store counters (disk hits,
+ *                 misses, corrupt rejects, bytes) after the run
  *
  * parse() resolves the simulated duration from
  * SAFE_TINYOS_SIM_SECONDS (falling back to the bench's default), so
@@ -125,6 +132,8 @@ struct BenchCli {
     std::string jsonPath;
     std::string joinedCsvPath;
     std::string joinedJsonPath;
+    std::string cacheDir;
+    bool cacheStats = false;
     double seconds = 0.0;
 
     static BenchCli
@@ -154,11 +163,17 @@ struct BenchCli {
             } else if (!std::strcmp(argv[i], "--joined-json") &&
                        i + 1 < argc) {
                 f.joinedJsonPath = argv[++i];
+            } else if (!std::strcmp(argv[i], "--cache-dir") &&
+                       i + 1 < argc) {
+                f.cacheDir = argv[++i];
+            } else if (!std::strcmp(argv[i], "--cache-stats")) {
+                f.cacheStats = true;
             } else {
                 fprintf(stderr,
                         "usage: %s [--serial] [--corpus=paper|full] "
                         "[--jobs N] [--csv PATH] [--json PATH] "
-                        "[--joined-csv PATH] [--joined-json PATH]\n",
+                        "[--joined-csv PATH] [--joined-json PATH] "
+                        "[--cache-dir PATH] [--cache-stats]\n",
                         argv[0]);
                 std::exit(2);
             }
@@ -192,6 +207,7 @@ struct BenchCli {
         o.jobs = jobs;
         o.simulate = simulate;
         o.seconds = seconds;
+        o.cache.dir = cacheDir;
         return o;
     }
 
@@ -213,8 +229,26 @@ struct BenchCli {
                     "matrix\n");
             return 2;
         }
-        out = exp.run();
+        // Bind the artifact store here (not inside exp.run()) so the
+        // store's counters survive the run for --cache-stats.
+        std::unique_ptr<core::ArtifactStore> store;
+        if (!cacheDir.empty())
+            store = std::make_unique<core::ArtifactStore>(
+                core::CacheOptions{cacheDir, false, 0});
+        core::StageCache cache(store.get());
+        out = exp.run(cache);
         printf("[%s]\n", out.summary().c_str());
+        if (cacheStats && store) {
+            core::ArtifactStoreStats s = store->stats();
+            printf("[cache %s: %zu disk hits, %zu misses, %zu corrupt, "
+                   "%zu writes, %zu evictions, %llu KiB read, "
+                   "%llu KiB written]\n",
+                   cacheDir.c_str(), s.diskHits, s.misses, s.corrupt,
+                   s.writes, s.evictions,
+                   static_cast<unsigned long long>(s.bytesRead / 1024),
+                   static_cast<unsigned long long>(s.bytesWritten /
+                                                   1024));
+        }
         if (int rc = reportFailures(out))
             return rc;
         if (serial) {

@@ -12,6 +12,15 @@
  *                               then rebuild cold+serial and require
  *                               cell-for-cell byte-identity,
  *                               reporting the speedup.
+ *   pipeline_speed --matrix [J] --cache-dir DIR
+ *                               the artifact-store gate: run the same
+ *                               matrix cold into DIR, re-run it warm
+ *                               (must execute ZERO stages — every
+ *                               build loads from disk — with
+ *                               cell-for-cell equivalent results),
+ *                               then corrupt one artifact and require
+ *                               it to degrade to a miss with exactly
+ *                               one correct rebuild.
  *
  * These are not a paper figure; they keep the whole-program approach
  * honest ("small system size means whole-program optimization is
@@ -22,6 +31,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <set>
 #include <thread>
 
@@ -76,14 +86,26 @@ BM_FullPipelineSurge(benchmark::State &state)
 }
 BENCHMARK(BM_FullPipelineSurge);
 
+/** The Figure-3 matrix as a build-only Experiment. */
+Experiment
+figure3Experiment(ExperimentOptions opts)
+{
+    opts.simulate = false;
+    Experiment exp(opts);
+    exp.addAllApps();
+    exp.addConfig(ConfigId::Baseline);
+    exp.addConfigs(figure3Configs());
+    return exp;
+}
+
 void
 BM_Figure3MatrixSerial(benchmark::State &state)
 {
-    DriverOptions opts;
+    ExperimentOptions opts;
     opts.jobs = 1;
-    opts.memoizeFrontend = false;
+    opts.memoize = false;
     for (auto _ : state) {
-        BuildReport rep = BuildDriver::figure3Matrix(opts);
+        BuildReport rep = figure3Experiment(opts).run().builds;
         benchmark::DoNotOptimize(rep.records.size());
     }
 }
@@ -94,9 +116,9 @@ BENCHMARK(BM_Figure3MatrixSerial)
 void
 BM_Figure3MatrixParallel(benchmark::State &state)
 {
-    DriverOptions opts;  // jobs = hardware concurrency, stage-cached
+    ExperimentOptions opts;  // jobs = hardware concurrency, memoized
     for (auto _ : state) {
-        BuildReport rep = BuildDriver::figure3Matrix(opts);
+        BuildReport rep = figure3Experiment(opts).run().builds;
         benchmark::DoNotOptimize(rep.records.size());
     }
 }
@@ -120,16 +142,36 @@ BM_SimulatorThroughput(benchmark::State &state)
 }
 BENCHMARK(BM_SimulatorThroughput);
 
+/** Distinct content keys the Figure-3 matrix spans, per stage. */
+struct MatrixKeys {
+    std::set<std::string> app, safety, opt, build;
+};
+
+MatrixKeys
+figure3Keys()
+{
+    MatrixKeys keys;
+    std::vector<ConfigId> columns{ConfigId::Baseline};
+    for (ConfigId id : figure3Configs())
+        columns.push_back(id);
+    for (const auto &app : tinyos::allApps()) {
+        keys.app.insert(StageCache::appKey(app));
+        for (ConfigId id : columns) {
+            PipelineConfig cfg = configFor(id, app.platform);
+            keys.safety.insert(StageCache::safetyKey(app, cfg));
+            keys.opt.insert(StageCache::optKey(app, cfg));
+            keys.build.insert(StageCache::buildKey(app, cfg));
+        }
+    }
+    return keys;
+}
+
 int
 runMatrixComparison(unsigned jobs)
 {
     ExperimentOptions opts;
     opts.jobs = jobs;  // 0 = let the pool pick
-    opts.simulate = false;
-    Experiment exp(opts);
-    exp.addAllApps();
-    exp.addConfig(ConfigId::Baseline);
-    exp.addConfigs(figure3Configs());
+    Experiment exp = figure3Experiment(opts);
 
     printf("Figure-3 matrix, parallel stage-graph build "
            "(StageCache memoized)...\n");
@@ -145,19 +187,11 @@ runMatrixComparison(unsigned jobs)
     // matrix spans (C4/C5/C6 share one safety run per app,
     // Baseline/C7 share the unsafe pass-through), never the cell
     // count.
-    std::set<std::string> appKeys, safetyKeys, optKeys, buildKeys;
-    std::vector<ConfigId> columns{ConfigId::Baseline};
-    for (ConfigId id : figure3Configs())
-        columns.push_back(id);
-    for (const auto &app : tinyos::allApps()) {
-        appKeys.insert(StageCache::appKey(app));
-        for (ConfigId id : columns) {
-            PipelineConfig cfg = configFor(id, app.platform);
-            safetyKeys.insert(StageCache::safetyKey(app, cfg));
-            optKeys.insert(StageCache::optKey(app, cfg));
-            buildKeys.insert(StageCache::buildKey(app, cfg));
-        }
-    }
+    MatrixKeys keys = figure3Keys();
+    const auto &appKeys = keys.app;
+    const auto &safetyKeys = keys.safety;
+    const auto &optKeys = keys.opt;
+    const auto &buildKeys = keys.build;
     const size_t cells = par.builds.records.size();
     printf("stage-cache win: %zu cells -> %zu parses, %zu safety "
            "runs, %zu opt runs, %zu backend runs "
@@ -208,19 +242,154 @@ runMatrixComparison(unsigned jobs)
     return identical ? 0 : 1;
 }
 
+/** Cell-for-cell build equivalence of two Figure-3 runs. */
+bool
+buildsEquivalent(const BuildReport &a, const BuildReport &b,
+                 std::string *why)
+{
+    if (a.records.size() != b.records.size()) {
+        *why = "matrix shapes differ";
+        return false;
+    }
+    for (size_t i = 0; i < a.records.size(); ++i) {
+        if (!BuildDriver::recordsEquivalent(a.records[i], b.records[i],
+                                            why))
+            return false;
+    }
+    return true;
+}
+
+/**
+ * The artifact-store gate: cold run warms DIR, warm run must execute
+ * zero stages with equivalent results, and a deliberately corrupted
+ * artifact must degrade to a miss with exactly one correct rebuild.
+ */
+int
+runCacheGate(unsigned jobs, const std::string &dir)
+{
+    ExperimentOptions opts;
+    opts.jobs = jobs;
+    opts.cache.dir = dir;
+    Experiment exp = figure3Experiment(opts);
+    MatrixKeys keys = figure3Keys();
+
+    printf("Figure-3 matrix, cold run into artifact store %s...\n",
+           dir.c_str());
+    ExperimentReport cold = exp.run();
+    printf("  %s\n", cold.builds.summary().c_str());
+    if (!cold.allOk()) {
+        fprintf(stderr, "cold builds failed\n");
+        return 1;
+    }
+
+    printf("Figure-3 matrix, warm re-run from the store...\n");
+    ExperimentReport warm = exp.run();
+    printf("  %s\n", warm.builds.summary().c_str());
+    if (!warm.allOk()) {
+        fprintf(stderr, "warm builds failed\n");
+        return 1;
+    }
+    if (warm.builds.frontendParses != 0 ||
+        warm.builds.safetyRuns != 0 || warm.builds.optRuns != 0 ||
+        warm.builds.backendRuns != 0) {
+        fprintf(stderr,
+                "FAIL: warm run executed stages "
+                "(%zu/%zu/%zu/%zu) — expected all zero\n",
+                warm.builds.frontendParses, warm.builds.safetyRuns,
+                warm.builds.optRuns, warm.builds.backendRuns);
+        return 1;
+    }
+    // A warmed store serves each distinct build from its single
+    // backend artifact; upstream stages are never even requested.
+    if (warm.builds.backendDiskHits != keys.build.size()) {
+        fprintf(stderr,
+                "FAIL: expected %zu backend disk hits, saw %zu\n",
+                keys.build.size(), warm.builds.backendDiskHits);
+        return 1;
+    }
+    std::string why;
+    if (!buildsEquivalent(cold.builds, warm.builds, &why)) {
+        fprintf(stderr, "FAIL: warm run differs from cold: %s\n",
+                why.c_str());
+        return 1;
+    }
+    printf("cold %.0f ms -> warm %.0f ms (%.1fx), zero stages "
+           "executed, %zu disk hits\n",
+           cold.builds.wallMillis, warm.builds.wallMillis,
+           warm.builds.wallMillis > 0
+               ? cold.builds.wallMillis / warm.builds.wallMillis
+               : 0.0,
+           warm.builds.diskHits());
+
+    // Corruption gate: truncate one backend artifact; the next run
+    // must treat it as a miss and rebuild exactly that one cell —
+    // correctly — while everything else still disk-hits.
+    ArtifactStore store(CacheOptions{dir, false, 0});
+    const auto &app0 = tinyos::allApps().front();
+    PipelineConfig cfg0 = configFor(ConfigId::Baseline, app0.platform);
+    std::string victim =
+        store.pathFor(Stage::Backend, StageCache::buildKey(app0, cfg0));
+    std::error_code ec;
+    auto fullSize = std::filesystem::file_size(victim, ec);
+    if (ec) {
+        fprintf(stderr, "FAIL: cannot stat artifact %s: %s\n",
+                victim.c_str(), ec.message().c_str());
+        return 1;
+    }
+    std::filesystem::resize_file(victim, fullSize / 2, ec);
+    printf("truncated %s (%llu -> %llu bytes)...\n", victim.c_str(),
+           static_cast<unsigned long long>(fullSize),
+           static_cast<unsigned long long>(fullSize / 2));
+
+    ExperimentReport fixed = exp.run();
+    printf("  %s\n", fixed.builds.summary().c_str());
+    if (!fixed.allOk()) {
+        fprintf(stderr, "post-corruption builds failed\n");
+        return 1;
+    }
+    if (fixed.builds.backendRuns != 1 || fixed.builds.optRuns != 0 ||
+        fixed.builds.safetyRuns != 0 ||
+        fixed.builds.frontendParses != 0) {
+        fprintf(stderr,
+                "FAIL: corruption should cost exactly one backend "
+                "rebuild, saw %zu/%zu/%zu/%zu stage runs\n",
+                fixed.builds.frontendParses, fixed.builds.safetyRuns,
+                fixed.builds.optRuns, fixed.builds.backendRuns);
+        return 1;
+    }
+    if (!buildsEquivalent(cold.builds, fixed.builds, &why)) {
+        fprintf(stderr,
+                "FAIL: post-corruption rebuild differs from cold: "
+                "%s\n",
+                why.c_str());
+        return 1;
+    }
+    printf("\ncorrupted artifact degraded to a miss; one backend "
+           "rebuild, results identical: YES\n");
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    bool matrix = false;
+    unsigned jobs = 0;
+    std::string cacheDir;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--matrix") == 0) {
-            unsigned jobs = 0;
-            if (i + 1 < argc)
+            matrix = true;
+            if (i + 1 < argc && argv[i + 1][0] != '-')
                 jobs = static_cast<unsigned>(std::atoi(argv[i + 1]));
-            return runMatrixComparison(jobs);
+        } else if (std::strcmp(argv[i], "--cache-dir") == 0 &&
+                   i + 1 < argc) {
+            cacheDir = argv[++i];
         }
     }
+    if (matrix)
+        return cacheDir.empty() ? runMatrixComparison(jobs)
+                                : runCacheGate(jobs, cacheDir);
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;

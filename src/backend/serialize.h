@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Binary (de)serialization of linked firmware images (MProgram) and
+ * their target descriptions for the on-disk artifact store. Same
+ * discipline as ir/serialize.h: deterministic field-for-field
+ * little-endian encoding, versioned globally by the store's
+ * kStoreFormatVersion — bump it when a struct here changes shape.
+ */
+#ifndef STOS_BACKEND_SERIALIZE_H
+#define STOS_BACKEND_SERIALIZE_H
+
+#include "backend/minstr.h"
+#include "support/binio.h"
+
+namespace stos::backend {
+
+void writeProgram(support::BinWriter &w, const MProgram &p);
+MProgram readProgram(support::BinReader &r);
+
+} // namespace stos::backend
+
+#endif

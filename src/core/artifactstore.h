@@ -1,0 +1,118 @@
+/**
+ * @file
+ * ArtifactStore: the on-disk, content-addressed backing store behind
+ * StageCache — ccache semantics for the whole pipeline. Each stage
+ * product is persisted under its chained content key
+ * (appKey|safety|opt|backend fingerprints), so any process that
+ * derives the same key reads the same artifact instead of re-running
+ * the stage; a directory can be shared across processes and CI runs.
+ *
+ * Durability discipline:
+ *  - writes go to a temp file, then an atomic rename — a crashed or
+ *    concurrent writer can never leave a half-written artifact under
+ *    the final name;
+ *  - every artifact carries a format-version stamp and an FNV-1a
+ *    payload hash — a version mismatch, truncation, or corruption
+ *    degrades to a cache miss (the stage re-runs and rewrites),
+ *    never to a wrong answer;
+ *  - the full key string is stored and verified on read, so a file
+ *    name hash collision is also just a miss.
+ *
+ * On-disk layout: one file per entry,
+ *
+ *   <dir>/<stage>-<fnv1a64(key) as 16 hex chars>.art
+ *
+ * with header  magic "STOSART1" | u32 version | u8 stage |
+ * key string | u64 payload size | u64 payload hash | payload.
+ */
+#ifndef STOS_CORE_ARTIFACTSTORE_H
+#define STOS_CORE_ARTIFACTSTORE_H
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace stos::core {
+
+/** The stages of the build graph, in dataflow order. */
+enum class Stage { Frontend, Safety, Opt, Backend };
+
+const char *stageName(Stage s);
+
+/**
+ * Store format version. Stamped into every artifact and into the CI
+ * cache key; an artifact written by any other version is invalidated
+ * (treated as a miss) on read. Bump whenever any serialized struct
+ * (ir/serialize.cpp, backend/serialize.cpp, core/serialize.cpp)
+ * changes shape.
+ */
+inline constexpr uint32_t kStoreFormatVersion = 1;
+
+/** How an Experiment (or bench --cache-dir) binds to a store. */
+struct CacheOptions {
+    /** Store directory (created on demand). Empty = in-memory only. */
+    std::string dir;
+    /** Serve disk hits but never write back (shared read-only cache). */
+    bool readOnly = false;
+    /**
+     * Soft size cap: after each write, oldest artifacts (by mtime)
+     * are evicted until the directory fits. 0 = unbounded.
+     */
+    uint64_t maxBytes = 0;
+};
+
+/** Store activity counters (monotonic over the store's lifetime). */
+struct ArtifactStoreStats {
+    size_t diskHits = 0;     ///< loads served from a valid artifact
+    size_t misses = 0;       ///< loads with no artifact on disk
+    size_t corrupt = 0;      ///< artifacts rejected (version/hash/key)
+    size_t writes = 0;       ///< artifacts written back
+    size_t evictions = 0;    ///< artifacts removed by the size cap
+    uint64_t bytesRead = 0;  ///< payload bytes of served hits
+    uint64_t bytesWritten = 0;
+};
+
+class ArtifactStore {
+  public:
+    /** Opens (and creates) the store directory. Throws FatalError if
+     *  the directory cannot be created. */
+    explicit ArtifactStore(CacheOptions opts);
+    ArtifactStore(const ArtifactStore &) = delete;
+    ArtifactStore &operator=(const ArtifactStore &) = delete;
+
+    /**
+     * Fetch the artifact for (stage, key) into `payload`. Returns
+     * false on miss — including any rejected artifact (bad magic,
+     * version mismatch, key mismatch, short file, payload hash
+     * mismatch); a rejected file is unlinked so the rebuild's
+     * write-back replaces it.
+     */
+    bool load(Stage stage, const std::string &key, std::string *payload);
+
+    /**
+     * Persist an artifact (no-op in read-only mode). Crash-safe:
+     * temp file + atomic rename. Applies the maxBytes cap after the
+     * write.
+     */
+    void store(Stage stage, const std::string &key,
+               std::string_view payload);
+
+    /** The artifact file path for (stage, key) — tests corrupt it. */
+    std::string pathFor(Stage stage, const std::string &key) const;
+
+    const CacheOptions &options() const { return opts_; }
+    ArtifactStoreStats stats() const;
+
+  private:
+    void evictToFit();
+
+    CacheOptions opts_;
+    mutable std::mutex mu_;
+    ArtifactStoreStats stats_;
+    uint64_t tmpCounter_ = 0;
+};
+
+} // namespace stos::core
+
+#endif

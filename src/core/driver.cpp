@@ -1,27 +1,20 @@
 /**
  * @file
- * BuildDriver implementation: a shim over the stage graph. Work
- * distribution is a single atomic job counter over the flattened
- * matrix (core/pool.h); jobs are executed in config-major order
- * (cell k -> app k % A) so the first wave of workers hits distinct
- * apps and the per-app stage entries fill without contention, while
- * results land in app-major record slots so the report order is
- * deterministic under any thread count.
+ * Build-matrix vocabulary (BuildReport emitters, equivalence helpers)
+ * plus the deprecated BuildDriver shim. The batch-compile engine
+ * itself lives in core/experiment.cpp; every run entry point below
+ * constructs an equivalent build-only Experiment and forwards.
  */
 #include "core/driver.h"
 
-#include <atomic>
-#include <chrono>
 #include <ostream>
 
-#include "core/pool.h"
+#include "core/experiment.h"
 #include "core/stagecache.h"
 #include "ir/printer.h"
 #include "support/util.h"
 
 namespace stos::core {
-
-using Clock = std::chrono::steady_clock;
 
 //---------------------------------------------------------------------
 // BuildReport
@@ -62,13 +55,24 @@ BuildReport::allOk() const
 std::string
 BuildReport::summary() const
 {
-    return strfmt("%zu apps x %zu configs = %zu builds in %.0f ms "
-                  "(%u jobs; stage runs/reuses: frontend %zu/%zu, "
-                  "safety %zu/%zu, opt %zu/%zu, backend %zu/%zu)",
-                  numApps, numConfigs, records.size(), wallMillis,
-                  jobsUsed, frontendParses, frontendReuses, safetyRuns,
-                  safetyReuses, optRuns, optReuses, backendRuns,
-                  backendReuses);
+    std::string s =
+        strfmt("%zu apps x %zu configs = %zu builds in %.0f ms "
+               "(%u jobs; stage runs/reuses: frontend %zu/%zu, "
+               "safety %zu/%zu, opt %zu/%zu, backend %zu/%zu)",
+               numApps, numConfigs, records.size(), wallMillis,
+               jobsUsed, frontendParses, frontendReuses, safetyRuns,
+               safetyReuses, optRuns, optReuses, backendRuns,
+               backendReuses);
+    if (diskHits() > 0 || cacheBytesWritten > 0)
+        s += strfmt(" (disk hits: frontend %zu, safety %zu, opt %zu, "
+                    "backend %zu; %llu KiB read, %llu KiB written)",
+                    frontendDiskHits, safetyDiskHits, optDiskHits,
+                    backendDiskHits,
+                    static_cast<unsigned long long>(cacheBytesRead /
+                                                    1024),
+                    static_cast<unsigned long long>(cacheBytesWritten /
+                                                    1024));
+    return s;
 }
 
 void
@@ -116,6 +120,13 @@ BuildReport::emitJson(std::ostream &os) const
        << "  \"backend_runs\": " << backendRuns << ",\n"
        << "  \"backend_reuses\": " << backendReuses << ",\n"
        << "  \"stage_reuses\": " << stageReuses() << ",\n"
+       << "  \"frontend_disk_hits\": " << frontendDiskHits << ",\n"
+       << "  \"safety_disk_hits\": " << safetyDiskHits << ",\n"
+       << "  \"opt_disk_hits\": " << optDiskHits << ",\n"
+       << "  \"backend_disk_hits\": " << backendDiskHits << ",\n"
+       << "  \"disk_hits\": " << diskHits() << ",\n"
+       << "  \"cache_bytes_read\": " << cacheBytesRead << ",\n"
+       << "  \"cache_bytes_written\": " << cacheBytesWritten << ",\n"
        << "  \"wall_millis\": " << strfmt("%.3f", wallMillis) << ",\n"
        << "  \"records\": [\n";
     for (size_t i = 0; i < records.size(); ++i) {
@@ -221,25 +232,25 @@ BuildDriver::addCustom(std::string label,
 }
 
 //---------------------------------------------------------------------
-// Execution
+// Execution: deprecated shims over the Experiment engine
 //---------------------------------------------------------------------
 
 namespace {
 
-/** Fill the identity fields every cell carries regardless of mode. */
-BuildRecord &
-cellRecord(BuildReport &report, const tinyos::AppInfo &app,
-           const ConfigSpec &spec, size_t appIdx, size_t cfgIdx)
+/** Recreate this driver's matrix as a build-only Experiment. */
+Experiment
+asExperiment(const DriverOptions &opts,
+             const std::vector<tinyos::AppInfo> &apps,
+             const std::vector<ConfigSpec> &configs)
 {
-    BuildRecord &rec =
-        report.records[appIdx * report.numConfigs + cfgIdx];
-    rec.app = app.name;
-    rec.platform = app.platform;
-    rec.config = spec.label;
-    rec.companions = app.companions;
-    rec.appIndex = static_cast<uint32_t>(appIdx);
-    rec.configIndex = static_cast<uint32_t>(cfgIdx);
-    return rec;
+    Experiment exp;
+    exp.options().jobs = opts.jobs;
+    exp.options().memoize = opts.memoizeFrontend;
+    exp.options().simulate = false;
+    exp.addApps(apps);
+    for (const auto &spec : configs)
+        exp.addCustom(spec.label, spec.make);
+    return exp;
 }
 
 } // namespace
@@ -247,137 +258,46 @@ cellRecord(BuildReport &report, const tinyos::AppInfo &app,
 BuildReport
 BuildDriver::run() const
 {
-    if (opts_.memoizeFrontend) {
-        StageCache cache;
-        return run(cache);
-    }
-    // Cold mode: every cell compiles from source, nothing is shared —
-    // the reference behaviour the equivalence gates compare against.
-    const size_t nApps = apps_.size();
-    const size_t nConfigs = configs_.size();
-    const size_t nJobs = nApps * nConfigs;
-
-    BuildReport report;
-    report.numApps = nApps;
-    report.numConfigs = nConfigs;
-    report.records.resize(nJobs);
-    report.jobsUsed = resolveJobs(opts_.jobs, nJobs);
-    if (nJobs == 0)
-        return report;
-
-    auto start = Clock::now();
-    runOnPool(report.jobsUsed, nJobs, [&](size_t k) {
-        size_t appIdx = k % nApps, cfgIdx = k / nApps;
-        const tinyos::AppInfo &app = apps_[appIdx];
-        const ConfigSpec &spec = configs_[cfgIdx];
-        BuildRecord &rec = cellRecord(report, app, spec, appIdx, cfgIdx);
-        auto cellStart = Clock::now();
-        try {
-            rec.result = std::make_shared<const BuildResult>(
-                buildSource(app.name, app.source,
-                            spec.make(app.platform)));
-            rec.ok = true;
-        } catch (const std::exception &e) {
-            rec.ok = false;
-            rec.error = e.what();
-        }
-        rec.millis = millisSince(cellStart);
-    });
-    report.wallMillis = millisSince(start);
-    // Every cell ran the whole pipeline by itself.
-    report.frontendParses = nJobs;
-    report.safetyRuns = nJobs;
-    report.optRuns = nJobs;
-    report.backendRuns = nJobs;
-    return report;
+    return asExperiment(opts_, apps_, configs_).run().builds;
 }
 
 BuildReport
 BuildDriver::run(StageCache &cache) const
 {
-    const size_t nApps = apps_.size();
-    const size_t nConfigs = configs_.size();
-    const size_t nJobs = nApps * nConfigs;
-
-    BuildReport report;
-    report.numApps = nApps;
-    report.numConfigs = nConfigs;
-    report.records.resize(nJobs);
-    report.jobsUsed = resolveJobs(opts_.jobs, nJobs);
-    if (nJobs == 0)
-        return report;
-
-    StageCacheStats before = cache.stats();
-
-    auto start = Clock::now();
-    // Config-major execution order: spread early jobs across distinct
-    // apps so the per-app stage entries fill in parallel.
-    runOnPool(report.jobsUsed, nJobs, [&](size_t k) {
-        size_t appIdx = k % nApps, cfgIdx = k / nApps;
-        const tinyos::AppInfo &app = apps_[appIdx];
-        const ConfigSpec &spec = configs_[cfgIdx];
-        BuildRecord &rec = cellRecord(report, app, spec, appIdx, cfgIdx);
-        auto cellStart = Clock::now();
-        StageHits hits;
-        try {
-            PipelineConfig cfg = spec.make(app.platform);
-            // Shared immutably with the cache — no per-cell copy.
-            rec.result = cache.build(app, cfg, &hits);
-            rec.ok = true;
-        } catch (const std::exception &e) {
-            rec.ok = false;
-            rec.error = e.what();
-        }
-        rec.frontendReused = hits.frontend;
-        rec.safetyReused = hits.safety;
-        rec.optReused = hits.opt;
-        rec.backendReused = hits.backend;
-        rec.millis = millisSince(cellStart);
-    });
-    report.wallMillis = millisSince(start);
-
-    // Stage executions this run come from the cache's counter delta;
-    // per-cell reuse comes from the chain flags (a request chain
-    // stops at its first cache hit, so raw request counters would
-    // under-report upstream reuse).
-    StageCacheStats after = cache.stats();
-    report.frontendParses =
-        after.frontend.executed - before.frontend.executed;
-    report.safetyRuns = after.safety.executed - before.safety.executed;
-    report.optRuns = after.opt.executed - before.opt.executed;
-    report.backendRuns = after.backend.executed - before.backend.executed;
-    for (const auto &r : report.records) {
-        report.frontendReuses += r.frontendReused ? 1 : 0;
-        report.safetyReuses += r.safetyReused ? 1 : 0;
-        report.optReuses += r.optReused ? 1 : 0;
-        report.backendReuses += r.backendReused ? 1 : 0;
-    }
-    return report;
+    // The historical contract: the caller's cache is always consulted,
+    // regardless of the memoize flag (which only governed run()).
+    return asExperiment(opts_, apps_, configs_).buildMatrix(cache);
 }
 
 //---------------------------------------------------------------------
-// Canned matrices
+// Canned matrices (deprecated shims)
 //---------------------------------------------------------------------
 
 BuildReport
 BuildDriver::figure3Matrix(DriverOptions opts)
 {
-    BuildDriver d(opts);
-    d.addAllApps();
-    d.addConfig(ConfigId::Baseline);
-    d.addConfigs(figure3Configs());
-    return d.run();
+    Experiment exp;
+    exp.options().jobs = opts.jobs;
+    exp.options().memoize = opts.memoizeFrontend;
+    exp.options().simulate = false;
+    exp.addAllApps();
+    exp.addConfig(ConfigId::Baseline);
+    exp.addConfigs(figure3Configs());
+    return exp.run().builds;
 }
 
 BuildReport
 BuildDriver::figure2Matrix(DriverOptions opts)
 {
-    BuildDriver d(opts);
-    d.addAllApps();
-    d.addStrategies({CheckStrategy::GccOnly, CheckStrategy::CcuredOpt,
-                     CheckStrategy::CcuredOptCxprop,
-                     CheckStrategy::CcuredOptInlineCxprop});
-    return d.run();
+    Experiment exp;
+    exp.options().jobs = opts.jobs;
+    exp.options().memoize = opts.memoizeFrontend;
+    exp.options().simulate = false;
+    exp.addAllApps();
+    exp.addStrategies({CheckStrategy::GccOnly, CheckStrategy::CcuredOpt,
+                       CheckStrategy::CcuredOptCxprop,
+                       CheckStrategy::CcuredOptInlineCxprop});
+    return exp.run().builds;
 }
 
 //---------------------------------------------------------------------

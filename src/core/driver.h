@@ -1,16 +1,12 @@
 /**
  * @file
- * BuildDriver: a thread-pooled batch compiler for the evaluation
- * matrices the paper's figures are built from — now a thin shim over
- * the pipeline's stage graph. Given a set of applications (rows) and
- * a set of configurations (columns), it compiles every cell
- * concurrently through a StageCache, so cells share every stage whose
- * content key matches (one frontend parse per app, one safety run per
- * (app, safety-fingerprint), ...), and collects the results into a
- * single report with deterministic app-major ordering regardless of
- * scheduling. New code should prefer the Experiment facade
- * (core/experiment.h), which pairs the build matrix with its
- * simulations behind one API.
+ * The build-matrix vocabulary (ConfigSpec / BuildRecord /
+ * BuildReport) shared by the Experiment facade, plus BuildDriver — a
+ * deprecated compatibility shim whose entry points forward to
+ * Experiment. The actual batch-compile engine (worker pool,
+ * StageCache accounting, ArtifactStore plumbing) lives in
+ * core/experiment.cpp; new code should declare matrices on an
+ * Experiment directly.
  */
 #ifndef STOS_CORE_DRIVER_H
 #define STOS_CORE_DRIVER_H
@@ -85,6 +81,12 @@ struct BuildReport {
     size_t optReuses = 0;       ///< cells whose opt stage was shared
     size_t backendRuns = 0;     ///< backend stage executions
     size_t backendReuses = 0;   ///< cells served whole from the cache
+    size_t frontendDiskHits = 0; ///< frontends loaded from the store
+    size_t safetyDiskHits = 0;   ///< safety products loaded from disk
+    size_t optDiskHits = 0;      ///< opt products loaded from disk
+    size_t backendDiskHits = 0;  ///< whole builds loaded from disk
+    uint64_t cacheBytesRead = 0;    ///< artifact payload bytes read
+    uint64_t cacheBytesWritten = 0; ///< artifact payload bytes written
     double wallMillis = 0.0;
     unsigned jobsUsed = 1;
 
@@ -99,6 +101,12 @@ struct BuildReport {
     {
         return safetyReuses + optReuses + backendReuses;
     }
+    /** Stage products this run materialized from the artifact store. */
+    size_t diskHits() const
+    {
+        return frontendDiskHits + safetyDiskHits + optDiskHits +
+               backendDiskHits;
+    }
     /** One-line stats string for benchmark headers. */
     std::string summary() const;
 
@@ -109,9 +117,17 @@ struct BuildReport {
 };
 
 /**
- * Batch compiler. Configure rows (apps) and columns (configs), then
- * run() the matrix. run() is const: one driver can be run repeatedly
- * (e.g. serial vs parallel) over the same matrix.
+ * Batch compiler — now a deprecated compatibility shim. The build
+ * engine (worker pool, stage-cache accounting, artifact-store
+ * plumbing) lives in the Experiment facade (core/experiment.h); the
+ * run()/figure matrix entry points below construct an equivalent
+ * build-only Experiment and forward. The declaration builders and the
+ * equivalence helpers (resultsEquivalent / recordsEquivalent) are not
+ * deprecated — they are the shared vocabulary both APIs use.
+ *
+ * Migration: `BuildDriver d(opts); d.addX(...); d.run()` becomes
+ * `Experiment e; e.options().jobs = ...; e.options().simulate =
+ * false; e.addX(...); e.run().builds`.
  */
 class BuildDriver {
   public:
@@ -138,18 +154,26 @@ class BuildDriver {
     DriverOptions &options() { return opts_; }
 
     /** Run the matrix over a fresh per-run StageCache. */
+    [[deprecated("use Experiment (core/experiment.h): set "
+                 "options().simulate = false and call run()")]]
     BuildReport run() const;
     /**
      * As above, but stage products come from (and persist in) the
-     * caller's cache, so repeated runs — equivalence gates, or the
-     * Experiment facade's build+sim pairing — rebuild nothing. The
-     * report's per-stage run counters cover this run only.
+     * caller's cache, so repeated runs rebuild nothing. The report's
+     * per-stage run counters cover this run only.
      */
+    [[deprecated("use Experiment::buildMatrix(StageCache&) "
+                 "(core/experiment.h)")]]
     BuildReport run(StageCache &cache) const;
 
     /** All apps × (baseline + the seven Figure-3 configurations). */
+    [[deprecated("use Experiment: addAllApps() + "
+                 "addConfig(ConfigId::Baseline) + "
+                 "addConfigs(figure3Configs())")]]
     static BuildReport figure3Matrix(DriverOptions opts = {});
     /** All apps × the four Figure-2 check-elimination strategies. */
+    [[deprecated("use Experiment: addAllApps() + the four "
+                 "Figure-2 strategies via addStrategies()")]]
     static BuildReport figure2Matrix(DriverOptions opts = {});
 
     /**

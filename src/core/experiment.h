@@ -8,9 +8,14 @@
  * matrix's own Baseline column) and then fans the per-cell network
  * simulations over the same worker pool, returning one combined
  * report. The serial/legacy equivalence gates the benches used to
- * hand-roll are API methods here. BuildDriver + SimDriver remain as
- * thin compatibility shims over the same graph; new code should use
- * this facade.
+ * hand-roll are API methods here.
+ *
+ * This facade IS the engine: the thread-pooled build loop, the
+ * simulation loop, and the artifact-store plumbing all live here.
+ * Point options().cache.dir at a directory and every stage product
+ * persists on disk under its content key — a second process (or CI
+ * run) over the same matrix executes zero stages. BuildDriver and
+ * SimDriver remain only as deprecated shims forwarding here.
  *
  * Typical use (what every figure bench does via BenchCli):
  *
@@ -46,6 +51,15 @@ struct ExperimentOptions {
     sim::ExecMode mode = sim::ExecMode::Predecoded;
     /** Threads stepping each multi-mote network (1 = serial). */
     unsigned netThreads = 1;
+    /**
+     * On-disk artifact store binding (core/artifactstore.h). With a
+     * non-empty dir, run() fronts its StageCache with an
+     * ArtifactStore there: stage products persist across processes,
+     * and a warmed directory serves a repeat run without executing a
+     * single stage. Default (empty dir) is in-memory-only, exactly
+     * the pre-store behaviour.
+     */
+    CacheOptions cache;
 };
 
 /**
@@ -101,18 +115,44 @@ class Experiment {
     addCustom(std::string label,
               std::function<PipelineConfig(const std::string &)> make);
 
-    size_t numApps() const { return builder_.numApps(); }
-    size_t numConfigs() const { return builder_.numConfigs(); }
+    size_t numApps() const { return apps_.size(); }
+    size_t numConfigs() const { return configs_.size(); }
+    const std::vector<tinyos::AppInfo> &apps() const { return apps_; }
+    const std::vector<ConfigSpec> &configs() const { return configs_; }
     ExperimentOptions &options() { return opts_; }
 
     //--- execution ------------------------------------------------
-    /** Build + simulate the matrix over a fresh per-run StageCache. */
+    /**
+     * Build + simulate the matrix over a fresh per-run StageCache —
+     * fronted by an ArtifactStore when options().cache.dir is set,
+     * in which case "fresh" only means the in-memory memo: stage
+     * products still flow from and to the shared directory.
+     */
     ExperimentReport run() const;
     /**
      * As above over the caller's persistent cache: repeated runs
-     * (and the serial gate's sim phase) rebuild nothing.
+     * (and the serial gate's sim phase) rebuild nothing. The cache's
+     * own store binding wins; options().cache is ignored here.
      */
     ExperimentReport run(StageCache &cache) const;
+
+    /**
+     * The build phase alone, over the caller's cache: compile every
+     * (app, config) cell through the cache's stage graph on a worker
+     * pool. Per-stage run/reuse/disk-hit counters in the report are
+     * deltas covering this call only.
+     */
+    BuildReport buildMatrix(StageCache &cache) const;
+
+    /**
+     * The simulation phase alone: fan the per-cell network
+     * simulations of an already-built matrix over the worker pool.
+     * Companion firmware comes from (and is added to) the caller's
+     * cache; pass the cache that built the matrix and companions
+     * alias its Baseline cells outright.
+     */
+    SimReport simulateBuilds(const BuildReport &builds,
+                             StageCache &cache) const;
 
     /**
      * The cold reference of the same matrix: one job, no stage
@@ -138,8 +178,12 @@ class Experiment {
                                   std::string *why = nullptr);
 
   private:
+    /** Cold (memoization-off) build loop: every cell from source. */
+    BuildReport buildMatrixCold() const;
+
     ExperimentOptions opts_;
-    BuildDriver builder_;
+    std::vector<tinyos::AppInfo> apps_;
+    std::vector<ConfigSpec> configs_;
 };
 
 } // namespace stos::core

@@ -163,7 +163,7 @@ runSafetyStage(Module m, const SourceManager *sm,
         sp.report = safety::applySafety(m, cfg.safety, sm);
         verifyOrDie(m, "safety");
     }
-    sp.module = std::move(m);
+    sp.module = std::make_shared<const Module>(std::move(m));
     return sp;
 }
 
@@ -172,10 +172,14 @@ runOptStage(SafetyProduct sp, const PipelineConfig &cfg)
 {
     OptProduct op;
     if (cfg.runCxprop) {
-        op.report = opt::runCxprop(sp.module, cfg.cxprop);
-        verifyOrDie(sp.module, "cxprop");
+        Module m = sp.module->clone();
+        op.report = opt::runCxprop(m, cfg.cxprop);
+        verifyOrDie(m, "cxprop");
+        op.module = std::make_shared<const Module>(std::move(m));
+    } else {
+        // Pass-through: share the safety product's module outright.
+        op.module = sp.module;
     }
-    op.module = std::move(sp.module);
     op.safetyReport = std::move(sp.report);
     return op;
 }
@@ -189,9 +193,11 @@ runBackendStage(OptProduct op, const PipelineConfig &cfg)
     backend::TargetInfo target = cfg.platform == "TelosB"
                                      ? backend::TargetInfo::telosb()
                                      : backend::TargetInfo::mica2();
+    // The late backend optimizations mutate the module into the final
+    // IR the result carries, so the shared input is cloned.
+    result.module = op.module->clone();
     result.image =
-        backend::compileToTarget(op.module, target, cfg.backend);
-    result.module = std::move(op.module);
+        backend::compileToTarget(result.module, target, cfg.backend);
     result.codeBytes = result.image.codeBytes();
     result.ramBytes = result.image.ramDataBytes();
     result.romDataBytes = result.image.romDataBytes();

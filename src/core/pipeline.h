@@ -19,6 +19,7 @@
 #include "opt/cxprop.h"
 #include "safety/ccured.h"
 #include "sim/machine.h"
+#include "support/binio.h"
 #include "tinyos/tinyos.h"
 
 namespace stos::core {
@@ -72,6 +73,10 @@ struct BuildResult {
     uint32_t ramBytes = 0;
     uint32_t romDataBytes = 0;
     uint32_t survivingChecks = 0;  ///< via the tag-string methodology
+
+    /** Artifact-store persistence (core/serialize.cpp). */
+    void serialize(support::BinWriter &w) const;
+    static BuildResult deserialize(support::BinReader &r);
 };
 
 //---------------------------------------------------------------------
@@ -99,28 +104,44 @@ struct BuildResult {
 struct FrontendProduct {
     ir::Module module;
     std::shared_ptr<SourceManager> sourceManager;
+
+    /** Artifact-store persistence (core/serialize.cpp). */
+    void serialize(support::BinWriter &w) const;
+    static FrontendProduct deserialize(support::BinReader &r);
 };
 
 /**
  * Output of the safety stage: the module with CCured-analogue checks
- * (a verbatim pass-through of the frontend module when the
- * configuration is unsafe) plus the stage's report.
+ * plus the stage's report. The module is held immutably behind a
+ * shared_ptr: when the configuration is unsafe the stage is a
+ * verbatim pass-through, and the product *aliases* the upstream
+ * frontend module instead of storing a clone (the same module bytes
+ * are never resident twice).
  */
 struct SafetyProduct {
-    ir::Module module;
+    std::shared_ptr<const ir::Module> module;
     safety::SafetyReport report;
+
+    /** Artifact-store persistence (core/serialize.cpp). */
+    void serialize(support::BinWriter &w) const;
+    static SafetyProduct deserialize(support::BinReader &r);
 };
 
 /**
- * Output of the opt stage: the module after cXprop (pass-through when
- * cXprop is off). Carries the upstream safety report along so the
- * backend stage can assemble a complete BuildResult without reaching
- * back into the graph.
+ * Output of the opt stage: the module after cXprop. When cXprop is
+ * off the stage is a pass-through and the product shares the safety
+ * product's module pointer outright. Carries the upstream safety
+ * report along so the backend stage can assemble a complete
+ * BuildResult without reaching back into the graph.
  */
 struct OptProduct {
-    ir::Module module;
+    std::shared_ptr<const ir::Module> module;
     safety::SafetyReport safetyReport;
     opt::CxpropReport report;
+
+    /** Artifact-store persistence (core/serialize.cpp). */
+    void serialize(support::BinWriter &w) const;
+    static OptProduct deserialize(support::BinReader &r);
 };
 
 /** Run the frontend on one source (library included); throws on error. */
@@ -129,15 +150,24 @@ FrontendProduct runFrontend(const std::string &name,
 
 /**
  * Safety stage. Consumes `m` (pass a clone to keep the input). `sm`
- * may be null for modules without source locations (tests).
+ * may be null for modules without source locations (tests). When the
+ * config is unsafe the module passes through untransformed.
  */
 SafetyProduct runSafetyStage(ir::Module m, const SourceManager *sm,
                              const PipelineConfig &cfg);
 
-/** Opt (cXprop) stage. Consumes the product it is given. */
+/**
+ * Opt (cXprop) stage. The input module is shared immutably: when
+ * cXprop runs it transforms a clone; when it is off the output shares
+ * the input pointer (pass-through, no copy).
+ */
 OptProduct runOptStage(SafetyProduct sp, const PipelineConfig &cfg);
 
-/** Backend stage: late opts, isel, link. Consumes the product. */
+/**
+ * Backend stage: late opts, isel, link. Clones the shared input
+ * module (the backend's late optimizations mutate it into the final
+ * IR the BuildResult carries).
+ */
 BuildResult runBackendStage(OptProduct op, const PipelineConfig &cfg);
 
 /**

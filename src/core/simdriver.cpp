@@ -1,25 +1,18 @@
 /**
  * @file
- * SimDriver implementation. Like BuildDriver, work distribution is a
- * single atomic job counter over the flattened matrix (core/pool.h),
- * executed in config-major order (cell k -> app k % A) so the first
- * wave of workers hits distinct apps and the companion entries fill
- * for distinct companion sets without contention; results land in
- * app-major record slots so the report order is deterministic under
- * any thread count. Companion firmware/decodes are StageCache
- * companion entries (stagecache.cpp).
+ * Simulation-matrix vocabulary (SimReport emitters and joins,
+ * equivalence helpers) plus the deprecated SimDriver shim. The
+ * simulation engine itself lives in core/experiment.cpp; the run()
+ * overloads below construct an equivalent Experiment and forward.
  */
 #include "core/simdriver.h"
 
-#include <chrono>
 #include <ostream>
 
-#include "core/pool.h"
+#include "core/experiment.h"
 #include "support/util.h"
 
 namespace stos::core {
-
-using Clock = std::chrono::steady_clock;
 
 //---------------------------------------------------------------------
 // SimReport
@@ -221,6 +214,17 @@ SimReport::joinJson(const BuildReport &builds, std::ostream &os) const
        << "  \"backend_runs\": " << builds.backendRuns << ",\n"
        << "  \"backend_reuses\": " << builds.backendReuses << ",\n"
        << "  \"stage_reuses\": " << builds.stageReuses() << ",\n"
+       // Artifact-store counters: a warmed --cache-dir run shows every
+       // *_runs above as 0 with the work accounted for here instead.
+       << "  \"frontend_disk_hits\": " << builds.frontendDiskHits
+       << ",\n"
+       << "  \"safety_disk_hits\": " << builds.safetyDiskHits << ",\n"
+       << "  \"opt_disk_hits\": " << builds.optDiskHits << ",\n"
+       << "  \"backend_disk_hits\": " << builds.backendDiskHits << ",\n"
+       << "  \"disk_hits\": " << builds.diskHits() << ",\n"
+       << "  \"cache_bytes_read\": " << builds.cacheBytesRead << ",\n"
+       << "  \"cache_bytes_written\": " << builds.cacheBytesWritten
+       << ",\n"
        << "  \"records\": [\n";
     for (size_t i = 0; i < records.size(); ++i) {
         const BuildRecord &b = builds.records[i];
@@ -265,135 +269,34 @@ SimReport::joinJson(const BuildReport &builds, std::ostream &os) const
 // SimDriver
 //---------------------------------------------------------------------
 
+namespace {
+
+/** Recreate this driver's settings as an Experiment (sim fields). */
+Experiment
+asExperiment(const SimOptions &opts)
+{
+    Experiment exp;
+    exp.options().jobs = opts.jobs;
+    exp.options().memoize = opts.memoizeCompanions;
+    exp.options().seconds = opts.seconds;
+    exp.options().mode = opts.mode;
+    exp.options().netThreads = opts.netThreads;
+    return exp;
+}
+
+} // namespace
+
 SimReport
 SimDriver::run(const BuildReport &builds) const
 {
     StageCache cache;
-    return run(builds, cache);
+    return asExperiment(opts_).simulateBuilds(builds, cache);
 }
 
 SimReport
 SimDriver::run(const BuildReport &builds, StageCache &cache) const
 {
-    const size_t nApps = builds.numApps;
-    const size_t nConfigs = builds.numConfigs;
-    const size_t nJobs = nApps * nConfigs;
-
-    SimReport report;
-    report.numApps = nApps;
-    report.numConfigs = nConfigs;
-    report.seconds = opts_.seconds;
-    report.records.resize(nJobs);
-    report.jobsUsed = resolveJobs(opts_.jobs, nJobs);
-    if (nJobs == 0)
-        return report;
-
-    const size_t builds0 = cache.companionBuilds();
-    const size_t hits0 = cache.companionHits();
-
-    sim::NetworkOptions netOpts;
-    netOpts.mode = opts_.mode;
-    // Lookahead windows belong to the predecoded path; Legacy keeps
-    // the fixed-quantum lockstep it always had (it is the reference
-    // the equivalence gates compare against).
-    netOpts.lookahead = opts_.mode == sim::ExecMode::Predecoded;
-    netOpts.threads = opts_.netThreads;
-
-    auto simCell = [&](size_t appIdx, size_t cfgIdx) {
-        const BuildRecord &build = builds.records[appIdx * nConfigs +
-                                                  cfgIdx];
-        SimRecord &rec = report.records[appIdx * nConfigs + cfgIdx];
-        rec.app = build.app;
-        rec.platform = build.platform;
-        rec.config = build.config;
-        rec.appIndex = build.appIndex;
-        rec.configIndex = build.configIndex;
-
-        auto cellStart = Clock::now();
-        try {
-            if (!build.ok)
-                throw FatalError("build failed: " + build.error);
-            // Companion images: from the shared memo, or rebuilt per
-            // cell when memoization is off (the serial-equivalent
-            // behaviour the equivalence gate compares against). The
-            // companion names ride on the BuildRecord, so custom rows
-            // outside the app registry simulate fine (companion-less
-            // or with registry companions).
-            bool allReused = !build.companions.empty();
-            auto freshImage = [&](const std::string &cname) {
-                const auto &capp = tinyos::appByName(cname);
-                PipelineConfig base =
-                    configFor(ConfigId::Baseline, build.platform);
-                return std::make_shared<const backend::MProgram>(
-                    buildApp(capp, base).image);
-            };
-            if (opts_.mode == sim::ExecMode::Predecoded) {
-                // The cell's own firmware decodes once per cell; the
-                // companions' decodes come from (and persist in) the
-                // cache, shared across every cell and run.
-                auto dimage =
-                    std::make_shared<const sim::DecodedProgram>(
-                        build.result->image);
-                std::vector<
-                    std::shared_ptr<const sim::DecodedProgram>>
-                    dcomps;
-                for (const auto &cname : build.companions) {
-                    if (opts_.memoizeCompanions) {
-                        bool builtHere = false;
-                        dcomps.push_back(cache.companionDecode(
-                            cname, build.platform, &builtHere));
-                        if (builtHere)
-                            allReused = false;
-                    } else {
-                        dcomps.push_back(
-                            std::make_shared<
-                                const sim::DecodedProgram>(
-                                freshImage(cname)));
-                        allReused = false;
-                    }
-                }
-                rec.companionsReused = allReused;
-                rec.outcome = simulateDecoded(dimage, dcomps,
-                                              opts_.seconds, netOpts);
-            } else {
-                std::vector<std::shared_ptr<const backend::MProgram>>
-                    owned;
-                std::vector<const backend::MProgram *> companions;
-                for (const auto &cname : build.companions) {
-                    if (opts_.memoizeCompanions) {
-                        bool builtHere = false;
-                        owned.push_back(cache.companionImage(
-                            cname, build.platform, &builtHere));
-                        if (builtHere)
-                            allReused = false;
-                    } else {
-                        owned.push_back(freshImage(cname));
-                        allReused = false;
-                    }
-                    companions.push_back(owned.back().get());
-                }
-                rec.companionsReused = allReused;
-                rec.outcome =
-                    simulateInContext(build.result->image, companions,
-                                      opts_.seconds, netOpts);
-            }
-            rec.ok = true;
-        } catch (const std::exception &e) {
-            rec.ok = false;
-            rec.error = e.what();
-        }
-        rec.millis = millisSince(cellStart);
-    };
-
-    auto start = Clock::now();
-    // Config-major execution order: spread early jobs across distinct
-    // apps so the companion entries fill in parallel.
-    runOnPool(report.jobsUsed, nJobs,
-              [&](size_t k) { simCell(k % nApps, k / nApps); });
-    report.wallMillis = millisSince(start);
-    report.companionBuilds = cache.companionBuilds() - builds0;
-    report.companionReuses = cache.companionHits() - hits0;
-    return report;
+    return asExperiment(opts_).simulateBuilds(builds, cache);
 }
 
 //---------------------------------------------------------------------

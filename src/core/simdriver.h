@@ -1,18 +1,11 @@
 /**
  * @file
- * SimDriver: a thread-pooled batch runner for the cycle-accurate
- * network simulations behind Figure 3(c) and the runtime-overhead
- * measurements. It mirrors BuildDriver: given a BuildReport (the
- * compiled app × config matrix), it simulates every cell's firmware
- * in its sensor-network context concurrently and collects duty
- * cycles, cycle/instruction counts, and wedged/failed status into a
- * SimReport with deterministic app-major ordering. Companion mote
- * firmware (always the Baseline build of the companion app) is an
- * ordinary StageCache entry shared by all cells — and, when the
- * caller passes the same cache that compiled the matrix (the
- * Experiment facade does), shared with the matrix's own Baseline
- * column. New code should prefer the Experiment facade
- * (core/experiment.h).
+ * The simulation-matrix vocabulary (SimOptions / SimRecord /
+ * SimReport and the static+dynamic join emitters) shared by the
+ * Experiment facade, plus SimDriver — a deprecated compatibility shim
+ * whose run() overloads forward to Experiment::simulateBuilds. The
+ * simulation engine itself (worker pool, companion memoization) lives
+ * in core/experiment.cpp.
  */
 #ifndef STOS_CORE_SIMDRIVER_H
 #define STOS_CORE_SIMDRIVER_H
@@ -106,11 +99,16 @@ struct SimReport {
 };
 
 /**
- * Batch network simulator. run() fans the per-cell simulations of a
- * BuildReport out across a thread pool; independent sim::Network
- * instances share nothing but the immutable firmware images, so the
- * cells are embarrassingly parallel. run() is const: one driver can
- * be run repeatedly (e.g. serial vs parallel) over the same builds.
+ * Batch network simulator — now a deprecated compatibility shim. The
+ * simulation engine lives in the Experiment facade
+ * (core/experiment.h) as Experiment::simulateBuilds; the run()
+ * overloads below construct an equivalent Experiment and forward.
+ * The equivalence helpers (recordsEquivalent / reportsEquivalent)
+ * are not deprecated — they are shared vocabulary.
+ *
+ * Migration: `SimDriver(opts).run(builds, cache)` becomes
+ * `Experiment e; e.options().<sim fields> = ...;
+ * e.simulateBuilds(builds, cache)`.
  */
 class SimDriver {
   public:
@@ -123,6 +121,8 @@ class SimDriver {
      * builds become failed sim records). The report must outlive the
      * call only; the returned SimReport owns no firmware.
      */
+    [[deprecated("use Experiment::simulateBuilds "
+                 "(core/experiment.h)")]]
     SimReport run(const BuildReport &builds) const;
 
     /**
@@ -133,6 +133,8 @@ class SimDriver {
      * cells outright. The report's companionBuilds/companionReuses
      * count this run only.
      */
+    [[deprecated("use Experiment::simulateBuilds "
+                 "(core/experiment.h)")]]
     SimReport run(const BuildReport &builds, StageCache &cache) const;
 
     /** Field-for-field equivalence of two sim records (not timing). */

@@ -8,24 +8,23 @@
  * the cache, so chains nest strictly downstream -> upstream and can
  * never deadlock. Counters are relaxed atomics — they are statistics,
  * not synchronization.
+ *
+ * With a backing ArtifactStore attached, the once-body first consults
+ * the store: a disk hit materializes the product without running the
+ * stage (counted as a diskHit, never as executed), and a freshly
+ * executed product is written back. Because a request chain stops at
+ * its first hit, a fully warmed store serves a build from the single
+ * backend artifact — the upstream stages are never even requested.
+ * Failures are never persisted, so a failing stage re-runs (and
+ * rethrows) per process.
  */
 #include "core/stagecache.h"
 
 #include <functional>
 
-namespace stos::core {
+#include "support/binio.h"
 
-const char *
-stageName(Stage s)
-{
-    switch (s) {
-      case Stage::Frontend: return "frontend";
-      case Stage::Safety: return "safety";
-      case Stage::Opt: return "opt";
-      case Stage::Backend: return "backend";
-    }
-    return "?";
-}
+namespace stos::core {
 
 //---------------------------------------------------------------------
 // Keys
@@ -47,11 +46,14 @@ StageCache::appKey(const tinyos::AppInfo &app,
     // fingerprint — an edit to the shared TinyOS library must miss,
     // not silently serve stale products. The frontend is
     // platform-independent, so the platform is deliberately absent —
-    // it enters the chain in the backend fingerprint.
-    char hex[4 * sizeof(size_t) + 2];
-    snprintf(hex, sizeof hex, "%zx.%zx",
-             std::hash<std::string>{}(app.source),
-             std::hash<std::string>{}(librarySource));
+    // it enters the chain in the backend fingerprint. FNV-1a rather
+    // than std::hash: keys name on-disk artifacts shared across
+    // processes, so the hash must be stable across runs and builds.
+    char hex[4 * sizeof(uint64_t) + 2];
+    snprintf(hex, sizeof hex, "%llx.%llx",
+             static_cast<unsigned long long>(support::fnv1a64(app.source)),
+             static_cast<unsigned long long>(
+                 support::fnv1a64(librarySource)));
     return app.name + "#" + hex;
 }
 
@@ -76,6 +78,44 @@ StageCache::buildKey(const tinyos::AppInfo &app,
 }
 
 //---------------------------------------------------------------------
+// Store plumbing
+//---------------------------------------------------------------------
+
+template <typename T>
+std::shared_ptr<const T>
+StageCache::tryLoad(Stage stage, const std::string &key)
+{
+    if (!store_)
+        return nullptr;
+    std::string blob;
+    if (!store_->load(stage, key, &blob))
+        return nullptr;
+    try {
+        support::BinReader r(blob);
+        auto product = std::make_shared<const T>(T::deserialize(r));
+        return product;
+    } catch (const support::TruncatedData &) {
+        // Hash-valid artifact that fails to decode: a serializer
+        // changed shape without a kStoreFormatVersion bump. Degrade
+        // to a miss — the stage re-runs and its write-back replaces
+        // the stale artifact.
+        return nullptr;
+    }
+}
+
+template <typename T>
+void
+StageCache::writeBack(Stage stage, const std::string &key,
+                      const T &product)
+{
+    if (!store_)
+        return;
+    support::BinWriter w;
+    product.serialize(w);
+    store_->store(stage, key, w.data());
+}
+
+//---------------------------------------------------------------------
 // Entries
 //---------------------------------------------------------------------
 
@@ -93,13 +133,21 @@ StageCache::entryFor(EntryMap<T> &map, const std::string &key)
 std::shared_ptr<const FrontendProduct>
 StageCache::frontend(const tinyos::AppInfo &app, StageHits *hits)
 {
-    auto entry = entryFor(frontends_, appKey(app));
-    bool ran = false;
+    const std::string key = appKey(app);
+    auto entry = entryFor(frontends_, key);
+    bool ran = false, disk = false;
     std::call_once(entry->once, [&] {
         ran = true;
+        if ((entry->value = tryLoad<FrontendProduct>(Stage::Frontend,
+                                                     key))) {
+            disk = true;
+            feDisk_.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
         try {
             entry->value = std::make_shared<const FrontendProduct>(
                 runFrontend(app.name, app.source));
+            writeBack(Stage::Frontend, key, *entry->value);
         } catch (...) {
             entry->error = std::current_exception();
         }
@@ -108,7 +156,7 @@ StageCache::frontend(const tinyos::AppInfo &app, StageHits *hits)
     if (!ran)
         feReuse_.fetch_add(1, std::memory_order_relaxed);
     if (hits)
-        hits->frontend = !ran;
+        hits->frontend = !ran || disk;
     if (entry->error)
         std::rethrow_exception(entry->error);
     return entry->value;
@@ -118,15 +166,33 @@ std::shared_ptr<const SafetyProduct>
 StageCache::safety(const tinyos::AppInfo &app, const PipelineConfig &cfg,
                    StageHits *hits)
 {
-    auto entry = entryFor(safeties_, safetyKey(app, cfg));
-    bool ran = false;
+    const std::string key = safetyKey(app, cfg);
+    auto entry = entryFor(safeties_, key);
+    bool ran = false, disk = false;
     std::call_once(entry->once, [&] {
         ran = true;
+        if ((entry->value = tryLoad<SafetyProduct>(Stage::Safety, key))) {
+            disk = true;
+            saDisk_.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
         try {
             auto fe = frontend(app, hits);
-            entry->value = std::make_shared<const SafetyProduct>(
-                runSafetyStage(fe->module.clone(),
-                               fe->sourceManager.get(), cfg));
+            if (!cfg.safe) {
+                // Unsafe pass-through: alias the frontend's module
+                // rather than storing a clone — the product pins the
+                // FrontendProduct alive but adds no module bytes.
+                SafetyProduct sp;
+                sp.module = std::shared_ptr<const ir::Module>(
+                    fe, &fe->module);
+                entry->value =
+                    std::make_shared<const SafetyProduct>(std::move(sp));
+            } else {
+                entry->value = std::make_shared<const SafetyProduct>(
+                    runSafetyStage(fe->module.clone(),
+                                   fe->sourceManager.get(), cfg));
+            }
+            writeBack(Stage::Safety, key, *entry->value);
         } catch (...) {
             entry->error = std::current_exception();
         }
@@ -137,8 +203,10 @@ StageCache::safety(const tinyos::AppInfo &app, const PipelineConfig &cfg,
         if (hits)
             hits->frontend = true;  // served transitively
     }
+    if (disk && hits)
+        hits->frontend = true;  // the whole upstream chain was skipped
     if (hits)
-        hits->safety = !ran;
+        hits->safety = !ran || disk;
     if (entry->error)
         std::rethrow_exception(entry->error);
     return entry->value;
@@ -148,14 +216,24 @@ std::shared_ptr<const OptProduct>
 StageCache::opt(const tinyos::AppInfo &app, const PipelineConfig &cfg,
                 StageHits *hits)
 {
-    auto entry = entryFor(opts_, optKey(app, cfg));
-    bool ran = false;
+    const std::string key = optKey(app, cfg);
+    auto entry = entryFor(opts_, key);
+    bool ran = false, disk = false;
     std::call_once(entry->once, [&] {
         ran = true;
+        if ((entry->value = tryLoad<OptProduct>(Stage::Opt, key))) {
+            disk = true;
+            opDisk_.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
         try {
             auto sp = safety(app, cfg, hits);
+            // Pass config to the stage with the upstream product; the
+            // no-cxprop pass-through shares sp's module pointer inside
+            // runOptStage (no clone, no copy of the module).
             entry->value = std::make_shared<const OptProduct>(
-                runOptStage({sp->module.clone(), sp->report}, cfg));
+                runOptStage({sp->module, sp->report}, cfg));
+            writeBack(Stage::Opt, key, *entry->value);
         } catch (...) {
             entry->error = std::current_exception();
         }
@@ -168,8 +246,12 @@ StageCache::opt(const tinyos::AppInfo &app, const PipelineConfig &cfg,
             hits->safety = true;
         }
     }
+    if (disk && hits) {
+        hits->frontend = true;
+        hits->safety = true;
+    }
     if (hits)
-        hits->opt = !ran;
+        hits->opt = !ran || disk;
     if (entry->error)
         std::rethrow_exception(entry->error);
     return entry->value;
@@ -179,16 +261,22 @@ std::shared_ptr<const BuildResult>
 StageCache::build(const tinyos::AppInfo &app, const PipelineConfig &cfg,
                   StageHits *hits)
 {
-    auto entry = entryFor(builds_, buildKey(app, cfg));
-    bool ran = false;
+    const std::string key = buildKey(app, cfg);
+    auto entry = entryFor(builds_, key);
+    bool ran = false, disk = false;
     std::call_once(entry->once, [&] {
         ran = true;
+        if ((entry->value = tryLoad<BuildResult>(Stage::Backend, key))) {
+            disk = true;
+            beDisk_.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
         try {
             auto op = opt(app, cfg, hits);
             entry->value = std::make_shared<const BuildResult>(
                 runBackendStage(
-                    {op->module.clone(), op->safetyReport, op->report},
-                    cfg));
+                    {op->module, op->safetyReport, op->report}, cfg));
+            writeBack(Stage::Backend, key, *entry->value);
         } catch (...) {
             entry->error = std::current_exception();
         }
@@ -202,8 +290,13 @@ StageCache::build(const tinyos::AppInfo &app, const PipelineConfig &cfg,
             hits->opt = true;
         }
     }
+    if (disk && hits) {
+        hits->frontend = true;
+        hits->safety = true;
+        hits->opt = true;
+    }
     if (hits)
-        hits->backend = !ran;
+        hits->backend = !ran || disk;
     if (entry->error)
         std::rethrow_exception(entry->error);
     return entry->value;
@@ -270,17 +363,30 @@ StageCache::companionDecode(const std::string &name,
 }
 
 //---------------------------------------------------------------------
-// Stats
+// Memory release & stats
 //---------------------------------------------------------------------
+
+void
+StageCache::releaseIntermediateProducts()
+{
+    // Entries still referenced by in-flight requesters stay alive via
+    // their shared_ptrs; dropping the maps only releases the cache's
+    // own pins. builds_ and companions_ are kept — they are the final
+    // products drivers keep consuming.
+    std::lock_guard<std::mutex> lock(mu_);
+    frontends_.clear();
+    safeties_.clear();
+    opts_.clear();
+}
 
 StageCacheStats
 StageCache::stats() const
 {
     StageCacheStats s;
-    s.frontend = {feExec_.load(), feReuse_.load()};
-    s.safety = {saExec_.load(), saReuse_.load()};
-    s.opt = {opExec_.load(), opReuse_.load()};
-    s.backend = {beExec_.load(), beReuse_.load()};
+    s.frontend = {feExec_.load(), feReuse_.load(), feDisk_.load()};
+    s.safety = {saExec_.load(), saReuse_.load(), saDisk_.load()};
+    s.opt = {opExec_.load(), opReuse_.load(), opDisk_.load()};
+    s.backend = {beExec_.load(), beReuse_.load(), beDisk_.load()};
     return s;
 }
 

@@ -27,21 +27,19 @@
 #include <mutex>
 #include <string>
 
+#include "core/artifactstore.h"
 #include "core/pipeline.h"
 #include "sim/decoded.h"
 #include "tinyos/tinyos.h"
 
 namespace stos::core {
 
-/** The stages of the build graph, in dataflow order. */
-enum class Stage { Frontend, Safety, Opt, Backend };
-
-const char *stageName(Stage s);
-
-/** Execution counters of one stage (executed + reused = requests). */
+/** Execution counters of one stage. A request is served exactly one
+ *  way: executed + diskHits + reused = requests. */
 struct StageStats {
     size_t executed = 0;  ///< stage bodies actually run
-    size_t reused = 0;    ///< requests served from the memo
+    size_t reused = 0;    ///< requests served from the in-memory memo
+    size_t diskHits = 0;  ///< entries materialized from the store
 };
 
 /** Snapshot of every stage's counters. */
@@ -63,9 +61,20 @@ struct StageHits {
 
 class StageCache {
   public:
+    /** In-memory-only cache (the default, and the pre-store API). */
     StageCache() = default;
+    /**
+     * Cache backed by an on-disk store (not owned; may be null for
+     * in-memory-only). On a memo miss each stage first consults the
+     * store — a disk hit materializes the product without running the
+     * stage body — and every freshly executed product is written back.
+     */
+    explicit StageCache(ArtifactStore *store) : store_(store) {}
     StageCache(const StageCache &) = delete;
     StageCache &operator=(const StageCache &) = delete;
+
+    /** The backing store, or null when in-memory only. */
+    ArtifactStore *store() const { return store_; }
 
     //--- key derivation (exposed so benches and tests can predict
     //--- sharing: two cells share a stage iff their keys match) ----
@@ -133,6 +142,18 @@ class StageCache {
     size_t companionBuilds() const { return coBuilds_.load(); }
     size_t companionHits() const { return coHits_.load(); }
 
+    /**
+     * Drop the frontend/safety/opt entry maps, releasing every
+     * intermediate product whose downstream entries have already
+     * materialized (builds_ and companions_ are kept). Callers that
+     * still hold a product pointer keep it alive; a later request for
+     * a released key simply re-materializes it (from the store when
+     * one is attached, else by re-running the stage). Drivers call
+     * this after a matrix completes when a writable store holds the
+     * intermediates, cutting steady-state memory to final builds only.
+     */
+    void releaseIntermediateProducts();
+
   private:
     template <typename T> struct Entry {
         std::once_flag once;
@@ -155,6 +176,15 @@ class StageCache {
     companionEntry(const std::string &name, const std::string &platform,
                    bool *builtHere);
 
+    /** Try to materialize (stage, key) from the store; a decode
+     *  failure on a hash-valid artifact is treated as a miss. */
+    template <typename T>
+    std::shared_ptr<const T> tryLoad(Stage stage, const std::string &key);
+    /** Serialize and persist a freshly built product (best-effort). */
+    template <typename T>
+    void writeBack(Stage stage, const std::string &key, const T &product);
+
+    ArtifactStore *store_ = nullptr;
     mutable std::mutex mu_;
     EntryMap<FrontendProduct> frontends_;
     EntryMap<SafetyProduct> safeties_;
@@ -164,10 +194,10 @@ class StageCache {
              std::shared_ptr<CompanionEntry>>
         companions_;
 
-    std::atomic<size_t> feExec_{0}, feReuse_{0};
-    std::atomic<size_t> saExec_{0}, saReuse_{0};
-    std::atomic<size_t> opExec_{0}, opReuse_{0};
-    std::atomic<size_t> beExec_{0}, beReuse_{0};
+    std::atomic<size_t> feExec_{0}, feReuse_{0}, feDisk_{0};
+    std::atomic<size_t> saExec_{0}, saReuse_{0}, saDisk_{0};
+    std::atomic<size_t> opExec_{0}, opReuse_{0}, opDisk_{0};
+    std::atomic<size_t> beExec_{0}, beReuse_{0}, beDisk_{0};
     std::atomic<size_t> coBuilds_{0}, coHits_{0};
 };
 

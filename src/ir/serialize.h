@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Binary (de)serialization of whole IR modules for the on-disk
+ * artifact store. The encoding is a field-for-field little-endian
+ * dump (support/binio.h): deterministic — serializing equal modules
+ * yields byte-identical buffers — and reconstructed through the
+ * Module's public building API (addStruct/addGlobal/addFunction), so
+ * the private name->index maps rebuild themselves and every id stays
+ * positional.
+ *
+ * The encoding carries no version stamp of its own; the artifact
+ * store's kStoreFormatVersion covers it. Bump that version whenever a
+ * serialized struct here gains/loses a field.
+ */
+#ifndef STOS_IR_SERIALIZE_H
+#define STOS_IR_SERIALIZE_H
+
+#include "ir/module.h"
+#include "support/binio.h"
+
+namespace stos::ir {
+
+void writeModule(support::BinWriter &w, const Module &m);
+Module readModule(support::BinReader &r);
+
+} // namespace stos::ir
+
+#endif

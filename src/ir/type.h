@@ -13,6 +13,11 @@
 #include <string>
 #include <vector>
 
+namespace stos::support {
+class BinWriter;
+class BinReader;
+} // namespace stos::support
+
 namespace stos::ir {
 
 using TypeId = uint32_t;
@@ -99,6 +104,14 @@ class TypeTable {
     TypeId withPtrKind(TypeId id, PtrKind kind);
 
     size_t size() const { return types_.size(); }
+
+    /**
+     * Versionless table dump/restore for the artifact store
+     * (ir/serialize.cpp). Interned ids are positional, so restoring
+     * the types in serialized order reproduces every TypeId exactly.
+     */
+    void serialize(support::BinWriter &w) const;
+    static TypeTable deserialize(support::BinReader &r);
 
   private:
     TypeId intern(const Type &t);

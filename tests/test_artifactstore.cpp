@@ -1,0 +1,311 @@
+/**
+ * @file
+ * ArtifactStore tests: serialization round-trips are byte-identical
+ * for every stage product across the whole app corpus, the store's
+ * load/store contract (hits, misses, stats), every corruption mode
+ * (truncation, version-stamp mismatch, key mismatch) degrading to a
+ * miss — never a wrong answer — read-only mode, the maxBytes
+ * eviction cap, and two Experiments sharing one directory so the
+ * second process executes zero pipeline stages.
+ */
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "core/experiment.h"
+#include "core/stagecache.h"
+#include "support/binio.h"
+
+namespace stos {
+namespace {
+
+namespace fs = std::filesystem;
+using namespace stos::core;
+using namespace stos::tinyos;
+using support::BinReader;
+using support::BinWriter;
+
+/** A unique store directory under the system temp dir, removed on
+ *  scope exit so test runs never observe each other's artifacts. */
+struct TempDir {
+    fs::path path;
+    explicit TempDir(const std::string &tag)
+    {
+        path = fs::temp_directory_path() /
+               ("stos-artifactstore-" + tag + "-" +
+                std::to_string(::getpid()));
+        fs::remove_all(path);
+    }
+    ~TempDir() { fs::remove_all(path); }
+    std::string str() const { return path.string(); }
+};
+
+/** serialize -> deserialize -> serialize must reproduce the bytes. */
+template <typename T>
+void
+expectRoundTripIdentical(const T &product, const std::string &label)
+{
+    BinWriter w;
+    product.serialize(w);
+    BinReader r(w.data());
+    T copy = T::deserialize(r);
+    EXPECT_TRUE(r.atEnd()) << label << ": trailing bytes after decode";
+    BinWriter w2;
+    copy.serialize(w2);
+    EXPECT_EQ(w.data(), w2.data())
+        << label << ": re-serialization is not byte-identical";
+}
+
+TEST(ArtifactSerialization, RoundTripsByteIdenticallyForEveryApp)
+{
+    // The store is only sound if decode(encode(p)) encodes back to
+    // the same bytes for every product the pipeline can produce, so
+    // sweep the whole corpus under the configuration that exercises
+    // every stage body (safety checks, inliner, cXprop, backend).
+    StageCache cache;
+    for (const auto &app : allApps()) {
+        PipelineConfig cfg =
+            configFor(ConfigId::SafeFlidInlineCxprop, app.platform);
+        expectRoundTripIdentical(*cache.frontend(app),
+                                 app.name + "/frontend");
+        expectRoundTripIdentical(*cache.safety(app, cfg),
+                                 app.name + "/safety");
+        expectRoundTripIdentical(*cache.opt(app, cfg),
+                                 app.name + "/opt");
+        expectRoundTripIdentical(*cache.build(app, cfg),
+                                 app.name + "/backend");
+    }
+}
+
+TEST(ArtifactStore, StoresAndLoadsTheExactPayload)
+{
+    TempDir dir("roundtrip");
+    ArtifactStore store(CacheOptions{dir.str(), false, 0});
+    const std::string key = "app|safety|opt|backend";
+    const std::string payload{"\x01\x00two\xff three", 13};
+
+    std::string out;
+    EXPECT_FALSE(store.load(Stage::Backend, key, &out));
+    store.store(Stage::Backend, key, payload);
+    ASSERT_TRUE(store.load(Stage::Backend, key, &out));
+    EXPECT_EQ(out, payload);
+
+    ArtifactStoreStats s = store.stats();
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.diskHits, 1u);
+    EXPECT_EQ(s.writes, 1u);
+    EXPECT_EQ(s.corrupt, 0u);
+    EXPECT_EQ(s.bytesRead, payload.size());
+
+    // A second store over the same directory sees the artifact — the
+    // cross-process contract, minus the process boundary.
+    ArtifactStore other(CacheOptions{dir.str(), false, 0});
+    ASSERT_TRUE(other.load(Stage::Backend, key, &out));
+    EXPECT_EQ(out, payload);
+    // Stages are namespaced: the same key under another stage misses.
+    EXPECT_FALSE(other.load(Stage::Opt, key, &out));
+}
+
+TEST(ArtifactStore, TruncatedArtifactIsAMissAndIsUnlinked)
+{
+    TempDir dir("truncated");
+    ArtifactStore store(CacheOptions{dir.str(), false, 0});
+    const std::string key = "k";
+    store.store(Stage::Opt, key, std::string(256, 'x'));
+
+    fs::path victim = store.pathFor(Stage::Opt, key);
+    ASSERT_TRUE(fs::exists(victim));
+    fs::resize_file(victim, fs::file_size(victim) / 2);
+
+    std::string out;
+    EXPECT_FALSE(store.load(Stage::Opt, key, &out));
+    EXPECT_EQ(store.stats().corrupt, 1u);
+    EXPECT_FALSE(fs::exists(victim))
+        << "a rejected artifact must be unlinked so the rebuild's "
+           "write-back replaces it";
+}
+
+TEST(ArtifactStore, VersionStampMismatchInvalidates)
+{
+    TempDir dir("version");
+    ArtifactStore store(CacheOptions{dir.str(), false, 0});
+    const std::string key = "k";
+    store.store(Stage::Frontend, key, "payload");
+
+    // The u32 format version sits right after the 8-byte magic.
+    fs::path victim = store.pathFor(Stage::Frontend, key);
+    {
+        std::fstream f(victim, std::ios::in | std::ios::out |
+                                   std::ios::binary);
+        ASSERT_TRUE(f.is_open());
+        f.seekg(8);
+        char v = 0;
+        f.get(v);
+        f.seekp(8);
+        f.put(static_cast<char>(v + 1));
+    }
+
+    std::string out;
+    EXPECT_FALSE(store.load(Stage::Frontend, key, &out))
+        << "an artifact stamped with another format version must be "
+           "a miss";
+    EXPECT_EQ(store.stats().corrupt, 1u);
+    EXPECT_FALSE(fs::exists(victim));
+}
+
+TEST(ArtifactStore, StoredKeyMismatchIsAMiss)
+{
+    // The file name only carries a 64-bit hash of the key; the full
+    // key inside the artifact is the authority. Simulate a hash
+    // collision by renaming one key's artifact onto another's path.
+    TempDir dir("keymismatch");
+    ArtifactStore store(CacheOptions{dir.str(), false, 0});
+    store.store(Stage::Backend, "keyA", "payloadA");
+    fs::rename(store.pathFor(Stage::Backend, "keyA"),
+               store.pathFor(Stage::Backend, "keyB"));
+
+    std::string out;
+    EXPECT_FALSE(store.load(Stage::Backend, "keyB", &out));
+    EXPECT_EQ(store.stats().corrupt, 1u);
+}
+
+TEST(ArtifactStore, ReadOnlyModeServesHitsButNeverWrites)
+{
+    TempDir dir("readonly");
+    {
+        ArtifactStore writer(CacheOptions{dir.str(), false, 0});
+        writer.store(Stage::Backend, "k", "payload");
+    }
+    ArtifactStore ro(CacheOptions{dir.str(), true, 0});
+    std::string out;
+    ASSERT_TRUE(ro.load(Stage::Backend, "k", &out));
+    EXPECT_EQ(out, "payload");
+
+    ro.store(Stage::Backend, "other", "never lands");
+    EXPECT_EQ(ro.stats().writes, 0u);
+    EXPECT_FALSE(ro.load(Stage::Backend, "other", &out));
+
+    // Exactly one artifact in the directory: the writer's.
+    size_t files = 0;
+    for (const auto &e : fs::directory_iterator(dir.path))
+        files += e.is_regular_file();
+    EXPECT_EQ(files, 1u);
+}
+
+TEST(ArtifactStore, MaxBytesEvictsOldestArtifactsFirst)
+{
+    TempDir dir("evict");
+    const std::string payload(4096, 'p');
+    ArtifactStore probe(CacheOptions{dir.str(), false, 0});
+    probe.store(Stage::Backend, "probe", payload);
+    const auto artifactSize =
+        fs::file_size(probe.pathFor(Stage::Backend, "probe"));
+    fs::remove(probe.pathFor(Stage::Backend, "probe"));
+
+    // Room for two artifacts; write three with distinct mtimes.
+    ArtifactStore store(
+        CacheOptions{dir.str(), false, 2 * artifactSize + 1});
+    for (const char *key : {"first", "second", "third"}) {
+        store.store(Stage::Backend, key, payload);
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+
+    std::string out;
+    EXPECT_GE(store.stats().evictions, 1u);
+    EXPECT_FALSE(store.load(Stage::Backend, "first", &out))
+        << "the oldest artifact must be the one evicted";
+    EXPECT_TRUE(store.load(Stage::Backend, "third", &out));
+
+    uint64_t total = 0;
+    for (const auto &e : fs::directory_iterator(dir.path))
+        if (e.is_regular_file())
+            total += e.file_size();
+    EXPECT_LE(total, 2 * artifactSize + 1);
+}
+
+TEST(ArtifactStore, SecondExperimentOverASharedDirectoryRunsNothing)
+{
+    // The acceptance gate at unit scale: two Experiments (standing in
+    // for two processes) bound to one directory — the second executes
+    // zero pipeline stages and reproduces the first's cells exactly.
+    TempDir dir("shared");
+    ExperimentOptions opts;
+    opts.simulate = false;
+    opts.cache.dir = dir.str();
+    auto declare = [&] {
+        Experiment exp(opts);
+        exp.addApp(appByName("BlinkTask"));
+        exp.addApp(appByName("SenseToRfm"));
+        exp.addConfig(ConfigId::Baseline);
+        exp.addConfig(ConfigId::SafeFlid);
+        return exp;
+    };
+
+    BuildReport cold = declare().run().builds;
+    ASSERT_TRUE(cold.allOk());
+    EXPECT_EQ(cold.diskHits(), 0u);
+    EXPECT_GT(cold.cacheBytesWritten, 0u);
+
+    BuildReport warm = declare().run().builds;
+    ASSERT_TRUE(warm.allOk());
+    EXPECT_EQ(warm.frontendParses, 0u);
+    EXPECT_EQ(warm.safetyRuns, 0u);
+    EXPECT_EQ(warm.optRuns, 0u);
+    EXPECT_EQ(warm.backendRuns, 0u)
+        << "a warmed directory must serve the repeat run entirely";
+    EXPECT_EQ(warm.backendDiskHits, warm.records.size());
+    EXPECT_GT(warm.cacheBytesRead, 0u);
+
+    ASSERT_EQ(cold.records.size(), warm.records.size());
+    for (size_t i = 0; i < cold.records.size(); ++i) {
+        std::string why;
+        EXPECT_TRUE(BuildDriver::recordsEquivalent(
+            cold.records[i], warm.records[i], &why))
+            << why;
+    }
+}
+
+TEST(ArtifactStore, CorruptedBackendArtifactTriggersOneCleanRebuild)
+{
+    TempDir dir("rebuild");
+    const auto &app = appByName("BlinkTask");
+    PipelineConfig cfg = configFor(ConfigId::SafeFlid, app.platform);
+
+    ArtifactStore store(CacheOptions{dir.str(), false, 0});
+    std::shared_ptr<const BuildResult> cold;
+    {
+        StageCache cache(&store);
+        cold = cache.build(app, cfg);
+    }
+    fs::path victim =
+        store.pathFor(Stage::Backend, StageCache::buildKey(app, cfg));
+    ASSERT_TRUE(fs::exists(victim));
+    fs::resize_file(victim, fs::file_size(victim) / 2);
+
+    StageCache cache(&store);
+    auto rebuilt = cache.build(app, cfg);
+    StageCacheStats s = cache.stats();
+    EXPECT_EQ(s.backend.executed, 1u)
+        << "the truncated artifact must degrade to a rebuild";
+    EXPECT_EQ(s.opt.diskHits, 1u)
+        << "the rebuild's inputs still come from the store";
+    EXPECT_EQ(s.opt.executed, 0u);
+    EXPECT_EQ(s.frontend.executed, 0u);
+
+    std::string why;
+    EXPECT_TRUE(BuildDriver::resultsEquivalent(*cold, *rebuilt, &why))
+        << why;
+    // The rebuild wrote the artifact back, whole again.
+    StageCache third(&store);
+    third.build(app, cfg);
+    EXPECT_EQ(third.stats().backend.executed, 0u);
+    EXPECT_EQ(third.stats().backend.diskHits, 1u);
+}
+
+} // namespace
+} // namespace stos

@@ -10,7 +10,7 @@
 #include <gtest/gtest.h>
 
 #include "backend/backend.h"
-#include "core/driver.h"
+#include "core/experiment.h"
 #include "frontend/frontend.h"
 #include "ir/interp.h"
 #include "opt/cxprop.h"
@@ -270,7 +270,7 @@ INSTANTIATE_TEST_SUITE_P(
 
 /**
  * Every kernel under every Figure-3 configuration, batch-compiled by
- * the BuildDriver: the interpreter run of the final IR and the
+ * the Experiment facade: the interpreter run of the final IR and the
  * machine run of the linked image must emit identical UART streams,
  * and every configuration must match the unsafe baseline's output.
  * This widens the three hand-picked modes above to the full
@@ -280,12 +280,13 @@ TEST(DifferentialMatrix, AllFigure3ConfigsAgree)
 {
     using namespace stos::core;
 
-    BuildDriver d;
+    Experiment exp;
+    exp.options().simulate = false;
     for (const Kernel &k : kKernels)
-        d.addApp({k.name, "Mica2", k.src, {}, "kernel", {}});
-    d.addConfig(ConfigId::Baseline);
-    d.addConfigs(figure3Configs());
-    BuildReport rep = d.run();
+        exp.addApp({k.name, "Mica2", k.src, {}, "kernel", {}});
+    exp.addConfig(ConfigId::Baseline);
+    exp.addConfigs(figure3Configs());
+    BuildReport rep = exp.run().builds;
     ASSERT_TRUE(rep.allOk());
     ASSERT_EQ(rep.records.size(),
               std::size(kKernels) * (1 + figure3Configs().size()));

@@ -116,7 +116,11 @@ TEST(Experiment, MatchesTheDriverTwoStepCellForCell)
 {
     // The facade must reproduce what the BuildDriver + SimDriver
     // two-step produced, cell-for-cell — including the joined
-    // CSV/JSON emission the benches used to assemble by hand.
+    // CSV/JSON emission the benches used to assemble by hand. The
+    // drivers are deprecated shims; comparing against them is this
+    // test's whole point.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
     BuildDriver d;
     d.addApp(appByName("BlinkTask"));
     d.addApp(appByName("Ident"));
@@ -127,6 +131,7 @@ TEST(Experiment, MatchesTheDriverTwoStepCellForCell)
     SimOptions so;
     so.seconds = kSimSeconds;
     SimReport sims = SimDriver(so).run(builds);
+#pragma GCC diagnostic pop
     ASSERT_TRUE(sims.allOk());
 
     Experiment exp = smallExperiment(fastOptions());

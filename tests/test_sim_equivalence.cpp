@@ -11,7 +11,7 @@
  */
 #include <gtest/gtest.h>
 
-#include "core/driver.h"
+#include "core/experiment.h"
 #include "core/pipeline.h"
 #include "ir/interp.h"
 #include "sim/decoded.h"
@@ -59,7 +59,14 @@ expectSame(const MoteStats &a, const MoteStats &b,
 const BuildReport &
 matrix()
 {
-    static const BuildReport rep = BuildDriver::figure3Matrix();
+    static const BuildReport rep = [] {
+        Experiment exp;
+        exp.options().simulate = false;
+        exp.addAllApps();
+        exp.addConfig(ConfigId::Baseline);
+        exp.addConfigs(figure3Configs());
+        return exp.run().builds;
+    }();
     return rep;
 }
 

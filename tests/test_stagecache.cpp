@@ -13,7 +13,7 @@
 #include <thread>
 #include <vector>
 
-#include "core/driver.h"
+#include "core/experiment.h"
 #include "core/stagecache.h"
 
 namespace stos {
@@ -21,6 +21,19 @@ namespace {
 
 using namespace stos::core;
 using namespace stos::tinyos;
+
+/** The full Figure-3 build matrix as a build-only Experiment. */
+core::BuildReport
+figure3Builds(bool memoize)
+{
+    Experiment exp;
+    exp.options().memoize = memoize;
+    exp.options().simulate = false;
+    exp.addAllApps();
+    exp.addConfig(ConfigId::Baseline);
+    exp.addConfigs(figure3Configs());
+    return exp.run().builds;
+}
 
 TEST(StageCache, ExecutesEachStageExactlyOnceUnderContention)
 {
@@ -176,10 +189,8 @@ TEST(StageCache, Figure3CachedMatchesColdByteForByte)
     // (app, safety-fingerprint) pairs — 5 error-mode variants per app,
     // not 8 cells — while every cached BuildResult stays
     // byte-identical to a cold per-cell compile.
-    BuildReport cached = BuildDriver::figure3Matrix();
-    DriverOptions coldOpts;
-    coldOpts.memoizeFrontend = false;
-    BuildReport cold = BuildDriver::figure3Matrix(coldOpts);
+    BuildReport cached = figure3Builds(true);
+    BuildReport cold = figure3Builds(false);
 
     ASSERT_TRUE(cached.allOk());
     ASSERT_TRUE(cold.allOk());
@@ -205,17 +216,18 @@ TEST(StageCache, Figure3CachedMatchesColdByteForByte)
 TEST(StageCache, PersistentCacheServesARepeatRunEntirely)
 {
     StageCache cache;
-    BuildDriver d;
-    d.addApp(appByName("BlinkTask"));
-    d.addApp(appByName("SenseToRfm"));
-    d.addConfig(ConfigId::Baseline);
-    d.addConfig(ConfigId::SafeFlid);
+    Experiment exp;
+    exp.options().simulate = false;
+    exp.addApp(appByName("BlinkTask"));
+    exp.addApp(appByName("SenseToRfm"));
+    exp.addConfig(ConfigId::Baseline);
+    exp.addConfig(ConfigId::SafeFlid);
 
-    BuildReport first = d.run(cache);
+    BuildReport first = exp.buildMatrix(cache);
     ASSERT_TRUE(first.allOk());
     EXPECT_EQ(first.backendRuns, first.records.size());
 
-    BuildReport second = d.run(cache);
+    BuildReport second = exp.buildMatrix(cache);
     ASSERT_TRUE(second.allOk());
     EXPECT_EQ(second.frontendParses, 0u);
     EXPECT_EQ(second.safetyRuns, 0u);
@@ -273,11 +285,12 @@ TEST(StageCache, FrontendKeyIsSensitiveToTheLibrarySource)
 
 TEST(BuildReport, SummaryAndEmittersSurfaceStageCounters)
 {
-    BuildDriver d;
-    d.addApp(appByName("BlinkTask"));
-    d.addConfig(ConfigId::SafeFlid);
-    d.addConfig(ConfigId::SafeFlidCxprop);
-    BuildReport rep = d.run();
+    Experiment exp;
+    exp.options().simulate = false;
+    exp.addApp(appByName("BlinkTask"));
+    exp.addConfig(ConfigId::SafeFlid);
+    exp.addConfig(ConfigId::SafeFlidCxprop);
+    BuildReport rep = exp.run().builds;
     ASSERT_TRUE(rep.allOk());
     EXPECT_EQ(rep.safetyRuns, 1u);
     EXPECT_EQ(rep.safetyReuses, 1u);
