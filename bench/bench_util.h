@@ -119,6 +119,14 @@ emitTo(const std::string &path, Emit emit)
  *                 repeat run without executing a single stage
  *   --cache-stats print the artifact-store counters (disk hits,
  *                 misses, corrupt rejects, bytes) after the run
+ *   --faults=SPEC fault campaign for the simulation phase, e.g.
+ *                 "mem=8,reg=4,crash=1,loss=0.1,corrupt=0.05,dup=0.02"
+ *                 (sim/fault.h taxonomy)
+ *   --fault-seed N      campaign seed (re-mixed per matrix cell)
+ *   --recovery=wedge|reboot-on-trap|reboot-on-wedge
+ *                 what a mote does when a safety check fires
+ *   --cell-timeout SECONDS   wall-clock watchdog per simulated cell
+ *                 (a runaway cell fails with a diagnostic, 0 = off)
  *
  * parse() resolves the simulated duration from
  * SAFE_TINYOS_SIM_SECONDS (falling back to the bench's default), so
@@ -135,6 +143,9 @@ struct BenchCli {
     std::string cacheDir;
     bool cacheStats = false;
     double seconds = 0.0;
+    sim::FaultOptions faults;
+    bool recoverySet = false;  ///< --recovery= given explicitly
+    double cellTimeout = 0.0;
 
     static BenchCli
     parse(int argc, char **argv, double defaultSeconds = 3.0)
@@ -168,12 +179,37 @@ struct BenchCli {
                 f.cacheDir = argv[++i];
             } else if (!std::strcmp(argv[i], "--cache-stats")) {
                 f.cacheStats = true;
+            } else if (!std::strncmp(argv[i], "--faults=", 9)) {
+                std::string err;
+                if (!sim::parseFaultSpec(argv[i] + 9, &f.faults,
+                                         &err)) {
+                    fprintf(stderr, "bad --faults spec: %s\n",
+                            err.c_str());
+                    std::exit(2);
+                }
+            } else if (!std::strcmp(argv[i], "--fault-seed") &&
+                       i + 1 < argc) {
+                f.faults.seed = std::strtoull(argv[++i], nullptr, 10);
+            } else if (!std::strncmp(argv[i], "--recovery=", 11)) {
+                if (!sim::parseRecoveryPolicy(argv[i] + 11,
+                                              &f.faults.recovery)) {
+                    fprintf(stderr,
+                            "--recovery must be wedge, reboot-on-trap,"
+                            " or reboot-on-wedge\n");
+                    std::exit(2);
+                }
+                f.recoverySet = true;
+            } else if (!std::strcmp(argv[i], "--cell-timeout") &&
+                       i + 1 < argc) {
+                f.cellTimeout = std::atof(argv[++i]);
             } else {
                 fprintf(stderr,
                         "usage: %s [--serial] [--corpus=paper|full] "
                         "[--jobs N] [--csv PATH] [--json PATH] "
                         "[--joined-csv PATH] [--joined-json PATH] "
-                        "[--cache-dir PATH] [--cache-stats]\n",
+                        "[--cache-dir PATH] [--cache-stats] "
+                        "[--faults=SPEC] [--fault-seed N] "
+                        "[--recovery=POLICY] [--cell-timeout SECS]\n",
                         argv[0]);
                 std::exit(2);
             }
@@ -208,6 +244,8 @@ struct BenchCli {
         o.simulate = simulate;
         o.seconds = seconds;
         o.cache.dir = cacheDir;
+        o.faults = faults;
+        o.cellTimeout = cellTimeout;
         return o;
     }
 

@@ -351,6 +351,8 @@ Experiment::simulateBuilds(const BuildReport &builds,
     // the equivalence gates compare against).
     netOpts.lookahead = opts_.mode == sim::ExecMode::Predecoded;
     netOpts.threads = opts_.netThreads;
+    netOpts.faults = opts_.faults;
+    netOpts.wallLimitMs = opts_.cellTimeout * 1000.0;
 
     auto simCell = [&](size_t appIdx, size_t cfgIdx) {
         const BuildRecord &build = builds.records[appIdx * nConfigs +
@@ -363,6 +365,14 @@ Experiment::simulateBuilds(const BuildReport &builds,
         rec.configIndex = build.configIndex;
 
         auto cellStart = Clock::now();
+        // Per-cell fault plan: re-mix the campaign seed with the app
+        // name so no two cells replay the same corruption schedule.
+        // runSerialReference copies these options verbatim, so the
+        // reference cell mixes to the identical seed.
+        sim::NetworkOptions cellNet = netOpts;
+        if (cellNet.faults.anyFaults())
+            cellNet.faults.seed =
+                sim::mixSeed(cellNet.faults.seed, build.app);
         try {
             if (!build.ok)
                 throw FatalError("build failed: " + build.error);
@@ -407,7 +417,7 @@ Experiment::simulateBuilds(const BuildReport &builds,
                 }
                 rec.companionsReused = allReused;
                 rec.outcome = simulateDecoded(dimage, dcomps,
-                                              opts_.seconds, netOpts);
+                                              opts_.seconds, cellNet);
             } else {
                 std::vector<std::shared_ptr<const backend::MProgram>>
                     owned;
@@ -428,7 +438,7 @@ Experiment::simulateBuilds(const BuildReport &builds,
                 rec.companionsReused = allReused;
                 rec.outcome =
                     simulateInContext(build.result->image, companions,
-                                      opts_.seconds, netOpts);
+                                      opts_.seconds, cellNet);
             }
             rec.ok = true;
         } catch (const std::exception &e) {

@@ -60,6 +60,20 @@ struct ExperimentOptions {
      * the pre-store behaviour.
      */
     CacheOptions cache;
+    /**
+     * Fault campaign applied to every simulated cell (sim/fault.h).
+     * The campaign seed is re-mixed with each cell's app name so every
+     * cell replays its own deterministic plan; the serial-reference
+     * gate inherits the same options, so equivalence checking covers
+     * faulted matrices too. Defaults inject nothing.
+     */
+    sim::FaultOptions faults;
+    /**
+     * Per-cell wall-clock watchdog for the simulation phase, in
+     * seconds (0 = off): a runaway cell is marked failed with a
+     * diagnostic instead of hanging the whole bench.
+     */
+    double cellTimeout = 0.0;
 };
 
 /**

@@ -316,6 +316,16 @@ collectOutcome(sim::Network &net, uint64_t cycles)
     out.wedged = m.wedged();
     out.failedFlid = m.failedFlid();
     out.uartLog = m.devices().uartLog();
+    out.traps = m.traps();
+    out.reboots = m.reboots();
+    out.crashes = m.crashes();
+    out.downCycles = m.downCycles();
+    out.wedgedCycles = m.wedgedCycles();
+    out.availability = m.availability();
+    out.trapLog = m.trapLog();
+    out.packetsDropped = m.devices().packetsDropped();
+    out.packetsCorrupted = m.devices().packetsCorrupted();
+    out.packetsDuplicated = m.devices().packetsDuplicated();
     return out;
 }
 

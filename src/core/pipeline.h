@@ -209,8 +209,19 @@ struct SimOutcome {
     uint64_t instructions = 0;
     bool halted = false;   ///< main returned / stack fault
     bool wedged = false;   ///< stuck in a failure-handler self loop
-    uint32_t failedFlid = 0;
+    uint32_t failedFlid = 0;  ///< first trap's FLID (0 = none)
     std::string uartLog;   ///< mote-under-test UART output
+    // Fault-injection and recovery observables (sim/fault.h).
+    uint32_t traps = 0;
+    uint32_t reboots = 0;
+    uint32_t crashes = 0;
+    uint64_t downCycles = 0;
+    uint64_t wedgedCycles = 0;
+    double availability = 1.0;  ///< up-cycles / total cycles
+    std::vector<sim::TrapEntry> trapLog;  ///< bounded (kMaxTrapLog)
+    uint32_t packetsDropped = 0;
+    uint32_t packetsCorrupted = 0;
+    uint32_t packetsDuplicated = 0;
 };
 
 /**

@@ -14,6 +14,54 @@
 
 namespace stos::core {
 
+namespace {
+
+/** Shared CSV tail of one successful outcome: the fault/recovery
+ *  columns every emitter appends after `failed_flid`. */
+std::string
+faultCsvCells(const SimOutcome &o)
+{
+    return strfmt(",%u,%u,%u,%llu,%llu,%.9f,%u,%u,%u", o.traps,
+                  o.reboots, o.crashes,
+                  static_cast<unsigned long long>(o.downCycles),
+                  static_cast<unsigned long long>(o.wedgedCycles),
+                  o.availability, o.packetsDropped,
+                  o.packetsCorrupted, o.packetsDuplicated);
+}
+
+/** Shared JSON fields for the same columns, plus the trap log. */
+std::string
+faultJsonFields(const SimOutcome &o)
+{
+    std::string s = strfmt(
+        ", \"traps\": %u, \"reboots\": %u, \"crashes\": %u"
+        ", \"down_cycles\": %llu, \"wedged_cycles\": %llu"
+        ", \"availability\": %.9f, \"packets_dropped\": %u"
+        ", \"packets_corrupted\": %u, \"packets_duplicated\": %u",
+        o.traps, o.reboots, o.crashes,
+        static_cast<unsigned long long>(o.downCycles),
+        static_cast<unsigned long long>(o.wedgedCycles),
+        o.availability, o.packetsDropped, o.packetsCorrupted,
+        o.packetsDuplicated);
+    s += ", \"trap_log\": [";
+    for (size_t i = 0; i < o.trapLog.size(); ++i) {
+        const sim::TrapEntry &t = o.trapLog[i];
+        s += strfmt("%s{\"flid\": %u, \"cycle\": %llu, \"pc\": %u}",
+                    i ? ", " : "", t.flid,
+                    static_cast<unsigned long long>(t.cycle), t.pc);
+    }
+    s += "]";
+    return s;
+}
+
+/** CSV header segment / failure padding for the fault columns. */
+constexpr const char *kFaultCsvHeader =
+    "traps,reboots,crashes,down_cycles,wedged_cycles,availability,"
+    "packets_dropped,packets_corrupted,packets_duplicated";
+constexpr const char *kFaultCsvEmpty = ",,,,,,,,,";
+
+} // namespace
+
 //---------------------------------------------------------------------
 // SimReport
 //---------------------------------------------------------------------
@@ -66,7 +114,8 @@ SimReport::emitCsv(std::ostream &os) const
 {
     os << "app,platform,config,app_index,config_index,ok,error,"
           "duty_cycle,awake_cycles,total_cycles,instructions,halted,"
-          "wedged,failed_flid,uart_bytes,companions_reused,millis\n";
+          "wedged,failed_flid,"
+       << kFaultCsvHeader << ",uart_bytes,companions_reused,millis\n";
     for (const auto &r : records) {
         os << csvField(r.app) << ',' << csvField(r.platform) << ','
            << csvField(r.config) << ',' << r.appIndex << ','
@@ -78,10 +127,10 @@ SimReport::emitCsv(std::ostream &os) const
                << ',' << r.outcome.instructions << ','
                << (r.outcome.halted ? 1 : 0) << ','
                << (r.outcome.wedged ? 1 : 0) << ','
-               << r.outcome.failedFlid << ','
-               << r.outcome.uartLog.size();
+               << r.outcome.failedFlid << faultCsvCells(r.outcome)
+               << ',' << r.outcome.uartLog.size();
         } else {
-            os << ",,,,,,,,";
+            os << ",,,,,,,," << kFaultCsvEmpty;
         }
         os << ',' << (r.companionsReused ? 1 : 0) << ','
            << strfmt("%.3f", r.millis) << '\n';
@@ -119,6 +168,7 @@ SimReport::emitJson(std::ostream &os) const
                << ", \"halted\": " << (r.outcome.halted ? "true" : "false")
                << ", \"wedged\": " << (r.outcome.wedged ? "true" : "false")
                << ", \"failed_flid\": " << r.outcome.failedFlid
+               << faultJsonFields(r.outcome)
                << ", \"uart_bytes\": " << r.outcome.uartLog.size();
         }
         os << ", \"companions_reused\": "
@@ -160,7 +210,9 @@ SimReport::joinCsv(const BuildReport &builds, std::ostream &os) const
           "build_ok,sim_ok,error,"
           "code_bytes,ram_bytes,rom_data_bytes,surviving_checks,"
           "duty_cycle,awake_cycles,total_cycles,instructions,halted,"
-          "wedged,failed_flid,uart_bytes,build_millis,sim_millis\n";
+          "wedged,failed_flid,"
+       << kFaultCsvHeader
+       << ",uart_bytes,build_millis,sim_millis\n";
     for (size_t i = 0; i < records.size(); ++i) {
         const BuildRecord &b = builds.records[i];
         const SimRecord &s = records[i];
@@ -182,10 +234,10 @@ SimReport::joinCsv(const BuildReport &builds, std::ostream &os) const
                << ',' << s.outcome.instructions << ','
                << (s.outcome.halted ? 1 : 0) << ','
                << (s.outcome.wedged ? 1 : 0) << ','
-               << s.outcome.failedFlid << ','
-               << s.outcome.uartLog.size();
+               << s.outcome.failedFlid << faultCsvCells(s.outcome)
+               << ',' << s.outcome.uartLog.size();
         } else {
-            os << ",,,,,,,,";
+            os << ",,,,,,,," << kFaultCsvEmpty;
         }
         os << ',' << strfmt("%.3f", b.millis) << ','
            << strfmt("%.3f", s.millis) << '\n';
@@ -254,6 +306,7 @@ SimReport::joinJson(const BuildReport &builds, std::ostream &os) const
                << ", \"wedged\": "
                << (s.outcome.wedged ? "true" : "false")
                << ", \"failed_flid\": " << s.outcome.failedFlid
+               << faultJsonFields(s.outcome)
                << ", \"uart_bytes\": " << s.outcome.uartLog.size();
         } else {
             os << ", \"error\": \"" << jsonEscape(s.error) << "\"";
@@ -349,6 +402,30 @@ SimDriver::recordsEquivalent(const SimRecord &a, const SimRecord &b,
                     b.outcome.failedFlid);
     if (a.outcome.uartLog != b.outcome.uartLog)
         return fail(a.app + "/" + a.config + ": uartLog differs");
+    if (a.outcome.traps != b.outcome.traps)
+        return cell("traps", a.outcome.traps, b.outcome.traps);
+    if (a.outcome.reboots != b.outcome.reboots)
+        return cell("reboots", a.outcome.reboots, b.outcome.reboots);
+    if (a.outcome.crashes != b.outcome.crashes)
+        return cell("crashes", a.outcome.crashes, b.outcome.crashes);
+    if (a.outcome.downCycles != b.outcome.downCycles)
+        return cell("downCycles", a.outcome.downCycles,
+                    b.outcome.downCycles);
+    if (a.outcome.wedgedCycles != b.outcome.wedgedCycles)
+        return cell("wedgedCycles", a.outcome.wedgedCycles,
+                    b.outcome.wedgedCycles);
+    if (a.outcome.trapLog != b.outcome.trapLog)
+        return fail(a.app + "/" + a.config + ": trapLog differs");
+    if (a.outcome.packetsDropped != b.outcome.packetsDropped)
+        return cell("packetsDropped", a.outcome.packetsDropped,
+                    b.outcome.packetsDropped);
+    if (a.outcome.packetsCorrupted != b.outcome.packetsCorrupted)
+        return cell("packetsCorrupted", a.outcome.packetsCorrupted,
+                    b.outcome.packetsCorrupted);
+    if (a.outcome.packetsDuplicated != b.outcome.packetsDuplicated)
+        return cell("packetsDuplicated", a.outcome.packetsDuplicated,
+                    b.outcome.packetsDuplicated);
+    // availability derives from the integer counters compared above.
     return true;
 }
 

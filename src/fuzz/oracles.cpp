@@ -67,7 +67,14 @@ runMachine(const backend::MProgram &img, sim::ExecMode mode)
         return o;
     }
     if (mote.wedged()) {
+        // Attach the bounded trap log: which checks fired, when, and
+        // in which function — far more to go on than one FLID.
         o.error = "machine wedged in a failure handler";
+        for (const auto &t : mote.trapLog()) {
+            o.error += " [flid=" + std::to_string(t.flid) +
+                       " cycle=" + std::to_string(t.cycle) +
+                       " fn=" + std::to_string(t.pc) + "]";
+        }
         return o;
     }
     o.uart = mote.devices().uartLog();

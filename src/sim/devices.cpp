@@ -12,6 +12,32 @@ namespace stos::sim {
 
 using namespace stos::dev;
 
+void
+DeviceHub::reset()
+{
+    for (int t = 0; t < 2; ++t) {
+        timerEn_[t] = false;
+        timerPeriod_[t] = 1024;
+        timerNext_[t] = UINT64_MAX;
+    }
+    adcChannel_ = 0;
+    adcDoneAt_ = UINT64_MAX;
+    adcData_ = 0;
+    rxEnabled_ = false;
+    txFifo_.clear();
+    txLen_ = 0;
+    txDest_ = 0xFF;
+    txDoneAt_ = UINT64_MAX;
+    rxFifo_.clear();
+    rxReadPos_ = 0;
+    lastRssi_ = 0;
+    leds_ = 0;
+    portB_ = 0;
+    rngState_ = 0x1234;
+    // rxQueue_, uart_, and the counters deliberately survive: see the
+    // declaration comment.
+}
+
 uint16_t
 DeviceHub::sensorValue(uint64_t now) const
 {

@@ -32,6 +32,15 @@ class DeviceHub {
 
     explicit DeviceHub(uint8_t nodeId) : nodeId_(nodeId) {}
 
+    /**
+     * Power-on reset (mote reboot): every register-visible device
+     * returns to its defaults. Packets already in flight toward this
+     * mote (rxQueue_) are air, not mote state, and survive — as do
+     * the instrumentation counters and the UART log, which model the
+     * experimenter's bench equipment rather than the mote.
+     */
+    void reset();
+
     uint32_t ioRead(uint32_t port, uint64_t now);
     void ioWrite(uint32_t port, uint32_t value, uint64_t now);
 
@@ -72,6 +81,14 @@ class DeviceHub {
     uint32_t adcConversions() const { return conversions_; }
     uint8_t nodeId() const { return nodeId_; }
 
+    //--- radio fault accounting (set by the network layer) ------------
+    void noteDropped() { ++dropped_; }
+    void noteCorrupted() { ++corrupted_; }
+    void noteDuplicated() { ++duplicated_; }
+    uint32_t packetsDropped() const { return dropped_; }
+    uint32_t packetsCorrupted() const { return corrupted_; }
+    uint32_t packetsDuplicated() const { return duplicated_; }
+
   private:
     uint16_t sensorValue(uint64_t now) const;
 
@@ -97,6 +114,7 @@ class DeviceHub {
     std::deque<PendingRx> rxQueue_;
     uint8_t lastRssi_ = 0;
     uint32_t sent_ = 0, received_ = 0;
+    uint32_t dropped_ = 0, corrupted_ = 0, duplicated_ = 0;
     // UART.
     std::string uart_;
     // LEDs / misc.

@@ -47,6 +47,7 @@ Machine::Machine(const MProgram &prog, uint8_t nodeId, ExecMode mode)
         }
     }
     sp_ = prog_.romDataBase;  // stack below the ROM window
+    computeRamSpan();
 }
 
 Machine::Machine(std::shared_ptr<const DecodedProgram> prog,
@@ -59,6 +60,25 @@ Machine::Machine(std::shared_ptr<const DecodedProgram> prog,
     numVectors_ = decoded_->numVectors();
     mem_ = decoded_->memInit();
     sp_ = prog_.romDataBase;
+    computeRamSpan();
+}
+
+void
+Machine::computeRamSpan()
+{
+    // The RAM-globals span abstract fault addresses map into: flips
+    // must land in mutable state, never the ROM data window.
+    uint32_t lo = 0xFFFFFFFFu, hi = 0;
+    for (const auto &d : prog_.data) {
+        if (d.rom || d.addr >= prog_.romDataBase || d.size == 0)
+            continue;
+        lo = std::min(lo, d.addr);
+        hi = std::max(hi, d.addr + d.size);
+    }
+    if (hi > lo) {
+        dataLo_ = lo;
+        dataHi_ = hi;
+    }
 }
 
 void
@@ -66,6 +86,110 @@ Machine::boot()
 {
     frames_.clear();
     enterFunction(prog_.entry, false);
+}
+
+void
+Machine::setFaultEvents(std::vector<FaultEvent> events)
+{
+    faultEvents_ = std::move(events);
+    std::stable_sort(faultEvents_.begin(), faultEvents_.end(),
+                     [](const FaultEvent &a, const FaultEvent &b) {
+                         return a.at < b.at;
+                     });
+    faultIdx_ = 0;
+}
+
+void
+Machine::recordTrap(uint32_t flid, uint32_t pc)
+{
+    ++traps_;
+    if (trapLog_.size() < kMaxTrapLog)
+        trapLog_.push_back({flid, cycles_, pc});
+}
+
+void
+Machine::resetMemoryImage()
+{
+    if (decoded_) {
+        mem_ = decoded_->memInit();
+        return;
+    }
+    std::fill(mem_.begin(), mem_.end(), 0);
+    for (const auto &d : prog_.data) {
+        for (size_t i = 0; i < d.init.size() && i < d.size; ++i)
+            mem_[d.addr + i] = d.init[i];
+    }
+}
+
+void
+Machine::startReboot()
+{
+    // A reboot is a power cycle: volatile state (RAM, registers,
+    // stack, pending interrupts, device configuration) reverts to
+    // power-on, while host-side observability — the reboot counter,
+    // trap log, UART log, and every instrumentation counter —
+    // persists across it.
+    ++reboots_;
+    down_ = true;
+    downUntil_ = cycles_ + kRebootLatencyCycles;
+    wedged_ = false;
+    sleeping_ = false;
+    iflag_ = true;
+    frames_.clear();
+    argBuf_.clear();
+    retBuf_.clear();
+    pendingIrqs_.clear();
+    irqHead_ = 0;
+    resetMemoryImage();
+    sp_ = prog_.romDataBase;
+    dev_.reset();
+}
+
+void
+Machine::applyFault(const FaultEvent &e)
+{
+    switch (e.kind) {
+      case FaultKind::MemFlip: {
+        if (dataHi_ > dataLo_) {
+            uint32_t addr = dataLo_ + e.addr % (dataHi_ - dataLo_);
+            mem_[addr] ^= static_cast<uint8_t>(1u << (e.bit & 7));
+        }
+        break;
+      }
+      case FaultKind::RegFlip: {
+        if (frames_.empty())
+            break;
+        Frame &fr = frames_.back();
+        // Both cores agree only on the *declared* register-file size
+        // (the predecoded file is operand-padded past it), so the
+        // selector folds into that shared bound.
+        uint32_t bound = decoded_
+                             ? fr.df->argRegs
+                             : static_cast<uint32_t>(fr.regs.size());
+        if (bound == 0)
+            break;
+        uint32_t r = e.addr % bound;
+        if (r < fr.regs.size())
+            fr.regs[r] ^= 1ull << (e.bit & 15);
+        break;
+      }
+      case FaultKind::Crash:
+        // Power glitch: the mote reboots regardless of policy.
+        ++crashes_;
+        startReboot();
+        break;
+    }
+}
+
+void
+Machine::applyFaultsDue()
+{
+    while (faultIdx_ < faultEvents_.size() &&
+           faultEvents_[faultIdx_].at <= cycles_) {
+        applyFault(faultEvents_[faultIdx_++]);
+        if (down_)
+            break;  // remaining due events land right after reboot
+    }
 }
 
 void
@@ -213,12 +337,44 @@ void
 Machine::runLegacy(uint64_t target)
 {
     while (cycles_ < target && !halted_) {
+        // The fault/recovery preamble below is kept textually
+        // identical in runPredecoded: faults apply at the same
+        // instruction boundaries on both cores, which is what keeps
+        // faulted runs inside the equivalence contract.
+        if (down_) {
+            // Rebooting: powered but not executing until downUntil_.
+            if (downUntil_ > target) {
+                downCycles_ += target - cycles_;
+                cycles_ = target;
+                return;
+            }
+            downCycles_ += downUntil_ - cycles_;
+            cycles_ = downUntil_;
+            down_ = false;
+            boot();
+            continue;
+        }
+        applyFaultsDue();
+        if (down_)
+            continue;  // a crash fault rebooted us
         if (wedged_) {
-            cycles_ = target;  // spinning awake in the failure stub
-            return;
+            if (recovery_ == RecoveryPolicy::RebootOnWedge) {
+                startReboot();
+                continue;
+            }
+            // Spinning awake in the failure stub — but a scheduled
+            // crash can still power-cycle a wedged mote, so only
+            // fast-forward to the next fault.
+            uint64_t stop = std::min(target, nextFaultAt());
+            wedgedCycles_ += stop - cycles_;
+            cycles_ = stop;
+            if (cycles_ >= target)
+                return;
+            continue;
         }
         if (sleeping_) {
-            uint64_t next = dev_.nextEventAt();
+            uint64_t next =
+                std::min(dev_.nextEventAt(), nextFaultAt());
             if (next == UINT64_MAX || next > target) {
                 sleepCycles_ += target - cycles_;
                 cycles_ = target;
@@ -228,7 +384,14 @@ Machine::runLegacy(uint64_t target)
                 sleepCycles_ += next - cycles_;
                 cycles_ = next;
             }
-            sleeping_ = false;  // the event below wakes the core
+            if (dev_.nextEventAt() <= cycles_) {
+                sleeping_ = false;  // the event below wakes the core
+            } else {
+                // Only a fault is due: injecting state does not wake
+                // a sleeping CPU, so apply it and stay asleep.
+                applyFaultsDue();
+                continue;
+            }
         }
         // Device events and interrupts first.
         std::vector<int> irqs;
@@ -450,9 +613,15 @@ Machine::step()
             halted_ = true;
             return;
         }
-        if (it->second == failFnIdx_ && !argBuf_.empty() &&
-            failedFlid_ == 0) {
-            failedFlid_ = static_cast<uint32_t>(argBuf_[0]);
+        if (it->second == failFnIdx_) {
+            recordTrap(argBuf_.empty()
+                           ? 0
+                           : static_cast<uint32_t>(argBuf_[0]),
+                       fr.funcIdx);
+            if (recovery_ == RecoveryPolicy::RebootOnTrap) {
+                startReboot();
+                return;
+            }
         }
         retBuf_.clear();
         enterFunction(it->second, false);
@@ -532,12 +701,42 @@ void
 Machine::runPredecoded(uint64_t target)
 {
     while (cycles_ < target && !halted_) {
+        // Fault/recovery preamble: textually identical to runLegacy
+        // so faults land at the same instruction boundaries.
+        if (down_) {
+            // Rebooting: powered but not executing until downUntil_.
+            if (downUntil_ > target) {
+                downCycles_ += target - cycles_;
+                cycles_ = target;
+                return;
+            }
+            downCycles_ += downUntil_ - cycles_;
+            cycles_ = downUntil_;
+            down_ = false;
+            boot();
+            continue;
+        }
+        applyFaultsDue();
+        if (down_)
+            continue;  // a crash fault rebooted us
         if (wedged_) {
-            cycles_ = target;  // spinning awake in the failure stub
-            return;
+            if (recovery_ == RecoveryPolicy::RebootOnWedge) {
+                startReboot();
+                continue;
+            }
+            // Spinning awake in the failure stub — but a scheduled
+            // crash can still power-cycle a wedged mote, so only
+            // fast-forward to the next fault.
+            uint64_t stop = std::min(target, nextFaultAt());
+            wedgedCycles_ += stop - cycles_;
+            cycles_ = stop;
+            if (cycles_ >= target)
+                return;
+            continue;
         }
         if (sleeping_) {
-            uint64_t next = dev_.nextEventAt();
+            uint64_t next =
+                std::min(dev_.nextEventAt(), nextFaultAt());
             if (next == UINT64_MAX || next > target) {
                 sleepCycles_ += target - cycles_;
                 cycles_ = target;
@@ -547,7 +746,14 @@ Machine::runPredecoded(uint64_t target)
                 sleepCycles_ += next - cycles_;
                 cycles_ = next;
             }
-            sleeping_ = false;  // the event below wakes the core
+            if (dev_.nextEventAt() <= cycles_) {
+                sleeping_ = false;  // the event below wakes the core
+            } else {
+                // Only a fault is due: injecting state does not wake
+                // a sleeping CPU, so apply it and stay asleep.
+                applyFaultsDue();
+                continue;
+            }
         }
         drainDeviceEvents();
         dispatchIrqs();
@@ -555,12 +761,14 @@ Machine::runPredecoded(uint64_t target)
             halted_ = true;
             return;
         }
-        // Event horizon: no device event can fire before this cycle,
-        // so the instruction loop below never needs to consult the
-        // hub. Like the legacy core, at least one instruction runs
-        // per dispatch opportunity (an interrupt's 8-cycle latency
-        // may already have crossed the horizon).
-        uint64_t horizon = std::min(target, dev_.nextEventAt());
+        // Event horizon: no device event (or scheduled fault) can
+        // fire before this cycle, so the instruction loop below never
+        // needs to consult the hub or the fault schedule. Like the
+        // legacy core, at least one instruction runs per dispatch
+        // opportunity (an interrupt's 8-cycle latency may already
+        // have crossed the horizon).
+        uint64_t horizon =
+            std::min({target, dev_.nextEventAt(), nextFaultAt()});
         // Cached frame/code/register pointers, refreshed only when a
         // call or return changes the top frame. The register file is
         // pre-sized at decode time to cover every operand index, so
@@ -758,9 +966,17 @@ Machine::runPredecoded(uint64_t target)
                     halted_ = true;
                     break;
                 }
-                if (in.callsFail && !argBuf_.empty() &&
-                    failedFlid_ == 0) {
-                    failedFlid_ = static_cast<uint32_t>(argBuf_[0]);
+                if (in.callsFail) {
+                    recordTrap(argBuf_.empty()
+                                   ? 0
+                                   : static_cast<uint32_t>(argBuf_[0]),
+                               fr.funcIdx);
+                    if (recovery_ == RecoveryPolicy::RebootOnTrap) {
+                        // startReboot clears frames_: the cached
+                        // frp/code/regs are dead — leave immediately.
+                        startReboot();
+                        break;
+                    }
                 }
                 retBuf_.clear();
                 enterFunction(static_cast<uint32_t>(in.callIdx), false);
@@ -812,14 +1028,16 @@ Machine::runPredecoded(uint64_t target)
                 setReg(in.rd, dev_.ioRead(in.port, cycles_));
                 // I/O may repoint the hub's schedule (e.g. FIFO pops);
                 // stay conservative and re-aim the horizon.
-                horizon = std::min(target, dev_.nextEventAt());
+                horizon = std::min(
+                    {target, dev_.nextEventAt(), nextFaultAt()});
                 break;
               case MOp::Out:
                 dev_.ioWrite(in.port,
                              static_cast<uint32_t>(reg(in.ra) & mask),
                              cycles_);
                 // Starting a timer/ADC/radio moves the next event.
-                horizon = std::min(target, dev_.nextEventAt());
+                horizon = std::min(
+                    {target, dev_.nextEventAt(), nextFaultAt()});
                 break;
               case MOp::Sleep:
                 sleeping_ = true;
@@ -830,7 +1048,7 @@ Machine::runPredecoded(uint64_t target)
                 break;
             }
 
-            if (halted_ || wedged_ || sleeping_)
+            if (halted_ || wedged_ || sleeping_ || down_)
                 break;
             // A Reti/Sei/SetIf may have re-enabled interrupts while
             // requests are queued: let the outer loop dispatch.
@@ -865,10 +1083,46 @@ Network::attachMote(std::unique_ptr<Machine> m)
 void
 Network::deliverFrom(size_t senderIdx, const Packet &p, uint64_t at)
 {
+    const bool faulty = opts_.faults.faultsRadio();
     for (size_t i = 0; i < motes_.size(); ++i) {
         if (i == senderIdx)
             continue;
-        motes_[i]->devices().deliver(p, at);
+        DeviceHub &rx = motes_[i]->devices();
+        if (!faulty) {
+            rx.deliver(p, at);
+            continue;
+        }
+        // Addressed elsewhere: the hub would ignore it anyway — skip
+        // the draw so loss/corruption counters only count packets the
+        // mote would actually have received.
+        if (p.dest != 0xFF && p.dest != rx.nodeId())
+            continue;
+        // Per-link fault draw. Pure function of (seed, src, dst, at,
+        // payload), so serial, lockstep, and window-parallel
+        // schedulers — which all deliver the same (packet, at) pairs
+        // — draw identical faults regardless of call order.
+        RadioFaultDecision d = radioFaultsFor(opts_.faults, p.src,
+                                              rx.nodeId(), at, p.bytes);
+        if (d.drop) {
+            rx.noteDropped();
+            continue;
+        }
+        if (d.corrupt && !p.bytes.empty()) {
+            Packet bad = p;
+            bad.bytes[d.corruptByte % bad.bytes.size()] ^=
+                static_cast<uint8_t>(1u << d.corruptBit);
+            rx.noteCorrupted();
+            rx.deliver(bad, at);
+        } else {
+            rx.deliver(p, at);
+        }
+        if (d.dup) {
+            // The duplicate trails the original by one retransmission
+            // time — strictly later, so lookahead windows stay sound.
+            rx.noteDuplicated();
+            rx.deliver(p, at + DeviceHub::kCyclesPerRadioByte *
+                                   std::max<uint64_t>(1, p.bytes.size()));
+        }
     }
 }
 
@@ -910,8 +1164,37 @@ Network::windowEnd(uint64_t t, uint64_t end) const
     uint64_t te = end;
     for (const auto &m : motes_) {
         const Machine &mote = *m;
-        if (mote.halted() || mote.wedged())
-            continue;  // executes nothing: cannot transmit
+        if (mote.halted())
+            continue;  // permanently dead: cannot transmit
+        if (mote.wedged()) {
+            // A wedged mote executes nothing — unless recovery will
+            // revive it (RebootOnWedge reboots the moment it is next
+            // stepped; a scheduled crash power-cycles it at the fault
+            // time). Earliest possible transmission follows the
+            // reboot latency.
+            uint64_t reviveAt;
+            if (mote.recoveryPolicy() == RecoveryPolicy::RebootOnWedge)
+                reviveAt = mote.cycles() + kRebootLatencyCycles;
+            else if (mote.nextFaultAt() != UINT64_MAX)
+                reviveAt = mote.nextFaultAt() + kRebootLatencyCycles;
+            else
+                continue;  // wedged forever: cannot transmit
+            uint64_t influence = std::max(t, reviveAt) +
+                                 DeviceHub::kCyclesPerRadioByte +
+                                 kAirLatency;
+            if (influence < te)
+                te = influence;
+            continue;
+        }
+        if (mote.down()) {
+            // Mid-reboot: nothing happens until downUntil().
+            uint64_t influence = std::max(t, mote.downUntil()) +
+                                 DeviceHub::kCyclesPerRadioByte +
+                                 kAirLatency;
+            if (influence < te)
+                te = influence;
+            continue;
+        }
         const DeviceHub &dev = mote.devices();
         uint64_t at = dev.nextRxDeliveryAt();
         if (at > t && at < te)
@@ -921,7 +1204,10 @@ Network::windowEnd(uint64_t t, uint64_t end) const
             te = tx + kAirLatency;
         uint64_t wake = t;
         if (mote.sleeping()) {
-            uint64_t next = dev.nextEventAt();
+            // A scheduled crash can cut a sleep short (reboot, then
+            // execute), so the wakeup bound includes the fault time.
+            uint64_t next =
+                std::min(dev.nextEventAt(), mote.nextFaultAt());
             if (next == UINT64_MAX)
                 continue;  // sleeps forever: cannot transmit
             wake = std::max(t, next);
@@ -934,14 +1220,52 @@ Network::windowEnd(uint64_t t, uint64_t end) const
     return std::max(te, t + 1);  // guarantee forward progress
 }
 
+bool
+Network::allMotesDead() const
+{
+    for (const auto &m : motes_) {
+        if (m->halted())
+            continue;
+        // A wedged mote is terminally dead only if nothing can revive
+        // it: no RebootOnWedge policy and no pending fault (a crash
+        // would power-cycle it).
+        if (m->wedged() &&
+            m->recoveryPolicy() != RecoveryPolicy::RebootOnWedge &&
+            m->nextFaultAt() == UINT64_MAX)
+            continue;
+        return false;
+    }
+    return !motes_.empty();
+}
+
+bool
+Network::pastDeadline() const
+{
+    return hasDeadline_ &&
+           std::chrono::steady_clock::now() > deadline_;
+}
+
 void
 Network::runSerial(uint64_t start, uint64_t end)
 {
     for (uint64_t t = start; t < end;) {
+        if (opts_.earlyExit && allMotesDead()) {
+            // Every mote is terminally halted or wedged: one final
+            // fast-forward per mote produces identical stats to
+            // thousands of idle windows.
+            for (auto &m : motes_)
+                m->runUntilCycle(end);
+            return;
+        }
+        if (pastDeadline()) {
+            timedOut_ = true;
+            return;
+        }
         // Clamp the final window so a request that is not a multiple
         // of the window never runs past `end` (it would inflate every
         // duty-cycle measurement).
         uint64_t te = windowEnd(t, end);
+        ++windows_;
         for (auto &m : motes_)
             m->runUntilCycle(te);
         t = te;
@@ -967,11 +1291,18 @@ Network::runParallel(uint64_t start, uint64_t end, unsigned threads)
                                   deliverFrom(i, s.p, s.at);
                               outboxes_[i].clear();
                           }
+                          ++windows_;
                           t = te;
-                          if (t >= end)
+                          if (t >= end) {
                               done = true;
-                          else
+                          } else if (pastDeadline()) {
+                              // noexcept context: flag it; run()
+                              // throws after the joins.
+                              timedOut_ = true;
+                              done = true;
+                          } else {
                               te = windowEnd(t, end);
+                          }
                       });
     auto worker = [&](unsigned tid) {
         // Fixed stride partition: each mote belongs to one thread for
@@ -996,22 +1327,65 @@ Network::runParallel(uint64_t start, uint64_t end, unsigned threads)
 void
 Network::run(uint64_t cycles)
 {
+    if (motes_.empty())
+        return;
     if (!booted_) {
         for (auto &m : motes_)
             m->boot();
         booted_ = true;
+        // Compile the fault campaign against the span of this first
+        // run. Node 1 is the mote under test; companions are faulted
+        // only on request so multi-mote workloads keep a live peer.
+        if (opts_.faults.anyFaults()) {
+            for (auto &m : motes_) {
+                m->setRecoveryPolicy(opts_.faults.recovery);
+                uint8_t nid = m->devices().nodeId();
+                if (opts_.faults.injectsState() &&
+                    (nid == 1 || opts_.faults.faultCompanions)) {
+                    m->setFaultEvents(scheduleFaults(
+                        opts_.faults, nid, m->cycles(),
+                        m->cycles() + cycles));
+                }
+            }
+        }
     }
-    if (motes_.empty())
-        return;
     uint64_t start = motes_[0]->cycles();
     uint64_t end = start + cycles;
     unsigned threads = opts_.threads;
     if (threads > motes_.size())
         threads = static_cast<unsigned>(motes_.size());
-    if (threads > 1 && opts_.lookahead)
-        runParallel(start, end, threads);
-    else
-        runSerial(start, end);
+
+    timedOut_ = false;
+    hasDeadline_ = opts_.wallLimitMs > 0.0;
+    if (hasDeadline_) {
+        deadline_ = std::chrono::steady_clock::now() +
+                    std::chrono::microseconds(static_cast<int64_t>(
+                        opts_.wallLimitMs * 1000.0));
+    }
+    // With a watchdog armed, subdivide the span so even a lone mote
+    // (whose lookahead window is the whole run) hits deadline checks.
+    // Window subdivision is behaviour-transparent: every window
+    // boundary is a pure synchronization point.
+    uint64_t slice = hasDeadline_ ? (uint64_t{1} << 22) : UINT64_MAX;
+    for (uint64_t t = start; t < end && !timedOut_;) {
+        uint64_t stop = end - t > slice ? t + slice : end;
+        if (hasDeadline_ && pastDeadline()) {
+            timedOut_ = true;
+            break;
+        }
+        if (threads > 1 && opts_.lookahead)
+            runParallel(t, stop, threads);
+        else
+            runSerial(t, stop);
+        t = stop;
+    }
+    if (timedOut_) {
+        throw SimAbort(
+            "simulation wall-clock watchdog expired after " +
+            std::to_string(opts_.wallLimitMs) + " ms (simulated " +
+            std::to_string(motes_[0]->cycles() - start) + " of " +
+            std::to_string(cycles) + " cycles)");
+    }
 }
 
 } // namespace stos::sim

@@ -25,6 +25,7 @@
 #ifndef STOS_SIM_MACHINE_H
 #define STOS_SIM_MACHINE_H
 
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -34,6 +35,7 @@
 #include "backend/minstr.h"
 #include "sim/decoded.h"
 #include "sim/devices.h"
+#include "sim/fault.h"
 
 namespace stos::sim {
 
@@ -64,7 +66,47 @@ class Machine {
     bool wedged() const { return wedged_; }
     /** In low-power mode awaiting the next device event. */
     bool sleeping() const { return sleeping_; }
-    uint32_t failedFlid() const { return failedFlid_; }
+    /** Mid-reboot (powered but not executing) until downUntil(). */
+    bool down() const { return down_; }
+    uint64_t downUntil() const { return downUntil_; }
+    /** First recorded trap's FLID (0 = none) — the backward-
+     *  compatible view of the bounded trap log below. */
+    uint32_t
+    failedFlid() const
+    {
+        return trapLog_.empty() ? 0 : trapLog_.front().flid;
+    }
+    /** Bounded log of safety traps (flid, cycle, function index). */
+    const std::vector<TrapEntry> &trapLog() const { return trapLog_; }
+    uint32_t traps() const { return traps_; }
+    uint32_t reboots() const { return reboots_; }
+    uint32_t crashes() const { return crashes_; }
+    uint64_t downCycles() const { return downCycles_; }
+    uint64_t wedgedCycles() const { return wedgedCycles_; }
+    /** Fraction of simulated time spent up (not rebooting/wedged). */
+    double
+    availability() const
+    {
+        if (!cycles_)
+            return 1.0;
+        return static_cast<double>(cycles_ - downCycles_ -
+                                   wedgedCycles_) /
+               static_cast<double>(cycles_);
+    }
+
+    //--- fault injection (sim/fault.h) ----------------------------
+    void setRecoveryPolicy(RecoveryPolicy p) { recovery_ = p; }
+    RecoveryPolicy recoveryPolicy() const { return recovery_; }
+    /** Install the sorted state-fault schedule for this mote. */
+    void setFaultEvents(std::vector<FaultEvent> events);
+    /** Next scheduled state fault (UINT64_MAX = none pending). */
+    uint64_t
+    nextFaultAt() const
+    {
+        return faultIdx_ < faultEvents_.size()
+                   ? faultEvents_[faultIdx_].at
+                   : UINT64_MAX;
+    }
 
     uint64_t cycles() const { return cycles_; }
     uint64_t awakeCycles() const { return cycles_ - sleepCycles_; }
@@ -101,6 +143,13 @@ class Machine {
     void step();
     void dispatchIrqs();
     void enterFunction(uint32_t funcIdx, bool fromIrq);
+    void recordTrap(uint32_t flid, uint32_t pc);
+    void startReboot();
+    void resetMemoryImage();
+    void computeRamSpan();
+    /** Apply every scheduled fault due at the current cycle. */
+    void applyFaultsDue();
+    void applyFault(const FaultEvent &e);
     uint64_t maskFor(uint8_t w) const;
     uint64_t loadMem(uint32_t addr, uint8_t w) const;
     void storeMem(uint32_t addr, uint64_t v, uint8_t w);
@@ -137,8 +186,21 @@ class Machine {
     bool halted_ = false;
     bool wedged_ = false;
     bool sleeping_ = false;
-    uint32_t failedFlid_ = 0;
     uint32_t failFnIdx_ = ~0u;
+    // Fault injection and recovery (sim/fault.h).
+    RecoveryPolicy recovery_ = RecoveryPolicy::Wedge;
+    std::vector<FaultEvent> faultEvents_;
+    size_t faultIdx_ = 0;
+    bool down_ = false;
+    uint64_t downUntil_ = 0;
+    uint64_t downCycles_ = 0;
+    uint64_t wedgedCycles_ = 0;
+    uint32_t reboots_ = 0;
+    uint32_t traps_ = 0;
+    uint32_t crashes_ = 0;
+    std::vector<TrapEntry> trapLog_;
+    /** RAM-global span [dataLo_, dataHi_) memory flips map into. */
+    uint32_t dataLo_ = 0, dataHi_ = 0;
 };
 
 /** Scheduling options for a mote network. */
@@ -160,6 +222,27 @@ struct NetworkOptions {
      * sender order, which is exactly the serial delivery order.
      */
     unsigned threads = 1;
+    /**
+     * Fault campaign for this run: state faults are scheduled per
+     * mote at first run() (node 1 only unless faultCompanions), radio
+     * faults are drawn per delivery, and the recovery policy applies
+     * to every mote. Defaults inject nothing.
+     */
+    FaultOptions faults;
+    /**
+     * Stop windowing once every mote is terminally dead (halted, or
+     * wedged with no pending fault able to revive it): one final
+     * fast-forward per mote replaces thousands of idle windows with
+     * identical final stats.
+     */
+    bool earlyExit = true;
+    /**
+     * Wall-clock watchdog for run(), in milliseconds (0 = off).
+     * run() throws SimAbort when the limit passes — the per-cell
+     * simulation drivers turn that into a failed cell instead of a
+     * hung bench.
+     */
+    double wallLimitMs = 0.0;
 };
 
 /** A network of motes sharing a radio medium, stepped in windows. */
@@ -183,6 +266,8 @@ class Network {
 
     Machine &mote(size_t i) { return *motes_[i]; }
     size_t size() const { return motes_.size(); }
+    /** Scheduling windows opened so far (early-exit regression). */
+    size_t windows() const { return windows_; }
 
   private:
     struct Send {
@@ -195,6 +280,8 @@ class Network {
     uint64_t windowEnd(uint64_t t, uint64_t end) const;
     void runSerial(uint64_t start, uint64_t end);
     void runParallel(uint64_t start, uint64_t end, unsigned threads);
+    bool allMotesDead() const;
+    bool pastDeadline() const;
 
     NetworkOptions opts_;
     std::vector<std::unique_ptr<Machine>> motes_;
@@ -202,6 +289,11 @@ class Network {
     std::vector<std::vector<Send>> outboxes_;
     bool bufferSends_ = false;
     bool booted_ = false;
+    size_t windows_ = 0;
+    // Wall-clock watchdog state for the current run() call.
+    bool hasDeadline_ = false;
+    bool timedOut_ = false;
+    std::chrono::steady_clock::time_point deadline_;
 };
 
 } // namespace stos::sim

@@ -13,7 +13,9 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "sim/fault.h"
 #include "sim/machine.h"
 
 namespace stos::sim {
@@ -25,6 +27,12 @@ struct MoteSnapshot {
     std::string uartLog;
     uint32_t ledWrites = 0, packetsSent = 0, packetsReceived = 0;
     uint32_t adcConversions = 0;
+    // Fault-injection and recovery observables.
+    uint32_t traps = 0, reboots = 0, crashes = 0;
+    uint64_t downCycles = 0, wedgedCycles = 0;
+    std::vector<TrapEntry> trapLog;
+    uint32_t packetsDropped = 0, packetsCorrupted = 0;
+    uint32_t packetsDuplicated = 0;
 
     bool
     operator==(const MoteSnapshot &o) const
@@ -36,7 +44,14 @@ struct MoteSnapshot {
                ledWrites == o.ledWrites &&
                packetsSent == o.packetsSent &&
                packetsReceived == o.packetsReceived &&
-               adcConversions == o.adcConversions;
+               adcConversions == o.adcConversions &&
+               traps == o.traps && reboots == o.reboots &&
+               crashes == o.crashes && downCycles == o.downCycles &&
+               wedgedCycles == o.wedgedCycles &&
+               trapLog == o.trapLog &&
+               packetsDropped == o.packetsDropped &&
+               packetsCorrupted == o.packetsCorrupted &&
+               packetsDuplicated == o.packetsDuplicated;
     }
 };
 
@@ -53,7 +68,16 @@ snapshotOf(const Machine &m)
             m.devices().ledWrites(),
             m.devices().packetsSent(),
             m.devices().packetsReceived(),
-            m.devices().adcConversions()};
+            m.devices().adcConversions(),
+            m.traps(),
+            m.reboots(),
+            m.crashes(),
+            m.downCycles(),
+            m.wedgedCycles(),
+            m.trapLog(),
+            m.devices().packetsDropped(),
+            m.devices().packetsCorrupted(),
+            m.devices().packetsDuplicated()};
 }
 
 } // namespace stos::sim

@@ -52,6 +52,15 @@ expectSame(const MoteStats &a, const MoteStats &b,
     EXPECT_EQ(a.packetsSent, b.packetsSent) << label;
     EXPECT_EQ(a.packetsReceived, b.packetsReceived) << label;
     EXPECT_EQ(a.adcConversions, b.adcConversions) << label;
+    EXPECT_EQ(a.traps, b.traps) << label;
+    EXPECT_EQ(a.reboots, b.reboots) << label;
+    EXPECT_EQ(a.crashes, b.crashes) << label;
+    EXPECT_EQ(a.downCycles, b.downCycles) << label;
+    EXPECT_EQ(a.wedgedCycles, b.wedgedCycles) << label;
+    EXPECT_EQ(a.trapLog.size(), b.trapLog.size()) << label;
+    EXPECT_EQ(a.packetsDropped, b.packetsDropped) << label;
+    EXPECT_EQ(a.packetsCorrupted, b.packetsCorrupted) << label;
+    EXPECT_EQ(a.packetsDuplicated, b.packetsDuplicated) << label;
     EXPECT_TRUE(a == b) << label << " (full snapshot)";
 }
 
