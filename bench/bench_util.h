@@ -123,6 +123,9 @@ emitTo(const std::string &path, Emit emit)
  *                 "mem=8,reg=4,crash=1,loss=0.1,corrupt=0.05,dup=0.02"
  *                 (sim/fault.h taxonomy)
  *   --fault-seed N      campaign seed (re-mixed per matrix cell)
+ *   --fault-companions  also schedule state faults on companion
+ *                 motes (default: node 1 only, so multi-mote
+ *                 workloads keep a live peer)
  *   --recovery=wedge|reboot-on-trap|reboot-on-wedge
  *                 what a mote does when a safety check fires
  *   --cell-timeout SECONDS   wall-clock watchdog per simulated cell
@@ -190,6 +193,8 @@ struct BenchCli {
             } else if (!std::strcmp(argv[i], "--fault-seed") &&
                        i + 1 < argc) {
                 f.faults.seed = std::strtoull(argv[++i], nullptr, 10);
+            } else if (!std::strcmp(argv[i], "--fault-companions")) {
+                f.faults.faultCompanions = true;
             } else if (!std::strncmp(argv[i], "--recovery=", 11)) {
                 if (!sim::parseRecoveryPolicy(argv[i] + 11,
                                               &f.faults.recovery)) {
@@ -209,7 +214,8 @@ struct BenchCli {
                         "[--joined-csv PATH] [--joined-json PATH] "
                         "[--cache-dir PATH] [--cache-stats] "
                         "[--faults=SPEC] [--fault-seed N] "
-                        "[--recovery=POLICY] [--cell-timeout SECS]\n",
+                        "[--fault-companions] [--recovery=POLICY] "
+                        "[--cell-timeout SECS]\n",
                         argv[0]);
                 std::exit(2);
             }

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * CFI overhead figure: code-size and duty-cycle cost of the
+ * control-flow-integrity column family (SafeFlidCfi,
+ * SafeFlidInlineCxpropCfi, CfiOnly) across the whole application
+ * corpus, shown against Baseline and against each column's non-CFI
+ * twin so the marginal cost of the label checks + shadow stack is
+ * visible separately from the memory-safety cost it rides on.
+ *
+ * Unlike the paper-figure benches this one defaults to
+ * --corpus=full: the CFI columns are new work, so the claim is over
+ * all 25 applications, not the paper's twelve. The matrix runs as one
+ * Experiment — the CFI columns carry their own safety/backend stage
+ * fingerprints, so a --cache-dir warm re-run serves every cell from
+ * the artifact store without executing a single stage. `--serial`
+ * gates cell-for-cell equivalence (CFI counters included) against the
+ * cold serial legacy reference.
+ */
+#include "bench_util.h"
+
+#include "support/util.h"
+
+using namespace stos;
+using namespace stos::core;
+using namespace stos::bench;
+
+int
+main(int argc, char **argv)
+{
+    // This figure's default row set is the full corpus; an explicit
+    // --corpus= still wins.
+    bool corpusGiven = false;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strncmp(argv[i], "--corpus=", 9))
+            corpusGiven = true;
+    }
+    BenchCli cli = BenchCli::parse(argc, argv, 3.0);
+    if (!corpusGiven)
+        cli.corpus = "full";
+
+    // Columns: Baseline, then each CFI column preceded by its non-CFI
+    // twin (CfiOnly's twin is Baseline itself).
+    const std::vector<ConfigId> columns = {
+        ConfigId::Baseline,
+        ConfigId::SafeFlid,
+        ConfigId::SafeFlidCfi,
+        ConfigId::SafeFlidInlineCxprop,
+        ConfigId::SafeFlidInlineCxpropCfi,
+        ConfigId::CfiOnly,
+    };
+    // Index of the column each CFI column's marginal cost is measured
+    // against (Baseline-relative indices into `columns`).
+    const size_t cfiCols[] = {2, 4, 5};
+    const size_t twinOf[] = {1, 3, 0};
+
+    Experiment exp(cli.options());
+    exp.addApps(cli.corpusApps());
+    exp.addConfigs(columns);
+
+    printHeader(strfmt("CFI overhead: label checks + shadow stack, "
+                       "%zu apps, %g simulated s",
+                       cli.corpusApps().size(), cli.seconds));
+    ExperimentReport rep;
+    if (int rc = cli.run(exp, rep))
+        return rc;
+
+    const size_t nApps = rep.sims.numApps;
+    const size_t nCols = rep.sims.numConfigs;
+
+    // No cell may trap: the corpus is clean code, so a CFI trap here
+    // is a false positive and the figure is invalid.
+    int rc = 0;
+    for (size_t a = 0; a < nApps; ++a) {
+        for (size_t c = 0; c < nCols; ++c) {
+            const SimRecord &s = rep.sims.at(a, c);
+            if (s.outcome.cfiTraps > 0) {
+                fprintf(stderr,
+                        "FALSE POSITIVE: %s / %s raised %u CFI "
+                        "trap(s) on clean code\n",
+                        s.app.c_str(), s.config.c_str(),
+                        s.outcome.cfiTraps);
+                rc = 1;
+            }
+        }
+    }
+
+    auto codeOf = [&](size_t a, size_t c) {
+        return static_cast<double>(rep.builds.at(a, c).result->codeBytes);
+    };
+    auto dutyOf = [&](size_t a, size_t c) {
+        return rep.sims.at(a, c).outcome.dutyCycle;
+    };
+
+    printf("\nCode size (bytes; %% vs Baseline, [%% vs non-CFI twin]):\n");
+    printf("%-28s %8s |", "application", "base");
+    for (size_t c = 1; c < nCols; ++c)
+        printf(" %-22s", rep.sims.at(0, c).config.c_str());
+    printf("\n");
+    std::vector<double> codeSum(nCols, 0.0), dutySum(nCols, 0.0);
+    for (size_t a = 0; a < nApps; ++a) {
+        printf("%-28s %8.0f |", appLabel(rep.sims.at(a, 0)).c_str(),
+               codeOf(a, 0));
+        for (size_t c = 1; c < nCols; ++c)
+            printf(" %7.0f %5.1f%%        ", codeOf(a, c),
+                   pctChange(codeOf(a, c), codeOf(a, 0)));
+        printf("\n");
+        for (size_t c = 0; c < nCols; ++c) {
+            codeSum[c] += codeOf(a, c);
+            dutySum[c] += dutyOf(a, c);
+        }
+    }
+
+    printf("\nDuty cycle (%% awake; change vs Baseline):\n");
+    printf("%-28s %8s |", "application", "base");
+    for (size_t c = 1; c < nCols; ++c)
+        printf(" %-22s", rep.sims.at(0, c).config.c_str());
+    printf("\n");
+    for (size_t a = 0; a < nApps; ++a) {
+        printf("%-28s %7.2f%% |", appLabel(rep.sims.at(a, 0)).c_str(),
+               100.0 * dutyOf(a, 0));
+        for (size_t c = 1; c < nCols; ++c)
+            printf(" %6.2f%% (%+5.1f%%)      ",
+                   100.0 * dutyOf(a, c),
+                   pctChange(dutyOf(a, c), dutyOf(a, 0)));
+        printf("\n");
+    }
+
+    printf("\nCorpus means (vs Baseline, and vs each CFI column's "
+           "non-CFI twin):\n");
+    for (size_t k = 0; k < 3; ++k) {
+        size_t c = cfiCols[k], t = twinOf[k];
+        printf("  %-26s code %+6.1f%% vs base, %+6.1f%% vs %s; "
+               "duty %+6.2f%% vs base, %+6.2f%% vs twin\n",
+               rep.sims.at(0, c).config.c_str(),
+               pctChange(codeSum[c], codeSum[0]),
+               pctChange(codeSum[c], codeSum[t]),
+               rep.sims.at(0, t).config.c_str(),
+               pctChange(dutySum[c], dutySum[0]),
+               pctChange(dutySum[c], dutySum[t]));
+    }
+    printf("\nExpected shape: label checks are one table load + compare\n"
+           "per indirect call and the shadow stack costs a push/check\n"
+           "per call/return, so the CFI columns track their non-CFI\n"
+           "twins within a few percent on both axes.\n");
+    return rc;
+}

@@ -14,6 +14,7 @@
 #include <map>
 #include <optional>
 
+#include "cfi/cfi.h"
 #include "opt/passes.h"
 #include "safety/runtime.h"
 #include "support/util.h"
@@ -67,7 +68,8 @@ condOf(BinOp op)
 
 class Selector {
   public:
-    Selector(const Module &m, MProgram &prog) : mod_(m), prog_(prog) {}
+    Selector(const Module &m, MProgram &prog, bool cfi)
+        : mod_(m), prog_(prog), cfi_(cfi) {}
 
     MFunc
     select(const Function &f)
@@ -269,6 +271,15 @@ class Selector {
         auto emitTo = [&](MInstr in) { stub.instrs.push_back(in); };
         const Function *failMsg = mod_.findFunc(safety::kFailMsgFn);
         const Function *fail = mod_.findFunc(safety::kFailFn);
+        // Keep the shadow stack balanced: under CFI every executed
+        // Call is preceded by a push, fail-stub calls included.
+        auto pushShadow = [&] {
+            if (cfi_) {
+                MInstr ss;
+                ss.op = MOp::SSPush;
+                emitTo(ss);
+            }
+        };
         if (chk.auxB != 0 && failMsg) {
             // Pass the string's fat pointer per the handler's
             // inferred parameter kind.
@@ -302,6 +313,7 @@ class Selector {
                 sa.w = 16;
                 emitTo(sa);
             }
+            pushShadow();
             MInstr call;
             call.op = MOp::Call;
             call.fn = failMsg->id;
@@ -320,6 +332,7 @@ class Selector {
             sa.ra = r;
             sa.w = 16;
             emitTo(sa);
+            pushShadow();
             MInstr call;
             call.op = MOp::Call;
             call.fn = fail->id;
@@ -702,6 +715,7 @@ class Selector {
                     emit(sa);
                 }
             }
+            emitShadowPush();
             MInstr call;
             call.op = MOp::Call;
             call.fn = in.callee;
@@ -731,6 +745,7 @@ class Selector {
           }
           case Opcode::CallInd: {
             uint32_t ra = valueReg(in.args[0], 16);
+            emitShadowPush();
             MInstr call;
             call.op = MOp::CallR;
             call.ra = ra;
@@ -738,6 +753,16 @@ class Selector {
             break;
           }
           case Opcode::Ret: {
+            if (cfi_ && in.flid != 0) {
+                // Shadow-stack return check: compare the shadow top
+                // against the caller frame before unwinding.
+                MInstr chk;
+                chk.op = MOp::SSChk;
+                chk.target = failStubFor(in);
+                chk.isCheck = true;
+                chk.flid = in.flid;
+                emit(chk);
+            }
             if (!in.args.empty()) {
                 const Type &rt = tt.get(func_->retType);
                 if (rt.kind == TypeKind::Ptr) {
@@ -875,6 +900,44 @@ class Selector {
             emitCheckBranch(ra, MCond::GtU, lim, in.flid, fb);
             break;
           }
+          case Opcode::ChkCfiLabel: {
+            uint32_t fb = failStubFor(in);
+            uint32_t ra = valueReg(in.args[0], 16);
+            uint32_t zero = tempReg();
+            emitLdi(zero, 0, 16);
+            emitCheckBranch(ra, MCond::Eq, zero, in.flid, fb);
+            uint32_t lim = tempReg();
+            emitLdi(lim, static_cast<int64_t>(mod_.funcs().size()), 16);
+            emitCheckBranch(ra, MCond::GtU, lim, in.flid, fb);
+            // label = table[id]: byte load from the ROM label table.
+            uint32_t tbl = tempReg();
+            MInstr lea;
+            lea.op = MOp::Lea;
+            lea.rd = tbl;
+            lea.gid = in.args[1].index;
+            lea.w = 16;
+            emit(lea);
+            uint32_t addr = tempReg();
+            MInstr add;
+            add.op = MOp::Add;
+            add.rd = addr;
+            add.ra = tbl;
+            add.rb = ra;
+            add.w = 16;
+            emit(add);
+            uint32_t lab = tempReg();
+            MInstr ld;
+            ld.op = MOp::Ld;
+            ld.rd = lab;
+            ld.ra = addr;
+            ld.w = 8;
+            ld.romData = true;
+            emit(ld);
+            uint32_t exp = tempReg();
+            emitLdi(exp, in.auxA, 16);
+            emitCheckBranch(lab, MCond::Ne, exp, in.flid, fb);
+            break;
+          }
           case Opcode::ChkAlign: {
             uint32_t fb = failStubFor(in);
             uint32_t base = regsOf(in.args[0].index);
@@ -965,6 +1028,17 @@ class Selector {
         return irqSave_;
     }
 
+    /** Under CFI, every call site pushes onto the shadow stack. */
+    void
+    emitShadowPush()
+    {
+        if (!cfi_)
+            return;
+        MInstr ss;
+        ss.op = MOp::SSPush;
+        emit(ss);
+    }
+
     /** Is this address chain rooted at a ROM global? */
     bool
     loadsRom(uint32_t vreg) const
@@ -1012,6 +1086,7 @@ class Selector {
     std::vector<MBlock> failBlocks_;
     uint32_t nextReg_ = 0;
     uint32_t irqSave_ = ~0u;
+    bool cfi_ = false;
 };
 
 } // namespace
@@ -1028,9 +1103,27 @@ compileToTarget(Module &m, const TargetInfo &target,
     MProgram prog;
     prog.target = target;
 
+    // FLID -> trap-kind table, and whether the module carries CFI
+    // instrumentation (the CFI pass stamps every return site, so a
+    // cfi-ret entry is present iff CFI ran — even with no indirect
+    // calls). The flid table is never pruned, so this survives DCE.
+    bool hasCfi = false;
+    prog.flidKinds.assign(m.flidTable().size() + 1, kTrapKindMemory);
+    for (const auto &e : m.flidTable()) {
+        if (e.flid >= prog.flidKinds.size())
+            prog.flidKinds.resize(e.flid + 1, kTrapKindMemory);
+        if (e.checkKind == cfi::kForwardKind) {
+            prog.flidKinds[e.flid] = kTrapKindCfiForward;
+            hasCfi = true;
+        } else if (e.checkKind == cfi::kReturnKind) {
+            prog.flidKinds[e.flid] = kTrapKindCfiReturn;
+            hasCfi = true;
+        }
+    }
+
     // Map module function ids to program indices (live funcs only).
     std::map<uint32_t, uint32_t> funcIndex;
-    Selector sel(m, prog);
+    Selector sel(m, prog, hasCfi);
     for (const auto &f : m.funcs()) {
         if (f.dead)
             continue;

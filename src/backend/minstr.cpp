@@ -82,6 +82,10 @@ MProgram::instrBytes(const MInstr &in) const
         return 2;
       case MOp::Nop:
         return 2;
+      case MOp::SSPush:
+        return 2;  // push one id word to the shadow region
+      case MOp::SSChk:
+        return 6;  // load shadow top, compare, branch
       case MOp::Halt:
         return 0;  // simulator sentinel, not a real instruction
     }
@@ -138,6 +142,10 @@ MProgram::instrCycles(const MInstr &in) const
         return 1;
       case MOp::Nop:
         return 1;
+      case MOp::SSPush:
+        return 3;
+      case MOp::SSChk:
+        return 5;
       case MOp::Halt:
         return 0;  // simulator sentinel, not a real instruction
     }
@@ -206,7 +214,8 @@ MProgram::survivingCheckBranches() const
     for (const auto &f : funcs) {
         for (const auto &bb : f.blocks) {
             for (const auto &in : bb.instrs) {
-                if (in.isCheck && in.op == MOp::CmpBr)
+                if (in.isCheck &&
+                    (in.op == MOp::CmpBr || in.op == MOp::SSChk))
                     ++n;
             }
         }

@@ -49,6 +49,19 @@ enum class MOp : uint8_t {
     Sleep,
     Nop,
     /**
+     * CFI shadow stack: push the current function's id onto the
+     * shadow region. Emitted immediately before every Call/CallR when
+     * the program carries CFI instrumentation.
+     */
+    SSPush,
+    /**
+     * CFI shadow stack: compare the shadow top against the caller
+     * frame's function id; on mismatch branch to `target` (the
+     * return-site fail stub). The pop itself is implicit in Ret (the
+     * epilogue unwinds the shadow region with the hardware stack).
+     */
+    SSChk,
+    /**
      * Simulator-internal sentinel: falling off the end of a function
      * halts the machine. Never emitted by the backend; appended by
      * sim::DecodedProgram when it flattens a function's blocks so the
@@ -128,10 +141,24 @@ struct MProgram {
     uint32_t romDataBytes() const;  ///< flash-resident data
     uint32_t flashBytes() const { return codeBytes() + romDataBytes(); }
 
+    /**
+     * FLID -> trap-kind lookup (index = flid; 0 = memory-safety,
+     * 1 = cfi-fnptr, 2 = cfi-ret). Lets the simulator stamp trap-log
+     * entries with a distinguishable CFI trap code.
+     */
+    std::vector<uint8_t> flidKinds;
+
     /** Surviving unique check-tag strings (Figure 2 methodology). */
     uint32_t survivingCheckTags() const;
     /** Surviving dynamic-check branch instructions. */
     uint32_t survivingCheckBranches() const;
+};
+
+/** Trap-kind codes stored in MProgram::flidKinds. */
+enum : uint8_t {
+    kTrapKindMemory = 0,
+    kTrapKindCfiForward = 1,
+    kTrapKindCfiReturn = 2,
 };
 
 } // namespace stos::backend

@@ -147,6 +147,7 @@ writeProgram(BinWriter &w, const MProgram &p)
     w.u32(p.ramDataEnd);
     w.u32(p.romDataBase);
     w.u32(p.romDataEnd);
+    w.bytes(p.flidKinds);
 }
 
 MProgram
@@ -181,6 +182,7 @@ readProgram(BinReader &r)
     p.ramDataEnd = r.u32();
     p.romDataBase = r.u32();
     p.romDataEnd = r.u32();
+    p.flidKinds = r.bytes();
     return p;
 }
 

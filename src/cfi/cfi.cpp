@@ -1,0 +1,389 @@
+/**
+ * @file
+ * Forward-edge CFI label assignment and check insertion.
+ */
+#include "cfi/cfi.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "safety/flid.h"
+#include "support/util.h"
+
+namespace stos::cfi {
+
+using namespace stos::ir;
+using namespace stos::analysis;
+
+namespace {
+
+/**
+ * Flow-insensitive function-pointer dataflow. Function ids only enter
+ * a program through `Func` operands (global initializers are plain
+ * bytes and the frontend never bakes ids into them — the same
+ * invariant CallGraph's address-taken scan relies on), so tracking
+ * where those operands flow gives per-call-site target sets. Flows
+ * through memory use the points-to analysis to name the objects; any
+ * flow the model cannot follow degrades that site (or the whole
+ * module) to the conservative all-address-taken set.
+ */
+class FnPtrFlow {
+  public:
+    FnPtrFlow(const Module &m, const PointsTo &pts) : mod_(m), pts_(pts)
+    {
+        vsets_.resize(m.funcs().size());
+        vunknown_.resize(m.funcs().size());
+        for (const auto &f : m.funcs()) {
+            vsets_[f.id].resize(f.vregs.size());
+            vunknown_[f.id].assign(f.vregs.size(), 0);
+        }
+        retSets_.resize(m.funcs().size());
+        retUnknown_.assign(m.funcs().size(), 0);
+        solve();
+    }
+
+    /** Possible targets of the fnptr vreg; unknown => fall back. */
+    const std::set<uint32_t> &targets(uint32_t fn, uint32_t vreg) const
+    {
+        return vsets_[fn][vreg];
+    }
+    bool unknown(uint32_t fn, uint32_t vreg) const
+    {
+        return moduleUnknown_ || vunknown_[fn][vreg] != 0;
+    }
+
+  private:
+    struct Val {
+        std::set<uint32_t> fns;
+        bool unknown = false;
+    };
+
+    Val
+    operandVal(uint32_t fn, const Operand &op) const
+    {
+        Val v;
+        if (op.isFunc()) {
+            v.fns.insert(op.index);
+        } else if (op.isVReg()) {
+            v.fns = vsets_[fn][op.index];
+            v.unknown = vunknown_[fn][op.index] != 0;
+        }
+        return v;
+    }
+
+    bool
+    mergeInto(std::set<uint32_t> &dst, char &dstUnknown, const Val &v)
+    {
+        bool changed = false;
+        for (uint32_t f : v.fns)
+            changed |= dst.insert(f).second;
+        if (v.unknown && !dstUnknown) {
+            dstUnknown = 1;
+            changed = true;
+        }
+        return changed;
+    }
+
+    bool
+    mergeVreg(uint32_t fn, uint32_t vreg, const Val &v)
+    {
+        if (v.fns.empty() && !v.unknown)
+            return false;
+        return mergeInto(vsets_[fn][vreg], vunknown_[fn][vreg], v);
+    }
+
+    void
+    solve()
+    {
+        bool changed = true;
+        while (changed && !moduleUnknown_) {
+            changed = false;
+            for (const auto &f : mod_.funcs()) {
+                if (f.dead)
+                    continue;
+                for (const auto &bb : f.blocks)
+                    for (const auto &in : bb.instrs)
+                        changed |= transfer(f, in);
+            }
+        }
+    }
+
+    bool
+    transfer(const Function &f, const Instr &in)
+    {
+        switch (in.op) {
+          case Opcode::Mov:
+          case Opcode::Cast:
+          case Opcode::ConstI:
+            if (in.hasDst())
+                return mergeVreg(f.id, in.dst,
+                                 operandVal(f.id, in.args[0]));
+            return false;
+          case Opcode::Load: {
+            if (!in.hasDst() || !in.args[0].isVReg())
+                return false;
+            PtsSet objs = pts_.accessTargets(f.id, in.args[0].index);
+            Val v;
+            for (const MemObj &o : objs) {
+                if (o.kind == MemObj::Universal) {
+                    v.unknown = true;
+                    continue;
+                }
+                auto it = objSets_.find(o);
+                if (it != objSets_.end())
+                    v.fns.insert(it->second.begin(), it->second.end());
+                if (objUnknown_.count(o))
+                    v.unknown = true;
+            }
+            return mergeVreg(f.id, in.dst, v);
+          }
+          case Opcode::Store: {
+            Val v = operandVal(f.id, in.args[1]);
+            if (v.fns.empty() && !v.unknown)
+                return false;
+            if (!in.args[0].isVReg())
+                return setModuleUnknown();
+            PtsSet objs = pts_.accessTargets(f.id, in.args[0].index);
+            bool changed = false;
+            if (PointsTo::hasUniversal(objs)) {
+                // A fnptr escapes to unknown memory: give up globally.
+                changed |= setModuleUnknown();
+            }
+            for (const MemObj &o : objs) {
+                if (o.kind == MemObj::Universal)
+                    continue;
+                for (uint32_t fn : v.fns)
+                    changed |= objSets_[o].insert(fn).second;
+                if (v.unknown)
+                    changed |= objUnknown_.insert(o).second;
+            }
+            return changed;
+          }
+          case Opcode::Call: {
+            const Function &callee = mod_.funcAt(in.callee);
+            bool changed = false;
+            for (size_t i = 0;
+                 i < in.args.size() && i < callee.params.size(); ++i) {
+                changed |= mergeVreg(callee.id, callee.params[i],
+                                     operandVal(f.id, in.args[i]));
+            }
+            if (in.hasDst()) {
+                Val v;
+                v.fns = retSets_[in.callee];
+                v.unknown = retUnknown_[in.callee] != 0;
+                changed |= mergeVreg(f.id, in.dst, v);
+            }
+            return changed;
+          }
+          case Opcode::CallInd:
+            // Indirect callees take no arguments (the verifier pins
+            // CallInd to one operand, the fnptr itself); a dst would
+            // come from an unknown callee.
+            if (in.hasDst() && !vunknown_[f.id][in.dst]) {
+                vunknown_[f.id][in.dst] = 1;
+                return true;
+            }
+            return false;
+          case Opcode::Ret:
+            if (!in.args.empty()) {
+                Val v = operandVal(f.id, in.args[0]);
+                if (!v.fns.empty() || v.unknown)
+                    return mergeInto(retSets_[f.id], retUnknown_[f.id],
+                                     v);
+            }
+            return false;
+          default:
+            // Any other use of a function address (e.g. arithmetic on
+            // it) is a flow the model cannot follow.
+            for (const auto &a : in.args) {
+                if (a.isFunc())
+                    return setModuleUnknown();
+            }
+            return false;
+        }
+    }
+
+    bool
+    setModuleUnknown()
+    {
+        if (moduleUnknown_)
+            return false;
+        moduleUnknown_ = true;
+        return true;
+    }
+
+    const Module &mod_;
+    const PointsTo &pts_;
+    std::vector<std::vector<std::set<uint32_t>>> vsets_;
+    std::vector<std::vector<char>> vunknown_;
+    std::map<MemObj, std::set<uint32_t>> objSets_;
+    std::set<MemObj> objUnknown_;
+    std::vector<std::set<uint32_t>> retSets_;
+    std::vector<char> retUnknown_;
+    bool moduleUnknown_ = false;
+};
+
+/** Union-find over function ids. */
+class UnionFind {
+  public:
+    explicit UnionFind(size_t n) : parent_(n)
+    {
+        for (size_t i = 0; i < n; ++i)
+            parent_[i] = static_cast<uint32_t>(i);
+    }
+    uint32_t find(uint32_t x)
+    {
+        while (parent_[x] != x) {
+            parent_[x] = parent_[parent_[x]];
+            x = parent_[x];
+        }
+        return x;
+    }
+    void unite(uint32_t a, uint32_t b)
+    {
+        a = find(a);
+        b = find(b);
+        if (a != b)
+            parent_[std::max(a, b)] = std::min(a, b);
+    }
+
+  private:
+    std::vector<uint32_t> parent_;
+};
+
+} // namespace
+
+CfiInfo
+applyCfi(Module &m, const CallGraph &cg, const PointsTo &pts,
+         const SourceManager *sm)
+{
+    CfiInfo info;
+    const uint32_t numFuncs = static_cast<uint32_t>(m.funcs().size());
+
+    FnPtrFlow flow(m, pts);
+    const std::vector<uint32_t> &allTaken = cg.addressTaken();
+
+    // Per-site target sets, falling back to every address-taken
+    // function when the dataflow lost track.
+    struct Site {
+        uint32_t func;
+        std::set<uint32_t> targets;
+    };
+    std::vector<Site> sites;
+    for (const auto &f : m.funcs()) {
+        if (f.dead || f.attrs.isRuntime)
+            continue;
+        for (const auto &bb : f.blocks) {
+            for (const auto &in : bb.instrs) {
+                if (in.op != Opcode::CallInd || !in.args[0].isVReg())
+                    continue;
+                Site s;
+                s.func = f.id;
+                const auto &ts = flow.targets(f.id, in.args[0].index);
+                if (flow.unknown(f.id, in.args[0].index) || ts.empty())
+                    s.targets.insert(allTaken.begin(), allTaken.end());
+                else
+                    s.targets = ts;
+                sites.push_back(std::move(s));
+            }
+        }
+    }
+
+    // Merge overlapping site sets: a function carries exactly one
+    // label, so any two sites sharing a target share a class.
+    UnionFind uf(numFuncs ? numFuncs : 1);
+    for (const auto &s : sites) {
+        if (s.targets.empty())
+            continue;
+        uint32_t first = *s.targets.begin();
+        for (uint32_t t : s.targets)
+            uf.unite(first, t);
+    }
+
+    // Deterministic label assignment: class roots in ascending
+    // function-id order get labels 1, 2, ...; address-taken functions
+    // never seen at a call site get fresh singleton labels (calling
+    // them indirectly contradicts the analysis and must trap);
+    // functions whose address is never taken keep label 0 (invalid
+    // forward-edge target).
+    std::set<uint32_t> inSomeSite;
+    for (const auto &s : sites)
+        inSomeSite.insert(s.targets.begin(), s.targets.end());
+
+    std::vector<uint32_t> label(numFuncs, 0);
+    std::map<uint32_t, uint32_t> rootLabel;
+    uint32_t next = 1;
+    for (uint32_t fn = 0; fn < numFuncs; ++fn) {
+        if (inSomeSite.count(fn)) {
+            uint32_t root = uf.find(fn);
+            auto [it, fresh] = rootLabel.try_emplace(root, next);
+            if (fresh)
+                ++next;
+            label[fn] = it->second;
+        } else if (cg.isAddressTaken(fn)) {
+            label[fn] = next++;
+        }
+    }
+    // The table stores labels as bytes; with more than 255 classes
+    // (never seen on the corpus) collapse to the single-class scheme,
+    // which is the sound coarse fallback.
+    if (next > 256) {
+        for (uint32_t fn = 0; fn < numFuncs; ++fn)
+            label[fn] = label[fn] ? 1 : 0;
+        next = 2;
+    }
+    info.classes = next - 1;
+
+    // Materialize the ROM label table, indexed by runtime fnptr id
+    // (funcId + 1; slot 0 stays 0 = never a valid target).
+    Global g;
+    g.name = kLabelTableName;
+    g.type = m.types().arrayTy(m.types().u8(), numFuncs + 1);
+    g.section = Section::Rom;
+    g.init.assign(numFuncs + 1, 0);
+    for (uint32_t fn = 0; fn < numFuncs; ++fn)
+        g.init[fn + 1] = static_cast<uint8_t>(label[fn]);
+    uint32_t tableGid = m.addGlobal(std::move(g));
+
+    // Insert the forward-edge check before every indirect call and
+    // stamp every return site with a cfi-ret FLID for the backend
+    // shadow-stack check.
+    size_t siteIdx = 0;
+    for (auto &f : m.funcs()) {
+        if (f.dead || f.attrs.isRuntime)
+            continue;
+        for (auto &bb : f.blocks) {
+            std::vector<Instr> out;
+            out.reserve(bb.instrs.size());
+            for (auto &in : bb.instrs) {
+                if (in.op == Opcode::CallInd && in.args[0].isVReg()) {
+                    const Site &s = sites.at(siteIdx++);
+                    uint32_t expected =
+                        s.targets.empty() ? 0
+                                          : label[*s.targets.begin()];
+                    Instr chk;
+                    chk.op = Opcode::ChkCfiLabel;
+                    chk.args = {in.args[0],
+                                Operand::global(tableGid)};
+                    chk.auxA = expected;
+                    chk.loc = in.loc;
+                    chk.flid = safety::allocFlid(m, sm, in.loc,
+                                                 kForwardKind, f.name);
+                    out.push_back(chk);
+                    ++info.forwardChecks;
+                } else if (in.op == Opcode::Ret && in.flid == 0) {
+                    in.flid = safety::allocFlid(m, sm, in.loc,
+                                                kReturnKind, f.name);
+                    ++info.returnSites;
+                }
+                out.push_back(in);
+            }
+            bb.instrs = std::move(out);
+        }
+    }
+    return info;
+}
+
+} // namespace stos::cfi

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Control-flow integrity pass (forward edges).
+ *
+ * Computes equivalence classes of indirect-call targets from the
+ * whole-program call graph and a function-pointer dataflow seeded by
+ * the points-to analysis, assigns each class a label, materializes the
+ * label table as a ROM global (`__cfi_labels`, indexed by runtime
+ * function id), and inserts a `chk_cfi_label` before every indirect
+ * call in live non-runtime functions. Return edges are protected by a
+ * backend shadow stack (see src/backend/isel.cpp); this pass stamps
+ * every return site with a "cfi-ret" FLID so the backend knows where
+ * to emit the compare-and-trap and so traps decode to a source line.
+ *
+ * The mechanism pair (labels forward, shadow stack backward) follows
+ * the classic label-based CFI design; the class computation reuses
+ * `src/analysis/` exactly as the memory-safety checks do.
+ */
+#ifndef STOS_CFI_CFI_H
+#define STOS_CFI_CFI_H
+
+#include <cstdint>
+
+#include "analysis/callgraph.h"
+#include "analysis/pointsto.h"
+#include "ir/module.h"
+#include "support/source_loc.h"
+
+namespace stos::cfi {
+
+/** Name of the ROM label table global (index = runtime fnptr id). */
+inline constexpr const char *kLabelTableName = "__cfi_labels";
+
+/** FLID check-kind strings for the two CFI edge kinds. */
+inline constexpr const char *kForwardKind = "cfi-fnptr";
+inline constexpr const char *kReturnKind = "cfi-ret";
+
+/** What the pass did, folded into the SafetyReport by the caller. */
+struct CfiInfo {
+    uint32_t classes = 0;        ///< distinct forward-edge labels
+    uint32_t forwardChecks = 0;  ///< chk_cfi_label instrs inserted
+    uint32_t returnSites = 0;    ///< rets stamped for the shadow stack
+};
+
+/**
+ * Instrument the module in place. `cg` / `pts` must have been built on
+ * the current module contents.
+ */
+CfiInfo applyCfi(ir::Module &m, const analysis::CallGraph &cg,
+                 const analysis::PointsTo &pts,
+                 const SourceManager *sm = nullptr);
+
+} // namespace stos::cfi
+
+#endif

@@ -1,16 +1,13 @@
 /**
  * @file
- * Build-matrix vocabulary (BuildReport emitters, equivalence helpers)
- * plus the deprecated BuildDriver shim. The batch-compile engine
- * itself lives in core/experiment.cpp; every run entry point below
- * constructs an equivalent build-only Experiment and forwards.
+ * Build-matrix vocabulary: BuildReport emitters and the BuildDriver
+ * equivalence helpers. The batch-compile engine itself lives in
+ * core/experiment.cpp; declare matrices on an Experiment directly.
  */
 #include "core/driver.h"
 
 #include <ostream>
 
-#include "core/experiment.h"
-#include "core/stagecache.h"
 #include "ir/printer.h"
 #include "support/util.h"
 
@@ -159,145 +156,6 @@ BuildReport::emitJson(std::ostream &os) const
            << (i + 1 < records.size() ? "," : "") << "\n";
     }
     os << "  ]\n}\n";
-}
-
-//---------------------------------------------------------------------
-// Matrix configuration
-//---------------------------------------------------------------------
-
-BuildDriver &
-BuildDriver::addApp(const tinyos::AppInfo &app)
-{
-    apps_.push_back(app);
-    return *this;
-}
-
-BuildDriver &
-BuildDriver::addApps(const std::vector<tinyos::AppInfo> &apps)
-{
-    for (const auto &a : apps)
-        apps_.push_back(a);
-    return *this;
-}
-
-BuildDriver &
-BuildDriver::addAllApps()
-{
-    return addApps(tinyos::allApps());
-}
-
-BuildDriver &
-BuildDriver::addConfig(ConfigId id)
-{
-    configs_.push_back(
-        {configName(id), [id](const std::string &platform) {
-             return configFor(id, platform);
-         }});
-    return *this;
-}
-
-BuildDriver &
-BuildDriver::addConfigs(const std::vector<ConfigId> &ids)
-{
-    for (ConfigId id : ids)
-        addConfig(id);
-    return *this;
-}
-
-BuildDriver &
-BuildDriver::addStrategy(CheckStrategy s)
-{
-    configs_.push_back(
-        {strategyName(s), [s](const std::string &platform) {
-             return configForStrategy(s, platform);
-         }});
-    return *this;
-}
-
-BuildDriver &
-BuildDriver::addStrategies(const std::vector<CheckStrategy> &ss)
-{
-    for (CheckStrategy s : ss)
-        addStrategy(s);
-    return *this;
-}
-
-BuildDriver &
-BuildDriver::addCustom(std::string label,
-                       std::function<PipelineConfig(const std::string &)>
-                           make)
-{
-    configs_.push_back({std::move(label), std::move(make)});
-    return *this;
-}
-
-//---------------------------------------------------------------------
-// Execution: deprecated shims over the Experiment engine
-//---------------------------------------------------------------------
-
-namespace {
-
-/** Recreate this driver's matrix as a build-only Experiment. */
-Experiment
-asExperiment(const DriverOptions &opts,
-             const std::vector<tinyos::AppInfo> &apps,
-             const std::vector<ConfigSpec> &configs)
-{
-    Experiment exp;
-    exp.options().jobs = opts.jobs;
-    exp.options().memoize = opts.memoizeFrontend;
-    exp.options().simulate = false;
-    exp.addApps(apps);
-    for (const auto &spec : configs)
-        exp.addCustom(spec.label, spec.make);
-    return exp;
-}
-
-} // namespace
-
-BuildReport
-BuildDriver::run() const
-{
-    return asExperiment(opts_, apps_, configs_).run().builds;
-}
-
-BuildReport
-BuildDriver::run(StageCache &cache) const
-{
-    // The historical contract: the caller's cache is always consulted,
-    // regardless of the memoize flag (which only governed run()).
-    return asExperiment(opts_, apps_, configs_).buildMatrix(cache);
-}
-
-//---------------------------------------------------------------------
-// Canned matrices (deprecated shims)
-//---------------------------------------------------------------------
-
-BuildReport
-BuildDriver::figure3Matrix(DriverOptions opts)
-{
-    Experiment exp;
-    exp.options().jobs = opts.jobs;
-    exp.options().memoize = opts.memoizeFrontend;
-    exp.options().simulate = false;
-    exp.addAllApps();
-    exp.addConfig(ConfigId::Baseline);
-    exp.addConfigs(figure3Configs());
-    return exp.run().builds;
-}
-
-BuildReport
-BuildDriver::figure2Matrix(DriverOptions opts)
-{
-    Experiment exp;
-    exp.options().jobs = opts.jobs;
-    exp.options().memoize = opts.memoizeFrontend;
-    exp.options().simulate = false;
-    exp.addAllApps();
-    exp.addStrategies({CheckStrategy::GccOnly, CheckStrategy::CcuredOpt,
-                       CheckStrategy::CcuredOptCxprop,
-                       CheckStrategy::CcuredOptInlineCxprop});
-    return exp.run().builds;
 }
 
 //---------------------------------------------------------------------

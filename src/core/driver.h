@@ -1,12 +1,10 @@
 /**
  * @file
  * The build-matrix vocabulary (ConfigSpec / BuildRecord /
- * BuildReport) shared by the Experiment facade, plus BuildDriver — a
- * deprecated compatibility shim whose entry points forward to
- * Experiment. The actual batch-compile engine (worker pool,
+ * BuildReport) shared by the Experiment facade, plus the BuildDriver
+ * equivalence helpers. The actual batch-compile engine (worker pool,
  * StageCache accounting, ArtifactStore plumbing) lives in
- * core/experiment.cpp; new code should declare matrices on an
- * Experiment directly.
+ * core/experiment.cpp; declare matrices on an Experiment directly.
  */
 #ifndef STOS_CORE_DRIVER_H
 #define STOS_CORE_DRIVER_H
@@ -20,8 +18,6 @@
 #include "core/pipeline.h"
 
 namespace stos::core {
-
-class StageCache;
 
 struct DriverOptions {
     /** Worker threads; 0 = std::thread::hardware_concurrency(). */
@@ -117,65 +113,15 @@ struct BuildReport {
 };
 
 /**
- * Batch compiler — now a deprecated compatibility shim. The build
- * engine (worker pool, stage-cache accounting, artifact-store
- * plumbing) lives in the Experiment facade (core/experiment.h); the
- * run()/figure matrix entry points below construct an equivalent
- * build-only Experiment and forward. The declaration builders and the
- * equivalence helpers (resultsEquivalent / recordsEquivalent) are not
- * deprecated — they are the shared vocabulary both APIs use.
- *
- * Migration: `BuildDriver d(opts); d.addX(...); d.run()` becomes
- * `Experiment e; e.options().jobs = ...; e.options().simulate =
- * false; e.addX(...); e.run().builds`.
+ * Build-matrix equivalence vocabulary. The batch-compile engine
+ * (worker pool, stage-cache accounting, artifact-store plumbing)
+ * lives in the Experiment facade (core/experiment.h); declare
+ * matrices on an Experiment directly. The parallel/memoized build
+ * paths are gated against the serial reference with the helpers
+ * below.
  */
 class BuildDriver {
   public:
-    explicit BuildDriver(DriverOptions opts = {}) : opts_(opts) {}
-
-    BuildDriver &addApp(const tinyos::AppInfo &app);
-    BuildDriver &addApps(const std::vector<tinyos::AppInfo> &apps);
-    /** The whole registry corpus (paper + expanded families). */
-    BuildDriver &addAllApps();
-
-    BuildDriver &addConfig(ConfigId id);
-    BuildDriver &addConfigs(const std::vector<ConfigId> &ids);
-    BuildDriver &addStrategy(CheckStrategy s);
-    BuildDriver &addStrategies(const std::vector<CheckStrategy> &ss);
-    /** Arbitrary column, e.g. an ablation tweak of a named config. */
-    BuildDriver &
-    addCustom(std::string label,
-              std::function<PipelineConfig(const std::string &)> make);
-
-    size_t numApps() const { return apps_.size(); }
-    size_t numConfigs() const { return configs_.size(); }
-    const std::vector<tinyos::AppInfo> &apps() const { return apps_; }
-    const std::vector<ConfigSpec> &configs() const { return configs_; }
-    DriverOptions &options() { return opts_; }
-
-    /** Run the matrix over a fresh per-run StageCache. */
-    [[deprecated("use Experiment (core/experiment.h): set "
-                 "options().simulate = false and call run()")]]
-    BuildReport run() const;
-    /**
-     * As above, but stage products come from (and persist in) the
-     * caller's cache, so repeated runs rebuild nothing. The report's
-     * per-stage run counters cover this run only.
-     */
-    [[deprecated("use Experiment::buildMatrix(StageCache&) "
-                 "(core/experiment.h)")]]
-    BuildReport run(StageCache &cache) const;
-
-    /** All apps × (baseline + the seven Figure-3 configurations). */
-    [[deprecated("use Experiment: addAllApps() + "
-                 "addConfig(ConfigId::Baseline) + "
-                 "addConfigs(figure3Configs())")]]
-    static BuildReport figure3Matrix(DriverOptions opts = {});
-    /** All apps × the four Figure-2 check-elimination strategies. */
-    [[deprecated("use Experiment: addAllApps() + the four "
-                 "Figure-2 strategies via addStrategies()")]]
-    static BuildReport figure2Matrix(DriverOptions opts = {});
-
     /**
      * Deep equivalence of two build results (sizes, reports,
      * surviving checks, final IR text). `why` gets the first
@@ -188,11 +134,6 @@ class BuildDriver {
     static bool recordsEquivalent(const BuildRecord &a,
                                   const BuildRecord &b,
                                   std::string *why = nullptr);
-
-  private:
-    DriverOptions opts_;
-    std::vector<tinyos::AppInfo> apps_;
-    std::vector<ConfigSpec> configs_;
 };
 
 } // namespace stos::core

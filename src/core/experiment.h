@@ -15,7 +15,8 @@
  * Point options().cache.dir at a directory and every stage product
  * persists on disk under its content key — a second process (or CI
  * run) over the same matrix executes zero stages. BuildDriver and
- * SimDriver remain only as deprecated shims forwarding here.
+ * SimDriver survive only as the static equivalence helpers the
+ * serial/parallel gates are phrased in.
  *
  * Typical use (what every figure bench does via BenchCli):
  *

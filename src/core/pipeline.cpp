@@ -29,6 +29,10 @@ configName(ConfigId id)
         return "safe, FLIDs, inline+cXprop";
       case ConfigId::UnsafeInlineCxprop:
         return "unsafe, inline+cXprop";
+      case ConfigId::SafeFlidCfi: return "safe, FLIDs, CFI";
+      case ConfigId::SafeFlidInlineCxpropCfi:
+        return "safe, FLIDs, inline+cXprop, CFI";
+      case ConfigId::CfiOnly: return "CFI only";
     }
     return "?";
 }
@@ -41,6 +45,17 @@ figure3Configs()
         ConfigId::SafeTerse,          ConfigId::SafeFlid,
         ConfigId::SafeFlidCxprop,     ConfigId::SafeFlidInlineCxprop,
         ConfigId::UnsafeInlineCxprop,
+    };
+    return configs;
+}
+
+const std::vector<ConfigId> &
+cfiConfigs()
+{
+    static const std::vector<ConfigId> configs = {
+        ConfigId::SafeFlidCfi,
+        ConfigId::SafeFlidInlineCxpropCfi,
+        ConfigId::CfiOnly,
     };
     return configs;
 }
@@ -98,6 +113,21 @@ configFor(ConfigId id, const std::string &platform)
         cfg.safe = false;
         cfg.runCxprop = true;
         cfg.cxprop.inlineFirst = true;
+        break;
+      case ConfigId::SafeFlidCfi:
+        cfg.safety.errorMode = safety::ErrorMode::Flid;
+        cfg.safety.cfi = true;
+        break;
+      case ConfigId::SafeFlidInlineCxpropCfi:
+        cfg.safety.errorMode = safety::ErrorMode::Flid;
+        cfg.safety.cfi = true;
+        cfg.runCxprop = true;
+        cfg.cxprop.inlineFirst = true;
+        break;
+      case ConfigId::CfiOnly:
+        cfg.safety.errorMode = safety::ErrorMode::Flid;
+        cfg.safety.cfi = true;
+        cfg.safety.memoryChecks = false;
         break;
     }
     return cfg;
@@ -226,10 +256,12 @@ safetyFingerprint(const PipelineConfig &cfg)
     if (!cfg.safe)
         return "unsafe";
     const safety::SafetyConfig &s = cfg.safety;
-    return strfmt("safe:mode=%d,ccopt=%d,naive=%d,tags=%d,lock=%d,%s",
+    return strfmt("safe:mode=%d,ccopt=%d,naive=%d,tags=%d,lock=%d,"
+                  "mem=%d,cfi=%d,%s",
                   static_cast<int>(s.errorMode),
                   s.ccuredOptimizer ? 1 : 0, s.naiveRuntime ? 1 : 0,
                   s.insertCheckTags ? 1 : 0, s.lockRacyChecks ? 1 : 0,
+                  s.memoryChecks ? 1 : 0, s.cfi ? 1 : 0,
                   concurrencyFingerprint(s.concurrency).c_str());
 }
 
@@ -317,6 +349,7 @@ collectOutcome(sim::Network &net, uint64_t cycles)
     out.failedFlid = m.failedFlid();
     out.uartLog = m.devices().uartLog();
     out.traps = m.traps();
+    out.cfiTraps = m.cfiTraps();
     out.reboots = m.reboots();
     out.crashes = m.crashes();
     out.downCycles = m.downCycles();

@@ -34,10 +34,18 @@ enum class ConfigId {
     SafeFlidCxprop,    ///< C5: C4 + cXprop (no inlining)
     SafeFlidInlineCxprop,  ///< C6: C4 + inliner + cXprop
     UnsafeInlineCxprop,    ///< C7: unsafe + inliner + cXprop
+    // Control-flow-integrity columns (src/cfi/): forward-edge label
+    // checks on indirect calls + shadow-stack return checks, layered
+    // on the Figure-3 configurations.
+    SafeFlidCfi,           ///< C4 + CFI
+    SafeFlidInlineCxpropCfi,  ///< C6 + CFI
+    CfiOnly,               ///< CFI checks without memory-safety checks
 };
 
 const char *configName(ConfigId id);
 const std::vector<ConfigId> &figure3Configs();
+/** The CFI column family (bench/cfi_overhead, attack suite). */
+const std::vector<ConfigId> &cfiConfigs();
 
 /** Check-elimination strategies compared in Figure 2. */
 enum class CheckStrategy {
@@ -213,6 +221,7 @@ struct SimOutcome {
     std::string uartLog;   ///< mote-under-test UART output
     // Fault-injection and recovery observables (sim/fault.h).
     uint32_t traps = 0;
+    uint32_t cfiTraps = 0;  ///< traps() subset fired by CFI checks
     uint32_t reboots = 0;
     uint32_t crashes = 0;
     uint64_t downCycles = 0;

@@ -52,6 +52,9 @@ writeSafetyReport(BinWriter &w, const safety::SafetyReport &rep)
     w.u32(rep.locksInserted);
     w.u32(rep.racyGlobals);
     writeCountMap(w, rep.kindHistogram);
+    w.u32(rep.cfiClasses);
+    w.u32(rep.cfiForwardChecks);
+    w.u32(rep.cfiReturnSites);
 }
 
 safety::SafetyReport
@@ -65,6 +68,9 @@ readSafetyReport(BinReader &r)
     rep.locksInserted = r.u32();
     rep.racyGlobals = r.u32();
     rep.kindHistogram = readCountMap(r);
+    rep.cfiClasses = r.u32();
+    rep.cfiForwardChecks = r.u32();
+    rep.cfiReturnSites = r.u32();
     return rep;
 }
 

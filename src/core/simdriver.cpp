@@ -1,15 +1,13 @@
 /**
  * @file
- * Simulation-matrix vocabulary (SimReport emitters and joins,
- * equivalence helpers) plus the deprecated SimDriver shim. The
- * simulation engine itself lives in core/experiment.cpp; the run()
- * overloads below construct an equivalent Experiment and forward.
+ * Simulation-matrix vocabulary: SimReport emitters and joins, plus
+ * the SimDriver equivalence helpers. The simulation engine itself
+ * lives in core/experiment.cpp (Experiment::simulateBuilds).
  */
 #include "core/simdriver.h"
 
 #include <ostream>
 
-#include "core/experiment.h"
 #include "support/util.h"
 
 namespace stos::core {
@@ -21,8 +19,8 @@ namespace {
 std::string
 faultCsvCells(const SimOutcome &o)
 {
-    return strfmt(",%u,%u,%u,%llu,%llu,%.9f,%u,%u,%u", o.traps,
-                  o.reboots, o.crashes,
+    return strfmt(",%u,%u,%u,%u,%llu,%llu,%.9f,%u,%u,%u", o.traps,
+                  o.cfiTraps, o.reboots, o.crashes,
                   static_cast<unsigned long long>(o.downCycles),
                   static_cast<unsigned long long>(o.wedgedCycles),
                   o.availability, o.packetsDropped,
@@ -34,11 +32,12 @@ std::string
 faultJsonFields(const SimOutcome &o)
 {
     std::string s = strfmt(
-        ", \"traps\": %u, \"reboots\": %u, \"crashes\": %u"
+        ", \"traps\": %u, \"cfi_traps\": %u, \"reboots\": %u"
+        ", \"crashes\": %u"
         ", \"down_cycles\": %llu, \"wedged_cycles\": %llu"
         ", \"availability\": %.9f, \"packets_dropped\": %u"
         ", \"packets_corrupted\": %u, \"packets_duplicated\": %u",
-        o.traps, o.reboots, o.crashes,
+        o.traps, o.cfiTraps, o.reboots, o.crashes,
         static_cast<unsigned long long>(o.downCycles),
         static_cast<unsigned long long>(o.wedgedCycles),
         o.availability, o.packetsDropped, o.packetsCorrupted,
@@ -46,9 +45,11 @@ faultJsonFields(const SimOutcome &o)
     s += ", \"trap_log\": [";
     for (size_t i = 0; i < o.trapLog.size(); ++i) {
         const sim::TrapEntry &t = o.trapLog[i];
-        s += strfmt("%s{\"flid\": %u, \"cycle\": %llu, \"pc\": %u}",
+        s += strfmt("%s{\"flid\": %u, \"cycle\": %llu, \"pc\": %u"
+                    ", \"kind\": %u}",
                     i ? ", " : "", t.flid,
-                    static_cast<unsigned long long>(t.cycle), t.pc);
+                    static_cast<unsigned long long>(t.cycle), t.pc,
+                    static_cast<unsigned>(t.kind));
     }
     s += "]";
     return s;
@@ -56,9 +57,10 @@ faultJsonFields(const SimOutcome &o)
 
 /** CSV header segment / failure padding for the fault columns. */
 constexpr const char *kFaultCsvHeader =
-    "traps,reboots,crashes,down_cycles,wedged_cycles,availability,"
-    "packets_dropped,packets_corrupted,packets_duplicated";
-constexpr const char *kFaultCsvEmpty = ",,,,,,,,,";
+    "traps,cfi_traps,reboots,crashes,down_cycles,wedged_cycles,"
+    "availability,packets_dropped,packets_corrupted,"
+    "packets_duplicated";
+constexpr const char *kFaultCsvEmpty = ",,,,,,,,,,";
 
 } // namespace
 
@@ -319,40 +321,6 @@ SimReport::joinJson(const BuildReport &builds, std::ostream &os) const
 }
 
 //---------------------------------------------------------------------
-// SimDriver
-//---------------------------------------------------------------------
-
-namespace {
-
-/** Recreate this driver's settings as an Experiment (sim fields). */
-Experiment
-asExperiment(const SimOptions &opts)
-{
-    Experiment exp;
-    exp.options().jobs = opts.jobs;
-    exp.options().memoize = opts.memoizeCompanions;
-    exp.options().seconds = opts.seconds;
-    exp.options().mode = opts.mode;
-    exp.options().netThreads = opts.netThreads;
-    return exp;
-}
-
-} // namespace
-
-SimReport
-SimDriver::run(const BuildReport &builds) const
-{
-    StageCache cache;
-    return asExperiment(opts_).simulateBuilds(builds, cache);
-}
-
-SimReport
-SimDriver::run(const BuildReport &builds, StageCache &cache) const
-{
-    return asExperiment(opts_).simulateBuilds(builds, cache);
-}
-
-//---------------------------------------------------------------------
 // Equivalence
 //---------------------------------------------------------------------
 
@@ -404,6 +372,9 @@ SimDriver::recordsEquivalent(const SimRecord &a, const SimRecord &b,
         return fail(a.app + "/" + a.config + ": uartLog differs");
     if (a.outcome.traps != b.outcome.traps)
         return cell("traps", a.outcome.traps, b.outcome.traps);
+    if (a.outcome.cfiTraps != b.outcome.cfiTraps)
+        return cell("cfiTraps", a.outcome.cfiTraps,
+                    b.outcome.cfiTraps);
     if (a.outcome.reboots != b.outcome.reboots)
         return cell("reboots", a.outcome.reboots, b.outcome.reboots);
     if (a.outcome.crashes != b.outcome.crashes)

@@ -2,10 +2,9 @@
  * @file
  * The simulation-matrix vocabulary (SimOptions / SimRecord /
  * SimReport and the static+dynamic join emitters) shared by the
- * Experiment facade, plus SimDriver — a deprecated compatibility shim
- * whose run() overloads forward to Experiment::simulateBuilds. The
+ * Experiment facade, plus the SimDriver equivalence helpers. The
  * simulation engine itself (worker pool, companion memoization) lives
- * in core/experiment.cpp.
+ * in core/experiment.cpp as Experiment::simulateBuilds.
  */
 #ifndef STOS_CORE_SIMDRIVER_H
 #define STOS_CORE_SIMDRIVER_H
@@ -99,53 +98,20 @@ struct SimReport {
 };
 
 /**
- * Batch network simulator — now a deprecated compatibility shim. The
- * simulation engine lives in the Experiment facade
- * (core/experiment.h) as Experiment::simulateBuilds; the run()
- * overloads below construct an equivalent Experiment and forward.
- * The equivalence helpers (recordsEquivalent / reportsEquivalent)
- * are not deprecated — they are shared vocabulary.
- *
- * Migration: `SimDriver(opts).run(builds, cache)` becomes
- * `Experiment e; e.options().<sim fields> = ...;
- * e.simulateBuilds(builds, cache)`.
+ * Simulation-matrix equivalence vocabulary. The simulation engine
+ * lives in the Experiment facade (core/experiment.h) as
+ * Experiment::simulateBuilds; the serial/parallel and
+ * legacy/predecoded equivalence gates compare its reports with the
+ * helpers below.
  */
 class SimDriver {
   public:
-    explicit SimDriver(SimOptions opts = {}) : opts_(opts) {}
-
-    SimOptions &options() { return opts_; }
-
-    /**
-     * Simulate every successfully built cell of `builds` (failed
-     * builds become failed sim records). The report must outlive the
-     * call only; the returned SimReport owns no firmware.
-     */
-    [[deprecated("use Experiment::simulateBuilds "
-                 "(core/experiment.h)")]]
-    SimReport run(const BuildReport &builds) const;
-
-    /**
-     * As above, but companion firmware comes from (and is added to)
-     * the caller's persistent stage cache, so repeated runs — serial
-     * equivalence gates in particular — never rebuild a companion,
-     * and a cache shared with the build matrix reuses its Baseline
-     * cells outright. The report's companionBuilds/companionReuses
-     * count this run only.
-     */
-    [[deprecated("use Experiment::simulateBuilds "
-                 "(core/experiment.h)")]]
-    SimReport run(const BuildReport &builds, StageCache &cache) const;
-
     /** Field-for-field equivalence of two sim records (not timing). */
     static bool recordsEquivalent(const SimRecord &a, const SimRecord &b,
                                   std::string *why = nullptr);
     /** Cell-for-cell equivalence of two reports. */
     static bool reportsEquivalent(const SimReport &a, const SimReport &b,
                                   std::string *why = nullptr);
-
-  private:
-    SimOptions opts_;
 };
 
 } // namespace stos::core

@@ -81,6 +81,16 @@ struct GenOptions {
  */
 std::string generateProgram(uint64_t seed, const GenOptions &opts = {});
 
+/**
+ * Like generateProgram(), but the first statement of main is a
+ * deliberately out-of-bounds array access whose index flows through a
+ * RAM global (so only the dynamic safety check can catch it). Used to
+ * fuzz safety-check *placement*: under every safe build the access
+ * must trap, identically, on every engine.
+ */
+std::string generateOobProgram(uint64_t seed,
+                               const GenOptions &opts = {});
+
 /** A divergence between two executions that must agree. */
 struct Divergence {
     std::string oracle;  ///< which oracle fired ("" = none)
@@ -96,6 +106,16 @@ struct Divergence {
  * reference. Returns the first divergence, or an empty one.
  */
 Divergence checkProgram(const std::string &src);
+
+/**
+ * Safety-check placement oracle for generateOobProgram() output:
+ * build safe and safe+cxprop, run each under the IR interpreter and
+ * both simulator cores, and require every execution to trap a
+ * memory-safety check with one common FLID (and the memory trap
+ * kind). A safe engine that runs to completion, or engines that
+ * disagree on which check fired, is a divergence.
+ */
+Divergence checkOobProgram(const std::string &src);
 
 /**
  * Corpus-level oracles via the Experiment facade: build + simulate

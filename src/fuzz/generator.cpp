@@ -1091,4 +1091,33 @@ generateProgram(uint64_t seed, const GenOptions &opts)
     return g.run();
 }
 
+std::string
+generateOobProgram(uint64_t seed, const GenOptions &opts)
+{
+    std::string src = generateProgram(seed, opts);
+    // Deterministically pick the out-of-bounds shape from the seed:
+    // a power-of-two array, an index just past (or well past) its
+    // end, and read vs write.
+    Rng rng(seed ^ 0xA77ACC0Bull);
+    uint32_t size = 4u << rng.range(3);        // 4, 8, or 16
+    uint32_t idx = size + rng.range(5);        // 0..4 past the end
+    bool write = rng.chance(60);
+    std::string decls = "u16 __oob_arr[" + std::to_string(size) +
+                        "];\nu16 __oob_idx;\n";
+    // The index flows through a RAM global, so the frontend's static
+    // bounds diagnostics cannot reject it; only the dynamic check can
+    // catch it. The access is the first statement of main, before any
+    // generated code runs.
+    std::string access =
+        "    __oob_idx = " + std::to_string(idx) + ";\n" +
+        (write ? "    __oob_arr[__oob_idx] = 1;\n"
+               : "    stos_uart_put_u16(__oob_arr[__oob_idx]);\n");
+    const std::string anchor = "u16 main() {\n";
+    size_t at = src.find(anchor);
+    if (at == std::string::npos)
+        return src;  // grammar changed under us; caller's oracle will flag it
+    src.insert(at + anchor.size(), access);
+    return decls + src;
+}
+
 } // namespace stos::fuzz

@@ -201,6 +201,122 @@ checkProgramImpl(const std::string &src)
 
 } // namespace
 
+namespace {
+
+/** One safe-engine execution that is *expected* to trap. */
+struct TrapOutcome {
+    bool trapped = false;
+    uint32_t flid = 0;
+    uint8_t kind = 0;
+    std::string error;
+};
+
+TrapOutcome
+runMachineExpectTrap(const backend::MProgram &img, sim::ExecMode mode)
+{
+    sim::Machine mote(img, 1, mode);
+    mote.boot();
+    mote.runUntilCycle(100'000'000);
+    TrapOutcome o;
+    if (!mote.wedged()) {
+        o.error = mote.halted()
+                      ? "ran to completion without trapping"
+                      : "did not reach the trap within the budget";
+        return o;
+    }
+    o.trapped = true;
+    o.flid = mote.failedFlid();
+    if (!mote.trapLog().empty())
+        o.kind = mote.trapLog().front().kind;
+    return o;
+}
+
+Divergence
+checkOobProgramImpl(const std::string &src)
+{
+    SourceManager sm;
+    DiagnosticEngine diags(&sm);
+    ir::Module base = frontend::compileTinyC(
+        {{"lib.tc", tinyos::libSource()}, {"fuzz.tc", src}}, diags, sm,
+        "fuzz");
+    if (diags.hasErrors())
+        return {"oob/compile", diags.dump()};
+    if (auto errs = ir::verifyModule(base); !errs.empty())
+        return {"oob/verify", joinErrors(errs)};
+
+    uint32_t refFlid = 0;
+    bool haveRef = false;
+    for (Mode mode : {Mode::Safe, Mode::SafeOpt}) {
+        ir::Module m = base.clone();
+        safety::SafetyConfig scfg;
+        safety::applySafety(m, scfg, &sm);
+        if (mode == Mode::SafeOpt) {
+            opt::CxpropOptions copts;
+            copts.inlineFirst = true;
+            opt::runCxprop(m, copts);
+        }
+        if (auto errs = ir::verifyModule(m); !errs.empty())
+            return {std::string("oob/verify/") + modeName(mode),
+                    joinErrors(errs)};
+
+        // The IR interpreter must stop on the safety check, and every
+        // engine in every safe mode must agree on *which* check.
+        ir::Module forInterp = m.clone();
+        ir::HwBus bus;
+        ir::InterpOptions iopts;
+        iopts.stepLimit = 50'000'000;
+        ir::Interp interp(forInterp, &bus, iopts);
+        auto r = interp.run("main");
+        if (r.reason != ir::StopReason::SafetyFault)
+            return {std::string("oob/") + modeName(mode) + "/interp",
+                    "expected a safety trap: " + r.detail};
+        if (!haveRef) {
+            refFlid = r.flid;
+            haveRef = true;
+        } else if (r.flid != refFlid) {
+            return {std::string("oob/") + modeName(mode) + "/interp",
+                    "flid " + std::to_string(r.flid) + " want " +
+                        std::to_string(refFlid)};
+        }
+
+        backend::MProgram img =
+            backend::compileToTarget(m, backend::TargetInfo::mica2());
+        for (sim::ExecMode em :
+             {sim::ExecMode::Legacy, sim::ExecMode::Predecoded}) {
+            const char *emName =
+                em == sim::ExecMode::Legacy ? "legacy" : "predecoded";
+            TrapOutcome t = runMachineExpectTrap(img, em);
+            if (!t.trapped)
+                return {std::string("oob/") + modeName(mode) + "/" +
+                            emName,
+                        t.error};
+            if (t.flid != refFlid)
+                return {std::string("oob/") + modeName(mode) + "/" +
+                            emName,
+                        "flid " + std::to_string(t.flid) + " want " +
+                            std::to_string(refFlid)};
+            if (t.kind != backend::kTrapKindMemory)
+                return {std::string("oob/") + modeName(mode) + "/" +
+                            emName,
+                        "trap kind " + std::to_string(t.kind) +
+                            " want memory"};
+        }
+    }
+    return {};
+}
+
+} // namespace
+
+Divergence
+checkOobProgram(const std::string &src)
+{
+    try {
+        return checkOobProgramImpl(src);
+    } catch (const std::exception &e) {
+        return {"oob/exception", e.what()};
+    }
+}
+
 Divergence
 checkProgram(const std::string &src)
 {

@@ -585,6 +585,16 @@ Interp::callFunction(const Function &f, const std::vector<RtValue> &args,
                 trap(StopReason::SafetyFault, in.flid, "bad fnptr");
             break;
           }
+          case Opcode::ChkCfiLabel: {
+            RtValue p = eval(fr, in.args[0]);
+            const Global &tbl = mod_.globalAt(in.args[1].index);
+            if (p.i == 0 || p.i >= tbl.init.size() ||
+                tbl.init[static_cast<size_t>(p.i)] != in.auxA) {
+                trap(StopReason::SafetyFault, in.flid,
+                     "cfi label mismatch");
+            }
+            break;
+          }
           case Opcode::ChkAlign: {
             RtValue p = eval(fr, in.args[0]);
             if (in.auxA > 1 && (p.i % in.auxA) != 0)

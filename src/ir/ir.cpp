@@ -119,6 +119,7 @@ opcodeName(Opcode op)
       case Opcode::ChkFnPtr: return "chk_fnptr";
       case Opcode::ChkWild: return "chk_wild";
       case Opcode::ChkAlign: return "chk_align";
+      case Opcode::ChkCfiLabel: return "chk_cfi_label";
       case Opcode::Abort: return "abort";
       case Opcode::AtomicBegin: return "atomic_begin";
       case Opcode::AtomicEnd: return "atomic_end";

@@ -90,6 +90,14 @@ enum class Opcode : uint8_t {
     ChkFnPtr,    ///< fail(flid) if fnptr a invalid/null
     ChkWild,     ///< fail(flid) if wild-area tag mismatch at a
     ChkAlign,    ///< fail(flid) if a % auxA != 0 (x86-runtime legacy)
+    /**
+     * CFI forward-edge label check: fail(flid) unless fnptr `a` is a
+     * valid function id whose entry in the CFI label table (the ROM
+     * global referenced by args[1]) equals the call site's expected
+     * equivalence-class label in auxA. Inserted by the src/cfi/ pass;
+     * subsumes ChkFnPtr (null + range) at indirect call sites.
+     */
+    ChkCfiLabel,
     Abort,       ///< unconditional run-time failure (flid)
     // Concurrency
     AtomicBegin, ///< auxA: 1 = must save+restore IRQ bit, 0 = plain cli
@@ -148,6 +156,7 @@ struct Instr {
           case Opcode::ChkNull: case Opcode::ChkUBound:
           case Opcode::ChkBounds: case Opcode::ChkFnPtr:
           case Opcode::ChkWild: case Opcode::ChkAlign:
+          case Opcode::ChkCfiLabel:
             return true;
           default:
             return false;

@@ -130,6 +130,10 @@ instrToString(const Module &m, const Function &f, const Instr &in)
         os << opcodeName(in.op) << " " << opnd(0)
            << " size " << in.auxA << " flid " << in.flid;
         break;
+      case Opcode::ChkCfiLabel:
+        os << "chk_cfi_label " << opnd(0) << " label " << in.auxA
+           << " table " << opnd(1) << " flid " << in.flid;
+        break;
       case Opcode::Abort:
         os << "abort flid " << in.flid;
         break;

@@ -213,6 +213,15 @@ class Verifier {
           case Opcode::ChkWild: case Opcode::ChkAlign:
             wantArgs(1);
             break;
+          case Opcode::ChkCfiLabel:
+            wantArgs(2);
+            if (in.args.size() >= 2 && !in.args[1].isGlobal())
+                err(f.name, bb,
+                    "chk_cfi_label without label-table global");
+            else if (in.args.size() >= 2 &&
+                     in.args[1].index >= mod_.globals().size())
+                err(f.name, bb, "chk_cfi_label table out of range");
+            break;
           case Opcode::HwRead:
             if (!in.hasDst())
                 err(f.name, bb, "hw_read without dst");

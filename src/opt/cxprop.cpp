@@ -531,6 +531,25 @@ class Engine {
             }
             break;
           }
+          case Opcode::ChkCfiLabel: {
+            // Removable when the fnptr is a known constant whose ROM
+            // label-table entry matches the site's expected label.
+            AbsVal v = ev(0);
+            auto c = v.asConst();
+            if (c && *c >= 1 &&
+                *c <= static_cast<int64_t>(mod_.funcs().size()) &&
+                in.args.size() >= 2 && in.args[1].isGlobal()) {
+                const ir::Global &tbl = mod_.globalAt(in.args[1].index);
+                size_t idx = static_cast<size_t>(*c);
+                if (idx < tbl.init.size() && tbl.init[idx] == in.auxA) {
+                    if (rep && opts_.removeChecks) {
+                        ++rep->checksRemoved;
+                        return true;
+                    }
+                }
+            }
+            break;
+          }
           case Opcode::ChkAlign: {
             AbsVal v = ev(0);
             if (in.auxA <= 1) {

@@ -9,6 +9,7 @@
 
 #include "analysis/callgraph.h"
 #include "analysis/pointsto.h"
+#include "cfi/cfi.h"
 #include "safety/flid.h"
 #include "safety/hwrefactor.h"
 #include "safety/kinds.h"
@@ -43,22 +44,37 @@ class Transformer {
         refactorHardwareAccesses(mod_);
         generateRuntime(mod_, cfg_);
 
-        KindInference kinds(mod_);
-        kinds.run();
-        report_.kindHistogram = kinds.histogram();
+        if (cfg_.memoryChecks) {
+            // Pointer-kind inference fattens pointer types; the
+            // CfiOnly column keeps the baseline memory layout.
+            KindInference kinds(mod_);
+            kinds.run();
+            report_.kindHistogram = kinds.histogram();
+        }
 
         CallGraph cg(mod_);
         PointsTo pts(mod_);
-        ConcurrencyAnalysis conc(mod_, cg, pts, cfg_.concurrency);
-        mod_.racyGlobals().assign(conc.racyGlobals().begin(),
-                                  conc.racyGlobals().end());
-        report_.racyGlobals =
-            static_cast<uint32_t>(conc.racyGlobals().size());
+        if (cfg_.memoryChecks) {
+            ConcurrencyAnalysis conc(mod_, cg, pts, cfg_.concurrency);
+            mod_.racyGlobals().assign(conc.racyGlobals().begin(),
+                                      conc.racyGlobals().end());
+            report_.racyGlobals =
+                static_cast<uint32_t>(conc.racyGlobals().size());
 
-        for (auto &f : mod_.funcs()) {
-            if (f.dead || f.attrs.isRuntime)
-                continue;
-            instrumentFunction(f, pts, conc);
+            for (auto &f : mod_.funcs()) {
+                if (f.dead || f.attrs.isRuntime)
+                    continue;
+                instrumentFunction(f, pts, conc);
+            }
+        }
+
+        if (cfg_.cfi) {
+            cfi::CfiInfo ci = cfi::applyCfi(mod_, cg, pts, sm_);
+            report_.cfiClasses = ci.classes;
+            report_.cfiForwardChecks = ci.forwardChecks;
+            report_.cfiReturnSites = ci.returnSites;
+            report_.checksInserted += ci.forwardChecks;
+            report_.checksByKind[cfi::kForwardKind] += ci.forwardChecks;
         }
         return report_;
     }
@@ -311,7 +327,9 @@ class Transformer {
                         racy = isRacyAccess(f, addr, pts, conc);
                     }
                 } else if (in.op == Opcode::CallInd &&
-                           in.args[0].isVReg()) {
+                           in.args[0].isVReg() && !cfg_.cfi) {
+                    // Under CFI the label check subsumes the null +
+                    // range fnptr check.
                     checks.push_back({Opcode::ChkFnPtr,
                                       in.args[0].index, 0, "fnptr"});
                 }

@@ -44,6 +44,18 @@ struct SafetyConfig {
     bool insertCheckTags = false;
     /** §2.2: wrap checks on racy variables in atomic sections. */
     bool lockRacyChecks = true;
+    /**
+     * Emit CCured memory-safety checks (pointer-kind inference plus
+     * dynamic bounds/null/wild instrumentation). Off for the CfiOnly
+     * column, which measures control-flow integrity in isolation.
+     */
+    bool memoryChecks = true;
+    /**
+     * Control-flow integrity: label-based forward-edge checks on
+     * indirect calls (src/cfi/) plus a backend shadow-stack return
+     * check. Subsumes ChkFnPtr at instrumented call sites.
+     */
+    bool cfi = false;
     analysis::ConcurrencyOptions concurrency;
 };
 
@@ -56,6 +68,9 @@ struct SafetyReport {
     uint32_t locksInserted = 0;
     uint32_t racyGlobals = 0;
     std::map<std::string, uint32_t> kindHistogram;  ///< ptr decls by kind
+    uint32_t cfiClasses = 0;       ///< forward-edge equivalence classes
+    uint32_t cfiForwardChecks = 0; ///< chk_cfi_label instrs inserted
+    uint32_t cfiReturnSites = 0;   ///< rets stamped for shadow-stack check
 };
 
 } // namespace stos::safety

@@ -93,6 +93,7 @@ DecodedProgram::decode()
                 d.cycles = p.instrCycles(in);
                 switch (in.op) {
                   case MOp::CmpBr:
+                  case MOp::SSChk:  // branches to the failure stub
                     d.target = df.blockStart[in.target];
                     break;
                   case MOp::Jmp:

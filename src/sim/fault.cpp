@@ -99,7 +99,8 @@ parseFaultSpec(const std::string &spec, FaultOptions *out,
         std::string key = item.substr(0, eq);
         std::string val = item.substr(eq + 1);
         char *rest = nullptr;
-        if (key == "mem" || key == "reg" || key == "crash") {
+        if (key == "mem" || key == "reg" || key == "crash" ||
+            key == "ptr" || key == "ret") {
             unsigned long n = std::strtoul(val.c_str(), &rest, 10);
             if (!rest || *rest)
                 return fail("bad count for '" + key + "': " + val);
@@ -107,8 +108,19 @@ parseFaultSpec(const std::string &spec, FaultOptions *out,
                 out->memFlips = static_cast<uint32_t>(n);
             else if (key == "reg")
                 out->regFlips = static_cast<uint32_t>(n);
+            else if (key == "ptr")
+                out->ptrOverwrites = static_cast<uint32_t>(n);
+            else if (key == "ret")
+                out->retSmashes = static_cast<uint32_t>(n);
             else
                 out->crashes = static_cast<uint32_t>(n);
+        } else if (key == "val") {
+            unsigned long long n = std::strtoull(val.c_str(), &rest, 0);
+            if (!rest || *rest)
+                return fail("bad value for 'val': " + val);
+            out->attackValue = n;
+        } else if (key == "target") {
+            out->attackGlobal = val;
         } else if (key == "loss" || key == "corrupt" || key == "dup") {
             double r = std::strtod(val.c_str(), &rest);
             if (!rest || *rest || r < 0.0 || r > 1.0)
@@ -157,6 +169,17 @@ scheduleFaults(const FaultOptions &o, uint8_t nodeId, uint64_t begin,
     schedule(FaultKind::MemFlip, o.memFlips);
     schedule(FaultKind::RegFlip, o.regFlips);
     schedule(FaultKind::Crash, o.crashes);
+    // Attack-shaped faults carry their payload instead of random
+    // addr/bit draws (the draws still advance the generator so adding
+    // an attack to a campaign never perturbs the SEU plan positions).
+    size_t firstAttack = events.size();
+    schedule(FaultKind::PtrOverwrite, o.ptrOverwrites);
+    schedule(FaultKind::RetSmash, o.retSmashes);
+    for (size_t i = firstAttack; i < events.size(); ++i) {
+        events[i].value = o.attackValue;
+        if (events[i].kind == FaultKind::PtrOverwrite)
+            events[i].targetGlobal = o.attackGlobal;
+    }
     std::stable_sort(events.begin(), events.end(),
                      [](const FaultEvent &a, const FaultEvent &b) {
                          return a.at < b.at;

@@ -39,23 +39,42 @@ constexpr uint64_t kRebootLatencyCycles = 4096;
 constexpr size_t kMaxTrapLog = 8;
 
 /** One recorded safety trap. `pc` is the trapping function's index —
- *  the only program-counter notion both interpreter cores share. */
+ *  the only program-counter notion both interpreter cores share.
+ *  `kind` distinguishes CFI traps from memory-safety traps (values
+ *  from backend::MProgram::flidKinds: 0 memory, 1 cfi-fnptr,
+ *  2 cfi-ret). */
 struct TrapEntry {
     uint32_t flid = 0;
     uint64_t cycle = 0;
     uint32_t pc = 0;
+    uint8_t kind = 0;
 
     bool
     operator==(const TrapEntry &o) const
     {
-        return flid == o.flid && cycle == o.cycle && pc == o.pc;
+        return flid == o.flid && cycle == o.cycle && pc == o.pc &&
+               kind == o.kind;
     }
 };
 
 enum class FaultKind : uint8_t {
-    MemFlip,  ///< flip one bit of one RAM-global byte
-    RegFlip,  ///< flip one low bit of a live register
-    Crash,    ///< power glitch: unconditional reboot
+    MemFlip,       ///< flip one bit of one RAM-global byte
+    RegFlip,       ///< flip one low bit of a live register
+    Crash,         ///< power glitch: unconditional reboot
+    /**
+     * Attack-shaped fault: overwrite a named RAM global (typically a
+     * function-pointer cell) with an attacker-chosen value. Unlike
+     * MemFlip this is a targeted write, modelling a corrupted-pointer
+     * exploit rather than an SEU.
+     */
+    PtrOverwrite,
+    /**
+     * Attack-shaped fault: smash the return linkage of the current
+     * call — the caller frame is redirected to the entry of the
+     * function selected by `value`, as a stack-smash that rewrites
+     * the stored return address would. No-op at call depth < 2.
+     */
+    RetSmash,
 };
 
 /** One scheduled state fault, applied at the first instruction
@@ -65,6 +84,8 @@ struct FaultEvent {
     FaultKind kind = FaultKind::MemFlip;
     uint32_t addr = 0;  ///< abstract address / register selector
     uint8_t bit = 0;
+    uint64_t value = 0;        ///< PtrOverwrite / RetSmash payload
+    std::string targetGlobal;  ///< PtrOverwrite: global overwritten
 };
 
 /** A seeded fault campaign for one network run. */
@@ -81,11 +102,20 @@ struct FaultOptions {
     RecoveryPolicy recovery = RecoveryPolicy::Wedge;
     /** Also schedule state faults on companion motes (node != 1). */
     bool faultCompanions = false;
+    /** Attack-shaped faults (CFI attack suite). */
+    uint32_t ptrOverwrites = 0;
+    uint32_t retSmashes = 0;
+    /** Payload for the attack faults (fnptr id / frame target). */
+    uint64_t attackValue = 0;
+    /** PtrOverwrite target global (empty = first fnptr-looking one
+     *  is left alone and the event degrades to a no-op). */
+    std::string attackGlobal;
 
     bool
     injectsState() const
     {
-        return memFlips > 0 || regFlips > 0 || crashes > 0;
+        return memFlips > 0 || regFlips > 0 || crashes > 0 ||
+               ptrOverwrites > 0 || retSmashes > 0;
     }
     bool
     faultsRadio() const

@@ -85,6 +85,7 @@ void
 Machine::boot()
 {
     frames_.clear();
+    shadow_.clear();
     enterFunction(prog_.entry, false);
 }
 
@@ -103,8 +104,13 @@ void
 Machine::recordTrap(uint32_t flid, uint32_t pc)
 {
     ++traps_;
+    uint8_t kind = flid < prog_.flidKinds.size()
+                       ? prog_.flidKinds[flid]
+                       : static_cast<uint8_t>(kTrapKindMemory);
+    if (kind != kTrapKindMemory)
+        ++cfiTraps_;
     if (trapLog_.size() < kMaxTrapLog)
-        trapLog_.push_back({flid, cycles_, pc});
+        trapLog_.push_back({flid, cycles_, pc, kind});
 }
 
 void
@@ -136,6 +142,7 @@ Machine::startReboot()
     sleeping_ = false;
     iflag_ = true;
     frames_.clear();
+    shadow_.clear();
     argBuf_.clear();
     retBuf_.clear();
     pendingIrqs_.clear();
@@ -178,6 +185,49 @@ Machine::applyFault(const FaultEvent &e)
         ++crashes_;
         startReboot();
         break;
+      case FaultKind::PtrOverwrite: {
+        // Targeted attack write: clobber the named RAM global with the
+        // payload value. Degrades to a no-op if the global is absent
+        // or lives in ROM (flash is not attacker-writable here).
+        const MProgram::DataItem *d =
+            decoded_ ? decoded_->findDataByName(e.targetGlobal)
+                     : nullptr;
+        if (!decoded_) {
+            auto it = dataByName_.find(e.targetGlobal);
+            d = it == dataByName_.end() ? nullptr : it->second;
+        }
+        if (!d || d->rom || d->addr >= prog_.romDataBase ||
+            d->size == 0)
+            break;
+        storeMem(d->addr, e.value,
+                 static_cast<uint8_t>(std::min<uint32_t>(d->size, 8) *
+                                      8));
+        break;
+      }
+      case FaultKind::RetSmash: {
+        // Stack smash: rewrite the caller frame's return linkage so
+        // the current call "returns" into the entry of the function
+        // selected by the payload. No-op at call depth < 2 (there is
+        // no stored return linkage to smash).
+        if (frames_.size() < 2 || prog_.funcs.empty())
+            break;
+        Frame &parent = frames_[frames_.size() - 2];
+        uint32_t idx =
+            static_cast<uint32_t>(e.value % prog_.funcs.size());
+        parent.funcIdx = idx;
+        parent.block = 0;
+        parent.ip = 0;
+        // fp and fromIrq survive the smash (the attacker rewrites the
+        // return address, not the frame bookkeeping).
+        if (decoded_) {
+            parent.df = &decoded_->funcs().at(idx);
+            parent.regs.assign(parent.df->numRegs, 0);
+        } else {
+            parent.regs.assign(
+                std::max<uint32_t>(prog_.funcs[idx].numRegs, 1), 0);
+        }
+        break;
+      }
     }
 }
 
@@ -645,6 +695,11 @@ Machine::step()
       case MOp::Ret:
       case MOp::Reti: {
         bool fromIrq = fr.fromIrq;
+        // Implicit shadow pop: interrupt frames were never pushed
+        // (dispatch is not a Call), and non-CFI images leave the
+        // shadow empty, so the guard makes this universally safe.
+        if (!fromIrq && !shadow_.empty())
+            shadow_.pop_back();
         frames_.pop_back();
         if (in.op == MOp::Reti || fromIrq)
             iflag_ = true;
@@ -652,6 +707,19 @@ Machine::step()
             halted_ = true;
         break;
       }
+      case MOp::SSPush:
+        shadow_.push_back(fr.funcIdx);
+        break;
+      case MOp::SSChk:
+        // Shadow-stack return check: the frame we are about to resume
+        // must be the one that pushed at the call site. Taken like a
+        // CmpBr into the failure stub on mismatch.
+        if (!fr.fromIrq && frames_.size() >= 2 && !shadow_.empty() &&
+            shadow_.back() != frames_[frames_.size() - 2].funcIdx) {
+            fr.block = in.target;
+            fr.ip = 0;
+        }
+        break;
       case MOp::Sei:
         iflag_ = true;
         break;
@@ -1003,6 +1071,9 @@ Machine::runPredecoded(uint64_t target)
               case MOp::Ret:
               case MOp::Reti: {
                 bool fromIrq = fr.fromIrq;
+                // Implicit shadow pop — mirrors the legacy core.
+                if (!fromIrq && !shadow_.empty())
+                    shadow_.pop_back();
                 frames_.pop_back();
                 if (in.op == MOp::Reti || fromIrq)
                     iflag_ = true;
@@ -1012,6 +1083,18 @@ Machine::runPredecoded(uint64_t target)
                     refreshFrame();
                 break;
               }
+              case MOp::SSPush:
+                shadow_.push_back(fr.funcIdx);
+                break;
+              case MOp::SSChk:
+                // Shadow-stack return check — mirrors the legacy core
+                // (target is a flat instruction offset here).
+                if (!fr.fromIrq && frames_.size() >= 2 &&
+                    !shadow_.empty() &&
+                    shadow_.back() !=
+                        frames_[frames_.size() - 2].funcIdx)
+                    fr.ip = in.target;
+                break;
               case MOp::Sei:
                 iflag_ = true;
                 break;

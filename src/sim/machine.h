@@ -79,6 +79,9 @@ class Machine {
     /** Bounded log of safety traps (flid, cycle, function index). */
     const std::vector<TrapEntry> &trapLog() const { return trapLog_; }
     uint32_t traps() const { return traps_; }
+    /** Subset of traps() fired by CFI checks (forward-edge label or
+     *  shadow-stack return mismatches, per MProgram::flidKinds). */
+    uint32_t cfiTraps() const { return cfiTraps_; }
     uint32_t reboots() const { return reboots_; }
     uint32_t crashes() const { return crashes_; }
     uint64_t downCycles() const { return downCycles_; }
@@ -197,8 +200,17 @@ class Machine {
     uint64_t wedgedCycles_ = 0;
     uint32_t reboots_ = 0;
     uint32_t traps_ = 0;
+    uint32_t cfiTraps_ = 0;
     uint32_t crashes_ = 0;
     std::vector<TrapEntry> trapLog_;
+    /**
+     * Shadow return stack: every Call/CallR under a CFI build pushes
+     * the caller's function index (MOp::SSPush); Ret/Reti implicitly
+     * pops (skipping interrupt frames); MOp::SSChk compares the top
+     * against the resuming frame. Non-CFI images never push, so the
+     * implicit pop is a no-op and the member costs nothing.
+     */
+    std::vector<uint32_t> shadow_;
     /** RAM-global span [dataLo_, dataHi_) memory flips map into. */
     uint32_t dataLo_ = 0, dataHi_ = 0;
 };

@@ -28,7 +28,7 @@ struct MoteSnapshot {
     uint32_t ledWrites = 0, packetsSent = 0, packetsReceived = 0;
     uint32_t adcConversions = 0;
     // Fault-injection and recovery observables.
-    uint32_t traps = 0, reboots = 0, crashes = 0;
+    uint32_t traps = 0, cfiTraps = 0, reboots = 0, crashes = 0;
     uint64_t downCycles = 0, wedgedCycles = 0;
     std::vector<TrapEntry> trapLog;
     uint32_t packetsDropped = 0, packetsCorrupted = 0;
@@ -45,7 +45,8 @@ struct MoteSnapshot {
                packetsSent == o.packetsSent &&
                packetsReceived == o.packetsReceived &&
                adcConversions == o.adcConversions &&
-               traps == o.traps && reboots == o.reboots &&
+               traps == o.traps && cfiTraps == o.cfiTraps &&
+               reboots == o.reboots &&
                crashes == o.crashes && downCycles == o.downCycles &&
                wedgedCycles == o.wedgedCycles &&
                trapLog == o.trapLog &&
@@ -70,6 +71,7 @@ snapshotOf(const Machine &m)
             m.devices().packetsReceived(),
             m.devices().adcConversions(),
             m.traps(),
+            m.cfiTraps(),
             m.reboots(),
             m.crashes(),
             m.downCycles(),

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Attack regression family: applications engineered as victims for
+ * the attack-shaped fault plans (sim/fault.h — PtrOverwrite and
+ * RetSmash). AttackFnptrDispatch spends its life calling through a
+ * RAM-resident function pointer, so a targeted pointer overwrite is
+ * exercised on the very next dispatch; AttackRetChain spends its life
+ * inside a two-deep call chain that returns promptly, so a smashed
+ * caller frame is observed at the very next return. Under the CFI
+ * columns both must trap with a distinguishable CFI trap kind; under
+ * Baseline both must demonstrably misbehave (wedge or silent
+ * corruption). Deliberately NOT part of allApps() — the figure corpus
+ * stays at its 25 applications; select these via attackApps().
+ */
+#include "tinyos/apps/families.h"
+
+#include "support/util.h"
+
+namespace stos::tinyos {
+
+namespace {
+
+// AttackFnptrDispatch: calls through the RAM fnptr cell `handler`
+// every loop iteration, but re-stores it only once per 1024
+// iterations (alternating two handlers, so constant propagation
+// cannot fold the cell away). A targeted overwrite therefore stays
+// live for up to 1024 dispatches before the program would repair it —
+// the corrupted pointer is exercised on the very next call. The uart
+// heartbeat makes silent corruption observable against a clean run.
+const char *kFnptrDispatch = R"TC(
+fnptr handler;
+u16 hits;
+
+void on_even() {
+    hits = hits + 1;
+}
+
+void on_odd() {
+    hits = hits + 3;
+}
+
+void dispatch() {
+    fnptr f = handler;
+    f();
+}
+
+void main() {
+    u16 i = 0;
+    while (1) {
+        if ((i & 1023) == 0) {
+            if ((i & 1024) == 0) { handler = on_even; }
+            else { handler = on_odd; }
+            stos_uart_put_u16(hits);
+            stos_uart_put(10);
+        }
+        dispatch();
+        i = (u16)(i + 1);
+    }
+}
+)TC";
+
+// AttackRetChain: main -> spin -> leaf, with both callees returning
+// after a short bounded loop, so the mote sits at call depth >= 2 for
+// almost every cycle and every smashed caller frame is checked at the
+// next return. `noinline` keeps the chain out-of-line under the
+// inlining columns — an inlined chain has no return linkage to smash.
+const char *kRetChain = R"TC(
+u16 acc;
+
+noinline u16 leaf(u16 n) {
+    u16 i = 0;
+    while (i < 8) {
+        acc = (u16)(acc + n + i);
+        i = (u16)(i + 1);
+    }
+    return acc;
+}
+
+noinline u16 spin(u16 n) {
+    u16 j = 0;
+    while (j < 4) {
+        leaf((u16)(n + j));
+        j = (u16)(j + 1);
+    }
+    return acc;
+}
+
+void main() {
+    u16 r = 0;
+    while (1) {
+        spin(r);
+        r = (u16)(r + 1);
+        if ((r & 1023) == 0) {
+            stos_uart_put_u16(acc);
+            stos_uart_put(10);
+        }
+    }
+}
+)TC";
+
+} // namespace
+
+const std::vector<AppInfo> &
+attackApps()
+{
+    static const std::vector<AppInfo> apps = {
+        {"AttackFnptrDispatch", "Mica2", kFnptrDispatch, {}, "attack",
+         {"attack"}},
+        {"AttackRetChain", "Mica2", kRetChain, {}, "attack",
+         {"attack"}},
+    };
+    return apps;
+}
+
+const AppInfo &
+attackAppByName(const std::string &name)
+{
+    for (const auto &a : attackApps()) {
+        if (a.name == name)
+            return a;
+    }
+    panic("unknown attack application: " + name);
+}
+
+} // namespace stos::tinyos

@@ -54,6 +54,16 @@ std::vector<AppInfo> appsByTag(const std::string &tag);
 /** Look up an app by name; throws if unknown. */
 const AppInfo &appByName(const std::string &name);
 
+/**
+ * The attack regression suite (family "attack"): victim apps for the
+ * attack-shaped fault plans of the CFI column family. Deliberately
+ * not part of allApps() — the figure corpus stays stable.
+ */
+const std::vector<AppInfo> &attackApps();
+
+/** Look up an attack app by name; throws if unknown. */
+const AppInfo &attackAppByName(const std::string &name);
+
 } // namespace stos::tinyos
 
 #endif

@@ -1,24 +1,21 @@
 /**
  * @file
- * BuildDriver tests: matrix shape and deterministic ordering under
- * any thread count, parallel-vs-serial result equivalence, frontend
- * memoization accounting, failure isolation, and the canned
- * Figure-2/3 matrices.
- *
- * BuildDriver is a deprecated compatibility shim over the Experiment
- * facade; this file deliberately keeps exercising the deprecated
- * entry points so the shim's forwarding stays covered until it is
- * removed. New code should target core/experiment.h instead.
+ * Build-matrix tests over the Experiment facade: matrix shape and
+ * deterministic ordering under any thread count, parallel-vs-serial
+ * result equivalence, frontend memoization accounting, failure
+ * isolation, the canned Figure-2/3 matrices, and the BuildReport
+ * emitters. Historically these gated BuildDriver; the deprecated
+ * forwarding shims are gone and the same coverage now targets the
+ * engine directly (core/experiment.h), with BuildDriver surviving
+ * only as the equivalence-helper vocabulary.
  */
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <sstream>
 #include <stdexcept>
 
-#include "core/driver.h"
+#include "core/experiment.h"
 #include "core/pool.h"
 
 namespace stos {
@@ -28,24 +25,25 @@ using namespace stos::core;
 using namespace stos::tinyos;
 
 /** A small matrix that still exercises safety + cXprop + backend. */
-BuildDriver
-smallDriver(DriverOptions opts)
+Experiment
+smallExperiment(unsigned jobs, bool memoize = true)
 {
-    BuildDriver d(opts);
-    d.addApp(appByName("BlinkTask"));
-    d.addApp(appByName("SenseToRfm"));
-    d.addApp(appByName("CntToLedsAndRfm"));
-    d.addConfig(ConfigId::Baseline);
-    d.addConfig(ConfigId::SafeFlid);
-    d.addConfig(ConfigId::SafeFlidInlineCxprop);
-    return d;
+    Experiment e;
+    e.options().jobs = jobs;
+    e.options().memoize = memoize;
+    e.options().simulate = false;
+    e.addApp(appByName("BlinkTask"));
+    e.addApp(appByName("SenseToRfm"));
+    e.addApp(appByName("CntToLedsAndRfm"));
+    e.addConfig(ConfigId::Baseline);
+    e.addConfig(ConfigId::SafeFlid);
+    e.addConfig(ConfigId::SafeFlidInlineCxprop);
+    return e;
 }
 
-TEST(BuildDriver, MatrixShapeAndOrdering)
+TEST(BuildMatrix, MatrixShapeAndOrdering)
 {
-    DriverOptions opts;
-    opts.jobs = 4;
-    BuildReport rep = smallDriver(opts).run();
+    BuildReport rep = smallExperiment(4).run().builds;
     ASSERT_EQ(rep.numApps, 3u);
     ASSERT_EQ(rep.numConfigs, 3u);
     ASSERT_EQ(rep.records.size(), 9u);
@@ -69,17 +67,11 @@ TEST(BuildDriver, MatrixShapeAndOrdering)
     EXPECT_EQ(rep.find("SenseToRfm", "nonsense"), nullptr);
 }
 
-TEST(BuildDriver, ParallelMatchesSerial)
+TEST(BuildMatrix, ParallelMatchesSerial)
 {
-    DriverOptions serialOpts;
-    serialOpts.jobs = 1;
-    serialOpts.memoizeFrontend = false;  // true serial re-parse
-    BuildReport serial = smallDriver(serialOpts).run();
-
-    DriverOptions parOpts;
-    parOpts.jobs = 4;
-    parOpts.memoizeFrontend = true;
-    BuildReport parallel = smallDriver(parOpts).run();
+    // jobs=1 + memoize off is the true serial re-parse reference.
+    BuildReport serial = smallExperiment(1, false).run().builds;
+    BuildReport parallel = smallExperiment(4, true).run().builds;
 
     ASSERT_EQ(serial.records.size(), parallel.records.size());
     for (size_t i = 0; i < serial.records.size(); ++i) {
@@ -90,12 +82,9 @@ TEST(BuildDriver, ParallelMatchesSerial)
     }
 }
 
-TEST(BuildDriver, FrontendMemoizationCounts)
+TEST(BuildMatrix, FrontendMemoizationCounts)
 {
-    DriverOptions opts;
-    opts.jobs = 4;
-    opts.memoizeFrontend = true;
-    BuildReport rep = smallDriver(opts).run();
+    BuildReport rep = smallExperiment(4, true).run().builds;
     EXPECT_EQ(rep.frontendParses, rep.numApps);
     EXPECT_EQ(rep.frontendReuses,
               rep.records.size() - rep.numApps);
@@ -104,21 +93,16 @@ TEST(BuildDriver, FrontendMemoizationCounts)
         reusedRecords += r.frontendReused ? 1 : 0;
     EXPECT_EQ(reusedRecords, rep.frontendReuses);
 
-    opts.memoizeFrontend = false;
-    BuildReport cold = smallDriver(opts).run();
+    BuildReport cold = smallExperiment(4, false).run().builds;
     EXPECT_EQ(cold.frontendParses, cold.records.size());
     EXPECT_EQ(cold.frontendReuses, 0u);
 }
 
-TEST(BuildDriver, DeterministicUnderAnyJobCount)
+TEST(BuildMatrix, DeterministicUnderAnyJobCount)
 {
-    DriverOptions ref;
-    ref.jobs = 1;
-    BuildReport baseline = smallDriver(ref).run();
+    BuildReport baseline = smallExperiment(1).run().builds;
     for (unsigned jobs : {2u, 3u, 8u}) {
-        DriverOptions opts;
-        opts.jobs = jobs;
-        BuildReport rep = smallDriver(opts).run();
+        BuildReport rep = smallExperiment(jobs).run().builds;
         ASSERT_EQ(rep.records.size(), baseline.records.size());
         for (size_t i = 0; i < rep.records.size(); ++i) {
             std::string why;
@@ -129,16 +113,16 @@ TEST(BuildDriver, DeterministicUnderAnyJobCount)
     }
 }
 
-TEST(BuildDriver, FailuresAreIsolated)
+TEST(BuildMatrix, FailuresAreIsolated)
 {
-    DriverOptions opts;
-    opts.jobs = 4;
-    BuildDriver d(opts);
-    d.addApp(appByName("BlinkTask"));
-    d.addApp({"Broken", "Mica2", "void main( {", {}, "test", {}});
-    d.addConfig(ConfigId::Baseline);
-    d.addConfig(ConfigId::SafeFlid);
-    BuildReport rep = d.run();
+    Experiment e;
+    e.options().jobs = 4;
+    e.options().simulate = false;
+    e.addApp(appByName("BlinkTask"));
+    e.addApp({"Broken", "Mica2", "void main( {", {}, "test", {}});
+    e.addConfig(ConfigId::Baseline);
+    e.addConfig(ConfigId::SafeFlid);
+    BuildReport rep = e.run().builds;
     ASSERT_EQ(rep.records.size(), 4u);
     EXPECT_TRUE(rep.at(0, 0).ok);
     EXPECT_TRUE(rep.at(0, 1).ok);
@@ -191,36 +175,42 @@ TEST(RunOnPool, CompletesEveryJobWhenNothingThrows)
     EXPECT_EQ(sum.load(), 99u * 100u / 2u);
 }
 
-TEST(BuildDriver, EmptyMatrixIsEmptyReport)
+TEST(BuildMatrix, EmptyMatrixIsEmptyReport)
 {
-    BuildDriver d;
-    BuildReport rep = d.run();
+    Experiment e;
+    e.options().simulate = false;
+    BuildReport rep = e.run().builds;
     EXPECT_EQ(rep.records.size(), 0u);
     EXPECT_TRUE(rep.allOk());
 }
 
-TEST(BuildDriver, CustomColumnsDriveAblation)
+TEST(BuildMatrix, CustomColumnsDriveAblation)
 {
-    DriverOptions opts;
-    opts.jobs = 2;
-    BuildDriver d(opts);
-    d.addApp(appByName("BlinkTask"));
-    d.addCustom("no-atomic-opt", [](const std::string &platform) {
+    Experiment e;
+    e.options().jobs = 2;
+    e.options().simulate = false;
+    e.addApp(appByName("BlinkTask"));
+    e.addCustom("no-atomic-opt", [](const std::string &platform) {
         PipelineConfig cfg =
             configFor(ConfigId::SafeFlidInlineCxprop, platform);
         cfg.cxprop.optimizeAtomics = false;
         return cfg;
     });
-    d.addConfig(ConfigId::SafeFlidInlineCxprop);
-    BuildReport rep = d.run();
+    e.addConfig(ConfigId::SafeFlidInlineCxprop);
+    BuildReport rep = e.run().builds;
     ASSERT_TRUE(rep.allOk());
     EXPECT_EQ(rep.at(0, 0).config, "no-atomic-opt");
     EXPECT_EQ(rep.at(0, 0).result->cxpropReport.atomicsRemoved, 0u);
 }
 
-TEST(BuildDriver, Figure3MatrixCoversEveryCell)
+TEST(BuildMatrix, Figure3MatrixCoversEveryCell)
 {
-    BuildReport rep = BuildDriver::figure3Matrix();
+    Experiment e;
+    e.options().simulate = false;
+    e.addAllApps();
+    e.addConfig(ConfigId::Baseline);
+    e.addConfigs(figure3Configs());
+    BuildReport rep = e.run().builds;
     EXPECT_EQ(rep.numApps, tinyos::allApps().size());
     EXPECT_EQ(rep.numConfigs, 1 + figure3Configs().size());
     ASSERT_TRUE(rep.allOk());
@@ -234,9 +224,7 @@ TEST(BuildDriver, Figure3MatrixCoversEveryCell)
 
 TEST(BuildReport, CsvHasHeaderOneRowPerCellAndQuotedLabels)
 {
-    DriverOptions opts;
-    opts.jobs = 2;
-    BuildReport rep = smallDriver(opts).run();
+    BuildReport rep = smallExperiment(2).run().builds;
     std::ostringstream os;
     rep.emitCsv(os);
     std::istringstream in(os.str());
@@ -254,9 +242,7 @@ TEST(BuildReport, CsvHasHeaderOneRowPerCellAndQuotedLabels)
 
 TEST(BuildReport, JsonEmissionIsBalancedAndComplete)
 {
-    DriverOptions opts;
-    opts.jobs = 2;
-    BuildReport rep = smallDriver(opts).run();
+    BuildReport rep = smallExperiment(2).run().builds;
     std::ostringstream os;
     rep.emitJson(os);
     const std::string json = os.str();
@@ -279,11 +265,11 @@ TEST(BuildReport, JsonEmissionIsBalancedAndComplete)
 
 TEST(BuildReport, FailedCellsEmitWithEscapedErrors)
 {
-    DriverOptions opts;
-    BuildDriver d(opts);
-    d.addApp({"Broken", "Mica2", "void main( {\n\"quote\"", {}, "test", {}});
-    d.addConfig(ConfigId::Baseline);
-    BuildReport rep = d.run();
+    Experiment e;
+    e.options().simulate = false;
+    e.addApp({"Broken", "Mica2", "void main( {\n\"quote\"", {}, "test", {}});
+    e.addConfig(ConfigId::Baseline);
+    BuildReport rep = e.run().builds;
     ASSERT_FALSE(rep.allOk());
     ASSERT_NE(rep.at(0, 0).error.find('\n'), std::string::npos)
         << "fixture must produce a multi-line error";
@@ -305,9 +291,15 @@ TEST(BuildReport, FailedCellsEmitWithEscapedErrors)
     EXPECT_EQ(rows, rep.records.size() + 1) << "header + one row/cell";
 }
 
-TEST(BuildDriver, Figure2MatrixChecksMonotone)
+TEST(BuildMatrix, Figure2MatrixChecksMonotone)
 {
-    BuildReport rep = BuildDriver::figure2Matrix();
+    Experiment e;
+    e.options().simulate = false;
+    e.addAllApps();
+    e.addStrategies({CheckStrategy::GccOnly, CheckStrategy::CcuredOpt,
+                     CheckStrategy::CcuredOptCxprop,
+                     CheckStrategy::CcuredOptInlineCxprop});
+    BuildReport rep = e.run().builds;
     EXPECT_EQ(rep.numConfigs, 4u);
     ASSERT_TRUE(rep.allOk());
     // Surviving checks must not increase as strategies strengthen.

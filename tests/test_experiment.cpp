@@ -1,10 +1,10 @@
 /**
  * @file
- * Experiment facade tests: combined report shape, equivalence with
- * the legacy BuildDriver+SimDriver two-step (cell-for-cell, joined
- * emission included), build-only mode, the serial-reference gate, and
- * companion firmware aliasing the matrix's Baseline column through
- * the shared StageCache.
+ * Experiment facade tests: combined report shape, equivalence of the
+ * combined run() with the explicit buildMatrix + simulateBuilds
+ * two-step (cell-for-cell, joined emission included), build-only
+ * mode, the serial-reference gate, and companion firmware aliasing
+ * the matrix's Baseline column through the shared StageCache.
  */
 #include <gtest/gtest.h>
 
@@ -112,26 +112,17 @@ TEST(Experiment, CombinedReportCoversBuildAndSimPhases)
     EXPECT_NE(rep.summary().find("sim:"), std::string::npos);
 }
 
-TEST(Experiment, MatchesTheDriverTwoStepCellForCell)
+TEST(Experiment, MatchesTheExplicitTwoStepCellForCell)
 {
-    // The facade must reproduce what the BuildDriver + SimDriver
-    // two-step produced, cell-for-cell — including the joined
-    // CSV/JSON emission the benches used to assemble by hand. The
-    // drivers are deprecated shims; comparing against them is this
-    // test's whole point.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-    BuildDriver d;
-    d.addApp(appByName("BlinkTask"));
-    d.addApp(appByName("Ident"));
-    d.addConfig(ConfigId::Baseline);
-    d.addConfig(ConfigId::SafeFlid);
-    BuildReport builds = d.run();
+    // The combined run() must reproduce what the explicit two-step —
+    // buildMatrix over a caller cache, then simulateBuilds over the
+    // same cache — produces, cell-for-cell, including the joined
+    // CSV/JSON emission the benches used to assemble by hand.
+    StageCache cache;
+    Experiment twoStep = smallExperiment(fastOptions());
+    BuildReport builds = twoStep.buildMatrix(cache);
     ASSERT_TRUE(builds.allOk());
-    SimOptions so;
-    so.seconds = kSimSeconds;
-    SimReport sims = SimDriver(so).run(builds);
-#pragma GCC diagnostic pop
+    SimReport sims = twoStep.simulateBuilds(builds, cache);
     ASSERT_TRUE(sims.allOk());
 
     Experiment exp = smallExperiment(fastOptions());

@@ -12,6 +12,8 @@
  */
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "core/experiment.h"
 #include "core/pipeline.h"
 #include "sim/decoded.h"
@@ -94,6 +96,16 @@ TEST(FaultPlan, SpecParserAcceptsAndRejects)
     EXPECT_TRUE(parseRecoveryPolicy("reboot-on-trap", &p));
     EXPECT_EQ(p, RecoveryPolicy::RebootOnTrap);
     EXPECT_FALSE(parseRecoveryPolicy("explode", &p));
+    // Attack-shaped keys (CFI attack suite).
+    FaultOptions atk;
+    ASSERT_TRUE(parseFaultSpec("ptr=1,ret=2,val=238,target=handler",
+                               &atk, &err))
+        << err;
+    EXPECT_EQ(atk.ptrOverwrites, 1u);
+    EXPECT_EQ(atk.retSmashes, 2u);
+    EXPECT_EQ(atk.attackValue, 238u);
+    EXPECT_EQ(atk.attackGlobal, "handler");
+    EXPECT_TRUE(atk.injectsState());
 }
 
 /** Run CntToLedsAndRfm as a 2-mote network under `opts`, return every
@@ -442,6 +454,89 @@ TEST(Watchdog, GenerousLimitChangesNothing)
     auto b = runFaulted(radioImage(), guarded);
     for (size_t i = 0; i < a.size(); ++i)
         expectSame(a[i], b[i], "mote " + std::to_string(i));
+}
+
+TEST(FaultCompanions, CompanionsFaultedOnlyOnRequest)
+{
+    FaultOptions fo;
+    fo.seed = 9;
+    fo.memFlips = 6;
+    fo.regFlips = 3;
+    fo.crashes = 2;
+    fo.recovery = RecoveryPolicy::RebootOnTrap;
+
+    NetworkOptions solo{ExecMode::Predecoded, true, 1};
+    solo.faults = fo;
+    NetworkOptions both = solo;
+    both.faults.faultCompanions = true;
+
+    auto soloRun = runFaulted(radioImage(), solo);
+    auto bothRun = runFaulted(radioImage(), both);
+    ASSERT_EQ(soloRun.size(), 2u);
+    ASSERT_EQ(bothRun.size(), 2u);
+
+    // Node 1 carries the campaign either way; by default the
+    // companion keeps running untouched so the workload keeps a live
+    // peer (no state faults, so nothing to trap, crash, or recover).
+    EXPECT_GE(soloRun[0].crashes, 1u);
+    EXPECT_EQ(soloRun[1].crashes, 0u);
+    EXPECT_EQ(soloRun[1].traps, 0u);
+    EXPECT_EQ(soloRun[1].reboots, 0u);
+
+    // With faultCompanions the companion gets its own node-mixed
+    // schedule — and the whole 2-mote campaign stays deterministic
+    // across cores and schedulers.
+    EXPECT_GE(bothRun[1].crashes, 1u);
+    NetworkOptions legacy{ExecMode::Legacy, false, 1};
+    legacy.faults = both.faults;
+    NetworkOptions parallel{ExecMode::Predecoded, true, 2};
+    parallel.faults = both.faults;
+    auto l = runFaulted(radioImage(), legacy);
+    auto p = runFaulted(radioImage(), parallel);
+    for (size_t i = 0; i < bothRun.size(); ++i) {
+        std::string label = "mote " + std::to_string(i);
+        expectSame(l[i], bothRun[i], label + " [legacy vs serial]");
+        expectSame(l[i], p[i], label + " [legacy vs parallel]");
+    }
+}
+
+TEST(CfiTrapLog, CfiTrapsFlowThroughLogRebootAndEmitters)
+{
+    // A corrupted-fnptr campaign against the attack victim under a
+    // CFI column: the trap must land in the bounded trap log with the
+    // forward CFI kind, survive reboot-on-trap, and surface in the
+    // CSV/JSON report emitters.
+    Experiment exp;
+    exp.options().seconds = 0.25;
+    exp.options().faults.ptrOverwrites = 1;
+    exp.options().faults.attackGlobal = "handler";
+    exp.options().faults.attackValue = 0xEE;
+    exp.options().faults.recovery = RecoveryPolicy::RebootOnTrap;
+    exp.addApp(tinyos::attackAppByName("AttackFnptrDispatch"));
+    exp.addConfig(ConfigId::SafeFlidCfi);
+    ExperimentReport rep = exp.run();
+    ASSERT_TRUE(rep.allOk());
+
+    const SimRecord &r = rep.sims.at(0, 0);
+    EXPECT_EQ(r.outcome.cfiTraps, 1u);
+    EXPECT_GE(r.outcome.reboots, 1u);
+    EXPECT_FALSE(r.outcome.wedged)
+        << "reboot-on-trap must recover from a CFI trap";
+    ASSERT_FALSE(r.outcome.trapLog.empty());
+    EXPECT_EQ(r.outcome.trapLog.front().kind,
+              backend::kTrapKindCfiForward);
+
+    std::ostringstream csv;
+    rep.sims.emitCsv(csv);
+    EXPECT_NE(csv.str().find("cfi_traps"), std::string::npos);
+    std::ostringstream js;
+    rep.sims.emitJson(js);
+    EXPECT_NE(js.str().find("\"cfi_traps\": 1"), std::string::npos);
+    EXPECT_NE(js.str().find("\"kind\": 1"), std::string::npos);
+
+    // The serial/parallel gate covers the attacked cell too.
+    std::string why;
+    EXPECT_TRUE(exp.verifySerialEquivalence(rep, &why)) << why;
 }
 
 TEST(FaultedExperiment, SerialEquivalenceGateCoversFaults)

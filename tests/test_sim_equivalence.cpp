@@ -64,7 +64,10 @@ expectSame(const MoteStats &a, const MoteStats &b,
     EXPECT_TRUE(a == b) << label << " (full snapshot)";
 }
 
-/** The full matrix, built once and shared by the tests below. */
+/** The full matrix — every corpus app under Baseline, the Figure-3
+ *  columns, and the CFI column family (whose label checks and shadow
+ *  stack must also stay byte-identical across cores) — built once and
+ *  shared by the tests below. */
 const BuildReport &
 matrix()
 {
@@ -74,6 +77,7 @@ matrix()
         exp.addAllApps();
         exp.addConfig(ConfigId::Baseline);
         exp.addConfigs(figure3Configs());
+        exp.addConfigs(cfiConfigs());
         return exp.run().builds;
     }();
     return rep;

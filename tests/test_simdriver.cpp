@@ -1,25 +1,21 @@
 /**
  * @file
- * SimDriver tests: StageCache companion-entry memoization (each
- * companion built exactly once per platform, concurrent lookups
- * race-free, persistent across driver runs), parallel-vs-serial
- * SimReport equivalence across every Figure-3 configuration, matrix
- * shape/ordering, failure isolation, and the CSV/JSON report
- * emitters. (Ported from the removed CompanionCache shim's coverage.)
- *
- * SimDriver and BuildDriver are deprecated compatibility shims over
- * the Experiment facade; this file deliberately keeps exercising the
- * deprecated entry points so the shims' forwarding stays covered
- * until they are removed. New code should target core/experiment.h.
+ * Simulation-matrix tests over the Experiment facade: StageCache
+ * companion-entry memoization (each companion built exactly once per
+ * platform, concurrent lookups race-free, persistent across runs),
+ * parallel-vs-serial SimReport equivalence across every Figure-3
+ * configuration, matrix shape/ordering, failure isolation, and the
+ * CSV/JSON report emitters. Historically these gated SimDriver; the
+ * deprecated forwarding shims are gone and the same coverage now
+ * targets Experiment::simulateBuilds directly, with SimDriver
+ * surviving only as the equivalence-helper vocabulary.
  */
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
 #include <gtest/gtest.h>
 
 #include <sstream>
 #include <thread>
 
-#include "core/simdriver.h"
+#include "core/experiment.h"
 #include "support/util.h"
 
 namespace stos {
@@ -30,19 +26,42 @@ using namespace stos::tinyos;
 
 constexpr double kSimSeconds = 0.1;
 
+/** Knobs of the simulation phase a test wants to vary. */
+struct SimParams {
+    unsigned jobs = 0;
+    bool memoizeCompanions = true;
+    double seconds = kSimSeconds;
+    sim::ExecMode mode = sim::ExecMode::Predecoded;
+    unsigned netThreads = 1;
+};
+
+/** Simulate an already-built matrix over a fresh companion cache. */
+SimReport
+runSim(const BuildReport &builds, const SimParams &p = {})
+{
+    Experiment e;
+    e.options().jobs = p.jobs;
+    e.options().memoize = p.memoizeCompanions;
+    e.options().seconds = p.seconds;
+    e.options().mode = p.mode;
+    e.options().netThreads = p.netThreads;
+    StageCache cache;
+    return e.simulateBuilds(builds, cache);
+}
+
 /** Rows with and without companions, columns that change the image. */
 BuildReport
 smallBuilds(unsigned jobs = 0)
 {
-    DriverOptions opts;
-    opts.jobs = jobs;
-    BuildDriver d(opts);
-    d.addApp(appByName("BlinkTask"));     // no companions
-    d.addApp(appByName("Ident"));         // companion: CntToLedsAndRfm
-    d.addApp(appByName("Surge"));         // companions: Surge, GenericBase
-    d.addConfig(ConfigId::Baseline);
-    d.addConfig(ConfigId::SafeFlid);
-    return d.run();
+    Experiment e;
+    e.options().jobs = jobs;
+    e.options().simulate = false;
+    e.addApp(appByName("BlinkTask"));     // no companions
+    e.addApp(appByName("Ident"));         // companion: CntToLedsAndRfm
+    e.addApp(appByName("Surge"));         // companions: Surge, GenericBase
+    e.addConfig(ConfigId::Baseline);
+    e.addConfig(ConfigId::SafeFlid);
+    return e.run().builds;
 }
 
 TEST(StageCacheCompanions, BuildsEachKeyExactlyOnceUnderContention)
@@ -92,13 +111,12 @@ TEST(StageCacheCompanions, FailuresAreCachedAndRethrown)
         << "the failed build must be memoized";
 }
 
-TEST(SimDriver, MatrixShapeOrderingAndCompanionAccounting)
+TEST(SimMatrix, MatrixShapeOrderingAndCompanionAccounting)
 {
     BuildReport builds = smallBuilds();
-    SimOptions opts;
-    opts.jobs = 4;
-    opts.seconds = kSimSeconds;
-    SimReport rep = SimDriver(opts).run(builds);
+    SimParams p;
+    p.jobs = 4;
+    SimReport rep = runSim(builds, p);
 
     ASSERT_EQ(rep.numApps, 3u);
     ASSERT_EQ(rep.numConfigs, 2u);
@@ -125,31 +143,29 @@ TEST(SimDriver, MatrixShapeOrderingAndCompanionAccounting)
     EXPECT_EQ(rep.find("Surge", "nonsense"), nullptr);
 }
 
-TEST(SimDriver, ParallelMatchesSerialAcrossEveryFigure3Config)
+TEST(SimMatrix, ParallelMatchesSerialAcrossEveryFigure3Config)
 {
     // One companion-free and one companion-heavy app across the full
     // Figure-3 column set (baseline + C1..C7).
-    DriverOptions bopts;
-    BuildDriver d(bopts);
-    d.addApp(appByName("Oscilloscope"));
-    d.addApp(appByName("Surge"));
-    d.addConfig(ConfigId::Baseline);
-    d.addConfigs(figure3Configs());
-    BuildReport builds = d.run();
+    Experiment b;
+    b.options().simulate = false;
+    b.addApp(appByName("Oscilloscope"));
+    b.addApp(appByName("Surge"));
+    b.addConfig(ConfigId::Baseline);
+    b.addConfigs(figure3Configs());
+    BuildReport builds = b.run().builds;
     ASSERT_TRUE(builds.allOk());
 
-    SimOptions serialOpts;
-    serialOpts.jobs = 1;
-    serialOpts.memoizeCompanions = false;  // true per-cell rebuild
-    serialOpts.seconds = kSimSeconds;
-    SimReport serial = SimDriver(serialOpts).run(builds);
+    SimParams serialP;
+    serialP.jobs = 1;
+    serialP.memoizeCompanions = false;  // true per-cell rebuild
+    SimReport serial = runSim(builds, serialP);
     EXPECT_EQ(serial.companionBuilds, 0u);
     EXPECT_EQ(serial.companionReuses, 0u);
 
-    SimOptions parOpts;
-    parOpts.jobs = 4;
-    parOpts.seconds = kSimSeconds;
-    SimReport parallel = SimDriver(parOpts).run(builds);
+    SimParams parP;
+    parP.jobs = 4;
+    SimReport parallel = runSim(builds, parP);
     EXPECT_EQ(parallel.companionBuilds, 2u);  // Surge + GenericBase
 
     ASSERT_EQ(serial.records.size(), parallel.records.size());
@@ -164,25 +180,23 @@ TEST(SimDriver, ParallelMatchesSerialAcrossEveryFigure3Config)
         << why;
 }
 
-TEST(SimDriver, DeterministicUnderAnyJobCount)
+TEST(SimMatrix, DeterministicUnderAnyJobCount)
 {
     BuildReport builds = smallBuilds();
-    SimOptions ref;
+    SimParams ref;
     ref.jobs = 1;
-    ref.seconds = kSimSeconds;
-    SimReport baseline = SimDriver(ref).run(builds);
+    SimReport baseline = runSim(builds, ref);
     for (unsigned jobs : {2u, 3u, 8u}) {
-        SimOptions opts;
-        opts.jobs = jobs;
-        opts.seconds = kSimSeconds;
-        SimReport rep = SimDriver(opts).run(builds);
+        SimParams p;
+        p.jobs = jobs;
+        SimReport rep = runSim(builds, p);
         std::string why;
         EXPECT_TRUE(SimDriver::reportsEquivalent(baseline, rep, &why))
             << "jobs=" << jobs << ": " << why;
     }
 }
 
-TEST(SimDriver, CustomRowsOutsideTheRegistrySimulate)
+TEST(SimMatrix, CustomRowsOutsideTheRegistrySimulate)
 {
     // Benches add rows not present in tinyos::allApps() (e.g.
     // runtime_overhead's "minimal" app). The companion list rides on
@@ -191,36 +205,33 @@ TEST(SimDriver, CustomRowsOutsideTheRegistrySimulate)
     const char *kIdle =
         "interrupt(TIMER0) void t() { }"
         "void main() { stos_timer0_start(4096); stos_run_scheduler(); }";
-    BuildDriver d;
-    d.addApp({"custom_alone", "Mica2", kIdle, {}, "test", {}});
-    d.addApp({"custom_ctx", "Mica2", kIdle, {"CntToLedsAndRfm"}, "test", {}});
-    d.addConfig(ConfigId::Baseline);
-    BuildReport builds = d.run();
+    Experiment b;
+    b.options().simulate = false;
+    b.addApp({"custom_alone", "Mica2", kIdle, {}, "test", {}});
+    b.addApp({"custom_ctx", "Mica2", kIdle, {"CntToLedsAndRfm"}, "test", {}});
+    b.addConfig(ConfigId::Baseline);
+    BuildReport builds = b.run().builds;
     ASSERT_TRUE(builds.allOk());
 
-    SimOptions opts;
-    opts.seconds = kSimSeconds;
-    SimReport rep = SimDriver(opts).run(builds);
+    SimReport rep = runSim(builds);
     ASSERT_TRUE(rep.allOk())
         << rep.at(0, 0).error << rep.at(1, 0).error;
     EXPECT_EQ(rep.companionBuilds, 1u);
     EXPECT_LT(rep.at(0, 0).outcome.dutyCycle, 0.05);
 }
 
-TEST(SimDriver, FailedBuildCellsBecomeFailedSimRecords)
+TEST(SimMatrix, FailedBuildCellsBecomeFailedSimRecords)
 {
-    DriverOptions bopts;
-    bopts.jobs = 2;
-    BuildDriver d(bopts);
-    d.addApp(appByName("BlinkTask"));
-    d.addApp({"Broken", "Mica2", "void main( {", {}, "test", {}});
-    d.addConfig(ConfigId::Baseline);
-    BuildReport builds = d.run();
+    Experiment b;
+    b.options().jobs = 2;
+    b.options().simulate = false;
+    b.addApp(appByName("BlinkTask"));
+    b.addApp({"Broken", "Mica2", "void main( {", {}, "test", {}});
+    b.addConfig(ConfigId::Baseline);
+    BuildReport builds = b.run().builds;
     ASSERT_FALSE(builds.allOk());
 
-    SimOptions opts;
-    opts.seconds = kSimSeconds;
-    SimReport rep = SimDriver(opts).run(builds);
+    SimReport rep = runSim(builds);
     ASSERT_EQ(rep.records.size(), 2u);
     EXPECT_TRUE(rep.at(0, 0).ok);
     EXPECT_FALSE(rep.at(1, 0).ok);
@@ -229,20 +240,18 @@ TEST(SimDriver, FailedBuildCellsBecomeFailedSimRecords)
     EXPECT_FALSE(rep.allOk());
 }
 
-TEST(SimDriver, EmptyBuildReportIsEmptySimReport)
+TEST(SimMatrix, EmptyBuildReportIsEmptySimReport)
 {
     BuildReport builds;
-    SimReport rep = SimDriver().run(builds);
+    SimReport rep = runSim(builds);
     EXPECT_EQ(rep.records.size(), 0u);
     EXPECT_TRUE(rep.allOk());
 }
 
-TEST(SimDriver, OutcomeFieldsAreConsistent)
+TEST(SimMatrix, OutcomeFieldsAreConsistent)
 {
     BuildReport builds = smallBuilds();
-    SimOptions opts;
-    opts.seconds = kSimSeconds;
-    SimReport rep = SimDriver(opts).run(builds);
+    SimReport rep = runSim(builds);
     for (const auto &r : rep.records) {
         ASSERT_TRUE(r.ok) << r.error;
         EXPECT_LE(r.outcome.awakeCycles, r.outcome.totalCycles);
@@ -255,20 +264,19 @@ TEST(SimDriver, OutcomeFieldsAreConsistent)
     }
 }
 
-TEST(StageCacheCompanions, PersistAcrossDriverRuns)
+TEST(StageCacheCompanions, PersistAcrossSimulationRuns)
 {
     // The serial equivalence gates re-run the same matrix; with a
     // caller-owned cache the second run must not rebuild a single
     // companion (ROADMAP follow-on).
     BuildReport builds = smallBuilds();
     StageCache cache;
-    SimOptions opts;
-    opts.seconds = kSimSeconds;
-    SimDriver driver(opts);
+    Experiment e;
+    e.options().seconds = kSimSeconds;
 
-    SimReport first = driver.run(builds, cache);
+    SimReport first = e.simulateBuilds(builds, cache);
     EXPECT_EQ(first.companionBuilds, 3u);
-    SimReport second = driver.run(builds, cache);
+    SimReport second = e.simulateBuilds(builds, cache);
     EXPECT_EQ(second.companionBuilds, 0u)
         << "persistent cache must serve every companion";
     EXPECT_EQ(second.companionReuses, 6u);
@@ -292,42 +300,37 @@ TEST(StageCacheCompanions, DecodedImageSharesTheCompiledFirmware)
               decoded.get());
 }
 
-TEST(SimDriver, LegacyModeMatchesPredecodedCellForCell)
+TEST(SimMatrix, LegacyModeMatchesPredecodedCellForCell)
 {
     // The acceptance gate of the predecoded core at the driver level:
     // the legacy reference interpreter and the predecoded
     // event-horizon core must agree on every cell, uart log included.
     BuildReport builds = smallBuilds();
 
-    SimOptions legacyOpts;
-    legacyOpts.jobs = 1;
-    legacyOpts.seconds = kSimSeconds;
-    legacyOpts.mode = sim::ExecMode::Legacy;
-    SimReport legacy = SimDriver(legacyOpts).run(builds);
+    SimParams legacyP;
+    legacyP.jobs = 1;
+    legacyP.mode = sim::ExecMode::Legacy;
+    SimReport legacy = runSim(builds, legacyP);
 
-    SimOptions preOpts;
-    preOpts.jobs = 2;
-    preOpts.seconds = kSimSeconds;
-    SimReport pre = SimDriver(preOpts).run(builds);
+    SimParams preP;
+    preP.jobs = 2;
+    SimReport pre = runSim(builds, preP);
 
     std::string why;
     EXPECT_TRUE(SimDriver::reportsEquivalent(legacy, pre, &why)) << why;
 }
 
-TEST(SimDriver, LookaheadParallelNetworksMatchSerial)
+TEST(SimMatrix, LookaheadParallelNetworksMatchSerial)
 {
     // Multi-mote networks stepped in parallel inside each lookahead
     // window must be indistinguishable from serial stepping.
     BuildReport builds = smallBuilds();
 
-    SimOptions serialOpts;
-    serialOpts.seconds = kSimSeconds;
-    SimReport serial = SimDriver(serialOpts).run(builds);
+    SimReport serial = runSim(builds);
 
-    SimOptions parOpts;
-    parOpts.seconds = kSimSeconds;
-    parOpts.netThreads = 3;
-    SimReport parallel = SimDriver(parOpts).run(builds);
+    SimParams parP;
+    parP.netThreads = 3;
+    SimReport parallel = runSim(builds, parP);
 
     std::string why;
     EXPECT_TRUE(SimDriver::reportsEquivalent(serial, parallel, &why))
@@ -337,9 +340,7 @@ TEST(SimDriver, LookaheadParallelNetworksMatchSerial)
 TEST(SimReport, JoinedCsvMergesStaticAndDynamicColumns)
 {
     BuildReport builds = smallBuilds();
-    SimOptions opts;
-    opts.seconds = kSimSeconds;
-    SimReport rep = SimDriver(opts).run(builds);
+    SimReport rep = runSim(builds);
 
     std::ostringstream os;
     rep.joinCsv(builds, os);
@@ -360,9 +361,7 @@ TEST(SimReport, JoinedCsvMergesStaticAndDynamicColumns)
 TEST(SimReport, JoinedJsonRoundTripsStructure)
 {
     BuildReport builds = smallBuilds();
-    SimOptions opts;
-    opts.seconds = kSimSeconds;
-    SimReport rep = SimDriver(opts).run(builds);
+    SimReport rep = runSim(builds);
 
     std::ostringstream os;
     rep.joinJson(builds, os);
@@ -382,14 +381,13 @@ TEST(SimReport, JoinedJsonRoundTripsStructure)
 TEST(SimReport, JoinRejectsAMismatchedBuildReport)
 {
     BuildReport builds = smallBuilds();
-    SimOptions opts;
-    opts.seconds = kSimSeconds;
-    SimReport rep = SimDriver(opts).run(builds);
+    SimReport rep = runSim(builds);
 
-    BuildDriver d;
-    d.addApp(appByName("BlinkTask"));
-    d.addConfig(ConfigId::Baseline);
-    BuildReport other = d.run();
+    Experiment b;
+    b.options().simulate = false;
+    b.addApp(appByName("BlinkTask"));
+    b.addConfig(ConfigId::Baseline);
+    BuildReport other = b.run().builds;
 
     std::ostringstream os;
     EXPECT_THROW(rep.joinCsv(other, os), FatalError);
@@ -399,9 +397,7 @@ TEST(SimReport, JoinRejectsAMismatchedBuildReport)
 TEST(SimReport, CsvHasHeaderOneRowPerCellAndQuotedLabels)
 {
     BuildReport builds = smallBuilds();
-    SimOptions opts;
-    opts.seconds = kSimSeconds;
-    SimReport rep = SimDriver(opts).run(builds);
+    SimReport rep = runSim(builds);
 
     std::ostringstream os;
     rep.emitCsv(os);
@@ -421,9 +417,7 @@ TEST(SimReport, CsvHasHeaderOneRowPerCellAndQuotedLabels)
 TEST(SimReport, JsonRoundTripsStructure)
 {
     BuildReport builds = smallBuilds();
-    SimOptions opts;
-    opts.seconds = kSimSeconds;
-    SimReport rep = SimDriver(opts).run(builds);
+    SimReport rep = runSim(builds);
 
     std::ostringstream os;
     rep.emitJson(os);

@@ -37,7 +37,11 @@ usage()
            "  --jobs N      worker threads (default: hardware)\n"
            "  --no-batch    skip the Experiment batch oracles\n"
            "  --batch N     apps per Experiment batch (default 25)\n"
+           "  --oob N       deliberately out-of-bounds programs for\n"
+           "                the safety-placement oracle (default\n"
+           "                count/5; 0 disables)\n"
            "  --dump S      print the program for seed S and exit\n"
+           "  --dump-oob S  print the OOB program for seed S and exit\n"
            "  --minimize S  shrink seed S against the oracles\n"
            "  --out FILE    write --dump/--minimize output to FILE\n";
 }
@@ -57,10 +61,11 @@ main(int argc, char **argv)
 
     uint64_t seed = 1;
     uint64_t count = 500;
+    uint64_t oobCount = UINT64_MAX;  // default resolved from count
     unsigned jobs = 0;
     bool runBatch = true;
     size_t batchSize = 25;
-    bool doDump = false, doMinimize = false;
+    bool doDump = false, doDumpOob = false, doMinimize = false;
     uint64_t targetSeed = 0;
     std::string outFile;
 
@@ -83,8 +88,13 @@ main(int argc, char **argv)
             runBatch = false;
         } else if (a == "--batch") {
             batchSize = static_cast<size_t>(parseU64(next()));
+        } else if (a == "--oob") {
+            oobCount = parseU64(next());
         } else if (a == "--dump") {
             doDump = true;
+            targetSeed = parseU64(next());
+        } else if (a == "--dump-oob") {
+            doDumpOob = true;
             targetSeed = parseU64(next());
         } else if (a == "--minimize") {
             doMinimize = true;
@@ -97,8 +107,13 @@ main(int argc, char **argv)
         }
     }
 
-    if (doDump || doMinimize) {
-        std::string src = fuzz::generateProgram(targetSeed);
+    if (oobCount == UINT64_MAX)
+        oobCount = count / 5;
+
+    if (doDump || doDumpOob || doMinimize) {
+        std::string src = doDumpOob
+                              ? fuzz::generateOobProgram(targetSeed)
+                              : fuzz::generateProgram(targetSeed);
         if (doMinimize) {
             fuzz::Divergence d = fuzz::checkProgram(src);
             if (!d) {
@@ -155,6 +170,31 @@ main(int argc, char **argv)
         std::cerr << "reproduce: fuzz_differential --minimize "
                   << failures.front().first << "\n";
         return 1;
+    }
+
+    // Phase 1.5: safety-check placement. Deliberately out-of-bounds
+    // programs must trap on every safe engine, with one common FLID.
+    if (oobCount > 0) {
+        std::vector<std::pair<uint64_t, fuzz::Divergence>> oobFailures;
+        core::runOnPool(
+            core::resolveJobs(jobs, oobCount), oobCount, [&](size_t k) {
+                uint64_t s = seed + k;
+                std::string src = fuzz::generateOobProgram(s);
+                fuzz::Divergence d = fuzz::checkOobProgram(src);
+                if (d) {
+                    std::lock_guard<std::mutex> lock(mu);
+                    oobFailures.push_back({s, d});
+                    std::cerr << "DIVERGENCE oob seed " << s << " ["
+                              << d.oracle << "]: " << d.detail << "\n";
+                }
+            });
+        std::cerr << "oob placement: " << oobCount << " programs, "
+                  << oobFailures.size() << " divergence(s)\n";
+        if (!oobFailures.empty()) {
+            std::cerr << "reproduce: fuzz_differential --dump-oob "
+                      << oobFailures.front().first << "\n";
+            return 1;
+        }
     }
 
     // Phase 2: corpus oracles via the Experiment facade, in batches
