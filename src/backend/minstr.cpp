@@ -88,6 +88,12 @@ MProgram::instrBytes(const MInstr &in) const
         return 6;  // load shadow top, compare, branch
       case MOp::Halt:
         return 0;  // simulator sentinel, not a real instruction
+      case MOp::FCmpBrI: case MOp::FMov2: case MOp::FLd2:
+      case MOp::FSt2: case MOp::FLea2: case MOp::FLeal2:
+      case MOp::FSetArg2: case MOp::FLdiArg: case MOp::FSetCI:
+      case MOp::FLdiMov: case MOp::FLdiAlu: case MOp::FAluMov:
+      case MOp::FMovJmp:
+        return 0;  // decode-time superinstructions, never in MInstr
     }
     return 2;
 }
@@ -148,6 +154,12 @@ MProgram::instrCycles(const MInstr &in) const
         return 5;
       case MOp::Halt:
         return 0;  // simulator sentinel, not a real instruction
+      case MOp::FCmpBrI: case MOp::FMov2: case MOp::FLd2:
+      case MOp::FSt2: case MOp::FLea2: case MOp::FLeal2:
+      case MOp::FSetArg2: case MOp::FLdiArg: case MOp::FSetCI:
+      case MOp::FLdiMov: case MOp::FLdiAlu: case MOp::FAluMov:
+      case MOp::FMovJmp:
+        return 0;  // decode-time superinstructions, never in MInstr
     }
     return 1;
 }

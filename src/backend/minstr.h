@@ -69,7 +69,34 @@ enum class MOp : uint8_t {
      * zero bytes and zero cycles.
      */
     Halt,
+    /**
+     * Simulator-internal superinstructions. Never emitted by the
+     * backend: sim::DecodedProgram's fusion pass rewrites hot
+     * two-instruction sequences into these at decode time, in the
+     * separate direct-threaded stream only (the plain predecoded
+     * stream keeps the original opcodes). Each fused opcode performs
+     * the two original instructions back to back with the original
+     * per-instruction cycle accounting, so the two streams stay
+     * byte-identical on every observable counter.
+     */
+    FCmpBrI,   ///< Ldi rd, imm; CmpBr ra <cond> rd -> target
+    FMov2,     ///< Mov rd, ra; Mov rb, aux (second pair in aux)
+    FLd2,      ///< Ld rd, [ra+imm]; Ld rb, [ra+aux]
+    FSt2,      ///< St [ra+imm], rb; St [ra+aux], rd
+    FLea2,     ///< Lea rd, <imm>; Lea rb, <aux> (resolved addresses)
+    FLeal2,    ///< Leal rd, fp+imm; Leal rb, fp+aux
+    FSetArg2,  ///< SetArg imm, ra; SetArg aux, rb
+    FLdiArg,   ///< Ldi rd, imm; SetArg aux, rd
+    FSetCI,    ///< Ldi rd, imm; SetC rb = (ra <cond> rd)
+    FLdiMov,   ///< Ldi rd, imm; Mov rb, rd
+    FLdiAlu,   ///< Ldi rd, imm; <op in aux> rb = ra OP rd
+    FAluMov,   ///< <op in aux&0xFF> rd = ra OP rb; Mov (aux>>8), rd
+    FMovJmp,   ///< Mov rd, ra; Jmp target (aux; never a wedge)
 };
+
+/** Dense opcode count (dispatch-table size for the threaded core). */
+inline constexpr size_t kNumMOps =
+    static_cast<size_t>(MOp::FMovJmp) + 1;
 
 enum class MCond : uint8_t {
     Eq, Ne, LtU, LtS, LeU, LeS, GtU, GtS, GeU, GeS,

@@ -346,10 +346,11 @@ Experiment::simulateBuilds(const BuildReport &builds,
 
     sim::NetworkOptions netOpts;
     netOpts.mode = opts_.mode;
-    // Lookahead windows belong to the predecoded path; Legacy keeps
-    // the fixed-quantum lockstep it always had (it is the reference
-    // the equivalence gates compare against).
-    netOpts.lookahead = opts_.mode == sim::ExecMode::Predecoded;
+    // Lookahead windows belong to the decoded paths (Predecoded and
+    // Threaded); Legacy keeps the fixed-quantum lockstep it always
+    // had (it is the reference the equivalence gates compare
+    // against).
+    netOpts.lookahead = opts_.mode != sim::ExecMode::Legacy;
     netOpts.threads = opts_.netThreads;
     netOpts.faults = opts_.faults;
     netOpts.wallLimitMs = opts_.cellTimeout * 1000.0;
@@ -390,7 +391,7 @@ Experiment::simulateBuilds(const BuildReport &builds,
                 return std::make_shared<const backend::MProgram>(
                     buildApp(capp, base).image);
             };
-            if (opts_.mode == sim::ExecMode::Predecoded) {
+            if (opts_.mode != sim::ExecMode::Legacy) {
                 // The cell's own firmware decodes once per cell; the
                 // companions' decodes come from (and persist in) the
                 // cache, shared across every cell and run.

@@ -48,8 +48,11 @@ struct ExperimentOptions {
     bool simulate = true;
     /** Simulated duration per cell, in seconds of mote time. */
     double seconds = 3.0;
-    /** Interpreter core for the simulation phase. */
-    sim::ExecMode mode = sim::ExecMode::Predecoded;
+    /** Interpreter core for the simulation phase. The direct-
+     *  threaded core is the default; the equivalence suite holds it
+     *  byte-identical to Legacy and Predecoded, so figures do not
+     *  depend on this choice. */
+    sim::ExecMode mode = sim::ExecMode::Threaded;
     /** Threads stepping each multi-mote network (1 = serial). */
     unsigned netThreads = 1;
     /**

@@ -369,7 +369,7 @@ simulateInContext(const backend::MProgram &image,
                   const std::vector<const backend::MProgram *> &companions,
                   double seconds, const sim::NetworkOptions &netOpts)
 {
-    if (netOpts.mode == sim::ExecMode::Predecoded) {
+    if (netOpts.mode != sim::ExecMode::Legacy) {
         // Decode each distinct image once, shared by every mote that
         // runs it (Surge's context runs the same firmware twice).
         std::map<const backend::MProgram *,

@@ -32,12 +32,13 @@ struct SimOptions {
     /** Simulated duration per cell, in seconds of mote time. */
     double seconds = 3.0;
     /**
-     * Interpreter core. Predecoded shares one immutable decode per
-     * firmware image (memoized companions decode once per process);
-     * Legacy is the reference interpreter the equivalence gates
-     * compare against.
+     * Interpreter core. Threaded (the default) and Predecoded share
+     * one immutable decode per firmware image (memoized companions
+     * decode once per process); Threaded additionally executes the
+     * fused direct-threaded stream. Legacy is the reference
+     * interpreter the equivalence gates compare against.
      */
-    sim::ExecMode mode = sim::ExecMode::Predecoded;
+    sim::ExecMode mode = sim::ExecMode::Threaded;
     /**
      * Threads stepping the motes of each multi-mote network inside
      * its lookahead windows (1 = serial). Leave at 1 when the driver

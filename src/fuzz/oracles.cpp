@@ -162,8 +162,9 @@ checkProgramImpl(const std::string &src)
                     joinErrors(errs)};
 
         // Oracle 1 (interp vs machine) + oracle 2 (safe vs unsafe)
-        // + oracle 3 (Legacy vs Predecoded): every (mode, engine)
-        // execution must match the unsafe interpreter reference.
+        // + oracle 3 (Legacy vs Predecoded vs Threaded): every
+        // (mode, engine) execution must match the unsafe
+        // interpreter reference.
         ir::Module forInterp = m.clone();
         RunOutcome iOut = runInterp(forInterp);
         if (!iOut.ok)
@@ -181,9 +182,13 @@ checkProgramImpl(const std::string &src)
         backend::MProgram img =
             backend::compileToTarget(m, backend::TargetInfo::mica2());
         for (sim::ExecMode em :
-             {sim::ExecMode::Legacy, sim::ExecMode::Predecoded}) {
+             {sim::ExecMode::Legacy, sim::ExecMode::Predecoded,
+              sim::ExecMode::Threaded}) {
             const char *emName =
-                em == sim::ExecMode::Legacy ? "legacy" : "predecoded";
+                em == sim::ExecMode::Legacy
+                    ? "legacy"
+                    : em == sim::ExecMode::Predecoded ? "predecoded"
+                                                      : "threaded";
             RunOutcome mOut = runMachine(img, em);
             if (!mOut.ok)
                 return {std::string("run/") + modeName(mode) + "/" +
@@ -282,9 +287,13 @@ checkOobProgramImpl(const std::string &src)
         backend::MProgram img =
             backend::compileToTarget(m, backend::TargetInfo::mica2());
         for (sim::ExecMode em :
-             {sim::ExecMode::Legacy, sim::ExecMode::Predecoded}) {
+             {sim::ExecMode::Legacy, sim::ExecMode::Predecoded,
+              sim::ExecMode::Threaded}) {
             const char *emName =
-                em == sim::ExecMode::Legacy ? "legacy" : "predecoded";
+                em == sim::ExecMode::Legacy
+                    ? "legacy"
+                    : em == sim::ExecMode::Predecoded ? "predecoded"
+                                                      : "threaded";
             TrapOutcome t = runMachineExpectTrap(img, em);
             if (!t.trapped)
                 return {std::string("oob/") + modeName(mode) + "/" +

@@ -4,13 +4,35 @@
  * built once per MProgram and flattens every function's basic blocks
  * into a single instruction array, resolving at decode time every
  * static fact the interpreter would otherwise re-derive per executed
- * instruction: cycle cost, width mask, branch targets as instruction
- * offsets, Call targets as function indices (killing the per-call map
- * lookup), Lea operands as absolute addresses (killing the linear
- * data-layout scan), and the self-loop Jmp that marks a wedged
- * failure stub. The decode is immutable and therefore shared — all
- * motes of a network, and all SimDriver cells running the same
- * firmware (memoized companions in particular), execute one decode.
+ * instruction: cycle cost, branch targets as instruction offsets,
+ * Call targets as function indices (killing the per-call map lookup),
+ * Lea operands as absolute addresses (killing the linear data-layout
+ * scan), and the self-loop Jmp that marks a wedged failure stub. The
+ * decode is immutable and therefore shared — all motes of a network,
+ * and all SimDriver cells running the same firmware (memoized
+ * companions in particular), execute one decode.
+ *
+ * Two execution streams are produced per function:
+ *
+ *  - `instrs` is the plain flattened stream the Predecoded core
+ *    executes — one DInstr per MInstr plus a Halt sentinel.
+ *  - `fused` is the direct-threaded stream the Threaded core
+ *    executes: identical offsets (so branch targets and frame ip
+ *    values mean the same thing in both), but with hot
+ *    two-instruction sequences rewritten into superinstructions at
+ *    the first instruction's slot. The second original instruction is
+ *    left in place so a superinstruction that crosses the event
+ *    horizon mid-pair can stop after its first half with `ip`
+ *    pointing at a valid continuation — which is what keeps fused
+ *    execution byte-identical to the unfused cores at every device,
+ *    fault, and interrupt boundary.
+ *
+ * DInstr itself is 24 bytes (down from 64): branch target, call
+ * index, and I/O port share one field; the width mask and the Sext
+ * source mask are re-derived from the stored widths; and the rare
+ * immediate that does not fit in 32 bits moves to a per-function
+ * cold side table (`DFunc::wideImms`) indexed through the inline
+ * immediate field.
  */
 #ifndef STOS_SIM_DECODED_H
 #define STOS_SIM_DECODED_H
@@ -34,27 +56,67 @@ widthMask(uint8_t w)
 
 /** One flattened instruction with its static facts precomputed. */
 struct DInstr {
+    /**
+     * Inline immediate. When kWideImm is set the value did not fit
+     * in 32 bits and this is instead an index into the owning
+     * function's wideImms side table (see DFunc::imm below, the only
+     * accessor the cores use).
+     */
+    int32_t imm = 0;
+    /**
+     * Per-op second operand: branch target as an instruction offset
+     * (CmpBr/Jmp/SSChk/FCmpBrI), resolved funcs index as callIdx+1
+     * with 0 = unlinked (Call), I/O address (In/Out), and the second
+     * sub-instruction's immediate/offset/slot for fused ops.
+     */
+    uint32_t aux = 0;
+    uint16_t rd = 0, ra = 0, rb = 0;
+    uint16_t cycles = 1;   ///< MProgram::instrCycles (first sub-op)
+    uint16_t cycles2 = 0;  ///< fused ops: second sub-op's cycle cost
     backend::MOp op = backend::MOp::Nop;
     uint8_t w = 16;
     backend::MCond cond = backend::MCond::Eq;
-    /** Jmp forming a single-instruction self loop (the wedge state). */
-    bool wedge = false;
-    /** Call whose resolved target is the failure stub. */
-    bool callsFail = false;
-    uint32_t rd = 0, ra = 0, rb = 0;
-    int64_t imm = 0;
-    uint64_t mask = 0xFFFF;  ///< widthMask(w)
-    uint64_t aux = 0;        ///< Sext: from-mask; Lea: resolved address
-    uint32_t target = 0;     ///< branch target as an instruction offset
-    uint32_t cycles = 1;     ///< MProgram::instrCycles(in)
-    int32_t callIdx = -1;    ///< Call: resolved funcs index (-1 = unlinked)
-    uint32_t port = 0;       ///< In/Out io address
+    uint8_t flags = 0;
+    uint8_t w2 = 16;  ///< fused ops: second sub-op's width
+
+    enum : uint8_t {
+        /** Jmp forming a single-instruction self loop (wedged). */
+        kWedge = 1,
+        /** Call whose resolved target is the failure stub. */
+        kCallsFail = 2,
+        /** imm indexes DFunc::wideImms instead of holding the value. */
+        kWideImm = 4,
+    };
+
+    bool wedge() const { return flags & kWedge; }
+    bool callsFail() const { return flags & kCallsFail; }
+    uint64_t mask() const { return widthMask(w); }
+    uint32_t target() const { return aux; }
+    int32_t callIdx() const { return static_cast<int32_t>(aux) - 1; }
+    uint32_t port() const { return aux; }
 };
+
+/**
+ * The decode-time footprint win must not silently regress: the whole
+ * point of the compact encoding is that between two and three
+ * instructions share every cache line the execution loop touches.
+ */
+static_assert(sizeof(DInstr) <= 32, "DInstr grew past its budget");
+static_assert(sizeof(DInstr) == 24, "DInstr layout changed");
 
 /** One flattened function: blocks laid out in order + Halt sentinel. */
 struct DFunc {
     std::vector<DInstr> instrs;
+    /**
+     * The direct-threaded stream: same length and offsets as
+     * `instrs`, with fused superinstructions substituted at pair
+     * heads (the pair's second instruction kept in place as the
+     * mid-pair continuation).
+     */
+    std::vector<DInstr> fused;
     std::vector<uint32_t> blockStart;  ///< block index -> instr offset
+    /** Cold side table for immediates wider than 32 bits. */
+    std::vector<int64_t> wideImms;
     /**
      * Register-file size covering every operand index any instruction
      * of the function names, so the execution loop never bounds-checks
@@ -70,6 +132,20 @@ struct DFunc {
      * core would drop.
      */
     uint32_t argRegs = 1;
+
+    /** The instruction's (possibly side-table) immediate. */
+    int64_t
+    imm(const DInstr &in) const
+    {
+        return (in.flags & DInstr::kWideImm)
+                   ? wideImms[static_cast<uint32_t>(in.imm)]
+                   : in.imm;
+    }
+    /** Fused ops: the second sub-instruction's immediate (aux). */
+    int64_t imm2(const DInstr &in) const
+    {
+        return static_cast<int32_t>(in.aux);
+    }
 };
 
 /**
@@ -111,8 +187,12 @@ class DecodedProgram {
     const backend::MProgram::DataItem *
     findDataByName(const std::string &name) const;
 
+    /** Superinstructions substituted by the fusion pass (all funcs). */
+    size_t fusedPairs() const { return fusedPairs_; }
+
   private:
     void decode();
+    void fuse(DFunc &df);
 
     const backend::MProgram *prog_;
     std::shared_ptr<const backend::MProgram> owner_;
@@ -123,6 +203,7 @@ class DecodedProgram {
         dataByName_;
     std::vector<uint8_t> memInit_;
     uint32_t failFnIdx_ = ~0u;
+    size_t fusedPairs_ = 0;
 };
 
 } // namespace stos::sim

@@ -15,6 +15,7 @@ using namespace stos::dev;
 void
 DeviceHub::reset()
 {
+    ++schedVersion_;
     for (int t = 0; t < 2; ++t) {
         timerEn_[t] = false;
         timerPeriod_[t] = 1024;
@@ -99,6 +100,7 @@ DeviceHub::ioWrite(uint32_t port, uint32_t value, uint64_t now)
         int t = port == kRegTimer0Ctrl ? 0 : 1;
         bool en = value & 1;
         timerEn_[t] = en;
+        ++schedVersion_;
         timerNext_[t] =
             en ? now + static_cast<uint64_t>(timerPeriod_[t]) * 256
                : UINT64_MAX;
@@ -113,6 +115,7 @@ DeviceHub::ioWrite(uint32_t port, uint32_t value, uint64_t now)
       case kRegAdcCtrl:
         if (value & 1) {
             adcDoneAt_ = now + kAdcLatency;
+            ++schedVersion_;
         }
         break;
       case kRegAdcChannel:
@@ -124,6 +127,7 @@ DeviceHub::ioWrite(uint32_t port, uint32_t value, uint64_t now)
             // Begin transmission of the staged FIFO.
             txDoneAt_ = now + kCyclesPerRadioByte *
                                   std::max<uint64_t>(1, txFifo_.size());
+            ++schedVersion_;
         }
         break;
       case kRegRadioData:
@@ -148,6 +152,7 @@ DeviceHub::ioWrite(uint32_t port, uint32_t value, uint64_t now)
 uint64_t
 DeviceHub::nextEventAt() const
 {
+    ++consultations_;
     uint64_t next = UINT64_MAX;
     next = std::min(next, timerNext_[0]);
     next = std::min(next, timerNext_[1]);
@@ -161,16 +166,19 @@ DeviceHub::nextEventAt() const
 void
 DeviceHub::advanceTo(uint64_t now, std::vector<int> &irqs)
 {
+    ++consultations_;
     for (int t = 0; t < 2; ++t) {
         while (timerEn_[t] && timerNext_[t] <= now) {
             irqs.push_back(t == 0 ? 0 : 1);  // TIMER0 / TIMER1
             timerNext_[t] += static_cast<uint64_t>(timerPeriod_[t]) * 256;
+            ++schedVersion_;
         }
     }
     if (adcDoneAt_ <= now) {
         adcData_ = sensorValue(now);
         adcDoneAt_ = UINT64_MAX;
         ++conversions_;
+        ++schedVersion_;
         irqs.push_back(2);  // ADC
     }
     if (txDoneAt_ <= now) {
@@ -182,6 +190,7 @@ DeviceHub::advanceTo(uint64_t now, std::vector<int> &irqs)
             p.bytes.resize(txLen_);
         txDoneAt_ = UINT64_MAX;
         txFifo_.clear();
+        ++schedVersion_;
         ++sent_;
         irqs.push_back(4);  // RADIO_TX
         if (onSend)
@@ -197,6 +206,7 @@ DeviceHub::advanceTo(uint64_t now, std::vector<int> &irqs)
             irqs.push_back(3);  // RADIO_RX
         }
         rxQueue_.pop_front();
+        ++schedVersion_;
     }
 }
 
@@ -207,6 +217,7 @@ DeviceHub::deliver(const Packet &p, uint64_t at)
         return;
     // Sorted insertion by delivery time, stable for ties. Packets
     // almost always arrive in time order, so this is an append.
+    ++schedVersion_;
     auto it = rxQueue_.end();
     while (it != rxQueue_.begin() && std::prev(it)->at > at)
         --it;

@@ -72,6 +72,24 @@ class DeviceHub {
      *  radio idle). Used by the network's lookahead window. */
     uint64_t txDoneAt() const { return txDoneAt_; }
 
+    /**
+     * Monotonic counter bumped whenever the device event schedule
+     * (timer deadlines, ADC completion, TX completion, queued RX
+     * deliveries) can have moved. Register reads never bump it — the
+     * interpreter cores use an unchanged version to skip re-aiming
+     * their event horizon after an `In`, which is what lets an awake
+     * busy-wait polling loop batch thousands of instructions per
+     * horizon instead of advancing one at a time.
+     */
+    uint64_t scheduleVersion() const { return schedVersion_; }
+    /**
+     * How many times the simulator consulted this hub for scheduling
+     * (nextEventAt + advanceTo calls). Pure instrumentation — not
+     * part of the mote-equivalence snapshot — used by the adaptive-
+     * horizon tests to prove batching actually happened.
+     */
+    uint64_t hubConsultations() const { return consultations_; }
+
     //--- instrumentation ----------------------------------------------
     const std::string &uartLog() const { return uart_; }
     uint32_t ledWrites() const { return ledWrites_; }
@@ -122,6 +140,9 @@ class DeviceHub {
     uint8_t portB_ = 0;
     uint32_t ledWrites_ = 0;
     uint32_t rngState_ = 0x1234;
+    // Scheduling instrumentation (survives reset, like the counters).
+    uint64_t schedVersion_ = 0;
+    mutable uint64_t consultations_ = 0;
 };
 
 } // namespace stos::sim

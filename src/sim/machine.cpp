@@ -7,9 +7,8 @@
 #include "sim/machine.h"
 
 #include <algorithm>
-#include <barrier>
-#include <thread>
 
+#include "core/pool.h"
 #include "support/arith.h"
 #include "support/util.h"
 
@@ -20,7 +19,7 @@ using namespace stos::backend;
 Machine::Machine(const MProgram &prog, uint8_t nodeId, ExecMode mode)
     : mode_(mode), prog_(prog), dev_(nodeId)
 {
-    if (mode_ == ExecMode::Predecoded)
+    if (mode_ != ExecMode::Legacy)
         decoded_ = std::make_shared<const DecodedProgram>(prog_);
     if (decoded_) {
         failFnIdx_ = decoded_->failFnIdx();
@@ -51,9 +50,10 @@ Machine::Machine(const MProgram &prog, uint8_t nodeId, ExecMode mode)
 }
 
 Machine::Machine(std::shared_ptr<const DecodedProgram> prog,
-                 uint8_t nodeId)
-    : mode_(ExecMode::Predecoded), decoded_(std::move(prog)),
-      prog_(decoded_->program()), dev_(nodeId)
+                 uint8_t nodeId, ExecMode mode)
+    : mode_(mode == ExecMode::Legacy ? ExecMode::Predecoded : mode),
+      decoded_(std::move(prog)), prog_(decoded_->program()),
+      dev_(nodeId)
 {
     failFnIdx_ = decoded_->failFnIdx();
     vectors_ = decoded_->vectors();
@@ -245,10 +245,20 @@ Machine::applyFaultsDue()
 void
 Machine::enterFunction(uint32_t funcIdx, bool fromIrq)
 {
-    Frame fr;
+    // Reuse a recycled frame where possible: its regs vector keeps
+    // its capacity, so steady-state call/return pairs never allocate.
+    if (framePool_.empty()) {
+        frames_.emplace_back();
+    } else {
+        frames_.push_back(std::move(framePool_.back()));
+        framePool_.pop_back();
+    }
+    Frame &fr = frames_.back();
     fr.funcIdx = funcIdx;
     fr.block = 0;
     fr.ip = 0;
+    fr.fp = 0;
+    fr.df = nullptr;
     // How many incoming arguments may land in registers: the legacy
     // core bounds this by its register-file size, so the decoded core
     // must use the *declared* size, not the operand-padded one.
@@ -268,10 +278,16 @@ Machine::enterFunction(uint32_t funcIdx, bool fromIrq)
     for (size_t i = 0; i < argBuf_.size() && i < argBound; ++i)
         fr.regs[i] = argBuf_[i];
     argBuf_.clear();
-    frames_.push_back(std::move(fr));
     if (frames_.size() > 64) {
         halted_ = true;  // runaway recursion
     }
+}
+
+void
+Machine::popFrame()
+{
+    framePool_.push_back(std::move(frames_.back()));
+    frames_.pop_back();
 }
 
 uint64_t
@@ -373,7 +389,9 @@ Machine::hasGlobal(const std::string &name) const
 void
 Machine::runUntilCycle(uint64_t target)
 {
-    if (mode_ == ExecMode::Predecoded)
+    if (mode_ == ExecMode::Threaded)
+        runThreaded(target);
+    else if (mode_ == ExecMode::Predecoded)
         runPredecoded(target);
     else
         runLegacy(target);
@@ -700,7 +718,7 @@ Machine::step()
         // shadow empty, so the guard makes this universally safe.
         if (!fromIrq && !shadow_.empty())
             shadow_.pop_back();
-        frames_.pop_back();
+        popFrame();
         if (in.op == MOp::Reti || fromIrq)
             iflag_ = true;
         if (frames_.empty())
@@ -748,6 +766,14 @@ Machine::step()
         halted_ = true;
         break;
       case MOp::Nop:
+        break;
+      // Decode-time superinstructions live only in the threaded
+      // stream; the legacy core never sees them.
+      case MOp::FCmpBrI: case MOp::FMov2: case MOp::FLd2:
+      case MOp::FSt2: case MOp::FLea2: case MOp::FLeal2:
+      case MOp::FSetArg2: case MOp::FLdiArg: case MOp::FSetCI:
+      case MOp::FLdiMov: case MOp::FLdiAlu: case MOp::FAluMov:
+      case MOp::FMovJmp:
         break;
     }
 }
@@ -859,7 +885,7 @@ Machine::runPredecoded(uint64_t target)
             ++fr.ip;
             ++instrs_;
             cycles_ += in.cycles;
-            const uint64_t mask = in.mask;
+            const uint64_t mask = widthMask(in.w);
             auto reg = [&](uint32_t r) -> uint64_t { return regs[r]; };
             auto setReg = [&](uint32_t r, uint64_t v) {
                 regs[r] = v & mask;
@@ -867,7 +893,8 @@ Machine::runPredecoded(uint64_t target)
 
             switch (in.op) {
               case MOp::Ldi:
-                setReg(in.rd, static_cast<uint64_t>(in.imm));
+                setReg(in.rd,
+                       static_cast<uint64_t>(fr.df->imm(in)));
                 break;
               case MOp::Mov:
                 setReg(in.rd, reg(in.ra));
@@ -940,10 +967,14 @@ Machine::runPredecoded(uint64_t target)
                 break;
               }
               case MOp::AddI:
-                setReg(in.rd, reg(in.ra) + static_cast<uint64_t>(in.imm));
+                setReg(in.rd,
+                       reg(in.ra) +
+                           static_cast<uint64_t>(fr.df->imm(in)));
                 break;
               case MOp::AndI:
-                setReg(in.rd, reg(in.ra) & static_cast<uint64_t>(in.imm));
+                setReg(in.rd,
+                       reg(in.ra) &
+                           static_cast<uint64_t>(fr.df->imm(in)));
                 break;
               case MOp::Neg:
                 setReg(in.rd, 0 - reg(in.ra));
@@ -955,10 +986,11 @@ Machine::runPredecoded(uint64_t target)
                 setReg(in.rd, ~reg(in.ra));
                 break;
               case MOp::Sext: {
-                uint64_t v = reg(in.ra) & in.aux;
                 uint8_t from = static_cast<uint8_t>(in.imm);
+                uint64_t fmask = widthMask(from);
+                uint64_t v = reg(in.ra) & fmask;
                 if (from < 64 && (v >> (from - 1)))
-                    v |= ~in.aux;
+                    v |= ~fmask;
                 setReg(in.rd, v);
                 break;
               }
@@ -970,27 +1002,31 @@ Machine::runPredecoded(uint64_t target)
                 break;
               case MOp::CmpBr:
                 if (evalCond(in.cond, reg(in.ra), reg(in.rb), in.w))
-                    fr.ip = in.target;
+                    fr.ip = in.target();
                 break;
               case MOp::Jmp:
-                if (in.wedge) {
+                if (in.wedge()) {
                     wedged_ = true;
                     break;
                 }
-                fr.ip = in.target;
+                fr.ip = in.target();
                 break;
               case MOp::Ld:
-                setReg(in.rd, loadMem(static_cast<uint32_t>(
-                                          (reg(in.ra) + in.imm) & 0xFFFF),
-                                      in.w));
+                setReg(in.rd,
+                       loadMem(static_cast<uint32_t>(
+                                   (reg(in.ra) + fr.df->imm(in)) &
+                                   0xFFFF),
+                               in.w));
                 break;
               case MOp::St:
-                storeMem(
-                    static_cast<uint32_t>((reg(in.ra) + in.imm) & 0xFFFF),
-                    reg(in.rb), in.w);
+                storeMem(static_cast<uint32_t>(
+                             (reg(in.ra) + fr.df->imm(in)) & 0xFFFF),
+                         reg(in.rb), in.w);
                 break;
               case MOp::Lea:
-                setReg(in.rd, in.aux);  // resolved at decode time
+                // Resolved to an absolute address at decode time.
+                setReg(in.rd, static_cast<uint64_t>(
+                                  static_cast<uint32_t>(in.imm)));
                 break;
               case MOp::Leal:
                 setReg(in.rd, (fr.fp + in.imm) & 0xFFFF);
@@ -1030,11 +1066,12 @@ Machine::runPredecoded(uint64_t target)
                 break;
               }
               case MOp::Call: {
-                if (in.callIdx < 0) {
+                const int32_t callIdx = in.callIdx();
+                if (callIdx < 0) {
                     halted_ = true;
                     break;
                 }
-                if (in.callsFail) {
+                if (in.callsFail()) {
                     recordTrap(argBuf_.empty()
                                    ? 0
                                    : static_cast<uint32_t>(argBuf_[0]),
@@ -1047,7 +1084,7 @@ Machine::runPredecoded(uint64_t target)
                     }
                 }
                 retBuf_.clear();
-                enterFunction(static_cast<uint32_t>(in.callIdx), false);
+                enterFunction(static_cast<uint32_t>(callIdx), false);
                 refreshFrame();
                 break;
               }
@@ -1074,7 +1111,7 @@ Machine::runPredecoded(uint64_t target)
                 // Implicit shadow pop — mirrors the legacy core.
                 if (!fromIrq && !shadow_.empty())
                     shadow_.pop_back();
-                frames_.pop_back();
+                popFrame();
                 if (in.op == MOp::Reti || fromIrq)
                     iflag_ = true;
                 if (frames_.empty())
@@ -1093,7 +1130,7 @@ Machine::runPredecoded(uint64_t target)
                     !shadow_.empty() &&
                     shadow_.back() !=
                         frames_[frames_.size() - 2].funcIdx)
-                    fr.ip = in.target;
+                    fr.ip = in.target();
                 break;
               case MOp::Sei:
                 iflag_ = true;
@@ -1108,14 +1145,14 @@ Machine::runPredecoded(uint64_t target)
                 iflag_ = (reg(in.ra) & 1) != 0;
                 break;
               case MOp::In:
-                setReg(in.rd, dev_.ioRead(in.port, cycles_));
+                setReg(in.rd, dev_.ioRead(in.port(), cycles_));
                 // I/O may repoint the hub's schedule (e.g. FIFO pops);
                 // stay conservative and re-aim the horizon.
                 horizon = std::min(
                     {target, dev_.nextEventAt(), nextFaultAt()});
                 break;
               case MOp::Out:
-                dev_.ioWrite(in.port,
+                dev_.ioWrite(in.port(),
                              static_cast<uint32_t>(reg(in.ra) & mask),
                              cycles_);
                 // Starting a timer/ADC/radio moves the next event.
@@ -1128,6 +1165,14 @@ Machine::runPredecoded(uint64_t target)
               case MOp::Halt:  // handled before accounting
                 break;
               case MOp::Nop:
+                break;
+              // Superinstructions exist only in the fused stream the
+              // threaded core executes, never in `instrs`.
+              case MOp::FCmpBrI: case MOp::FMov2: case MOp::FLd2:
+              case MOp::FSt2: case MOp::FLea2: case MOp::FLeal2:
+              case MOp::FSetArg2: case MOp::FLdiArg: case MOp::FSetCI:
+              case MOp::FLdiMov: case MOp::FLdiAlu: case MOp::FAluMov:
+              case MOp::FMovJmp:
                 break;
             }
 
@@ -1220,7 +1265,8 @@ Machine &
 Network::addMote(std::shared_ptr<const DecodedProgram> prog,
                  uint8_t nodeId)
 {
-    return attachMote(std::make_unique<Machine>(std::move(prog), nodeId));
+    return attachMote(
+        std::make_unique<Machine>(std::move(prog), nodeId, opts_.mode));
 }
 
 uint64_t
@@ -1358,52 +1404,38 @@ Network::runSerial(uint64_t start, uint64_t end)
 void
 Network::runParallel(uint64_t start, uint64_t end, unsigned threads)
 {
+    // Windows are dispatched to the persistent worker pool instead of
+    // spawning a thread team per run: each window is one batch of
+    // per-mote jobs, `threads` caps its concurrent executors (the
+    // --jobs request), and the caller thread participates in the
+    // batch, so a pool saturated by other cells degrades to serial
+    // stepping rather than blocking. The mutex handoff inside the
+    // pool orders each mote's windows, so no mote is ever touched by
+    // two threads at once and every window boundary is a full
+    // synchronization point.
+    core::WorkerPool &pool =
+        opts_.pool ? *opts_.pool : core::sharedPool();
     outboxes_.assign(motes_.size(), {});
     bufferSends_ = true;
-    uint64_t t = start;
-    uint64_t te = windowEnd(t, end);
-    bool done = t >= end;
-    // The completion step runs on exactly one thread while everyone
-    // else waits at the barrier: flush the buffered radio sends in
-    // sender-index order (the serial delivery order), then open the
-    // next window.
-    std::barrier sync(static_cast<std::ptrdiff_t>(threads),
-                      [&]() noexcept {
-                          for (size_t i = 0; i < outboxes_.size(); ++i) {
-                              for (const Send &s : outboxes_[i])
-                                  deliverFrom(i, s.p, s.at);
-                              outboxes_[i].clear();
-                          }
-                          ++windows_;
-                          t = te;
-                          if (t >= end) {
-                              done = true;
-                          } else if (pastDeadline()) {
-                              // noexcept context: flag it; run()
-                              // throws after the joins.
-                              timedOut_ = true;
-                              done = true;
-                          } else {
-                              te = windowEnd(t, end);
-                          }
-                      });
-    auto worker = [&](unsigned tid) {
-        // Fixed stride partition: each mote belongs to one thread for
-        // the whole run, so no mote is ever touched by two threads.
-        while (!done) {
-            uint64_t wEnd = te;
-            for (size_t i = tid; i < motes_.size(); i += threads)
-                motes_[i]->runUntilCycle(wEnd);
-            sync.arrive_and_wait();
+    for (uint64_t t = start; t < end;) {
+        if (pastDeadline()) {
+            timedOut_ = true;
+            break;
         }
-    };
-    std::vector<std::thread> pool;
-    pool.reserve(threads - 1);
-    for (unsigned tid = 1; tid < threads; ++tid)
-        pool.emplace_back(worker, tid);
-    worker(0);
-    for (auto &th : pool)
-        th.join();
+        uint64_t te = windowEnd(t, end);
+        pool.run(motes_.size(), threads, [&](size_t i) {
+            motes_[i]->runUntilCycle(te);
+        });
+        // Flush the buffered radio sends in sender-index order (the
+        // serial delivery order), then open the next window.
+        for (size_t i = 0; i < outboxes_.size(); ++i) {
+            for (const Send &s : outboxes_[i])
+                deliverFrom(i, s.p, s.at);
+            outboxes_[i].clear();
+        }
+        ++windows_;
+        t = te;
+    }
     bufferSends_ = false;
 }
 

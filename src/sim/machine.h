@@ -6,7 +6,7 @@
  * time across SLEEP, and accounts the duty cycle (awake / total
  * cycles) that the paper's Figure 3(c) reports.
  *
- * Two interpreter cores share one device model and one observable
+ * Three interpreter cores share one device model and one observable
  * behaviour:
  *
  *  - ExecMode::Legacy is the original reference interpreter: it
@@ -18,8 +18,13 @@
  *    event-horizon loop: the device hub is consulted once per horizon
  *    — min(target, next device event) — and a tight instruction loop
  *    runs untouched until the horizon, an I/O access, or a wakeup.
+ *  - ExecMode::Threaded executes the same DecodedProgram's fused
+ *    direct-threaded stream (sim/threaded.cpp): computed-goto
+ *    dispatch with per-opcode exit checks, superinstructions for hot
+ *    pairs, and adaptive horizons that re-aim only when the device
+ *    hub's schedule version actually moved.
  *
- * The equivalence suite holds the two cores identical on every
+ * The equivalence suite holds all three cores identical on every
  * counter (cycles, awake cycles, instructions, flid, uart log).
  */
 #ifndef STOS_SIM_MACHINE_H
@@ -37,12 +42,23 @@
 #include "sim/devices.h"
 #include "sim/fault.h"
 
+namespace stos::core {
+class WorkerPool;
+}
+
 namespace stos::sim {
 
 /** Which interpreter core executes the firmware. */
 enum class ExecMode {
     Legacy,      ///< reference core: per-step re-derivation + hub polls
     Predecoded,  ///< DecodedProgram + event-horizon scheduling
+    /**
+     * Direct-threaded core: executes the DecodedProgram's fused
+     * stream with computed-goto dispatch (portable switch fallback
+     * behind STOS_THREADED_SWITCH) and adaptive event horizons —
+     * identical observable behaviour to the other two cores.
+     */
+    Threaded,
 };
 
 class Machine {
@@ -51,7 +67,8 @@ class Machine {
                      ExecMode mode = ExecMode::Predecoded);
     /** Execute a shared immutable predecode (no per-mote decode). */
     explicit Machine(std::shared_ptr<const DecodedProgram> prog,
-                     uint8_t nodeId = 1);
+                     uint8_t nodeId = 1,
+                     ExecMode mode = ExecMode::Predecoded);
 
     /** Start executing at the entry point (call before runUntil). */
     void boot();
@@ -143,9 +160,12 @@ class Machine {
 
     void runLegacy(uint64_t target);
     void runPredecoded(uint64_t target);
+    void runThreaded(uint64_t target);
     void step();
     void dispatchIrqs();
     void enterFunction(uint32_t funcIdx, bool fromIrq);
+    /** Pop the active frame, parking its storage for reuse. */
+    void popFrame();
     void recordTrap(uint32_t flid, uint32_t pc);
     void startReboot();
     void resetMemoryImage();
@@ -175,6 +195,13 @@ class Machine {
     std::vector<uint8_t> mem_;
     uint32_t sp_;
     std::vector<Frame> frames_;
+    /**
+     * Recycled frame storage: popped frames park here so the next
+     * call reuses their regs capacity. Steady-state call/return pairs
+     * touch no allocator; the pool is bounded by the same depth-64
+     * runaway-recursion limit as frames_.
+     */
+    std::vector<Frame> framePool_;
     std::vector<uint64_t> argBuf_;
     std::vector<uint64_t> retBuf_;
     bool iflag_ = true;
@@ -234,6 +261,13 @@ struct NetworkOptions {
      * sender order, which is exactly the serial delivery order.
      */
     unsigned threads = 1;
+    /**
+     * Persistent worker pool the parallel scheduler dispatches each
+     * window on (null = the process-wide core::sharedPool()). Window
+     * stepping borrows pool workers instead of spawning threads per
+     * run, so thousands of SimDriver cells reuse one set of threads.
+     */
+    core::WorkerPool *pool = nullptr;
     /**
      * Fault campaign for this run: state faults are scheduled per
      * mote at first run() (node 1 only unless faultCompanions), radio

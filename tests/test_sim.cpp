@@ -9,6 +9,7 @@
 #include "core/pipeline.h"
 #include "frontend/frontend.h"
 #include "sim/machine.h"
+#include "sim/stats.h"
 #include "support/devmap.h"
 
 namespace stos {
@@ -111,6 +112,38 @@ TEST(Machine, WedgesInFailureHandler)
     // time accounted as awake.
     EXPECT_TRUE(m.wedged() || !m.halted());
     EXPECT_GT(m.dutyCycle(), 0.9);
+}
+
+TEST(Machine, AdaptiveHorizonBatchesBusyWaitPolling)
+{
+    // A busy-wait polling loop: every iteration reads a device
+    // register (In), but nothing ever changes the device schedule.
+    // The predecoded core conservatively re-aims its event horizon
+    // after every In; the threaded core re-aims only when the hub's
+    // schedule version moved, so the whole loop batches under one
+    // horizon. The observable run must be identical either way — the
+    // consultation count is the only permitted difference.
+    MProgram p = buildProgram(
+        "u16 sink;"
+        "void main() {"
+        "  u16 i = 0;"
+        "  while (i < 5000) { sink = stos_adc_data(); i = i + 1; }"
+        "  stos_uart_put_u16(sink);"
+        "}");
+    Machine pre(p, 1, ExecMode::Predecoded);
+    Machine thr(p, 1, ExecMode::Threaded);
+    pre.boot();
+    thr.boot();
+    pre.runUntilCycle(10'000'000);
+    thr.runUntilCycle(10'000'000);
+    EXPECT_TRUE(pre.halted());
+    EXPECT_EQ(snapshotOf(pre), snapshotOf(thr));
+    // 5000 polls: the predecoded core consults the hub at least once
+    // per In, the threaded core only at horizon boundaries.
+    EXPECT_LT(thr.devices().hubConsultations(),
+              pre.devices().hubConsultations());
+    EXPECT_GT(pre.devices().hubConsultations(), 5000u);
+    EXPECT_LT(thr.devices().hubConsultations(), 100u);
 }
 
 TEST(Network, BroadcastReachesAllMotes)

@@ -1,13 +1,15 @@
 /**
  * @file
- * Exhaustive equivalence suite for the two interpreter cores: the
- * legacy reference interpreter and the predecoded event-horizon core
- * must be indistinguishable on every observable counter — cycles,
- * awake cycles, instructions executed, failed FLID, UART log, LED
- * writes, and radio/ADC statistics — across every Figure-3 build
+ * Exhaustive equivalence suite for the three interpreter cores: the
+ * legacy reference interpreter, the predecoded event-horizon core,
+ * and the direct-threaded superinstruction core must be
+ * indistinguishable on every observable counter — cycles, awake
+ * cycles, instructions executed, failed FLID, UART log, LED writes,
+ * trap log, and radio/ADC statistics — across every Figure-3 build
  * configuration and every multi-mote example network, under serial,
  * lookahead, and lookahead-parallel network scheduling. The TSan CI
- * job runs this binary to certify the window-parallel stepping.
+ * job runs this binary to certify the window-parallel stepping (now
+ * serviced by the persistent worker pool).
  */
 #include <gtest/gtest.h>
 
@@ -90,12 +92,17 @@ TEST(SimEquivalence, EveryFigure3CellMatchesOnASingleMote)
     for (const BuildRecord &r : rep.records) {
         Machine legacy(r.result->image, 1, ExecMode::Legacy);
         Machine pre(r.result->image, 1, ExecMode::Predecoded);
+        Machine thr(r.result->image, 1, ExecMode::Threaded);
         legacy.boot();
         pre.boot();
+        thr.boot();
         legacy.runUntilCycle(kCycles);
         pre.runUntilCycle(kCycles);
+        thr.runUntilCycle(kCycles);
         expectSame(statsOf(legacy), statsOf(pre),
-                   r.app + " / " + r.config);
+                   r.app + " / " + r.config + " [predecoded]");
+        expectSame(statsOf(legacy), statsOf(thr),
+                   r.app + " / " + r.config + " [threaded]");
     }
 }
 
@@ -142,13 +149,26 @@ TEST(SimEquivalence, EveryMultiMoteNetworkMatchesAcrossSchedulers)
         auto parallel = runNetwork(
             r, rep, {ExecMode::Predecoded, /*lookahead=*/true, 4},
             kCycles);
+        // Threaded core under both schedulers.
+        auto thrSerial = runNetwork(
+            r, rep, {ExecMode::Threaded, /*lookahead=*/true, 1},
+            kCycles);
+        auto thrParallel = runNetwork(
+            r, rep, {ExecMode::Threaded, /*lookahead=*/true, 4},
+            kCycles);
         ASSERT_EQ(legacy.size(), serial.size());
         ASSERT_EQ(legacy.size(), parallel.size());
+        ASSERT_EQ(legacy.size(), thrSerial.size());
+        ASSERT_EQ(legacy.size(), thrParallel.size());
         for (size_t i = 0; i < legacy.size(); ++i) {
             std::string label = r.app + " / " + r.config + " / mote " +
                                 std::to_string(i);
             expectSame(legacy[i], serial[i], label + " [serial]");
             expectSame(legacy[i], parallel[i], label + " [parallel]");
+            expectSame(legacy[i], thrSerial[i],
+                       label + " [threaded serial]");
+            expectSame(legacy[i], thrParallel[i],
+                       label + " [threaded parallel]");
         }
     }
     EXPECT_GE(networks, 8u)
@@ -162,19 +182,23 @@ TEST(SimEquivalence, SharedDecodeMatchesPerMoteDecode)
         buildApp(app, configFor(ConfigId::SafeFlid, app.platform));
     auto decode = std::make_shared<const DecodedProgram>(build.image);
 
-    Network shared({ExecMode::Predecoded, true, 1});
-    shared.addMote(decode, 1);
-    shared.addMote(decode, 2);
-    shared.run(kCycles);
+    for (ExecMode mode :
+         {ExecMode::Predecoded, ExecMode::Threaded}) {
+        Network shared({mode, true, 1});
+        shared.addMote(decode, 1);
+        shared.addMote(decode, 2);
+        shared.run(kCycles);
 
-    Network owned({ExecMode::Predecoded, true, 1});
-    owned.addMote(build.image, 1);
-    owned.addMote(build.image, 2);
-    owned.run(kCycles);
+        Network owned({mode, true, 1});
+        owned.addMote(build.image, 1);
+        owned.addMote(build.image, 2);
+        owned.run(kCycles);
 
-    for (size_t i = 0; i < 2; ++i)
-        expectSame(statsOf(shared.mote(i)), statsOf(owned.mote(i)),
-                   "mote " + std::to_string(i));
+        for (size_t i = 0; i < 2; ++i)
+            expectSame(statsOf(shared.mote(i)),
+                       statsOf(owned.mote(i)),
+                       "mote " + std::to_string(i));
+    }
 }
 
 TEST(SimEquivalence, FailingProgramWedgesIdenticallyWithSameFlid)
@@ -193,13 +217,17 @@ TEST(SimEquivalence, FailingProgramWedgesIdenticallyWithSameFlid)
         "oob", kBad, configFor(ConfigId::SafeFlid, "Mica2"));
     Machine legacy(build.image, 1, ExecMode::Legacy);
     Machine pre(build.image, 1, ExecMode::Predecoded);
+    Machine thr(build.image, 1, ExecMode::Threaded);
     legacy.boot();
     pre.boot();
+    thr.boot();
     legacy.runUntilCycle(500'000);
     pre.runUntilCycle(500'000);
+    thr.runUntilCycle(500'000);
     EXPECT_TRUE(pre.wedged());
     EXPECT_NE(pre.failedFlid(), 0u);
-    expectSame(statsOf(legacy), statsOf(pre), "oob");
+    expectSame(statsOf(legacy), statsOf(pre), "oob [predecoded]");
+    expectSame(statsOf(legacy), statsOf(thr), "oob [threaded]");
 }
 
 /**
@@ -298,13 +326,19 @@ TEST(SimEquivalence, WidthSweepArithmeticAgreesAcrossAllEngines)
 
         Machine legacy(build.image, 1, ExecMode::Legacy);
         Machine pre(build.image, 1, ExecMode::Predecoded);
+        Machine thr(build.image, 1, ExecMode::Threaded);
         legacy.boot();
         pre.boot();
+        thr.boot();
         legacy.runUntilCycle(50'000'000);
         pre.runUntilCycle(50'000'000);
+        thr.runUntilCycle(50'000'000);
         ASSERT_TRUE(legacy.halted()) << label;
         ASSERT_FALSE(legacy.wedged()) << label;
-        expectSame(statsOf(legacy), statsOf(pre), label);
+        expectSame(statsOf(legacy), statsOf(pre),
+                   label + " [predecoded]");
+        expectSame(statsOf(legacy), statsOf(thr),
+                   label + " [threaded]");
         EXPECT_EQ(interpUart, legacy.devices().uartLog()) << label;
         EXPECT_FALSE(interpUart.empty()) << label;
     }
@@ -336,12 +370,16 @@ TEST(SimEquivalence, DivByZeroProducesZeroOnEveryEngine)
 
     Machine legacy(build.image, 1, ExecMode::Legacy);
     Machine pre(build.image, 1, ExecMode::Predecoded);
+    Machine thr(build.image, 1, ExecMode::Threaded);
     legacy.boot();
     pre.boot();
+    thr.boot();
     legacy.runUntilCycle(1'000'000);
     pre.runUntilCycle(1'000'000);
+    thr.runUntilCycle(1'000'000);
     ASSERT_TRUE(legacy.halted());
-    expectSame(statsOf(legacy), statsOf(pre), "div0");
+    expectSame(statsOf(legacy), statsOf(pre), "div0 [predecoded]");
+    expectSame(statsOf(legacy), statsOf(thr), "div0 [threaded]");
     EXPECT_EQ(interpUart, legacy.devices().uartLog());
 }
 
@@ -354,7 +392,9 @@ TEST(SimEquivalence, PredecodedNetworkClampsToRequestedCycles)
     BuildResult build =
         buildApp(app, configFor(ConfigId::Baseline, app.platform));
     for (unsigned threads : {1u, 3u}) {
-        Network net({ExecMode::Predecoded, true, threads});
+        Network net({threads == 1 ? ExecMode::Threaded
+                                  : ExecMode::Predecoded,
+                     true, threads});
         net.addMote(build.image, 1);
         net.addMote(build.image, 2);
         net.addMote(build.image, 3);
@@ -375,9 +415,9 @@ TEST(SimEquivalence, ParallelNetworkIsDeterministic)
     const BuildRecord *surge =
         rep.find("Surge", configName(ConfigId::SafeFlidInlineCxprop));
     ASSERT_NE(surge, nullptr);
-    auto a = runNetwork(*surge, rep, {ExecMode::Predecoded, true, 4},
+    auto a = runNetwork(*surge, rep, {ExecMode::Threaded, true, 4},
                         kCycles);
-    auto b = runNetwork(*surge, rep, {ExecMode::Predecoded, true, 4},
+    auto b = runNetwork(*surge, rep, {ExecMode::Threaded, true, 4},
                         kCycles);
     ASSERT_EQ(a.size(), b.size());
     for (size_t i = 0; i < a.size(); ++i)

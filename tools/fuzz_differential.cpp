@@ -2,7 +2,8 @@
  * @file
  * Grammar-driven differential fuzzer driver. Generates N seeded TinyC
  * programs, runs each through the per-program oracles (interpreter vs
- * both simulator cores, across unsafe / safe / optimized builds), then
+ * all three simulator cores — legacy, predecoded, and direct-threaded
+ * — across unsafe / safe / optimized builds), then
  * runs the surviving corpus through the Experiment facade oracles
  * (memoized-parallel vs cold-serial, cold vs cached byte-identity).
  * Exits nonzero on the first divergence, printing the seed so the run
